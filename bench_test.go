@@ -1,0 +1,260 @@
+package retro
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (run the full parameter sweeps with cmd/retro-bench), plus
+// micro-benchmarks of the core kernels and the DESIGN.md ablations.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/experiments"
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/tokenize"
+)
+
+// benchScale keeps the per-iteration cost of each experiment benchmark
+// small enough for -bench=. runs; cmd/retro-bench covers larger scales.
+func benchScale() experiments.Scale { return experiments.TinyScale() }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// Table 1: dataset properties.
+func BenchmarkTable1DatasetProperties(b *testing.B) { runExperiment(b, "table1") }
+
+// Table 2: runtime of the four embedding methods.
+func BenchmarkTable2MethodRuntimes(b *testing.B) { runExperiment(b, "table2") }
+
+// Figure 3: hyperparameter geometry example.
+func BenchmarkFig3HyperparameterGeometry(b *testing.B) { runExperiment(b, "fig3") }
+
+// Figure 4: retrofitting runtime vs database size.
+func BenchmarkFig4RuntimeScaling(b *testing.B) { runExperiment(b, "fig4") }
+
+// Figures 6/7: hyperparameter grids for binary classification.
+func BenchmarkFig6GridSearchRO(b *testing.B) { runExperiment(b, "fig6") }
+func BenchmarkFig7GridSearchRN(b *testing.B) { runExperiment(b, "fig7") }
+
+// Figure 8: binary classification of US directors.
+func BenchmarkFig8BinaryClassification(b *testing.B) { runExperiment(b, "fig8") }
+
+// Figure 9: accuracy vs training-set size.
+func BenchmarkFig9SampleSizeCurve(b *testing.B) { runExperiment(b, "fig9") }
+
+// Figures 10/11: hyperparameter grids for language imputation.
+func BenchmarkFig10GridSearchImputeRO(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11GridSearchImputeRN(b *testing.B) { runExperiment(b, "fig11") }
+
+// Figures 12a/12b: missing-value imputation comparisons.
+func BenchmarkFig12aImputationLanguage(b *testing.B)    { runExperiment(b, "fig12a") }
+func BenchmarkFig12bImputationAppCategory(b *testing.B) { runExperiment(b, "fig12b") }
+
+// Figure 13: budget regression.
+func BenchmarkFig13Regression(b *testing.B) { runExperiment(b, "fig13") }
+
+// Figure 14: genre link prediction.
+func BenchmarkFig14LinkPrediction(b *testing.B) { runExperiment(b, "fig14") }
+
+// --- Core kernels ----------------------------------------------------------
+
+func benchWorld(b *testing.B, movies int) (*core.Problem, *extract.Extraction) {
+	b.Helper()
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: movies, Dim: 48, Seed: 1})
+	ex, err := extract.FromDB(w.DB, extract.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := tokenize.New(w.Embedding)
+	return core.BuildProblem(ex, tok), ex
+}
+
+// BenchmarkROIteration measures one RO solve (10 iterations) per size.
+func BenchmarkROIteration(b *testing.B) {
+	for _, movies := range []int{50, 200} {
+		p, _ := benchWorld(b, movies)
+		b.Run(fmt.Sprintf("movies=%d", movies), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.SolveRO(p, core.DefaultRO(), core.SolveOptions{})
+			}
+		})
+	}
+}
+
+// BenchmarkRNIteration measures one RN solve (10 iterations) per size:
+// the paper's ~10x speed claim over RO is visible in the ratio.
+func BenchmarkRNIteration(b *testing.B) {
+	for _, movies := range []int{50, 200} {
+		p, _ := benchWorld(b, movies)
+		b.Run(fmt.Sprintf("movies=%d", movies), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.SolveRN(p, core.DefaultRN(), core.SolveOptions{})
+			}
+		})
+	}
+}
+
+// BenchmarkRONegNaiveVsOptimized is the DESIGN.md ablation of the
+// eq. (15) complement optimisation: "naive" materialises Ẽ_r pair by
+// pair, "optimized" uses the shared target sum.
+func BenchmarkRONegNaiveVsOptimized(b *testing.B) {
+	p, _ := benchWorld(b, 100)
+	h := core.DefaultRO()
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveRO(p, h, core.SolveOptions{})
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveRO(p, h, core.SolveOptions{NaiveNegative: true})
+		}
+	})
+}
+
+// BenchmarkParallelSolve compares sequential and parallel RO solving
+// (results are bit-identical; see internal/core/parallel_test.go).
+func BenchmarkParallelSolve(b *testing.B) {
+	p, _ := benchWorld(b, 200)
+	h := core.DefaultRO()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveRO(p, h, core.SolveOptions{})
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SolveROParallel(p, h, core.ParallelOptions{})
+		}
+	})
+}
+
+// BenchmarkFaruquiBaseline measures the MF solver (20 iterations).
+func BenchmarkFaruquiBaseline(b *testing.B) {
+	p, _ := benchWorld(b, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.SolveFaruqui(p, 1, 20)
+	}
+}
+
+// BenchmarkExtraction measures §3.2 relationship extraction.
+func BenchmarkExtraction(b *testing.B) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 200, Dim: 48, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := extract.FromDB(w.DB, extract.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenizerTrie is the DESIGN.md tokenizer ablation: trie
+// longest-match versus naive whitespace lookup.
+func BenchmarkTokenizerTrie(b *testing.B) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 100, Dim: 48, Seed: 1})
+	ex, err := extract.FromDB(w.DB, extract.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := tokenize.New(w.Embedding)
+	texts := make([]string, 0, len(ex.Values))
+	for _, v := range ex.Values {
+		texts = append(texts, v.Text)
+	}
+	b.Run("trie-longest-match", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range texts {
+				tok.InitialVector(t)
+			}
+		}
+	})
+	b.Run("whitespace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, t := range texts {
+				tok.WhitespaceInitialVector(t)
+			}
+		}
+	})
+}
+
+// BenchmarkRetrofitEndToEnd measures the public API path: extraction,
+// tokenization, problem assembly and RN solve.
+func BenchmarkRetrofitEndToEnd(b *testing.B) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 100, Dim: 48, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Retrofit(w.DB, w.Embedding, Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalInsert measures the Session incremental-maintenance
+// path against a full re-solve. At this toy scale the full matrix solve
+// wins: refresh pays re-extraction plus pointwise repair sweeps whose
+// negative terms scan all nodes. The incremental path pays off when the
+// database is large and the dirty neighbourhood small (the paper's
+// motivating regime: 493k values, where a full RO solve costs minutes).
+func BenchmarkIncrementalInsert(b *testing.B) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 100, Dim: 48, Seed: 1})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			world := datagen.TMDB(datagen.TMDBConfig{Movies: 100, Dim: 48, Seed: 1})
+			sess, err := NewSession(world.DB, world.Embedding, Defaults())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if err := sess.ExecAndRefresh(fmt.Sprintf(
+				`INSERT INTO movies (id, title, original_language, director_id) VALUES (%d, 'bench title %d', 'english', 0)`,
+				10_000+i, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-resolve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Retrofit(w.DB, w.Embedding, Defaults()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSQLSelectJoin measures the reldb hash-join SELECT path.
+func BenchmarkSQLSelectJoin(b *testing.B) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 300, Dim: 16, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := w.DB.Exec(`
+			SELECT movies.title, persons.name
+			FROM movies JOIN persons ON movies.director_id = persons.id
+			WHERE movies.budget > 5000000`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Command retro trains and queries relational embeddings.
+//
+// Subcommands:
+//
+//	generate -dataset tmdb|gplay -out DIR [-movies N] [-apps N] [-dim D] [-seed S]
+//	    write a synthetic dataset as CSV files plus its base embedding
+//	train    -data DIR -out FILE [-variant ro|rn] [-alpha A -beta B -gamma G -delta D] [-iters N]
+//	    import the CSV directory, retrofit, write the embedding (binary)
+//	query    -model FILE -key 'table.column:text' [-k N]
+//	    nearest neighbours of a trained value embedding
+//	info     -data DIR
+//	    print the imported schema and extraction statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retro:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: retro <generate|train|query|info> [flags]
+run "retro <subcommand> -h" for the flags of each subcommand`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	dataset := fs.String("dataset", "tmdb", "tmdb or gplay")
+	out := fs.String("out", "", "output directory (required)")
+	movies := fs.Int("movies", 300, "TMDB size")
+	apps := fs.Int("apps", 300, "Google Play size")
+	dim := fs.Int("dim", 48, "embedding dimensionality")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	var db *reldb.DB
+	var emb *retro.Embedding
+	switch *dataset {
+	case "tmdb":
+		w := datagen.TMDB(datagen.TMDBConfig{Movies: *movies, Dim: *dim, Seed: *seed})
+		db, emb = w.DB, w.Embedding
+	case "gplay":
+		w := datagen.GooglePlay(datagen.GooglePlayConfig{Apps: *apps, Dim: *dim, Seed: *seed})
+		db, emb = w.DB, w.Embedding
+	default:
+		return fmt.Errorf("generate: unknown dataset %q", *dataset)
+	}
+	for _, t := range db.Tables() {
+		f, err := os.Create(filepath.Join(*out, t.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.ExportCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(filepath.Join(*out, "embedding.bin"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := emb.WriteBinary(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tables + embedding (%d words, %d dims) to %s\n",
+		db.NumTables(), emb.Len(), emb.Dim(), *out)
+	return nil
+}
+
+// loadDir imports every CSV in dir (schema inferred; the generate layout
+// uses "<table>.csv" with an "id" primary key and "<table>_id" foreign
+// keys) plus the embedding.bin.
+func loadDir(dir string) (*retro.DB, *retro.Embedding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := retro.NewDB()
+	// Two passes so FK targets exist first: import tables without *_id
+	// columns, then the rest (works for the generated star schemas).
+	var csvs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".csv") {
+			csvs = append(csvs, e.Name())
+		}
+	}
+	imported := map[string]bool{}
+	for pass := 0; pass < len(csvs)+1 && len(imported) < len(csvs); pass++ {
+		progressed := false
+		for _, name := range csvs {
+			if imported[name] {
+				continue
+			}
+			table := strings.TrimSuffix(name, ".csv")
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			header, err := csvHeader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("%s: %w", name, err)
+			}
+			fks := map[string]string{}
+			ready := true
+			for _, h := range header {
+				if !strings.HasSuffix(h, "_id") {
+					continue
+				}
+				ref := referencedTable(strings.TrimSuffix(h, "_id"), csvs)
+				if ref == "" {
+					continue
+				}
+				fks[h] = ref
+				if _, ok := db.Table(ref); !ok {
+					ready = false
+				}
+			}
+			if !ready {
+				f.Close()
+				continue
+			}
+			if _, err := f.Seek(0, 0); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			pk := ""
+			for _, h := range header {
+				if h == "id" {
+					pk = "id"
+				}
+			}
+			_, err = db.ImportCSV(table, f, retro.CSVOptions{PrimaryKey: pk, ForeignKeys: fks})
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", name, err)
+			}
+			imported[name] = true
+			progressed = true
+		}
+		if !progressed {
+			return nil, nil, fmt.Errorf("circular or unresolvable FK dependencies in %s", dir)
+		}
+	}
+	ef, err := os.Open(filepath.Join(dir, "embedding.bin"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening embedding: %w", err)
+	}
+	defer ef.Close()
+	emb, err := retro.ReadBinaryEmbedding(ef)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, emb, nil
+}
+
+func csvHeader(f *os.File) ([]string, error) {
+	buf := make([]byte, 4096)
+	n, err := f.Read(buf)
+	if n == 0 && err != nil {
+		return nil, err
+	}
+	line := string(buf[:n])
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	for i := range fields {
+		fields[i] = strings.ToLower(strings.TrimSpace(fields[i]))
+	}
+	return fields, nil
+}
+
+// referencedTable maps an FK column prefix to the matching CSV table name,
+// handling the simple pluralisation of the generated schemas
+// (movie_id -> movies.csv, person_id -> persons.csv, ...).
+func referencedTable(prefix string, csvs []string) string {
+	// Role-named FKs of the generated schemas.
+	if prefix == "director" {
+		prefix = "person"
+	}
+	candidates := []string{prefix + "s.csv", prefix + "es.csv", strings.TrimSuffix(prefix, "y") + "ies.csv", prefix + ".csv"}
+	for _, c := range candidates {
+		for _, name := range csvs {
+			if name == c {
+				return strings.TrimSuffix(name, ".csv")
+			}
+		}
+	}
+	return ""
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "", "dataset directory from 'retro generate' (required)")
+	out := fs.String("out", "", "output embedding file (required)")
+	variant := fs.String("variant", "rn", "ro or rn")
+	alpha := fs.Float64("alpha", -1, "alpha (default: paper setting)")
+	beta := fs.Float64("beta", -1, "beta")
+	gamma := fs.Float64("gamma", -1, "gamma")
+	delta := fs.Float64("delta", -1, "delta")
+	iters := fs.Int("iters", 10, "iterations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *out == "" {
+		return fmt.Errorf("train: -data and -out are required")
+	}
+	db, emb, err := loadDir(*data)
+	if err != nil {
+		return err
+	}
+	cfg := retro.Defaults()
+	if *variant == "ro" {
+		cfg.Variant = retro.RO
+	}
+	if *alpha >= 0 && *beta >= 0 && *gamma >= 0 && *delta >= 0 {
+		cfg.Hyperparams = &retro.Hyperparams{Alpha: *alpha, Beta: *beta, Gamma: *gamma, Delta: *delta, Iterations: *iters}
+	}
+	model, err := retro.Retrofit(db, emb, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Store().WriteBinary(f); err != nil {
+		return err
+	}
+	fmt.Printf("retrofitted %d text values (%s solver) -> %s\n", model.NumValues(), *variant, *out)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained embedding file (required)")
+	key := fs.String("key", "", "'table.column:text' to look up (required)")
+	k := fs.Int("k", 5, "number of neighbours")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *key == "" {
+		return fmt.Errorf("query: -model and -key are required")
+	}
+	parts := strings.SplitN(*key, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("query: key must be 'table.column:text'")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := retro.ReadBinaryEmbedding(f)
+	if err != nil {
+		return err
+	}
+	storeKey := parts[0] + "\x00" + parts[1]
+	v, ok := store.VectorOf(storeKey)
+	if !ok {
+		return fmt.Errorf("query: no value %q in %s", parts[1], parts[0])
+	}
+	selfID, _ := store.ID(storeKey)
+	for _, m := range store.TopK(v, *k, func(id int) bool { return id == selfID }) {
+		col, text, _ := strings.Cut(m.Word, "\x00")
+		fmt.Printf("%.4f  %-28s %s\n", m.Score, col, text)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	data := fs.String("data", "", "dataset directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("info: -data is required")
+	}
+	db, emb, err := loadDir(*data)
+	if err != nil {
+		return err
+	}
+	fmt.Print(db.String())
+	fmt.Printf("base embedding: %d words, %d dims\n", emb.Len(), emb.Dim())
+	return nil
+}

@@ -1,0 +1,25 @@
+// Hyperparams reproduces the paper's Figure 3: 2-dimensional embeddings
+// of three movies and two countries under sweeps of α, β, γ and δ,
+// printed as coordinates (the paper plots them).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/retrodb/retro/internal/experiments"
+)
+
+func main() {
+	rep, err := experiments.Fig3()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
+	fmt.Println(`reading the table like the paper's plots:
+ - α-sweep: growing α keeps every point near its original position
+ - β-sweep: growing β pulls the three movies toward their column centroid
+ - γ-sweep: growing γ pulls Amelie toward France (its related country)
+ - δ-sweep: δ=0 lets everything contract; larger δ pushes the cloud apart`)
+}

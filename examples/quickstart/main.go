@@ -1,0 +1,85 @@
+// Quickstart: build a small movie database, retrofit a toy embedding and
+// explore the learned vectors.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	retro "github.com/retrodb/retro"
+)
+
+func main() {
+	// 1. A database: movies with directors and production countries.
+	db := retro.NewDB()
+	for _, stmt := range []string{
+		`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, director TEXT, country TEXT)`,
+		`INSERT INTO movies VALUES
+			(1, '5th element', 'luc besson', 'france'),
+			(2, 'alien', 'ridley scott', 'usa'),
+			(3, 'brazil', 'terry gilliam', 'uk'),
+			(4, 'valerian', 'luc besson', 'france'),
+			(5, 'gladiator', 'ridley scott', 'usa')`,
+	} {
+		db.MustExec(stmt)
+	}
+
+	// 2. A pre-trained word embedding. Real deployments load GloVe or
+	// word2vec text files via retro.ReadTextEmbedding; here a toy set,
+	// including the multi-word phrase "luc_besson" the §3.1 trie
+	// tokenizer prefers over its parts.
+	emb := retro.NewEmbedding(4)
+	add := func(word string, v ...float64) { emb.Add(word, v) }
+	add("alien", 0.9, 0.1, 0, 0)
+	add("brazil", 0.1, 0.9, 0.2, 0) // ambiguous: country or movie?
+	add("gladiator", 0.8, 0, 0.1, 0.1)
+	add("valerian", 0.2, 0.1, 0.9, 0)
+	add("element", 0.1, 0, 0.8, 0.2)
+	add("luc_besson", 0.1, 0.1, 0.9, 0.3)
+	add("ridley", 0.7, 0, 0.2, 0.2)
+	add("scott", 0.6, 0.1, 0.1, 0.3)
+	add("france", 0, 0.2, 0.7, 0.5)
+	add("usa", 0.8, 0.2, 0, 0.4)
+	add("uk", 0.3, 0.7, 0.1, 0.4)
+
+	// 3. Retrofit: every unique text value gets a vector reflecting both
+	// the word embedding and the relational structure.
+	model, err := retro.Retrofit(db, emb, retro.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrofitted %d text values\n\n", model.NumValues())
+
+	// 4. The retrofitted space mixes textual and relational similarity:
+	// "brazil" the movie now lives near other movies, not near countries.
+	for _, query := range []struct{ col, text string }{
+		{"title", "brazil"},
+		{"title", "5th element"},
+		{"director", "luc besson"},
+	} {
+		fmt.Printf("neighbours of movies.%s %q:\n", query.col, query.text)
+		matches, err := model.Neighbors("movies", query.col, query.text, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range matches {
+			fmt.Printf("  %.3f  %s\n", m.Score, displayKey(m.Word))
+		}
+		fmt.Println()
+	}
+
+	// 5. Vectors are plain []float64, ready for any ML pipeline.
+	v, _ := model.Vector("movies", "title", "alien")
+	w, _ := model.Vector("movies", "title", "gladiator")
+	fmt.Printf("cos(alien, gladiator) = %.3f (same director)\n", retro.Cosine(v, w))
+}
+
+func displayKey(key string) string {
+	// Store keys are "table.column\x00text".
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[i+1:] + "  (" + key[:i] + ")"
+		}
+	}
+	return key
+}

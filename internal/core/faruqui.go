@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// SolveFaruqui runs the original retrofitting of Faruqui et al. (the MF
+// baseline of §5) over the undirected union of all relation edges, using
+// the simplified update of eq. (3):
+//
+//	v_i = ( α_i v'_i + Σ_{j:(i,j)∈E_F} β_i v_j ) / ( α_i + Σ β_i )
+//
+// with the standard configuration α_i = 1 and β_i = 1/degree(i) (§5.2).
+// The paper runs 20 iterations; pass iterations <= 0 for that default.
+//
+// The MF baseline models the database simply: every relation edge becomes
+// an undirected lexicon edge, with no categorial term and no negative
+// (dissimilarity) term — exactly the "simplified modeling of database
+// relations" §5.3 credits for its speed and blames for its accuracy.
+func SolveFaruqui(p *Problem, alpha float64, iterations int) *Result {
+	if iterations <= 0 {
+		iterations = 20
+	}
+	if alpha <= 0 {
+		alpha = 1
+	}
+	adj := undirectedAdjacency(p)
+
+	cur := p.W0.Clone()
+	next := vec.NewMatrix(p.N, p.Dim)
+	for iter := 0; iter < iterations; iter++ {
+		for i := 0; i < p.N; i++ {
+			row := next.Row(i)
+			nbrs := adj[i]
+			if len(nbrs) == 0 {
+				copy(row, cur.Row(i))
+				continue
+			}
+			beta := 1 / float64(len(nbrs))
+			vec.Zero(row)
+			vec.Axpy(row, alpha, p.W0.Row(i))
+			for _, j := range nbrs {
+				vec.Axpy(row, beta, cur.Row(int(j)))
+			}
+			// Denominator: α + Σ β_i = α + deg·(1/deg) = α + 1.
+			vec.Scale(row, 1/(alpha+1))
+		}
+		cur, next = next, cur
+	}
+	return &Result{W: cur, Iterations: iterations}
+}
+
+// undirectedAdjacency merges every relation group's edges into one
+// undirected, deduplicated adjacency list (the lexicon graph E_F).
+// Forward groups suffice: inverse groups mirror the same edges.
+func undirectedAdjacency(p *Problem) [][]int32 {
+	adj := make([][]int32, p.N)
+	for gi := range p.Groups {
+		if gi%2 == 1 {
+			continue // skip inverse twins; edges identical reversed
+		}
+		g := &p.Groups[gi]
+		g.EachEdge(func(from, to int) {
+			adj[from] = append(adj[from], int32(to))
+			adj[to] = append(adj[to], int32(from))
+		})
+	}
+	for i := range adj {
+		nbrs := adj[i]
+		sort.Slice(nbrs, func(a, b int) bool { return nbrs[a] < nbrs[b] })
+		dedup := nbrs[:0]
+		var last int32 = -1
+		for _, v := range nbrs {
+			if v != last {
+				dedup = append(dedup, v)
+				last = v
+			}
+		}
+		adj[i] = dedup
+	}
+	return adj
+}

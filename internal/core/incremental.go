@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Variant selects a relational retrofitting solver.
+type Variant uint8
+
+const (
+	// RO is the optimisation-based solver (eq. 10).
+	RO Variant = iota
+	// RN is the series-based solver (eq. 11).
+	RN
+)
+
+func (v Variant) String() string {
+	switch v {
+	case RO:
+		return "RO"
+	case RN:
+		return "RN"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Solve dispatches to the selected solver.
+func Solve(p *Problem, h Hyperparams, variant Variant, opts SolveOptions) *Result {
+	switch variant {
+	case RN:
+		return SolveRN(p, h, opts)
+	default:
+		return SolveRO(p, h, opts)
+	}
+}
+
+// IncrementalOptions tunes incremental maintenance.
+type IncrementalOptions struct {
+	// MaxIterations bounds the local fixed-point iteration (default 50).
+	MaxIterations int
+	// Tolerance stops iterating when no dirty vector moves more than this
+	// L2 distance in one sweep (default 1e-9).
+	Tolerance float64
+}
+
+func (o IncrementalOptions) withDefaults() IncrementalOptions {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 50
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// UpdateIncremental re-solves only the given dirty nodes of an
+// already-solved embedding in place, holding every other vector fixed.
+// This is the §1 "incrementally maintainable" property: after inserting or
+// changing rows, rebuild the problem, carry over the old vectors for
+// unchanged nodes (the caller aligns rows), and pass the ids of new or
+// affected values. Because both updates are contractions toward a fixed
+// point, iterating the pointwise updates over the dirty set converges to
+// the same values a full re-solve would assign given the fixed
+// complement.
+//
+// Returns the number of sweeps performed.
+func UpdateIncremental(p *Problem, w *vec.Matrix, dirty []int, h Hyperparams, variant Variant, opts IncrementalOptions) int {
+	opts = opts.withDefaults()
+	h = h.withDefaults()
+	weights := deriveWeights(p, h)
+	buf := make([]float64, p.Dim)
+
+	for sweep := 1; sweep <= opts.MaxIterations; sweep++ {
+		maxMove := 0.0
+		for _, i := range dirty {
+			if i < 0 || i >= p.N {
+				continue
+			}
+			switch variant {
+			case RN:
+				rnUpdateNode(p, weights, w, i, buf)
+			default:
+				roUpdateNode(p, weights, w, i, buf)
+			}
+			move := vec.SquaredDistance(buf, w.Row(i))
+			if move > maxMove {
+				maxMove = move
+			}
+			copy(w.Row(i), buf)
+		}
+		if maxMove <= opts.Tolerance*opts.Tolerance {
+			return sweep
+		}
+	}
+	return opts.MaxIterations
+}
+
+// AffectedNodes expands a set of seed node ids to every node within
+// `hops` relation steps, the neighbourhood worth re-solving after a
+// change. hops=0 returns the seeds themselves.
+func AffectedNodes(p *Problem, seeds []int, hops int) []int {
+	seen := make(map[int]bool, len(seeds))
+	frontier := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s >= 0 && s < p.N && !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for h := 0; h < hops; h++ {
+		var next []int
+		for _, i := range frontier {
+			for gi := range p.Groups {
+				g := &p.Groups[gi]
+				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+					j := int(g.Targets[k])
+					if !seen[j] {
+						seen[j] = true
+						next = append(next, j)
+					}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	return out
+}

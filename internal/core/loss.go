@@ -1,0 +1,94 @@
+package core
+
+import (
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Loss evaluates the objective Ψ(W) of eqs. (4)–(6):
+//
+//	Ψ(W) = Σ_i [ α_i‖v_i−v'_i‖² + β_i Ψ_C(v_i) + Ψ_R(v_i) ]
+//	Ψ_C(v_i) = ‖v_i − c_i‖²
+//	Ψ_R(v_i) = Σ_r [ Σ_{(i,j)∈E_r} γ^r_i‖v_i−v_j‖² − Σ_{(i,k)∈Ẽ_r} δ^r_i‖v_i−v_k‖² ]
+//
+// The negative part runs over the complement Ẽ_r = S_r×T_r \ E_r; it is
+// evaluated with the algebraic identity
+// Σ_{k∈T}‖v_i−v_k‖² = |T|·‖v_i‖² − 2·v_i·Σ_{k∈T}v_k + Σ_{k∈T}‖v_k‖²,
+// so the cost stays O(nnz·D + n·D) instead of O(|S|·|T|·D).
+func Loss(p *Problem, h Hyperparams, w *vec.Matrix) float64 {
+	weights := deriveWeights(p, h)
+	return lossWithWeights(p, weights, w)
+}
+
+func lossWithWeights(p *Problem, weights *weights, w *vec.Matrix) float64 {
+	var total float64
+	for i := 0; i < p.N; i++ {
+		total += weights.alpha[i] * vec.SquaredDistance(w.Row(i), p.W0.Row(i))
+		if weights.beta[i] != 0 {
+			total += weights.beta[i] * vec.SquaredDistance(w.Row(i), p.Centroids.Row(i))
+		}
+	}
+	sumT := make([]float64, p.Dim)
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		gamma := weights.gamma[gi]
+		dg := weights.deltaRO[gi]
+
+		// Positive part over E_r.
+		for i := 0; i < p.N; i++ {
+			if g.OutDeg(i) == 0 {
+				continue
+			}
+			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+				total += gamma[i] * vec.SquaredDistance(w.Row(i), w.Row(int(g.Targets[k])))
+			}
+		}
+		if dg == 0 {
+			continue
+		}
+
+		// Negative part over Ẽ_r via the sum identity.
+		vec.Zero(sumT)
+		var sumSqT float64
+		for k := 0; k < p.N; k++ {
+			if g.TargetSet[k] {
+				r := w.Row(k)
+				vec.Axpy(sumT, 1, r)
+				sumSqT += vec.Dot(r, r)
+			}
+		}
+		nT := float64(g.TargetCount)
+		for i := 0; i < p.N; i++ {
+			if !g.SourceSet[i] {
+				continue
+			}
+			vi := w.Row(i)
+			normSq := vec.Dot(vi, vi)
+			allPairs := nT*normSq - 2*vec.Dot(vi, sumT) + sumSqT
+			// Subtract the related (positive) pairs to leave only Ẽ_r.
+			var relPairs float64
+			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+				relPairs += vec.SquaredDistance(vi, w.Row(int(g.Targets[k])))
+			}
+			total -= dg * (allPairs - relPairs)
+		}
+	}
+	return total
+}
+
+// FaruquiLoss evaluates eq. (1), the original retrofitting objective, on
+// the undirected union graph the MF baseline runs over.
+func FaruquiLoss(p *Problem, alpha float64, w *vec.Matrix) float64 {
+	adj := undirectedAdjacency(p)
+	var total float64
+	for i := 0; i < p.N; i++ {
+		total += alpha * vec.SquaredDistance(w.Row(i), p.W0.Row(i))
+		if len(adj[i]) == 0 {
+			continue
+		}
+		beta := 1 / float64(len(adj[i]))
+		for _, j := range adj[i] {
+			total += beta * vec.SquaredDistance(w.Row(i), w.Row(int(j)))
+		}
+	}
+	return total
+}

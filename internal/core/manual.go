@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// ManualValue is one text value of a hand-built problem.
+type ManualValue struct {
+	Label    string
+	Category int
+	Vector   []float64 // initial (W0) vector
+}
+
+// ManualRelation is one forward relation group of a hand-built problem;
+// the inverse group is derived automatically.
+type ManualRelation struct {
+	Name  string
+	Edges []Edge
+}
+
+// ManualSpec describes a retrofitting problem directly, without a
+// database. The paper's Figure 3 example (three movies, two countries,
+// 2-d vectors) is expressed this way; tests use it for precise control.
+type ManualSpec struct {
+	Dim           int
+	NumCategories int
+	Values        []ManualValue
+	Relations     []ManualRelation
+}
+
+// BuildManualProblem assembles a Problem from a ManualSpec. Category
+// centroids are computed from the provided initial vectors, exactly as
+// BuildProblem does for database-extracted problems.
+func BuildManualProblem(spec ManualSpec) (*Problem, error) {
+	n := len(spec.Values)
+	if n == 0 {
+		return nil, fmt.Errorf("core: manual problem needs at least one value")
+	}
+	if spec.Dim <= 0 {
+		return nil, fmt.Errorf("core: manual problem needs a positive dimension")
+	}
+	p := &Problem{
+		N:          n,
+		Dim:        spec.Dim,
+		W0:         vec.NewMatrix(n, spec.Dim),
+		Centroids:  vec.NewMatrix(n, spec.Dim),
+		CategoryOf: make([]int, n),
+		Labels:     make([]string, n),
+	}
+	members := make([][]int, spec.NumCategories)
+	for i, v := range spec.Values {
+		if len(v.Vector) != spec.Dim {
+			return nil, fmt.Errorf("core: value %d vector dim %d != %d", i, len(v.Vector), spec.Dim)
+		}
+		if v.Category < 0 || v.Category >= spec.NumCategories {
+			return nil, fmt.Errorf("core: value %d category %d out of range", i, v.Category)
+		}
+		copy(p.W0.Row(i), v.Vector)
+		p.CategoryOf[i] = v.Category
+		p.Labels[i] = v.Label
+		members[v.Category] = append(members[v.Category], i)
+	}
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		centroid := make([]float64, spec.Dim)
+		for _, i := range m {
+			vec.Axpy(centroid, 1, p.W0.Row(i))
+		}
+		vec.Scale(centroid, 1/float64(len(m)))
+		for _, i := range m {
+			copy(p.Centroids.Row(i), centroid)
+		}
+	}
+	for _, r := range spec.Relations {
+		for _, e := range r.Edges {
+			if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+				return nil, fmt.Errorf("core: relation %q edge (%d,%d) out of range", r.Name, e.From, e.To)
+			}
+		}
+		fwd := buildGroup(r.Name, n, r.Edges)
+		inv := buildGroup(r.Name+"~inv", n, invertEdges(r.Edges))
+		fi := len(p.Groups)
+		fwd.Inverse = fi + 1
+		inv.Inverse = fi
+		p.Groups = append(p.Groups, fwd, inv)
+	}
+	p.NumRelTypes = make([]int, n)
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		for i := 0; i < n; i++ {
+			if g.OutDeg(i) > 0 {
+				p.NumRelTypes[i]++
+			}
+		}
+	}
+	return p, nil
+}
+
+func invertEdges(edges []Edge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{From: e.To, To: e.From}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Parallel solving: the paper measures single-threaded runtimes (§5.3),
+// but both iterations are Jacobi-style — every row of W^{k+1} depends
+// only on W^k — so the per-iteration work parallelises embarrassingly
+// over row ranges. SolveROParallel/SolveRNParallel split each phase
+// across workers; results are bit-identical to the sequential solvers
+// (verified by tests) because the row partition does not change any
+// floating-point evaluation order within a row.
+
+// ParallelOptions extends SolveOptions with a worker count.
+type ParallelOptions struct {
+	SolveOptions
+	// Workers defaults to GOMAXPROCS.
+	Workers int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRows runs fn over [0, n) split into contiguous worker ranges.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SolveROParallel is SolveRO with row-parallel iterations. The eq. (15)
+// negative-term optimisation is used unconditionally.
+func SolveROParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
+	h = h.withDefaults()
+	w := deriveWeights(p, h)
+	workers := opts.workers()
+
+	d := make([]float64, p.N)
+	parallelRows(p.N, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = w.alpha[i] + w.beta[i]
+		}
+	})
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		gammaSelf := w.gamma[gi]
+		gammaInv := w.gamma[g.Inverse]
+		dg := w.deltaRO[gi]
+		parallelRows(p.N, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od := g.OutDeg(i)
+				if od == 0 {
+					continue
+				}
+				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+					d[i] += gammaSelf[i] + gammaInv[int(g.Targets[k])]
+				}
+				d[i] -= 2 * dg * float64(g.TargetCount-od)
+			}
+		})
+	}
+
+	cur := p.W0.Clone()
+	next := vec.NewMatrix(p.N, p.Dim)
+	res := &Result{Iterations: h.Iterations}
+	sumT := make([]float64, p.Dim)
+
+	for iter := 0; iter < h.Iterations; iter++ {
+		parallelRows(p.N, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := next.Row(i)
+				vec.Zero(row)
+				vec.Axpy(row, w.alpha[i], p.W0.Row(i))
+				if w.beta[i] != 0 {
+					vec.Axpy(row, w.beta[i], p.Centroids.Row(i))
+				}
+			}
+		})
+		for gi := range p.Groups {
+			g := &p.Groups[gi]
+			gammaSelf := w.gamma[gi]
+			gammaInv := w.gamma[g.Inverse]
+			dg := w.deltaRO[gi]
+
+			parallelRows(p.N, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if g.OutDeg(i) == 0 {
+						continue
+					}
+					row := next.Row(i)
+					for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+						j := int(g.Targets[k])
+						vec.Axpy(row, gammaSelf[i]+gammaInv[j], cur.Row(j))
+					}
+				}
+			})
+			if dg == 0 {
+				continue
+			}
+			// The shared target sum is sequential (cheap, one pass).
+			vec.Zero(sumT)
+			for k := 0; k < p.N; k++ {
+				if g.TargetSet[k] {
+					vec.Axpy(sumT, 1, cur.Row(k))
+				}
+			}
+			parallelRows(p.N, workers, func(lo, hi int) {
+				nbrSum := make([]float64, p.Dim)
+				for i := lo; i < hi; i++ {
+					if !g.SourceSet[i] {
+						continue
+					}
+					vec.Zero(nbrSum)
+					for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+						vec.Axpy(nbrSum, 1, cur.Row(int(g.Targets[k])))
+					}
+					row := next.Row(i)
+					vec.Axpy(row, -2*dg, sumT)
+					vec.Axpy(row, 2*dg, nbrSum)
+				}
+			})
+		}
+		parallelRows(p.N, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d[i] != 0 {
+					vec.Scale(next.Row(i), 1/d[i])
+				}
+			}
+		})
+		cur, next = next, cur
+		if opts.TrackLoss {
+			res.LossHistory = append(res.LossHistory, Loss(p, h, cur))
+		}
+	}
+	res.W = cur
+	return res
+}
+
+// SolveRNParallel is SolveRN with row-parallel iterations.
+func SolveRNParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
+	h = h.withDefaults()
+	w := deriveWeights(p, h)
+	workers := opts.workers()
+
+	cur := p.W0.Clone()
+	next := vec.NewMatrix(p.N, p.Dim)
+	res := &Result{Iterations: h.Iterations}
+	sumT := make([]float64, p.Dim)
+
+	for iter := 0; iter < h.Iterations; iter++ {
+		parallelRows(p.N, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := next.Row(i)
+				vec.Zero(row)
+				vec.Axpy(row, w.alpha[i], p.W0.Row(i))
+				if w.beta[i] != 0 {
+					vec.Axpy(row, w.beta[i], p.Centroids.Row(i))
+				}
+			}
+		})
+		for gi := range p.Groups {
+			g := &p.Groups[gi]
+			gamma := w.gamma[gi]
+			deltaRN := w.deltaRN[gi]
+			parallelRows(p.N, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if g.OutDeg(i) == 0 {
+						continue
+					}
+					row := next.Row(i)
+					for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+						vec.Axpy(row, gamma[i], cur.Row(int(g.Targets[k])))
+					}
+				}
+			})
+			if h.Delta == 0 {
+				continue
+			}
+			vec.Zero(sumT)
+			for k := 0; k < p.N; k++ {
+				if g.TargetSet[k] {
+					vec.Axpy(sumT, 1, cur.Row(k))
+				}
+			}
+			parallelRows(p.N, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if deltaRN[i] != 0 {
+						vec.Axpy(next.Row(i), -deltaRN[i], sumT)
+					}
+				}
+			})
+		}
+		parallelRows(p.N, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vec.Normalize(next.Row(i))
+			}
+		})
+		cur, next = next, cur
+		if opts.TrackLoss {
+			res.LossHistory = append(res.LossHistory, Loss(p, h, cur))
+		}
+	}
+	res.W = cur
+	return res
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// randomProblem builds a random but well-formed retrofitting problem for
+// property-style testing.
+func randomProblem(t testing.TB, rng *rand.Rand, n, dim, numCats, numRels int) *Problem {
+	t.Helper()
+	spec := ManualSpec{Dim: dim, NumCategories: numCats}
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		spec.Values = append(spec.Values, ManualValue{
+			Label:    "v",
+			Category: rng.Intn(numCats),
+			Vector:   v,
+		})
+	}
+	for r := 0; r < numRels; r++ {
+		var edges []Edge
+		seen := map[Edge]bool{}
+		for e := 0; e < 1+rng.Intn(2*n); e++ {
+			edge := Edge{From: rng.Intn(n), To: rng.Intn(n)}
+			if edge.From != edge.To && !seen[edge] {
+				seen[edge] = true
+				edges = append(edges, edge)
+			}
+		}
+		if len(edges) == 0 {
+			edges = []Edge{{From: 0, To: n - 1}}
+		}
+		spec.Relations = append(spec.Relations, ManualRelation{Name: "r", Edges: edges})
+	}
+	p, err := BuildManualProblem(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParallelROMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 10+rng.Intn(30), 1+rng.Intn(6), 1+rng.Intn(3), 1+rng.Intn(3))
+		h := Hyperparams{
+			Alpha: 1 + rng.Float64(), Beta: rng.Float64(),
+			Gamma: rng.Float64() * 3, Delta: rng.Float64(),
+			Iterations: 1 + rng.Intn(6),
+		}
+		seq := SolveRO(p, h, SolveOptions{})
+		for _, workers := range []int{1, 2, 4, 7} {
+			par := SolveROParallel(p, h, ParallelOptions{Workers: workers})
+			if !seq.W.Equal(par.W, 0) {
+				t.Fatalf("trial %d workers=%d: parallel RO differs from sequential", trial, workers)
+			}
+		}
+	}
+}
+
+func TestParallelRNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 10+rng.Intn(30), 1+rng.Intn(6), 1+rng.Intn(3), 1+rng.Intn(3))
+		h := Hyperparams{
+			Alpha: 1, Beta: rng.Float64(), Gamma: 3 * rng.Float64(), Delta: rng.Float64(),
+			Iterations: 1 + rng.Intn(6),
+		}
+		seq := SolveRN(p, h, SolveOptions{})
+		par := SolveRNParallel(p, h, ParallelOptions{Workers: 4})
+		if !seq.W.Equal(par.W, 0) {
+			t.Fatalf("trial %d: parallel RN differs from sequential", trial)
+		}
+	}
+}
+
+func TestParallelTrackLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := randomProblem(t, rng, 20, 4, 2, 2)
+	h := Hyperparams{Alpha: 2, Beta: 1, Gamma: 1, Delta: 0.1, Iterations: 4}
+	res := SolveROParallel(p, h, ParallelOptions{SolveOptions: SolveOptions{TrackLoss: true}, Workers: 3})
+	if len(res.LossHistory) != 4 {
+		t.Fatalf("loss history = %d", len(res.LossHistory))
+	}
+}
+
+// --- Property-style tests over random problems ------------------------------
+
+// Property: RO matrix iteration equals the pointwise eq. (8) reference
+// on arbitrary problems (one Jacobi step).
+func TestPropertyROPointwiseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 15; trial++ {
+		p := randomProblem(t, rng, 5+rng.Intn(15), 1+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(3))
+		h := Hyperparams{Alpha: 1 + rng.Float64(), Beta: rng.Float64(), Gamma: rng.Float64() * 2, Delta: rng.Float64() * 0.5, Iterations: 1}
+		res := SolveRO(p, h, SolveOptions{})
+		w := deriveWeights(p, h)
+		buf := make([]float64, p.Dim)
+		for i := 0; i < p.N; i++ {
+			roUpdateNode(p, w, p.W0, i, buf)
+			for j := range buf {
+				d := buf[j] - res.W.At(i, j)
+				if d > 1e-9 || d < -1e-9 {
+					t.Fatalf("trial %d node %d: matrix %v != pointwise %v", trial, i, res.W.Row(i), buf)
+				}
+			}
+		}
+	}
+}
+
+// Property: the eq. (15) optimisation never changes RO results.
+func TestPropertyRONaiveEqualsOptimized(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 5+rng.Intn(20), 1+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(3))
+		h := Hyperparams{Alpha: 2, Beta: rng.Float64(), Gamma: rng.Float64() * 2, Delta: rng.Float64(), Iterations: 1 + rng.Intn(5)}
+		opt := SolveRO(p, h, SolveOptions{})
+		naive := SolveRO(p, h, SolveOptions{NaiveNegative: true})
+		if !opt.W.Equal(naive.W, 1e-9) {
+			t.Fatalf("trial %d: optimisation changed results", trial)
+		}
+	}
+}
+
+// Property: RN rows are unit-norm (or exactly zero) on arbitrary problems.
+func TestPropertyRNUnitNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 10; trial++ {
+		p := randomProblem(t, rng, 5+rng.Intn(20), 1+rng.Intn(5), 1+rng.Intn(3), rng.Intn(3)+1)
+		h := Hyperparams{Alpha: rng.Float64() * 2, Beta: rng.Float64(), Gamma: rng.Float64() * 3, Delta: rng.Float64(), Iterations: 1 + rng.Intn(5)}
+		res := SolveRN(p, h, SolveOptions{})
+		for i := 0; i < p.N; i++ {
+			n := vec.Norm(res.W.Row(i))
+			if n != 0 && (n < 1-1e-9 || n > 1+1e-9) {
+				t.Fatalf("trial %d node %d: norm %v", trial, i, n)
+			}
+		}
+	}
+}
+
+// Property: under convex parameter settings (checked via eq. 7) the RO
+// loss is non-increasing across iterations on random problems.
+func TestPropertyROLossMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	tried := 0
+	for trial := 0; tried < 8 && trial < 50; trial++ {
+		p := randomProblem(t, rng, 5+rng.Intn(15), 1+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(2))
+		h := Hyperparams{Alpha: 3 + rng.Float64()*2, Beta: rng.Float64(), Gamma: rng.Float64(), Delta: rng.Float64() * 0.2, Iterations: 10}
+		if !CheckConvexity(p, h).Convex() {
+			continue
+		}
+		tried++
+		res := SolveRO(p, h, SolveOptions{TrackLoss: true})
+		for i := 1; i < len(res.LossHistory); i++ {
+			if res.LossHistory[i] > res.LossHistory[i-1]+1e-9 {
+				t.Fatalf("loss increased on convex problem at iter %d: %v", i, res.LossHistory)
+			}
+		}
+	}
+	if tried == 0 {
+		t.Fatal("no convex random problems generated; loosen the sampler")
+	}
+}
+
+// Property: incremental repair of a corrupted node set restores the
+// converged fixed point on random problems.
+func TestPropertyIncrementalRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 6; trial++ {
+		p := randomProblem(t, rng, 8+rng.Intn(10), 2, 2, 1)
+		h := Hyperparams{Alpha: 3, Beta: 1, Gamma: 1, Delta: 0.2, Iterations: 150}
+		full := SolveRO(p, h, SolveOptions{})
+		w := full.W.Clone()
+		dirty := []int{rng.Intn(p.N), rng.Intn(p.N)}
+		for _, i := range dirty {
+			vec.Fill(w.Row(i), 7)
+		}
+		UpdateIncremental(p, w, dirty, h, RO, IncrementalOptions{MaxIterations: 400, Tolerance: 1e-12})
+		if !w.Equal(full.W, 1e-5) {
+			t.Fatalf("trial %d: repair did not restore fixed point", trial)
+		}
+	}
+}

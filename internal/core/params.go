@@ -1,0 +1,172 @@
+package core
+
+import "fmt"
+
+// Hyperparams are the four global constants of §4.4 plus the iteration
+// count. From these the per-node weights of eqs. (12)–(14) are derived.
+type Hyperparams struct {
+	Alpha      float64
+	Beta       float64
+	Gamma      float64
+	Delta      float64
+	Iterations int
+}
+
+// DefaultRO returns the paper's chosen configuration for the
+// optimisation-based solver: α=1, β=0, γ=3, δ=3 (§5.2).
+func DefaultRO() Hyperparams {
+	return Hyperparams{Alpha: 1, Beta: 0, Gamma: 3, Delta: 3, Iterations: 10}
+}
+
+// DefaultRN returns the paper's chosen configuration for the series-based
+// solver: α=1, β=0, γ=3, δ=1 (§5.2).
+func DefaultRN() Hyperparams {
+	return Hyperparams{Alpha: 1, Beta: 0, Gamma: 3, Delta: 1, Iterations: 10}
+}
+
+func (h Hyperparams) withDefaults() Hyperparams {
+	if h.Iterations <= 0 {
+		h.Iterations = 10
+	}
+	return h
+}
+
+func (h Hyperparams) String() string {
+	return fmt.Sprintf("α=%g β=%g γ=%g δ=%g iters=%d", h.Alpha, h.Beta, h.Gamma, h.Delta, h.Iterations)
+}
+
+// weights holds every derived per-node/per-group coefficient used by the
+// solvers and the loss. Built once per (problem, hyperparams) pair.
+type weights struct {
+	h Hyperparams
+
+	// alpha[i], beta[i]: eq. (12). beta_i = β / (|R_i|+1).
+	alpha []float64
+	beta  []float64
+
+	// gamma[g][i] = γ / (od_g(i) · (|R_i|+1)) for sources of group g
+	// (eq. 12), else 0.
+	gamma [][]float64
+
+	// deltaRO[g] is the constant δ^r of eq. (13): δ / (mc(r)·mr(r)).
+	// It applies to every pair of Ẽ_g.
+	deltaRO []float64
+
+	// deltaRN[g][i] weights the series solver's repulsion term for
+	// sources of group g (eq. 14). §4.2's text states the series
+	// subtracts "the centroid of all target vectors in the relation",
+	// so the weight is δ / (|T_r| · (|R_i|+1)): the Σ_{k∈T_r} v_k of
+	// eq. (16) times this weight equals δ/(|R_i|+1) times the centroid.
+	// (Reading eq. 14's |{j:(i,j)∈E_r}| as the per-source out-degree
+	// instead makes the repulsion grow with |T_r| and collapses all
+	// vectors onto one direction for any realistically sized relation.)
+	deltaRN [][]float64
+}
+
+// deriveWeights computes eqs. (12)–(14) for a problem.
+func deriveWeights(p *Problem, h Hyperparams) *weights {
+	h = h.withDefaults()
+	w := &weights{
+		h:       h,
+		alpha:   make([]float64, p.N),
+		beta:    make([]float64, p.N),
+		gamma:   make([][]float64, len(p.Groups)),
+		deltaRO: make([]float64, len(p.Groups)),
+		deltaRN: make([][]float64, len(p.Groups)),
+	}
+	for i := 0; i < p.N; i++ {
+		w.alpha[i] = h.Alpha
+		w.beta[i] = h.Beta / float64(p.NumRelTypes[i]+1)
+	}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		gamma := make([]float64, p.N)
+		deltaRN := make([]float64, p.N)
+		for i := 0; i < p.N; i++ {
+			od := g.OutDeg(i)
+			if od == 0 {
+				continue
+			}
+			relTypes := float64(p.NumRelTypes[i] + 1)
+			gamma[i] = h.Gamma / (float64(od) * relTypes)
+			if g.TargetCount > 0 {
+				deltaRN[i] = h.Delta / (float64(g.TargetCount) * relTypes)
+			}
+		}
+		w.gamma[gi] = gamma
+		w.deltaRN[gi] = deltaRN
+
+		// eq. (13): mr(r) = max |R_i|+1 over participants of E_r ∪ E_r̄;
+		// mc(r) = max(|sources|, |targets|).
+		mr := 0
+		for i := 0; i < p.N; i++ {
+			if g.SourceSet[i] || g.TargetSet[i] {
+				if p.NumRelTypes[i]+1 > mr {
+					mr = p.NumRelTypes[i] + 1
+				}
+			}
+		}
+		mc := g.SourceCount
+		if g.TargetCount > mc {
+			mc = g.TargetCount
+		}
+		if mc > 0 && mr > 0 {
+			w.deltaRO[gi] = h.Delta / (float64(mc) * float64(mr))
+		}
+	}
+	return w
+}
+
+// ConvexityReport captures both convexity conditions stated by the paper.
+// The body of §4.2 states eq. (7): 4α_i − Σ_r Σ_{j:(i,j)∈Ẽ_r} δ^r_i ≥ 0;
+// the appendix proof arrives at eq. (24): α_i ≥ 4 Σ_r Σ_{j∈Ẽ_r(i)} δ^r_i.
+// The two differ by where the factor 4 lands (the paper is inconsistent);
+// we report both.
+type ConvexityReport struct {
+	NonNegativeParams bool // α_i, β_i, γ^r_i ≥ 0 for all i, r
+	Eq7Holds          bool
+	Eq24Holds         bool
+	// WorstNode / WorstSlack document the tightest node under eq. (7).
+	WorstNode  int
+	WorstSlack float64
+}
+
+// Convex reports whether the sufficient conditions hold (non-negative
+// params plus the body condition eq. 7).
+func (r ConvexityReport) Convex() bool { return r.NonNegativeParams && r.Eq7Holds }
+
+// CheckConvexity evaluates the hyperparameter conditions of eq. (7)/(24)
+// on a concrete problem.
+func CheckConvexity(p *Problem, h Hyperparams) ConvexityReport {
+	w := deriveWeights(p, h)
+	rep := ConvexityReport{NonNegativeParams: true, Eq7Holds: true, Eq24Holds: true, WorstNode: -1}
+	if h.Alpha < 0 || h.Beta < 0 || h.Gamma < 0 {
+		rep.NonNegativeParams = false
+	}
+	for i := 0; i < p.N; i++ {
+		var deltaSum float64
+		for gi := range p.Groups {
+			g := &p.Groups[gi]
+			if !g.SourceSet[i] {
+				continue
+			}
+			// |Ẽ_g(i)| = |T_g| − od_g(i): complements over S×T (see ro.go).
+			negCount := float64(g.TargetCount - g.OutDeg(i))
+			if negCount < 0 {
+				negCount = 0
+			}
+			deltaSum += negCount * w.deltaRO[gi]
+		}
+		slack := 4*w.alpha[i] - deltaSum
+		if rep.WorstNode < 0 || slack < rep.WorstSlack {
+			rep.WorstNode, rep.WorstSlack = i, slack
+		}
+		if slack < 0 {
+			rep.Eq7Holds = false
+		}
+		if w.alpha[i] < 4*deltaSum {
+			rep.Eq24Holds = false
+		}
+	}
+	return rep
+}

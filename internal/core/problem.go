@@ -1,0 +1,208 @@
+// Package core implements the paper's contribution: relational
+// retrofitting (RETRO). It assembles the learning problem of §4.2 from an
+// extraction and an initial embedding, derives the hyperparameter
+// weighting of §4.4 (eqs. 12–14), and solves it with either the
+// optimisation-based matrix iteration RO (eq. 10, with the complement
+// optimisation of eq. 15) or the series-based iteration RN (eq. 11, with
+// the precomputed target sums of eq. 16). The original retrofitting
+// baseline of Faruqui et al. (MF) lives in faruqui.go.
+package core
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/tokenize"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Edge is a directed relation edge between problem node ids.
+type Edge struct{ From, To int }
+
+// Group is one *directed* relation group. The paper's set R contains each
+// extracted relation r together with its inverse r̄; Problem.Groups stores
+// both, cross-linked via Inverse.
+type Group struct {
+	Name    string
+	Inverse int // index of the inverse group within Problem.Groups
+
+	// CSR-style adjacency over sources: for node i the targets are
+	// Targets[RowPtr[i]:RowPtr[i+1]]. Rows exist for all n nodes.
+	RowPtr  []int
+	Targets []int32
+
+	// SourceSet / TargetSet flag membership; SourceCount/TargetCount are
+	// |S_r| and |T_r| (mc(r) of eq. 13 = max of the two).
+	SourceSet   []bool
+	TargetSet   []bool
+	SourceCount int
+	TargetCount int
+}
+
+// OutDeg returns od_r(i) = |{j : (i,j) ∈ E_r}| (eq. 12).
+func (g *Group) OutDeg(i int) int { return g.RowPtr[i+1] - g.RowPtr[i] }
+
+// EachEdge calls fn for every (from, to) edge of the group.
+func (g *Group) EachEdge(fn func(from, to int)) {
+	for i := 0; i+1 < len(g.RowPtr); i++ {
+		for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+			fn(i, int(g.Targets[k]))
+		}
+	}
+}
+
+// NumEdges returns |E_r|.
+func (g *Group) NumEdges() int { return len(g.Targets) }
+
+// Problem is the assembled §4.2 learning problem: n text values with
+// initial vectors W0, per-value category centroids, and the directed
+// relation groups (forward + inverse).
+type Problem struct {
+	N   int
+	Dim int
+
+	// W0 is the initial embedding (eq. 4's v'_i), built by §3.1
+	// tokenization; OOV rows are null vectors.
+	W0 *vec.Matrix
+	// Centroid[i] is c_i of eq. (5): the (constant) mean of the ORIGINAL
+	// vectors of i's column.
+	Centroids *vec.Matrix
+	// CategoryOf maps node id -> category id; Categories mirrors the
+	// extraction's category list for labelling.
+	CategoryOf []int
+	Labels     []string // human-readable node labels (the text values)
+
+	Groups []Group
+
+	// NumRelTypes[i] is |R_i|: the number of directed groups in which node
+	// i participates as a source (eq. 12 weights use |R_i|+1).
+	NumRelTypes []int
+}
+
+// BuildProblem assembles the learning problem from an extraction and the
+// tokenizer over the base embedding (§3.1 initialisation). All vectors and
+// weights are deterministic.
+func BuildProblem(ex *extract.Extraction, tok *tokenize.Tokenizer) *Problem {
+	n := len(ex.Values)
+	dim := tok.Store().Dim()
+	p := &Problem{
+		N:          n,
+		Dim:        dim,
+		W0:         vec.NewMatrix(n, dim),
+		Centroids:  vec.NewMatrix(n, dim),
+		CategoryOf: make([]int, n),
+		Labels:     make([]string, n),
+	}
+	for _, v := range ex.Values {
+		initial, _ := tok.InitialVector(v.Text)
+		copy(p.W0.Row(v.ID), initial)
+		p.CategoryOf[v.ID] = v.Category
+		p.Labels[v.ID] = v.Text
+	}
+
+	// Per-category centroids of the ORIGINAL vectors (eq. 5).
+	for _, c := range ex.Categories {
+		if len(c.Members) == 0 {
+			continue
+		}
+		centroid := make([]float64, dim)
+		for _, m := range c.Members {
+			vec.Axpy(centroid, 1, p.W0.Row(m))
+		}
+		vec.Scale(centroid, 1/float64(len(c.Members)))
+		for _, m := range c.Members {
+			copy(p.Centroids.Row(m), centroid)
+		}
+	}
+
+	// Directed groups: forward + inverse per extracted relation.
+	p.Groups = make([]Group, 0, 2*len(ex.Relations))
+	for _, r := range ex.Relations {
+		fwd := buildGroup(r.Name, n, edgesOf(r.Edges, false))
+		inv := buildGroup(r.Name+"~inv", n, edgesOf(r.Edges, true))
+		fi := len(p.Groups)
+		fwd.Inverse = fi + 1
+		inv.Inverse = fi
+		p.Groups = append(p.Groups, fwd, inv)
+	}
+
+	p.NumRelTypes = make([]int, n)
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		for i := 0; i < n; i++ {
+			if g.OutDeg(i) > 0 {
+				p.NumRelTypes[i]++
+			}
+		}
+	}
+	return p
+}
+
+func edgesOf(src []extract.Edge, invert bool) []Edge {
+	out := make([]Edge, len(src))
+	for i, e := range src {
+		if invert {
+			out[i] = Edge{From: e.To, To: e.From}
+		} else {
+			out[i] = Edge{From: e.From, To: e.To}
+		}
+	}
+	return out
+}
+
+// buildGroup compiles a directed edge list into CSR adjacency plus
+// source/target bookkeeping. Edges must reference nodes < n.
+func buildGroup(name string, n int, edges []Edge) Group {
+	g := Group{
+		Name:      name,
+		RowPtr:    make([]int, n+1),
+		Targets:   make([]int32, len(edges)),
+		SourceSet: make([]bool, n),
+		TargetSet: make([]bool, n),
+	}
+	counts := make([]int, n)
+	for _, e := range edges {
+		counts[e.From]++
+	}
+	for i := 0; i < n; i++ {
+		g.RowPtr[i+1] = g.RowPtr[i] + counts[i]
+	}
+	next := make([]int, n)
+	copy(next, g.RowPtr[:n])
+	for _, e := range edges {
+		g.Targets[next[e.From]] = int32(e.To)
+		next[e.From]++
+		if !g.SourceSet[e.From] {
+			g.SourceSet[e.From] = true
+			g.SourceCount++
+		}
+		if !g.TargetSet[e.To] {
+			g.TargetSet[e.To] = true
+			g.TargetCount++
+		}
+	}
+	return g
+}
+
+// Validate sanity-checks the problem's internal consistency.
+func (p *Problem) Validate() error {
+	if p.N != p.W0.Rows || p.N != p.Centroids.Rows {
+		return fmt.Errorf("core: matrix rows disagree with N=%d", p.N)
+	}
+	if len(p.CategoryOf) != p.N || len(p.NumRelTypes) != p.N {
+		return fmt.Errorf("core: per-node slices disagree with N=%d", p.N)
+	}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		if g.Inverse < 0 || g.Inverse >= len(p.Groups) || p.Groups[g.Inverse].Inverse != gi {
+			return fmt.Errorf("core: group %d inverse link broken", gi)
+		}
+		if len(g.RowPtr) != p.N+1 {
+			return fmt.Errorf("core: group %d RowPtr length %d", gi, len(g.RowPtr))
+		}
+		if g.NumEdges() != p.Groups[g.Inverse].NumEdges() {
+			return fmt.Errorf("core: group %d edge count mismatch with inverse", gi)
+		}
+	}
+	return nil
+}

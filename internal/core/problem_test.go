@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/reldb"
+	"github.com/retrodb/retro/internal/tokenize"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+func dbFixture(t *testing.T) (*extract.Extraction, *tokenize.Tokenizer) {
+	t.Helper()
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, country TEXT)`)
+	db.MustExec(`INSERT INTO movies VALUES
+		(1, 'inception', 'usa'),
+		(2, 'godfather', 'usa'),
+		(3, 'amelie', 'france'),
+		(4, 'zorgon', 'france')`) // zorgon is OOV
+	ex, err := extract.FromDB(db, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := embed.NewStore(2)
+	store.Add("inception", []float64{1.0, 0.2})
+	store.Add("godfather", []float64{0.8, -0.3})
+	store.Add("amelie", []float64{-0.5, 0.9})
+	store.Add("usa", []float64{0.6, -0.8})
+	store.Add("france", []float64{-0.9, 0.4})
+	return ex, tokenize.New(store)
+}
+
+func TestBuildProblemFromDB(t *testing.T) {
+	ex, tok := dbFixture(t)
+	p := BuildProblem(ex, tok)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 6 { // 4 titles + 2 countries
+		t.Fatalf("N = %d", p.N)
+	}
+	if p.Dim != 2 {
+		t.Fatalf("Dim = %d", p.Dim)
+	}
+	// OOV title gets a null initial vector.
+	zorgon, ok := ex.Lookup("movies", "title", "zorgon")
+	if !ok {
+		t.Fatal("zorgon missing")
+	}
+	if !vec.IsZero(p.W0.Row(zorgon)) {
+		t.Fatalf("OOV initial vector = %v", p.W0.Row(zorgon))
+	}
+	// In-vocabulary value keeps its embedding.
+	inc, _ := ex.Lookup("movies", "title", "inception")
+	if p.W0.Row(inc)[0] != 1.0 {
+		t.Fatalf("inception W0 = %v", p.W0.Row(inc))
+	}
+	// Centroid of the title category = mean of the four title vectors.
+	wantX := (1.0 + 0.8 - 0.5 + 0) / 4
+	if math.Abs(p.Centroids.Row(inc)[0]-wantX) > 1e-12 {
+		t.Fatalf("centroid = %v, want x=%v", p.Centroids.Row(inc), wantX)
+	}
+	// One forward + one inverse group for title->country.
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups = %d", len(p.Groups))
+	}
+	// Labels carried over.
+	if p.Labels[inc] != "inception" {
+		t.Fatalf("label = %q", p.Labels[inc])
+	}
+}
+
+func TestSolveFromDBGivesOOVMeaning(t *testing.T) {
+	ex, tok := dbFixture(t)
+	p := BuildProblem(ex, tok)
+	res := SolveRN(p, DefaultRN(), SolveOptions{})
+	zorgon, _ := ex.Lookup("movies", "title", "zorgon")
+	france, _ := ex.Lookup("movies", "country", "france")
+	usa, _ := ex.Lookup("movies", "country", "usa")
+	// zorgon (produced in france) must end up closer to france than usa.
+	df := vec.SquaredDistance(res.W.Row(zorgon), res.W.Row(france))
+	du := vec.SquaredDistance(res.W.Row(zorgon), res.W.Row(usa))
+	if df >= du {
+		t.Fatalf("OOV placement wrong: d(france)=%v d(usa)=%v", df, du)
+	}
+}
+
+func TestRetrofittedBetterThanPlainForRelationalLabel(t *testing.T) {
+	// The motivating claim (§1): relational retrofitting separates values
+	// by their relations even when the word vectors alone do not. The
+	// production country of each movie is encoded only relationally.
+	ex, tok := dbFixture(t)
+	p := BuildProblem(ex, tok)
+	res := SolveRO(p, Hyperparams{Alpha: 1, Beta: 0, Gamma: 3, Delta: 3, Iterations: 10}, SolveOptions{})
+
+	inc, _ := ex.Lookup("movies", "title", "inception")
+	god, _ := ex.Lookup("movies", "title", "godfather")
+	ame, _ := ex.Lookup("movies", "title", "amelie")
+
+	// After retrofitting, the two USA movies are closer to each other
+	// than either is to the France movie.
+	same := vec.SquaredDistance(res.W.Row(inc), res.W.Row(god))
+	cross := vec.SquaredDistance(res.W.Row(inc), res.W.Row(ame))
+	if same >= cross {
+		t.Fatalf("relational signal not captured: same=%v cross=%v", same, cross)
+	}
+}

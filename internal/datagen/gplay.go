@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// GooglePlayConfig scales the synthetic app-store world.
+type GooglePlayConfig struct {
+	Apps       int     // default 300
+	Categories int     // default 33, as in the dataset (§5.5.2)
+	Dim        int     // default 50
+	Seed       int64   // default 1
+	OOV        float64 // default 0.3
+	// ReviewSignal is the probability a review token comes from the app's
+	// category pool — the pathway only FK-traversing methods can reach.
+	ReviewSignal float64 // default 0.55
+	// NameSignal is the (weak) category signal in the app name itself.
+	NameSignal float64 // default 0.3
+}
+
+func (c GooglePlayConfig) withDefaults() GooglePlayConfig {
+	if c.Apps <= 0 {
+		c.Apps = 300
+	}
+	if c.Categories <= 0 {
+		c.Categories = 33
+	}
+	if c.Dim <= 0 {
+		c.Dim = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.OOV <= 0 {
+		c.OOV = 0.3
+	}
+	if c.ReviewSignal <= 0 {
+		c.ReviewSignal = 0.7
+	}
+	if c.NameSignal <= 0 {
+		c.NameSignal = 0.3
+	}
+	return c
+}
+
+// GooglePlayWorld bundles the generated app-store database with its
+// embedding and ground truth.
+type GooglePlayWorld struct {
+	Config        GooglePlayConfig
+	DB            *reldb.DB
+	Embedding     *embed.Store
+	CategoryNames []string
+	// AppCategory is the imputation ground truth: app name -> category
+	// index into CategoryNames.
+	AppCategory map[string]int
+}
+
+// GooglePlay generates the synthetic app-store world per §5.1: an app
+// table referencing category/pricing/age tables, an n:m genre relation
+// (genres mirror categories), and a review table reachable only via FK —
+// the pathway that lets RETRO beat single-table imputers on Fig. 12b.
+func GooglePlay(cfg GooglePlayConfig) *GooglePlayWorld {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 7777))
+	v := NewVocab(cfg.Dim, rng)
+	w := &GooglePlayWorld{
+		Config:      cfg,
+		Embedding:   v.Store,
+		AppCategory: make(map[string]int),
+	}
+
+	// --- Vocabulary -------------------------------------------------------
+	v.Pool("general", "general", 300, 0.6, 0)
+	v.Pool("sentiment", "sentiment", 60, 0.4, 0)
+	v.Pool("app-filler", "apps", 120, 0.5, cfg.OOV)
+	// Dimension-table values are everyday words with solid pre-trained
+	// vectors (they all exist in e.g. the Google News set); anchoring
+	// them keeps the hub nodes of the pricing/age relations from
+	// collapsing onto the global mean during retrofitting.
+	for _, word := range []string{"free", "paid", "everyone", "teen", "mature"} {
+		v.AddWordAt(word, "dim:"+word, 0.05)
+	}
+	catNames := make([]string, cfg.Categories)
+	for c := 0; c < cfg.Categories; c++ {
+		topic := fmt.Sprintf("cat:%d", c)
+		v.Pool("cat-words:"+topic, topic, 50, 0.3, 0)
+		name := v.maker.make()
+		catNames[c] = name
+		v.AddWordAt(name, topic, 0.1)
+	}
+	w.CategoryNames = catNames
+
+	// --- Schema -------------------------------------------------------------
+	db := reldb.New()
+	w.DB = db
+	dim := func(table string, names []string) {
+		mustCreate(db, table, []reldb.Column{
+			{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+			{Name: "name", Type: reldb.KindText},
+		})
+		for i, n := range names {
+			mustInsert(db, table, reldb.Int(int64(i)), reldb.Text(n))
+		}
+	}
+	dim("categories", catNames)
+	dim("pricing", []string{"free", "paid"})
+	dim("ages", []string{"everyone", "teen", "mature"})
+	// Genres mirror categories with their own surface forms ("xyz games").
+	genreNames := make([]string, cfg.Categories)
+	for i, c := range catNames {
+		genreNames[i] = c + " apps"
+	}
+	dim("genres", genreNames)
+
+	mustCreate(db, "apps", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "name", Type: reldb.KindText},
+		{Name: "category_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "categories", Column: "id"}},
+		{Name: "pricing_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "pricing", Column: "id"}},
+		{Name: "age_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "ages", Column: "id"}},
+	})
+	mustCreate(db, "reviews", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "app_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "apps", Column: "id"}},
+		{Name: "text", Type: reldb.KindText},
+	})
+	mustCreate(db, "app_genres", []reldb.Column{
+		{Name: "app_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "apps", Column: "id"}},
+		{Name: "genre_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "genres", Column: "id"}},
+	})
+
+	// --- Apps ---------------------------------------------------------------
+	// Mildly zipfian category popularity: mode imputation lands well below
+	// the Fig. 12a language task but above uniform 1/33.
+	weights := make([]float64, cfg.Categories)
+	total := 0.0
+	for c := range weights {
+		weights[c] = 1.0 / float64(c+3)
+		total += weights[c]
+	}
+	drawCat := func() int {
+		u := rng.Float64() * total
+		acc := 0.0
+		for c, wt := range weights {
+			acc += wt
+			if u < acc {
+				return c
+			}
+		}
+		return cfg.Categories - 1
+	}
+
+	usedNames := map[string]bool{}
+	reviewID := 0
+	for a := 0; a < cfg.Apps; a++ {
+		cat := drawCat()
+		topic := fmt.Sprintf("cat:%d", cat)
+
+		var name string
+		for {
+			n := 1 + rng.Intn(2)
+			words := make([]string, n)
+			for i := range words {
+				if rng.Float64() < cfg.NameSignal {
+					words[i] = v.PickFrom("cat-words:" + topic)
+				} else {
+					words[i] = v.PickFrom("app-filler")
+				}
+			}
+			name = strings.Join(words, " ")
+			if !usedNames[name] {
+				usedNames[name] = true
+				break
+			}
+		}
+		w.AppCategory[name] = cat
+
+		mustInsert(db, "apps",
+			reldb.Int(int64(a)), reldb.Text(name),
+			reldb.Int(int64(cat)), reldb.Int(int64(rng.Intn(2))), reldb.Int(int64(rng.Intn(3))))
+
+		// Genre mirrors category 90% of the time.
+		genre := cat
+		if rng.Float64() >= 0.9 {
+			genre = drawCat()
+		}
+		mustInsert(db, "app_genres", reldb.Int(int64(a)), reldb.Int(int64(genre)))
+
+		// Reviews: 3-5 short category-flavoured texts (the real dataset
+		// keeps only apps with at least one review and has dozens per
+		// popular app; several reviews per app let their centroid denoise
+		// the category signal, as in the original data).
+		nr := 3 + rng.Intn(3)
+		for r := 0; r < nr; r++ {
+			text := v.MixedSentence(8+rng.Intn(8),
+				[]string{"cat-words:" + topic, "sentiment", "general"},
+				[]float64{cfg.ReviewSignal, 0.2, 1 - cfg.ReviewSignal - 0.2})
+			mustInsert(db, "reviews", reldb.Int(int64(reviewID)), reldb.Int(int64(a)), reldb.Text(text))
+			reviewID++
+		}
+	}
+	return w
+}

@@ -1,0 +1,464 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// countrySpec fixes the latent geography: share of movie production,
+// the country's primary language, and whether its citizens count as
+// US-American for the Fig. 8 classification task.
+type countrySpec struct {
+	name  string
+	lang  string
+	share float64
+	isUS  bool
+}
+
+var tmdbCountries = []countrySpec{
+	{"usa", "english", 0.50, true},
+	{"uk", "english", 0.12, false},
+	{"canada", "english", 0.06, false},
+	{"france", "french", 0.08, false},
+	{"germany", "german", 0.06, false},
+	{"japan", "japanese", 0.05, false},
+	{"india", "hindi", 0.05, false},
+	{"italy", "italian", 0.04, false},
+	{"spain", "spanish", 0.04, false},
+}
+
+var tmdbLanguages = []string{"english", "french", "german", "japanese", "hindi", "italian", "spanish"}
+
+const numGenres = 20
+
+// TMDBConfig scales the synthetic TMDB-like world.
+type TMDBConfig struct {
+	Movies int     // default 300
+	Dim    int     // embedding dimensionality (default 50)
+	Seed   int64   // default 1
+	OOV    float64 // fraction of name/title words withheld from the embedding (default 0.25)
+	// CountryLoyalty is the probability a movie is produced in its
+	// director's country (drives the relational citizenship signal).
+	CountryLoyalty float64 // default 0.75
+	// NameSignal is the probability a person name token comes from the
+	// citizenship country's name pool (drives the textual signal).
+	NameSignal float64 // default 0.65
+}
+
+func (c TMDBConfig) withDefaults() TMDBConfig {
+	if c.Movies <= 0 {
+		c.Movies = 300
+	}
+	if c.Dim <= 0 {
+		c.Dim = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.OOV <= 0 {
+		c.OOV = 0.25
+	}
+	if c.CountryLoyalty <= 0 {
+		c.CountryLoyalty = 0.75
+	}
+	if c.NameSignal <= 0 {
+		c.NameSignal = 0.65
+	}
+	return c
+}
+
+// TMDBWorld bundles the generated database, the synthetic pre-trained
+// embedding, and ground truth the experiments score against.
+type TMDBWorld struct {
+	Config    TMDBConfig
+	DB        *reldb.DB
+	Embedding *embed.Store
+
+	// DirectorUS plays the role of the external Wikidata citizenship
+	// labels of §5.5.1: director name -> is US-American. It is NOT stored
+	// in the database.
+	DirectorUS map[string]bool
+
+	// Ground truth conveniences (all also derivable from the DB).
+	MovieLanguage map[string]string   // title -> original language
+	MovieGenres   map[string][]string // title -> genre names
+	MovieBudget   map[string]float64  // title -> budget
+	GenreNames    []string
+}
+
+// TMDB generates the synthetic movie world. Deterministic per config.
+func TMDB(cfg TMDBConfig) *TMDBWorld {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := NewVocab(cfg.Dim, rng)
+	w := &TMDBWorld{
+		Config:        cfg,
+		Embedding:     v.Store,
+		DirectorUS:    make(map[string]bool),
+		MovieLanguage: make(map[string]string),
+		MovieGenres:   make(map[string][]string),
+		MovieBudget:   make(map[string]float64),
+	}
+
+	// --- Vocabulary -----------------------------------------------------
+	v.Pool("general", "general", 400, 0.6, 0)
+	for _, lang := range tmdbLanguages {
+		v.Pool("lang:"+lang, "lang:"+lang, 120, 0.25, 0)
+		// The language's own name sits near its topic so that language
+		// values carry geometry of their own.
+		v.AddWordAt(lang, "lang:"+lang, 0.1)
+	}
+	genreNames := make([]string, numGenres)
+	for g := 0; g < numGenres; g++ {
+		topic := fmt.Sprintf("genre:%d", g)
+		v.Pool("genre-words:"+topic, topic, 70, 0.3, 0)
+		v.Pool("kw:"+topic, topic, 12, 0.25, 0)
+		name := v.maker.make()
+		genreNames[g] = name
+		v.AddWordAt(name, topic, 0.1)
+	}
+	w.GenreNames = genreNames
+	for _, c := range tmdbCountries {
+		// A country's name vector leans toward its language topic: the
+		// textual world is consistent with the latent geography.
+		v.AddWordAt(c.name, "lang:"+c.lang, 0.35)
+		v.Pool("first:"+c.name, "names:"+c.name, 30, 0.3, cfg.OOV)
+		v.Pool("last:"+c.name, "names:"+c.name, 45, 0.3, cfg.OOV)
+	}
+	v.Pool("first:global", "names:global", 40, 0.45, cfg.OOV)
+	v.Pool("last:global", "names:global", 60, 0.45, cfg.OOV)
+	v.Pool("company-words", "companies", 80, 0.4, 0)
+	v.Pool("title-filler", "general", 150, 0.5, cfg.OOV)
+
+	// --- Schema ----------------------------------------------------------
+	db := reldb.New()
+	w.DB = db
+	mustCreate(db, "countries", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "name", Type: reldb.KindText},
+	})
+	mustCreate(db, "languages", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "name", Type: reldb.KindText},
+	})
+	mustCreate(db, "genres", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "name", Type: reldb.KindText},
+	})
+	mustCreate(db, "companies", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "name", Type: reldb.KindText},
+		{Name: "tier", Type: reldb.KindInt},
+	})
+	mustCreate(db, "keywords", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "word", Type: reldb.KindText},
+	})
+	mustCreate(db, "persons", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "name", Type: reldb.KindText},
+	})
+	mustCreate(db, "movies", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "title", Type: reldb.KindText},
+		{Name: "overview", Type: reldb.KindText},
+		{Name: "original_language", Type: reldb.KindText},
+		{Name: "budget", Type: reldb.KindFloat},
+		{Name: "revenue", Type: reldb.KindFloat},
+		{Name: "popularity", Type: reldb.KindFloat},
+		{Name: "director_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "persons", Column: "id"}},
+	})
+	mustCreate(db, "reviews", []reldb.Column{
+		{Name: "id", Type: reldb.KindInt, PrimaryKey: true},
+		{Name: "movie_id", Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: "movies", Column: "id"}},
+		{Name: "text", Type: reldb.KindText},
+	})
+	link := func(name, colA, tableA, colB, tableB string) {
+		mustCreate(db, name, []reldb.Column{
+			{Name: colA, Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: tableA, Column: "id"}},
+			{Name: colB, Type: reldb.KindInt, FK: &reldb.ForeignKey{Table: tableB, Column: "id"}},
+		})
+	}
+	link("movie_genres", "movie_id", "movies", "genre_id", "genres")
+	link("movie_keywords", "movie_id", "movies", "keyword_id", "keywords")
+	link("movie_countries", "movie_id", "movies", "country_id", "countries")
+	link("movie_companies", "movie_id", "movies", "company_id", "companies")
+	link("movie_actors", "movie_id", "movies", "person_id", "persons")
+	link("movie_languages", "movie_id", "movies", "language_id", "languages")
+
+	// --- Dimension tables -------------------------------------------------
+	for i, c := range tmdbCountries {
+		mustInsert(db, "countries", reldb.Int(int64(i)), reldb.Text(c.name))
+	}
+	for i, l := range tmdbLanguages {
+		mustInsert(db, "languages", reldb.Int(int64(i)), reldb.Text(l))
+	}
+	for g, name := range genreNames {
+		mustInsert(db, "genres", reldb.Int(int64(g)), reldb.Text(name))
+	}
+	numCompanies := maxInt(4, cfg.Movies/8)
+	companyTier := make([]int, numCompanies)
+	for i := 0; i < numCompanies; i++ {
+		tier := 1 + rng.Intn(5)
+		companyTier[i] = tier
+		name := v.PickFrom("company-words") + " " + v.PickFrom("company-words")
+		mustInsert(db, "companies", reldb.Int(int64(i)), reldb.Text(name), reldb.Int(int64(tier)))
+	}
+	keywordIDs := map[int][]int{} // genre -> keyword ids
+	kwID := 0
+	seenKW := map[string]int{}
+	for g := 0; g < numGenres; g++ {
+		pool := v.pools["kw:"+fmt.Sprintf("genre:%d", g)]
+		for _, kw := range pool {
+			id, ok := seenKW[kw]
+			if !ok {
+				id = kwID
+				kwID++
+				seenKW[kw] = id
+				mustInsert(db, "keywords", reldb.Int(int64(id)), reldb.Text(kw))
+			}
+			keywordIDs[g] = append(keywordIDs[g], id)
+		}
+	}
+
+	// --- Persons -----------------------------------------------------------
+	// Directors outnumber movies/3 substantially (real TMDB has 9k
+	// directors): most direct one or two movies, which keeps the Fig. 8
+	// sampling pool large.
+	numDirectors := maxInt(3, cfg.Movies*2/3)
+	numActors := maxInt(5, cfg.Movies/2)
+	personID := 0
+	usedNames := map[string]bool{}
+	mkPerson := func(country countrySpec) (int, string) {
+		var name string
+		for {
+			first := v.PickFrom(pickNamePool(rng, "first", country.name, cfg.NameSignal))
+			last := v.PickFrom(pickNamePool(rng, "last", country.name, cfg.NameSignal))
+			name = first + " " + last
+			if !usedNames[name] {
+				usedNames[name] = true
+				// Some full names exist as phrases in the embedding.
+				if rng.Float64() < 0.3 && !v.IsOOV(first) && !v.IsOOV(last) {
+					v.AddPhrase([]string{first, last}, "names:"+country.name, 0.2)
+				}
+				break
+			}
+		}
+		id := personID
+		personID++
+		mustInsert(db, "persons", reldb.Int(int64(id)), reldb.Text(name))
+		return id, name
+	}
+	directorCountry := make([]countrySpec, numDirectors)
+	directorIDs := make([]int, numDirectors)
+	for d := 0; d < numDirectors; d++ {
+		c := drawCountry(rng)
+		id, name := mkPerson(c)
+		directorCountry[d] = c
+		directorIDs[d] = id
+		w.DirectorUS[name] = c.isUS
+	}
+	actorIDs := make([]int, numActors)
+	actorCountry := make([]countrySpec, numActors)
+	for a := 0; a < numActors; a++ {
+		c := drawCountry(rng)
+		id, _ := mkPerson(c)
+		actorIDs[a] = id
+		actorCountry[a] = c
+	}
+
+	// --- Movies -----------------------------------------------------------
+	usedTitles := map[string]bool{}
+	reviewID := 0
+	for m := 0; m < cfg.Movies; m++ {
+		d := rng.Intn(numDirectors)
+		dc := directorCountry[d]
+
+		// Production countries.
+		prodCountry := dc
+		if rng.Float64() >= cfg.CountryLoyalty {
+			prodCountry = drawCountry(rng)
+		}
+		// Original language.
+		lang := prodCountry.lang
+		if rng.Float64() >= 0.9 {
+			lang = "english"
+		}
+		// Genres.
+		nGenres := 1 + rng.Intn(3)
+		gset := map[int]bool{}
+		var genres []int
+		for len(genres) < nGenres {
+			g := rng.Intn(numGenres)
+			if !gset[g] {
+				gset[g] = true
+				genres = append(genres, g)
+			}
+		}
+		mainGenre := fmt.Sprintf("genre:%d", genres[0])
+
+		// Title: unique, 1-3 words with genre flavour.
+		var title string
+		for {
+			n := 1 + rng.Intn(3)
+			words := make([]string, n)
+			for i := range words {
+				if rng.Float64() < 0.45 {
+					words[i] = v.PickFrom("genre-words:" + mainGenre)
+				} else {
+					words[i] = v.PickFrom("title-filler")
+				}
+			}
+			title = strings.Join(words, " ")
+			if !usedTitles[title] {
+				usedTitles[title] = true
+				if n > 1 && rng.Float64() < 0.15 {
+					allKnown := true
+					for _, word := range words {
+						if v.IsOOV(word) {
+							allKnown = false
+							break
+						}
+					}
+					if allKnown {
+						v.AddPhrase(words, mainGenre, 0.2)
+					}
+				}
+				break
+			}
+		}
+
+		overview := v.MixedSentence(10+rng.Intn(7),
+			[]string{"lang:" + lang, "genre-words:" + mainGenre, "general"},
+			[]float64{0.3, 0.35, 0.35})
+
+		// Company and budget: tier + country wealth dominate (relational
+		// signal); text is uninformative.
+		comp := rng.Intn(numCompanies)
+		wealth := 1.0
+		if prodCountry.isUS {
+			wealth = 1.6
+		}
+		budget := (2 + 3*float64(companyTier[comp])) * 1e6 * wealth * (0.8 + 0.4*rng.Float64())
+		revenue := budget * (0.5 + 2.5*rng.Float64())
+		popularity := float64(companyTier[comp])*1.5 + 5*rng.Float64()
+
+		mustInsert(db, "movies",
+			reldb.Int(int64(m)), reldb.Text(title), reldb.Text(overview),
+			reldb.Text(lang), reldb.Float(budget), reldb.Float(revenue),
+			reldb.Float(popularity), reldb.Int(int64(directorIDs[d])))
+
+		w.MovieLanguage[title] = lang
+		w.MovieBudget[title] = budget
+		for _, g := range genres {
+			w.MovieGenres[title] = append(w.MovieGenres[title], genreNames[g])
+			mustInsert(db, "movie_genres", reldb.Int(int64(m)), reldb.Int(int64(g)))
+		}
+
+		// Keywords (2-4 of the main genre's inventory).
+		kws := keywordIDs[genres[0]]
+		nk := 2 + rng.Intn(3)
+		kseen := map[int]bool{}
+		for i := 0; i < nk; i++ {
+			id := kws[rng.Intn(len(kws))]
+			if !kseen[id] {
+				kseen[id] = true
+				mustInsert(db, "movie_keywords", reldb.Int(int64(m)), reldb.Int(int64(id)))
+			}
+		}
+
+		mustInsert(db, "movie_countries", reldb.Int(int64(m)), reldb.Int(int64(countryIndex(prodCountry.name))))
+		mustInsert(db, "movie_companies", reldb.Int(int64(m)), reldb.Int(int64(comp)))
+
+		// Spoken languages: the original plus sometimes english.
+		mustInsert(db, "movie_languages", reldb.Int(int64(m)), reldb.Int(int64(langIndex(lang))))
+		if lang != "english" && rng.Float64() < 0.4 {
+			mustInsert(db, "movie_languages", reldb.Int(int64(m)), reldb.Int(int64(langIndex("english"))))
+		}
+
+		// Cast: 2-4 actors, biased toward the production country.
+		na := 2 + rng.Intn(3)
+		cast := map[int]bool{}
+		for len(cast) < na {
+			a := rng.Intn(numActors)
+			if actorCountry[a].name != prodCountry.name && rng.Float64() < 0.5 {
+				continue
+			}
+			if !cast[a] {
+				cast[a] = true
+				mustInsert(db, "movie_actors", reldb.Int(int64(m)), reldb.Int(int64(actorIDs[a])))
+			}
+		}
+
+		// Reviews: 0-2, language-flavoured.
+		nr := rng.Intn(3)
+		for r := 0; r < nr; r++ {
+			text := v.MixedSentence(8+rng.Intn(7),
+				[]string{"lang:" + lang, "genre-words:" + mainGenre, "general"},
+				[]float64{0.45, 0.2, 0.35})
+			mustInsert(db, "reviews", reldb.Int(int64(reviewID)), reldb.Int(int64(m)), reldb.Text(text))
+			reviewID++
+		}
+	}
+	return w
+}
+
+func pickNamePool(rng *rand.Rand, kind, country string, signal float64) string {
+	if rng.Float64() < signal {
+		return kind + ":" + country
+	}
+	return kind + ":global"
+}
+
+func drawCountry(rng *rand.Rand) countrySpec {
+	u := rng.Float64()
+	acc := 0.0
+	for _, c := range tmdbCountries {
+		acc += c.share
+		if u < acc {
+			return c
+		}
+	}
+	return tmdbCountries[0]
+}
+
+func countryIndex(name string) int {
+	for i, c := range tmdbCountries {
+		if c.name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+func langIndex(name string) int {
+	for i, l := range tmdbLanguages {
+		if l == name {
+			return i
+		}
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mustCreate(db *reldb.DB, name string, cols []reldb.Column) {
+	if _, err := db.CreateTable(name, cols); err != nil {
+		panic(fmt.Sprintf("datagen: %v", err))
+	}
+}
+
+func mustInsert(db *reldb.DB, table string, values ...reldb.Value) {
+	if _, err := db.Insert(table, values); err != nil {
+		panic(fmt.Sprintf("datagen: %v", err))
+	}
+}

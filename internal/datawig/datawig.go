@@ -1,0 +1,265 @@
+// Package datawig reimplements the DataWig category imputer (Biessmann et
+// al. 2018) used as the DTWG baseline of §5.4-5.5: text values of a
+// *single table* are featurised by hashed character n-grams and fed to a
+// neural classifier that predicts the target column's category.
+//
+// Two encoders are provided: the default feed-forward network over the
+// pooled n-gram hash vector, and an LSTM over the per-token hash vectors
+// (closer to the original paper's recurrent encoder, slower). Crucially —
+// and faithfully to the baseline's role in the evaluation — the imputer
+// never sees other tables: no foreign-key traversal, which is exactly why
+// RETRO beats it when the signal lives in related tables.
+package datawig
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/retrodb/retro/internal/nn"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Encoder selects the text encoder.
+type Encoder uint8
+
+const (
+	// NGramMLP pools hashed n-grams into one vector for an MLP (default).
+	NGramMLP Encoder = iota
+	// NGramLSTM feeds per-token hash vectors through an LSTM.
+	NGramLSTM
+)
+
+func (e Encoder) String() string {
+	switch e {
+	case NGramMLP:
+		return "ngram-mlp"
+	case NGramLSTM:
+		return "ngram-lstm"
+	default:
+		return fmt.Sprintf("Encoder(%d)", uint8(e))
+	}
+}
+
+// Config tunes the imputer.
+type Config struct {
+	Encoder   Encoder
+	NGramMin  int     // smallest n-gram (default 2)
+	NGramMax  int     // largest n-gram (default 4)
+	HashDim   int     // feature buckets (default 256)
+	Hidden    int     // hidden width (default 64)
+	Epochs    int     // default 150 (MLP) / 30 (LSTM)
+	BatchSize int     // default 16
+	Patience  int     // default 25
+	LearnRate float64 // default 0.005
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NGramMin <= 0 {
+		c.NGramMin = 2
+	}
+	if c.NGramMax < c.NGramMin {
+		c.NGramMax = c.NGramMin + 2
+	}
+	if c.HashDim <= 0 {
+		c.HashDim = 256
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 64
+	}
+	if c.Epochs <= 0 {
+		if c.Encoder == NGramLSTM {
+			c.Epochs = 30
+		} else {
+			c.Epochs = 150
+		}
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Patience <= 0 {
+		c.Patience = 25
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.005
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Imputer is a trained model.
+type Imputer struct {
+	cfg     Config
+	classes int
+
+	// MLP path.
+	mlp *nn.Sequential
+
+	// LSTM path.
+	lstm    *nn.LSTM
+	readout *nn.Dense
+}
+
+// Featurize hashes the character n-grams of all input cells into one
+// L2-normalised vector. Cells are joined with a column marker so the same
+// token in different columns hashes differently (DataWig receives the
+// column structure of the spreadsheet).
+func Featurize(cells []string, cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	out := make([]float64, cfg.HashDim)
+	for ci, cell := range cells {
+		addNGrams(out, cell, ci, cfg)
+	}
+	vec.Normalize(out)
+	return out
+}
+
+func addNGrams(dst []float64, cell string, colIdx int, cfg Config) {
+	s := strings.ToLower(strings.TrimSpace(cell))
+	if s == "" {
+		return
+	}
+	runes := []rune(s)
+	for n := cfg.NGramMin; n <= cfg.NGramMax; n++ {
+		for i := 0; i+n <= len(runes); i++ {
+			h := fnv.New32a()
+			fmt.Fprintf(h, "%d|%s", colIdx, string(runes[i:i+n]))
+			dst[int(h.Sum32())%len(dst)]++
+		}
+	}
+}
+
+// tokenSequence featurises each whitespace token separately for the LSTM
+// encoder; empty input yields a single zero row.
+func tokenSequence(cells []string, cfg Config) *vec.Matrix {
+	cfg = cfg.withDefaults()
+	var rows [][]float64
+	for ci, cell := range cells {
+		for _, tok := range strings.Fields(cell) {
+			row := make([]float64, cfg.HashDim)
+			addNGrams(row, tok, ci, cfg)
+			vec.Normalize(row)
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 {
+		rows = [][]float64{make([]float64, cfg.HashDim)}
+	}
+	if len(rows) > 32 {
+		rows = rows[:32] // cap sequence length, as DataWig does
+	}
+	return vec.NewMatrixFrom(rows)
+}
+
+// Train fits an imputer on spreadsheet rows (each a slice of input cells,
+// NOT including the target column) labelled with class ids.
+func Train(rows [][]string, labels []int, numClasses int, cfg Config) (*Imputer, error) {
+	cfg = cfg.withDefaults()
+	if len(rows) != len(labels) {
+		return nil, fmt.Errorf("datawig: %d rows vs %d labels", len(rows), len(labels))
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("datawig: need at least 2 rows")
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("datawig: need at least 2 classes")
+	}
+	for _, l := range labels {
+		if l < 0 || l >= numClasses {
+			return nil, fmt.Errorf("datawig: label %d outside %d classes", l, numClasses)
+		}
+	}
+	imp := &Imputer{cfg: cfg, classes: numClasses}
+	if cfg.Encoder == NGramLSTM {
+		return imp, imp.trainLSTM(rows, labels)
+	}
+	return imp, imp.trainMLP(rows, labels)
+}
+
+func (imp *Imputer) trainMLP(rows [][]string, labels []int) error {
+	cfg := imp.cfg
+	x := vec.NewMatrix(len(rows), cfg.HashDim)
+	for i, r := range rows {
+		copy(x.Row(i), Featurize(r, cfg))
+	}
+	y := vec.NewMatrix(len(labels), imp.classes)
+	for i, l := range labels {
+		y.Set(i, l, 1)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	imp.mlp = nn.NewSequential(nn.CCELoss{},
+		nn.NewDense(cfg.HashDim, cfg.Hidden, rng),
+		nn.NewActivation(nn.ReLU),
+		nn.NewDense(cfg.Hidden, imp.classes, rng),
+	)
+	_, err := nn.Fit(imp.mlp, x, y, nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Patience:  cfg.Patience,
+		Optimizer: nn.NewNadam(cfg.LearnRate),
+		Seed:      cfg.Seed,
+	})
+	return err
+}
+
+func (imp *Imputer) trainLSTM(rows [][]string, labels []int) error {
+	cfg := imp.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	imp.lstm = nn.NewLSTM(cfg.HashDim, cfg.Hidden, rng)
+	imp.readout = nn.NewDense(cfg.Hidden, imp.classes, rng)
+	params := append(imp.lstm.Params(), imp.readout.Params()...)
+	opt := nn.NewNadam(cfg.LearnRate)
+	loss := nn.CCELoss{}
+
+	seqs := make([]*vec.Matrix, len(rows))
+	for i, r := range rows {
+		seqs[i] = tokenSequence(r, cfg)
+	}
+	order := rng.Perm(len(rows))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			h := imp.lstm.ForwardSeq(seqs[idx])
+			hm := vec.NewMatrixFrom([][]float64{h})
+			logits := imp.readout.Forward(hm, true)
+			y := vec.NewMatrix(1, imp.classes)
+			y.Set(0, labels[idx], 1)
+			_, grad := loss.Eval(logits, y)
+			dh := imp.readout.Backward(grad)
+			imp.lstm.BackwardSeq(dh.Row(0))
+			opt.Step(params)
+		}
+	}
+	return nil
+}
+
+// Predict returns the imputed class for one row of input cells.
+func (imp *Imputer) Predict(row []string) int {
+	if imp.cfg.Encoder == NGramLSTM {
+		h := imp.lstm.ForwardSeq(tokenSequence(row, imp.cfg))
+		logits := imp.readout.Forward(vec.NewMatrixFrom([][]float64{h}), false)
+		return vec.ArgMax(logits.Row(0))
+	}
+	x := vec.NewMatrixFrom([][]float64{Featurize(row, imp.cfg)})
+	logits := imp.mlp.Forward(x, false)
+	return vec.ArgMax(logits.Row(0))
+}
+
+// Accuracy evaluates top-1 accuracy on a labelled test set.
+func (imp *Imputer) Accuracy(rows [][]string, labels []int) float64 {
+	if len(rows) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i, r := range rows {
+		if imp.Predict(r) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(rows))
+}

@@ -1,0 +1,148 @@
+package datawig
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// categoryRows fabricates app-store-like rows where the name weakly and a
+// description strongly indicate the category.
+func categoryRows(rng *rand.Rand, n int) ([][]string, []int) {
+	vocab := map[int][]string{
+		0: {"photo", "camera", "filter", "image"},
+		1: {"loan", "bank", "finance", "budget"},
+		2: {"puzzle", "arcade", "score", "level"},
+	}
+	rows := make([][]string, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(3)
+		labels[i] = cls
+		words := vocab[cls]
+		desc := ""
+		for w := 0; w < 4; w++ {
+			desc += words[rng.Intn(len(words))] + " "
+		}
+		rows[i] = []string{fmt.Sprintf("app%03d", i), desc}
+	}
+	return rows, labels
+}
+
+func TestFeaturizeShapeAndNorm(t *testing.T) {
+	cfg := Config{HashDim: 64}
+	f := Featurize([]string{"hello", "world"}, cfg)
+	if len(f) != 64 {
+		t.Fatalf("len = %d", len(f))
+	}
+	n := vec.Norm(f)
+	if n < 0.999 || n > 1.001 {
+		t.Fatalf("norm = %v", n)
+	}
+	// Empty input -> zero vector.
+	if !vec.IsZero(Featurize([]string{"", " "}, cfg)) {
+		t.Fatal("empty input should featurise to zero")
+	}
+}
+
+func TestFeaturizeColumnSensitive(t *testing.T) {
+	cfg := Config{HashDim: 128}
+	a := Featurize([]string{"alpha", ""}, cfg)
+	b := Featurize([]string{"", "alpha"}, cfg)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("same token in different columns must hash differently")
+	}
+}
+
+func TestTrainPredictMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows, labels := categoryRows(rng, 150)
+	imp, err := Train(rows, labels, 3, Config{Seed: 2, Epochs: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRows, testLabels := categoryRows(rng, 60)
+	if acc := imp.Accuracy(testRows, testLabels); acc < 0.8 {
+		t.Fatalf("MLP imputer accuracy = %v", acc)
+	}
+}
+
+func TestTrainPredictLSTM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LSTM training is slow")
+	}
+	rng := rand.New(rand.NewSource(2))
+	rows, labels := categoryRows(rng, 80)
+	imp, err := Train(rows, labels, 3, Config{Encoder: NGramLSTM, Seed: 3, Epochs: 8, Hidden: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := imp.Accuracy(rows, labels); acc < 0.7 {
+		t.Fatalf("LSTM imputer train accuracy = %v", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	if _, err := Train([][]string{{"a"}, {"b"}}, []int{0}, 2, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]string{{"a"}, {"b"}}, []int{0, 1}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Train([][]string{{"a"}, {"b"}}, []int{0, 7}, 2, Config{}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestTokenSequence(t *testing.T) {
+	cfg := Config{HashDim: 32}
+	seq := tokenSequence([]string{"two words", "third"}, cfg)
+	if seq.Rows != 3 || seq.Cols != 32 {
+		t.Fatalf("shape = %dx%d", seq.Rows, seq.Cols)
+	}
+	empty := tokenSequence([]string{""}, cfg)
+	if empty.Rows != 1 || !vec.IsZero(empty.Row(0)) {
+		t.Fatal("empty sequence handling wrong")
+	}
+	// Length cap.
+	long := make([]string, 1)
+	for i := 0; i < 50; i++ {
+		long[0] += "tok "
+	}
+	if got := tokenSequence(long, cfg); got.Rows > 32 {
+		t.Fatalf("sequence not capped: %d", got.Rows)
+	}
+}
+
+func TestEncoderString(t *testing.T) {
+	if NGramMLP.String() != "ngram-mlp" || NGramLSTM.String() != "ngram-lstm" {
+		t.Fatal("encoder names wrong")
+	}
+	if Encoder(9).String() == "" {
+		t.Fatal("unknown encoder should render")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows, labels := categoryRows(rng, 20)
+	imp, err := Train(rows, labels, 3, Config{Seed: 5, Epochs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := imp.Accuracy(nil, nil); acc == acc { // NaN check
+		t.Fatal("empty accuracy should be NaN")
+	}
+}

@@ -1,0 +1,107 @@
+package deepwalk
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/graph"
+	"github.com/retrodb/retro/internal/reldb"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// twoClusterGraph builds a database whose graph has two well-separated
+// relational clusters: movies directed by director A with genre G1 vs
+// movies by director B with genre G2.
+func twoClusterFixture(t *testing.T) (*extract.Extraction, *graph.Graph) {
+	t.Helper()
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, director TEXT)`)
+	rows := []string{
+		`(1, 'm1', 'director_a')`, `(2, 'm2', 'director_a')`, `(3, 'm3', 'director_a')`,
+		`(4, 'n1', 'director_b')`, `(5, 'n2', 'director_b')`, `(6, 'n3', 'director_b')`,
+	}
+	db.MustExec(`INSERT INTO movies VALUES ` + strings.Join(rows, ", "))
+	ex, err := extract.FromDB(db, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, graph.Build(ex)
+}
+
+func TestTrainShapes(t *testing.T) {
+	_, g := twoClusterFixture(t)
+	res, err := Train(g, Config{Dim: 16, WalksPerNode: 5, WalkLength: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vectors.Rows != g.NumNodes() || res.Vectors.Cols != 16 {
+		t.Fatalf("shape = %dx%d", res.Vectors.Rows, res.Vectors.Cols)
+	}
+}
+
+func TestTrainClustersRelationalNeighbours(t *testing.T) {
+	ex, g := twoClusterFixture(t)
+	res, err := Train(g, Config{Dim: 16, WalksPerNode: 20, WalkLength: 10, Epochs: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := ex.Lookup("movies", "title", "m1")
+	m2, _ := ex.Lookup("movies", "title", "m2")
+	n1, _ := ex.Lookup("movies", "title", "n1")
+	same := vec.Cosine(res.TextVector(m1), res.TextVector(m2))
+	diff := vec.Cosine(res.TextVector(m1), res.TextVector(n1))
+	if same <= diff {
+		t.Fatalf("relational clustering failed: same=%.3f diff=%.3f", same, diff)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	_, g := twoClusterFixture(t)
+	a, err := Train(g, Config{Dim: 8, WalksPerNode: 3, WalkLength: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(g, Config{Dim: 8, WalksPerNode: 3, WalkLength: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Vectors.Equal(b.Vectors, 0) {
+		t.Fatal("DeepWalk not deterministic under fixed seed")
+	}
+}
+
+func TestTrainEmptyGraph(t *testing.T) {
+	if _, err := Train(&graph.Graph{}, Config{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestToStoreKeys(t *testing.T) {
+	ex, g := twoClusterFixture(t)
+	res, err := Train(g, Config{Dim: 8, WalksPerNode: 2, WalkLength: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := res.ToStore(ex)
+	if store.Len() != len(ex.Values) {
+		t.Fatalf("store len = %d want %d", store.Len(), len(ex.Values))
+	}
+	id, _ := ex.Lookup("movies", "director", "director_a")
+	v, ok := store.VectorOf(ValueKey(ex, id))
+	if !ok {
+		t.Fatal("key lookup failed")
+	}
+	for j := range v {
+		if v[j] != res.TextVector(id)[j] {
+			t.Fatal("stored vector mismatch")
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.WalksPerNode != 10 || c.WalkLength != 40 || c.Window != 5 || c.Dim != 128 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

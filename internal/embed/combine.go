@@ -1,0 +1,68 @@
+package embed
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// CombineMode selects how two embedding sets are merged per word (§4.6).
+type CombineMode int
+
+const (
+	// Concat places the two vectors side by side (dim = dimA + dimB). The
+	// paper settles on concatenation after testing several combiners.
+	Concat CombineMode = iota
+	// Average requires equal dimensionality and averages the two vectors;
+	// kept as the ablation alternative discussed in §4.6.
+	Average
+)
+
+func (m CombineMode) String() string {
+	switch m {
+	case Concat:
+		return "concat"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("CombineMode(%d)", int(m))
+	}
+}
+
+// Combine merges two stores over the vocabulary of a. Words of a missing
+// from b get a zero vector for b's part, matching the null-vector OOV
+// convention of §3.1. Words only in b are dropped (the retrofitted
+// vocabulary drives downstream tasks).
+func Combine(a, b *Store, mode CombineMode) (*Store, error) {
+	switch mode {
+	case Concat:
+		out := NewStore(a.Dim() + b.Dim())
+		buf := make([]float64, a.Dim()+b.Dim())
+		for id, word := range a.words {
+			vec.Zero(buf)
+			copy(buf[:a.Dim()], a.row(id))
+			if vb, ok := b.VectorOf(word); ok {
+				copy(buf[a.Dim():], vb)
+			}
+			out.Add(word, buf)
+		}
+		return out, nil
+	case Average:
+		if a.Dim() != b.Dim() {
+			return nil, fmt.Errorf("embed: Average requires equal dims, got %d and %d", a.Dim(), b.Dim())
+		}
+		out := NewStore(a.Dim())
+		buf := make([]float64, a.Dim())
+		for id, word := range a.words {
+			copy(buf, a.row(id))
+			if vb, ok := b.VectorOf(word); ok {
+				vec.Axpy(buf, 1, vb)
+				vec.Scale(buf, 0.5)
+			}
+			out.Add(word, buf)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("embed: unknown combine mode %v", mode)
+	}
+}

@@ -1,0 +1,157 @@
+package embed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Text format: one "word v1 v2 ... vD" line per entry, the layout used by
+// GloVe and word2vec text exports. Binary format: a compact custom layout
+// (magic, dim, count, then length-prefixed words followed by float64s).
+
+// WriteText serialises the store in the word2vec/GloVe text layout.
+func (s *Store) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for id, word := range s.words {
+		if strings.ContainsAny(word, " \n") {
+			return fmt.Errorf("embed: word %q contains whitespace; text format cannot represent it", word)
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		for _, v := range s.row(id) {
+			if _, err := bw.WriteString(" " + strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the word2vec/GloVe text layout. The dimensionality is
+// inferred from the first line; all lines must agree.
+func ReadText(r io.Reader) (*Store, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var store *Store
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("embed: line %d: need word plus at least one value", lineNo)
+		}
+		word := fields[0]
+		values := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("embed: line %d: bad value %q: %w", lineNo, f, err)
+			}
+			values[i] = v
+		}
+		if store == nil {
+			store = NewStore(len(values))
+		} else if len(values) != store.Dim() {
+			return nil, fmt.Errorf("embed: line %d: dim %d != %d", lineNo, len(values), store.Dim())
+		}
+		store.Add(word, values)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return nil, fmt.Errorf("embed: empty input")
+	}
+	return store, nil
+}
+
+const binaryMagic = "RETROEMB1"
+
+// WriteBinary serialises the store in the compact binary layout.
+func (s *Store) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(s.dim))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(s.words)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for id, word := range s.words {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(word)))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(word); err != nil {
+			return err
+		}
+		for _, v := range s.row(id) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the layout produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("embed: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("embed: bad magic %q", magic)
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("embed: reading header: %w", err)
+	}
+	dim := int(binary.LittleEndian.Uint64(hdr[0:8]))
+	count := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	if dim <= 0 || dim > 1<<20 || count < 0 {
+		return nil, fmt.Errorf("embed: implausible header dim=%d count=%d", dim, count)
+	}
+	store := NewStore(dim)
+	buf := make([]byte, 8)
+	vecBuf := make([]float64, dim)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("embed: entry %d: %w", i, err)
+		}
+		wordLen := int(binary.LittleEndian.Uint32(buf[:4]))
+		if wordLen < 0 || wordLen > 1<<20 {
+			return nil, fmt.Errorf("embed: entry %d: implausible word length %d", i, wordLen)
+		}
+		wordBytes := make([]byte, wordLen)
+		if _, err := io.ReadFull(br, wordBytes); err != nil {
+			return nil, fmt.Errorf("embed: entry %d: %w", i, err)
+		}
+		for j := 0; j < dim; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("embed: entry %d value %d: %w", i, j, err)
+			}
+			vecBuf[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		store.Add(string(wordBytes), vecBuf)
+	}
+	return store, nil
+}

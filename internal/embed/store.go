@@ -1,0 +1,210 @@
+// Package embed implements the word embedding store RETRO retrofits
+// against: a vocabulary mapped to dense vectors, with serialisation,
+// nearest-neighbour queries and the concatenation combiner of §4.6.
+package embed
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Store holds an embedding matrix with a string vocabulary. Rows of the
+// matrix correspond 1:1 to vocabulary entries.
+type Store struct {
+	dim    int
+	words  []string
+	index  map[string]int
+	matrix *vec.Matrix
+}
+
+// NewStore creates an empty store for vectors of the given dimensionality.
+func NewStore(dim int) *Store {
+	if dim <= 0 {
+		panic(fmt.Sprintf("embed: non-positive dimension %d", dim))
+	}
+	return &Store{dim: dim, index: make(map[string]int)}
+}
+
+// Dim returns the vector dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the vocabulary size.
+func (s *Store) Len() int { return len(s.words) }
+
+// Add inserts a word with its vector and returns the assigned id. Adding
+// an existing word overwrites its vector and returns the existing id.
+func (s *Store) Add(word string, vector []float64) int {
+	if len(vector) != s.dim {
+		panic(fmt.Sprintf("embed: vector for %q has dim %d, store has %d", word, len(vector), s.dim))
+	}
+	if id, ok := s.index[word]; ok {
+		copy(s.row(id), vector)
+		return id
+	}
+	id := len(s.words)
+	s.words = append(s.words, word)
+	s.index[word] = id
+	s.growTo(id + 1)
+	copy(s.row(id), vector)
+	return id
+}
+
+func (s *Store) growTo(n int) {
+	if s.matrix == nil {
+		s.matrix = &vec.Matrix{Rows: 0, Cols: s.dim, Stride: s.dim}
+	}
+	need := n * s.dim
+	if cap(s.matrix.Data) < need {
+		grown := make([]float64, need, maxInt(need, 2*cap(s.matrix.Data)))
+		copy(grown, s.matrix.Data)
+		s.matrix.Data = grown
+	} else {
+		s.matrix.Data = s.matrix.Data[:need]
+	}
+	s.matrix.Rows = n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (s *Store) row(id int) []float64 { return s.matrix.Row(id) }
+
+// ID returns the id of word.
+func (s *Store) ID(word string) (int, bool) {
+	id, ok := s.index[word]
+	return id, ok
+}
+
+// Word returns the word with the given id.
+func (s *Store) Word(id int) string { return s.words[id] }
+
+// Words returns the vocabulary in id order. The slice must not be mutated.
+func (s *Store) Words() []string { return s.words }
+
+// Vector returns a read-only view of the vector for id. Callers must not
+// mutate it; use SetVector to change a stored vector.
+func (s *Store) Vector(id int) []float64 { return s.row(id) }
+
+// VectorOf returns the vector for a word, if present.
+func (s *Store) VectorOf(word string) ([]float64, bool) {
+	id, ok := s.index[word]
+	if !ok {
+		return nil, false
+	}
+	return s.row(id), true
+}
+
+// SetVector overwrites the vector stored for id.
+func (s *Store) SetVector(id int, vector []float64) {
+	if len(vector) != s.dim {
+		panic("embed: SetVector dimension mismatch")
+	}
+	copy(s.row(id), vector)
+}
+
+// Matrix exposes the underlying (Len x Dim) matrix. Rows are live views:
+// mutating them mutates the store.
+func (s *Store) Matrix() *vec.Matrix {
+	if s.matrix == nil {
+		return vec.NewMatrix(0, s.dim)
+	}
+	return s.matrix
+}
+
+// Clone returns a deep copy of the store.
+func (s *Store) Clone() *Store {
+	out := NewStore(s.dim)
+	for id, w := range s.words {
+		out.Add(w, s.row(id))
+	}
+	return out
+}
+
+// NormalizeAll scales every vector to unit L2 norm in place (zero vectors
+// stay zero). The paper normalises embeddings before feeding them to the
+// task networks (§5.5).
+func (s *Store) NormalizeAll() {
+	for id := range s.words {
+		vec.Normalize(s.row(id))
+	}
+}
+
+// Match is one nearest-neighbour result.
+type Match struct {
+	ID    int
+	Word  string
+	Score float64 // cosine similarity
+}
+
+// TopK returns the k entries most cosine-similar to query, excluding any
+// id for which skip returns true (skip may be nil). Results are sorted by
+// descending score, ties broken by ascending id for determinism.
+func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
+	if len(query) != s.dim {
+		panic("embed: TopK query dimension mismatch")
+	}
+	if k <= 0 {
+		return nil
+	}
+	qn := vec.Norm(query)
+	if qn == 0 {
+		return nil
+	}
+	matches := make([]Match, 0, k+1)
+	worst := -2.0
+	for id := range s.words {
+		if skip != nil && skip(id) {
+			continue
+		}
+		r := s.row(id)
+		rn := vec.Norm(r)
+		if rn == 0 {
+			continue
+		}
+		score := vec.Dot(query, r) / (qn * rn)
+		// At a full buffer, a score tied with the current worst keeps the
+		// earlier (lower-id) entry because iteration is in id order.
+		if len(matches) == k && score <= worst {
+			continue
+		}
+		matches = append(matches, Match{ID: id, Word: s.words[id], Score: score})
+		sort.Slice(matches, func(i, j int) bool {
+			if matches[i].Score != matches[j].Score {
+				return matches[i].Score > matches[j].Score
+			}
+			return matches[i].ID < matches[j].ID
+		})
+		if len(matches) > k {
+			matches = matches[:k]
+		}
+		worst = matches[len(matches)-1].Score
+	}
+	return matches
+}
+
+// Analogy computes the classic a - b + c query ("king" - "man" + "woman")
+// and returns the top-k neighbours of the result, excluding a, b and c.
+func (s *Store) Analogy(a, b, c string, k int) ([]Match, error) {
+	va, okA := s.VectorOf(a)
+	vb, okB := s.VectorOf(b)
+	vc, okC := s.VectorOf(c)
+	if !okA || !okB || !okC {
+		return nil, fmt.Errorf("embed: analogy term missing (%q:%v %q:%v %q:%v)", a, okA, b, okB, c, okC)
+	}
+	q := vec.Clone(va)
+	vec.Axpy(q, -1, vb)
+	vec.Axpy(q, 1, vc)
+	exclude := map[int]bool{}
+	for _, w := range []string{a, b, c} {
+		if id, ok := s.ID(w); ok {
+			exclude[id] = true
+		}
+	}
+	return s.TopK(q, k, func(id int) bool { return exclude[id] }), nil
+}

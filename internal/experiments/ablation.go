@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/deepwalk"
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/ml"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// AblationCombine compares the §4.6 embedding combiners on the director
+// classification task: the paper settles on concatenation "during testing
+// several combination methods"; this ablation reproduces that comparison
+// (concatenation vs averaging) for RO and RN against DeepWalk.
+func AblationCombine(s Scale) (*Report, error) {
+	t, err := newDirectorTask(s)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "ablation-combine",
+		Title:  "Combining Retrofitted and Node Embeddings: Concat vs Average (§4.6)",
+		Header: []string{"combo", "mean acc", "min", "max"},
+		Notes: []string{
+			"expected shape: concatenation ≥ averaging (the paper's choice); averaging loses when the two spaces are not aligned",
+		},
+	}
+	for _, base := range []Method{RO, RN} {
+		for _, mode := range []embed.CombineMode{embed.Concat, embed.Average} {
+			var accs []float64
+			for r := 0; r < s.Repeats; r++ {
+				rng := rand.New(rand.NewSource(s.Seed + int64(7000*r)))
+				acc, err := runCombined(s, t, base, mode, rng, s.Seed+int64(r))
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, acc)
+			}
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprintf("%s+DW (%s)", base, mode),
+				f3(vec.Mean(accs)), f3(minOf(accs)), f3(maxOf(accs)),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// runCombined builds the combined store under the given mode and runs the
+// binary classification protocol on it.
+func runCombined(s Scale, t *directorTask, base Method, mode embed.CombineMode, rng *rand.Rand, seed int64) (float64, error) {
+	baseStore, err := t.pipeline.Store(base)
+	if err != nil {
+		return 0, err
+	}
+	dwStore, err := t.pipeline.Store(DW)
+	if err != nil {
+		return 0, err
+	}
+	combined, err := embed.Combine(baseStore, dwStore, mode)
+	if err != nil {
+		return 0, err
+	}
+	trainN, testN, trainY, testY := t.sample(rng, s.BinaryTrain, s.BinaryTest)
+	gather := func(names []string) (*vec.Matrix, error) {
+		x := vec.NewMatrix(len(names), combined.Dim())
+		for i, name := range names {
+			id, ok := t.pipeline.Ex.Lookup("persons", "name", name)
+			if !ok {
+				return nil, fmt.Errorf("experiments: missing director %q", name)
+			}
+			v, ok := combined.VectorOf(deepwalk.ValueKey(t.pipeline.Ex, id))
+			if !ok {
+				return nil, fmt.Errorf("experiments: combined store missing %q", name)
+			}
+			copy(x.Row(i), v)
+		}
+		return x, nil
+	}
+	trainX, err := gather(trainN)
+	if err != nil {
+		return 0, err
+	}
+	testX, err := gather(testN)
+	if err != nil {
+		return 0, err
+	}
+	cfg := s.nnConfig(seed)
+	cfg.Dropout = 0.2
+	cfg.L2 = 1e-4
+	clf := ml.NewBinaryClassifier(trainX.Cols, cfg)
+	if _, err := clf.Fit(trainX, trainY); err != nil {
+		return 0, err
+	}
+	return clf.Accuracy(testX, testY), nil
+}

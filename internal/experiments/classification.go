@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/ml"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// directorTask is the §5.5.1 binary classification setup: label TMDB
+// directors as US-American or not, with labels from an external source
+// (datagen's stand-in for Wikidata).
+type directorTask struct {
+	world    *datagen.TMDBWorld
+	pipeline *Pipeline
+	us       []string // director names with US citizenship, sorted
+	other    []string
+}
+
+func newDirectorTask(s Scale) (*directorTask, error) {
+	w := s.tmdbWorld()
+	p, err := NewPipeline(w.DB, w.Embedding, extract.Options{}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	t := &directorTask{world: w, pipeline: p}
+	for name, isUS := range w.DirectorUS {
+		// Only names that actually appear in the extraction are usable.
+		if _, ok := p.Ex.Lookup("persons", "name", name); !ok {
+			continue
+		}
+		if isUS {
+			t.us = append(t.us, name)
+		} else {
+			t.other = append(t.other, name)
+		}
+	}
+	sort.Strings(t.us)
+	sort.Strings(t.other)
+	if len(t.us) < 4 || len(t.other) < 4 {
+		return nil, fmt.Errorf("experiments: degenerate citizenship split (%d/%d)", len(t.us), len(t.other))
+	}
+	return t, nil
+}
+
+// sample draws nTrain and nTest names per class without replacement
+// (capped at availability) and returns train/test name+label sets.
+func (t *directorTask) sample(rng *rand.Rand, nTrain, nTest int) (trainN, testN []string, trainY, testY []float64) {
+	usPerm := rng.Perm(len(t.us))
+	otherPerm := rng.Perm(len(t.other))
+	takeTrain := func(perm []int, pool []string, label float64) []int {
+		n := min(nTrain, len(pool)/2)
+		for _, pi := range perm[:n] {
+			trainN = append(trainN, pool[pi])
+			trainY = append(trainY, label)
+		}
+		return perm[n:]
+	}
+	restUS := takeTrain(usPerm, t.us, 1)
+	restOther := takeTrain(otherPerm, t.other, 0)
+	takeTest := func(perm []int, pool []string, label float64) {
+		n := min(nTest, len(perm))
+		for _, pi := range perm[:n] {
+			testN = append(testN, pool[pi])
+			testY = append(testY, label)
+		}
+	}
+	takeTest(restUS, t.us, 1)
+	takeTest(restOther, t.other, 0)
+	return trainN, testN, trainY, testY
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// matrix looks up the method vectors of the named directors.
+func (t *directorTask) matrix(m Method, names []string) (*vec.Matrix, error) {
+	dim, err := t.pipeline.Dim(m)
+	if err != nil {
+		return nil, err
+	}
+	x := vec.NewMatrix(len(names), dim)
+	for i, name := range names {
+		v, err := t.pipeline.Vector(m, "persons", "name", name)
+		if err != nil {
+			return nil, err
+		}
+		copy(x.Row(i), v)
+	}
+	return x, nil
+}
+
+// runBinary trains Fig. 5a's binary classifier once and returns test
+// accuracy.
+func (t *directorTask) runBinary(s Scale, m Method, rng *rand.Rand, nTrain, nTest int, seed int64) (float64, error) {
+	trainN, testN, trainY, testY := t.sample(rng, nTrain, nTest)
+	trainX, err := t.matrix(m, trainN)
+	if err != nil {
+		return 0, err
+	}
+	testX, err := t.matrix(m, testN)
+	if err != nil {
+		return 0, err
+	}
+	cfg := s.nnConfig(seed)
+	cfg.Dropout = 0.2
+	cfg.L2 = 1e-4
+	clf := ml.NewBinaryClassifier(trainX.Cols, cfg)
+	if _, err := clf.Fit(trainX, trainY); err != nil {
+		return 0, err
+	}
+	return clf.Accuracy(testX, testY), nil
+}
+
+// Fig8 reproduces Figure 8: binary classification of US-American
+// directors across embedding types, accuracy distribution over repeats.
+func Fig8(s Scale) (*Report, error) {
+	t, err := newDirectorTask(s)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig8",
+		Title:  "Binary Classification of US-American Directors",
+		Header: []string{"method", "mean acc", "min", "max"},
+		Notes: []string{
+			"expected shape: RN ≳ RO best; MF ≈ PV ≈ DW below; +DW lifts every method except PV the most (paper: combos ≳ 0.9)",
+		},
+	}
+	for _, m := range AllMethods {
+		var accs []float64
+		for r := 0; r < s.Repeats; r++ {
+			rng := rand.New(rand.NewSource(s.Seed + int64(100*r)))
+			acc, err := t.runBinary(s, m, rng, s.BinaryTrain, s.BinaryTest, s.Seed+int64(r))
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, acc)
+		}
+		rep.Rows = append(rep.Rows, []string{string(m), f3(vec.Mean(accs)), f3(minOf(accs)), f3(maxOf(accs))})
+	}
+	return rep, nil
+}
+
+func minOf(a []float64) float64 {
+	out := math.Inf(1)
+	for _, v := range a {
+		if v < out {
+			out = v
+		}
+	}
+	return out
+}
+
+func maxOf(a []float64) float64 {
+	out := math.Inf(-1)
+	for _, v := range a {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// Fig9 reproduces Figure 9: test accuracy as the training sample grows,
+// per embedding type (paper: 200..1000 samples, 20 repeats).
+func Fig9(s Scale) (*Report, error) {
+	t, err := newDirectorTask(s)
+	if err != nil {
+		return nil, err
+	}
+	methods := []Method{PV, MF, DW, RO, RN}
+	rep := &Report{
+		ID:     "fig9",
+		Title:  "Binary Classification Accuracy vs Training Sample Size",
+		Header: append([]string{"train size (per class)"}, methodNames(methods)...),
+		Notes: []string{
+			"expected shape: PV has the flattest curve; DW suffers most at small samples (needs more data)",
+		},
+	}
+	sizes := []int{}
+	for _, f := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		n := int(float64(s.BinaryTrain) * f)
+		if n < 4 {
+			n = 4
+		}
+		sizes = append(sizes, n)
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, m := range methods {
+			var accs []float64
+			for r := 0; r < s.Repeats; r++ {
+				rng := rand.New(rand.NewSource(s.Seed + int64(1000*r) + int64(n)))
+				acc, err := t.runBinary(s, m, rng, n, s.BinaryTest, s.Seed+int64(r))
+				if err != nil {
+					return nil, err
+				}
+				accs = append(accs, acc)
+			}
+			row = append(row, f3(vec.Mean(accs)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func methodNames(ms []Method) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = string(m)
+	}
+	return out
+}
+
+// hyperparamGrid is the §5.5.1 grid-search space, compacted.
+var hyperparamGrid = []core.Hyperparams{
+	{Alpha: 1, Beta: 0, Gamma: 1, Delta: 0},
+	{Alpha: 1, Beta: 0, Gamma: 3, Delta: 1},
+	{Alpha: 1, Beta: 0, Gamma: 3, Delta: 3},
+	{Alpha: 1, Beta: 1, Gamma: 1, Delta: 1},
+	{Alpha: 1, Beta: 1, Gamma: 3, Delta: 1},
+	{Alpha: 2, Beta: 0, Gamma: 3, Delta: 1},
+	{Alpha: 2, Beta: 1, Gamma: 1, Delta: 0},
+	{Alpha: 2, Beta: 1, Gamma: 3, Delta: 3},
+}
+
+// gridSearch evaluates a solver variant over the hyperparameter grid on
+// the director task, with and without DW concatenation — the engine
+// behind Figures 6, 7, 10 and 11.
+func gridSearch(s Scale, variant core.Variant, id, title string, task func(s Scale, p *Pipeline, m Method, seed int64) (float64, error), world func() (*Pipeline, error)) (*Report, error) {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"config", "plain", "+DW"},
+		Notes: []string{
+			"expected shape: higher γ/δ help the plain solver; with +DW the optimum shifts toward higher α/β (relations already covered by node embeddings)",
+		},
+	}
+	for _, h := range hyperparamGrid {
+		h.Iterations = 10
+		p, err := world()
+		if err != nil {
+			return nil, err
+		}
+		if variant == core.RO {
+			p.roParams = h
+		} else {
+			p.rnParams = h
+		}
+		base := RO
+		combo := RODW
+		if variant == core.RN {
+			base, combo = RN, RNDW
+		}
+		plain, err := task(s, p, base, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		withDW, err := task(s, p, combo, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{h.String(), f3(plain), f3(withDW)})
+	}
+	return rep, nil
+}
+
+// Fig6 reproduces Figure 6: hyperparameter grid for binary classification
+// with the Ψ-function (RO) solver, plain and +DW.
+func Fig6(s Scale) (*Report, error) {
+	return gridSearchBinary(s, core.RO, "fig6", "Hyperparameter Influence on Binary Classification (RO)")
+}
+
+// Fig7 reproduces Figure 7: the same grid for the series (RN) solver.
+func Fig7(s Scale) (*Report, error) {
+	return gridSearchBinary(s, core.RN, "fig7", "Hyperparameter Influence on Binary Classification (RN)")
+}
+
+func gridSearchBinary(s Scale, variant core.Variant, id, title string) (*Report, error) {
+	var t *directorTask
+	world := func() (*Pipeline, error) {
+		var err error
+		if t == nil {
+			t, err = newDirectorTask(s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Fresh pipeline per config so solver caches don't leak across
+		// hyperparameters.
+		p, err := NewPipeline(t.world.DB, t.world.Embedding, extract.Options{}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		t.pipeline = p
+		return p, nil
+	}
+	task := func(s Scale, p *Pipeline, m Method, seed int64) (float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return t.runBinary(s, m, rng, s.BinaryTrain, s.BinaryTest, seed)
+	}
+	return gridSearch(s, variant, id, title, task, world)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/extract"
+)
+
+// fig3Spec is the paper's Figure 3 setup: three movies, two countries,
+// 2-dimensional embeddings, one movie->country relation.
+func fig3Spec() core.ManualSpec {
+	return core.ManualSpec{
+		Dim:           2,
+		NumCategories: 2,
+		Values: []core.ManualValue{
+			{Label: "Inception", Category: 0, Vector: []float64{1.0, 0.2}},
+			{Label: "Godfather", Category: 0, Vector: []float64{0.8, -0.3}},
+			{Label: "Amelie", Category: 0, Vector: []float64{-0.5, 0.9}},
+			{Label: "USA", Category: 1, Vector: []float64{0.6, -0.8}},
+			{Label: "France", Category: 1, Vector: []float64{-0.9, 0.4}},
+		},
+		Relations: []core.ManualRelation{{
+			Name:  "movie->country",
+			Edges: []core.Edge{{From: 0, To: 3}, {From: 1, To: 3}, {From: 2, To: 4}},
+		}},
+	}
+}
+
+// Fig3 reproduces Figure 3: the learned 2-d coordinates of the example
+// dataset under sweeps of each hyperparameter (a: α, b: β, c: γ, d: δ).
+func Fig3() (*Report, error) {
+	p, err := core.BuildManualProblem(fig3Spec())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:     "fig3",
+		Title:  "Hyperparameter Geometry (2-d example, RO solver, 30 iterations)",
+		Header: []string{"sweep", "config", "Inception", "Godfather", "Amelie", "USA", "France"},
+		Notes: []string{
+			"shape: higher α stays near W0; higher β tightens columns; higher γ pulls related pairs; δ=0 collapses toward the centroid hull, higher δ spreads",
+		},
+	}
+	sweeps := []struct {
+		name   string
+		config func(v float64) core.Hyperparams
+		values []float64
+	}{
+		{"a: alpha", func(v float64) core.Hyperparams {
+			return core.Hyperparams{Alpha: v, Beta: 1, Gamma: 2, Delta: 1, Iterations: 30}
+		}, []float64{1, 2, 3}},
+		{"b: beta", func(v float64) core.Hyperparams {
+			return core.Hyperparams{Alpha: 2, Beta: v, Gamma: 2, Delta: 1, Iterations: 30}
+		}, []float64{1, 2, 3}},
+		{"c: gamma", func(v float64) core.Hyperparams {
+			return core.Hyperparams{Alpha: 2, Beta: 1, Gamma: v, Delta: 1, Iterations: 30}
+		}, []float64{1, 2, 3}},
+		{"d: delta", func(v float64) core.Hyperparams {
+			return core.Hyperparams{Alpha: 2, Beta: 1, Gamma: 3, Delta: v, Iterations: 30}
+		}, []float64{0, 1, 2}},
+	}
+	for _, sweep := range sweeps {
+		for _, v := range sweep.values {
+			h := sweep.config(v)
+			res := core.SolveRO(p, h, core.SolveOptions{})
+			row := []string{sweep.name, fmt.Sprintf("%v", v)}
+			for i := 0; i < p.N; i++ {
+				row = append(row, fmt.Sprintf("(%.2f,%.2f)", res.W.At(i, 0), res.W.At(i, 1)))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// Fig4 reproduces Figure 4: wall-clock runtime of RO and RN over growing
+// fractions of the TMDB database (the paper removes movies above
+// increasing id thresholds; we generate growing worlds).
+func Fig4(s Scale) (*Report, error) {
+	rep := &Report{
+		ID:     "fig4",
+		Title:  "Runtime of Relational Retrofitting vs database size (seconds)",
+		Header: []string{"movies", "text values", "RO", "RN", "RO/RN"},
+		Notes: []string{
+			"expected shape: both grow roughly linearly in text values; RO is roughly an order of magnitude slower than RN (paper: ~10x on TMDB)",
+		},
+	}
+	fractions := []float64{0.125, 0.25, 0.5, 0.75, 1.0}
+	for _, f := range fractions {
+		movies := int(float64(s.Movies) * f)
+		if movies < 10 {
+			movies = 10
+		}
+		w := datagen.TMDB(datagen.TMDBConfig{Movies: movies, Dim: s.Dim, Seed: s.Seed})
+		p, err := NewPipeline(w.DB, w.Embedding, extract.Options{}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		core.SolveRO(p.Problem, s.ROParams, core.SolveOptions{})
+		ro := time.Since(start)
+		start = time.Now()
+		core.SolveRN(p.Problem, s.RNParams, core.SolveOptions{})
+		rn := time.Since(start)
+		ratio := 0.0
+		if rn > 0 {
+			ratio = ro.Seconds() / rn.Seconds()
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", movies),
+			fmt.Sprintf("%d", p.Ex.NumValues()),
+			f3(ro.Seconds()), f3(rn.Seconds()), f2(ratio),
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/datawig"
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/ml"
+	"github.com/retrodb/retro/internal/mode"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// imputeTask is a category-imputation workload: entities with a vector
+// per method, a class label, and the single-table rows DataWig sees.
+type imputeTask struct {
+	pipeline *Pipeline
+	table    string
+	column   string
+	entities []string   // entity text values, sorted for determinism
+	labels   []int      // class per entity
+	dtwgRows [][]string // DataWig's spreadsheet view per entity
+	classes  int
+}
+
+// sample splits entities into train and test index sets.
+func (t *imputeTask) sample(rng *rand.Rand, nTrain, nTest int) (train, test []int) {
+	perm := rng.Perm(len(t.entities))
+	nTrain = min(nTrain, len(perm)*2/3)
+	train = perm[:nTrain]
+	test = perm[nTrain:]
+	if len(test) > nTest {
+		test = test[:nTest]
+	}
+	return train, test
+}
+
+func (t *imputeTask) matrix(m Method, idx []int) (*vec.Matrix, []int, error) {
+	dim, err := t.pipeline.Dim(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := vec.NewMatrix(len(idx), dim)
+	labels := make([]int, len(idx))
+	for i, id := range idx {
+		v, err := t.pipeline.Vector(m, t.table, t.column, t.entities[id])
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(x.Row(i), v)
+		labels[i] = t.labels[id]
+	}
+	return x, labels, nil
+}
+
+// runEmbedding trains Fig. 5a's softmax imputer on a method's vectors.
+func (t *imputeTask) runEmbedding(s Scale, m Method, rng *rand.Rand, seed int64) (float64, error) {
+	train, test := t.sample(rng, s.ImputeTrain, s.ImputeTest)
+	trainX, trainY, err := t.matrix(m, train)
+	if err != nil {
+		return 0, err
+	}
+	testX, testY, err := t.matrix(m, test)
+	if err != nil {
+		return 0, err
+	}
+	imp := ml.NewCategoryImputer(trainX.Cols, t.classes, s.nnConfig(seed))
+	if _, err := imp.Fit(trainX, trainY); err != nil {
+		return 0, err
+	}
+	return imp.Accuracy(testX, testY), nil
+}
+
+// runMode scores mode imputation on the same split protocol.
+func (t *imputeTask) runMode(s Scale, rng *rand.Rand) float64 {
+	train, test := t.sample(rng, s.ImputeTrain, s.ImputeTest)
+	trainY := make([]int, len(train))
+	for i, id := range train {
+		trainY[i] = t.labels[id]
+	}
+	m := mode.Train(trainY)
+	testY := make([]int, len(test))
+	for i, id := range test {
+		testY[i] = t.labels[id]
+	}
+	return m.Accuracy(testY)
+}
+
+// runDataWig scores the single-table n-gram imputer.
+func (t *imputeTask) runDataWig(s Scale, rng *rand.Rand, seed int64) (float64, error) {
+	train, test := t.sample(rng, s.ImputeTrain, s.ImputeTest)
+	trainRows := make([][]string, len(train))
+	trainY := make([]int, len(train))
+	for i, id := range train {
+		trainRows[i] = t.dtwgRows[id]
+		trainY[i] = t.labels[id]
+	}
+	imp, err := datawig.Train(trainRows, trainY, t.classes, datawig.Config{Seed: seed, Epochs: 60})
+	if err != nil {
+		return 0, err
+	}
+	testRows := make([][]string, len(test))
+	testY := make([]int, len(test))
+	for i, id := range test {
+		testRows[i] = t.dtwgRows[id]
+		testY[i] = t.labels[id]
+	}
+	return imp.Accuracy(testRows, testY), nil
+}
+
+// newLanguageTask builds the §5.5.2 "original language" imputation: the
+// embeddings are trained with the movies.original_language column hidden.
+func newLanguageTask(s Scale) (*imputeTask, *datagen.TMDBWorld, error) {
+	w := s.tmdbWorld()
+	p, err := NewPipeline(w.DB, w.Embedding, extract.Options{
+		ExcludeColumns: []string{"movies.original_language"},
+	}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	langIdx := map[string]int{}
+	langs := []string{}
+	for _, lang := range w.MovieLanguage {
+		if _, ok := langIdx[lang]; !ok {
+			langIdx[lang] = 0
+			langs = append(langs, lang)
+		}
+	}
+	sort.Strings(langs)
+	for i, l := range langs {
+		langIdx[l] = i
+	}
+	t := &imputeTask{pipeline: p, table: "movies", column: "title", classes: len(langs)}
+
+	res, err := w.DB.Exec(`SELECT title, overview FROM movies ORDER BY title`)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range res.Rows {
+		title := row[0].Str
+		if _, ok := p.Ex.Lookup("movies", "title", title); !ok {
+			continue
+		}
+		t.entities = append(t.entities, title)
+		t.labels = append(t.labels, langIdx[w.MovieLanguage[title]])
+		// DataWig's spreadsheet: the movie table's own text columns
+		// (title + overview); directors/actors/reviews live in other
+		// tables and stay out (§5.5.2).
+		t.dtwgRows = append(t.dtwgRows, []string{title, row[1].Str})
+	}
+	if len(t.entities) < 10 {
+		return nil, nil, fmt.Errorf("experiments: too few movies for the language task")
+	}
+	return t, w, nil
+}
+
+// newAppCategoryTask builds the §5.5.2 Google Play category imputation:
+// embeddings trained without the category column and the genre relation.
+func newAppCategoryTask(s Scale) (*imputeTask, *datagen.GooglePlayWorld, error) {
+	w := s.gplayWorld()
+	p, err := NewPipeline(w.DB, w.Embedding, extract.Options{
+		ExcludeColumns: []string{"categories.name", "genres.name"},
+	}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &imputeTask{pipeline: p, table: "apps", column: "name", classes: len(w.CategoryNames)}
+
+	res, err := w.DB.Exec(`
+		SELECT apps.name, pricing.name, ages.name
+		FROM apps
+		JOIN pricing ON apps.pricing_id = pricing.id
+		JOIN ages ON apps.age_id = ages.id
+		ORDER BY apps.name`)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, row := range res.Rows {
+		name := row[0].Str
+		if _, ok := p.Ex.Lookup("apps", "name", name); !ok {
+			continue
+		}
+		cat, ok := w.AppCategory[name]
+		if !ok {
+			continue
+		}
+		t.entities = append(t.entities, name)
+		t.labels = append(t.labels, cat)
+		// DataWig sees the app spreadsheet (name, pricing, age); reviews
+		// are omitted as in the paper ("can only be executed on singular
+		// tables").
+		t.dtwgRows = append(t.dtwgRows, []string{name, row[1].Str, row[2].Str})
+	}
+	if len(t.entities) < 10 {
+		return nil, nil, fmt.Errorf("experiments: too few apps for the category task")
+	}
+	return t, w, nil
+}
+
+// imputationReport runs the full §5.5.2 method comparison on a task.
+func imputationReport(s Scale, t *imputeTask, id, title, note string) (*Report, error) {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: []string{"method", "mean acc", "min", "max"},
+		Notes:  []string{note},
+	}
+	methods := []string{"MODE", "DTWG"}
+	for _, m := range AllMethods {
+		methods = append(methods, string(m))
+	}
+	for _, name := range methods {
+		var accs []float64
+		for r := 0; r < s.Repeats; r++ {
+			rng := rand.New(rand.NewSource(s.Seed + int64(10_000*r)))
+			var acc float64
+			var err error
+			switch name {
+			case "MODE":
+				acc = t.runMode(s, rng)
+			case "DTWG":
+				acc, err = t.runDataWig(s, rng, s.Seed+int64(r))
+			default:
+				acc, err = t.runEmbedding(s, Method(name), rng, s.Seed+int64(r))
+			}
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, acc)
+		}
+		rep.Rows = append(rep.Rows, []string{name, f3(vec.Mean(accs)), f3(minOf(accs)), f3(maxOf(accs))})
+	}
+	return rep, nil
+}
+
+// Fig12a reproduces Figure 12a: imputation of the original-language
+// property across all methods.
+func Fig12a(s Scale) (*Report, error) {
+	t, _, err := newLanguageTask(s)
+	if err != nil {
+		return nil, err
+	}
+	return imputationReport(s, t, "fig12a", "Imputation of Original Language Property",
+		"expected shape: MODE ≈ majority language share (paper 71%); PV slightly above; RO/RN top, above DTWG; DW comparable to RO/RN; +DW combos best")
+}
+
+// Fig12b reproduces Figure 12b: imputation of Google Play app categories.
+func Fig12b(s Scale) (*Report, error) {
+	t, _, err := newAppCategoryTask(s)
+	if err != nil {
+		return nil, err
+	}
+	return imputationReport(s, t, "fig12b", "Imputation of App Categories",
+		"expected shape: MODE poor; DTWG ≈ PV; RO/RN clearly best (reviews only reachable via FK); DW near MODE; +DW does not help")
+}
+
+// Fig10 reproduces Figure 10: hyperparameter grid for language imputation
+// with the RO solver (plain and +DW).
+func Fig10(s Scale) (*Report, error) {
+	return gridSearchImpute(s, core.RO, "fig10", "Hyperparameter Influence on Language Imputation (RO)")
+}
+
+// Fig11 reproduces Figure 11: the same grid for the RN solver.
+func Fig11(s Scale) (*Report, error) {
+	return gridSearchImpute(s, core.RN, "fig11", "Hyperparameter Influence on Language Imputation (RN)")
+}
+
+func gridSearchImpute(s Scale, variant core.Variant, id, title string) (*Report, error) {
+	var t *imputeTask
+	var w *datagen.TMDBWorld
+	world := func() (*Pipeline, error) {
+		var err error
+		if t == nil {
+			t, w, err = newLanguageTask(s)
+			if err != nil {
+				return nil, err
+			}
+			return t.pipeline, nil
+		}
+		p, err := NewPipeline(w.DB, w.Embedding, extract.Options{
+			ExcludeColumns: []string{"movies.original_language"},
+		}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		t.pipeline = p
+		return p, nil
+	}
+	task := func(s Scale, p *Pipeline, m Method, seed int64) (float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		return t.runEmbedding(s, m, rng, seed)
+	}
+	return gridSearch(s, variant, id, title, task, world)
+}

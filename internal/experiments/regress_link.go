@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/ml"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Fig13 reproduces Figure 13: regression of the movie production budget,
+// per embedding type, reporting mean absolute error in dollars. Targets
+// are standardised for training and de-standardised for the reported MAE.
+func Fig13(s Scale) (*Report, error) {
+	w := s.tmdbWorld()
+	p, err := NewPipeline(w.DB, w.Embedding, extract.Options{}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	var titles []string
+	for title := range w.MovieBudget {
+		if _, ok := p.Ex.Lookup("movies", "title", title); ok {
+			titles = append(titles, title)
+		}
+	}
+	sort.Strings(titles)
+	if len(titles) < 20 {
+		return nil, fmt.Errorf("experiments: too few movies for regression")
+	}
+
+	rep := &Report{
+		ID:     "fig13",
+		Title:  "Regression of Budget (MAE, millions of dollars)",
+		Header: []string{"method", "mean MAE", "min", "max"},
+		Notes: []string{
+			"expected shape: DW beats all text-based embeddings (budget is relational: company tier, country); RO/RN slightly better than MF/PV; +DW combos close to DW or slightly better",
+		},
+	}
+	for _, m := range AllMethods {
+		var maes []float64
+		for r := 0; r < s.Repeats; r++ {
+			rng := rand.New(rand.NewSource(s.Seed + int64(999*r)))
+			mae, err := runRegression(s, p, w.MovieBudget, titles, m, rng, s.Seed+int64(r))
+			if err != nil {
+				return nil, err
+			}
+			maes = append(maes, mae/1e6)
+		}
+		rep.Rows = append(rep.Rows, []string{string(m), f2(vec.Mean(maes)), f2(minOf(maes)), f2(maxOf(maes))})
+	}
+	return rep, nil
+}
+
+func runRegression(s Scale, p *Pipeline, budget map[string]float64, titles []string, m Method, rng *rand.Rand, seed int64) (float64, error) {
+	perm := rng.Perm(len(titles))
+	nTrain := min(s.RegressN, len(titles)*9/10)
+	trainIdx := perm[:nTrain]
+	testIdx := perm[nTrain:]
+	if len(testIdx) > s.RegressN/9+1 {
+		testIdx = testIdx[:s.RegressN/9+1]
+	}
+	if len(testIdx) == 0 {
+		return 0, fmt.Errorf("experiments: empty regression test set")
+	}
+	dim, err := p.Dim(m)
+	if err != nil {
+		return 0, err
+	}
+	gather := func(idx []int) (*vec.Matrix, []float64, error) {
+		x := vec.NewMatrix(len(idx), dim)
+		y := make([]float64, len(idx))
+		for i, id := range idx {
+			v, err := p.Vector(m, "movies", "title", titles[id])
+			if err != nil {
+				return nil, nil, err
+			}
+			copy(x.Row(i), v)
+			y[i] = budget[titles[id]]
+		}
+		return x, y, nil
+	}
+	trainX, trainY, err := gather(trainIdx)
+	if err != nil {
+		return 0, err
+	}
+	testX, testY, err := gather(testIdx)
+	if err != nil {
+		return 0, err
+	}
+	// Standardise targets on training statistics.
+	mean := vec.Mean(trainY)
+	std := vec.StdDev(trainY)
+	if std == 0 {
+		std = 1
+	}
+	zTrain := make([]float64, len(trainY))
+	for i, v := range trainY {
+		zTrain[i] = (v - mean) / std
+	}
+	cfg := s.nnConfig(seed)
+	cfg.Dropout = 0.1
+	reg := ml.NewRegressor(dim, cfg)
+	if _, err := reg.Fit(trainX, zTrain); err != nil {
+		return 0, err
+	}
+	// De-standardised MAE on the test set.
+	var total float64
+	for i := 0; i < testX.Rows; i++ {
+		pred := reg.Predict(testX.Row(i))*std + mean
+		d := pred - testY[i]
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total / float64(testX.Rows), nil
+}
+
+// Fig14 reproduces Figure 14: link prediction of movie-genre relations.
+// Embeddings are trained with the movie↔genre relation excluded; the
+// Fig. 5c two-tower network classifies (movie, genre) pairs.
+func Fig14(s Scale) (*Report, error) {
+	w := s.tmdbWorld()
+	p, err := NewPipeline(w.DB, w.Embedding, extract.Options{
+		// §5.7 trains the embeddings "without considering the respective
+		// relations": every movie↔genre group is hidden.
+		ExcludeRelations: []string{
+			"movies.title->genres.name",
+			"movies.overview->genres.name",
+			"movies.original_language->genres.name",
+		},
+	}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+
+	// Positive pairs from ground truth; negatives drawn uniformly from
+	// absent (title, genre) combinations (§5.7's protocol).
+	var titles []string
+	for title := range w.MovieGenres {
+		if _, ok := p.Ex.Lookup("movies", "title", title); ok {
+			titles = append(titles, title)
+		}
+	}
+	sort.Strings(titles)
+	genreSet := map[string]map[string]bool{}
+	for _, t := range titles {
+		genreSet[t] = map[string]bool{}
+		for _, g := range w.MovieGenres[t] {
+			genreSet[t][g] = true
+		}
+	}
+
+	rep := &Report{
+		ID:     "fig14",
+		Title:  "Link Prediction for Genres (pair classification accuracy)",
+		Header: []string{"method", "mean acc", "min", "max"},
+		Notes: []string{
+			"expected shape: DW fails (~chance: genre nodes are structurally identical once the relation is hidden); retrofits beat PV; RO/RN ≥ MF; +DW lifts text-based methods",
+		},
+	}
+	for _, m := range AllMethods {
+		var accs []float64
+		for r := 0; r < s.Repeats; r++ {
+			rng := rand.New(rand.NewSource(s.Seed + int64(555*r)))
+			acc, err := runLinkPrediction(s, p, w.GenreNames, titles, genreSet, m, rng, s.Seed+int64(r))
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, acc)
+		}
+		rep.Rows = append(rep.Rows, []string{string(m), f3(vec.Mean(accs)), f3(minOf(accs)), f3(maxOf(accs))})
+	}
+	return rep, nil
+}
+
+func runLinkPrediction(s Scale, p *Pipeline, genres []string, titles []string, truth map[string]map[string]bool, m Method, rng *rand.Rand, seed int64) (float64, error) {
+	type pair struct {
+		title, genre string
+		label        float64
+	}
+	var pairs []pair
+	// Positives.
+	for _, t := range titles {
+		for g := range truth[t] {
+			pairs = append(pairs, pair{t, g, 1})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].title != pairs[j].title {
+			return pairs[i].title < pairs[j].title
+		}
+		return pairs[i].genre < pairs[j].genre
+	})
+	nPos := len(pairs)
+	// Negatives: equal count of absent pairs.
+	for len(pairs) < 2*nPos {
+		t := titles[rng.Intn(len(titles))]
+		g := genres[rng.Intn(len(genres))]
+		if !truth[t][g] {
+			pairs = append(pairs, pair{t, g, 0})
+		}
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+
+	nTrain := len(pairs) * 2 / 3
+	dim, err := p.Dim(m)
+	if err != nil {
+		return 0, err
+	}
+	gather := func(ps []pair) (*vec.Matrix, *vec.Matrix, []float64, error) {
+		src := vec.NewMatrix(len(ps), dim)
+		dst := vec.NewMatrix(len(ps), dim)
+		y := make([]float64, len(ps))
+		for i, pr := range ps {
+			sv, err := p.Vector(m, "movies", "title", pr.title)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			dv, err := p.Vector(m, "genres", "name", pr.genre)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			copy(src.Row(i), sv)
+			copy(dst.Row(i), dv)
+			y[i] = pr.label
+		}
+		return src, dst, y, nil
+	}
+	trainS, trainD, trainY, err := gather(pairs[:nTrain])
+	if err != nil {
+		return 0, err
+	}
+	testS, testD, testY, err := gather(pairs[nTrain:])
+	if err != nil {
+		return 0, err
+	}
+	// The two-tower network must refine a shared projection before the
+	// difference becomes informative; give it a longer budget than the
+	// plain classifiers and a touch of weight decay against pair
+	// memorisation.
+	cfg := s.nnConfig(seed)
+	cfg.Epochs *= 4
+	cfg.Patience *= 4
+	cfg.LearnRate = 0.02
+	cfg.L2 = 5e-4
+	lp := ml.NewLinkPredictor(dim, dim, cfg)
+	if _, err := lp.Fit(trainS, trainD, trainY); err != nil {
+		return 0, err
+	}
+	return lp.Accuracy(testS, testD, testY), nil
+}

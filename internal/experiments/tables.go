@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/deepwalk"
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/graph"
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// Table1 reproduces Table 1: dataset properties (table counts with link
+// tables broken out, and unique text values).
+func Table1(s Scale) (*Report, error) {
+	rep := &Report{
+		ID:     "table1",
+		Title:  "Dataset Properties",
+		Header: []string{"dataset", "tables", "unique text values"},
+		Notes: []string{
+			fmt.Sprintf("synthetic worlds at scale %q (paper: TMDB 8(+7*) / 493751 values; Google Play 6(+1*) / 27571 values)", s.Name),
+			"* tables which only express n:m relations",
+		},
+	}
+	for _, d := range []struct {
+		name string
+		db   *reldb.DB
+	}{
+		{"TMDB", s.tmdbWorld().DB},
+		{"Google Play", s.gplayWorld().DB},
+	} {
+		ex, err := extract.FromDB(d.db, extract.Options{})
+		if err != nil {
+			return nil, err
+		}
+		links := len(d.db.LinkTables())
+		rep.Rows = append(rep.Rows, []string{
+			d.name,
+			fmt.Sprintf("%d(+%d*)", d.db.NumTables()-links, links),
+			fmt.Sprintf("%d", ex.NumValues()),
+		})
+	}
+	return rep, nil
+}
+
+// MeasureRuntimes times one single-threaded run of each embedding method
+// on an assembled pipeline: MF with 20 iterations, DeepWalk with the
+// scale's standard parameters, RO and RN with their configured iteration
+// counts — the §5.3 protocol.
+func MeasureRuntimes(s Scale, p *Pipeline) (mf, dw, ro, rn time.Duration, err error) {
+	start := time.Now()
+	core.SolveFaruqui(p.Problem, 1, 20)
+	mf = time.Since(start)
+
+	start = time.Now()
+	g := graph.Build(p.Ex)
+	if _, derr := deepwalk.Train(g, s.dwConfig(s.Seed)); derr != nil {
+		return 0, 0, 0, 0, derr
+	}
+	dw = time.Since(start)
+
+	start = time.Now()
+	core.SolveRO(p.Problem, s.ROParams, core.SolveOptions{})
+	ro = time.Since(start)
+
+	start = time.Now()
+	core.SolveRN(p.Problem, s.RNParams, core.SolveOptions{})
+	rn = time.Since(start)
+	return mf, dw, ro, rn, nil
+}
+
+// Table2 reproduces Table 2: runtime of the embedding methods on both
+// datasets, mean ± deviation over Repeats single-thread runs.
+func Table2(s Scale) (*Report, error) {
+	rep := &Report{
+		ID:     "table2",
+		Title:  "Runtime of Embedding Methods (seconds)",
+		Header: []string{"dataset", "MF", "DW", "RO", "RN"},
+		Notes: []string{
+			"expected shape: MF fastest, then RN, then RO, DW slowest (paper Table 2)",
+		},
+	}
+	for _, d := range []struct {
+		name string
+		db   *reldb.DB
+		emb  *embed.Store
+	}{
+		{"TMDB", nil, nil},
+		{"Google Play", nil, nil},
+	} {
+		var db *reldb.DB
+		var emb *embed.Store
+		if d.name == "TMDB" {
+			w := s.tmdbWorld()
+			db, emb = w.DB, w.Embedding
+		} else {
+			w := s.gplayWorld()
+			db, emb = w.DB, w.Embedding
+		}
+		p, err := NewPipeline(db, emb, extract.Options{}, s.ROParams, s.RNParams, s.dwConfig(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		var sums, sqs [4]float64
+		for r := 0; r < s.Repeats; r++ {
+			mf, dwT, ro, rn, err := MeasureRuntimes(s, p)
+			if err != nil {
+				return nil, err
+			}
+			for i, t := range []time.Duration{mf, dwT, ro, rn} {
+				sec := t.Seconds()
+				sums[i] += sec
+				sqs[i] += sec * sec
+			}
+		}
+		row := []string{d.name}
+		n := float64(s.Repeats)
+		for i := range sums {
+			mean := sums[i] / n
+			variance := sqs[i]/n - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			row = append(row, fmt.Sprintf("%.3f±%.3f", mean, math.Sqrt(variance)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

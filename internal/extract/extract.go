@@ -1,0 +1,408 @@
+// Package extract implements §3.2–3.3 of the paper: it pulls every unique
+// text value out of a relational database together with its categorial
+// connection (which column it lives in) and its relational connections to
+// other text values (row-wise, primary-key/foreign-key, and many-to-many
+// via link tables).
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// RelKind labels how a relation group was derived (§3.2 a/b/c).
+type RelKind uint8
+
+const (
+	// RowWise connects two text columns of the same table, row by row.
+	RowWise RelKind = iota
+	// PKFK connects text columns of two tables joined by a foreign key.
+	PKFK
+	// ManyToMany connects text columns of two tables joined by a link table.
+	ManyToMany
+)
+
+func (k RelKind) String() string {
+	switch k {
+	case RowWise:
+		return "row-wise"
+	case PKFK:
+		return "pk-fk"
+	case ManyToMany:
+		return "n:m"
+	default:
+		return fmt.Sprintf("RelKind(%d)", uint8(k))
+	}
+}
+
+// TextValue is one embedded entity: a distinct text value within one
+// column (§3.3: the same string in two different columns yields two
+// TextValues; within one column it yields one).
+type TextValue struct {
+	ID       int
+	Text     string
+	Category int // index into Extraction.Categories
+}
+
+// Category is a text column; every member TextValue shares it (§3.2
+// "categorial connections").
+type Category struct {
+	ID      int
+	Table   string
+	Column  string
+	Members []int // TextValue ids, ascending
+}
+
+// Name returns the qualified "table.column" name.
+func (c Category) Name() string { return c.Table + "." + c.Column }
+
+// Edge is a directed relation instance between two TextValues.
+type Edge struct{ From, To int }
+
+// RelationGroup is one E_r of the paper: all edges of one relationship
+// between a source and a target category. The inverse group E_r̄ is not
+// materialised; solvers derive it from the forward edges.
+type RelationGroup struct {
+	ID             int
+	Kind           RelKind
+	Name           string // e.g. "movies.title->persons.name"
+	SourceCategory int
+	TargetCategory int
+	Edges          []Edge // deduplicated, sorted by (From, To)
+}
+
+// Extraction is the §3.2 output: the text value registry plus categorial
+// and relational connections. It is the input to graph generation (§3.4)
+// and to the retrofitting problem (§4.2).
+type Extraction struct {
+	Values     []TextValue
+	Categories []Category
+	Relations  []RelationGroup
+
+	valueIndex map[valueKey]int
+	catIndex   map[string]int
+}
+
+type valueKey struct {
+	category int
+	text     string
+}
+
+// Options tunes extraction.
+type Options struct {
+	// ExcludeColumns removes "table.column" text columns entirely: no
+	// category, no values, no relations touching them. Used by the
+	// imputation experiments which train embeddings with the target
+	// column hidden.
+	ExcludeColumns []string
+	// ExcludeRelations removes relation groups whose Name matches (both
+	// directions checked). Used by the link prediction experiment.
+	ExcludeRelations []string
+	// MaxValueLength truncates extremely long text values (0 = keep all).
+	MaxValueLength int
+}
+
+func (o Options) excludedColumn(table, column string) bool {
+	qual := table + "." + column
+	for _, e := range o.ExcludeColumns {
+		if strings.EqualFold(e, qual) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Options) excludedRelation(name string) bool {
+	for _, e := range o.ExcludeRelations {
+		if strings.EqualFold(e, name) || strings.EqualFold(reverseName(e), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func reverseName(name string) string {
+	parts := strings.Split(name, "->")
+	if len(parts) != 2 {
+		return name
+	}
+	return parts[1] + "->" + parts[0]
+}
+
+// FromDB runs the full §3.2 extraction over a database.
+func FromDB(db *reldb.DB, opts Options) (*Extraction, error) {
+	ex := &Extraction{
+		valueIndex: make(map[valueKey]int),
+		catIndex:   make(map[string]int),
+	}
+
+	// Pass 1: categories and text values (column order is deterministic).
+	for _, t := range db.Tables() {
+		for _, ci := range t.TextColumns() {
+			if opts.excludedColumn(t.Name, t.Columns[ci].Name) {
+				continue
+			}
+			cat := ex.ensureCategory(t.Name, t.Columns[ci].Name)
+			t.Scan(func(_ int, row []reldb.Value) bool {
+				if s, ok := row[ci].AsText(); ok {
+					ex.ensureValue(cat, clip(s, opts.MaxValueLength))
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2a: row-wise relationships between text column pairs.
+	for _, t := range db.Tables() {
+		cols := ex.activeTextColumns(t, opts)
+		for a := 0; a < len(cols); a++ {
+			for b := a + 1; b < len(cols); b++ {
+				ex.addRowWise(t, cols[a], cols[b], opts)
+			}
+		}
+	}
+
+	// Pass 2b: PK-FK relationships. For each FK S.fk -> T.pk connect every
+	// text column of S with every text column of T.
+	for _, s := range db.Tables() {
+		if s.IsLinkTable() {
+			continue // handled as n:m below
+		}
+		for _, fkCol := range s.ForeignKeyColumns() {
+			fk := s.Columns[fkCol].FK
+			target, ok := db.Table(fk.Table)
+			if !ok {
+				return nil, fmt.Errorf("extract: FK to unknown table %q", fk.Table)
+			}
+			ex.addPKFK(db, s, fkCol, target, opts)
+		}
+	}
+
+	// Pass 2c: many-to-many relationships via link tables.
+	for _, link := range db.LinkTables() {
+		fks := link.ForeignKeyColumns()
+		s, _ := db.Table(link.Columns[fks[0]].FK.Table)
+		t, _ := db.Table(link.Columns[fks[1]].FK.Table)
+		ex.addManyToMany(link, fks[0], fks[1], s, t, opts)
+	}
+
+	ex.finalize()
+	return ex, nil
+}
+
+func clip(s string, max int) string {
+	if max > 0 && len(s) > max {
+		return s[:max]
+	}
+	return s
+}
+
+func (ex *Extraction) activeTextColumns(t *reldb.Table, opts Options) []int {
+	var out []int
+	for _, ci := range t.TextColumns() {
+		if !opts.excludedColumn(t.Name, t.Columns[ci].Name) {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+func (ex *Extraction) ensureCategory(table, column string) int {
+	key := table + "." + column
+	if id, ok := ex.catIndex[key]; ok {
+		return id
+	}
+	id := len(ex.Categories)
+	ex.Categories = append(ex.Categories, Category{ID: id, Table: table, Column: column})
+	ex.catIndex[key] = id
+	return id
+}
+
+func (ex *Extraction) ensureValue(category int, text string) int {
+	key := valueKey{category, text}
+	if id, ok := ex.valueIndex[key]; ok {
+		return id
+	}
+	id := len(ex.Values)
+	ex.Values = append(ex.Values, TextValue{ID: id, Text: text, Category: category})
+	ex.valueIndex[key] = id
+	ex.Categories[category].Members = append(ex.Categories[category].Members, id)
+	return id
+}
+
+// Lookup returns the id of a text value within a category.
+func (ex *Extraction) Lookup(table, column, text string) (int, bool) {
+	cat, ok := ex.catIndex[table+"."+column]
+	if !ok {
+		return 0, false
+	}
+	id, ok := ex.valueIndex[valueKey{cat, text}]
+	return id, ok
+}
+
+// CategoryByName returns a category by "table.column".
+func (ex *Extraction) CategoryByName(name string) (Category, bool) {
+	id, ok := ex.catIndex[strings.ToLower(name)]
+	if !ok {
+		return Category{}, false
+	}
+	return ex.Categories[id], true
+}
+
+// NumValues returns the count of unique text values (Table 1's metric).
+func (ex *Extraction) NumValues() int { return len(ex.Values) }
+
+func (ex *Extraction) addRowWise(t *reldb.Table, colA, colB int, opts Options) {
+	catA := ex.catIndex[t.Name+"."+t.Columns[colA].Name]
+	catB := ex.catIndex[t.Name+"."+t.Columns[colB].Name]
+	name := relName(ex.Categories[catA], ex.Categories[catB])
+	if opts.excludedRelation(name) {
+		return
+	}
+	var edges []Edge
+	t.Scan(func(_ int, row []reldb.Value) bool {
+		sa, okA := row[colA].AsText()
+		sb, okB := row[colB].AsText()
+		if okA && okB {
+			edges = append(edges, Edge{
+				From: ex.ensureValue(catA, clip(sa, opts.MaxValueLength)),
+				To:   ex.ensureValue(catB, clip(sb, opts.MaxValueLength)),
+			})
+		}
+		return true
+	})
+	ex.appendGroup(RowWise, name, catA, catB, edges)
+}
+
+func (ex *Extraction) addPKFK(db *reldb.DB, s *reldb.Table, fkCol int, target *reldb.Table, opts Options) {
+	sCols := ex.activeTextColumns(s, opts)
+	tCols := ex.activeTextColumns(target, opts)
+	if len(sCols) == 0 || len(tCols) == 0 {
+		return
+	}
+	for _, sc := range sCols {
+		for _, tc := range tCols {
+			catS := ex.catIndex[s.Name+"."+s.Columns[sc].Name]
+			catT := ex.catIndex[target.Name+"."+target.Columns[tc].Name]
+			name := relName(ex.Categories[catS], ex.Categories[catT])
+			if opts.excludedRelation(name) {
+				continue
+			}
+			var edges []Edge
+			s.Scan(func(_ int, row []reldb.Value) bool {
+				fkVal := row[fkCol]
+				if fkVal.IsNull() {
+					return true
+				}
+				sText, ok := row[sc].AsText()
+				if !ok {
+					return true
+				}
+				rowID, ok := target.LookupPK(fkVal)
+				if !ok {
+					return true
+				}
+				tText, ok := target.Row(rowID)[tc].AsText()
+				if !ok {
+					return true
+				}
+				edges = append(edges, Edge{
+					From: ex.ensureValue(catS, clip(sText, opts.MaxValueLength)),
+					To:   ex.ensureValue(catT, clip(tText, opts.MaxValueLength)),
+				})
+				return true
+			})
+			ex.appendGroup(PKFK, name, catS, catT, edges)
+		}
+	}
+}
+
+func (ex *Extraction) addManyToMany(link *reldb.Table, fkA, fkB int, s, t *reldb.Table, opts Options) {
+	sCols := ex.activeTextColumns(s, opts)
+	tCols := ex.activeTextColumns(t, opts)
+	for _, sc := range sCols {
+		for _, tc := range tCols {
+			catS := ex.catIndex[s.Name+"."+s.Columns[sc].Name]
+			catT := ex.catIndex[t.Name+"."+t.Columns[tc].Name]
+			name := relName(ex.Categories[catS], ex.Categories[catT]) + "[" + link.Name + "]"
+			if opts.excludedRelation(name) || opts.excludedRelation(relName(ex.Categories[catS], ex.Categories[catT])) {
+				continue
+			}
+			var edges []Edge
+			link.Scan(func(_ int, row []reldb.Value) bool {
+				av, bv := row[fkA], row[fkB]
+				if av.IsNull() || bv.IsNull() {
+					return true
+				}
+				sRow, ok := s.LookupPK(av)
+				if !ok {
+					return true
+				}
+				tRow, ok := t.LookupPK(bv)
+				if !ok {
+					return true
+				}
+				sText, okS := s.Row(sRow)[sc].AsText()
+				tText, okT := t.Row(tRow)[tc].AsText()
+				if !okS || !okT {
+					return true
+				}
+				edges = append(edges, Edge{
+					From: ex.ensureValue(catS, clip(sText, opts.MaxValueLength)),
+					To:   ex.ensureValue(catT, clip(tText, opts.MaxValueLength)),
+				})
+				return true
+			})
+			ex.appendGroup(ManyToMany, name, catS, catT, edges)
+		}
+	}
+}
+
+func relName(a, b Category) string { return a.Name() + "->" + b.Name() }
+
+// appendGroup deduplicates, sorts and registers a relation group; empty
+// groups are dropped.
+func (ex *Extraction) appendGroup(kind RelKind, name string, src, dst int, edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	dedup := edges[:1]
+	for _, e := range edges[1:] {
+		if last := dedup[len(dedup)-1]; e != last {
+			dedup = append(dedup, e)
+		}
+	}
+	ex.Relations = append(ex.Relations, RelationGroup{
+		ID:             len(ex.Relations),
+		Kind:           kind,
+		Name:           name,
+		SourceCategory: src,
+		TargetCategory: dst,
+		Edges:          dedup,
+	})
+}
+
+func (ex *Extraction) finalize() {
+	for i := range ex.Categories {
+		sort.Ints(ex.Categories[i].Members)
+	}
+}
+
+// Stats summarises the extraction for logging and Table 1.
+func (ex *Extraction) Stats() string {
+	edges := 0
+	for _, r := range ex.Relations {
+		edges += len(r.Edges)
+	}
+	return fmt.Sprintf("%d text values, %d categories, %d relation groups, %d edges",
+		len(ex.Values), len(ex.Categories), len(ex.Relations), edges)
+}

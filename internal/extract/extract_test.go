@@ -1,0 +1,314 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// movieDB builds the paper's running example: movies with directors
+// (row-wise), reviews via FK (pk-fk), and genres via a link table (n:m).
+func movieDB(t *testing.T) *reldb.DB {
+	t.Helper()
+	db := reldb.New()
+	stmts := []string{
+		`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, director TEXT)`,
+		`CREATE TABLE reviews (id INT PRIMARY KEY, movie_id INT REFERENCES movies(id), body TEXT)`,
+		`CREATE TABLE genres (id INT PRIMARY KEY, name TEXT)`,
+		`CREATE TABLE movie_genres (movie_id INT REFERENCES movies(id), genre_id INT REFERENCES genres(id))`,
+		`INSERT INTO movies VALUES (1, 'Brazil', 'Terry Gilliam'), (2, 'Alien', 'Ridley Scott'), (3, 'Valerian', 'Luc Besson'), (4, '5th Element', 'Luc Besson')`,
+		`INSERT INTO reviews VALUES (1, 1, 'dark satire'), (2, 2, 'space horror'), (3, 4, 'colourful space opera')`,
+		`INSERT INTO genres VALUES (1, 'SciFi'), (2, 'Comedy')`,
+		`INSERT INTO movie_genres VALUES (1, 2), (2, 1), (3, 1), (4, 1)`,
+	}
+	for _, s := range stmts {
+		db.MustExec(s)
+	}
+	return db
+}
+
+func groupByName(ex *Extraction, name string) *RelationGroup {
+	for i := range ex.Relations {
+		if ex.Relations[i].Name == name {
+			return &ex.Relations[i]
+		}
+	}
+	return nil
+}
+
+func TestCategoriesAndValues(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text columns: movies.title, movies.director, reviews.body, genres.name.
+	if len(ex.Categories) != 4 {
+		t.Fatalf("categories = %d: %+v", len(ex.Categories), ex.Categories)
+	}
+	// Unique text values: 4 titles + 3 directors (Besson deduped) + 3 reviews + 2 genres.
+	if ex.NumValues() != 12 {
+		t.Fatalf("values = %d, want 12 (%s)", ex.NumValues(), ex.Stats())
+	}
+	cat, ok := ex.CategoryByName("movies.director")
+	if !ok || len(cat.Members) != 3 {
+		t.Fatalf("movies.director members = %+v", cat)
+	}
+}
+
+func TestUniquenessSemantics(t *testing.T) {
+	// §3.3: same text in the same column -> one embedding; same text in
+	// different columns -> distinct embeddings.
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE t (a TEXT, b TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES ('Amelie', 'Amelie'), ('Amelie', 'Other')`)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: {Amelie}, b: {Amelie, Other} -> 3 values.
+	if ex.NumValues() != 3 {
+		t.Fatalf("values = %d, want 3", ex.NumValues())
+	}
+	idA, okA := ex.Lookup("t", "a", "Amelie")
+	idB, okB := ex.Lookup("t", "b", "Amelie")
+	if !okA || !okB || idA == idB {
+		t.Fatalf("cross-column identity: %d %d", idA, idB)
+	}
+}
+
+func TestRowWiseRelation(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groupByName(ex, "movies.title->movies.director")
+	if g == nil {
+		t.Fatalf("missing row-wise group; have %v", names(ex))
+	}
+	if g.Kind != RowWise {
+		t.Fatalf("kind = %v", g.Kind)
+	}
+	if len(g.Edges) != 4 {
+		t.Fatalf("edges = %d, want 4", len(g.Edges))
+	}
+	// Luc Besson appears twice as target (two movies).
+	besson, _ := ex.Lookup("movies", "director", "Luc Besson")
+	count := 0
+	for _, e := range g.Edges {
+		if e.To == besson {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("Besson indegree = %d, want 2", count)
+	}
+}
+
+func TestPKFKRelation(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groupByName(ex, "reviews.body->movies.title")
+	if g == nil {
+		t.Fatalf("missing pk-fk group; have %v", names(ex))
+	}
+	if g.Kind != PKFK || len(g.Edges) != 3 {
+		t.Fatalf("pk-fk group = %+v", g)
+	}
+	// A second group connects reviews.body with movies.director.
+	g2 := groupByName(ex, "reviews.body->movies.director")
+	if g2 == nil || g2.Kind != PKFK {
+		t.Fatalf("missing reviews->director group; have %v", names(ex))
+	}
+}
+
+func TestManyToManyRelation(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nm *RelationGroup
+	for i := range ex.Relations {
+		if ex.Relations[i].Kind == ManyToMany && strings.Contains(ex.Relations[i].Name, "genres.name") &&
+			strings.Contains(ex.Relations[i].Name, "movies.title") {
+			nm = &ex.Relations[i]
+		}
+	}
+	if nm == nil {
+		t.Fatalf("missing n:m group; have %v", names(ex))
+	}
+	if len(nm.Edges) != 4 {
+		t.Fatalf("n:m edges = %d, want 4", len(nm.Edges))
+	}
+}
+
+func TestEdgeDeduplication(t *testing.T) {
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE t (a TEXT, b TEXT)`)
+	// Same (x,y) pair twice.
+	db.MustExec(`INSERT INTO t VALUES ('x', 'y'), ('x', 'y'), ('x', 'z')`)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groupByName(ex, "t.a->t.b")
+	if g == nil || len(g.Edges) != 2 {
+		t.Fatalf("dedup failed: %+v", g)
+	}
+}
+
+func TestExcludeColumns(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{ExcludeColumns: []string{"movies.director"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.CategoryByName("movies.director"); ok {
+		t.Fatal("excluded column still present")
+	}
+	if groupByName(ex, "movies.title->movies.director") != nil {
+		t.Fatal("relation with excluded column still present")
+	}
+	if groupByName(ex, "reviews.body->movies.director") != nil {
+		t.Fatal("pk-fk relation with excluded column still present")
+	}
+	// 12 - 3 directors = 9 values.
+	if ex.NumValues() != 9 {
+		t.Fatalf("values = %d, want 9", ex.NumValues())
+	}
+}
+
+func TestExcludeRelations(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{ExcludeRelations: []string{"movies.title->genres.name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ex.Relations {
+		if r.Kind == ManyToMany && strings.Contains(r.Name, "genres.name") && strings.Contains(r.Name, "movies.title") {
+			t.Fatalf("excluded relation still present: %s", r.Name)
+		}
+	}
+	// Values are unaffected by relation exclusion.
+	if ex.NumValues() != 12 {
+		t.Fatalf("values = %d, want 12", ex.NumValues())
+	}
+	// The reversed spelling must also match.
+	ex2, err := FromDB(movieDB(t), Options{ExcludeRelations: []string{"genres.name->movies.title"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ex2.Relations {
+		if r.Kind == ManyToMany && strings.Contains(r.Name, "genres.name") && strings.Contains(r.Name, "movies.title") {
+			t.Fatalf("reverse-name exclusion failed: %s", r.Name)
+		}
+	}
+}
+
+func TestNullAndNumericColumnsIgnored(t *testing.T) {
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE t (a TEXT, n FLOAT, b TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES ('x', 1.5, NULL), (NULL, 2.5, 'y')`)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumValues() != 2 {
+		t.Fatalf("values = %d, want 2", ex.NumValues())
+	}
+	// No row has both a and b non-null, so no row-wise edges.
+	if g := groupByName(ex, "t.a->t.b"); g != nil {
+		t.Fatalf("unexpected group %+v", g)
+	}
+}
+
+func TestMaxValueLength(t *testing.T) {
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE t (a TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES ('abcdefghij')`)
+	ex, err := FromDB(db, Options{MaxValueLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Values[0].Text != "abcd" {
+		t.Fatalf("clip failed: %q", ex.Values[0].Text)
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.Lookup("movies", "title", "Nonexistent"); ok {
+		t.Fatal("found missing value")
+	}
+	if _, ok := ex.Lookup("nope", "title", "Brazil"); ok {
+		t.Fatal("found value in missing category")
+	}
+}
+
+func TestCategoryMembersSorted(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ex.Categories {
+		for i := 1; i < len(c.Members); i++ {
+			if c.Members[i-1] >= c.Members[i] {
+				t.Fatalf("category %s members not strictly ascending: %v", c.Name(), c.Members)
+			}
+		}
+	}
+}
+
+func TestRelKindString(t *testing.T) {
+	if RowWise.String() != "row-wise" || PKFK.String() != "pk-fk" || ManyToMany.String() != "n:m" {
+		t.Fatal("RelKind strings wrong")
+	}
+	if RelKind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ex, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Stats(), "12 text values") {
+		t.Fatalf("Stats = %s", ex.Stats())
+	}
+}
+
+func TestDeterministicExtraction(t *testing.T) {
+	a, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromDB(movieDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatal("extraction not deterministic")
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+	for i := range a.Relations {
+		if a.Relations[i].Name != b.Relations[i].Name || len(a.Relations[i].Edges) != len(b.Relations[i].Edges) {
+			t.Fatalf("relation %d differs", i)
+		}
+	}
+}
+
+func names(ex *Extraction) []string {
+	var out []string
+	for _, r := range ex.Relations {
+		out = append(out, r.Name)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package graph implements §3.4 of the paper: the common property-graph
+// representation of a database's text values. Nodes are the text values
+// plus one blank node per column (category); edges are the relation-group
+// edges plus category-membership edges. DeepWalk consumes this graph.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/extract"
+)
+
+// Graph is an undirected multigraph over text-value and category nodes.
+// Node ids 0..NumText-1 are text values (matching extract ids);
+// NumText..NumText+NumCat-1 are blank category nodes.
+type Graph struct {
+	NumText int
+	NumCat  int
+	adj     [][]int32
+	labels  []string
+}
+
+// NumNodes returns the total node count.
+func (g *Graph) NumNodes() int { return g.NumText + g.NumCat }
+
+// CategoryNode maps a category id to its blank node id.
+func (g *Graph) CategoryNode(cat int) int { return g.NumText + cat }
+
+// IsCategoryNode reports whether node id is a blank category node.
+func (g *Graph) IsCategoryNode(id int) bool { return id >= g.NumText }
+
+// Label returns a human-readable node label ("text" or "column:t.c").
+func (g *Graph) Label(id int) string { return g.labels[id] }
+
+// Degree returns the number of incident edge endpoints at node id.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Neighbors returns the adjacency list of node id (not a copy).
+func (g *Graph) Neighbors(id int) []int32 { return g.adj[id] }
+
+// NumEdges returns the undirected edge count (each edge stored twice).
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Build compiles the §3.4 graph G = (V, E): V = V_T ∪ V_C and
+// E = ⋃_r E_r ∪ E_C.
+func Build(ex *extract.Extraction) *Graph {
+	g := &Graph{
+		NumText: len(ex.Values),
+		NumCat:  len(ex.Categories),
+	}
+	g.adj = make([][]int32, g.NumNodes())
+	g.labels = make([]string, g.NumNodes())
+	for _, v := range ex.Values {
+		g.labels[v.ID] = v.Text
+	}
+	for _, c := range ex.Categories {
+		g.labels[g.CategoryNode(c.ID)] = "column:" + c.Name()
+	}
+	addEdge := func(a, b int) {
+		g.adj[a] = append(g.adj[a], int32(b))
+		g.adj[b] = append(g.adj[b], int32(a))
+	}
+	for _, r := range ex.Relations {
+		for _, e := range r.Edges {
+			addEdge(e.From, e.To)
+		}
+	}
+	for _, c := range ex.Categories {
+		cn := g.CategoryNode(c.ID)
+		for _, m := range c.Members {
+			addEdge(m, cn)
+		}
+	}
+	return g
+}
+
+// RandomWalk performs a uniform random walk of the given length (number
+// of nodes including the start). Walks stop early at isolated nodes.
+func (g *Graph) RandomWalk(rng *rand.Rand, start, length int) []int {
+	if start < 0 || start >= g.NumNodes() {
+		panic(fmt.Sprintf("graph: walk start %d out of range", start))
+	}
+	walk := make([]int, 0, length)
+	cur := start
+	walk = append(walk, cur)
+	for len(walk) < length {
+		nbrs := g.adj[cur]
+		if len(nbrs) == 0 {
+			break
+		}
+		cur = int(nbrs[rng.Intn(len(nbrs))])
+		walk = append(walk, cur)
+	}
+	return walk
+}
+
+// WalkCorpus generates walksPerNode random walks from every node, in a
+// node order shuffled per pass (the DeepWalk schedule). The result is a
+// corpus of node-id sentences for skip-gram training.
+func (g *Graph) WalkCorpus(rng *rand.Rand, walksPerNode, walkLength int) [][]int {
+	n := g.NumNodes()
+	corpus := make([][]int, 0, n*walksPerNode)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for pass := 0; pass < walksPerNode; pass++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, start := range order {
+			corpus = append(corpus, g.RandomWalk(rng, start, walkLength))
+		}
+	}
+	return corpus
+}
+
+// ConnectedComponent returns all node ids reachable from start (including
+// start). Used by incremental retrofitting to bound re-solves.
+func (g *Graph) ConnectedComponent(start int) []int {
+	seen := make(map[int]bool, 64)
+	stack := []int{start}
+	seen[start] = true
+	var out []int
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, cur)
+		for _, nb := range g.adj[cur] {
+			if !seen[int(nb)] {
+				seen[int(nb)] = true
+				stack = append(stack, int(nb))
+			}
+		}
+	}
+	return out
+}

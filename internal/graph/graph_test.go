@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+func fixtureExtraction(t *testing.T) *extract.Extraction {
+	t.Helper()
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, director TEXT)`)
+	db.MustExec(`INSERT INTO movies VALUES (1, 'Brazil', 'Terry Gilliam'), (2, 'Alien', 'Ridley Scott')`)
+	ex, err := extract.FromDB(db, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestBuildNodesAndEdges(t *testing.T) {
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	// 4 text values + 2 category nodes.
+	if g.NumText != 4 || g.NumCat != 2 || g.NumNodes() != 6 {
+		t.Fatalf("nodes: text=%d cat=%d", g.NumText, g.NumCat)
+	}
+	// Edges: 2 relation edges + 4 category-membership edges.
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d, want 6", g.NumEdges())
+	}
+	// Every text node: 1 relation edge + 1 category edge = degree 2.
+	for id := 0; id < g.NumText; id++ {
+		if g.Degree(id) != 2 {
+			t.Fatalf("text node %d degree = %d", id, g.Degree(id))
+		}
+	}
+	// Category nodes have degree 2 (two members each).
+	for c := 0; c < g.NumCat; c++ {
+		if g.Degree(g.CategoryNode(c)) != 2 {
+			t.Fatalf("category node %d degree = %d", c, g.Degree(g.CategoryNode(c)))
+		}
+	}
+}
+
+func TestLabelsAndCategoryNodes(t *testing.T) {
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	id, ok := ex.Lookup("movies", "title", "Brazil")
+	if !ok {
+		t.Fatal("Brazil missing")
+	}
+	if g.Label(id) != "Brazil" {
+		t.Fatalf("label = %q", g.Label(id))
+	}
+	if !g.IsCategoryNode(g.CategoryNode(0)) || g.IsCategoryNode(0) {
+		t.Fatal("IsCategoryNode wrong")
+	}
+	catLabel := g.Label(g.CategoryNode(0))
+	if catLabel != "column:movies.title" && catLabel != "column:movies.director" {
+		t.Fatalf("category label = %q", catLabel)
+	}
+}
+
+func TestRandomWalkStaysInGraph(t *testing.T) {
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	rng := rand.New(rand.NewSource(1))
+	for start := 0; start < g.NumNodes(); start++ {
+		walk := g.RandomWalk(rng, start, 10)
+		if len(walk) != 10 {
+			t.Fatalf("walk length = %d (graph is connected, should not stop)", len(walk))
+		}
+		if walk[0] != start {
+			t.Fatal("walk must start at start")
+		}
+		for i := 1; i < len(walk); i++ {
+			found := false
+			for _, nb := range g.Neighbors(walk[i-1]) {
+				if int(nb) == walk[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("walk step %d->%d is not an edge", walk[i-1], walk[i])
+			}
+		}
+	}
+}
+
+func TestRandomWalkIsolatedNode(t *testing.T) {
+	// A single-column table yields text nodes connected only to the
+	// category node; removing relations keeps the graph connected, so
+	// instead build a graph manually via an extraction with one value and
+	// verify early stop at a dangling node is impossible here. We instead
+	// check panics for bad start.
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range start")
+		}
+	}()
+	g.RandomWalk(rand.New(rand.NewSource(1)), g.NumNodes(), 5)
+}
+
+func TestWalkCorpusShape(t *testing.T) {
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	rng := rand.New(rand.NewSource(2))
+	corpus := g.WalkCorpus(rng, 3, 5)
+	if len(corpus) != 3*g.NumNodes() {
+		t.Fatalf("corpus size = %d, want %d", len(corpus), 3*g.NumNodes())
+	}
+	// Every node appears as a start exactly walksPerNode times.
+	starts := make(map[int]int)
+	for _, w := range corpus {
+		starts[w[0]]++
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		if starts[id] != 3 {
+			t.Fatalf("node %d started %d walks, want 3", id, starts[id])
+		}
+	}
+}
+
+func TestWalkCorpusDeterministic(t *testing.T) {
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	a := g.WalkCorpus(rand.New(rand.NewSource(7)), 2, 4)
+	b := g.WalkCorpus(rand.New(rand.NewSource(7)), 2, 4)
+	if len(a) != len(b) {
+		t.Fatal("corpus sizes differ")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("corpus not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestConnectedComponent(t *testing.T) {
+	ex := fixtureExtraction(t)
+	g := Build(ex)
+	// The fixture graph is fully connected through category nodes.
+	comp := g.ConnectedComponent(0)
+	if len(comp) != g.NumNodes() {
+		t.Fatalf("component size = %d, want %d", len(comp), g.NumNodes())
+	}
+}
+
+func TestConnectedComponentDisconnected(t *testing.T) {
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE a (x TEXT)`)
+	db.MustExec(`CREATE TABLE b (y TEXT)`)
+	db.MustExec(`INSERT INTO a VALUES ('p'), ('q')`)
+	db.MustExec(`INSERT INTO b VALUES ('r')`)
+	ex, err := extract.FromDB(db, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(ex)
+	// Component of 'p': p, q and category a.x = 3 nodes.
+	comp := g.ConnectedComponent(0)
+	if len(comp) != 3 {
+		t.Fatalf("component = %v", comp)
+	}
+}

@@ -1,0 +1,265 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/nn"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// LinkPredictor is the two-tower network of Fig. 5c: the source and
+// target embeddings each pass through their own d→300 sigmoid layer, the
+// results are subtracted, and the difference passes through a 300→300
+// sigmoid layer into one sigmoid output trained with binary cross-entropy.
+type LinkPredictor struct {
+	cfg Config
+
+	srcDense, dstDense *nn.Dense
+	srcAct, dstAct     *nn.Activation
+	hidden             *nn.Dense
+	hiddenAct          *nn.Activation
+	out                *nn.Dense
+	loss               nn.BCELoss
+}
+
+// NewLinkPredictor builds the towers for source/target input widths.
+// When the two widths match, the tower weights are shared (a Siamese
+// network): §5.7 describes "an inner layer" processing both embeddings,
+// and without sharing, ‖σ(A·s) − σ(B·t)‖ carries no s·t interaction at
+// initialisation (AᵀB ≈ 0), leaving gradient descent at a saddle.
+func NewLinkPredictor(srcDim, dstDim int, cfg Config) *LinkPredictor {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := cfg.Hidden2
+	src := nn.NewDense(srcDim, h, rng)
+	var dst *nn.Dense
+	if dstDim == srcDim {
+		dst = src.SharedClone()
+	} else {
+		dst = nn.NewDense(dstDim, h, rng)
+	}
+	hidden := nn.NewDense(h, h, rng)
+	out := nn.NewDense(h, 1, rng)
+	// The relatedness label is an even function of the tower difference
+	// (it depends on its magnitude), but a zero-bias sigmoid stack is an
+	// odd function of it, which strands gradient descent at a saddle: the
+	// net then either stays at chance or memorises pairs. Start the
+	// network inside the distance-detector basin instead: the
+	// post-subtract layer operates at bias 1 (where the sigmoid has
+	// curvature), and the output layer reads the mean of those units with
+	// a matching negative bias, so the initial logit is a monotone
+	// function of ‖difference‖ that training then refines.
+	hiddenBias := hidden.Params()[1]
+	for i := range hiddenBias.W.Data {
+		hiddenBias.W.Data[i] = 1
+	}
+	// Scale the post-subtract weights up so the difference actually moves
+	// the sigmoid off its bias point.
+	hiddenWeight := hidden.Params()[0]
+	for i := range hiddenWeight.W.Data {
+		hiddenWeight.W.Data[i] *= 4
+	}
+	outWeight := out.Params()[0]
+	const readout = 1.0
+	for i := range outWeight.W.Data {
+		outWeight.W.Data[i] = readout
+	}
+	sigmaAt1 := 1.0 / (1.0 + math.Exp(-1.0))
+	out.Params()[1].W.Set(0, 0, -readout*float64(h)*sigmaAt1)
+	return &LinkPredictor{
+		cfg:       cfg,
+		srcDense:  src,
+		srcAct:    nn.NewActivation(nn.Sigmoid),
+		dstDense:  dst,
+		dstAct:    nn.NewActivation(nn.Sigmoid),
+		hidden:    hidden,
+		hiddenAct: nn.NewActivation(nn.Sigmoid),
+		out:       out,
+	}
+}
+
+func (l *LinkPredictor) params() []*nn.Param {
+	var out []*nn.Param
+	seen := map[*nn.Param]bool{}
+	for _, layer := range []nn.Layer{l.srcDense, l.dstDense, l.hidden, l.out} {
+		for _, p := range layer.Params() {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// forward computes logits for batches of source/target embeddings.
+func (l *LinkPredictor) forward(src, dst *vec.Matrix, train bool) *vec.Matrix {
+	hs := l.srcAct.Forward(l.srcDense.Forward(src, train), train)
+	ht := l.dstAct.Forward(l.dstDense.Forward(dst, train), train)
+	diff := vec.NewMatrix(hs.Rows, hs.Cols)
+	for i := 0; i < hs.Rows; i++ {
+		vec.Sub(diff.Row(i), hs.Row(i), ht.Row(i))
+	}
+	h := l.hiddenAct.Forward(l.hidden.Forward(diff, train), train)
+	return l.out.Forward(h, train)
+}
+
+// backward propagates dLogits through both towers.
+func (l *LinkPredictor) backward(grad *vec.Matrix) {
+	g := l.out.Backward(grad)
+	g = l.hiddenAct.Backward(g)
+	g = l.hidden.Backward(g)
+	// d(diff) splits: +g to the source tower, -g to the target tower.
+	negG := vec.NewMatrix(g.Rows, g.Cols)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			negG.Set(i, j, -g.At(i, j))
+		}
+	}
+	l.srcDense.Backward(l.srcAct.Backward(g))
+	l.dstDense.Backward(l.dstAct.Backward(negG))
+}
+
+// Fit trains on edge samples: src/dst embedding rows with labels y in
+// {0,1} (1 = edge present). A validation split with patience-based early
+// stopping mirrors the other tasks.
+func (l *LinkPredictor) Fit(src, dst *vec.Matrix, y []float64) (*nn.History, error) {
+	if src.Rows != dst.Rows || src.Rows != len(y) {
+		return nil, fmt.Errorf("ml: link batch shapes disagree (%d, %d, %d)", src.Rows, dst.Rows, len(y))
+	}
+	if src.Rows < 2 {
+		return nil, fmt.Errorf("ml: need at least 2 samples")
+	}
+	nsrc := src.Clone()
+	ndst := dst.Clone()
+	nn.NormalizeRows(nsrc)
+	nn.NormalizeRows(ndst)
+
+	rng := rand.New(rand.NewSource(l.cfg.Seed))
+	perm := rng.Perm(src.Rows)
+	nVal := src.Rows / 10
+	if nVal < 1 {
+		nVal = 1
+	}
+	nTrain := src.Rows - nVal
+	trIdx, valIdx := perm[:nTrain], perm[nTrain:]
+
+	opt := nn.NewNadam(l.cfg.LearnRate)
+	hist := &nn.History{SamplesTrain: nTrain, SamplesVal: nVal, BestValLoss: 1e308}
+	var best [][]float64
+	bad := 0
+
+	order := append([]int(nil), trIdx...)
+	for epoch := 0; epoch < l.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(order); start += l.cfg.BatchSize {
+			end := start + l.cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			bs, bd, by := l.gather(nsrc, ndst, y, order[start:end])
+			logits := l.forward(bs, bd, true)
+			lossVal, grad := l.loss.Eval(logits, by)
+			l.backward(grad)
+			if l.cfg.L2 > 0 {
+				for _, p := range l.params() {
+					for i := range p.Grad.Data {
+						p.Grad.Data[i] += l.cfg.L2 * p.W.Data[i]
+					}
+				}
+			}
+			opt.Step(l.params())
+			epochLoss += lossVal
+			batches++
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
+
+		vs, vd, vy := l.gather(nsrc, ndst, y, valIdx)
+		valLogits := l.forward(vs, vd, false)
+		valLoss, _ := l.loss.Eval(valLogits, vy)
+		hist.ValLoss = append(hist.ValLoss, valLoss)
+		hist.Epochs = epoch + 1
+
+		if valLoss < hist.BestValLoss {
+			hist.BestValLoss = valLoss
+			hist.BestEpoch = epoch
+			best = nil
+			for _, p := range l.params() {
+				best = append(best, vec.Clone(p.W.Data))
+			}
+			bad = 0
+		} else if bad++; bad >= l.cfg.Patience {
+			hist.StoppedEarly = true
+			break
+		}
+	}
+	if best != nil {
+		for i, p := range l.params() {
+			copy(p.W.Data, best[i])
+		}
+		hist.RestoredBest = true
+	}
+	return hist, nil
+}
+
+func (l *LinkPredictor) gather(src, dst *vec.Matrix, y []float64, idx []int) (*vec.Matrix, *vec.Matrix, *vec.Matrix) {
+	gs := vec.NewMatrix(len(idx), src.Cols)
+	gd := vec.NewMatrix(len(idx), dst.Cols)
+	gy := vec.NewMatrix(len(idx), 1)
+	for i, r := range idx {
+		copy(gs.Row(i), src.Row(r))
+		copy(gd.Row(i), dst.Row(r))
+		gy.Set(i, 0, y[r])
+	}
+	return gs, gd, gy
+}
+
+// PredictProb returns P(edge) for one (source, target) pair.
+func (l *LinkPredictor) PredictProb(src, dst []float64) float64 {
+	s := vec.NewMatrixFrom([][]float64{vec.Clone(src)})
+	d := vec.NewMatrixFrom([][]float64{vec.Clone(dst)})
+	nn.NormalizeRows(s)
+	nn.NormalizeRows(d)
+	logits := l.forward(s, d, false)
+	return nn.SigmoidScalar(logits.At(0, 0))
+}
+
+// Accuracy evaluates 0.5-threshold accuracy over pair rows.
+func (l *LinkPredictor) Accuracy(src, dst *vec.Matrix, y []float64) float64 {
+	nsrc := src.Clone()
+	ndst := dst.Clone()
+	nn.NormalizeRows(nsrc)
+	nn.NormalizeRows(ndst)
+	logits := l.forward(nsrc, ndst, false)
+	correct := 0
+	for i := range y {
+		pred := 0.0
+		if nn.SigmoidScalar(logits.At(i, 0)) > 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// RandomizeBiases perturbs every bias away from zero. The subtracted-tower
+// architecture of Fig. 5c sits at a saddle point under zero-bias
+// initialisation (the sigmoid is odd around its inflection, so the
+// difference network has no first- or second-order gradient toward the
+// interaction term); offsetting the operating points breaks the symmetry.
+func (l *LinkPredictor) RandomizeBiases(seed int64, scale float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, layer := range []*nn.Dense{l.srcDense, l.dstDense, l.hidden} {
+		params := layer.Params()
+		bias := params[1]
+		for i := range bias.W.Data {
+			bias.W.Data[i] = (rng.Float64()*2 - 1) * scale
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// TestLinkPredictorGradCheck verifies the two-tower backward pass against
+// central finite differences — the composite (subtract) wiring is easy to
+// get wrong.
+func TestLinkPredictorGradCheck(t *testing.T) {
+	cfg := Config{Hidden1: 5, Hidden2: 4, Seed: 3}
+	lp := NewLinkPredictor(3, 3, cfg)
+	rng := rand.New(rand.NewSource(4))
+	src := vec.NewMatrix(6, 3)
+	dst := vec.NewMatrix(6, 3)
+	src.Randomize(rng, 1)
+	dst.Randomize(rng, 1)
+	y := vec.NewMatrix(6, 1)
+	for i := 0; i < 6; i++ {
+		y.Set(i, 0, float64(rng.Intn(2)))
+	}
+
+	lossFn := func() float64 {
+		logits := lp.forward(src, dst, false)
+		l, _ := lp.loss.Eval(logits, y)
+		return l
+	}
+	logits := lp.forward(src, dst, false)
+	_, grad := lp.loss.Eval(logits, y)
+	lp.backward(grad)
+
+	params := lp.params()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = vec.Clone(p.Grad.Data)
+		p.Grad.Zero()
+	}
+	const eps = 1e-5
+	for pi, p := range params {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			up := lossFn()
+			p.W.Data[i] = orig - eps
+			down := lossFn()
+			p.W.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-analytic[pi][i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("param %s[%d]: analytic %v numeric %v", p.Name, i, analytic[pi][i], numeric)
+			}
+		}
+	}
+}

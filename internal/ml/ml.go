@@ -1,0 +1,260 @@
+// Package ml wires the paper's task networks (Fig. 5) on top of the nn
+// library: (a) binary classification and category imputation with
+// 600/300-unit sigmoid layers, (b) budget regression with a deeper ReLU
+// stack and MAE loss, and (c) the two-tower link predictor. Inputs are
+// embedding vectors, L2-normalised per §5.5.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/nn"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Config scales the networks. The zero value is replaced by the paper's
+// architecture (600/300 hidden units); experiments at reduced scale can
+// shrink proportionally.
+type Config struct {
+	Hidden1   int     // first hidden width (paper: 600)
+	Hidden2   int     // second hidden width (paper: 300)
+	Dropout   float64 // dropout rate (binary classification / regression)
+	L2        float64 // weight decay (binary classification)
+	Epochs    int
+	BatchSize int
+	Patience  int
+	LearnRate float64
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden1 <= 0 {
+		c.Hidden1 = 600
+	}
+	if c.Hidden2 <= 0 {
+		c.Hidden2 = 300
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 300
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Patience <= 0 {
+		c.Patience = 50
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.002
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) trainConfig() nn.TrainConfig {
+	return nn.TrainConfig{
+		Epochs:    c.Epochs,
+		BatchSize: c.BatchSize,
+		Patience:  c.Patience,
+		L2:        c.L2,
+		Optimizer: nn.NewNadam(c.LearnRate),
+		Seed:      c.Seed,
+	}
+}
+
+// BinaryClassifier is Fig. 5a with a single sigmoid output: input →
+// 600 σ → 300 σ → 1, trained with binary cross-entropy, dropout and L2
+// (§5.5 binary classification uses one hidden layer fewer than
+// imputation; we follow the figure's two inner layers).
+type BinaryClassifier struct {
+	net *nn.Sequential
+	cfg Config
+}
+
+// NewBinaryClassifier builds the network for the given input width.
+func NewBinaryClassifier(inputDim int, cfg Config) *BinaryClassifier {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layers := []nn.Layer{
+		nn.NewDense(inputDim, cfg.Hidden1, rng),
+		nn.NewActivation(nn.Sigmoid),
+	}
+	if cfg.Dropout > 0 {
+		layers = append(layers, nn.NewDropout(cfg.Dropout, rng))
+	}
+	layers = append(layers,
+		nn.NewDense(cfg.Hidden1, cfg.Hidden2, rng),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewDense(cfg.Hidden2, 1, rng),
+	)
+	return &BinaryClassifier{net: nn.NewSequential(nn.BCELoss{}, layers...), cfg: cfg}
+}
+
+// Fit trains on normalised copies of the rows of x with labels y in {0,1}.
+func (c *BinaryClassifier) Fit(x *vec.Matrix, y []float64) (*nn.History, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("ml: %d samples vs %d labels", x.Rows, len(y))
+	}
+	nx := x.Clone()
+	nn.NormalizeRows(nx)
+	ny := vec.NewMatrix(len(y), 1)
+	for i, v := range y {
+		ny.Set(i, 0, v)
+	}
+	return nn.Fit(c.net, nx, ny, c.cfg.trainConfig())
+}
+
+// PredictProb returns P(label=1) for one embedding.
+func (c *BinaryClassifier) PredictProb(x []float64) float64 {
+	in := vec.NewMatrixFrom([][]float64{vec.Clone(x)})
+	nn.NormalizeRows(in)
+	logits := c.net.Forward(in, false)
+	return nn.SigmoidScalar(logits.At(0, 0))
+}
+
+// Accuracy evaluates 0.5-threshold accuracy on a test set.
+func (c *BinaryClassifier) Accuracy(x *vec.Matrix, y []float64) float64 {
+	nx := x.Clone()
+	nn.NormalizeRows(nx)
+	logits := c.net.Forward(nx, false)
+	correct := 0
+	for i := range y {
+		pred := 0.0
+		if nn.SigmoidScalar(logits.At(i, 0)) > 0.5 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// CategoryImputer is Fig. 5a with a softmax output over m categories:
+// input → 600 σ → 300 σ → m softmax, categorical cross-entropy (§5.5.2).
+type CategoryImputer struct {
+	net     *nn.Sequential
+	cfg     Config
+	classes int
+}
+
+// NewCategoryImputer builds the network.
+func NewCategoryImputer(inputDim, numClasses int, cfg Config) *CategoryImputer {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := nn.NewSequential(nn.CCELoss{},
+		nn.NewDense(inputDim, cfg.Hidden1, rng),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewDense(cfg.Hidden1, cfg.Hidden2, rng),
+		nn.NewActivation(nn.Sigmoid),
+		nn.NewDense(cfg.Hidden2, numClasses, rng),
+	)
+	return &CategoryImputer{net: net, cfg: cfg, classes: numClasses}
+}
+
+// Fit trains on class indices in [0, numClasses).
+func (c *CategoryImputer) Fit(x *vec.Matrix, labels []int) (*nn.History, error) {
+	if x.Rows != len(labels) {
+		return nil, fmt.Errorf("ml: %d samples vs %d labels", x.Rows, len(labels))
+	}
+	nx := x.Clone()
+	nn.NormalizeRows(nx)
+	y := vec.NewMatrix(len(labels), c.classes)
+	for i, l := range labels {
+		if l < 0 || l >= c.classes {
+			return nil, fmt.Errorf("ml: label %d outside %d classes", l, c.classes)
+		}
+		y.Set(i, l, 1)
+	}
+	return nn.Fit(c.net, nx, y, c.cfg.trainConfig())
+}
+
+// Predict returns the argmax class for one embedding.
+func (c *CategoryImputer) Predict(x []float64) int {
+	in := vec.NewMatrixFrom([][]float64{vec.Clone(x)})
+	nn.NormalizeRows(in)
+	logits := c.net.Forward(in, false)
+	return vec.ArgMax(logits.Row(0))
+}
+
+// Accuracy evaluates top-1 accuracy.
+func (c *CategoryImputer) Accuracy(x *vec.Matrix, labels []int) float64 {
+	nx := x.Clone()
+	nn.NormalizeRows(nx)
+	logits := c.net.Forward(nx, false)
+	correct := 0
+	for i, l := range labels {
+		if vec.ArgMax(logits.Row(i)) == l {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Regressor is Fig. 5b: input → 300 ReLU ×4 (with dropout) → linear
+// scalar, trained with MAE.
+type Regressor struct {
+	net *nn.Sequential
+	cfg Config
+}
+
+// NewRegressor builds the deeper ReLU stack of Fig. 5b.
+func NewRegressor(inputDim int, cfg Config) *Regressor {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := cfg.Hidden2 // the regression net uses 300-wide layers
+	layers := []nn.Layer{
+		nn.NewDense(inputDim, h, rng),
+		nn.NewActivation(nn.ReLU),
+	}
+	for i := 0; i < 3; i++ {
+		if cfg.Dropout > 0 {
+			layers = append(layers, nn.NewDropout(cfg.Dropout, rng))
+		}
+		layers = append(layers,
+			nn.NewDense(h, h, rng),
+			nn.NewActivation(nn.ReLU),
+		)
+	}
+	layers = append(layers, nn.NewDense(h, 1, rng))
+	return &Regressor{net: nn.NewSequential(nn.MAELoss{}, layers...), cfg: cfg}
+}
+
+// Fit trains on scalar targets.
+func (r *Regressor) Fit(x *vec.Matrix, y []float64) (*nn.History, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("ml: %d samples vs %d targets", x.Rows, len(y))
+	}
+	nx := x.Clone()
+	nn.NormalizeRows(nx)
+	ny := vec.NewMatrix(len(y), 1)
+	for i, v := range y {
+		ny.Set(i, 0, v)
+	}
+	return nn.Fit(r.net, nx, ny, r.cfg.trainConfig())
+}
+
+// Predict returns the regression output for one embedding.
+func (r *Regressor) Predict(x []float64) float64 {
+	in := vec.NewMatrixFrom([][]float64{vec.Clone(x)})
+	nn.NormalizeRows(in)
+	return r.net.Forward(in, false).At(0, 0)
+}
+
+// MAE evaluates mean absolute error on a test set.
+func (r *Regressor) MAE(x *vec.Matrix, y []float64) float64 {
+	nx := x.Clone()
+	nn.NormalizeRows(nx)
+	out := r.net.Forward(nx, false)
+	var total float64
+	for i := range y {
+		d := out.At(i, 0) - y[i]
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total / float64(len(y))
+}

@@ -1,0 +1,212 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// blobs generates two Gaussian clusters in dim dimensions.
+func blobs(rng *rand.Rand, n, dim int, sep float64) (*vec.Matrix, []float64) {
+	x := vec.NewMatrix(n, dim)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cls := float64(i % 2)
+		y[i] = cls
+		for j := 0; j < dim; j++ {
+			center := -sep
+			if cls == 1 {
+				center = sep
+			}
+			x.Set(i, j, center+rng.NormFloat64()*0.4)
+		}
+	}
+	return x, y
+}
+
+var smallCfg = Config{Hidden1: 16, Hidden2: 8, Epochs: 120, BatchSize: 16, Patience: 20, Seed: 7}
+
+func TestBinaryClassifierLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := blobs(rng, 160, 6, 1)
+	c := NewBinaryClassifier(6, smallCfg)
+	if _, err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := blobs(rng, 80, 6, 1)
+	if acc := c.Accuracy(tx, ty); acc < 0.9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// Probabilities behave.
+	p := c.PredictProb(tx.Row(0))
+	if p < 0 || p > 1 {
+		t.Fatalf("prob = %v", p)
+	}
+}
+
+func TestBinaryClassifierFitErrors(t *testing.T) {
+	c := NewBinaryClassifier(3, smallCfg)
+	if _, err := c.Fit(vec.NewMatrix(4, 3), []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBinaryClassifierWithDropoutAndL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := blobs(rng, 120, 4, 1.2)
+	cfg := smallCfg
+	cfg.Dropout = 0.3
+	cfg.L2 = 0.001
+	c := NewBinaryClassifier(4, cfg)
+	if _, err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Accuracy(x, y); acc < 0.85 {
+		t.Fatalf("accuracy with regularisation = %v", acc)
+	}
+}
+
+func TestCategoryImputerLearnsMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 3 classes at 120° apart in 2D, lifted to 5D with noise.
+	n := 180
+	x := vec.NewMatrix(n, 5)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		labels[i] = cls
+		angle := float64(cls) * 2 * math.Pi / 3
+		x.Set(i, 0, math.Cos(angle)+rng.NormFloat64()*0.2)
+		x.Set(i, 1, math.Sin(angle)+rng.NormFloat64()*0.2)
+		for j := 2; j < 5; j++ {
+			x.Set(i, j, rng.NormFloat64()*0.1)
+		}
+	}
+	c := NewCategoryImputer(5, 3, smallCfg)
+	if _, err := c.Fit(x, labels); err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Accuracy(x, labels); acc < 0.85 {
+		t.Fatalf("multiclass accuracy = %v", acc)
+	}
+	if p := c.Predict(x.Row(0)); p < 0 || p > 2 {
+		t.Fatalf("Predict = %d", p)
+	}
+}
+
+func TestCategoryImputerLabelValidation(t *testing.T) {
+	c := NewCategoryImputer(2, 3, smallCfg)
+	x := vec.NewMatrix(2, 2)
+	if _, err := c.Fit(x, []int{0, 5}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := c.Fit(x, []int{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRegressorLearnsLinearTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	x := vec.NewMatrix(n, 4)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		// Target depends on direction of the (normalised) input.
+		r := vec.Clone(x.Row(i))
+		vec.Normalize(r)
+		y[i] = 3*r[0] - 2*r[1]
+	}
+	cfg := smallCfg
+	cfg.Epochs = 200
+	r := NewRegressor(4, cfg)
+	if _, err := r.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if mae := r.MAE(x, y); mae > 0.5 {
+		t.Fatalf("MAE = %v", mae)
+	}
+	_ = r.Predict(x.Row(0))
+}
+
+func TestRegressorErrors(t *testing.T) {
+	r := NewRegressor(2, smallCfg)
+	if _, err := r.Fit(vec.NewMatrix(3, 2), []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLinkPredictorLearnsXorOfSigns(t *testing.T) {
+	// Edge exists iff source and target come from the same cluster: the
+	// predictor must combine both towers.
+	rng := rand.New(rand.NewSource(5))
+	n := 300
+	dim := 4
+	src := vec.NewMatrix(n, dim)
+	dst := vec.NewMatrix(n, dim)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sCls := rng.Intn(2)
+		dCls := rng.Intn(2)
+		if sCls == dCls {
+			y[i] = 1
+		}
+		for j := 0; j < dim; j++ {
+			src.Set(i, j, float64(sCls*2-1)+rng.NormFloat64()*0.3)
+			dst.Set(i, j, float64(dCls*2-1)+rng.NormFloat64()*0.3)
+		}
+	}
+	cfg := smallCfg
+	cfg.Epochs = 200
+	lp := NewLinkPredictor(dim, dim, cfg)
+	if _, err := lp.Fit(src, dst, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := lp.Accuracy(src, dst, y); acc < 0.85 {
+		t.Fatalf("link accuracy = %v", acc)
+	}
+	p := lp.PredictProb(src.Row(0), dst.Row(0))
+	if p < 0 || p > 1 {
+		t.Fatalf("prob = %v", p)
+	}
+}
+
+func TestLinkPredictorErrors(t *testing.T) {
+	lp := NewLinkPredictor(2, 2, smallCfg)
+	if _, err := lp.Fit(vec.NewMatrix(3, 2), vec.NewMatrix(2, 2), []float64{1, 0, 1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := lp.Fit(vec.NewMatrix(1, 2), vec.NewMatrix(1, 2), []float64{1}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Hidden1 != 600 || c.Hidden2 != 300 {
+		t.Fatalf("paper architecture defaults wrong: %+v", c)
+	}
+	if c.Epochs <= 0 || c.Patience <= 0 || c.BatchSize <= 0 || c.LearnRate <= 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := blobs(rng, 60, 3, 1)
+	accs := make([]float64, 2)
+	for trial := range accs {
+		c := NewBinaryClassifier(3, smallCfg)
+		if _, err := c.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		accs[trial] = c.Accuracy(x, y)
+	}
+	if accs[0] != accs[1] {
+		t.Fatalf("training not deterministic: %v", accs)
+	}
+}

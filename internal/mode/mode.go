@@ -1,0 +1,54 @@
+// Package mode implements the mode-imputation baseline of §5.4: a missing
+// categorical value is replaced by the most frequent value of its column.
+package mode
+
+// Imputer predicts the majority class seen during training.
+type Imputer struct {
+	counts map[int]int
+	mode   int
+	total  int
+}
+
+// Train tallies the labels and fixes the mode. Ties resolve to the
+// smallest label for determinism.
+func Train(labels []int) *Imputer {
+	m := &Imputer{counts: make(map[int]int)}
+	for _, l := range labels {
+		m.counts[l]++
+		m.total++
+	}
+	best, bestCount := 0, -1
+	for l, c := range m.counts {
+		if c > bestCount || (c == bestCount && l < best) {
+			best, bestCount = l, c
+		}
+	}
+	m.mode = best
+	return m
+}
+
+// Predict returns the mode regardless of input.
+func (m *Imputer) Predict() int { return m.mode }
+
+// Accuracy scores the constant prediction against test labels.
+func (m *Imputer) Accuracy(labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, l := range labels {
+		if l == m.mode {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// Distribution returns the trained label histogram (copy).
+func (m *Imputer) Distribution() map[int]int {
+	out := make(map[int]int, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package mode
+
+import "testing"
+
+func TestModePrediction(t *testing.T) {
+	m := Train([]int{1, 2, 2, 3, 2, 1})
+	if m.Predict() != 2 {
+		t.Fatalf("mode = %d", m.Predict())
+	}
+}
+
+func TestModeTieBreaksLow(t *testing.T) {
+	m := Train([]int{5, 5, 3, 3})
+	if m.Predict() != 3 {
+		t.Fatalf("tie should resolve low: %d", m.Predict())
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	m := Train([]int{0, 0, 0, 1})
+	if acc := m.Accuracy([]int{0, 0, 1, 1}); acc != 0.5 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if m.Accuracy(nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestDistributionCopy(t *testing.T) {
+	m := Train([]int{1, 1, 2})
+	d := m.Distribution()
+	if d[1] != 2 || d[2] != 1 {
+		t.Fatalf("distribution = %v", d)
+	}
+	d[1] = 99
+	if m.Distribution()[1] != 2 {
+		t.Fatal("Distribution must return a copy")
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	m := Train(nil)
+	if m.Predict() != 0 {
+		t.Fatalf("empty model should predict 0, got %d", m.Predict())
+	}
+}

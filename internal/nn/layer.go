@@ -1,0 +1,256 @@
+// Package nn is a small from-scratch neural network library covering what
+// the paper's evaluation needs (§5, Fig. 5): dense layers, sigmoid/ReLU
+// activations, dropout, L2 regularisation, binary/categorical
+// cross-entropy and MAE losses, SGD/Adam/Nadam optimizers, early stopping
+// on a validation split, and an LSTM cell for the DataWig baseline.
+//
+// Layers operate on row-major batches (vec.Matrix, one sample per row)
+// and cache whatever the backward pass needs; a layer instance therefore
+// handles one forward/backward pair at a time.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *vec.Matrix
+	Grad *vec.Matrix
+}
+
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: vec.NewMatrix(rows, cols), Grad: vec.NewMatrix(rows, cols)}
+}
+
+// Layer is one differentiable block.
+type Layer interface {
+	// Forward consumes a batch (rows = samples) and returns the output
+	// batch. train toggles training-only behaviour (dropout).
+	Forward(x *vec.Matrix, train bool) *vec.Matrix
+	// Backward consumes dL/dOutput and returns dL/dInput, accumulating
+	// parameter gradients.
+	Backward(grad *vec.Matrix) *vec.Matrix
+	// Params returns the trainable parameters (possibly none).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	weight  *Param // In x Out
+	bias    *Param // 1 x Out
+	lastX   *vec.Matrix
+}
+
+// NewDense creates a dense layer with Glorot-uniform initialised weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out,
+		weight: newParam(fmt.Sprintf("dense%dx%d.W", in, out), in, out),
+		bias:   newParam(fmt.Sprintf("dense%dx%d.b", in, out), 1, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	d.weight.W.Randomize(rng, limit)
+	return d
+}
+
+// SharedClone returns a new Dense that aliases d's weight and bias
+// parameters (Siamese weight sharing). Each clone keeps its own forward
+// cache, so two towers can run forward before either runs backward;
+// gradients from both towers accumulate into the shared Grad tensors.
+// Callers must deduplicate Params() by pointer before optimisation.
+func (d *Dense) SharedClone() *Dense {
+	return &Dense{In: d.In, Out: d.Out, weight: d.weight, bias: d.bias}
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *vec.Matrix, train bool) *vec.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense expected %d inputs, got %d", d.In, x.Cols))
+	}
+	d.lastX = x
+	out := vec.NewMatrix(x.Rows, d.Out)
+	x.Mul(out, d.weight.W)
+	b := d.bias.W.Row(0)
+	for i := 0; i < out.Rows; i++ {
+		vec.Axpy(out.Row(i), 1, b)
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀ·grad, db = Σ grad and returns grad·Wᵀ.
+func (d *Dense) Backward(grad *vec.Matrix) *vec.Matrix {
+	x := d.lastX
+	// dW += xᵀ grad (computed row-wise to avoid materialising xᵀ).
+	for i := 0; i < x.Rows; i++ {
+		xi := x.Row(i)
+		gi := grad.Row(i)
+		for k, xv := range xi {
+			if xv != 0 {
+				vec.Axpy(d.weight.Grad.Row(k), xv, gi)
+			}
+		}
+		vec.Axpy(d.bias.Grad.Row(0), 1, gi)
+	}
+	// dX = grad · Wᵀ.
+	dx := vec.NewMatrix(x.Rows, d.In)
+	for i := 0; i < x.Rows; i++ {
+		gi := grad.Row(i)
+		dxi := dx.Row(i)
+		for k := 0; k < d.In; k++ {
+			dxi[k] = vec.Dot(gi, d.weight.W.Row(k))
+		}
+	}
+	return dx
+}
+
+// Params returns weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
+
+// Activation kinds.
+type ActKind uint8
+
+const (
+	Sigmoid ActKind = iota
+	ReLU
+	Tanh
+)
+
+func (a ActKind) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("ActKind(%d)", uint8(a))
+	}
+}
+
+// Activation applies an element-wise nonlinearity.
+type Activation struct {
+	Kind    ActKind
+	lastOut *vec.Matrix
+}
+
+// NewActivation builds an activation layer.
+func NewActivation(kind ActKind) *Activation { return &Activation{Kind: kind} }
+
+// Forward applies the nonlinearity.
+func (a *Activation) Forward(x *vec.Matrix, train bool) *vec.Matrix {
+	out := vec.NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		xi, oi := x.Row(i), out.Row(i)
+		for j, v := range xi {
+			switch a.Kind {
+			case Sigmoid:
+				oi[j] = sigmoid(v)
+			case ReLU:
+				if v > 0 {
+					oi[j] = v
+				}
+			case Tanh:
+				oi[j] = math.Tanh(v)
+			}
+		}
+	}
+	a.lastOut = out
+	return out
+}
+
+// Backward multiplies by the activation derivative (expressed in terms of
+// the cached output).
+func (a *Activation) Backward(grad *vec.Matrix) *vec.Matrix {
+	dx := vec.NewMatrix(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		gi, oi, di := grad.Row(i), a.lastOut.Row(i), dx.Row(i)
+		for j := range gi {
+			switch a.Kind {
+			case Sigmoid:
+				di[j] = gi[j] * oi[j] * (1 - oi[j])
+			case ReLU:
+				if oi[j] > 0 {
+					di[j] = gi[j]
+				}
+			case Tanh:
+				di[j] = gi[j] * (1 - oi[j]*oi[j])
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: activations are parameter-free.
+func (a *Activation) Params() []*Param { return nil }
+
+// Dropout zeroes activations with probability Rate during training and
+// rescales survivors by 1/(1-Rate) (inverted dropout), matching §5.5.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask *vec.Matrix
+}
+
+// NewDropout builds a dropout layer; rate must be in [0, 1).
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward samples a fresh mask when training; at inference it is the
+// identity.
+func (d *Dropout) Forward(x *vec.Matrix, train bool) *vec.Matrix {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	d.mask = vec.NewMatrix(x.Rows, x.Cols)
+	out := vec.NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		xi, mi, oi := x.Row(i), d.mask.Row(i), out.Row(i)
+		for j := range xi {
+			if d.rng.Float64() < keep {
+				mi[j] = scale
+				oi[j] = xi[j] * scale
+			}
+		}
+	}
+	return out
+}
+
+// Backward applies the stored mask.
+func (d *Dropout) Backward(grad *vec.Matrix) *vec.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	dx := vec.NewMatrix(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		gi, mi, di := grad.Row(i), d.mask.Row(i), dx.Row(i)
+		for j := range gi {
+			di[j] = gi[j] * mi[j]
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Loss computes a scalar loss and the gradient with respect to the
+// network's final *logits*. Working on logits lets the sigmoid/softmax be
+// fused with the cross-entropy for the numerically stable simplified
+// gradients.
+type Loss interface {
+	// Eval returns (mean loss, dLoss/dLogits). logits and targets are
+	// batch-rows matrices.
+	Eval(logits, targets *vec.Matrix) (float64, *vec.Matrix)
+	Name() string
+}
+
+// BCELoss is binary cross-entropy over a single sigmoid output unit
+// (targets in {0,1}, shape batch x 1).
+type BCELoss struct{}
+
+// Name implements Loss.
+func (BCELoss) Name() string { return "binary-cross-entropy" }
+
+// Eval implements Loss with the fused sigmoid gradient σ(z) − y.
+func (BCELoss) Eval(logits, targets *vec.Matrix) (float64, *vec.Matrix) {
+	checkShapes(logits, targets)
+	grad := vec.NewMatrix(logits.Rows, logits.Cols)
+	var total float64
+	n := float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		z := logits.At(i, 0)
+		y := targets.At(i, 0)
+		p := sigmoid(z)
+		// Stable formulation: log(1+e^{-|z|}) + max(z,0) − z·y.
+		total += math.Log1p(math.Exp(-math.Abs(z))) + math.Max(z, 0) - z*y
+		grad.Set(i, 0, (p-y)/n)
+	}
+	return total / n, grad
+}
+
+// CCELoss is categorical cross-entropy over softmax logits (targets are
+// one-hot rows).
+type CCELoss struct{}
+
+// Name implements Loss.
+func (CCELoss) Name() string { return "categorical-cross-entropy" }
+
+// Eval implements Loss with the fused softmax gradient p − y.
+func (CCELoss) Eval(logits, targets *vec.Matrix) (float64, *vec.Matrix) {
+	checkShapes(logits, targets)
+	grad := vec.NewMatrix(logits.Rows, logits.Cols)
+	var total float64
+	n := float64(logits.Rows)
+	probs := make([]float64, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		zi := logits.Row(i)
+		softmax(probs, zi)
+		yi := targets.Row(i)
+		gi := grad.Row(i)
+		for j := range probs {
+			gi[j] = (probs[j] - yi[j]) / n
+			if yi[j] > 0 {
+				total += -yi[j] * math.Log(math.Max(probs[j], 1e-15))
+			}
+		}
+	}
+	return total / n, grad
+}
+
+// MAELoss is mean absolute error over a linear output (Fig. 5b).
+type MAELoss struct{}
+
+// Name implements Loss.
+func (MAELoss) Name() string { return "mean-absolute-error" }
+
+// Eval implements Loss; the subgradient at 0 is 0.
+func (MAELoss) Eval(logits, targets *vec.Matrix) (float64, *vec.Matrix) {
+	checkShapes(logits, targets)
+	grad := vec.NewMatrix(logits.Rows, logits.Cols)
+	var total float64
+	n := float64(logits.Rows * logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		zi, yi, gi := logits.Row(i), targets.Row(i), grad.Row(i)
+		for j := range zi {
+			d := zi[j] - yi[j]
+			total += math.Abs(d)
+			switch {
+			case d > 0:
+				gi[j] = 1 / n
+			case d < 0:
+				gi[j] = -1 / n
+			}
+		}
+	}
+	return total / n, grad
+}
+
+// MSELoss is mean squared error, kept for completeness and tests.
+type MSELoss struct{}
+
+// Name implements Loss.
+func (MSELoss) Name() string { return "mean-squared-error" }
+
+// Eval implements Loss.
+func (MSELoss) Eval(logits, targets *vec.Matrix) (float64, *vec.Matrix) {
+	checkShapes(logits, targets)
+	grad := vec.NewMatrix(logits.Rows, logits.Cols)
+	var total float64
+	n := float64(logits.Rows * logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		zi, yi, gi := logits.Row(i), targets.Row(i), grad.Row(i)
+		for j := range zi {
+			d := zi[j] - yi[j]
+			total += d * d
+			gi[j] = 2 * d / n
+		}
+	}
+	return total / n, grad
+}
+
+func checkShapes(logits, targets *vec.Matrix) {
+	if logits.Rows != targets.Rows || logits.Cols != targets.Cols {
+		panic(fmt.Sprintf("nn: loss shape mismatch %dx%d vs %dx%d",
+			logits.Rows, logits.Cols, targets.Rows, targets.Cols))
+	}
+}
+
+// softmax writes the softmax of z into dst with max-subtraction stability.
+func softmax(dst, z []float64) {
+	maxZ := z[0]
+	for _, v := range z[1:] {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	for j, v := range z {
+		e := math.Exp(v - maxZ)
+		dst[j] = e
+		sum += e
+	}
+	for j := range dst {
+		dst[j] /= sum
+	}
+}
+
+// Softmax returns the softmax probabilities of a logits row (exported for
+// the prediction paths).
+func Softmax(z []float64) []float64 {
+	out := make([]float64, len(z))
+	softmax(out, z)
+	return out
+}
+
+// SigmoidScalar exposes the stable sigmoid for prediction paths.
+func SigmoidScalar(z float64) float64 { return sigmoid(z) }

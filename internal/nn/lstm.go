@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// LSTM is a single-layer LSTM encoder: it consumes a sequence of input
+// vectors and exposes the final hidden state. The DataWig baseline (§5.4)
+// encodes character n-gram sequences with it. Full backpropagation
+// through time is implemented.
+//
+// Unlike the batch Layer interface, LSTM processes one sequence at a time
+// (batch size 1), which is all the imputation baseline needs.
+type LSTM struct {
+	In, Hidden int
+
+	// Gate parameters, stacked [input, forget, cell, output].
+	wx *Param // 4H x In
+	wh *Param // 4H x Hidden
+	b  *Param // 1 x 4H
+
+	// Caches for backprop through time.
+	xs     []*vec.Matrix // inputs per step (1 x In)
+	hs, cs [][]float64   // hidden/cell states per step (index 0 = initial zeros)
+	gates  [][]float64   // post-activation gate values per step (4H)
+}
+
+// NewLSTM builds an LSTM with Glorot-initialised weights and a forget-gate
+// bias of 1 (the standard trick for gradient flow).
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		wx: newParam("lstm.wx", 4*hidden, in),
+		wh: newParam("lstm.wh", 4*hidden, hidden),
+		b:  newParam("lstm.b", 1, 4*hidden),
+	}
+	l.wx.W.Randomize(rng, glorot(in, hidden))
+	l.wh.W.Randomize(rng, glorot(hidden, hidden))
+	for j := hidden; j < 2*hidden; j++ {
+		l.b.W.Set(0, j, 1) // forget gate bias
+	}
+	return l
+}
+
+func glorot(in, out int) float64 {
+	return math.Sqrt(6 / float64(in+out))
+}
+
+// ForwardSeq consumes a sequence (rows = time steps) and returns the final
+// hidden state. It caches everything BackwardSeq needs.
+func (l *LSTM) ForwardSeq(seq *vec.Matrix) []float64 {
+	if seq.Cols != l.In {
+		panic(fmt.Sprintf("nn: LSTM expected %d inputs, got %d", l.In, seq.Cols))
+	}
+	T := seq.Rows
+	H := l.Hidden
+	l.xs = make([]*vec.Matrix, T)
+	l.hs = make([][]float64, T+1)
+	l.cs = make([][]float64, T+1)
+	l.gates = make([][]float64, T)
+	l.hs[0] = make([]float64, H)
+	l.cs[0] = make([]float64, H)
+
+	pre := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		x := seq.SubRows(t, t+1)
+		l.xs[t] = x.Clone()
+		// pre = Wx·x + Wh·h + b
+		l.wx.W.MulVec(pre, x.Row(0))
+		whh := make([]float64, 4*H)
+		l.wh.W.MulVec(whh, l.hs[t])
+		vec.Axpy(pre, 1, whh)
+		vec.Axpy(pre, 1, l.b.W.Row(0))
+
+		g := make([]float64, 4*H)
+		h := make([]float64, H)
+		c := make([]float64, H)
+		for j := 0; j < H; j++ {
+			i := sigmoid(pre[j])
+			f := sigmoid(pre[H+j])
+			cb := tanh(pre[2*H+j])
+			o := sigmoid(pre[3*H+j])
+			g[j], g[H+j], g[2*H+j], g[3*H+j] = i, f, cb, o
+			c[j] = f*l.cs[t][j] + i*cb
+			h[j] = o * tanh(c[j])
+		}
+		l.gates[t] = g
+		l.cs[t+1] = c
+		l.hs[t+1] = h
+	}
+	return l.hs[T]
+}
+
+// BackwardSeq propagates the gradient of the final hidden state back
+// through time, accumulating parameter gradients. It returns nothing: the
+// encoder sits at the bottom of the imputation network, so input
+// gradients are not needed.
+func (l *LSTM) BackwardSeq(dhFinal []float64) {
+	T := len(l.xs)
+	H := l.Hidden
+	dh := vec.Clone(dhFinal)
+	dc := make([]float64, H)
+	dPre := make([]float64, 4*H)
+
+	for t := T - 1; t >= 0; t-- {
+		g := l.gates[t]
+		c := l.cs[t+1]
+		cPrev := l.cs[t]
+		for j := 0; j < H; j++ {
+			i, f, cb, o := g[j], g[H+j], g[2*H+j], g[3*H+j]
+			tc := tanh(c[j])
+			do := dh[j] * tc
+			dcj := dc[j] + dh[j]*o*(1-tc*tc)
+			di := dcj * cb
+			df := dcj * cPrev[j]
+			dcb := dcj * i
+			dc[j] = dcj * f // carried to t-1
+			dPre[j] = di * i * (1 - i)
+			dPre[H+j] = df * f * (1 - f)
+			dPre[2*H+j] = dcb * (1 - cb*cb)
+			dPre[3*H+j] = do * o * (1 - o)
+		}
+		// Accumulate dWx += dPre ⊗ x, dWh += dPre ⊗ h_{t-1}, db += dPre.
+		x := l.xs[t].Row(0)
+		hPrev := l.hs[t]
+		for r := 0; r < 4*H; r++ {
+			if dPre[r] == 0 {
+				continue
+			}
+			vec.Axpy(l.wx.Grad.Row(r), dPre[r], x)
+			vec.Axpy(l.wh.Grad.Row(r), dPre[r], hPrev)
+			l.b.Grad.Row(0)[r] += dPre[r]
+		}
+		// dh_{t-1} = Whᵀ·dPre.
+		l.wh.W.MulVecT(dh, dPre)
+	}
+}
+
+// Params returns the LSTM's trainable tensors.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+func tanh(x float64) float64 { return math.Tanh(x) }

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Sequential chains layers; the final layer's output is treated as logits
+// by the attached loss.
+type Sequential struct {
+	Layers []Layer
+	Loss   Loss
+}
+
+// NewSequential builds a network.
+func NewSequential(loss Loss, layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, Loss: loss}
+}
+
+// Forward runs the full stack.
+func (s *Sequential) Forward(x *vec.Matrix, train bool) *vec.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dL/dLogits through the stack.
+func (s *Sequential) Backward(grad *vec.Matrix) {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+}
+
+// Params collects all trainable parameters.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// TrainConfig mirrors the paper's training protocol (§5.5): mini-batch
+// training with Nadam, a 10% validation split, early stopping with
+// 50-epoch patience keeping the best model, and optional L2 weight decay.
+type TrainConfig struct {
+	Epochs      int     // hard cap (default 500)
+	BatchSize   int     // default 32
+	Patience    int     // epochs without val improvement (default 50)
+	ValFraction float64 // validation split (default 0.1)
+	L2          float64 // weight decay coefficient (default 0)
+	Optimizer   Optimizer
+	Seed        int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 500
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Patience <= 0 {
+		c.Patience = 50
+	}
+	if c.ValFraction <= 0 || c.ValFraction >= 1 {
+		c.ValFraction = 0.1
+	}
+	if c.Optimizer == nil {
+		c.Optimizer = NewNadam(0.002)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// History records a training run.
+type History struct {
+	Epochs        int
+	TrainLoss     []float64
+	ValLoss       []float64
+	BestEpoch     int
+	BestValLoss   float64
+	StoppedEarly  bool
+	RestoredBest  bool
+	FinalValLoss  float64
+	SamplesTrain  int
+	SamplesVal    int
+	BatchesPerRun int
+}
+
+// Fit trains the network on (x, y) with early stopping. It is
+// deterministic for a fixed seed.
+func Fit(net *Sequential, x, y *vec.Matrix, cfg TrainConfig) (*History, error) {
+	cfg = cfg.withDefaults()
+	if x.Rows != y.Rows {
+		return nil, fmt.Errorf("nn: %d samples vs %d targets", x.Rows, y.Rows)
+	}
+	if x.Rows < 2 {
+		return nil, fmt.Errorf("nn: need at least 2 samples, got %d", x.Rows)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shuffled split into train/validation.
+	perm := rng.Perm(x.Rows)
+	nVal := int(float64(x.Rows) * cfg.ValFraction)
+	if nVal < 1 {
+		nVal = 1
+	}
+	nTrain := x.Rows - nVal
+	trainX, trainY := gatherRows(x, y, perm[:nTrain])
+	valX, valY := gatherRows(x, y, perm[nTrain:])
+
+	hist := &History{SamplesTrain: nTrain, SamplesVal: nVal, BestValLoss: inf()}
+	var best [][]float64
+
+	order := make([]int, nTrain)
+	for i := range order {
+		order[i] = i
+	}
+	badEpochs := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(nTrain, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < nTrain; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > nTrain {
+				end = nTrain
+			}
+			bx, by := gatherRows(trainX, trainY, order[start:end])
+			logits := net.Forward(bx, true)
+			loss, grad := net.Loss.Eval(logits, by)
+			net.Backward(grad)
+			if cfg.L2 > 0 {
+				applyL2(net.Params(), cfg.L2)
+			}
+			cfg.Optimizer.Step(net.Params())
+			epochLoss += loss
+			batches++
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
+		hist.BatchesPerRun = batches
+
+		valLogits := net.Forward(valX, false)
+		valLoss, _ := net.Loss.Eval(valLogits, valY)
+		hist.ValLoss = append(hist.ValLoss, valLoss)
+		hist.Epochs = epoch + 1
+
+		if valLoss < hist.BestValLoss {
+			hist.BestValLoss = valLoss
+			hist.BestEpoch = epoch
+			best = snapshot(net.Params())
+			badEpochs = 0
+		} else {
+			badEpochs++
+			if badEpochs >= cfg.Patience {
+				hist.StoppedEarly = true
+				break
+			}
+		}
+	}
+	if best != nil {
+		restore(net.Params(), best)
+		hist.RestoredBest = true
+	}
+	valLogits := net.Forward(valX, false)
+	hist.FinalValLoss, _ = net.Loss.Eval(valLogits, valY)
+	return hist, nil
+}
+
+func inf() float64 { return 1e308 }
+
+// applyL2 adds λ·W to the gradients (weight decay); biases included, which
+// matches simple Keras-style kernel+bias regularisation closely enough.
+func applyL2(params []*Param, lambda float64) {
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] += lambda * p.W.Data[i]
+		}
+	}
+}
+
+func snapshot(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = vec.Clone(p.W.Data)
+	}
+	return out
+}
+
+func restore(params []*Param, snap [][]float64) {
+	for i, p := range params {
+		copy(p.W.Data, snap[i])
+	}
+}
+
+// gatherRows copies the selected rows of x and y into fresh matrices.
+func gatherRows(x, y *vec.Matrix, idx []int) (*vec.Matrix, *vec.Matrix) {
+	gx := vec.NewMatrix(len(idx), x.Cols)
+	gy := vec.NewMatrix(len(idx), y.Cols)
+	for i, r := range idx {
+		copy(gx.Row(i), x.Row(r))
+		copy(gy.Row(i), y.Row(r))
+	}
+	return gx, gy
+}
+
+// NormalizeRows scales every row of x to unit L2 norm in place (the input
+// normalisation of §5.5); zero rows stay zero.
+func NormalizeRows(x *vec.Matrix) {
+	for i := 0; i < x.Rows; i++ {
+		vec.Normalize(x.Row(i))
+	}
+}

@@ -1,0 +1,519 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// numericGradCheck compares analytic parameter gradients against central
+// finite differences for an arbitrary forward+loss closure.
+func numericGradCheck(t *testing.T, params []*Param, lossFn func() float64, computeGrads func(), tol float64) {
+	t.Helper()
+	computeGrads()
+	analytic := make([][]float64, len(params))
+	for i, p := range params {
+		analytic[i] = vec.Clone(p.Grad.Data)
+		p.Grad.Zero()
+	}
+	const eps = 1e-5
+	for pi, p := range params {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			up := lossFn()
+			p.W.Data[i] = orig - eps
+			down := lossFn()
+			p.W.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-analytic[pi][i]) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param %s[%d]: analytic %v numeric %v", p.Name, i, analytic[pi][i], numeric)
+			}
+		}
+	}
+}
+
+func TestDenseForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(2, 3, rng)
+	// Overwrite with known weights.
+	d.weight.W.CopyFrom(vec.NewMatrixFrom([][]float64{{1, 0, 2}, {0, 1, 3}}))
+	d.bias.W.CopyFrom(vec.NewMatrixFrom([][]float64{{0.5, -0.5, 0}}))
+	x := vec.NewMatrixFrom([][]float64{{1, 2}})
+	out := d.Forward(x, false)
+	want := []float64{1.5, 1.5, 8}
+	for j, w := range want {
+		if math.Abs(out.At(0, j)-w) > 1e-12 {
+			t.Fatalf("out = %v", out.Row(0))
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(3, 2, rng)
+	x := vec.NewMatrix(4, 3)
+	x.Randomize(rng, 1)
+	y := vec.NewMatrix(4, 2)
+	y.Randomize(rng, 1)
+	loss := MSELoss{}
+
+	lossFn := func() float64 {
+		out := d.Forward(x, false)
+		l, _ := loss.Eval(out, y)
+		return l
+	}
+	computeGrads := func() {
+		out := d.Forward(x, false)
+		_, grad := loss.Eval(out, y)
+		d.Backward(grad)
+	}
+	numericGradCheck(t, d.Params(), lossFn, computeGrads, 1e-6)
+}
+
+func TestMLPGradCheckAllLosses(t *testing.T) {
+	cases := []struct {
+		name string
+		loss Loss
+		out  int
+		mkY  func(rng *rand.Rand, rows, cols int) *vec.Matrix
+	}{
+		{"bce", BCELoss{}, 1, func(rng *rand.Rand, rows, cols int) *vec.Matrix {
+			y := vec.NewMatrix(rows, cols)
+			for i := 0; i < rows; i++ {
+				y.Set(i, 0, float64(rng.Intn(2)))
+			}
+			return y
+		}},
+		{"cce", CCELoss{}, 3, func(rng *rand.Rand, rows, cols int) *vec.Matrix {
+			y := vec.NewMatrix(rows, cols)
+			for i := 0; i < rows; i++ {
+				y.Set(i, rng.Intn(cols), 1)
+			}
+			return y
+		}},
+		{"mse", MSELoss{}, 2, func(rng *rand.Rand, rows, cols int) *vec.Matrix {
+			y := vec.NewMatrix(rows, cols)
+			y.Randomize(rng, 1)
+			return y
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			net := NewSequential(c.loss,
+				NewDense(4, 5, rng),
+				NewActivation(Sigmoid),
+				NewDense(5, c.out, rng),
+			)
+			x := vec.NewMatrix(6, 4)
+			x.Randomize(rng, 1)
+			y := c.mkY(rng, 6, c.out)
+			lossFn := func() float64 {
+				l, _ := c.loss.Eval(net.Forward(x, false), y)
+				return l
+			}
+			computeGrads := func() {
+				_, grad := c.loss.Eval(net.Forward(x, false), y)
+				net.Backward(grad)
+			}
+			numericGradCheck(t, net.Params(), lossFn, computeGrads, 1e-5)
+		})
+	}
+}
+
+func TestReLUAndTanhGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewSequential(MSELoss{},
+		NewDense(3, 4, rng),
+		NewActivation(ReLU),
+		NewDense(4, 4, rng),
+		NewActivation(Tanh),
+		NewDense(4, 1, rng),
+	)
+	x := vec.NewMatrix(5, 3)
+	x.Randomize(rng, 1)
+	y := vec.NewMatrix(5, 1)
+	y.Randomize(rng, 1)
+	lossFn := func() float64 {
+		l, _ := net.Loss.Eval(net.Forward(x, false), y)
+		return l
+	}
+	computeGrads := func() {
+		_, grad := net.Loss.Eval(net.Forward(x, false), y)
+		net.Backward(grad)
+	}
+	numericGradCheck(t, net.Params(), lossFn, computeGrads, 1e-5)
+}
+
+func TestMAELossValuesAndGrad(t *testing.T) {
+	logits := vec.NewMatrixFrom([][]float64{{2}, {-1}})
+	targets := vec.NewMatrixFrom([][]float64{{1}, {1}})
+	l, g := MAELoss{}.Eval(logits, targets)
+	if math.Abs(l-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v", l)
+	}
+	if g.At(0, 0) != 0.5 || g.At(1, 0) != -0.5 {
+		t.Fatalf("MAE grad = %v", g)
+	}
+}
+
+func TestBCELossExtremeLogitsStable(t *testing.T) {
+	logits := vec.NewMatrixFrom([][]float64{{1000}, {-1000}})
+	targets := vec.NewMatrixFrom([][]float64{{1}, {0}})
+	l, g := BCELoss{}.Eval(logits, targets)
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatalf("unstable BCE: %v", l)
+	}
+	if l > 1e-6 {
+		t.Fatalf("perfect predictions should have ~0 loss: %v", l)
+	}
+	for i := 0; i < 2; i++ {
+		if math.IsNaN(g.At(i, 0)) {
+			t.Fatal("NaN grad")
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	p := Softmax([]float64{1000, 1000, 1000})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("softmax = %v", p)
+		}
+	}
+	p2 := Softmax([]float64{-1e9, 0, 0})
+	if p2[0] > 1e-12 {
+		t.Fatalf("softmax = %v", p2)
+	}
+}
+
+func TestDropout(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDropout(0.5, rng)
+	x := vec.NewMatrix(10, 20)
+	vec.Fill(x.Data, 1)
+	out := d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout value %v", v)
+		}
+	}
+	if zeros == 0 || twos == 0 {
+		t.Fatal("dropout should zero some and scale others")
+	}
+	// Inference: identity.
+	inf := d.Forward(x, false)
+	if inf != x {
+		t.Fatal("inference dropout should be identity")
+	}
+	// Backward mirrors the mask.
+	d.Forward(x, true)
+	g := vec.NewMatrix(10, 20)
+	vec.Fill(g.Data, 1)
+	dg := d.Backward(g)
+	for i, v := range dg.Data {
+		if v != 0 && v != 2 {
+			t.Fatalf("grad[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestDropoutRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDropout(1.0, rand.New(rand.NewSource(1)))
+}
+
+func TestOptimizersReduceLoss(t *testing.T) {
+	for _, optName := range []string{"sgd", "adam", "nadam"} {
+		t.Run(optName, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(6))
+			net := NewSequential(MSELoss{}, NewDense(2, 8, rng), NewActivation(Tanh), NewDense(8, 1, rng))
+			// Learn XOR-ish continuous function.
+			x := vec.NewMatrixFrom([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+			y := vec.NewMatrixFrom([][]float64{{0}, {1}, {1}, {0}})
+			opt, err := NewOptimizer(optName, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := -1.0
+			var last float64
+			for i := 0; i < 300; i++ {
+				logits := net.Forward(x, true)
+				l, grad := net.Loss.Eval(logits, y)
+				net.Backward(grad)
+				opt.Step(net.Params())
+				if first < 0 {
+					first = l
+				}
+				last = l
+			}
+			if last >= first/2 {
+				t.Fatalf("%s failed to learn: first=%v last=%v", optName, first, last)
+			}
+		})
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewSequential(MSELoss{}, NewDense(1, 1, rng))
+	x := vec.NewMatrixFrom([][]float64{{1}})
+	y := vec.NewMatrixFrom([][]float64{{3}})
+	opt := NewSGD(0.1, 0.9)
+	var last float64
+	for i := 0; i < 100; i++ {
+		logits := net.Forward(x, true)
+		l, grad := net.Loss.Eval(logits, y)
+		net.Backward(grad)
+		opt.Step(net.Params())
+		last = l
+	}
+	if last > 0.01 {
+		t.Fatalf("momentum SGD did not converge: %v", last)
+	}
+}
+
+func TestNewOptimizerUnknown(t *testing.T) {
+	if _, err := NewOptimizer("quantum", 0.1); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+	if o, err := NewOptimizer("", 0.1); err != nil || o.Name() != "nadam" {
+		t.Fatal("empty name should default to nadam")
+	}
+}
+
+func TestFitEarlyStoppingAndRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Tiny separable dataset.
+	n := 60
+	x := vec.NewMatrix(n, 2)
+	y := vec.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		cls := float64(i % 2)
+		x.Set(i, 0, cls*2-1+rng.NormFloat64()*0.2)
+		x.Set(i, 1, rng.NormFloat64()*0.2)
+		y.Set(i, 0, cls)
+	}
+	net := NewSequential(BCELoss{}, NewDense(2, 8, rng), NewActivation(Sigmoid), NewDense(8, 1, rng))
+	hist, err := Fit(net, x, y, TrainConfig{Epochs: 200, BatchSize: 8, Patience: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Epochs == 0 || len(hist.TrainLoss) != hist.Epochs {
+		t.Fatalf("history inconsistent: %+v", hist)
+	}
+	if !hist.RestoredBest {
+		t.Fatal("best model not restored")
+	}
+	if hist.BestValLoss > hist.ValLoss[0] {
+		t.Fatal("validation loss never improved")
+	}
+	// Network should classify training data well.
+	logits := net.Forward(x, false)
+	correct := 0
+	for i := 0; i < n; i++ {
+		pred := 0.0
+		if SigmoidScalar(logits.At(i, 0)) > 0.5 {
+			pred = 1
+		}
+		if pred == y.At(i, 0) {
+			correct++
+		}
+	}
+	if float64(correct)/float64(n) < 0.9 {
+		t.Fatalf("accuracy = %d/%d", correct, n)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewSequential(MSELoss{}, NewDense(2, 1, rng))
+	x := vec.NewMatrix(3, 2)
+	y := vec.NewMatrix(2, 1)
+	if _, err := Fit(net, x, y, TrainConfig{}); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	y1 := vec.NewMatrix(1, 1)
+	x1 := vec.NewMatrix(1, 2)
+	if _, err := Fit(net, x1, y1, TrainConfig{}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	mk := func() (*Sequential, *vec.Matrix, *vec.Matrix) {
+		rng := rand.New(rand.NewSource(10))
+		net := NewSequential(MSELoss{}, NewDense(2, 4, rng), NewActivation(Tanh), NewDense(4, 1, rng))
+		x := vec.NewMatrix(20, 2)
+		x.Randomize(rng, 1)
+		y := vec.NewMatrix(20, 1)
+		y.Randomize(rng, 1)
+		return net, x, y
+	}
+	n1, x1, y1 := mk()
+	n2, x2, y2 := mk()
+	h1, err := Fit(n1, x1, y1, TrainConfig{Epochs: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Fit(n2, x2, y2, TrainConfig{Epochs: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.FinalValLoss != h2.FinalValLoss {
+		t.Fatalf("not deterministic: %v vs %v", h1.FinalValLoss, h2.FinalValLoss)
+	}
+}
+
+func TestL2Shrinkage(t *testing.T) {
+	// Train the same network with and without weight decay on the same
+	// data without early stopping and compare final weight norms.
+	mk := func(l2 float64) float64 {
+		rng := rand.New(rand.NewSource(12))
+		net := NewSequential(MSELoss{}, NewDense(2, 4, rng), NewDense(4, 1, rng))
+		x := vec.NewMatrix(30, 2)
+		x.Randomize(rng, 1)
+		y := vec.NewMatrix(30, 1)
+		y.Randomize(rng, 1)
+		opt := NewSGD(0.05, 0)
+		for i := 0; i < 200; i++ {
+			logits := net.Forward(x, true)
+			_, grad := net.Loss.Eval(logits, y)
+			net.Backward(grad)
+			if l2 > 0 {
+				applyL2(net.Params(), l2)
+			}
+			opt.Step(net.Params())
+		}
+		var norm float64
+		for _, p := range net.Params() {
+			norm += vec.Dot(p.W.Data, p.W.Data)
+		}
+		return norm
+	}
+	with, without := mk(0.1), mk(0)
+	if with >= without {
+		t.Fatalf("L2 should shrink weights: with=%v without=%v", with, without)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	x := vec.NewMatrixFrom([][]float64{{3, 4}, {0, 0}})
+	NormalizeRows(x)
+	if math.Abs(vec.Norm(x.Row(0))-1) > 1e-12 {
+		t.Fatal("row not normalised")
+	}
+	if !vec.IsZero(x.Row(1)) {
+		t.Fatal("zero row must stay zero")
+	}
+}
+
+func TestActKindString(t *testing.T) {
+	if Sigmoid.String() != "sigmoid" || ReLU.String() != "relu" || Tanh.String() != "tanh" {
+		t.Fatal("ActKind strings wrong")
+	}
+	if ActKind(7).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	lstm := NewLSTM(3, 4, rng)
+	seq := vec.NewMatrix(5, 3)
+	seq.Randomize(rng, 1)
+	target := make([]float64, 4)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	// Loss: 0.5·||h_T − target||².
+	lossFn := func() float64 {
+		h := lstm.ForwardSeq(seq)
+		var l float64
+		for j := range h {
+			d := h[j] - target[j]
+			l += 0.5 * d * d
+		}
+		return l
+	}
+	computeGrads := func() {
+		h := lstm.ForwardSeq(seq)
+		dh := make([]float64, len(h))
+		for j := range h {
+			dh[j] = h[j] - target[j]
+		}
+		lstm.BackwardSeq(dh)
+	}
+	numericGradCheck(t, lstm.Params(), lossFn, computeGrads, 1e-4)
+}
+
+func TestLSTMLearnsSequenceSum(t *testing.T) {
+	// Task: predict whether a ±1 sequence has positive sum — requires
+	// integrating over time.
+	rng := rand.New(rand.NewSource(14))
+	lstm := NewLSTM(1, 6, rng)
+	readout := NewDense(6, 1, rng)
+	opt := NewNadam(0.01)
+	params := append(lstm.Params(), readout.Params()...)
+
+	sample := func() (*vec.Matrix, float64) {
+		T := 4 + rng.Intn(4)
+		seq := vec.NewMatrix(T, 1)
+		sum := 0.0
+		for t := 0; t < T; t++ {
+			v := float64(rng.Intn(2)*2 - 1)
+			seq.Set(t, 0, v)
+			sum += v
+		}
+		label := 0.0
+		if sum > 0 {
+			label = 1
+		}
+		return seq, label
+	}
+	loss := BCELoss{}
+	var runningLoss float64
+	var count int
+	for step := 0; step < 3000; step++ {
+		seq, label := sample()
+		h := lstm.ForwardSeq(seq)
+		hm := vec.NewMatrixFrom([][]float64{h})
+		logits := readout.Forward(hm, true)
+		y := vec.NewMatrixFrom([][]float64{{label}})
+		l, grad := loss.Eval(logits, y)
+		dh := readout.Backward(grad)
+		lstm.BackwardSeq(dh.Row(0))
+		opt.Step(params)
+		if step >= 2800 {
+			runningLoss += l
+			count++
+		}
+	}
+	if avg := runningLoss / float64(count); avg > 0.45 {
+		t.Fatalf("LSTM failed to learn sequence sum: avg loss %v", avg)
+	}
+}
+
+func TestLSTMInputDimPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	lstm := NewLSTM(2, 3, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lstm.ForwardSeq(vec.NewMatrix(4, 5))
+}

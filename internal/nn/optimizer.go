@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Optimizer applies accumulated gradients to parameters and clears them.
+type Optimizer interface {
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]*vec.Matrix
+}
+
+// NewSGD builds an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*vec.Matrix)}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = vec.NewMatrix(p.W.Rows, p.W.Cols)
+				s.velocity[p] = v
+			}
+			for i := range v.Data {
+				v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+				p.W.Data[i] += v.Data[i]
+			}
+		} else {
+			for i := range p.W.Data {
+				p.W.Data[i] -= s.LR * p.Grad.Data[i]
+			}
+		}
+		p.Grad.Zero()
+	}
+}
+
+// adamState holds per-parameter moments.
+type adamState struct {
+	m, v *vec.Matrix
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	nesterov              bool // true = Nadam
+	t                     int
+	state                 map[*Param]*adamState
+}
+
+// NewAdam builds Adam with the conventional defaults for zero fields
+// (lr=0.001, β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return newAdamLike(lr, false)
+}
+
+// NewNadam builds Nadam (Dozat 2016): Adam with Nesterov momentum, the
+// optimizer the paper trains all task networks with (§5.5).
+func NewNadam(lr float64) *Adam {
+	return newAdamLike(lr, true)
+}
+
+func newAdamLike(lr float64, nesterov bool) *Adam {
+	if lr <= 0 {
+		lr = 0.001
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		nesterov: nesterov,
+		state:    make(map[*Param]*adamState),
+	}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string {
+	if a.nesterov {
+		return "nadam"
+	}
+	return "adam"
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	t := float64(a.t)
+	bc1 := 1 - math.Pow(a.Beta1, t)
+	bc2 := 1 - math.Pow(a.Beta2, t)
+	// Nadam's look-ahead first-moment correction uses the *next* step's
+	// bias term for the momentum part.
+	bc1Next := 1 - math.Pow(a.Beta1, t+1)
+	for _, p := range params {
+		st, ok := a.state[p]
+		if !ok {
+			st = &adamState{m: vec.NewMatrix(p.W.Rows, p.W.Cols), v: vec.NewMatrix(p.W.Rows, p.W.Cols)}
+			a.state[p] = st
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			st.m.Data[i] = a.Beta1*st.m.Data[i] + (1-a.Beta1)*g
+			st.v.Data[i] = a.Beta2*st.v.Data[i] + (1-a.Beta2)*g*g
+			vHat := st.v.Data[i] / bc2
+			var update float64
+			if a.nesterov {
+				mHat := st.m.Data[i] / bc1Next
+				update = a.LR * (a.Beta1*mHat + (1-a.Beta1)*g/bc1) / (math.Sqrt(vHat) + a.Eps)
+			} else {
+				mHat := st.m.Data[i] / bc1
+				update = a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			}
+			p.W.Data[i] -= update
+		}
+		p.Grad.Zero()
+	}
+}
+
+// NewOptimizer builds an optimizer by name ("sgd", "adam", "nadam"),
+// used by CLI flags.
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return NewSGD(lr, 0), nil
+	case "adam":
+		return NewAdam(lr), nil
+	case "nadam", "":
+		return NewNadam(lr), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q", name)
+	}
+}

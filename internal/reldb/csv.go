@@ -1,0 +1,204 @@
+package reldb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV import.
+type CSVOptions struct {
+	// Header indicates the first record holds column names (default true
+	// via ImportCSV; set explicitly when using ImportCSVInto).
+	Header bool
+	// PrimaryKey names the column to declare as primary key (optional).
+	PrimaryKey string
+	// ForeignKeys maps column name -> referenced table (whose PK is used).
+	ForeignKeys map[string]string
+	// NullLiterals are cell contents treated as NULL in addition to the
+	// empty string (e.g. "NA", "\\N").
+	NullLiterals []string
+	// SampleRows bounds how many records type inference examines
+	// (0 = all).
+	SampleRows int
+}
+
+// ImportCSV reads a CSV stream with a header row, infers column types from
+// the data, creates the table and loads all rows. It returns the created
+// table.
+func (db *DB) ImportCSV(name string, r io.Reader, opts CSVOptions) (*Table, error) {
+	opts.Header = true
+	return db.importCSV(name, r, opts)
+}
+
+func (db *DB) importCSV(name string, r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("reldb: reading CSV for %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("reldb: empty CSV for %q", name)
+	}
+	var header []string
+	var data [][]string
+	if opts.Header {
+		header = records[0]
+		data = records[1:]
+	} else {
+		header = make([]string, len(records[0]))
+		for i := range header {
+			header[i] = fmt.Sprintf("col%d", i)
+		}
+		data = records
+	}
+	for i := range header {
+		header[i] = strings.ToLower(strings.TrimSpace(header[i]))
+	}
+
+	isNull := func(cell string) bool {
+		if strings.TrimSpace(cell) == "" {
+			return true
+		}
+		for _, n := range opts.NullLiterals {
+			if cell == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Type inference: a column is INT if every non-null sample parses as
+	// int, else FLOAT if every non-null sample parses as float, else TEXT.
+	kinds := make([]Kind, len(header))
+	for ci := range header {
+		kind := KindNull
+		examined := 0
+		for _, rec := range data {
+			if opts.SampleRows > 0 && examined >= opts.SampleRows {
+				break
+			}
+			if ci >= len(rec) || isNull(rec[ci]) {
+				continue
+			}
+			examined++
+			cell := strings.TrimSpace(rec[ci])
+			cellKind := KindText
+			if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+				cellKind = KindInt
+			} else if _, err := strconv.ParseFloat(cell, 64); err == nil {
+				cellKind = KindFloat
+			}
+			kind = widen(kind, cellKind)
+			if kind == KindText {
+				break
+			}
+		}
+		if kind == KindNull {
+			kind = KindText // all-null column defaults to TEXT
+		}
+		kinds[ci] = kind
+	}
+
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		cols[i] = Column{Name: h, Type: kinds[i]}
+		if opts.PrimaryKey != "" && h == strings.ToLower(opts.PrimaryKey) {
+			cols[i].PrimaryKey = true
+		}
+		if ref, ok := opts.ForeignKeys[h]; !ok {
+			continue
+		} else {
+			refT, found := db.Table(ref)
+			if !found {
+				return nil, fmt.Errorf("reldb: CSV FK %q references unknown table %q", h, ref)
+			}
+			pk := refT.PrimaryKeyColumn()
+			if pk < 0 {
+				return nil, fmt.Errorf("reldb: CSV FK %q: table %q has no primary key", h, ref)
+			}
+			cols[i].FK = &ForeignKey{Table: ref, Column: refT.Columns[pk].Name}
+			// FK columns adopt the referenced key's type.
+			cols[i].Type = refT.Columns[pk].Type
+		}
+	}
+
+	t, err := db.CreateTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range data {
+		row := make([]Value, len(cols))
+		for ci := range cols {
+			if ci >= len(rec) || isNull(rec[ci]) {
+				row[ci] = Null
+				continue
+			}
+			cell := strings.TrimSpace(rec[ci])
+			switch kinds[ci] {
+			case KindInt:
+				iv, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("reldb: %s row %d col %s: %w", name, ri+1, cols[ci].Name, err)
+				}
+				row[ci] = Int(iv)
+			case KindFloat:
+				fv, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("reldb: %s row %d col %s: %w", name, ri+1, cols[ci].Name, err)
+				}
+				row[ci] = Float(fv)
+			default:
+				row[ci] = Text(rec[ci])
+			}
+		}
+		if _, err := db.Insert(name, row); err != nil {
+			return nil, fmt.Errorf("reldb: %s row %d: %w", name, ri+1, err)
+		}
+	}
+	return t, nil
+}
+
+// widen merges two inferred kinds (NULL is the identity).
+func widen(a, b Kind) Kind {
+	if a == KindNull {
+		return b
+	}
+	if b == KindNull || a == b {
+		return a
+	}
+	if (a == KindInt && b == KindFloat) || (a == KindFloat && b == KindInt) {
+		return KindFloat
+	}
+	return KindText
+}
+
+// ExportCSV writes the table as CSV with a header row.
+func (t *Table) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,321 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ForeignKey declares that a column references another table's primary key
+// (single-column keys only, which is all the paper's schemas use).
+type ForeignKey struct {
+	Table  string // referenced table
+	Column string // referenced column (must be its primary key)
+}
+
+// Column describes one table column.
+type Column struct {
+	Name       string
+	Type       Kind
+	PrimaryKey bool
+	NotNull    bool
+	FK         *ForeignKey
+}
+
+// Table is a heap of typed rows plus constraint metadata.
+type Table struct {
+	Name     string
+	Columns  []Column
+	colIndex map[string]int
+	pkCol    int // index of the primary key column, or -1
+	rows     [][]Value
+	pkIndex  map[Value]int // pk value -> row index
+}
+
+// DB is the database catalog. The zero value is unusable; create with New.
+type DB struct {
+	tables map[string]*Table
+	order  []string // creation order, for deterministic iteration
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table. Column names must be unique within
+// the table, at most one column may be the primary key, and foreign keys
+// must reference existing tables' primary keys.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	name = strings.ToLower(name)
+	if name == "" {
+		return nil, fmt.Errorf("reldb: empty table name")
+	}
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("reldb: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("reldb: table %q needs at least one column", name)
+	}
+	t := &Table{
+		Name:     name,
+		colIndex: make(map[string]int, len(cols)),
+		pkCol:    -1,
+	}
+	for i, c := range cols {
+		c.Name = strings.ToLower(c.Name)
+		if c.Name == "" {
+			return nil, fmt.Errorf("reldb: table %q: empty column name", name)
+		}
+		if _, dup := t.colIndex[c.Name]; dup {
+			return nil, fmt.Errorf("reldb: table %q: duplicate column %q", name, c.Name)
+		}
+		if c.PrimaryKey {
+			if t.pkCol >= 0 {
+				return nil, fmt.Errorf("reldb: table %q: multiple primary keys", name)
+			}
+			t.pkCol = i
+			c.NotNull = true
+		}
+		if c.FK != nil {
+			fk := *c.FK
+			fk.Table = strings.ToLower(fk.Table)
+			fk.Column = strings.ToLower(fk.Column)
+			ref, ok := db.tables[fk.Table]
+			if !ok {
+				return nil, fmt.Errorf("reldb: table %q: FK %s references unknown table %q", name, c.Name, fk.Table)
+			}
+			if ref.pkCol < 0 || ref.Columns[ref.pkCol].Name != fk.Column {
+				return nil, fmt.Errorf("reldb: table %q: FK %s must reference the primary key of %q", name, c.Name, fk.Table)
+			}
+			c.FK = &fk
+		}
+		t.colIndex[c.Name] = i
+		t.Columns = append(t.Columns, c)
+	}
+	if t.pkCol >= 0 {
+		t.pkIndex = make(map[Value]int)
+	}
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// MustTable returns the named table or panics; for test and example code.
+func (db *DB) MustTable(name string) *Table {
+	t, ok := db.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("reldb: no table %q", name))
+	}
+	return t
+}
+
+// Tables lists tables in creation order.
+func (db *DB) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, n := range db.order {
+		out = append(out, db.tables[n])
+	}
+	return out
+}
+
+// NumTables returns the number of tables.
+func (db *DB) NumTables() int { return len(db.order) }
+
+// ColumnIndex returns the index of the named column.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.colIndex[strings.ToLower(name)]
+	return i, ok
+}
+
+// PrimaryKeyColumn returns the index of the PK column, or -1.
+func (t *Table) PrimaryKeyColumn() int { return t.pkCol }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns row i. Callers must not mutate it.
+func (t *Table) Row(i int) []Value { return t.rows[i] }
+
+// Scan calls fn for every row in insertion order until fn returns false.
+// The row slice must not be retained or mutated.
+func (t *Table) Scan(fn func(rowID int, row []Value) bool) {
+	for i, r := range t.rows {
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// Insert validates and appends a row given in column order. It enforces
+// types (with coercion), NOT NULL, primary key uniqueness, and foreign key
+// existence against the current database state. It returns the row id.
+func (db *DB) Insert(table string, row []Value) (int, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("reldb: insert into unknown table %q", table)
+	}
+	if len(row) != len(t.Columns) {
+		return 0, fmt.Errorf("reldb: insert into %q: %d values for %d columns", t.Name, len(row), len(t.Columns))
+	}
+	checked := make([]Value, len(row))
+	for i, v := range row {
+		col := t.Columns[i]
+		cv, err := Coerce(v, col.Type)
+		if err != nil {
+			return 0, fmt.Errorf("reldb: insert into %q column %q: %w", t.Name, col.Name, err)
+		}
+		if cv.IsNull() && col.NotNull {
+			return 0, fmt.Errorf("reldb: insert into %q: column %q is NOT NULL", t.Name, col.Name)
+		}
+		if !cv.IsNull() && col.FK != nil {
+			ref := db.tables[col.FK.Table]
+			refV, err := Coerce(cv, ref.Columns[ref.pkCol].Type)
+			if err != nil {
+				return 0, fmt.Errorf("reldb: insert into %q: FK %q: %w", t.Name, col.Name, err)
+			}
+			if _, exists := ref.pkIndex[refV]; !exists {
+				return 0, fmt.Errorf("reldb: insert into %q: FK %q: no %s.%s = %s",
+					t.Name, col.Name, col.FK.Table, col.FK.Column, refV.String())
+			}
+			cv = refV
+		}
+		checked[i] = cv
+	}
+	if t.pkCol >= 0 {
+		pk := checked[t.pkCol]
+		if _, dup := t.pkIndex[pk]; dup {
+			return 0, fmt.Errorf("reldb: insert into %q: duplicate primary key %s", t.Name, pk.String())
+		}
+		t.pkIndex[pk] = len(t.rows)
+	}
+	t.rows = append(t.rows, checked)
+	return len(t.rows) - 1, nil
+}
+
+// InsertMap inserts a row given as a column-name map; missing columns are
+// NULL.
+func (db *DB) InsertMap(table string, values map[string]Value) (int, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("reldb: insert into unknown table %q", table)
+	}
+	row := make([]Value, len(t.Columns))
+	for i := range row {
+		row[i] = Null
+	}
+	for name, v := range values {
+		i, ok := t.ColumnIndex(name)
+		if !ok {
+			return 0, fmt.Errorf("reldb: insert into %q: unknown column %q", t.Name, name)
+		}
+		row[i] = v
+	}
+	return db.Insert(table, row)
+}
+
+// LookupPK returns the row id holding the given primary key value.
+func (t *Table) LookupPK(pk Value) (int, bool) {
+	if t.pkIndex == nil {
+		return 0, false
+	}
+	id, ok := t.pkIndex[pk]
+	return id, ok
+}
+
+// TextColumns returns the indices of TEXT columns that are neither the
+// primary key nor a foreign key — the columns whose values RETRO embeds.
+func (t *Table) TextColumns() []int {
+	var out []int
+	for i, c := range t.Columns {
+		if c.Type == KindText && !c.PrimaryKey && c.FK == nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ForeignKeyColumns returns the indices of FK columns.
+func (t *Table) ForeignKeyColumns() []int {
+	var out []int
+	for i, c := range t.Columns {
+		if c.FK != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsLinkTable reports whether t is a pure n:m link table: exactly two FK
+// columns and no data columns besides an optional surrogate primary key.
+func (t *Table) IsLinkTable() bool {
+	fks := 0
+	other := 0
+	for i, c := range t.Columns {
+		switch {
+		case c.FK != nil:
+			fks++
+		case i == t.pkCol:
+			// surrogate key is fine
+		default:
+			other++
+		}
+	}
+	return fks == 2 && other == 0
+}
+
+// LinkTables returns all pure n:m link tables.
+func (db *DB) LinkTables() []*Table {
+	var out []*Table
+	for _, t := range db.Tables() {
+		if t.IsLinkTable() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DistinctText returns the distinct non-null text values in the given
+// column, sorted for determinism.
+func (t *Table) DistinctText(col int) []string {
+	seen := make(map[string]bool)
+	for _, r := range t.rows {
+		if s, ok := r[col].AsText(); ok {
+			seen[s] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarises the schema, one table per line.
+func (db *DB) String() string {
+	var b strings.Builder
+	for _, t := range db.Tables() {
+		fmt.Fprintf(&b, "%s(", t.Name)
+		for i, c := range t.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+			if c.PrimaryKey {
+				b.WriteString(" PK")
+			}
+			if c.FK != nil {
+				fmt.Fprintf(&b, " -> %s.%s", c.FK.Table, c.FK.Column)
+			}
+		}
+		fmt.Fprintf(&b, ") [%d rows]\n", len(t.rows))
+	}
+	return b.String()
+}

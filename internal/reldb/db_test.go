@@ -1,0 +1,475 @@
+package reldb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func movieSchema(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustCreate(t, db, "movies", []Column{
+		{Name: "id", Type: KindInt, PrimaryKey: true},
+		{Name: "title", Type: KindText},
+		{Name: "budget", Type: KindFloat},
+	})
+	mustCreate(t, db, "persons", []Column{
+		{Name: "id", Type: KindInt, PrimaryKey: true},
+		{Name: "name", Type: KindText},
+	})
+	mustCreate(t, db, "directed_by", []Column{
+		{Name: "movie_id", Type: KindInt, FK: &ForeignKey{Table: "movies", Column: "id"}},
+		{Name: "person_id", Type: KindInt, FK: &ForeignKey{Table: "persons", Column: "id"}},
+	})
+	return db
+}
+
+func mustCreate(t *testing.T, db *DB, name string, cols []Column) *Table {
+	t.Helper()
+	tbl, err := db.CreateTable(name, cols)
+	if err != nil {
+		t.Fatalf("CreateTable(%s): %v", name, err)
+	}
+	return tbl
+}
+
+func mustInsert(t *testing.T, db *DB, table string, rows ...[]Value) {
+	t.Helper()
+	for _, r := range rows {
+		if _, err := db.Insert(table, r); err != nil {
+			t.Fatalf("Insert(%s, %v): %v", table, r, err)
+		}
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := New()
+	if _, err := db.CreateTable("", []Column{{Name: "a", Type: KindText}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := db.CreateTable("t", nil); err == nil {
+		t.Fatal("zero columns accepted")
+	}
+	mustCreate(t, db, "t", []Column{{Name: "a", Type: KindText}})
+	if _, err := db.CreateTable("T", []Column{{Name: "a", Type: KindText}}); err == nil {
+		t.Fatal("duplicate (case-insensitive) table accepted")
+	}
+	if _, err := db.CreateTable("u", []Column{{Name: "a", Type: KindText}, {Name: "A", Type: KindInt}}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := db.CreateTable("v", []Column{
+		{Name: "a", Type: KindInt, PrimaryKey: true},
+		{Name: "b", Type: KindInt, PrimaryKey: true},
+	}); err == nil {
+		t.Fatal("two primary keys accepted")
+	}
+	if _, err := db.CreateTable("w", []Column{
+		{Name: "x", Type: KindInt, FK: &ForeignKey{Table: "missing", Column: "id"}},
+	}); err == nil {
+		t.Fatal("FK to missing table accepted")
+	}
+	if _, err := db.CreateTable("w", []Column{
+		{Name: "x", Type: KindText, FK: &ForeignKey{Table: "t", Column: "a"}},
+	}); err == nil {
+		t.Fatal("FK to non-PK column accepted")
+	}
+}
+
+func TestInsertTypeAndConstraints(t *testing.T) {
+	db := movieSchema(t)
+	mustInsert(t, db, "movies", []Value{Int(1), Text("Brazil"), Float(1e6)})
+
+	// Duplicate PK.
+	if _, err := db.Insert("movies", []Value{Int(1), Text("Alien"), Null}); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	// PK is NOT NULL implicitly.
+	if _, err := db.Insert("movies", []Value{Null, Text("Alien"), Null}); err == nil {
+		t.Fatal("NULL PK accepted")
+	}
+	// Arity.
+	if _, err := db.Insert("movies", []Value{Int(2)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	// Unknown table.
+	if _, err := db.Insert("ghosts", []Value{Int(1)}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	// Coercion: int into float column, numeric text into int column.
+	if _, err := db.Insert("movies", []Value{Text("2"), Text("Alien"), Int(5)}); err != nil {
+		t.Fatalf("coercion failed: %v", err)
+	}
+	row := db.MustTable("movies").Row(1)
+	if row[0].Kind != KindInt || row[0].I != 2 {
+		t.Fatalf("text->int coercion produced %v", row[0])
+	}
+	if row[2].Kind != KindFloat || row[2].Num != 5 {
+		t.Fatalf("int->float coercion produced %v", row[2])
+	}
+	// Bad coercion.
+	if _, err := db.Insert("movies", []Value{Text("abc"), Text("X"), Null}); err == nil {
+		t.Fatal("non-numeric text into INT accepted")
+	}
+}
+
+func TestForeignKeyEnforcement(t *testing.T) {
+	db := movieSchema(t)
+	mustInsert(t, db, "movies", []Value{Int(1), Text("Brazil"), Null})
+	mustInsert(t, db, "persons", []Value{Int(10), Text("Terry Gilliam")})
+
+	if _, err := db.Insert("directed_by", []Value{Int(1), Int(10)}); err != nil {
+		t.Fatalf("valid FK insert failed: %v", err)
+	}
+	if _, err := db.Insert("directed_by", []Value{Int(99), Int(10)}); err == nil {
+		t.Fatal("dangling movie FK accepted")
+	}
+	if _, err := db.Insert("directed_by", []Value{Int(1), Int(99)}); err == nil {
+		t.Fatal("dangling person FK accepted")
+	}
+	// NULL FK is allowed (not NOT NULL).
+	if _, err := db.Insert("directed_by", []Value{Null, Int(10)}); err != nil {
+		t.Fatalf("NULL FK should be allowed: %v", err)
+	}
+}
+
+func TestInsertMap(t *testing.T) {
+	db := movieSchema(t)
+	if _, err := db.InsertMap("movies", map[string]Value{"id": Int(1), "title": Text("Alien")}); err != nil {
+		t.Fatal(err)
+	}
+	row := db.MustTable("movies").Row(0)
+	if !row[2].IsNull() {
+		t.Fatal("unspecified column should be NULL")
+	}
+	if _, err := db.InsertMap("movies", map[string]Value{"id": Int(2), "nope": Null}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := db.InsertMap("ghosts", nil); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestLookupPKAndScan(t *testing.T) {
+	db := movieSchema(t)
+	mustInsert(t, db, "movies",
+		[]Value{Int(1), Text("Brazil"), Null},
+		[]Value{Int(2), Text("Alien"), Null},
+	)
+	m := db.MustTable("movies")
+	id, ok := m.LookupPK(Int(2))
+	if !ok || id != 1 {
+		t.Fatalf("LookupPK = %d,%v", id, ok)
+	}
+	if _, ok := m.LookupPK(Int(3)); ok {
+		t.Fatal("missing PK found")
+	}
+	var titles []string
+	m.Scan(func(_ int, row []Value) bool {
+		s, _ := row[1].AsText()
+		titles = append(titles, s)
+		return true
+	})
+	if strings.Join(titles, ",") != "Brazil,Alien" {
+		t.Fatalf("Scan order wrong: %v", titles)
+	}
+	// Early stop.
+	count := 0
+	m.Scan(func(int, []Value) bool { count++; return false })
+	if count != 1 {
+		t.Fatal("Scan did not stop")
+	}
+	// No PK table.
+	link := db.MustTable("directed_by")
+	if _, ok := link.LookupPK(Int(1)); ok {
+		t.Fatal("LookupPK on PK-less table should fail")
+	}
+}
+
+func TestTextAndFKColumnHelpers(t *testing.T) {
+	db := movieSchema(t)
+	m := db.MustTable("movies")
+	tc := m.TextColumns()
+	if len(tc) != 1 || m.Columns[tc[0]].Name != "title" {
+		t.Fatalf("TextColumns = %v", tc)
+	}
+	link := db.MustTable("directed_by")
+	if got := link.ForeignKeyColumns(); len(got) != 2 {
+		t.Fatalf("ForeignKeyColumns = %v", got)
+	}
+	if !link.IsLinkTable() {
+		t.Fatal("directed_by should be a link table")
+	}
+	if m.IsLinkTable() {
+		t.Fatal("movies is not a link table")
+	}
+	links := db.LinkTables()
+	if len(links) != 1 || links[0].Name != "directed_by" {
+		t.Fatalf("LinkTables = %v", links)
+	}
+}
+
+func TestLinkTableWithSurrogateKey(t *testing.T) {
+	db := movieSchema(t)
+	mustCreate(t, db, "acted_in", []Column{
+		{Name: "id", Type: KindInt, PrimaryKey: true},
+		{Name: "movie_id", Type: KindInt, FK: &ForeignKey{Table: "movies", Column: "id"}},
+		{Name: "person_id", Type: KindInt, FK: &ForeignKey{Table: "persons", Column: "id"}},
+	})
+	if !db.MustTable("acted_in").IsLinkTable() {
+		t.Fatal("surrogate-key link table not detected")
+	}
+}
+
+func TestDistinctText(t *testing.T) {
+	db := movieSchema(t)
+	mustInsert(t, db, "movies",
+		[]Value{Int(1), Text("Brazil"), Null},
+		[]Value{Int(2), Text("Alien"), Null},
+		[]Value{Int(3), Text("Brazil"), Null},
+		[]Value{Int(4), Null, Null},
+	)
+	got := db.MustTable("movies").DistinctText(1)
+	if strings.Join(got, ",") != "Alien,Brazil" {
+		t.Fatalf("DistinctText = %v", got)
+	}
+}
+
+func TestTablesOrderAndString(t *testing.T) {
+	db := movieSchema(t)
+	names := []string{}
+	for _, tbl := range db.Tables() {
+		names = append(names, tbl.Name)
+	}
+	if strings.Join(names, ",") != "movies,persons,directed_by" {
+		t.Fatalf("Tables order = %v", names)
+	}
+	if db.NumTables() != 3 {
+		t.Fatal("NumTables wrong")
+	}
+	s := db.String()
+	if !strings.Contains(s, "movies(") || !strings.Contains(s, "-> movies.id") {
+		t.Fatalf("String() = %s", s)
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().MustTable("missing")
+}
+
+func TestValueBasics(t *testing.T) {
+	if !Null.IsNull() || Text("x").IsNull() {
+		t.Fatal("IsNull wrong")
+	}
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Fatal("Int.AsFloat wrong")
+	}
+	if f, ok := Bool(true).AsFloat(); !ok || f != 1 {
+		t.Fatal("Bool.AsFloat wrong")
+	}
+	if _, ok := Text("x").AsFloat(); ok {
+		t.Fatal("Text.AsFloat should fail")
+	}
+	if s, ok := Text("hi").AsText(); !ok || s != "hi" {
+		t.Fatal("AsText wrong")
+	}
+	if _, ok := Int(1).AsText(); ok {
+		t.Fatal("Int.AsText should fail")
+	}
+	for _, c := range []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"}, {Text("a"), "a"}, {Int(-2), "-2"},
+		{Float(1.5), "1.5"}, {Bool(true), "true"}, {Bool(false), "false"},
+	} {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, Int(0), -1},
+		{Int(0), Null, 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Float(2), 0},
+		{Float(2.5), Int(2), 1},
+		{Text("a"), Text("b"), -1},
+		{Text("a"), Text("a"), 0},
+		{Int(1), Text("a"), -1}, // numbers order before text
+		{Text("a"), Int(1), 1},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if Equal(Null, Null) {
+		t.Fatal("NULL must not equal NULL")
+	}
+	if !Equal(Int(2), Float(2)) {
+		t.Fatal("cross-kind numeric equality failed")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := Coerce(Text(" 3 "), KindInt); err != nil || v.I != 3 {
+		t.Fatalf("text->int: %v %v", v, err)
+	}
+	if v, err := Coerce(Text("2.5"), KindFloat); err != nil || v.Num != 2.5 {
+		t.Fatalf("text->float: %v %v", v, err)
+	}
+	if v, err := Coerce(Float(4), KindInt); err != nil || v.I != 4 {
+		t.Fatalf("whole float->int: %v %v", v, err)
+	}
+	if _, err := Coerce(Float(4.5), KindInt); err == nil {
+		t.Fatal("lossy float->int accepted")
+	}
+	if v, err := Coerce(Int(7), KindText); err != nil || v.Str != "7" {
+		t.Fatalf("int->text: %v %v", v, err)
+	}
+	if v, err := Coerce(Text("yes"), KindBool); err != nil || v.Num != 1 {
+		t.Fatalf("text->bool: %v %v", v, err)
+	}
+	if _, err := Coerce(Text("maybe"), KindBool); err == nil {
+		t.Fatal("bad bool accepted")
+	}
+	if v, err := Coerce(Null, KindInt); err != nil || !v.IsNull() {
+		t.Fatal("NULL should coerce to NULL")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindText: "TEXT", KindInt: "INT",
+		KindFloat: "FLOAT", KindBool: "BOOL", Kind(42): "Kind(42)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestImportCSVInference(t *testing.T) {
+	db := New()
+	csvData := "id,name,score,note\n1,alice,3.5,hi\n2,bob,4,\n3,carol,2.5,there\n"
+	tbl, err := db.ImportCSV("people", strings.NewReader(csvData), CSVOptions{PrimaryKey: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	wantKinds := []Kind{KindInt, KindText, KindFloat, KindText}
+	for i, c := range tbl.Columns {
+		if c.Type != wantKinds[i] {
+			t.Fatalf("column %s inferred %s want %s", c.Name, c.Type, wantKinds[i])
+		}
+	}
+	if tbl.PrimaryKeyColumn() != 0 {
+		t.Fatal("PK not set")
+	}
+	if !tbl.Row(1)[3].IsNull() {
+		t.Fatal("empty cell should be NULL")
+	}
+}
+
+func TestImportCSVForeignKeys(t *testing.T) {
+	db := New()
+	if _, err := db.ImportCSV("apps", strings.NewReader("id,name\n1,maps\n2,mail\n"), CSVOptions{PrimaryKey: "id"}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.ImportCSV("reviews", strings.NewReader("id,app_id,text\n1,1,good\n2,2,bad\n"), CSVOptions{
+		PrimaryKey:  "id",
+		ForeignKeys: map[string]string{"app_id": "apps"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fkCols := tbl.ForeignKeyColumns()
+	if len(fkCols) != 1 || tbl.Columns[fkCols[0]].FK.Table != "apps" {
+		t.Fatal("FK not declared from CSV options")
+	}
+	// Dangling reference must fail.
+	_, err = db.ImportCSV("bad", strings.NewReader("id,app_id\n1,99\n"), CSVOptions{
+		ForeignKeys: map[string]string{"app_id": "apps"},
+	})
+	if err == nil {
+		t.Fatal("dangling CSV FK accepted")
+	}
+}
+
+func TestImportCSVNullLiteralsAndMixedTypes(t *testing.T) {
+	db := New()
+	tbl, err := db.ImportCSV("t", strings.NewReader("a,b\n1,x\nNA,2\n2.5,z\n"), CSVOptions{
+		NullLiterals: []string{"NA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column a: 1 (int) and 2.5 (float) -> FLOAT; NA -> NULL.
+	if tbl.Columns[0].Type != KindFloat {
+		t.Fatalf("a inferred %s", tbl.Columns[0].Type)
+	}
+	if !tbl.Row(1)[0].IsNull() {
+		t.Fatal("NA should be NULL")
+	}
+	// Column b: x, 2, z -> TEXT.
+	if tbl.Columns[1].Type != KindText {
+		t.Fatalf("b inferred %s", tbl.Columns[1].Type)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	db := New()
+	if _, err := db.ImportCSV("t", strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := db.ImportCSV("t", strings.NewReader("a,b\n1"), CSVOptions{}); err != nil {
+		// Ragged rows are tolerated (missing cells NULL); ensure no error.
+		t.Fatalf("ragged row should be tolerated: %v", err)
+	}
+	if _, err := db.ImportCSV("u", strings.NewReader("a\n1\n"), CSVOptions{
+		ForeignKeys: map[string]string{"a": "missing"},
+	}); err == nil {
+		t.Fatal("FK to missing table accepted")
+	}
+}
+
+func TestExportCSVRoundTrip(t *testing.T) {
+	db := movieSchema(t)
+	mustInsert(t, db, "movies",
+		[]Value{Int(1), Text("Brazil"), Float(1.5)},
+		[]Value{Int(2), Null, Null},
+	)
+	var buf bytes.Buffer
+	if err := db.MustTable("movies").ExportCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	tbl, err := db2.ImportCSV("movies", &buf, CSVOptions{PrimaryKey: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("round-trip rows = %d", tbl.NumRows())
+	}
+	if s, _ := tbl.Row(0)[1].AsText(); s != "Brazil" {
+		t.Fatal("round-trip title wrong")
+	}
+	if !tbl.Row(1)[1].IsNull() {
+		t.Fatal("round-trip NULL wrong")
+	}
+}

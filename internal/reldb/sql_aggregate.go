@@ -1,0 +1,275 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Aggregate support: COUNT(*), COUNT(col), SUM/AVG/MIN/MAX(col), with an
+// optional GROUP BY over plain column references. The experiment harness
+// and examples use these for dataset statistics; the subset matches what
+// the evaluation needs rather than full SQL.
+
+type aggKind uint8
+
+const (
+	aggCount aggKind = iota
+	aggCountCol
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+func (k aggKind) name() string {
+	switch k {
+	case aggCount, aggCountCol:
+		return "count"
+	case aggSum:
+		return "sum"
+	case aggAvg:
+		return "avg"
+	case aggMin:
+		return "min"
+	case aggMax:
+		return "max"
+	default:
+		return "?"
+	}
+}
+
+type aggSpec struct {
+	kind  aggKind
+	table string // qualifier of the aggregated column (empty for *)
+	col   string
+	alias string
+}
+
+// aggState accumulates one aggregate over a group.
+type aggState struct {
+	spec  aggSpec
+	count int64
+	sum   float64
+	min   Value
+	max   Value
+	any   bool
+}
+
+func (s *aggState) add(v Value) {
+	switch s.spec.kind {
+	case aggCount:
+		s.count++
+	case aggCountCol:
+		if !v.IsNull() {
+			s.count++
+		}
+	case aggSum, aggAvg:
+		if f, ok := v.AsFloat(); ok {
+			s.sum += f
+			s.count++
+		}
+	case aggMin:
+		if v.IsNull() {
+			return
+		}
+		if !s.any || Compare(v, s.min) < 0 {
+			s.min = v
+			s.any = true
+		}
+	case aggMax:
+		if v.IsNull() {
+			return
+		}
+		if !s.any || Compare(v, s.max) > 0 {
+			s.max = v
+			s.any = true
+		}
+	}
+}
+
+func (s *aggState) result() Value {
+	switch s.spec.kind {
+	case aggCount, aggCountCol:
+		return Int(s.count)
+	case aggSum:
+		return Float(s.sum)
+	case aggAvg:
+		if s.count == 0 {
+			return Null
+		}
+		return Float(s.sum / float64(s.count))
+	case aggMin:
+		if !s.any {
+			return Null
+		}
+		return s.min
+	case aggMax:
+		if !s.any {
+			return Null
+		}
+		return s.max
+	default:
+		return Null
+	}
+}
+
+// execAggregate evaluates an aggregate SELECT over pre-filtered joined
+// rows. groupCols are resolved GROUP BY keys (may be empty for a global
+// aggregate); selected items are either group keys or aggregates.
+func execAggregate(env *execEnv, rows [][]Value, st selectStmt) (*Result, error) {
+	groupKeys := make([]boundCol, len(st.groupBy))
+	for i, g := range st.groupBy {
+		bc, err := env.resolve(g.table, g.col)
+		if err != nil {
+			return nil, err
+		}
+		groupKeys[i] = bc
+	}
+	// Validate selection: every non-aggregate item must be a group key.
+	type outCol struct {
+		isAgg  bool
+		aggIdx int
+		keyIdx int
+		header string
+	}
+	var outCols []outCol
+	var specs []aggSpec
+	for _, item := range st.items {
+		if item.agg != nil {
+			spec := *item.agg
+			if item.as != "" {
+				spec.alias = item.as
+			}
+			outCols = append(outCols, outCol{isAgg: true, aggIdx: len(specs), header: aggHeader(spec)})
+			specs = append(specs, spec)
+			continue
+		}
+		if item.star {
+			return nil, fmt.Errorf("reldb: * not allowed alongside aggregates")
+		}
+		bc, err := env.resolve(item.table, item.col)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx := -1
+		for gi, g := range groupKeys {
+			if g.offset == bc.offset && g.index == bc.index {
+				keyIdx = gi
+			}
+		}
+		if keyIdx < 0 {
+			return nil, fmt.Errorf("reldb: column %s must appear in GROUP BY", bc.name)
+		}
+		header := bc.name
+		if item.as != "" {
+			header = item.as
+		}
+		outCols = append(outCols, outCol{keyIdx: keyIdx, header: header})
+	}
+
+	// Resolve aggregate input columns once.
+	aggInputs := make([]boundCol, len(specs))
+	for i, spec := range specs {
+		if spec.kind == aggCount {
+			continue
+		}
+		bc, err := env.resolve(spec.table, spec.col)
+		if err != nil {
+			return nil, err
+		}
+		aggInputs[i] = bc
+	}
+
+	type group struct {
+		keys   []Value
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rows {
+		keyVals := make([]Value, len(groupKeys))
+		for i, g := range groupKeys {
+			keyVals[i] = row[g.offset+g.index]
+		}
+		key := projKey(keyVals)
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keys: keyVals}
+			for _, spec := range specs {
+				grp.states = append(grp.states, &aggState{spec: spec})
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, stt := range grp.states {
+			if specs[i].kind == aggCount {
+				stt.add(Null)
+			} else {
+				stt.add(row[aggInputs[i].offset+aggInputs[i].index])
+			}
+		}
+	}
+	// Global aggregate over zero rows still yields one row of zeros/NULLs.
+	if len(groupKeys) == 0 && len(groups) == 0 {
+		grp := &group{}
+		for _, spec := range specs {
+			grp.states = append(grp.states, &aggState{spec: spec})
+		}
+		groups["_"] = grp
+		order = append(order, "_")
+	}
+	sort.Strings(order) // deterministic output
+
+	res := &Result{}
+	for _, oc := range outCols {
+		res.Columns = append(res.Columns, oc.header)
+	}
+	for _, key := range order {
+		grp := groups[key]
+		row := make([]Value, len(outCols))
+		for i, oc := range outCols {
+			if oc.isAgg {
+				row[i] = grp.states[oc.aggIdx].result()
+			} else {
+				row[i] = grp.keys[oc.keyIdx]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if st.limit >= 0 && len(res.Rows) > st.limit {
+		res.Rows = res.Rows[:st.limit]
+	}
+	return res, nil
+}
+
+func aggHeader(s aggSpec) string {
+	if s.alias != "" {
+		return s.alias
+	}
+	if s.kind == aggCount {
+		return "count"
+	}
+	qual := s.col
+	if s.table != "" {
+		qual = s.table + "." + s.col
+	}
+	return s.kind.name() + "(" + qual + ")"
+}
+
+func parseAggName(word string) (aggKind, bool) {
+	switch strings.ToUpper(word) {
+	case "COUNT":
+		return aggCountCol, true
+	case "SUM":
+		return aggSum, true
+	case "AVG":
+		return aggAvg, true
+	case "MIN":
+		return aggMin, true
+	case "MAX":
+		return aggMax, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,176 @@
+package reldb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func aggFixture(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec(`CREATE TABLE sales (id INT PRIMARY KEY, region TEXT, amount FLOAT, qty INT)`)
+	db.MustExec(`INSERT INTO sales VALUES
+		(1, 'east', 10.5, 2),
+		(2, 'east', 4.5, 1),
+		(3, 'west', 20, 4),
+		(4, 'west', NULL, 3),
+		(5, 'north', 7, NULL)`)
+	return db
+}
+
+func TestCountStarAndColumn(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT COUNT(*) FROM sales`)
+	if res.Rows[0][0].I != 5 {
+		t.Fatalf("COUNT(*) = %v", res.Rows[0][0])
+	}
+	// COUNT(col) skips NULLs.
+	res = db.MustExec(`SELECT COUNT(amount) FROM sales`)
+	if res.Rows[0][0].I != 4 {
+		t.Fatalf("COUNT(amount) = %v", res.Rows[0][0])
+	}
+	if res.Columns[0] != "count(amount)" {
+		t.Fatalf("header = %v", res.Columns)
+	}
+}
+
+func TestSumAvgMinMax(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales`)
+	row := res.Rows[0]
+	if row[0].Num != 42 {
+		t.Fatalf("SUM = %v", row[0])
+	}
+	if math.Abs(row[1].Num-10.5) > 1e-12 {
+		t.Fatalf("AVG = %v", row[1])
+	}
+	if row[2].Num != 4.5 || row[3].Num != 20 {
+		t.Fatalf("MIN/MAX = %v %v", row[2], row[3])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT region, COUNT(*), SUM(amount) FROM sales GROUP BY region`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	byRegion := map[string][]Value{}
+	for _, r := range res.Rows {
+		byRegion[r[0].Str] = r
+	}
+	if byRegion["east"][1].I != 2 || byRegion["east"][2].Num != 15 {
+		t.Fatalf("east = %v", byRegion["east"])
+	}
+	if byRegion["west"][1].I != 2 || byRegion["west"][2].Num != 20 {
+		t.Fatalf("west = %v (NULL amount must not contribute)", byRegion["west"])
+	}
+	if byRegion["north"][1].I != 1 {
+		t.Fatalf("north = %v", byRegion["north"])
+	}
+}
+
+func TestGroupByDeterministicOrder(t *testing.T) {
+	db := aggFixture(t)
+	a := db.MustExec(`SELECT region, COUNT(*) FROM sales GROUP BY region`)
+	b := db.MustExec(`SELECT region, COUNT(*) FROM sales GROUP BY region`)
+	for i := range a.Rows {
+		if a.Rows[i][0].Str != b.Rows[i][0].Str {
+			t.Fatal("group order not deterministic")
+		}
+	}
+}
+
+func TestGroupByWithWhereAndJoin(t *testing.T) {
+	db := aggFixture(t)
+	db.MustExec(`CREATE TABLE regions (name TEXT, manager TEXT)`)
+	db.MustExec(`INSERT INTO regions VALUES ('east', 'ann'), ('west', 'bob'), ('north', 'cid')`)
+	res := db.MustExec(`
+		SELECT regions.manager, SUM(sales.amount) AS total
+		FROM sales JOIN regions ON sales.region = regions.name
+		WHERE sales.qty IS NOT NULL
+		GROUP BY regions.manager`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[1] != "total" {
+		t.Fatalf("alias header = %v", res.Columns)
+	}
+}
+
+func TestAggregateAlias(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT COUNT(*) AS n FROM sales`)
+	if res.Columns[0] != "n" {
+		t.Fatalf("headers = %v", res.Columns)
+	}
+}
+
+func TestAvgOverEmptyIsNull(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT AVG(amount), COUNT(*) FROM sales WHERE region = 'nowhere'`)
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("AVG over empty = %v", res.Rows[0][0])
+	}
+	if res.Rows[0][1].I != 0 {
+		t.Fatalf("COUNT over empty = %v", res.Rows[0][1])
+	}
+}
+
+func TestMinMaxOnText(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT MIN(region), MAX(region) FROM sales`)
+	if res.Rows[0][0].Str != "east" || res.Rows[0][1].Str != "west" {
+		t.Fatalf("MIN/MAX text = %v", res.Rows[0])
+	}
+}
+
+func TestGroupByLimit(t *testing.T) {
+	db := aggFixture(t)
+	res := db.MustExec(`SELECT region, COUNT(*) FROM sales GROUP BY region LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("limit over groups = %d", len(res.Rows))
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := aggFixture(t)
+	bad := []struct {
+		sql, wantErr string
+	}{
+		{`SELECT region, COUNT(*) FROM sales`, "GROUP BY"},
+		{`SELECT *, COUNT(*) FROM sales`, ""},
+		{`SELECT SUM(*) FROM sales`, "only COUNT"},
+		{`SELECT COUNT(*) FROM sales ORDER BY region`, "ORDER BY"},
+		{`SELECT DISTINCT COUNT(*) FROM sales`, "DISTINCT"},
+		{`SELECT SUM(ghost) FROM sales`, "unknown column"},
+		{`SELECT region FROM sales GROUP BY ghost`, "unknown column"},
+	}
+	for _, c := range bad {
+		_, err := db.Exec(c.sql)
+		if err == nil {
+			t.Errorf("no error: %s", c.sql)
+			continue
+		}
+		if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.sql, err, c.wantErr)
+		}
+	}
+}
+
+func TestColumnsNamedLikeAggregatesStillWork(t *testing.T) {
+	// SUM/AVG/MIN/MAX are contextual: a column named "sum" is fine.
+	db := New()
+	db.MustExec(`CREATE TABLE t (sum INT, avg TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (3, 'x')`)
+	res := db.MustExec(`SELECT sum, avg FROM t`)
+	if res.Rows[0][0].I != 3 || res.Rows[0][1].Str != "x" {
+		t.Fatalf("contextual keywords broke plain columns: %v", res.Rows)
+	}
+	// And aggregating over them works too.
+	res = db.MustExec(`SELECT SUM(sum) FROM t`)
+	if res.Rows[0][0].Num != 3 {
+		t.Fatalf("SUM(sum) = %v", res.Rows[0])
+	}
+}

@@ -1,0 +1,204 @@
+// Package reldb is a small embedded relational database engine. It stands
+// in for the PostgreSQL instance the paper runs RETRO against: it provides
+// typed tables with primary/foreign key constraints, CSV import, link-table
+// (n:m) detection, and a SQL subset — everything RETRO's relationship
+// extraction (§3.2) and the evaluation workloads need.
+package reldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates value types.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindText
+	KindInt
+	KindFloat
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindText:
+		return "TEXT"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed database value. It is a comparable struct so it can be
+// used directly as a map key for primary key indexes.
+type Value struct {
+	Kind Kind
+	Str  string
+	Num  float64 // used by KindFloat; KindBool stores 0/1
+	I    int64   // used by KindInt
+}
+
+// Null is the SQL NULL value.
+var Null = Value{Kind: KindNull}
+
+// Text builds a text value.
+func Text(s string) Value { return Value{Kind: KindText, Str: s} }
+
+// Int builds an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float builds a floating-point value.
+func Float(f float64) Value { return Value{Kind: KindFloat, Num: f} }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{Kind: KindBool, Num: 1}
+	}
+	return Value{Kind: KindBool}
+}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat returns the numeric interpretation of v (ints are widened).
+// The second return is false for non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.Num, true
+	case KindBool:
+		return v.Num, true
+	default:
+		return 0, false
+	}
+}
+
+// AsText returns the textual content for text values.
+func (v Value) AsText() (string, bool) {
+	if v.Kind == KindText {
+		return v.Str, true
+	}
+	return "", false
+}
+
+// String renders the value the way the SQL layer prints it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindText:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindBool:
+		if v.Num != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values: NULL < everything, numbers by value (ints and
+// floats compare cross-kind), text lexicographically, bools false<true.
+// Comparing text against numbers orders by kind (numbers first) so sorting
+// mixed columns is total and deterministic. Returns -1, 0, or 1.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == b.Kind:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	af, aNum := a.AsFloat()
+	bf, bNum := b.AsFloat()
+	if aNum && bNum {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if aNum != bNum {
+		if aNum {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.Str, b.Str)
+}
+
+// Equal reports SQL equality (NULL equals nothing, not even NULL; use
+// IsNull for NULL tests).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Coerce converts v to the column type t where a lossless or conventional
+// conversion exists (int→float, numeric text→number, anything→text for
+// TEXT columns). It returns an error when no sensible conversion exists.
+func Coerce(v Value, t Kind) (Value, error) {
+	if v.IsNull() || v.Kind == t {
+		return v, nil
+	}
+	switch t {
+	case KindFloat:
+		if f, ok := v.AsFloat(); ok {
+			return Float(f), nil
+		}
+		if v.Kind == KindText {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64); err == nil {
+				return Float(f), nil
+			}
+		}
+	case KindInt:
+		switch v.Kind {
+		case KindFloat:
+			if v.Num == float64(int64(v.Num)) {
+				return Int(int64(v.Num)), nil
+			}
+		case KindText:
+			if i, err := strconv.ParseInt(strings.TrimSpace(v.Str), 10, 64); err == nil {
+				return Int(i), nil
+			}
+		}
+	case KindText:
+		return Text(v.String()), nil
+	case KindBool:
+		if v.Kind == KindText {
+			switch strings.ToLower(strings.TrimSpace(v.Str)) {
+			case "true", "t", "1", "yes":
+				return Bool(true), nil
+			case "false", "f", "0", "no":
+				return Bool(false), nil
+			}
+		}
+	}
+	return Null, fmt.Errorf("reldb: cannot coerce %s %q to %s", v.Kind, v.String(), t)
+}

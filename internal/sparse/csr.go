@@ -1,0 +1,226 @@
+// Package sparse implements compressed sparse row (CSR) matrices.
+//
+// The retrofitting iterations of the paper (eq. 10 and 11) multiply sparse
+// relation-weight matrices (γ^r_ij), (δ^r_ij) against the dense embedding
+// matrix W^k. CSR keeps those products proportional to the number of
+// relation edges rather than n².
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Triplet is one (row, col, value) entry used while assembling a matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is an immutable compressed sparse row matrix. For row i the column
+// indices are ColIdx[RowPtr[i]:RowPtr[i+1]] with matching values in Val.
+// Column indices are strictly increasing within a row.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int
+	ColIdx           []int
+	Val              []float64
+}
+
+// New assembles a CSR matrix from triplets. Duplicate (row, col) entries
+// are summed, matching the usual sparse-assembly convention.
+func New(rows, cols int, entries []Triplet) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dims %dx%d", rows, cols))
+	}
+	for _, t := range entries {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", t.Row, t.Col, rows, cols))
+		}
+	}
+	sorted := make([]Triplet, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+
+	m := &CSR{
+		NumRows: rows,
+		NumCols: cols,
+		RowPtr:  make([]int, rows+1),
+	}
+	// After sorting, duplicates are adjacent: merge them while copying.
+	lastRow, lastCol := -1, -1
+	for _, t := range sorted {
+		if t.Row == lastRow && t.Col == lastCol {
+			m.Val[len(m.Val)-1] += t.Val
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, t.Col)
+		m.Val = append(m.Val, t.Val)
+		m.RowPtr[t.Row+1]++
+		lastRow, lastCol = t.Row, t.Col
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Row iterates over the stored entries of row i, calling fn(col, val).
+func (m *CSR) Row(i int, fn func(col int, val float64)) {
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		fn(m.ColIdx[k], m.Val[k])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// At returns the value at (i, j), or 0 if not stored. O(log nnz(row)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// RowSums returns the vector of per-row sums of stored values. In the
+// retrofitting solvers this yields the Σ_j γ^r_ij terms of the diagonal
+// normaliser D in eq. (10).
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.NumRows)
+	for i := 0; i < m.NumRows; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColSums returns the vector of per-column sums of stored values (the row
+// sums of the transpose).
+func (m *CSR) ColSums() []float64 {
+	out := make([]float64, m.NumCols)
+	for k, c := range m.ColIdx {
+		out[c] += m.Val[k]
+	}
+	return out
+}
+
+// MulMatrixAdd computes dst += alpha * (m * dense) where dense is
+// NumCols x D and dst is NumRows x D. Cost O(nnz * D).
+func (m *CSR) MulMatrixAdd(dst *vec.Matrix, alpha float64, dense *vec.Matrix) {
+	if dense.Rows != m.NumCols {
+		panic(fmt.Sprintf("sparse: MulMatrixAdd inner dim %d != %d", dense.Rows, m.NumCols))
+	}
+	if dst.Rows != m.NumRows || dst.Cols != dense.Cols {
+		panic("sparse: MulMatrixAdd dst shape mismatch")
+	}
+	for i := 0; i < m.NumRows; i++ {
+		di := dst.Row(i)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			vec.Axpy(di, alpha*m.Val[k], dense.Row(m.ColIdx[k]))
+		}
+	}
+}
+
+// MulTMatrixAdd computes dst += alpha * (m^T * dense) where dense is
+// NumRows x D and dst is NumCols x D, without materialising the transpose.
+func (m *CSR) MulTMatrixAdd(dst *vec.Matrix, alpha float64, dense *vec.Matrix) {
+	if dense.Rows != m.NumRows {
+		panic(fmt.Sprintf("sparse: MulTMatrixAdd inner dim %d != %d", dense.Rows, m.NumRows))
+	}
+	if dst.Rows != m.NumCols || dst.Cols != dense.Cols {
+		panic("sparse: MulTMatrixAdd dst shape mismatch")
+	}
+	for i := 0; i < m.NumRows; i++ {
+		src := dense.Row(i)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			vec.Axpy(dst.Row(m.ColIdx[k]), alpha*m.Val[k], src)
+		}
+	}
+}
+
+// MulVec computes dst = m * x. Cost O(nnz).
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(x) != m.NumCols || len(dst) != m.NumRows {
+		panic("sparse: MulVec shape mismatch")
+	}
+	for i := 0; i < m.NumRows; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// Transpose returns a newly assembled m^T.
+func (m *CSR) Transpose() *CSR {
+	// Counting sort by column gives the transpose in O(nnz + rows + cols).
+	counts := make([]int, m.NumCols+1)
+	for _, c := range m.ColIdx {
+		counts[c+1]++
+	}
+	for i := 0; i < m.NumCols; i++ {
+		counts[i+1] += counts[i]
+	}
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  counts,
+		ColIdx:  make([]int, m.NNZ()),
+		Val:     make([]float64, m.NNZ()),
+	}
+	next := make([]int, m.NumCols)
+	copy(next, t.RowPtr[:m.NumCols])
+	for i := 0; i < m.NumRows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			pos := next[c]
+			next[c]++
+			t.ColIdx[pos] = i
+			t.Val[pos] = m.Val[k]
+		}
+	}
+	return t
+}
+
+// ToDense materialises the matrix; intended for tests and tiny examples.
+func (m *CSR) ToDense() *vec.Matrix {
+	out := vec.NewMatrix(m.NumRows, m.NumCols)
+	for i := 0; i < m.NumRows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return out
+}
+
+// Scale returns a copy of m with every stored value multiplied by alpha.
+func (m *CSR) Scale(alpha float64) *CSR {
+	out := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  append([]int(nil), m.RowPtr...),
+		ColIdx:  append([]int(nil), m.ColIdx...),
+		Val:     make([]float64, len(m.Val)),
+	}
+	for i, v := range m.Val {
+		out.Val[i] = alpha * v
+	}
+	return out
+}

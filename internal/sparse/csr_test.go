@@ -1,0 +1,233 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+func TestNewAndAt(t *testing.T) {
+	m := New(3, 4, []Triplet{
+		{0, 1, 2},
+		{2, 3, 5},
+		{0, 0, 1},
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 || m.At(2, 3) != 5 {
+		t.Fatal("At returned wrong values")
+	}
+	if m.At(1, 1) != 0 {
+		t.Fatal("missing entry should be 0")
+	}
+}
+
+func TestNewMergesDuplicates(t *testing.T) {
+	m := New(2, 2, []Triplet{
+		{0, 0, 1},
+		{0, 0, 2},
+		{1, 1, 3},
+		{0, 0, 0.5},
+	})
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 after merging", m.NNZ())
+	}
+	if m.At(0, 0) != 3.5 {
+		t.Fatalf("merged value = %v, want 3.5", m.At(0, 0))
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	m := New(0, 0, nil)
+	if m.NNZ() != 0 {
+		t.Fatal("empty matrix should have no entries")
+	}
+	m2 := New(5, 5, nil)
+	if m2.RowNNZ(3) != 0 {
+		t.Fatal("empty rows should report 0 nnz")
+	}
+}
+
+func TestNewOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2, []Triplet{{2, 0, 1}})
+}
+
+func TestRowIterationSorted(t *testing.T) {
+	m := New(1, 5, []Triplet{{0, 4, 4}, {0, 1, 1}, {0, 3, 3}})
+	var cols []int
+	m.Row(0, func(c int, v float64) {
+		cols = append(cols, c)
+		if float64(c) != v {
+			t.Fatalf("value mismatch at col %d: %v", c, v)
+		}
+	})
+	if len(cols) != 3 || cols[0] != 1 || cols[1] != 3 || cols[2] != 4 {
+		t.Fatalf("cols = %v, want sorted [1 3 4]", cols)
+	}
+}
+
+func TestRowSumsColSums(t *testing.T) {
+	m := New(2, 3, []Triplet{{0, 0, 1}, {0, 2, 2}, {1, 2, 3}})
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 3 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	cs := m.ColSums()
+	if cs[0] != 1 || cs[1] != 0 || cs[2] != 5 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := New(2, 2, []Triplet{{0, 0, 2}, {1, 0, 1}, {1, 1, 3}})
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 2})
+	if dst[0] != 2 || dst[1] != 7 {
+		t.Fatalf("MulVec = %v", dst)
+	}
+}
+
+func TestMulMatrixAddMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols, d := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(4)
+		var trips []Triplet
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if rng.Float64() < 0.4 {
+					trips = append(trips, Triplet{i, j, rng.NormFloat64()})
+				}
+			}
+		}
+		m := New(rows, cols, trips)
+		dense := vec.NewMatrix(cols, d)
+		dense.Randomize(rng, 1)
+
+		got := vec.NewMatrix(rows, d)
+		m.MulMatrixAdd(got, 1.5, dense)
+
+		want := vec.NewMatrix(rows, d)
+		m.ToDense().Mul(want, dense)
+		for i := range want.Data {
+			want.Data[i] *= 1.5
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: sparse MulMatrixAdd != dense reference", trial)
+		}
+	}
+}
+
+func TestMulTMatrixAddMatchesTransposeDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols, d := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(4)
+		var trips []Triplet
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if rng.Float64() < 0.4 {
+					trips = append(trips, Triplet{i, j, rng.NormFloat64()})
+				}
+			}
+		}
+		m := New(rows, cols, trips)
+		dense := vec.NewMatrix(rows, d)
+		dense.Randomize(rng, 1)
+
+		got := vec.NewMatrix(cols, d)
+		m.MulTMatrixAdd(got, 1, dense)
+
+		want := vec.NewMatrix(cols, d)
+		m.Transpose().MulMatrixAdd(want, 1, dense)
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: MulTMatrixAdd != Transpose().MulMatrixAdd", trial)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var trips []Triplet
+	for i := 0; i < 7; i++ {
+		trips = append(trips, Triplet{rng.Intn(5), rng.Intn(9), rng.NormFloat64()})
+	}
+	m := New(5, 9, trips)
+	tt := m.Transpose().Transpose()
+	if tt.NumRows != m.NumRows || tt.NumCols != m.NumCols || tt.NNZ() != m.NNZ() {
+		t.Fatal("double transpose changed shape or nnz")
+	}
+	for i := 0; i < m.NumRows; i++ {
+		for j := 0; j < m.NumCols; j++ {
+			if math.Abs(m.At(i, j)-tt.At(i, j)) > 1e-15 {
+				t.Fatalf("(%d,%d) differs after double transpose", i, j)
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := New(1, 2, []Triplet{{0, 0, 2}, {0, 1, -4}})
+	s := m.Scale(0.5)
+	if s.At(0, 0) != 1 || s.At(0, 1) != -2 {
+		t.Fatalf("Scale values wrong: %v %v", s.At(0, 0), s.At(0, 1))
+	}
+	if m.At(0, 0) != 2 {
+		t.Fatal("Scale mutated the receiver")
+	}
+}
+
+func TestToDense(t *testing.T) {
+	m := New(2, 2, []Triplet{{0, 1, 3}, {1, 0, -1}})
+	d := m.ToDense()
+	want := vec.NewMatrixFrom([][]float64{{0, 3}, {-1, 0}})
+	if !d.Equal(want, 0) {
+		t.Fatalf("ToDense = %v", d)
+	}
+}
+
+func TestRowNNZ(t *testing.T) {
+	m := New(3, 3, []Triplet{{1, 0, 1}, {1, 2, 1}})
+	if m.RowNNZ(0) != 0 || m.RowNNZ(1) != 2 || m.RowNNZ(2) != 0 {
+		t.Fatal("RowNNZ wrong")
+	}
+}
+
+// Property: RowSums(m) == m * ones and ColSums(m) == m^T * ones.
+func TestPropertySumsViaMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		var trips []Triplet
+		for k := 0; k < rng.Intn(20); k++ {
+			trips = append(trips, Triplet{rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()})
+		}
+		m := New(rows, cols, trips)
+		ones := make([]float64, cols)
+		vec.Fill(ones, 1)
+		viaMul := make([]float64, rows)
+		m.MulVec(viaMul, ones)
+		rs := m.RowSums()
+		for i := range rs {
+			if math.Abs(rs[i]-viaMul[i]) > 1e-12 {
+				t.Fatalf("trial %d: RowSums disagree at %d", trial, i)
+			}
+		}
+		onesR := make([]float64, rows)
+		vec.Fill(onesR, 1)
+		viaMulT := make([]float64, cols)
+		m.Transpose().MulVec(viaMulT, onesR)
+		cs := m.ColSums()
+		for j := range cs {
+			if math.Abs(cs[j]-viaMulT[j]) > 1e-12 {
+				t.Fatalf("trial %d: ColSums disagree at %d", trial, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package trie implements the lookup trie (prefix tree) of §3.1 of the
+// paper. The tokenizer builds a trie over the embedding vocabulary where
+// every node represents a token, and extracts the longest possible
+// sequence of tokens for each text value (so "bank account" matches the
+// phrase vector instead of the two word vectors).
+//
+// The trie operates on sequences of string tokens rather than bytes: a
+// vocabulary entry like "new_york_city" is inserted as the token sequence
+// ["new", "york", "city"]. This mirrors how multi-word phrases appear in
+// pre-trained embedding vocabularies (underscore-joined).
+package trie
+
+// Trie is a token-sequence prefix tree. The zero value is an empty trie
+// ready for use.
+type Trie struct {
+	root node
+	size int
+}
+
+type node struct {
+	children map[string]*node
+	// terminal marks that the token sequence from the root to this node is
+	// a vocabulary entry; payload carries the caller's id for it.
+	terminal bool
+	payload  int
+}
+
+// Insert adds a token sequence with an associated payload (typically the
+// vocabulary index). Inserting an empty sequence is a no-op. Re-inserting
+// a sequence overwrites its payload.
+func (t *Trie) Insert(tokens []string, payload int) {
+	if len(tokens) == 0 {
+		return
+	}
+	n := &t.root
+	for _, tok := range tokens {
+		if n.children == nil {
+			n.children = make(map[string]*node)
+		}
+		child, ok := n.children[tok]
+		if !ok {
+			child = &node{}
+			n.children[tok] = child
+		}
+		n = child
+	}
+	if !n.terminal {
+		t.size++
+	}
+	n.terminal = true
+	n.payload = payload
+}
+
+// Len returns the number of distinct sequences stored.
+func (t *Trie) Len() int { return t.size }
+
+// Contains reports whether the exact token sequence is stored.
+func (t *Trie) Contains(tokens []string) bool {
+	_, ok := t.Lookup(tokens)
+	return ok
+}
+
+// Lookup returns the payload of the exact token sequence.
+func (t *Trie) Lookup(tokens []string) (payload int, ok bool) {
+	if len(tokens) == 0 {
+		return 0, false
+	}
+	n := &t.root
+	for _, tok := range tokens {
+		child, ok := n.children[tok]
+		if !ok {
+			return 0, false
+		}
+		n = child
+	}
+	if !n.terminal {
+		return 0, false
+	}
+	return n.payload, true
+}
+
+// LongestPrefix finds the longest stored sequence that is a prefix of
+// tokens. It returns the number of tokens consumed (0 if none match) and
+// the payload of the match.
+func (t *Trie) LongestPrefix(tokens []string) (consumed, payload int) {
+	n := &t.root
+	bestLen, bestPayload := 0, 0
+	for i, tok := range tokens {
+		child, ok := n.children[tok]
+		if !ok {
+			break
+		}
+		n = child
+		if n.terminal {
+			bestLen = i + 1
+			bestPayload = n.payload
+		}
+	}
+	return bestLen, bestPayload
+}
+
+// Walk visits every stored sequence in unspecified order, calling fn with
+// the token sequence (valid only during the call) and payload. If fn
+// returns false the walk stops.
+func (t *Trie) Walk(fn func(tokens []string, payload int) bool) {
+	var path []string
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		if n.terminal {
+			if !fn(path, n.payload) {
+				return false
+			}
+		}
+		for tok, child := range n.children {
+			path = append(path, tok)
+			if !rec(child) {
+				return false
+			}
+			path = path[:len(path)-1]
+		}
+		return true
+	}
+	rec(&t.root)
+}

@@ -1,0 +1,191 @@
+package trie
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestInsertLookup(t *testing.T) {
+	var tr Trie
+	tr.Insert([]string{"bank"}, 1)
+	tr.Insert([]string{"bank", "account"}, 2)
+	tr.Insert([]string{"account"}, 3)
+
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if p, ok := tr.Lookup([]string{"bank", "account"}); !ok || p != 2 {
+		t.Fatalf("Lookup(bank account) = %d,%v", p, ok)
+	}
+	if _, ok := tr.Lookup([]string{"bank", "robber"}); ok {
+		t.Fatal("Lookup of missing sequence succeeded")
+	}
+	if _, ok := tr.Lookup(nil); ok {
+		t.Fatal("Lookup(nil) should fail")
+	}
+}
+
+func TestLookupInternalNodeNotTerminal(t *testing.T) {
+	var tr Trie
+	tr.Insert([]string{"new", "york", "city"}, 7)
+	if _, ok := tr.Lookup([]string{"new", "york"}); ok {
+		t.Fatal("prefix of stored phrase must not be terminal")
+	}
+}
+
+func TestInsertOverwritesPayload(t *testing.T) {
+	var tr Trie
+	tr.Insert([]string{"a"}, 1)
+	tr.Insert([]string{"a"}, 9)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if p, _ := tr.Lookup([]string{"a"}); p != 9 {
+		t.Fatalf("payload = %d, want 9", p)
+	}
+}
+
+func TestInsertEmptyNoop(t *testing.T) {
+	var tr Trie
+	tr.Insert(nil, 5)
+	if tr.Len() != 0 {
+		t.Fatal("empty insert should be a no-op")
+	}
+}
+
+func TestLongestPrefix(t *testing.T) {
+	var tr Trie
+	tr.Insert([]string{"bank"}, 1)
+	tr.Insert([]string{"bank", "account"}, 2)
+	tr.Insert([]string{"bank", "account", "number"}, 3)
+
+	cases := []struct {
+		in          []string
+		wantLen     int
+		wantPayload int
+	}{
+		{[]string{"bank", "account", "number", "x"}, 3, 3},
+		{[]string{"bank", "account", "x"}, 2, 2},
+		{[]string{"bank", "x"}, 1, 1},
+		{[]string{"x"}, 0, 0},
+		{nil, 0, 0},
+		// "bank robber": only "bank" matches even though "bank account"
+		// shares the prefix node.
+		{[]string{"bank", "robber", "account"}, 1, 1},
+	}
+	for _, c := range cases {
+		n, p := tr.LongestPrefix(c.in)
+		if n != c.wantLen || (n > 0 && p != c.wantPayload) {
+			t.Errorf("LongestPrefix(%v) = %d,%d want %d,%d", c.in, n, p, c.wantLen, c.wantPayload)
+		}
+	}
+}
+
+func TestLongestPrefixPrefersLongerMatch(t *testing.T) {
+	// The paper's motivating case: "bank account" must match the phrase,
+	// not the single token.
+	var tr Trie
+	tr.Insert([]string{"bank"}, 1)
+	tr.Insert([]string{"account"}, 2)
+	tr.Insert([]string{"bank", "account"}, 3)
+	n, p := tr.LongestPrefix([]string{"bank", "account"})
+	if n != 2 || p != 3 {
+		t.Fatalf("got %d,%d want 2,3", n, p)
+	}
+}
+
+func TestContains(t *testing.T) {
+	var tr Trie
+	tr.Insert([]string{"x", "y"}, 0)
+	if !tr.Contains([]string{"x", "y"}) || tr.Contains([]string{"x"}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	var tr Trie
+	want := map[string]int{"a": 1, "a b": 2, "c": 3}
+	for k, v := range want {
+		tr.Insert(strings.Fields(k), v)
+	}
+	got := map[string]int{}
+	tr.Walk(func(tokens []string, payload int) bool {
+		got[strings.Join(tokens, " ")] = payload
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Walk got %v want %v", got, want)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	var tr Trie
+	tr.Insert([]string{"a"}, 1)
+	tr.Insert([]string{"b"}, 2)
+	count := 0
+	tr.Walk(func([]string, int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("Walk visited %d after stop, want 1", count)
+	}
+}
+
+// Property-style test: for random vocabularies, LongestPrefix always
+// returns a stored sequence, and no longer stored prefix exists.
+func TestPropertyLongestPrefixMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 50; trial++ {
+		var tr Trie
+		stored := map[string]int{}
+		for i := 0; i < 20; i++ {
+			n := 1 + rng.Intn(4)
+			seq := make([]string, n)
+			for j := range seq {
+				seq[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			key := strings.Join(seq, " ")
+			stored[key] = i
+			tr.Insert(seq, i)
+		}
+		query := make([]string, 6)
+		for j := range query {
+			query[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		n, _ := tr.LongestPrefix(query)
+		if n > 0 {
+			if _, ok := stored[strings.Join(query[:n], " ")]; !ok {
+				t.Fatalf("trial %d: LongestPrefix returned unstored sequence", trial)
+			}
+		}
+		// No stored strictly longer prefix may exist.
+		for l := n + 1; l <= len(query); l++ {
+			if _, ok := stored[strings.Join(query[:l], " ")]; ok {
+				t.Fatalf("trial %d: longer prefix of length %d exists but %d returned", trial, l, n)
+			}
+		}
+	}
+}
+
+func TestWalkSortedSequences(t *testing.T) {
+	var tr Trie
+	seqs := []string{"z", "m n", "a b c"}
+	for i, s := range seqs {
+		tr.Insert(strings.Fields(s), i)
+	}
+	var visited []string
+	tr.Walk(func(tokens []string, _ int) bool {
+		visited = append(visited, strings.Join(tokens, " "))
+		return true
+	})
+	sort.Strings(visited)
+	sort.Strings(seqs)
+	if !reflect.DeepEqual(visited, seqs) {
+		t.Fatalf("Walk visited %v want %v", visited, seqs)
+	}
+}

@@ -1,0 +1,221 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix. Row i occupies
+// Data[i*Stride : i*Stride+Cols]. Stride == Cols for matrices created by
+// NewMatrix; views produced by SubRows share the parent's backing array.
+type Matrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: NewMatrix negative dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from a slice of equally sized rows,
+// copying the data.
+func NewMatrixFrom(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("vec: NewMatrixFrom ragged row %d (%d != %d)", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set writes the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Clone returns a deep copy with a compact stride.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("vec: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// SubRows returns a view of rows [from, to). The view shares storage.
+func (m *Matrix) SubRows(from, to int) *Matrix {
+	if from < 0 || to > m.Rows || from > to {
+		panic(fmt.Sprintf("vec: SubRows [%d,%d) out of range 0..%d", from, to, m.Rows))
+	}
+	return &Matrix{
+		Rows:   to - from,
+		Cols:   m.Cols,
+		Stride: m.Stride,
+		Data:   m.Data[from*m.Stride : (to-1)*m.Stride+m.Cols],
+	}
+}
+
+// Zero sets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		Zero(m.Row(i))
+	}
+}
+
+// ScaleRows multiplies row i by s[i] in place. len(s) must equal Rows.
+func (m *Matrix) ScaleRows(s []float64) {
+	if len(s) != m.Rows {
+		panic("vec: ScaleRows length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		Scale(m.Row(i), s[i])
+	}
+}
+
+// AddScaled computes m += alpha * other element-wise.
+func (m *Matrix) AddScaled(alpha float64, other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("vec: AddScaled shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		Axpy(m.Row(i), alpha, other.Row(i))
+	}
+}
+
+// RowSquaredNorms writes ||row_i||^2 into dst, which must have length Rows.
+// This is the (W' ⊙ W')·1 computation of eq. (11).
+func (m *Matrix) RowSquaredNorms(dst []float64) {
+	if len(dst) != m.Rows {
+		panic("vec: RowSquaredNorms length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		dst[i] = Dot(r, r)
+	}
+}
+
+// Mul computes dst = m * other (matrix product). dst must not alias either
+// operand. The inner loop is arranged as an axpy over rows of other, which
+// is cache-friendly for row-major data.
+func (m *Matrix) Mul(dst, other *Matrix) {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("vec: Mul inner dim mismatch %d != %d", m.Cols, other.Rows))
+	}
+	if dst.Rows != m.Rows || dst.Cols != other.Cols {
+		panic("vec: Mul dst shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		di := dst.Row(i)
+		for k, a := range mi {
+			if a == 0 {
+				continue
+			}
+			Axpy(di, a, other.Row(k))
+		}
+	}
+}
+
+// MulVec computes dst = m * x for a column vector x.
+func (m *Matrix) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("vec: MulVec shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// MulVecT computes dst = m^T * x, i.e. dst[j] = sum_i m[i][j]*x[i].
+func (m *Matrix) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("vec: MulVecT shape mismatch")
+	}
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(dst, x[i], m.Row(i))
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j, v := range r {
+			out.Data[j*out.Stride+i] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether m and other have the same shape and all elements
+// within tol of each other.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		a, b := m.Row(i), other.Row(i)
+		for j := range a {
+			d := a[j] - b[j]
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Randomize fills m with uniform values in [-scale, scale) from rng.
+func (m *Matrix) Randomize(rng *rand.Rand, scale float64) {
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] = (rng.Float64()*2 - 1) * scale
+		}
+	}
+}
+
+// String renders a small matrix for debugging; large matrices are
+// summarised by shape only.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("%.4g", m.Row(i))
+	}
+	return s + "]"
+}

@@ -1,0 +1,205 @@
+// Package vec provides dense float64 vector and matrix kernels used by the
+// retrofitting solvers, the embedding store, and the neural network library.
+//
+// All operations are allocation-conscious: the mutating variants write into
+// their receiver or an explicit destination, and the few allocating helpers
+// are clearly named (Clone, NewMatrix, ...). Vectors are plain []float64;
+// matrices are row-major with an explicit stride so that row views are
+// cheap sub-slices.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of a.
+func Norm(a []float64) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+// SquaredDistance returns ||a-b||^2, the quantity the retrofitting loss
+// (eq. 4-6 of the paper) is built from.
+func SquaredDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: SquaredDistance length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b. A zero vector has
+// similarity 0 with everything (by convention, so OOV null vectors do not
+// rank as neighbours).
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Axpy computes dst += alpha*x element-wise. It panics on length mismatch.
+func Axpy(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("vec: Axpy length mismatch %d != %d", len(dst), len(x)))
+	}
+	if alpha == 1 {
+		for i, v := range x {
+			dst[i] += v
+		}
+		return
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of a by alpha in place.
+func Scale(a []float64, alpha float64) {
+	for i := range a {
+		a[i] *= alpha
+	}
+}
+
+// Add computes dst = a + b. dst may alias a or b.
+func Add(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vec: Add length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b. dst may alias a or b.
+func Sub(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("vec: Sub length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Zero sets every element of a to 0.
+func Zero(a []float64) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// Fill sets every element of a to v.
+func Fill(a []float64, v float64) {
+	for i := range a {
+		a[i] = v
+	}
+}
+
+// Clone returns a fresh copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// IsZero reports whether every element of a is exactly 0. Used to detect
+// null-vector (OOV) initialisations.
+func IsZero(a []float64) bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize scales a to unit L2 norm in place and returns the original
+// norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(a []float64) float64 {
+	n := Norm(a)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range a {
+		a[i] *= inv
+	}
+	return n
+}
+
+// Centroid computes the arithmetic mean of the given vectors into dst.
+// It panics if vectors is empty or dimensions mismatch. This is the c_i
+// computation of eq. (5).
+func Centroid(dst []float64, vectors ...[]float64) {
+	if len(vectors) == 0 {
+		panic("vec: Centroid of no vectors")
+	}
+	Zero(dst)
+	for _, v := range vectors {
+		Axpy(dst, 1, v)
+	}
+	Scale(dst, 1/float64(len(vectors)))
+}
+
+// ArgMax returns the index of the largest element of a, or -1 for an
+// empty slice. Ties resolve to the lowest index.
+func ArgMax(a []float64) int {
+	if len(a) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(a); i++ {
+		if a[i] > a[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of a.
+func Sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// StdDev returns the population standard deviation of a.
+func StdDev(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	m := Mean(a)
+	var s float64
+	for _, v := range a {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}

@@ -1,0 +1,224 @@
+// Package word2vec implements the Skip-Gram model with negative sampling
+// (Mikolov et al. 2013) from scratch. DeepWalk (§4.6 of the paper) trains
+// this model on random-walk "sentences"; the same code can train word
+// embeddings on token corpora for the synthetic pre-trained embedding.
+package word2vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Config holds the Skip-Gram hyperparameters. Zero values are replaced by
+// the defaults noted per field.
+type Config struct {
+	Dim          int     // embedding dimensionality (default 128)
+	Window       int     // max context window each side (default 5)
+	Negative     int     // negative samples per positive pair (default 5)
+	Epochs       int     // passes over the corpus (default 1)
+	LearningRate float64 // initial SGD learning rate (default 0.025)
+	MinLearning  float64 // floor for the linear decay (default lr/1e4)
+	Subsample    float64 // word2vec subsample threshold t, 0 = off
+	Seed         int64   // RNG seed (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 128
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negative <= 0 {
+		c.Negative = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+	if c.MinLearning <= 0 {
+		c.MinLearning = c.LearningRate / 1e4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Model holds the trained matrices. In is the input (target) embedding,
+// the one consumers use; Out is the context matrix.
+type Model struct {
+	In, Out *vec.Matrix
+	Vocab   int
+	Config  Config
+}
+
+// Vector returns the learned embedding of token id.
+func (m *Model) Vector(id int) []float64 { return m.In.Row(id) }
+
+// Train fits Skip-Gram with negative sampling on a corpus of sentences of
+// token ids in [0, vocabSize). Deterministic for a fixed config seed.
+func Train(corpus [][]int, vocabSize int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if vocabSize <= 0 {
+		return nil, fmt.Errorf("word2vec: vocabSize must be positive")
+	}
+	counts := make([]float64, vocabSize)
+	totalTokens := 0
+	for _, sent := range corpus {
+		for _, tok := range sent {
+			if tok < 0 || tok >= vocabSize {
+				return nil, fmt.Errorf("word2vec: token %d outside vocab of %d", tok, vocabSize)
+			}
+			counts[tok]++
+			totalTokens++
+		}
+	}
+	if totalTokens == 0 {
+		return nil, fmt.Errorf("word2vec: empty corpus")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := vec.NewMatrix(vocabSize, cfg.Dim)
+	out := vec.NewMatrix(vocabSize, cfg.Dim)
+	// word2vec convention: inputs uniform in [-0.5/dim, 0.5/dim), outputs zero.
+	in.Randomize(rng, 0.5/float64(cfg.Dim))
+
+	sampler := newUnigramSampler(counts)
+
+	// Subsampling keep-probability per token (word2vec formula).
+	keepProb := make([]float64, vocabSize)
+	for i, c := range counts {
+		if cfg.Subsample <= 0 || c == 0 {
+			keepProb[i] = 1
+			continue
+		}
+		f := c / float64(totalTokens)
+		p := (math.Sqrt(f/cfg.Subsample) + 1) * cfg.Subsample / f
+		if p > 1 {
+			p = 1
+		}
+		keepProb[i] = p
+	}
+
+	totalSteps := float64(cfg.Epochs) * float64(totalTokens)
+	step := 0.0
+	gradBuf := make([]float64, cfg.Dim)
+	sent2 := make([]int, 0, 64)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range corpus {
+			// Apply subsampling for this pass.
+			sent2 = sent2[:0]
+			for _, tok := range sent {
+				if keepProb[tok] >= 1 || rng.Float64() < keepProb[tok] {
+					sent2 = append(sent2, tok)
+				}
+			}
+			for pos, target := range sent2 {
+				lr := cfg.LearningRate * (1 - step/totalSteps)
+				if lr < cfg.MinLearning {
+					lr = cfg.MinLearning
+				}
+				step++
+				// Shrunk window, as in the reference implementation.
+				w := 1 + rng.Intn(cfg.Window)
+				lo, hi := pos-w, pos+w
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(sent2) {
+					hi = len(sent2) - 1
+				}
+				for cpos := lo; cpos <= hi; cpos++ {
+					if cpos == pos {
+						continue
+					}
+					context := sent2[cpos]
+					trainPair(in.Row(target), out, context, sampler, rng, cfg.Negative, lr, gradBuf)
+				}
+			}
+		}
+	}
+	return &Model{In: in, Out: out, Vocab: vocabSize, Config: cfg}, nil
+}
+
+// trainPair applies one positive (target, context) update plus negative
+// samples, with the standard SGNS gradients.
+func trainPair(vIn []float64, out *vec.Matrix, context int, sampler *unigramSampler, rng *rand.Rand, negative int, lr float64, grad []float64) {
+	vec.Zero(grad)
+	// Positive sample: label 1.
+	sgnsUpdate(vIn, out.Row(context), 1, lr, grad)
+	// Negative samples: label 0; resample collisions with the positive.
+	for n := 0; n < negative; n++ {
+		neg := sampler.Sample(rng)
+		if neg == context {
+			continue
+		}
+		sgnsUpdate(vIn, out.Row(neg), 0, lr, grad)
+	}
+	vec.Axpy(vIn, 1, grad)
+}
+
+// sgnsUpdate performs one logistic-regression step on (vIn, vOut) with the
+// given label, writing the input-side gradient into gradAccum and updating
+// vOut in place.
+func sgnsUpdate(vIn, vOut []float64, label float64, lr float64, gradAccum []float64) {
+	score := sigmoid(vec.Dot(vIn, vOut))
+	g := lr * (label - score)
+	vec.Axpy(gradAccum, g, vOut)
+	vec.Axpy(vOut, g, vIn)
+}
+
+func sigmoid(x float64) float64 {
+	// Clamp to the word2vec MAX_EXP-style range for numeric stability.
+	if x > 6 {
+		return 1 - 1e-8
+	}
+	if x < -6 {
+		return 1e-8
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// unigramSampler draws negatives proportionally to count^0.75, the noise
+// distribution of the original paper, via binary search on the CDF.
+type unigramSampler struct {
+	cdf []float64
+}
+
+func newUnigramSampler(counts []float64) *unigramSampler {
+	cdf := make([]float64, len(counts))
+	total := 0.0
+	for i, c := range counts {
+		total += math.Pow(c, 0.75)
+		cdf[i] = total
+	}
+	if total == 0 {
+		// Degenerate corpus: uniform.
+		for i := range cdf {
+			cdf[i] = float64(i + 1)
+		}
+		total = float64(len(cdf))
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &unigramSampler{cdf: cdf}
+}
+
+// Sample draws one token id from the noise distribution.
+func (s *unigramSampler) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(s.cdf, u)
+	if i >= len(s.cdf) {
+		i = len(s.cdf) - 1
+	}
+	return i
+}

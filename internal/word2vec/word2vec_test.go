@@ -1,0 +1,191 @@
+package word2vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// clusterCorpus builds sentences where tokens 0..3 co-occur and tokens
+// 4..7 co-occur, never mixing. SGNS must place same-cluster tokens closer
+// than cross-cluster tokens.
+func clusterCorpus(rng *rand.Rand, sentences, length int) [][]int {
+	corpus := make([][]int, sentences)
+	for i := range corpus {
+		base := 0
+		if i%2 == 1 {
+			base = 4
+		}
+		sent := make([]int, length)
+		for j := range sent {
+			sent[j] = base + rng.Intn(4)
+		}
+		corpus[i] = sent
+	}
+	return corpus
+}
+
+func TestTrainSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	corpus := clusterCorpus(rng, 200, 20)
+	model, err := Train(corpus, 8, Config{Dim: 16, Epochs: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			cos := vec.Cosine(model.Vector(a), model.Vector(b))
+			if (a < 4) == (b < 4) {
+				intra += cos
+				nIntra++
+			} else {
+				inter += cos
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra <= inter+0.2 {
+		t.Fatalf("clusters not separated: intra=%.3f inter=%.3f", intra, inter)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	corpus := clusterCorpus(rng, 30, 10)
+	m1, err := Train(corpus, 8, Config{Dim: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(corpus, 8, Config{Dim: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.In.Equal(m2.In, 0) {
+		t.Fatal("training not deterministic under fixed seed")
+	}
+	m3, err := Train(corpus, 8, Config{Dim: 8, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.In.Equal(m3.In, 1e-12) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 0, Config{}); err == nil {
+		t.Fatal("zero vocab accepted")
+	}
+	if _, err := Train([][]int{{}}, 4, Config{}); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	if _, err := Train([][]int{{5}}, 4, Config{}); err == nil {
+		t.Fatal("out-of-vocab token accepted")
+	}
+	if _, err := Train([][]int{{-1}}, 4, Config{}); err == nil {
+		t.Fatal("negative token accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Dim != 128 || c.Window != 5 || c.Negative != 5 || c.Epochs != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.LearningRate != 0.025 || c.MinLearning <= 0 || c.Seed != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{Dim: 3, Window: 1, Negative: 2, Epochs: 7, LearningRate: 0.5, Seed: 5}.withDefaults()
+	if c2.Dim != 3 || c2.Window != 1 || c2.Negative != 2 || c2.Epochs != 7 || c2.LearningRate != 0.5 || c2.Seed != 5 {
+		t.Fatalf("explicit config mangled: %+v", c2)
+	}
+}
+
+func TestSubsamplingRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	corpus := clusterCorpus(rng, 50, 30)
+	m, err := Train(corpus, 8, Config{Dim: 8, Subsample: 1e-3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vectors must have moved from init and be finite.
+	for id := 0; id < 8; id++ {
+		for _, v := range m.Vector(id) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite embedding")
+			}
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", s)
+	}
+	if s := sigmoid(100); s >= 1 || s < 0.99 {
+		t.Fatalf("sigmoid(100) = %v", s)
+	}
+	if s := sigmoid(-100); s <= 0 || s > 0.01 {
+		t.Fatalf("sigmoid(-100) = %v", s)
+	}
+}
+
+func TestUnigramSamplerDistribution(t *testing.T) {
+	counts := []float64{1000, 10, 0, 10}
+	s := newUnigramSampler(counts)
+	rng := rand.New(rand.NewSource(6))
+	hist := make([]int, 4)
+	for i := 0; i < 20000; i++ {
+		hist[s.Sample(rng)]++
+	}
+	if hist[0] <= hist[1] || hist[0] <= hist[3] {
+		t.Fatalf("frequent token not sampled most: %v", hist)
+	}
+	if hist[2] > 50 {
+		t.Fatalf("zero-count token oversampled: %v", hist)
+	}
+	// The ^0.75 damping means token 0 (100x counts) should be sampled
+	// well below 100x as often as token 1.
+	ratio := float64(hist[0]) / float64(hist[1]+1)
+	if ratio > 60 {
+		t.Fatalf("damping missing: ratio = %.1f", ratio)
+	}
+}
+
+func TestUnigramSamplerDegenerate(t *testing.T) {
+	s := newUnigramSampler([]float64{0, 0, 0})
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		v := s.Sample(rng)
+		if v < 0 || v > 2 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("degenerate sampler should still spread")
+	}
+}
+
+func TestVectorAccessor(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	corpus := clusterCorpus(rng, 10, 10)
+	m, err := Train(corpus, 8, Config{Dim: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vector(0)) != 4 {
+		t.Fatal("Vector length wrong")
+	}
+	if m.Vocab != 8 {
+		t.Fatal("Vocab wrong")
+	}
+}

@@ -1,0 +1,264 @@
+// Package retro is RETRO — relational retrofitting for in-database machine
+// learning on textual data (Günther, Thiele, Lehner, EDBT 2020) — as a Go
+// library. It learns a dense vector for every unique text value of a
+// relational database by retrofitting a pre-trained word embedding with
+// the database's categorial (column) and relational (row-wise, PK-FK,
+// n:m) structure.
+//
+// Quick start:
+//
+//	db := retro.NewDB()
+//	db.MustExec(`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, director TEXT)`)
+//	db.MustExec(`INSERT INTO movies VALUES (1, 'Alien', 'Ridley Scott')`)
+//	emb, _ := retro.ReadTextEmbedding(file)            // GloVe/word2vec text format
+//	model, _ := retro.Retrofit(db, emb, retro.Defaults())
+//	vec, _ := model.Vector("movies", "title", "Alien") // ready for ML tasks
+//
+// The package wraps the full system: the embedded relational engine
+// (reldb), §3.1 trie tokenization, §3.2 relationship extraction, the RO
+// and RN solvers of §4, the Faruqui-baseline and DeepWalk comparators, and
+// the §4.6 embedding combination.
+package retro
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/deepwalk"
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/graph"
+	"github.com/retrodb/retro/internal/reldb"
+	"github.com/retrodb/retro/internal/tokenize"
+)
+
+// DB is the embedded relational database (see internal/reldb): typed
+// tables, PK/FK constraints, CSV import and a SQL subset via Exec.
+type DB = reldb.DB
+
+// Value is a typed SQL value.
+type Value = reldb.Value
+
+// Column describes a table column for programmatic schema construction.
+type Column = reldb.Column
+
+// ForeignKey declares a reference to another table's primary key.
+type ForeignKey = reldb.ForeignKey
+
+// CSVOptions controls DB.ImportCSV.
+type CSVOptions = reldb.CSVOptions
+
+// Embedding is a word/value embedding store with nearest-neighbour
+// queries and text/binary serialisation.
+type Embedding = embed.Store
+
+// Match is a nearest-neighbour search result.
+type Match = embed.Match
+
+// NewDB creates an empty database.
+func NewDB() *DB { return reldb.New() }
+
+// Text builds a text value.
+func Text(s string) Value { return reldb.Text(s) }
+
+// Int builds an integer value.
+func Int(i int64) Value { return reldb.Int(i) }
+
+// Float builds a floating-point value.
+func Float(f float64) Value { return reldb.Float(f) }
+
+// Null is the SQL NULL value.
+var Null = reldb.Null
+
+// NewEmbedding creates an empty embedding store of the given width.
+func NewEmbedding(dim int) *Embedding { return embed.NewStore(dim) }
+
+// ReadTextEmbedding parses the word2vec/GloVe text format.
+func ReadTextEmbedding(r io.Reader) (*Embedding, error) { return embed.ReadText(r) }
+
+// ReadBinaryEmbedding parses the compact binary format written by
+// (*Embedding).WriteBinary.
+func ReadBinaryEmbedding(r io.Reader) (*Embedding, error) { return embed.ReadBinary(r) }
+
+// Variant selects the retrofitting solver.
+type Variant = core.Variant
+
+// Solver variants: RO is the optimisation-based iteration (eq. 10), RN
+// the faster series-based iteration (eq. 11).
+const (
+	RO = core.RO
+	RN = core.RN
+)
+
+// Hyperparams are the four global constants of §4.4.
+type Hyperparams = core.Hyperparams
+
+// Config controls Retrofit.
+type Config struct {
+	// Variant selects RO or RN (default RN, the paper's recommendation
+	// for speed at comparable quality).
+	Variant Variant
+	// Hyperparams defaults to the paper's per-variant configuration.
+	Hyperparams *Hyperparams
+	// ExcludeColumns hides "table.column" text columns from training
+	// (used when a column is an ML target).
+	ExcludeColumns []string
+	// ExcludeRelations hides "a.b->c.d" relation groups (used for link
+	// prediction evaluation).
+	ExcludeRelations []string
+	// TrackLoss records Ψ(W) per iteration in Model.LossHistory.
+	TrackLoss bool
+	// Parallel spreads solver iterations over this many workers
+	// (0 = sequential, matching the paper's single-thread protocol;
+	// -1 = GOMAXPROCS). Results are identical either way.
+	Parallel int
+}
+
+// Defaults returns the paper's recommended configuration (RN solver,
+// α=1 β=0 γ=3 δ=1, 10 iterations).
+func Defaults() Config { return Config{Variant: RN} }
+
+// Model is a trained set of relational embeddings.
+type Model struct {
+	db     *DB
+	base   *Embedding
+	ex     *extract.Extraction
+	tok    *tokenize.Tokenizer
+	prob   *core.Problem
+	cfg    Config
+	hp     Hyperparams
+	store  *Embedding
+	lossHT []float64
+}
+
+// Retrofit learns vectors for every unique text value in db, anchored to
+// the given pre-trained embedding (§3–4 of the paper).
+func Retrofit(db *DB, base *Embedding, cfg Config) (*Model, error) {
+	ex, err := extract.FromDB(db, extract.Options{
+		ExcludeColumns:   cfg.ExcludeColumns,
+		ExcludeRelations: cfg.ExcludeRelations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ex.NumValues() == 0 {
+		return nil, fmt.Errorf("retro: database contains no text values")
+	}
+	hp := resolveParams(cfg)
+	tok := tokenize.New(base)
+	prob := core.BuildProblem(ex, tok)
+	opts := core.SolveOptions{TrackLoss: cfg.TrackLoss}
+	var res *core.Result
+	switch {
+	case cfg.Parallel == 0:
+		res = core.Solve(prob, hp, cfg.Variant, opts)
+	case cfg.Variant == RO:
+		res = core.SolveROParallel(prob, hp, core.ParallelOptions{SolveOptions: opts, Workers: workerCount(cfg.Parallel)})
+	default:
+		res = core.SolveRNParallel(prob, hp, core.ParallelOptions{SolveOptions: opts, Workers: workerCount(cfg.Parallel)})
+	}
+
+	m := &Model{
+		db: db, base: base, ex: ex, tok: tok, prob: prob,
+		cfg: cfg, hp: hp, lossHT: res.LossHistory,
+	}
+	m.store = m.buildStore(res.W.Row)
+	return m, nil
+}
+
+func workerCount(parallel int) int {
+	if parallel < 0 {
+		return 0 // ParallelOptions defaults to GOMAXPROCS
+	}
+	return parallel
+}
+
+func resolveParams(cfg Config) Hyperparams {
+	if cfg.Hyperparams != nil {
+		return *cfg.Hyperparams
+	}
+	if cfg.Variant == RO {
+		return core.DefaultRO()
+	}
+	return core.DefaultRN()
+}
+
+func (m *Model) buildStore(row func(int) []float64) *Embedding {
+	s := embed.NewStore(m.prob.Dim)
+	for _, v := range m.ex.Values {
+		s.Add(deepwalk.ValueKey(m.ex, v.ID), row(v.ID))
+	}
+	return s
+}
+
+// Vector returns the learned embedding of the text value stored in the
+// given table and column. The slice must not be mutated.
+func (m *Model) Vector(table, column, text string) ([]float64, error) {
+	id, ok := m.ex.Lookup(table, column, text)
+	if !ok {
+		return nil, fmt.Errorf("retro: no value %q in %s.%s", text, table, column)
+	}
+	v, ok := m.store.VectorOf(deepwalk.ValueKey(m.ex, id))
+	if !ok {
+		return nil, fmt.Errorf("retro: internal: store missing value %q", text)
+	}
+	return v, nil
+}
+
+// LossHistory returns Ψ(W) per iteration when TrackLoss was enabled.
+func (m *Model) LossHistory() []float64 { return m.lossHT }
+
+// NumValues returns the number of embedded text values.
+func (m *Model) NumValues() int { return m.ex.NumValues() }
+
+// Store returns the embedding store keyed by "table.column\x00text".
+func (m *Model) Store() *Embedding { return m.store }
+
+// Key builds the store key for a (table, column, text) value.
+func (m *Model) Key(table, column, text string) (string, bool) {
+	id, ok := m.ex.Lookup(table, column, text)
+	if !ok {
+		return "", false
+	}
+	return deepwalk.ValueKey(m.ex, id), true
+}
+
+// Neighbors returns the k most similar text values to the given value,
+// across all columns.
+func (m *Model) Neighbors(table, column, text string, k int) ([]Match, error) {
+	key, ok := m.Key(table, column, text)
+	if !ok {
+		return nil, fmt.Errorf("retro: no value %q in %s.%s", text, table, column)
+	}
+	v, _ := m.store.VectorOf(key)
+	selfID, _ := m.store.ID(key)
+	return m.store.TopK(v, k, func(id int) bool { return id == selfID }), nil
+}
+
+// DeepWalkConfig tunes the DeepWalk node embedding baseline.
+type DeepWalkConfig = deepwalk.Config
+
+// TrainDeepWalk learns DeepWalk node embeddings over the same §3.4 graph
+// RETRO uses, keyed compatibly with Model.Store for combination.
+func TrainDeepWalk(db *DB, cfg Config, dwCfg DeepWalkConfig) (*Embedding, error) {
+	ex, err := extract.FromDB(db, extract.Options{
+		ExcludeColumns:   cfg.ExcludeColumns,
+		ExcludeRelations: cfg.ExcludeRelations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Build(ex)
+	res, err := deepwalk.Train(g, dwCfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.ToStore(ex), nil
+}
+
+// Combine concatenates two stores over the first store's vocabulary
+// (§4.6; the paper's preferred combiner).
+func Combine(a, b *Embedding) (*Embedding, error) {
+	return embed.Combine(a, b, embed.Concat)
+}

@@ -1,0 +1,106 @@
+package retro
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/deepwalk"
+	"github.com/retrodb/retro/internal/extract"
+)
+
+// Session couples a database with a live retrofitted model and maintains
+// the model incrementally as rows are inserted — the §1 property that
+// RETRO "does not rely on re-training, which allows us to incrementally
+// maintain the word vectors whenever the data in the database changes".
+type Session struct {
+	db    *DB
+	base  *Embedding
+	cfg   Config
+	model *Model
+	// Hops bounds how far a change propagates during local repair
+	// (default 2 relation hops).
+	Hops int
+}
+
+// NewSession trains the initial model and returns the live session.
+func NewSession(db *DB, base *Embedding, cfg Config) (*Session, error) {
+	model, err := Retrofit(db, base, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, base: base, cfg: cfg, model: model, Hops: 2}, nil
+}
+
+// Model returns the current model.
+func (s *Session) Model() *Model { return s.model }
+
+// DB returns the session's database.
+func (s *Session) DB() *DB { return s.db }
+
+// Insert adds a row (column order) to a table and incrementally repairs
+// the embeddings: the problem is re-extracted, existing vectors are
+// carried over by value key, and only new values plus their Hops-hop
+// neighbourhood are re-solved with everything else held fixed.
+func (s *Session) Insert(table string, row []Value) error {
+	if _, err := s.db.Insert(table, row); err != nil {
+		return err
+	}
+	return s.refresh()
+}
+
+// ExecAndRefresh runs a SQL statement (e.g. INSERT) and repairs the
+// embeddings afterwards.
+func (s *Session) ExecAndRefresh(sql string) error {
+	if _, err := s.db.Exec(sql); err != nil {
+		return err
+	}
+	return s.refresh()
+}
+
+func (s *Session) refresh() error {
+	old := s.model
+	ex, err := extract.FromDB(s.db, extract.Options{
+		ExcludeColumns:   s.cfg.ExcludeColumns,
+		ExcludeRelations: s.cfg.ExcludeRelations,
+	})
+	if err != nil {
+		return err
+	}
+	prob := core.BuildProblem(ex, old.tok)
+
+	// Warm start: carry over solved vectors by value key; anything new
+	// keeps its W0 initialisation and is marked dirty.
+	w := prob.W0.Clone()
+	var dirty []int
+	for _, v := range ex.Values {
+		key := deepwalk.ValueKey(ex, v.ID)
+		if oldVec, ok := old.store.VectorOf(key); ok && len(oldVec) == prob.Dim {
+			copy(w.Row(v.ID), oldVec)
+		} else {
+			dirty = append(dirty, v.ID)
+		}
+	}
+	if len(dirty) > 0 {
+		affected := core.AffectedNodes(prob, dirty, s.Hops)
+		core.UpdateIncremental(prob, w, affected, old.hp, s.cfg.Variant, core.IncrementalOptions{})
+	}
+
+	m := &Model{
+		db: s.db, base: s.base, ex: ex, tok: old.tok, prob: prob,
+		cfg: s.cfg, hp: old.hp,
+	}
+	m.store = m.buildStore(w.Row)
+	s.model = m
+	return nil
+}
+
+// Resolve runs a full re-solve from scratch (the non-incremental path),
+// replacing the model. Useful after bulk loads.
+func (s *Session) Resolve() error {
+	model, err := Retrofit(s.db, s.base, s.cfg)
+	if err != nil {
+		return fmt.Errorf("retro: full re-solve: %w", err)
+	}
+	s.model = model
+	return nil
+}

@@ -1,0 +1,58 @@
+package retro
+
+import (
+	"github.com/retrodb/retro/internal/ml"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// The paper's ready-to-use task networks (Fig. 5), re-exported so
+// downstream users can run classification, imputation, regression and
+// link prediction directly on Model vectors.
+
+// TaskConfig scales the task networks; the zero value is the paper's
+// architecture (600/300 hidden units, Nadam, early stopping).
+type TaskConfig = ml.Config
+
+// BinaryClassifier is Fig. 5a with one sigmoid output.
+type BinaryClassifier = ml.BinaryClassifier
+
+// CategoryImputer is Fig. 5a with a softmax output over categories.
+type CategoryImputer = ml.CategoryImputer
+
+// Regressor is Fig. 5b (ReLU stack, MAE loss).
+type Regressor = ml.Regressor
+
+// LinkPredictor is Fig. 5c (two towers, subtract, sigmoid output).
+type LinkPredictor = ml.LinkPredictor
+
+// NewBinaryClassifier builds a Fig. 5a binary classifier for embeddings
+// of the given width.
+func NewBinaryClassifier(inputDim int, cfg TaskConfig) *BinaryClassifier {
+	return ml.NewBinaryClassifier(inputDim, cfg)
+}
+
+// NewCategoryImputer builds a Fig. 5a imputer over numClasses categories.
+func NewCategoryImputer(inputDim, numClasses int, cfg TaskConfig) *CategoryImputer {
+	return ml.NewCategoryImputer(inputDim, numClasses, cfg)
+}
+
+// NewRegressor builds a Fig. 5b regressor.
+func NewRegressor(inputDim int, cfg TaskConfig) *Regressor {
+	return ml.NewRegressor(inputDim, cfg)
+}
+
+// NewLinkPredictor builds a Fig. 5c link predictor for source/target
+// embedding widths.
+func NewLinkPredictor(srcDim, dstDim int, cfg TaskConfig) *LinkPredictor {
+	return ml.NewLinkPredictor(srcDim, dstDim, cfg)
+}
+
+// Matrix is a dense row-major matrix (one embedding per row), the input
+// type of the task networks.
+type Matrix = vec.Matrix
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return vec.NewMatrix(rows, cols) }
+
+// Cosine returns the cosine similarity of two vectors.
+func Cosine(a, b []float64) float64 { return vec.Cosine(a, b) }
