@@ -1,0 +1,3 @@
+module github.com/retrodb/retro
+
+go 1.21
