@@ -1,0 +1,112 @@
+// Command retro-serve is the embedding serving daemon: it loads a dataset
+// directory (CSV tables + base embedding, the layout written by `retro
+// generate`), retrofits the relational embeddings, and serves them over
+// HTTP with HNSW-accelerated similarity search.
+//
+//	retro generate -dataset tmdb -out ./data -movies 2000
+//	retro-serve -data ./data -addr :8080
+//
+//	curl 'localhost:8080/v1/neighbors?table=movies&column=title&text=alien+autumn&k=5'
+//	curl -X POST localhost:8080/v1/insert -d '{"table":"movies","values":[9001,"new film",null,null,null,null,null,null]}'
+//
+// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/dataset"
+	"github.com/retrodb/retro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "retro-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("retro-serve", flag.ExitOnError)
+	data := fs.String("data", "", "dataset directory from 'retro generate' (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	variant := fs.String("variant", "rn", "solver: ro or rn")
+	parallel := fs.Int("parallel", -1, "solver workers (-1 = all cores, 0 = sequential)")
+	annThreshold := fs.Int("ann-threshold", 0, "vocabulary size that switches TopK to HNSW (0 = default, -1 = always exact)")
+	annM := fs.Int("ann-m", 0, "HNSW links per node (0 = default 16)")
+	annEfC := fs.Int("ann-efc", 0, "HNSW construction beam width (0 = default 200)")
+	annEfS := fs.Int("ann-efs", 0, "HNSW search beam width (0 = default 64)")
+	cacheSize := fs.Int("cache", 1024, "LRU query cache entries (-1 disables)")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	db, emb, err := dataset.LoadDir(*data)
+	if err != nil {
+		return err
+	}
+	cfg := retro.Defaults()
+	if *variant == "ro" {
+		cfg.Variant = retro.RO
+	}
+	cfg.Parallel = *parallel
+	cfg.ANNThreshold = *annThreshold
+	cfg.ANNParams = &retro.ANNParams{M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS}
+
+	fmt.Printf("training %s solver on %d tables (base embedding: %d words, %d dims)...\n",
+		*variant, db.NumTables(), emb.Len(), emb.Dim())
+	start := time.Now()
+	sess, err := retro.NewSession(db, emb, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retrofitted %d text values in %s\n", sess.Model().NumValues(), time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	sess.Model().Store().WarmANN()
+	if sess.Model().Store().ANNIndex() != nil {
+		fmt.Printf("HNSW index warmed in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(sess, server.Config{CacheSize: *cacheSize})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("bye")
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 
 	retro "github.com/retrodb/retro"
 	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/dataset"
 	"github.com/retrodb/retro/internal/reldb"
 )
 
@@ -109,127 +110,9 @@ func cmdGenerate(args []string) error {
 	return nil
 }
 
-// loadDir imports every CSV in dir (schema inferred; the generate layout
-// uses "<table>.csv" with an "id" primary key and "<table>_id" foreign
-// keys) plus the embedding.bin.
+// loadDir imports the `retro generate` layout via the shared loader.
 func loadDir(dir string) (*retro.DB, *retro.Embedding, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, err
-	}
-	db := retro.NewDB()
-	// Two passes so FK targets exist first: import tables without *_id
-	// columns, then the rest (works for the generated star schemas).
-	var csvs []string
-	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), ".csv") {
-			csvs = append(csvs, e.Name())
-		}
-	}
-	imported := map[string]bool{}
-	for pass := 0; pass < len(csvs)+1 && len(imported) < len(csvs); pass++ {
-		progressed := false
-		for _, name := range csvs {
-			if imported[name] {
-				continue
-			}
-			table := strings.TrimSuffix(name, ".csv")
-			f, err := os.Open(filepath.Join(dir, name))
-			if err != nil {
-				return nil, nil, err
-			}
-			header, err := csvHeader(f)
-			if err != nil {
-				f.Close()
-				return nil, nil, fmt.Errorf("%s: %w", name, err)
-			}
-			fks := map[string]string{}
-			ready := true
-			for _, h := range header {
-				if !strings.HasSuffix(h, "_id") {
-					continue
-				}
-				ref := referencedTable(strings.TrimSuffix(h, "_id"), csvs)
-				if ref == "" {
-					continue
-				}
-				fks[h] = ref
-				if _, ok := db.Table(ref); !ok {
-					ready = false
-				}
-			}
-			if !ready {
-				f.Close()
-				continue
-			}
-			if _, err := f.Seek(0, 0); err != nil {
-				f.Close()
-				return nil, nil, err
-			}
-			pk := ""
-			for _, h := range header {
-				if h == "id" {
-					pk = "id"
-				}
-			}
-			_, err = db.ImportCSV(table, f, retro.CSVOptions{PrimaryKey: pk, ForeignKeys: fks})
-			f.Close()
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s: %w", name, err)
-			}
-			imported[name] = true
-			progressed = true
-		}
-		if !progressed {
-			return nil, nil, fmt.Errorf("circular or unresolvable FK dependencies in %s", dir)
-		}
-	}
-	ef, err := os.Open(filepath.Join(dir, "embedding.bin"))
-	if err != nil {
-		return nil, nil, fmt.Errorf("opening embedding: %w", err)
-	}
-	defer ef.Close()
-	emb, err := retro.ReadBinaryEmbedding(ef)
-	if err != nil {
-		return nil, nil, err
-	}
-	return db, emb, nil
-}
-
-func csvHeader(f *os.File) ([]string, error) {
-	buf := make([]byte, 4096)
-	n, err := f.Read(buf)
-	if n == 0 && err != nil {
-		return nil, err
-	}
-	line := string(buf[:n])
-	if i := strings.IndexByte(line, '\n'); i >= 0 {
-		line = line[:i]
-	}
-	fields := strings.Split(strings.TrimSpace(line), ",")
-	for i := range fields {
-		fields[i] = strings.ToLower(strings.TrimSpace(fields[i]))
-	}
-	return fields, nil
-}
-
-// referencedTable maps an FK column prefix to the matching CSV table name,
-// handling the simple pluralisation of the generated schemas
-// (movie_id -> movies.csv, person_id -> persons.csv, ...).
-func referencedTable(prefix string, csvs []string) string {
-	// Role-named FKs of the generated schemas.
-	if prefix == "director" {
-		prefix = "person"
-	}
-	candidates := []string{prefix + "s.csv", prefix + "es.csv", strings.TrimSuffix(prefix, "y") + "ies.csv", prefix + ".csv"}
-	for _, c := range candidates {
-		for _, name := range csvs {
-			if name == c {
-				return strings.TrimSuffix(name, ".csv")
-			}
-		}
-	}
-	return ""
+	return dataset.LoadDir(dir)
 }
 
 func cmdTrain(args []string) error {

@@ -1,0 +1,482 @@
+// Package ann implements approximate nearest-neighbour search for the
+// serving path. The index is an HNSW graph (Malkov & Yashunin, "Efficient
+// and robust approximate nearest neighbor search using Hierarchical
+// Navigable Small World graphs") over cosine similarity, matching the
+// exact semantics of embed.Store.TopK: results are scored by cosine and
+// ordered by descending score with ties broken by ascending id.
+//
+// Vectors are copied and unit-normalised at insert time so a query is a
+// plain dot product. Queries (TopK) are safe to run concurrently with each
+// other; Insert and Delete require external synchronisation against both
+// queries and other writes.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Params tunes the HNSW graph. The zero value selects the defaults.
+type Params struct {
+	// M is the maximum number of links per node on the upper layers;
+	// layer 0 allows 2M. Higher M raises recall and memory. Default 16.
+	M int
+	// EfConstruction is the candidate-list width while building the
+	// graph. Higher values build a better graph, slower. Default 200.
+	EfConstruction int
+	// EfSearch is the candidate-list width during queries (floored at k).
+	// Higher values raise recall at the cost of latency. Default 64.
+	EfSearch int
+	// Seed drives the level generator; a fixed seed makes the graph
+	// deterministic for a given insertion order. Default 1.
+	Seed int64
+}
+
+// DefaultParams returns the default graph configuration.
+func DefaultParams() Params {
+	return Params{M: 16, EfConstruction: 200, EfSearch: 64, Seed: 1}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.M < 2 {
+		// M=1 would make levelMult = 1/ln(1) = +Inf and the graph is
+		// degenerate below 2 links anyway.
+		p.M = d.M
+	}
+	if p.EfConstruction <= 0 {
+		p.EfConstruction = d.EfConstruction
+	}
+	if p.EfSearch <= 0 {
+		p.EfSearch = d.EfSearch
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Result is one approximate nearest-neighbour hit.
+type Result struct {
+	ID    int
+	Score float64 // cosine similarity
+}
+
+type node struct {
+	id        int
+	vec       []float64 // unit-normalised copy
+	neighbors [][]int32 // adjacency per layer, 0..level
+	deleted   bool
+}
+
+// Index is an HNSW graph over external integer ids.
+type Index struct {
+	dim       int
+	params    Params
+	nodes     []node
+	slots     map[int]int32 // external id -> slot in nodes
+	entry     int32         // slot of the entry point, -1 when empty
+	maxLevel  int
+	levelMult float64
+	rng       *rand.Rand
+	deleted   int       // count of tombstoned slots
+	visited   sync.Pool // *visitedSet scratch, shared by concurrent queries
+}
+
+// visitedSet is reusable per-traversal scratch: a slot-indexed mark array
+// plus the list of touched slots so reset costs O(visited), not O(nodes).
+type visitedSet struct {
+	marks   []bool
+	touched []int32
+}
+
+// visit marks slot and reports whether it was unvisited.
+func (v *visitedSet) visit(slot int32) bool {
+	if v.marks[slot] {
+		return false
+	}
+	v.marks[slot] = true
+	v.touched = append(v.touched, slot)
+	return true
+}
+
+func (v *visitedSet) reset() {
+	for _, s := range v.touched {
+		v.marks[s] = false
+	}
+	v.touched = v.touched[:0]
+}
+
+func (ix *Index) acquireVisited() *visitedSet {
+	v, _ := ix.visited.Get().(*visitedSet)
+	if v == nil {
+		v = &visitedSet{}
+	}
+	if len(v.marks) < len(ix.nodes) {
+		v.marks = make([]bool, 2*len(ix.nodes))
+	}
+	return v
+}
+
+func (ix *Index) releaseVisited(v *visitedSet) {
+	v.reset()
+	ix.visited.Put(v)
+}
+
+// New creates an empty index for vectors of the given dimensionality.
+func New(dim int, p Params) *Index {
+	if dim <= 0 {
+		panic(fmt.Sprintf("ann: non-positive dimension %d", dim))
+	}
+	p = p.withDefaults()
+	return &Index{
+		dim:       dim,
+		params:    p,
+		slots:     make(map[int]int32),
+		entry:     -1,
+		maxLevel:  -1,
+		levelMult: 1 / math.Log(float64(p.M)),
+		rng:       rand.New(rand.NewSource(p.Seed)),
+	}
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of live (non-deleted) vectors.
+func (ix *Index) Len() int { return len(ix.slots) }
+
+// Params returns the effective configuration.
+func (ix *Index) Params() Params { return ix.params }
+
+// MaxLevel returns the top layer of the graph (-1 when empty).
+func (ix *Index) MaxLevel() int { return ix.maxLevel }
+
+type candidate struct {
+	slot int32
+	dist float64 // 1 - cosine
+}
+
+func (ix *Index) dist(q []float64, slot int32) float64 {
+	return 1 - vec.Dot(q, ix.nodes[slot].vec)
+}
+
+// Insert adds a vector under the given id. Inserting an existing id
+// replaces its vector (the old node is tombstoned and a fresh one linked).
+// Zero vectors are rejected: cosine similarity is undefined for them, and
+// the exact search path skips them too.
+func (ix *Index) Insert(id int, v []float64) error {
+	if len(v) != ix.dim {
+		return fmt.Errorf("ann: vector for id %d has dim %d, index has %d", id, len(v), ix.dim)
+	}
+	n := vec.Norm(v)
+	if n == 0 {
+		return fmt.Errorf("ann: zero vector for id %d", id)
+	}
+	if _, ok := ix.slots[id]; ok {
+		ix.Delete(id)
+	}
+	unit := make([]float64, ix.dim)
+	for i, x := range v {
+		unit[i] = x / n
+	}
+
+	level := int(math.Floor(-math.Log(1-ix.rng.Float64()) * ix.levelMult))
+	slot := int32(len(ix.nodes))
+	nd := node{id: id, vec: unit, neighbors: make([][]int32, level+1)}
+	ix.nodes = append(ix.nodes, nd)
+	ix.slots[id] = slot
+
+	if ix.entry < 0 {
+		ix.entry = slot
+		ix.maxLevel = level
+		return nil
+	}
+
+	ep := ix.entry
+	// Greedy descent through the layers above the new node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		ep = ix.greedyClosest(unit, ep, l)
+	}
+	// Link on each shared layer, widest candidate list first.
+	visited := ix.acquireVisited()
+	defer ix.releaseVisited(visited)
+	for l := min(level, ix.maxLevel); l >= 0; l-- {
+		visited.reset()
+		cands := ix.searchLayer(unit, ep, ix.params.EfConstruction, l, visited)
+		chosen := ix.selectNeighbors(cands, ix.params.M)
+		ix.nodes[slot].neighbors[l] = chosen
+		maxConn := ix.params.M
+		if l == 0 {
+			maxConn = 2 * ix.params.M
+		}
+		for _, nb := range chosen {
+			ix.nodes[nb].neighbors[l] = append(ix.nodes[nb].neighbors[l], slot)
+			if len(ix.nodes[nb].neighbors[l]) > maxConn {
+				ix.shrink(nb, l, maxConn)
+			}
+		}
+		if len(cands) > 0 {
+			ep = cands[0].slot
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = slot
+	}
+	return nil
+}
+
+// Delete tombstones an id: it stays in the graph for traversal but is
+// never returned from TopK. Returns false if the id is not present.
+func (ix *Index) Delete(id int) bool {
+	slot, ok := ix.slots[id]
+	if !ok {
+		return false
+	}
+	ix.nodes[slot].deleted = true
+	delete(ix.slots, id)
+	ix.deleted++
+	return true
+}
+
+// Deleted returns the number of tombstoned nodes still in the graph.
+// Tombstones cost traversal time and widen the query beam; callers
+// should rebuild when they outnumber the live entries.
+func (ix *Index) Deleted() int { return ix.deleted }
+
+// Contains reports whether id is live in the index.
+func (ix *Index) Contains(id int) bool {
+	_, ok := ix.slots[id]
+	return ok
+}
+
+// greedyClosest walks layer l from ep to the locally closest node to q.
+func (ix *Index) greedyClosest(q []float64, ep int32, l int) int32 {
+	best, bestD := ep, ix.dist(q, ep)
+	for improved := true; improved; {
+		improved = false
+		for _, nb := range ix.nodes[best].neighbors[l] {
+			if d := ix.dist(q, nb); d < bestD {
+				best, bestD = nb, d
+				improved = true
+			}
+		}
+	}
+	return best
+}
+
+// searchLayer is the beam search of the HNSW paper (Algorithm 2): it
+// returns up to ef candidates on layer l, sorted by ascending distance.
+// Tombstoned nodes are traversed and returned; callers filter them.
+func (ix *Index) searchLayer(q []float64, ep int32, ef, l int, visited *visitedSet) []candidate {
+	d0 := ix.dist(q, ep)
+	visited.visit(ep)
+	cands := candHeap{min: true}
+	results := candHeap{min: false}
+	cands.push(candidate{ep, d0})
+	results.push(candidate{ep, d0})
+	for cands.len() > 0 {
+		c := cands.pop()
+		if results.len() >= ef && c.dist > results.top().dist {
+			break
+		}
+		for _, nb := range ix.nodes[c.slot].neighbors[l] {
+			if !visited.visit(nb) {
+				continue
+			}
+			d := ix.dist(q, nb)
+			if results.len() < ef || d < results.top().dist {
+				cands.push(candidate{nb, d})
+				results.push(candidate{nb, d})
+				if results.len() > ef {
+					results.pop()
+				}
+			}
+		}
+	}
+	out := results.data
+	sort.Slice(out, func(i, j int) bool { return out[i].dist < out[j].dist })
+	return out
+}
+
+// selectNeighbors is the heuristic of Algorithm 4: a candidate is kept
+// only if it is closer to the query than to every already-kept neighbour,
+// which spreads links across clusters; pruned candidates backfill any
+// remaining capacity so nodes keep m links for connectivity.
+func (ix *Index) selectNeighbors(cands []candidate, m int) []int32 {
+	if len(cands) <= m {
+		out := make([]int32, len(cands))
+		for i, c := range cands {
+			out[i] = c.slot
+		}
+		return out
+	}
+	chosen := make([]int32, 0, m)
+	var pruned []candidate
+	for _, c := range cands {
+		if len(chosen) >= m {
+			break
+		}
+		keep := true
+		for _, s := range chosen {
+			if 1-vec.Dot(ix.nodes[c.slot].vec, ix.nodes[s].vec) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			chosen = append(chosen, c.slot)
+		} else {
+			pruned = append(pruned, c)
+		}
+	}
+	for _, c := range pruned {
+		if len(chosen) >= m {
+			break
+		}
+		chosen = append(chosen, c.slot)
+	}
+	return chosen
+}
+
+// shrink re-selects the neighbour list of slot on layer l down to maxConn
+// using the same diversity heuristic as insertion.
+func (ix *Index) shrink(slot int32, l, maxConn int) {
+	nbs := ix.nodes[slot].neighbors[l]
+	cands := make([]candidate, len(nbs))
+	for i, nb := range nbs {
+		cands[i] = candidate{nb, 1 - vec.Dot(ix.nodes[slot].vec, ix.nodes[nb].vec)}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	ix.nodes[slot].neighbors[l] = ix.selectNeighbors(cands, maxConn)
+}
+
+// TopK returns the approximately k most cosine-similar live entries to
+// query, excluding any id for which skip returns true (skip may be nil).
+// Results are sorted by descending score, ties by ascending id, matching
+// embed.Store.TopK ordering.
+func (ix *Index) TopK(query []float64, k int, skip func(id int) bool) []Result {
+	if len(query) != ix.dim {
+		panic("ann: TopK query dimension mismatch")
+	}
+	if k <= 0 || ix.entry < 0 {
+		return nil
+	}
+	if k > len(ix.slots) {
+		k = len(ix.slots) // bounds the result allocation and the beam
+	}
+	qn := vec.Norm(query)
+	if qn == 0 {
+		return nil
+	}
+	q := make([]float64, ix.dim)
+	for i, x := range query {
+		q[i] = x / qn
+	}
+	ef := ix.params.EfSearch
+	if ef < k {
+		ef = k
+	}
+	// Widen the beam when tombstones or a filter will eat results. Scale
+	// with the tombstone/live ratio (not just k) so locally concentrated
+	// tombstones cannot crowd every live result out of the beam; the
+	// store-level rebuild trigger keeps deleted <= live, bounding this at
+	// one doubling.
+	if ix.deleted > 0 {
+		extra := min(ix.deleted, 2*k)
+		if live := len(ix.slots); live > 0 {
+			if prop := ef * ix.deleted / live; prop > extra {
+				extra = prop
+			}
+		}
+		ef += extra
+	}
+	if skip != nil {
+		ef += k
+	}
+	ep := ix.entry
+	for l := ix.maxLevel; l > 0; l-- {
+		ep = ix.greedyClosest(q, ep, l)
+	}
+	visited := ix.acquireVisited()
+	cands := ix.searchLayer(q, ep, ef, 0, visited)
+	ix.releaseVisited(visited)
+	out := make([]Result, 0, k)
+	for _, c := range cands {
+		nd := &ix.nodes[c.slot]
+		if nd.deleted || (skip != nil && skip(nd.id)) {
+			continue
+		}
+		out = append(out, Result{ID: nd.id, Score: 1 - c.dist})
+		if len(out) == k {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// candHeap is a binary heap of candidates: min-ordered when min is true
+// (closest first), max-ordered otherwise (furthest first, for bounded
+// result sets).
+type candHeap struct {
+	data []candidate
+	min  bool
+}
+
+func (h *candHeap) len() int       { return len(h.data) }
+func (h *candHeap) top() candidate { return h.data[0] }
+func (h *candHeap) before(i, j int) bool {
+	if h.min {
+		return h.data[i].dist < h.data[j].dist
+	}
+	return h.data[i].dist > h.data[j].dist
+}
+
+func (h *candHeap) push(c candidate) {
+	h.data = append(h.data, c)
+	i := len(h.data) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(i, p) {
+			break
+		}
+		h.data[i], h.data[p] = h.data[p], h.data[i]
+		i = p
+	}
+}
+
+func (h *candHeap) pop() candidate {
+	top := h.data[0]
+	last := len(h.data) - 1
+	h.data[0] = h.data[last]
+	h.data = h.data[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.before(l, best) {
+			best = l
+		}
+		if r < last && h.before(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.data[i], h.data[best] = h.data[best], h.data[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,140 @@
+// Package dataset loads the on-disk layout written by `retro generate`:
+// a directory of `<table>.csv` files (with an `id` primary key and
+// `<table>_id` foreign keys) plus an `embedding.bin` base embedding. It
+// is shared by the retro and retro-serve commands.
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// LoadDir imports every CSV in dir (schema inferred) plus embedding.bin.
+// Tables are imported in FK-dependency order so references resolve.
+func LoadDir(dir string) (*reldb.DB, *embed.Store, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := reldb.New()
+	// Multiple passes so FK targets exist first: a table is imported only
+	// once every table it references is present (works for the generated
+	// star schemas).
+	var csvs []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".csv") {
+			csvs = append(csvs, e.Name())
+		}
+	}
+	imported := map[string]bool{}
+	for pass := 0; pass < len(csvs)+1 && len(imported) < len(csvs); pass++ {
+		progressed := false
+		for _, name := range csvs {
+			if imported[name] {
+				continue
+			}
+			table := strings.TrimSuffix(name, ".csv")
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			header, err := csvHeader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("%s: %w", name, err)
+			}
+			fks := map[string]string{}
+			ready := true
+			for _, h := range header {
+				if !strings.HasSuffix(h, "_id") {
+					continue
+				}
+				ref := referencedTable(strings.TrimSuffix(h, "_id"), csvs)
+				if ref == "" {
+					continue
+				}
+				fks[h] = ref
+				if _, ok := db.Table(ref); !ok {
+					ready = false
+				}
+			}
+			if !ready {
+				f.Close()
+				continue
+			}
+			if _, err := f.Seek(0, 0); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			pk := ""
+			for _, h := range header {
+				if h == "id" {
+					pk = "id"
+				}
+			}
+			_, err = db.ImportCSV(table, f, reldb.CSVOptions{PrimaryKey: pk, ForeignKeys: fks})
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", name, err)
+			}
+			imported[name] = true
+			progressed = true
+		}
+		if !progressed {
+			return nil, nil, fmt.Errorf("circular or unresolvable FK dependencies in %s", dir)
+		}
+	}
+	ef, err := os.Open(filepath.Join(dir, "embedding.bin"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening embedding: %w", err)
+	}
+	defer ef.Close()
+	emb, err := embed.ReadBinary(ef)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, emb, nil
+}
+
+// csvHeader reads the first line of a CSV without consuming the reader's
+// logical position for the importer (callers Seek back afterwards).
+func csvHeader(f *os.File) ([]string, error) {
+	buf := make([]byte, 4096)
+	n, err := f.Read(buf)
+	if n == 0 && err != nil {
+		return nil, err
+	}
+	line := string(buf[:n])
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Split(strings.TrimSpace(line), ",")
+	for i := range fields {
+		fields[i] = strings.ToLower(strings.TrimSpace(fields[i]))
+	}
+	return fields, nil
+}
+
+// referencedTable maps an FK column prefix to the matching CSV table name,
+// handling the simple pluralisation of the generated schemas
+// (movie_id -> movies.csv, person_id -> persons.csv, ...).
+func referencedTable(prefix string, csvs []string) string {
+	// Role-named FKs of the generated schemas.
+	if prefix == "director" {
+		prefix = "person"
+	}
+	candidates := []string{prefix + "s.csv", prefix + "es.csv", strings.TrimSuffix(prefix, "y") + "ies.csv", prefix + ".csv"}
+	for _, c := range candidates {
+		for _, name := range csvs {
+			if name == c {
+				return strings.TrimSuffix(name, ".csv")
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,160 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+)
+
+func randomStore(n, dim int, seed int64) *Store {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewStore(dim)
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		s.Add(fmt.Sprintf("w%04d", i), v)
+	}
+	return s
+}
+
+func TestTopKStaysExactBelowThreshold(t *testing.T) {
+	s := randomStore(200, 8, 1)
+	q := s.Vector(17)
+	s.TopK(q, 5, nil)
+	if s.ANNIndex() != nil {
+		t.Fatal("ANN index built below threshold")
+	}
+}
+
+func TestTopKRoutesToANNAboveThreshold(t *testing.T) {
+	s := randomStore(300, 8, 2)
+	// A wide beam on a small set makes the approximate answer exact, so
+	// routing can be asserted against TopKExact result-for-result.
+	s.EnableANN(100, ann.Params{EfSearch: 300})
+	q := s.Vector(42)
+	got := s.TopK(q, 5, func(id int) bool { return id == 42 })
+	if s.ANNIndex() == nil {
+		t.Fatal("ANN index not built above threshold")
+	}
+	want := s.TopKExact(q, 5, func(id int) bool { return id == 42 })
+	if len(got) != len(want) {
+		t.Fatalf("got %d matches, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Word != want[i].Word {
+			t.Fatalf("rank %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDisableANNForcesExact(t *testing.T) {
+	s := randomStore(300, 8, 3)
+	s.EnableANN(100, ann.Params{})
+	s.TopK(s.Vector(0), 3, nil)
+	if s.ANNIndex() == nil {
+		t.Fatal("index should be built")
+	}
+	s.DisableANN()
+	if s.ANNIndex() != nil {
+		t.Fatal("DisableANN left an index")
+	}
+	s.TopK(s.Vector(0), 3, nil)
+	if s.ANNIndex() != nil {
+		t.Fatal("index rebuilt while disabled")
+	}
+}
+
+// TestAddAfterBuildIsSearchable is the incremental-maintenance property:
+// a vector added after the index was built must be findable without any
+// explicit rebuild.
+func TestAddAfterBuildIsSearchable(t *testing.T) {
+	s := randomStore(300, 8, 4)
+	s.EnableANN(100, ann.Params{EfSearch: 300})
+	probe := s.Vector(99)
+	s.TopK(probe, 3, nil) // trigger the build
+	if s.ANNIndex() == nil {
+		t.Fatal("index not built")
+	}
+	// Add a new word right on top of the probe vector.
+	v := make([]float64, 8)
+	copy(v, probe)
+	s.Add("fresh", v)
+	top := s.TopK(probe, 2, nil)
+	found := false
+	for _, m := range top {
+		if m.Word == "fresh" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("freshly added vector not returned: %+v", top)
+	}
+}
+
+func TestSetVectorAfterBuildMovesEntry(t *testing.T) {
+	s := randomStore(300, 8, 5)
+	s.EnableANN(100, ann.Params{EfSearch: 300})
+	s.TopK(s.Vector(0), 1, nil) // build
+	target := make([]float64, 8)
+	copy(target, s.Vector(7))
+	id, _ := s.ID("w0200")
+	s.SetVector(id, target)
+	top := s.TopK(target, 2, nil)
+	found := false
+	for _, m := range top {
+		if m.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("moved vector not found at new position: %+v", top)
+	}
+}
+
+func TestInvalidateANNRebuilds(t *testing.T) {
+	s := randomStore(300, 8, 6)
+	s.EnableANN(100, ann.Params{EfSearch: 300})
+	s.TopK(s.Vector(0), 1, nil)
+	first := s.ANNIndex()
+	if first == nil {
+		t.Fatal("index not built")
+	}
+	s.InvalidateANN()
+	if s.ANNIndex() != nil {
+		t.Fatal("stale index still exposed")
+	}
+	s.TopK(s.Vector(0), 1, nil)
+	second := s.ANNIndex()
+	if second == nil || second == first {
+		t.Fatal("index not rebuilt after invalidation")
+	}
+}
+
+func TestWarmANNBuildsEagerly(t *testing.T) {
+	s := randomStore(300, 8, 9)
+	s.EnableANN(100, ann.Params{})
+	s.WarmANN()
+	if s.ANNIndex() == nil {
+		t.Fatal("WarmANN did not build the index")
+	}
+	below := randomStore(50, 8, 10)
+	below.EnableANN(100, ann.Params{})
+	below.WarmANN()
+	if below.ANNIndex() != nil {
+		t.Fatal("WarmANN built below the threshold")
+	}
+}
+
+func TestCloneCarriesANNConfig(t *testing.T) {
+	s := randomStore(300, 8, 7)
+	s.EnableANN(100, ann.Params{EfSearch: 300})
+	c := s.Clone()
+	c.TopK(c.Vector(0), 1, nil)
+	if c.ANNIndex() == nil {
+		t.Fatal("clone did not inherit ANN threshold")
+	}
+}

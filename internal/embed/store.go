@@ -6,25 +6,52 @@ package embed
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"github.com/retrodb/retro/internal/ann"
 	"github.com/retrodb/retro/internal/vec"
 )
 
+// DefaultANNThreshold is the vocabulary size at which TopK switches from
+// the exact scan to the HNSW index. Below it brute force is already fast
+// and exact; above it the graph wins by orders of magnitude.
+const DefaultANNThreshold = 4096
+
 // Store holds an embedding matrix with a string vocabulary. Rows of the
 // matrix correspond 1:1 to vocabulary entries.
+//
+// Reads (TopK, Analogy, Vector lookups) are safe to run concurrently with
+// each other — including the lazy ANN index build, which is serialised
+// internally. Mutations (Add, SetVector, NormalizeAll, ...) require
+// external synchronisation against reads and other writes.
 type Store struct {
 	dim    int
 	words  []string
 	index  map[string]int
 	matrix *vec.Matrix
+
+	// Approximate-search state. The HNSW index is built lazily on the
+	// first TopK at or above annThreshold and maintained incrementally by
+	// Add/SetVector; wholesale mutations mark it stale instead.
+	annMu        sync.Mutex
+	annIndex     *ann.Index
+	annStale     bool
+	annParams    ann.Params
+	annThreshold int
 }
 
 // NewStore creates an empty store for vectors of the given dimensionality.
+// ANN search is enabled by default at DefaultANNThreshold.
 func NewStore(dim int) *Store {
 	if dim <= 0 {
 		panic(fmt.Sprintf("embed: non-positive dimension %d", dim))
 	}
-	return &Store{dim: dim, index: make(map[string]int)}
+	return &Store{
+		dim:          dim,
+		index:        make(map[string]int),
+		annParams:    ann.DefaultParams(),
+		annThreshold: DefaultANNThreshold,
+	}
 }
 
 // Dim returns the vector dimensionality.
@@ -35,12 +62,14 @@ func (s *Store) Len() int { return len(s.words) }
 
 // Add inserts a word with its vector and returns the assigned id. Adding
 // an existing word overwrites its vector and returns the existing id.
+// A built ANN index is updated in place.
 func (s *Store) Add(word string, vector []float64) int {
 	if len(vector) != s.dim {
 		panic(fmt.Sprintf("embed: vector for %q has dim %d, store has %d", word, len(vector), s.dim))
 	}
 	if id, ok := s.index[word]; ok {
 		copy(s.row(id), vector)
+		s.annUpdate(id)
 		return id
 	}
 	id := len(s.words)
@@ -48,7 +77,30 @@ func (s *Store) Add(word string, vector []float64) int {
 	s.index[word] = id
 	s.growTo(id + 1)
 	copy(s.row(id), vector)
+	s.annUpdate(id)
 	return id
+}
+
+// annUpdate folds a single-row change into a built index: non-zero rows
+// are (re)inserted, zero rows removed (the exact scan skips them too).
+func (s *Store) annUpdate(id int) {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	if s.annIndex == nil || s.annStale {
+		return
+	}
+	r := s.row(id)
+	if vec.Norm(r) == 0 {
+		s.annIndex.Delete(id)
+	} else if err := s.annIndex.Insert(id, r); err != nil {
+		s.annStale = true // can't happen (dim checked, non-zero), but stay safe
+	}
+	// Every overwrite tombstones the old node. Once the dead outnumber the
+	// living the graph wastes more traversal than a rebuild costs, and
+	// recall degrades (the query beam only widens so far) — rebuild lazily.
+	if s.annIndex.Deleted() > s.annIndex.Len() {
+		s.annStale = true
+	}
 }
 
 func (s *Store) growTo(n int) {
@@ -100,12 +152,14 @@ func (s *Store) VectorOf(word string) ([]float64, bool) {
 	return s.row(id), true
 }
 
-// SetVector overwrites the vector stored for id.
+// SetVector overwrites the vector stored for id. A built ANN index is
+// updated in place.
 func (s *Store) SetVector(id int, vector []float64) {
 	if len(vector) != s.dim {
 		panic("embed: SetVector dimension mismatch")
 	}
 	copy(s.row(id), vector)
+	s.annUpdate(id)
 }
 
 // Matrix exposes the underlying (Len x Dim) matrix. Rows are live views:
@@ -117,9 +171,12 @@ func (s *Store) Matrix() *vec.Matrix {
 	return s.matrix
 }
 
-// Clone returns a deep copy of the store.
+// Clone returns a deep copy of the store. The ANN configuration is
+// carried over; the index itself is rebuilt lazily on the copy.
 func (s *Store) Clone() *Store {
 	out := NewStore(s.dim)
+	out.annParams = s.annParams
+	out.annThreshold = s.annThreshold
 	for id, w := range s.words {
 		out.Add(w, s.row(id))
 	}
@@ -133,6 +190,99 @@ func (s *Store) NormalizeAll() {
 	for id := range s.words {
 		vec.Normalize(s.row(id))
 	}
+	// A built ANN index stays valid: it already stores unit-normalised
+	// copies, and cosine similarity is scale-invariant, so normalising
+	// the rows changes neither the ordering nor (beyond last-ulp
+	// rounding) the returned scores.
+}
+
+// EnableANN turns on approximate search above the given vocabulary-size
+// threshold (0 selects DefaultANNThreshold) with the given graph
+// parameters (zero fields select ann defaults). Any built index is
+// discarded and rebuilt lazily with the new settings.
+func (s *Store) EnableANN(threshold int, p ann.Params) {
+	if threshold <= 0 {
+		threshold = DefaultANNThreshold
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	s.annThreshold = threshold
+	s.annParams = p
+	s.annIndex = nil
+	s.annStale = false
+}
+
+// DisableANN makes every TopK use the exact scan.
+func (s *Store) DisableANN() {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	s.annThreshold = 0
+	s.annIndex = nil
+	s.annStale = false
+}
+
+// InvalidateANN marks a built index stale so the next TopK rebuilds it.
+// Callers that mutate vectors through Matrix() must invoke this.
+func (s *Store) InvalidateANN() {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	if s.annIndex != nil {
+		s.annStale = true
+	}
+}
+
+// ANNThreshold returns the vocabulary size at which TopK switches to the
+// HNSW index (0 when ANN is disabled).
+func (s *Store) ANNThreshold() int {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	return s.annThreshold
+}
+
+// ANNIndex returns the built HNSW index, or nil when disabled, stale or
+// not yet built. Intended for introspection (serving stats).
+func (s *Store) ANNIndex() *ann.Index {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	if s.annStale {
+		return nil
+	}
+	return s.annIndex
+}
+
+// WarmANN builds the HNSW index now if approximate search applies and it
+// is missing or stale. Serving paths call this after training and after
+// bulk repairs so the first live query never pays the O(n) build inside
+// its request.
+func (s *Store) WarmANN() {
+	s.ensureANN()
+}
+
+// ensureANN returns a ready index when approximate search applies to this
+// store, building or rebuilding it if needed. Concurrent callers
+// serialise on the build; the returned index is immutable to readers.
+func (s *Store) ensureANN() *ann.Index {
+	if s.annThreshold <= 0 || len(s.words) < s.annThreshold {
+		return nil
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	if s.annIndex != nil && !s.annStale {
+		return s.annIndex
+	}
+	idx := ann.New(s.dim, s.annParams)
+	for id := range s.words {
+		r := s.row(id)
+		if vec.Norm(r) == 0 {
+			continue // the exact scan skips zero vectors too
+		}
+		// Insert only fails on dimension mismatch or zero norm, both
+		// excluded here.
+		_ = idx.Insert(id, r)
+	}
+	s.annIndex = idx
+	s.annStale = false
+	return idx
 }
 
 // Match is one nearest-neighbour result.
@@ -145,12 +295,34 @@ type Match struct {
 // TopK returns the k entries most cosine-similar to query, excluding any
 // id for which skip returns true (skip may be nil). Results are sorted by
 // descending score, ties broken by ascending id for determinism.
+//
+// At or above the ANN threshold (see EnableANN) the query is answered by
+// the HNSW index — approximate, with recall tuned by ann.Params — and
+// falls back to the exact scan below it or when ANN is disabled. Use
+// TopKExact to force the exact answer.
 func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
+	if idx := s.ensureANN(); idx != nil {
+		results := idx.TopK(query, k, skip)
+		matches := make([]Match, len(results))
+		for i, r := range results {
+			matches[i] = Match{ID: r.ID, Word: s.words[r.ID], Score: r.Score}
+		}
+		return matches
+	}
+	return s.TopKExact(query, k, skip)
+}
+
+// TopKExact is the brute-force O(n·d) scan: always exact, regardless of
+// the ANN configuration.
+func (s *Store) TopKExact(query []float64, k int, skip func(id int) bool) []Match {
 	if len(query) != s.dim {
 		panic("embed: TopK query dimension mismatch")
 	}
 	if k <= 0 {
 		return nil
+	}
+	if k > len(s.words) {
+		k = len(s.words) // bounds the result allocation
 	}
 	qn := vec.Norm(query)
 	if qn == 0 {

@@ -1,0 +1,435 @@
+// Package server exposes a trained retro.Session over HTTP/JSON: the
+// embedding serving subsystem. Reads (vector lookup, neighbours, analogy,
+// stats) run concurrently under a shared read lock; inserts take the
+// write lock, repair the model incrementally and invalidate the query
+// cache. Only the standard library is used.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness
+//	GET  /v1/stats                counters, cache and ANN introspection
+//	GET  /v1/vector?table=&column=&text=
+//	GET  /v1/neighbors?table=&column=&text=&k=
+//	POST /v1/analogy              {"a":{...},"b":{...},"c":{...},"k":n}
+//	POST /v1/insert               {"table":"...","values":[...]}
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	retro "github.com/retrodb/retro"
+)
+
+// Config tunes the server.
+type Config struct {
+	// CacheSize is the LRU query-cache capacity in entries (default 1024,
+	// negative disables caching).
+	CacheSize int
+}
+
+// Server serves one live retro.Session.
+type Server struct {
+	// mu orders queries against inserts: reads share, inserts exclude.
+	// The lazy ANN build inside the store is internally synchronised, so
+	// concurrent readers never block each other.
+	mu      sync.RWMutex
+	sess    *retro.Session
+	cache   *lruCache
+	metrics metrics
+	started time.Time
+}
+
+// New wraps an already-trained session.
+func New(sess *retro.Session, cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 1024
+	}
+	s := &Server{sess: sess, started: time.Now()}
+	if size > 0 {
+		s.cache = newLRUCache(size)
+	}
+	return s
+}
+
+// Handler returns the route table, each endpoint wrapped with latency and
+// hit accounting.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument("/healthz", "GET", s.handleHealthz))
+	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", "GET", s.handleStats))
+	mux.HandleFunc("/v1/vector", s.instrument("/v1/vector", "GET", s.handleVector))
+	mux.HandleFunc("/v1/neighbors", s.instrument("/v1/neighbors", "GET", s.handleNeighbors))
+	mux.HandleFunc("/v1/analogy", s.instrument("/v1/analogy", "POST", s.handleAnalogy))
+	mux.HandleFunc("/v1/insert", s.instrument("/v1/insert", "POST", s.handleInsert))
+	return mux
+}
+
+// --- metrics ---------------------------------------------------------------
+
+type endpointStats struct {
+	Count   atomic.Int64
+	Errors  atomic.Int64
+	TotalNs atomic.Int64
+}
+
+type metrics struct {
+	mu sync.Mutex
+	by map[string]*endpointStats
+}
+
+func (m *metrics) get(endpoint string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.by == nil {
+		m.by = make(map[string]*endpointStats)
+	}
+	st, ok := m.by[endpoint]
+	if !ok {
+		st = &endpointStats{}
+		m.by[endpoint] = st
+	}
+	return st
+}
+
+// statusWriter records the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.metrics.get(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", endpoint, method))
+			st.Count.Add(1)
+			st.Errors.Add(1)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		st.Count.Add(1)
+		st.TotalNs.Add(time.Since(start).Nanoseconds())
+		if sw.status >= 400 {
+			st.Errors.Add(1)
+		}
+	}
+}
+
+// --- JSON plumbing ---------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// valueRef addresses one text value of the database.
+type valueRef struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Text   string `json:"text"`
+}
+
+func refFromQuery(r *http.Request) (valueRef, error) {
+	q := r.URL.Query()
+	ref := valueRef{Table: q.Get("table"), Column: q.Get("column"), Text: q.Get("text")}
+	if ref.Table == "" || ref.Column == "" || ref.Text == "" {
+		return ref, fmt.Errorf("table, column and text query parameters are required")
+	}
+	return ref, nil
+}
+
+// match is one neighbour in a response. Key is the raw store key; the
+// split fields are friendlier for clients.
+type match struct {
+	Column string  `json:"column"` // "table.column"
+	Text   string  `json:"text"`
+	Score  float64 `json:"score"`
+}
+
+func toMatches(ms []retro.Match) []match {
+	out := make([]match, len(ms))
+	for i, m := range ms {
+		col, text, _ := strings.Cut(m.Word, "\x00")
+		out[i] = match{Column: col, Text: text, Score: m.Score}
+	}
+	return out
+}
+
+// --- handlers --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
+	ref, err := refFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, err := s.sess.Model().Vector(ref.Table, ref.Column, ref.Text)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table": ref.Table, "column": ref.Column, "text": ref.Text,
+		"dim": len(v), "vector": v,
+	})
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	ref, err := refFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Clamp before allocating anything k-sized: a single unauthenticated
+	// request must not be able to demand a multi-gigabyte result buffer.
+	if n := s.sess.Model().NumValues(); k > n {
+		k = n
+	}
+	cacheKey := fmt.Sprintf("n\x00%s\x00%s\x00%s\x00%d", ref.Table, ref.Column, ref.Text, k)
+	if s.cache != nil {
+		if hit, ok := s.cache.Get(cacheKey); ok {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"query": ref, "k": k, "neighbors": hit, "cached": true,
+			})
+			return
+		}
+	}
+	ms, err := s.sess.Model().Neighbors(ref.Table, ref.Column, ref.Text, k)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	out := toMatches(ms)
+	if s.cache != nil {
+		s.cache.Put(cacheKey, out)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query": ref, "k": k, "neighbors": out, "cached": false,
+	})
+}
+
+func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		A valueRef `json:"a"`
+		B valueRef `json:"b"`
+		C valueRef `json:"c"`
+		K int      `json:"k"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	model := s.sess.Model()
+	if n := model.NumValues(); req.K > n {
+		req.K = n
+	}
+	keys := make([]string, 3)
+	for i, ref := range []valueRef{req.A, req.B, req.C} {
+		key, ok := model.Key(ref.Table, ref.Column, ref.Text)
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
+			return
+		}
+		keys[i] = key
+	}
+	ms, err := model.Store().Analogy(keys[0], keys[1], keys[2], req.K)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"a": req.A, "b": req.B, "c": req.C, "k": req.K, "matches": toMatches(ms),
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Table  string `json:"table"`
+		Values []any  `json:"values"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return
+	}
+	if req.Table == "" {
+		writeError(w, http.StatusBadRequest, "table is required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tbl, ok := s.sess.DB().Table(req.Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q", req.Table))
+		return
+	}
+	if len(req.Values) != len(tbl.Columns) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("table %q has %d columns, got %d values", req.Table, len(tbl.Columns), len(req.Values)))
+		return
+	}
+	row := make([]retro.Value, len(req.Values))
+	for i, v := range req.Values {
+		rv, err := jsonValue(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("value %d: %v", i, err))
+			return
+		}
+		row[i] = rv
+	}
+	// Session.Insert writes the row and repairs the embeddings; the model
+	// is replaced, so the store (and its ANN index) the readers see next
+	// already includes the new values.
+	if err := s.sess.Insert(req.Table, row); err != nil {
+		var repair *retro.RepairError
+		if errors.As(err, &repair) {
+			// The row IS committed — a 400 would invite a retry that can
+			// only hit a duplicate key. Signal a server-side failure.
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+	// Rebuild the index now (no-op unless the repair invalidated it) so
+	// the cost lands on this write, not on the next reader.
+	s.sess.Model().Store().WarmANN()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inserted": true, "table": req.Table, "num_values": s.sess.Model().NumValues(),
+	})
+}
+
+// jsonValue maps a decoded JSON value onto a database value; reldb's
+// Coerce handles per-column typing at insert.
+func jsonValue(v any) (retro.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return retro.Null, nil
+	case string:
+		return retro.Text(x), nil
+	case float64:
+		if x == float64(int64(x)) {
+			return retro.Int(int64(x)), nil
+		}
+		return retro.Float(x), nil
+	case bool:
+		if x {
+			return retro.Int(1), nil
+		}
+		return retro.Int(0), nil
+	default:
+		return retro.Null, fmt.Errorf("unsupported JSON value %T (use string, number, bool or null)", v)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Snapshot everything — including the index introspection — while
+	// holding the read lock: inserts mutate the index under the write
+	// lock, so touching idx after RUnlock would race.
+	s.mu.RLock()
+	model := s.sess.Model()
+	numValues := model.NumValues()
+	store := model.Store()
+	dim := store.Dim()
+	threshold := store.ANNThreshold()
+	idx := store.ANNIndex()
+	annStats := map[string]any{"enabled": threshold > 0, "threshold": threshold, "built": idx != nil}
+	if idx != nil {
+		p := idx.Params()
+		annStats["size"] = idx.Len()
+		annStats["max_level"] = idx.MaxLevel()
+		annStats["m"] = p.M
+		annStats["ef_construction"] = p.EfConstruction
+		annStats["ef_search"] = p.EfSearch
+	}
+	s.mu.RUnlock()
+
+	var cacheStats map[string]any
+	if s.cache != nil {
+		length, capacity, hits, misses := s.cache.Stats()
+		cacheStats = map[string]any{
+			"entries": length, "capacity": capacity, "hits": hits, "misses": misses,
+		}
+	}
+
+	endpoints := map[string]any{}
+	s.metrics.mu.Lock()
+	names := make([]string, 0, len(s.metrics.by))
+	for name := range s.metrics.by {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := s.metrics.by[name]
+		count := st.Count.Load()
+		total := time.Duration(st.TotalNs.Load())
+		ep := map[string]any{
+			"count":    count,
+			"errors":   st.Errors.Load(),
+			"total_ms": float64(total) / float64(time.Millisecond),
+		}
+		if count > 0 {
+			ep["avg_ms"] = float64(total) / float64(count) / float64(time.Millisecond)
+		}
+		endpoints[name] = ep
+	}
+	s.metrics.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"num_values":     numValues,
+		"dim":            dim,
+		"ann":            annStats,
+		"cache":          cacheStats,
+		"endpoints":      endpoints,
+	})
+}

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+)
+
+// newTestServer trains a small session with the ANN path forced on, so
+// the endpoints exercise the HNSW serving stack end to end.
+func newTestServer(t *testing.T) (*Server, []string) {
+	t.Helper()
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, err := w.DB.QueryText(`SELECT title FROM movies`)
+	if err != nil || len(titles) == 0 {
+		t.Fatalf("no seed titles (err=%v)", err)
+	}
+	return New(sess, Config{}), titles
+}
+
+func get(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	return do(t, h, httptest.NewRequest(http.MethodGet, url, nil))
+}
+
+func post(t *testing.T, h http.Handler, url, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	return do(t, h, httptest.NewRequest(http.MethodPost, url, strings.NewReader(body)))
+}
+
+func do(t *testing.T, h http.Handler, req *http.Request) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var payload map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q", req.Method, req.URL, rec.Body.String())
+		}
+	}
+	return rec, payload
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec, body := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: code %d body %v", rec.Code, body)
+	}
+}
+
+func TestVectorEndpoint(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	rec, body := get(t, h, "/v1/vector?table=movies&column=title&text="+queryEscape(titles[0]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vector: code %d body %v", rec.Code, body)
+	}
+	vec, ok := body["vector"].([]any)
+	if !ok || len(vec) != 16 {
+		t.Fatalf("vector: want 16 floats, got %v", body["vector"])
+	}
+
+	rec, body = get(t, h, "/v1/vector?table=movies&column=title&text=definitely+not+a+movie")
+	if rec.Code != http.StatusNotFound || body["error"] == "" {
+		t.Fatalf("unknown value: code %d body %v, want 404 with error", rec.Code, body)
+	}
+	rec, _ = get(t, h, "/v1/vector?table=movies")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing params: code %d, want 400", rec.Code)
+	}
+}
+
+func TestNeighborsEndpointAndCache(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=3"
+
+	rec, body := get(t, h, url)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("neighbors: code %d body %v", rec.Code, body)
+	}
+	nbs, ok := body["neighbors"].([]any)
+	if !ok || len(nbs) == 0 || len(nbs) > 3 {
+		t.Fatalf("neighbors: bad result %v", body["neighbors"])
+	}
+	first := nbs[0].(map[string]any)
+	if first["text"] == "" || first["column"] == "" {
+		t.Fatalf("neighbors: malformed match %v", first)
+	}
+	if body["cached"] != false {
+		t.Fatal("first query should be uncached")
+	}
+
+	// The identical query must come from the LRU cache.
+	rec, body = get(t, h, url)
+	if rec.Code != http.StatusOK || body["cached"] != true {
+		t.Fatalf("second query not cached: code %d body %v", rec.Code, body)
+	}
+
+	// Error paths.
+	if rec, _ := get(t, h, "/v1/neighbors?table=movies&column=title&text=nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown value: code %d, want 404", rec.Code)
+	}
+	if rec, _ := get(t, h, url[:len(url)-1]+"bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad k: code %d, want 400", rec.Code)
+	}
+	if rec, _ := post(t, h, "/v1/neighbors", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST neighbors: code %d, want 405", rec.Code)
+	}
+}
+
+func TestAnalogyEndpoint(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	ref := func(text string) map[string]string {
+		return map[string]string{"table": "movies", "column": "title", "text": text}
+	}
+	okBody, _ := json.Marshal(map[string]any{
+		"a": ref(titles[0]), "b": ref(titles[1]), "c": ref(titles[2]), "k": 4,
+	})
+	rec, body := post(t, h, "/v1/analogy", string(okBody))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("analogy: code %d body %v", rec.Code, body)
+	}
+	if ms, ok := body["matches"].([]any); !ok || len(ms) == 0 {
+		t.Fatalf("analogy: no matches in %v", body)
+	}
+
+	missing, _ := json.Marshal(map[string]any{
+		"a": ref(titles[0]), "b": ref(titles[1]), "c": ref("no such film"),
+	})
+	if rec, _ := post(t, h, "/v1/analogy", string(missing)); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown analogy term: code %d, want 404", rec.Code)
+	}
+	if rec, _ := post(t, h, "/v1/analogy", "{not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: code %d, want 400", rec.Code)
+	}
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+
+	// Warm the cache so the insert's purge is observable.
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=3"
+	get(t, h, url)
+	get(t, h, url)
+
+	cols := columnCount(t, s, "movies")
+	row := makeRow(cols, map[int]any{0: 99001, 1: "the served premiere", 2: "english"})
+	reqBody, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+	rec, body := post(t, h, "/v1/insert", string(reqBody))
+	if rec.Code != http.StatusOK || body["inserted"] != true {
+		t.Fatalf("insert: code %d body %v", rec.Code, body)
+	}
+
+	// The inserted value must be immediately queryable.
+	rec, body = get(t, h, "/v1/neighbors?table=movies&column=title&text=the+served+premiere&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-insert neighbors: code %d body %v", rec.Code, body)
+	}
+	// And the cache was invalidated: the warmed query recomputes.
+	if _, body := get(t, h, url); body["cached"] != false {
+		t.Fatal("cache not purged by insert")
+	}
+
+	// Error paths.
+	if rec, _ := post(t, h, "/v1/insert", "{oops"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: code %d, want 400", rec.Code)
+	}
+	if rec, _ := post(t, h, "/v1/insert", `{"table":"nope","values":[]}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown table: code %d, want 404", rec.Code)
+	}
+	if rec, _ := post(t, h, "/v1/insert", `{"table":"movies","values":[1]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch: code %d, want 400", rec.Code)
+	}
+	dup, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+	if rec, _ := post(t, h, "/v1/insert", string(dup)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate pk: code %d, want 400", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(titles[0]))
+	get(t, h, "/v1/vector?table=movies&column=title&text=missing+thing") // one error
+
+	rec, body := get(t, h, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: code %d", rec.Code)
+	}
+	ann, ok := body["ann"].(map[string]any)
+	if !ok || ann["enabled"] != true || ann["built"] != true {
+		t.Fatalf("stats.ann: %v", body["ann"])
+	}
+	eps, ok := body["endpoints"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats.endpoints: %v", body["endpoints"])
+	}
+	vecStats, ok := eps["/v1/vector"].(map[string]any)
+	if !ok || vecStats["count"].(float64) < 1 || vecStats["errors"].(float64) < 1 {
+		t.Fatalf("stats for /v1/vector: %v", eps["/v1/vector"])
+	}
+	if _, ok := body["cache"].(map[string]any); !ok {
+		t.Fatalf("stats.cache: %v", body["cache"])
+	}
+}
+
+// TestConcurrentReadsDuringInsert drives many readers against the server
+// while rows are being inserted; run with -race this doubles as the data
+// race check for the RWMutex + lazy-ANN-build + LRU paths.
+func TestConcurrentReadsDuringInsert(t *testing.T) {
+	s, titles := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const readers, reads = 8, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*readers*reads+10)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				title := titles[(g*reads+i)%len(titles)]
+				// Alternate the endpoints so stats (which introspects the
+				// live ANN index) races against the inserts too.
+				url := ts.URL + "/v1/neighbors?table=movies&column=title&text=" + queryEscape(title) + "&k=3"
+				if i%3 == 2 {
+					url = ts.URL + "/v1/stats"
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+
+	cols := columnCount(t, s, "movies")
+	for i := 0; i < 5; i++ {
+		row := makeRow(cols, map[int]any{0: 88000 + i, 1: fmt.Sprintf("concurrent premiere %d", i), 2: "english"})
+		reqBody, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+		resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("insert %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func queryEscape(s string) string {
+	return strings.ReplaceAll(s, " ", "+")
+}
+
+func columnCount(t *testing.T, s *Server, table string) []string {
+	t.Helper()
+	tbl, ok := s.sess.DB().Table(table)
+	if !ok {
+		t.Fatalf("no table %q", table)
+	}
+	names := make([]string, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// makeRow builds a full-width row with nulls everywhere except the given
+// positional overrides (the TMDB movies schema's leading columns are id,
+// title, overview — all nullable apart from the integer primary key).
+func makeRow(cols []string, set map[int]any) []any {
+	row := make([]any, len(cols))
+	for i, v := range set {
+		row[i] = v
+	}
+	return row
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/retrodb/retro/internal/ann"
 	"github.com/retrodb/retro/internal/core"
 	"github.com/retrodb/retro/internal/deepwalk"
 	"github.com/retrodb/retro/internal/embed"
@@ -94,6 +95,16 @@ const (
 // Hyperparams are the four global constants of §4.4.
 type Hyperparams = core.Hyperparams
 
+// ANNParams tunes the HNSW approximate nearest-neighbour index used by
+// Model.Neighbors and Embedding.TopK on large vocabularies: M (links per
+// node), EfConstruction (build beam), EfSearch (query beam), Seed. Zero
+// fields select the defaults.
+type ANNParams = ann.Params
+
+// DefaultANNThreshold is the vocabulary size at which similarity queries
+// switch from the exact scan to the HNSW index.
+const DefaultANNThreshold = embed.DefaultANNThreshold
+
 // Config controls Retrofit.
 type Config struct {
 	// Variant selects RO or RN (default RN, the paper's recommendation
@@ -113,6 +124,12 @@ type Config struct {
 	// (0 = sequential, matching the paper's single-thread protocol;
 	// -1 = GOMAXPROCS). Results are identical either way.
 	Parallel int
+	// ANNThreshold is the vocabulary size at which Neighbors/TopK switch
+	// from the exact scan to the HNSW index (0 = DefaultANNThreshold,
+	// negative = always exact).
+	ANNThreshold int
+	// ANNParams tunes the HNSW graph; nil selects the defaults.
+	ANNParams *ANNParams
 }
 
 // Defaults returns the paper's recommended configuration (RN solver,
@@ -186,10 +203,24 @@ func resolveParams(cfg Config) Hyperparams {
 
 func (m *Model) buildStore(row func(int) []float64) *Embedding {
 	s := embed.NewStore(m.prob.Dim)
+	applyANNConfig(s, m.cfg)
 	for _, v := range m.ex.Values {
 		s.Add(deepwalk.ValueKey(m.ex, v.ID), row(v.ID))
 	}
 	return s
+}
+
+// applyANNConfig projects the Config ANN knobs onto a store.
+func applyANNConfig(s *embed.Store, cfg Config) {
+	if cfg.ANNThreshold < 0 {
+		s.DisableANN()
+		return
+	}
+	var p ann.Params
+	if cfg.ANNParams != nil {
+		p = *cfg.ANNParams
+	}
+	s.EnableANN(cfg.ANNThreshold, p)
 }
 
 // Vector returns the learned embedding of the text value stored in the

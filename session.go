@@ -12,6 +12,12 @@ import (
 // the model incrementally as rows are inserted — the §1 property that
 // RETRO "does not rely on re-training, which allows us to incrementally
 // maintain the word vectors whenever the data in the database changes".
+//
+// Insert and ExecAndRefresh update the embedding store (and any built
+// ANN index) in place, and previously obtained Models share that store.
+// Callers that query a Model concurrently with inserts must synchronise
+// the two, e.g. with a RWMutex as internal/server does; a held Model
+// stays queryable across inserts but is not a frozen snapshot.
 type Session struct {
 	db    *DB
 	base  *Embedding
@@ -37,24 +43,45 @@ func (s *Session) Model() *Model { return s.model }
 // DB returns the session's database.
 func (s *Session) DB() *DB { return s.db }
 
+// RepairError reports that a row was committed to the database but the
+// subsequent embedding repair failed: the model is now stale relative to
+// the data until a later refresh or Resolve succeeds. Callers should not
+// treat it as "nothing happened" — retrying the same insert will hit a
+// duplicate-key error.
+type RepairError struct{ Err error }
+
+func (e *RepairError) Error() string {
+	return fmt.Sprintf("retro: row stored but embedding repair failed: %v", e.Err)
+}
+
+func (e *RepairError) Unwrap() error { return e.Err }
+
 // Insert adds a row (column order) to a table and incrementally repairs
 // the embeddings: the problem is re-extracted, existing vectors are
 // carried over by value key, and only new values plus their Hops-hop
 // neighbourhood are re-solved with everything else held fixed.
+// A failure after the row was committed is reported as *RepairError.
 func (s *Session) Insert(table string, row []Value) error {
 	if _, err := s.db.Insert(table, row); err != nil {
 		return err
 	}
-	return s.refresh()
+	if err := s.refresh(); err != nil {
+		return &RepairError{Err: err}
+	}
+	return nil
 }
 
 // ExecAndRefresh runs a SQL statement (e.g. INSERT) and repairs the
-// embeddings afterwards.
+// embeddings afterwards. A failure after the statement executed is
+// reported as *RepairError.
 func (s *Session) ExecAndRefresh(sql string) error {
 	if _, err := s.db.Exec(sql); err != nil {
 		return err
 	}
-	return s.refresh()
+	if err := s.refresh(); err != nil {
+		return &RepairError{Err: err}
+	}
+	return nil
 }
 
 func (s *Session) refresh() error {
@@ -80,16 +107,51 @@ func (s *Session) refresh() error {
 			dirty = append(dirty, v.ID)
 		}
 	}
+	touched := dirty
 	if len(dirty) > 0 {
-		affected := core.AffectedNodes(prob, dirty, s.Hops)
-		core.UpdateIncremental(prob, w, affected, old.hp, s.cfg.Variant, core.IncrementalOptions{})
+		touched = core.AffectedNodes(prob, dirty, s.Hops)
+		core.UpdateIncremental(prob, w, touched, old.hp, s.cfg.Variant, core.IncrementalOptions{})
 	}
 
 	m := &Model{
 		db: s.db, base: s.base, ex: ex, tok: old.tok, prob: prob,
 		cfg: s.cfg, hp: old.hp,
 	}
-	m.store = m.buildStore(w.Row)
+	if old.store.Dim() != prob.Dim {
+		// Dimensionality changed (cannot happen with a fixed base
+		// embedding, but stay safe): rebuild the store from scratch.
+		m.store = m.buildStore(w.Row)
+		s.model = m
+		return nil
+	}
+	// Reuse the previous store: the vocabulary only grows (reldb has no
+	// DELETE) and untouched vectors were carried over bitwise, so only the
+	// new values and their repaired Hops-hop neighbourhood need
+	// (re)writing. Store.Add maintains a built HNSW index incrementally,
+	// which keeps single-row insert cost flat on the serving path instead
+	// of forcing a full index rebuild. The previous Model shares this
+	// store: it stays queryable, but is not a frozen snapshot.
+	if len(touched)*2 >= old.store.Len() {
+		// Repairing most of the vocabulary: one rebuild is cheaper than
+		// a tombstone + beam-search re-insert per value (which would trip
+		// the tombstone limit and force the rebuild anyway).
+		old.store.InvalidateANN()
+	}
+	changed := make(map[int]bool, len(touched))
+	for _, id := range touched {
+		changed[id] = true
+	}
+	for _, v := range ex.Values {
+		key := deepwalk.ValueKey(ex, v.ID)
+		if changed[v.ID] {
+			old.store.Add(key, w.Row(v.ID))
+			continue
+		}
+		if _, ok := old.store.VectorOf(key); !ok {
+			old.store.Add(key, w.Row(v.ID))
+		}
+	}
+	m.store = old.store
 	s.model = m
 	return nil
 }
