@@ -7,8 +7,10 @@ package retro
 //	go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/retrodb/retro/internal/ann"
@@ -332,6 +334,81 @@ func BenchmarkTopKHNSW(b *testing.B) {
 			}
 			b.ReportMetric(float64(hits)/float64(total), "recall@10")
 		})
+	}
+}
+
+// --- Snapshot cold start ----------------------------------------------------
+
+// The serving acceptance bar for snapshot persistence: booting from a
+// snapshot must beat train-from-scratch by >= 10x on the 50k-vector
+// generated dataset. The two benchmarks measure both boot paths over
+// identical in-memory data: ColdStartTrain is what `retro-serve -data`
+// does (retrofit + build the HNSW index), ColdStartSnapshot is what
+// `retro-serve -snapshot` does (deserialise the store and adopt the
+// persisted graph, no solver and no index construction).
+
+// coldStartMovies yields ~52k text values at the TMDB schema's fan-out.
+const coldStartMovies = 12000
+
+var coldStart struct {
+	sync.Once
+	world *datagen.TMDBWorld
+	snap  []byte
+}
+
+func coldStartWorld(b *testing.B) (*datagen.TMDBWorld, []byte) {
+	b.Helper()
+	coldStart.Do(func() {
+		w := datagen.TMDB(datagen.TMDBConfig{Movies: coldStartMovies, Dim: 32, Seed: 1})
+		cfg := Defaults()
+		cfg.Parallel = -1
+		sess, err := NewSession(w.DB, w.Embedding, cfg)
+		if err != nil {
+			panic(err)
+		}
+		sess.Model().Store().WarmANN()
+		var buf bytes.Buffer
+		if err := sess.Snapshot(&buf); err != nil {
+			panic(err)
+		}
+		coldStart.world = w
+		coldStart.snap = buf.Bytes()
+	})
+	return coldStart.world, coldStart.snap
+}
+
+func BenchmarkColdStartTrain(b *testing.B) {
+	w, _ := coldStartWorld(b)
+	cfg := Defaults()
+	cfg.Parallel = -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := NewSession(w.DB, w.Embedding, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Model().Store().WarmANN()
+		if sess.Model().Store().ANNIndex() == nil {
+			b.Fatal("index not built")
+		}
+	}
+}
+
+func BenchmarkColdStartSnapshot(b *testing.B) {
+	w, snap := coldStartWorld(b)
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := ResumeSession(w.DB, w.Embedding, bytes.NewReader(snap))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess.Model().Store().WarmANN() // must be a no-op: the graph came from the snapshot
+		if sess.Model().Store().ANNIndex() == nil {
+			b.Fatal("adopted index missing")
+		}
 	}
 }
 

@@ -9,6 +9,15 @@
 //	curl 'localhost:8080/v1/neighbors?table=movies&column=title&text=alien+autumn&k=5'
 //	curl -X POST localhost:8080/v1/insert -d '{"table":"movies","values":[9001,"new film",null,null,null,null,null,null]}'
 //
+// Training is the expensive step, so trained state can be persisted and
+// reused: -save-snapshot writes the retrofitted store plus the built
+// HNSW graph to a versioned snapshot file after training, and -snapshot
+// boots from such a file — skipping the solver and the index build
+// entirely — for millisecond cold-starts:
+//
+//	retro-serve -data ./data -save-snapshot ./data/model.snap   # train once
+//	retro-serve -data ./data -snapshot ./data/model.snap        # warm boots
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
 package main
@@ -47,6 +56,8 @@ func run(args []string) error {
 	annEfC := fs.Int("ann-efc", 0, "HNSW construction beam width (0 = default 200)")
 	annEfS := fs.Int("ann-efs", 0, "HNSW search beam width (0 = default 64)")
 	cacheSize := fs.Int("cache", 1024, "LRU query cache entries (-1 disables)")
+	snapshotPath := fs.String("snapshot", "", "boot from this snapshot file instead of training")
+	saveSnapshot := fs.String("save-snapshot", "", "write a snapshot of the trained session to this file")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,29 +70,72 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := retro.Defaults()
-	if *variant == "ro" {
-		cfg.Variant = retro.RO
-	}
-	cfg.Parallel = *parallel
-	cfg.ANNThreshold = *annThreshold
-	cfg.ANNParams = &retro.ANNParams{M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS}
 
-	fmt.Printf("training %s solver on %d tables (base embedding: %d words, %d dims)...\n",
-		*variant, db.NumTables(), emb.Len(), emb.Dim())
-	start := time.Now()
-	sess, err := retro.NewSession(db, emb, cfg)
-	if err != nil {
-		return err
+	var sess *retro.Session
+	origin := &server.Origin{Source: "trained"}
+	if *snapshotPath != "" {
+		start := time.Now()
+		f, err := os.Open(*snapshotPath)
+		if err != nil {
+			return fmt.Errorf("opening snapshot: %w", err)
+		}
+		sess, err = retro.ResumeSession(db, emb, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		info := sess.Model().SnapshotInfo()
+		origin = &server.Origin{
+			Source:        "snapshot",
+			Path:          *snapshotPath,
+			Created:       info.Created,
+			FormatVersion: info.Version,
+			Fingerprint:   info.Fingerprint,
+		}
+		fmt.Printf("resumed %d text values from snapshot %s (format v%d, written %s) in %s\n",
+			sess.Model().NumValues(), *snapshotPath, info.Version,
+			info.Created.UTC().Format(time.RFC3339), time.Since(start).Round(time.Millisecond))
+		// Graph-shape knobs are baked into the snapshot; only the
+		// query-time beam width can be retuned without a rebuild.
+		if *annEfS > 0 {
+			sess.Model().Store().TuneEfSearch(*annEfS)
+			fmt.Printf("HNSW query beam width set to %d\n", *annEfS)
+		}
+		if *variant != "rn" || *parallel != -1 || *annThreshold != 0 || *annM != 0 || *annEfC != 0 {
+			fmt.Println("note: -variant, -parallel, -ann-threshold, -ann-m and -ann-efc apply at training time; the snapshot's persisted configuration is used")
+		}
+	} else {
+		cfg := retro.Defaults()
+		if *variant == "ro" {
+			cfg.Variant = retro.RO
+		}
+		cfg.Parallel = *parallel
+		cfg.ANNThreshold = *annThreshold
+		cfg.ANNParams = &retro.ANNParams{M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS}
+
+		fmt.Printf("training %s solver on %d tables (base embedding: %d words, %d dims)...\n",
+			*variant, db.NumTables(), emb.Len(), emb.Dim())
+		start := time.Now()
+		sess, err = retro.NewSession(db, emb, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("retrofitted %d text values in %s\n", sess.Model().NumValues(), time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Printf("retrofitted %d text values in %s\n", sess.Model().NumValues(), time.Since(start).Round(time.Millisecond))
-	start = time.Now()
+	start := time.Now()
 	sess.Model().Store().WarmANN()
 	if sess.Model().Store().ANNIndex() != nil {
-		fmt.Printf("HNSW index warmed in %s\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("HNSW index ready in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *saveSnapshot != "" {
+		start := time.Now()
+		if err := sess.WriteSnapshotFile(*saveSnapshot); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written to %s in %s\n", *saveSnapshot, time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(sess, server.Config{CacheSize: *cacheSize})
+	srv := server.New(sess, server.Config{CacheSize: *cacheSize, Origin: origin})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

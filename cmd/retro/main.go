@@ -10,6 +10,13 @@
 //	    nearest neighbours of a trained value embedding
 //	info     -data DIR
 //	    print the imported schema and extraction statistics
+//	snapshot save  -data DIR -out FILE [-variant ro|rn] [-parallel N]
+//	    train and persist the full session (store + HNSW graph) as a
+//	    versioned snapshot for warm-starting retro-serve
+//	snapshot info  -in FILE
+//	    print a snapshot's header and provenance
+//	snapshot query -in FILE -key 'table.column:text' [-k N]
+//	    nearest neighbours served from a snapshot, no retraining
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -51,7 +60,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: retro <generate|train|query|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: retro <generate|train|query|info|snapshot> [flags]
 run "retro <subcommand> -h" for the flags of each subcommand`)
 }
 
@@ -189,6 +198,142 @@ func cmdQuery(args []string) error {
 	}
 	selfID, _ := store.ID(storeKey)
 	for _, m := range store.TopK(v, *k, func(id int) bool { return id == selfID }) {
+		col, text, _ := strings.Cut(m.Word, "\x00")
+		fmt.Printf("%.4f  %-28s %s\n", m.Score, col, text)
+	}
+	return nil
+}
+
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("snapshot: usage: retro snapshot <save|info|query> [flags]")
+	}
+	switch args[0] {
+	case "save":
+		return cmdSnapshotSave(args[1:])
+	case "info":
+		return cmdSnapshotInfo(args[1:])
+	case "query":
+		return cmdSnapshotQuery(args[1:])
+	default:
+		return fmt.Errorf("snapshot: unknown subcommand %q (want save, info or query)", args[0])
+	}
+}
+
+func cmdSnapshotSave(args []string) error {
+	fs := flag.NewFlagSet("snapshot save", flag.ExitOnError)
+	data := fs.String("data", "", "dataset directory from 'retro generate' (required)")
+	out := fs.String("out", "", "output snapshot file (required)")
+	variant := fs.String("variant", "rn", "ro or rn")
+	parallel := fs.Int("parallel", -1, "solver workers (-1 = all cores, 0 = sequential)")
+	annThreshold := fs.Int("ann-threshold", 0, "vocabulary size that switches TopK to HNSW (0 = default, -1 = always exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" || *out == "" {
+		return fmt.Errorf("snapshot save: -data and -out are required")
+	}
+	db, emb, err := loadDir(*data)
+	if err != nil {
+		return err
+	}
+	cfg := retro.Defaults()
+	if *variant == "ro" {
+		cfg.Variant = retro.RO
+	}
+	cfg.Parallel = *parallel
+	cfg.ANNThreshold = *annThreshold
+	sess, err := retro.NewSession(db, emb, cfg)
+	if err != nil {
+		return err
+	}
+	// Build the index now so the snapshot carries the graph and warm
+	// boots skip construction too.
+	sess.Model().Store().WarmANN()
+	if err := sess.WriteSnapshotFile(*out); err != nil {
+		return fmt.Errorf("snapshot save: %w", err)
+	}
+	withIndex := ""
+	if sess.Model().Store().ANNIndex() != nil {
+		withIndex = " + HNSW graph"
+	}
+	fmt.Printf("snapshot of %d text values%s written to %s\n", sess.Model().NumValues(), withIndex, *out)
+	return nil
+}
+
+func cmdSnapshotInfo(args []string) error {
+	fs := flag.NewFlagSet("snapshot info", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("snapshot info: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := retro.ReadSnapshotInfo(f)
+	if err != nil {
+		return err
+	}
+	variant := "rn"
+	if info.Variant == retro.RO {
+		variant = "ro"
+	}
+	fmt.Printf("format version: %d\n", info.Version)
+	fmt.Printf("created:        %s\n", info.Created.UTC().Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("fingerprint:    %016x\n", info.Fingerprint)
+	fmt.Printf("values:         %d (%d dims)\n", info.NumValues, info.Dim)
+	fmt.Printf("solver:         %s (alpha=%g beta=%g gamma=%g delta=%g iters=%d)\n", variant,
+		info.Hyperparams.Alpha, info.Hyperparams.Beta, info.Hyperparams.Gamma,
+		info.Hyperparams.Delta, info.Hyperparams.Iterations)
+	fmt.Printf("hnsw graph:     %v\n", info.HasIndex)
+	fmt.Printf("columns:        %s\n", strings.Join(info.Categories, ", "))
+	if len(info.ExcludeColumns) > 0 {
+		fmt.Printf("excl. columns:  %s\n", strings.Join(info.ExcludeColumns, ", "))
+	}
+	if len(info.ExcludeRelations) > 0 {
+		fmt.Printf("excl. relations: %s\n", strings.Join(info.ExcludeRelations, ", "))
+	}
+	return nil
+}
+
+func cmdSnapshotQuery(args []string) error {
+	fs := flag.NewFlagSet("snapshot query", flag.ExitOnError)
+	in := fs.String("in", "", "snapshot file (required)")
+	key := fs.String("key", "", "'table.column:text' to look up (required)")
+	k := fs.Int("k", 5, "number of neighbours")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *key == "" {
+		return fmt.Errorf("snapshot query: -in and -key are required")
+	}
+	parts := strings.SplitN(*key, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("snapshot query: key must be 'table.column:text'")
+	}
+	table, column, ok := strings.Cut(parts[0], ".")
+	if !ok {
+		return fmt.Errorf("snapshot query: key must be 'table.column:text'")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	model, err := retro.LoadSnapshot(f)
+	if err != nil {
+		return err
+	}
+	ms, err := model.Neighbors(table, column, parts[1], *k)
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
 		col, text, _ := strings.Cut(m.Word, "\x00")
 		fmt.Printf("%.4f  %-28s %s\n", m.Score, col, text)
 	}

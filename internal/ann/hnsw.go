@@ -154,6 +154,17 @@ func (ix *Index) Len() int { return len(ix.slots) }
 // Params returns the effective configuration.
 func (ix *Index) Params() Params { return ix.params }
 
+// SetEfSearch adjusts the query beam width. It is the one parameter that
+// is safe to change after construction — it affects only queries, not
+// the built graph — which lets serving processes retune recall/latency
+// on an index restored from a snapshot. Non-positive values are ignored.
+// Requires the same external synchronisation as Insert.
+func (ix *Index) SetEfSearch(ef int) {
+	if ef > 0 {
+		ix.params.EfSearch = ef
+	}
+}
+
 // MaxLevel returns the top layer of the graph (-1 when empty).
 func (ix *Index) MaxLevel() int { return ix.maxLevel }
 

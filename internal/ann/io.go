@@ -1,0 +1,179 @@
+package ann
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/wire"
+)
+
+// Graph persistence. The layout captures the full build state — every
+// node (including tombstones, which still carry traversal load), the
+// per-layer adjacency, the entry point and the effective parameters — so
+// a deserialised index answers queries identically to the one that was
+// written, without re-running construction. Vectors are packed as
+// float32: they are unit-normalised copies used only for similarity
+// scoring, where the ~1e-7 rounding is far below the recall tolerance of
+// the approximate search itself.
+//
+// The level RNG is restored by replaying the draw count (one draw per
+// historical Insert), so inserts after a load assign the same levels the
+// original index would have.
+
+const (
+	graphMagic   = "RANN"
+	graphVersion = 1
+
+	maxDim      = 1 << 16
+	maxNodes    = 1 << 27
+	maxLayers   = 64
+	maxLayerFan = 1 << 16
+)
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ww := wire.NewWriter(w)
+	ww.Bytes([]byte(graphMagic))
+	ww.U32(graphVersion)
+	ww.U32(uint32(ix.dim))
+	ww.U32(uint32(ix.params.M))
+	ww.U32(uint32(ix.params.EfConstruction))
+	ww.U32(uint32(ix.params.EfSearch))
+	ww.I64(ix.params.Seed)
+	ww.I32(ix.entry)
+	ww.I32(int32(ix.maxLevel))
+	ww.U32(uint32(len(ix.nodes)))
+	for i := range ix.nodes {
+		nd := &ix.nodes[i]
+		ww.I64(int64(nd.id))
+		if nd.deleted {
+			ww.U8(1)
+		} else {
+			ww.U8(0)
+		}
+		ww.U32(uint32(len(nd.neighbors)))
+		for _, layer := range nd.neighbors {
+			ww.U32(uint32(len(layer)))
+			for _, nb := range layer {
+				ww.I32(nb)
+			}
+		}
+		for _, x := range nd.vec {
+			ww.F32(float32(x))
+		}
+	}
+	err := ww.Flush()
+	return ww.Count(), err
+}
+
+// Read reconstructs an index serialised by WriteTo. Malformed input —
+// truncation, impossible counts, out-of-range adjacency — is reported as
+// an error, never a panic, so callers can feed it untrusted bytes.
+func Read(r io.Reader) (*Index, error) {
+	rr := wire.NewReader(r)
+	magic := make([]byte, len(graphMagic))
+	rr.Bytes(magic)
+	if rr.Err() == nil && string(magic) != graphMagic {
+		return nil, fmt.Errorf("ann: bad graph magic %q", magic)
+	}
+	if v := rr.U32(); rr.Err() == nil && v != graphVersion {
+		return nil, fmt.Errorf("ann: unsupported graph version %d (have %d)", v, graphVersion)
+	}
+	dim := int(rr.U32())
+	if rr.Err() == nil && (dim <= 0 || dim > maxDim) {
+		return nil, fmt.Errorf("ann: implausible dimension %d", dim)
+	}
+	var p Params
+	p.M = int(rr.U32())
+	p.EfConstruction = int(rr.U32())
+	p.EfSearch = int(rr.U32())
+	p.Seed = rr.I64()
+	entry := rr.I32()
+	maxLevel := int(rr.I32())
+	numNodes := rr.Count32(maxNodes)
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("ann: reading graph header: %w", err)
+	}
+	if maxLevel < -1 || maxLevel >= maxLayers {
+		return nil, fmt.Errorf("ann: implausible max level %d", maxLevel)
+	}
+	if entry < -1 || int(entry) >= numNodes || (numNodes > 0) != (entry >= 0) {
+		return nil, fmt.Errorf("ann: entry point %d out of range for %d nodes", entry, numNodes)
+	}
+
+	ix := New(dim, p)
+	ix.entry = entry
+	ix.maxLevel = maxLevel
+	ix.nodes = make([]node, 0, min(numNodes, 1<<20))
+	for i := 0; i < numNodes; i++ {
+		var nd node
+		nd.id = int(rr.I64())
+		nd.deleted = rr.U8() != 0
+		layers := rr.Count32(maxLayers)
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("ann: node %d: %w", i, err)
+		}
+		if layers < 1 {
+			return nil, fmt.Errorf("ann: node %d has no layers", i)
+		}
+		nd.neighbors = make([][]int32, layers)
+		for l := range nd.neighbors {
+			fan := rr.Count32(maxLayerFan)
+			if err := rr.Err(); err != nil {
+				return nil, fmt.Errorf("ann: node %d layer %d: %w", i, l, err)
+			}
+			layer := make([]int32, fan)
+			for j := range layer {
+				layer[j] = rr.I32()
+			}
+			nd.neighbors[l] = layer
+		}
+		nd.vec = make([]float64, dim)
+		for j := range nd.vec {
+			nd.vec[j] = float64(rr.F32())
+		}
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("ann: node %d: %w", i, err)
+		}
+		ix.nodes = append(ix.nodes, nd)
+		if !nd.deleted {
+			if _, dup := ix.slots[nd.id]; dup {
+				return nil, fmt.Errorf("ann: duplicate live id %d", nd.id)
+			}
+			ix.slots[nd.id] = int32(i)
+		} else {
+			ix.deleted++
+		}
+	}
+
+	// Adjacency invariants, checked once every node's layer count is
+	// known: a link on layer l must point at a node that exists on layer
+	// l, otherwise traversal would index past its adjacency slice.
+	for i := range ix.nodes {
+		for l, layer := range ix.nodes[i].neighbors {
+			for _, nb := range layer {
+				if nb < 0 || int(nb) >= numNodes {
+					return nil, fmt.Errorf("ann: node %d layer %d links to missing slot %d", i, l, nb)
+				}
+				if len(ix.nodes[nb].neighbors) <= l {
+					return nil, fmt.Errorf("ann: node %d layer %d links to slot %d which stops at layer %d",
+						i, l, nb, len(ix.nodes[nb].neighbors)-1)
+				}
+			}
+		}
+	}
+	if entry >= 0 && len(ix.nodes[entry].neighbors) <= maxLevel {
+		return nil, fmt.Errorf("ann: entry point %d stops at layer %d, below max level %d",
+			entry, len(ix.nodes[entry].neighbors)-1, maxLevel)
+	}
+
+	// Replay the level generator: one draw per historical Insert (each
+	// appended exactly one node), so future inserts continue the sequence
+	// the original index would have produced.
+	ix.rng = rand.New(rand.NewSource(ix.params.Seed))
+	for i := 0; i < numNodes; i++ {
+		ix.rng.Float64()
+	}
+	return ix, nil
+}

@@ -162,7 +162,7 @@ func GooglePlay(cfg GooglePlayConfig) *GooglePlayWorld {
 		topic := fmt.Sprintf("cat:%d", cat)
 
 		var name string
-		for {
+		for attempt := 0; ; attempt++ {
 			n := 1 + rng.Intn(2)
 			words := make([]string, n)
 			for i := range words {
@@ -173,6 +173,11 @@ func GooglePlay(cfg GooglePlayConfig) *GooglePlayWorld {
 				}
 			}
 			name = strings.Join(words, " ")
+			if attempt >= 30 {
+				// The word pools are fixed, so at large scales rejection
+				// sampling saturates; force uniqueness with a serial suffix.
+				name = fmt.Sprintf("%s %d", name, a)
+			}
 			if !usedNames[name] {
 				usedNames[name] = true
 				break

@@ -235,10 +235,16 @@ func TMDB(cfg TMDBConfig) *TMDBWorld {
 	usedNames := map[string]bool{}
 	mkPerson := func(country countrySpec) (int, string) {
 		var name string
-		for {
+		for attempt := 0; ; attempt++ {
 			first := v.PickFrom(pickNamePool(rng, "first", country.name, cfg.NameSignal))
 			last := v.PickFrom(pickNamePool(rng, "last", country.name, cfg.NameSignal))
 			name = first + " " + last
+			if attempt >= 30 {
+				// The first×last pair space is fixed, so at large scales
+				// rejection sampling saturates; disambiguate with a serial
+				// suffix instead of looping (coupon-collector) forever.
+				name = fmt.Sprintf("%s %s %d", first, last, personID)
+			}
 			if !usedNames[name] {
 				usedNames[name] = true
 				// Some full names exist as phrases in the embedding.
@@ -303,7 +309,7 @@ func TMDB(cfg TMDBConfig) *TMDBWorld {
 
 		// Title: unique, 1-3 words with genre flavour.
 		var title string
-		for {
+		for attempt := 0; ; attempt++ {
 			n := 1 + rng.Intn(3)
 			words := make([]string, n)
 			for i := range words {
@@ -314,6 +320,11 @@ func TMDB(cfg TMDBConfig) *TMDBWorld {
 				}
 			}
 			title = strings.Join(words, " ")
+			if attempt >= 30 {
+				// Same saturation guard as person names: the word pools are
+				// fixed, so force uniqueness with a serial suffix.
+				title = fmt.Sprintf("%s %d", title, m)
+			}
 			if !usedTitles[title] {
 				usedTitles[title] = true
 				if n > 1 && rng.Float64() < 0.15 {

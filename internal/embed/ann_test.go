@@ -149,6 +149,36 @@ func TestWarmANNBuildsEagerly(t *testing.T) {
 	}
 }
 
+// TestTuneEfSearch: retuning the query beam must not discard a built
+// index (unlike EnableANN) and must show up on both the store config and
+// the live index.
+func TestTuneEfSearch(t *testing.T) {
+	s := randomStore(300, 8, 5)
+	s.EnableANN(1, ann.Params{})
+	s.WarmANN()
+	idx := s.ANNIndex()
+	if idx == nil {
+		t.Fatal("index not built")
+	}
+	s.TuneEfSearch(512)
+	if s.ANNIndex() != idx {
+		t.Fatal("TuneEfSearch discarded the index")
+	}
+	if got := idx.Params().EfSearch; got != 512 {
+		t.Fatalf("index EfSearch %d, want 512", got)
+	}
+	if got := s.ANNParams().EfSearch; got != 512 {
+		t.Fatalf("store EfSearch %d, want 512", got)
+	}
+	s.TuneEfSearch(0) // ignored
+	if got := s.ANNParams().EfSearch; got != 512 {
+		t.Fatalf("non-positive tune applied: %d", got)
+	}
+	if res := s.TopK(s.Vector(3), 5, nil); len(res) != 5 {
+		t.Fatalf("TopK after retune: %d results", len(res))
+	}
+}
+
 func TestCloneCarriesANNConfig(t *testing.T) {
 	s := randomStore(300, 8, 7)
 	s.EnableANN(100, ann.Params{EfSearch: 300})

@@ -239,6 +239,46 @@ func (s *Store) ANNThreshold() int {
 	return s.annThreshold
 }
 
+// ANNParams returns the graph parameters a (re)built index would use.
+func (s *Store) ANNParams() ann.Params {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	return s.annParams
+}
+
+// TuneEfSearch adjusts the query-time beam width on both the configured
+// parameters and any built (or adopted) index, without discarding the
+// index — unlike EnableANN, which forces a rebuild. Non-positive values
+// are ignored. Requires the same external synchronisation as Add.
+func (s *Store) TuneEfSearch(ef int) {
+	if ef <= 0 {
+		return
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	s.annParams.EfSearch = ef
+	if s.annIndex != nil {
+		s.annIndex.SetEfSearch(ef)
+	}
+}
+
+// AdoptANN installs an externally built (typically deserialised) HNSW
+// index as the store's current index, replacing any existing one. The
+// index must cover this store's vectors under the store's ids; Add and
+// SetVector maintain it incrementally from here on, exactly as if the
+// store had built it itself. The store's configured ANN parameters (used
+// for any future rebuild) are left untouched.
+func (s *Store) AdoptANN(idx *ann.Index) error {
+	if idx.Dim() != s.dim {
+		return fmt.Errorf("embed: adopting index of dim %d into store of dim %d", idx.Dim(), s.dim)
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	s.annIndex = idx
+	s.annStale = false
+	return nil
+}
+
 // ANNIndex returns the built HNSW index, or nil when disabled, stale or
 // not yet built. Intended for introspection (serving stats).
 func (s *Store) ANNIndex() *ann.Index {

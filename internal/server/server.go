@@ -34,9 +34,30 @@ type Config struct {
 	// CacheSize is the LRU query-cache capacity in entries (default 1024,
 	// negative disables caching).
 	CacheSize int
+	// Origin records where the session came from (trained in-process vs
+	// resumed from a snapshot); it is surfaced in /v1/stats. Nil means
+	// trained.
+	Origin *Origin
 }
 
-// Server serves one live retro.Session.
+// Origin describes the provenance of the served session.
+type Origin struct {
+	// Source is "trained" or "snapshot".
+	Source string
+	// Path is the snapshot file the session was resumed from.
+	Path string
+	// Created is when that snapshot was written (zero when trained).
+	Created time.Time
+	// FormatVersion is the snapshot format version.
+	FormatVersion uint32
+	// Fingerprint hashes the training configuration of the snapshot.
+	Fingerprint uint64
+}
+
+// Server serves one live retro.Session. Snapshot-resumed and in-process
+// trained sessions are served identically: every endpoint goes through
+// the same model interface, and inserts maintain the deserialised HNSW
+// graph in place just as they would a freshly built one.
 type Server struct {
 	// mu orders queries against inserts: reads share, inserts exclude.
 	// The lazy ANN build inside the store is internally synchronised, so
@@ -46,15 +67,19 @@ type Server struct {
 	cache   *lruCache
 	metrics metrics
 	started time.Time
+	origin  *Origin
 }
 
-// New wraps an already-trained session.
+// New wraps an already-trained (or snapshot-resumed) session.
 func New(sess *retro.Session, cfg Config) *Server {
 	size := cfg.CacheSize
 	if size == 0 {
 		size = 1024
 	}
-	s := &Server{sess: sess, started: time.Now()}
+	s := &Server{sess: sess, started: time.Now(), origin: cfg.Origin}
+	if s.origin == nil {
+		s.origin = &Origin{Source: "trained"}
+	}
 	if size > 0 {
 		s.cache = newLRUCache(size)
 	}
@@ -424,6 +449,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.mu.Unlock()
 
+	origin := map[string]any{"source": s.origin.Source}
+	if s.origin.Source == "snapshot" {
+		origin["snapshot_path"] = s.origin.Path
+		origin["format_version"] = s.origin.FormatVersion
+		origin["fingerprint"] = fmt.Sprintf("%016x", s.origin.Fingerprint)
+		if !s.origin.Created.IsZero() {
+			origin["snapshot_created"] = s.origin.Created.UTC().Format(time.RFC3339)
+			origin["snapshot_age_seconds"] = time.Since(s.origin.Created).Seconds()
+		}
+	}
+
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"num_values":     numValues,
@@ -431,5 +467,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"ann":            annStats,
 		"cache":          cacheStats,
 		"endpoints":      endpoints,
+		"origin":         origin,
 	})
 }

@@ -278,6 +278,157 @@ func TestConcurrentReadsDuringInsert(t *testing.T) {
 	}
 }
 
+// newSnapshotServer round-trips newTestServer's session through a
+// snapshot and boots a second server from the loaded copy, the way
+// `retro-serve -snapshot` does.
+func newSnapshotServer(t *testing.T) (trained *Server, resumed *Server, titles []string) {
+	t.Helper()
+	trained, titles = newTestServer(t)
+	trained.sess.Model().Store().WarmANN()
+	var buf bytes.Buffer
+	if err := trained.sess.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh, deterministic re-generation stands in for the new process.
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	sess, err := retro.ResumeSession(w.DB, w.Embedding, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sess.Model().SnapshotInfo()
+	resumed = New(sess, Config{Origin: &Origin{
+		Source:        "snapshot",
+		Path:          "test.snap",
+		Created:       info.Created,
+		FormatVersion: info.Version,
+		Fingerprint:   info.Fingerprint,
+	}})
+	return trained, resumed, titles
+}
+
+// TestSnapshotBootedServer drives a server resumed from a snapshot
+// through the full endpoint surface and requires it to behave exactly
+// like the trained server it was cloned from: same neighbour payloads
+// (k-clamp included), a working LRU cache, and inserts that
+// tombstone/re-insert in the deserialised HNSW graph.
+func TestSnapshotBootedServer(t *testing.T) {
+	trained, resumed, titles := newSnapshotServer(t)
+	ht, hs := trained.Handler(), resumed.Handler()
+
+	// Neighbour parity for regular and clamped k (k=100000 must clamp to
+	// the vocabulary size on both, not allocate against the raw k).
+	for _, k := range []string{"3", "100000"} {
+		url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=" + k
+		recT, bodyT := get(t, ht, url)
+		recS, bodyS := get(t, hs, url)
+		if recT.Code != http.StatusOK || recS.Code != http.StatusOK {
+			t.Fatalf("k=%s: codes %d vs %d", k, recT.Code, recS.Code)
+		}
+		if bodyT["k"] != bodyS["k"] {
+			t.Fatalf("k=%s: clamped to %v on trained, %v on snapshot", k, bodyT["k"], bodyS["k"])
+		}
+		nt := bodyT["neighbors"].([]any)
+		ns := bodyS["neighbors"].([]any)
+		if len(nt) != len(ns) {
+			t.Fatalf("k=%s: %d vs %d neighbours", k, len(nt), len(ns))
+		}
+		for i := range nt {
+			mt, ms := nt[i].(map[string]any), ns[i].(map[string]any)
+			if mt["column"] != ms["column"] || mt["text"] != ms["text"] {
+				t.Fatalf("k=%s rank %d: %v vs %v", k, i, ms, mt)
+			}
+		}
+	}
+
+	// The LRU cache behaves identically after a snapshot boot.
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[1]) + "&k=3"
+	if _, body := get(t, hs, url); body["cached"] != false {
+		t.Fatal("first query cached")
+	}
+	if _, body := get(t, hs, url); body["cached"] != true {
+		t.Fatal("second query not cached")
+	}
+
+	// Vector parity at float32 precision.
+	vurl := "/v1/vector?table=movies&column=title&text=" + queryEscape(titles[0])
+	_, bodyT := get(t, ht, vurl)
+	_, bodyS := get(t, hs, vurl)
+	vt := bodyT["vector"].([]any)
+	vs := bodyS["vector"].([]any)
+	if len(vt) != len(vs) {
+		t.Fatalf("vector dims %d vs %d", len(vs), len(vt))
+	}
+	for j := range vt {
+		if float64(float32(vt[j].(float64))) != vs[j].(float64) {
+			t.Fatalf("vector dim %d: %v vs %v", j, vs[j], vt[j])
+		}
+	}
+
+	// Analogy works against the loaded store.
+	ref := func(text string) map[string]string {
+		return map[string]string{"table": "movies", "column": "title", "text": text}
+	}
+	okBody, _ := json.Marshal(map[string]any{"a": ref(titles[0]), "b": ref(titles[1]), "c": ref(titles[2]), "k": 4})
+	if rec, body := post(t, hs, "/v1/analogy", string(okBody)); rec.Code != http.StatusOK {
+		t.Fatalf("analogy on snapshot server: code %d body %v", rec.Code, body)
+	}
+
+	// Insert after load: the deserialised HNSW graph is maintained in
+	// place (tombstone + re-insert), and the new value is immediately
+	// queryable. Exercise an overwrite too by inserting a row whose title
+	// reuses an existing one — the shared value vector is re-solved,
+	// which tombstones and re-inserts its node in the loaded graph.
+	if resumed.sess.Model().Store().ANNIndex() == nil {
+		t.Fatal("resumed server has no adopted index")
+	}
+	cols := columnCount(t, resumed, "movies")
+	row := makeRow(cols, map[int]any{0: 97001, 1: "the snapshot premiere", 2: "english"})
+	reqBody, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+	if rec, body := post(t, hs, "/v1/insert", string(reqBody)); rec.Code != http.StatusOK {
+		t.Fatalf("insert into snapshot server: code %d body %v", rec.Code, body)
+	}
+	dupTitle := makeRow(cols, map[int]any{0: 97002, 1: titles[0], 2: "english"})
+	reqBody, _ = json.Marshal(map[string]any{"table": "movies", "values": dupTitle})
+	if rec, body := post(t, hs, "/v1/insert", string(reqBody)); rec.Code != http.StatusOK {
+		t.Fatalf("dup-title insert into snapshot server: code %d body %v", rec.Code, body)
+	}
+	if rec, body := get(t, hs, "/v1/neighbors?table=movies&column=title&text=the+snapshot+premiere&k=3"); rec.Code != http.StatusOK {
+		t.Fatalf("post-insert neighbours: code %d body %v", rec.Code, body)
+	} else if len(body["neighbors"].([]any)) == 0 {
+		t.Fatal("post-insert neighbours empty")
+	}
+	if resumed.sess.Model().Store().ANNIndex() == nil {
+		t.Fatal("insert dropped the adopted index instead of maintaining it")
+	}
+}
+
+// TestStatsOrigin checks the provenance block of /v1/stats for both boot
+// modes.
+func TestStatsOrigin(t *testing.T) {
+	trained, resumed, _ := newSnapshotServer(t)
+
+	_, body := get(t, trained.Handler(), "/v1/stats")
+	origin, ok := body["origin"].(map[string]any)
+	if !ok || origin["source"] != "trained" {
+		t.Fatalf("trained origin: %v", body["origin"])
+	}
+
+	_, body = get(t, resumed.Handler(), "/v1/stats")
+	origin, ok = body["origin"].(map[string]any)
+	if !ok || origin["source"] != "snapshot" {
+		t.Fatalf("snapshot origin: %v", body["origin"])
+	}
+	if origin["snapshot_path"] != "test.snap" || origin["format_version"].(float64) < 1 {
+		t.Fatalf("snapshot origin fields: %v", origin)
+	}
+	if age, ok := origin["snapshot_age_seconds"].(float64); !ok || age < 0 {
+		t.Fatalf("snapshot_age_seconds: %v", origin["snapshot_age_seconds"])
+	}
+	if _, ok := origin["fingerprint"].(string); !ok {
+		t.Fatalf("fingerprint: %v", origin["fingerprint"])
+	}
+}
+
 // --- helpers ---------------------------------------------------------------
 
 func queryEscape(s string) string {

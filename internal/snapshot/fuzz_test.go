@@ -1,0 +1,85 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRead guarantees the snapshot parser never panics on untrusted
+// bytes: any input either loads cleanly or returns an error. The seed
+// corpus covers the interesting structured failures — truncations at
+// every framing boundary, flipped CRC and payload bytes, wrong magic,
+// future format versions — and the fuzzer mutates from there.
+//
+// Run the short CI pass with:
+//
+//	go test -fuzz=FuzzRead -fuzztime=10s -run=^$ ./internal/snapshot
+func FuzzRead(f *testing.F) {
+	valid := encode(f, testSnapshot(f, 60, 6))
+	f.Add(valid)
+
+	// Truncations: mid-magic, mid-header, mid-section-header, mid-payload,
+	// just before the ENDS terminator.
+	for _, cut := range []int{0, 3, len(Magic), len(Magic) + 6, 24, 30, 36,
+		len(valid) / 4, len(valid) / 2, len(valid) - 17, len(valid) - 1} {
+		if cut >= 0 && cut <= len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+
+	// Wrong magic.
+	badMagic := append([]byte{}, valid...)
+	copy(badMagic, "NOTASNAP")
+	f.Add(badMagic)
+
+	// Future format version.
+	badVersion := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(badVersion[len(Magic):], Version+7)
+	f.Add(badVersion)
+
+	// Flipped CRC byte of the first section (META).
+	badCRC := append([]byte{}, valid...)
+	badCRC[len(Magic)+4+4+8+4+8] ^= 0xff
+	f.Add(badCRC)
+
+	// Flipped payload bytes at several depths.
+	for _, off := range []int{40, len(valid) / 3, len(valid) / 2, 4 * len(valid) / 5} {
+		if off < len(valid) {
+			bad := append([]byte{}, valid...)
+			bad[off] ^= 0x20
+			f.Add(bad)
+		}
+	}
+
+	// Forged giant section length.
+	bigLen := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint64(bigLen[24+4:], 1<<50)
+	f.Add(bigLen)
+
+	// A snapshot without its index section (still valid).
+	noIdx := testSnapshot(f, 30, 6)
+	noIdx.Index = nil
+	f.Add(encode(f, noIdx))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected, as long as it didn't panic
+		}
+		// Accepted input must be internally consistent enough to serve.
+		if s.Store == nil {
+			t.Fatal("accepted snapshot with nil store")
+		}
+		if s.Store.Dim() != s.Dim {
+			t.Fatalf("accepted snapshot with store dim %d != header dim %d", s.Store.Dim(), s.Dim)
+		}
+		if s.Index != nil && s.Store.ANNIndex() != s.Index {
+			t.Fatal("accepted snapshot whose index was not adopted")
+		}
+		// And re-serialisable: Write(Read(x)) must not fail on accepted x.
+		if err := Write(bytes.NewBuffer(nil), s); err != nil {
+			t.Fatalf("accepted snapshot fails to re-serialise: %v", err)
+		}
+	})
+}

@@ -1,0 +1,487 @@
+// Package snapshot persists a trained RETRO session as a single versioned
+// binary artifact, so a serving process can cold-start in milliseconds by
+// loading state instead of re-running retrofitting and rebuilding the
+// HNSW index (the paper's amortise-once model: retrofit once in the
+// database, reuse the embeddings across every downstream query).
+//
+// Layout (all integers little-endian):
+//
+//	header   magic "RETROSNP" | version u32 | dim u32 | fingerprint u64
+//	section  tag [4]byte | payload length u64 | payload CRC32 (IEEE) u32 | payload
+//	...      META (required), STOR (required), HNSW (optional), ENDS (terminator)
+//
+// Every section payload is CRC32-checksummed; truncations, bit flips and
+// version skew are reported as errors, never panics. The fingerprint in
+// the header is a hash of dimensionality, solver variant and
+// hyperparameters, letting operators tell at a glance whether two
+// snapshots came from the same training configuration.
+//
+// META carries the training provenance (variant, hyperparameters, loss
+// history, creation time, category names = "table.column" text keys) and
+// the ANN configuration. STOR is the retrofitted embedding store —
+// value keys plus float32-packed vectors. HNSW, when present, is the
+// fully built graph (see ann.Index.WriteTo); loading it makes the first
+// query as cheap as on the process that trained the model.
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/retrodb/retro/internal/ann"
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/wire"
+)
+
+// Magic starts every snapshot file.
+const Magic = "RETROSNP"
+
+// Version is the current format version. Readers reject snapshots with a
+// different version outright: the format is an internal artifact, not a
+// long-lived interchange file, so cross-version migration is out of scope.
+const Version = 1
+
+const (
+	tagMeta = "META"
+	tagStor = "STOR"
+	tagHNSW = "HNSW"
+	tagEnds = "ENDS"
+
+	maxSectionLen = int64(1) << 36 // 64 GiB: far above any real snapshot
+	maxValues     = 1 << 28
+	maxKeyLen     = 1 << 20
+	maxLossLen    = 1 << 20
+	maxCategories = 1 << 20
+	maxNameLen    = 1 << 16
+	maxDim        = 1 << 16
+)
+
+// Snapshot is the in-memory form of a persisted session: everything a
+// serving process needs to answer queries without retraining.
+type Snapshot struct {
+	// Version is the format version (filled by Read; Write always emits
+	// the current Version).
+	Version uint32
+	// Fingerprint hashes dim, variant and hyperparameters (filled by
+	// Read; Write recomputes it).
+	Fingerprint uint64
+	// Dim is the embedding dimensionality.
+	Dim int
+	// Variant is the solver that produced the vectors.
+	Variant core.Variant
+	// Hyperparams is the training configuration of §4.4.
+	Hyperparams core.Hyperparams
+	// CreatedUnix is the training wall-clock time (Unix seconds).
+	CreatedUnix int64
+	// LossHistory is Ψ(W) per iteration when tracking was enabled.
+	LossHistory []float64
+	// Categories lists the "table.column" text keys the model covers.
+	Categories []string
+	// ExcludeColumns / ExcludeRelations are the extraction options the
+	// model was trained with; resuming against a database must re-extract
+	// with the same exclusions or the vocabularies cannot match.
+	ExcludeColumns   []string
+	ExcludeRelations []string
+	// ANNThreshold is the store's approximate-search threshold (0 when
+	// ANN is disabled).
+	ANNThreshold int
+	// ANNParams is the HNSW configuration.
+	ANNParams ann.Params
+	// Store holds the retrofitted vectors keyed "table.column\x00text".
+	// After Read it has the ANN configuration applied and, when the
+	// snapshot carried a graph, the deserialised index adopted. Nil after
+	// ReadInfo.
+	Store *embed.Store
+	// Index is the deserialised HNSW graph (nil when the snapshot was
+	// written before the index was built). It is already adopted by
+	// Store; the field exists for introspection. Nil after ReadInfo.
+	Index *ann.Index
+	// NumValues and HasIndex summarise the store and graph sections; they
+	// are filled by both Read and ReadInfo (and ignored by Write, which
+	// derives them from Store/Index).
+	NumValues int
+	HasIndex  bool
+}
+
+// Fingerprint hashes the training configuration (dimensionality, solver
+// variant, hyperparameters) into the value stored in the header.
+func Fingerprint(dim int, variant core.Variant, hp core.Hyperparams) uint64 {
+	h := fnv.New64a()
+	ww := wire.NewWriter(h)
+	ww.Bytes([]byte("retro-snapshot-fp1"))
+	ww.U32(uint32(dim))
+	ww.U8(uint8(variant))
+	ww.F64(hp.Alpha)
+	ww.F64(hp.Beta)
+	ww.F64(hp.Gamma)
+	ww.F64(hp.Delta)
+	ww.U32(uint32(hp.Iterations))
+	_ = ww.Flush()
+	return h.Sum64()
+}
+
+// Write serialises s. The store must be non-nil; the index section is
+// included only when s.Index is non-nil.
+func Write(w io.Writer, s *Snapshot) error {
+	if s.Store == nil {
+		return fmt.Errorf("snapshot: nil store")
+	}
+	if s.Dim != s.Store.Dim() {
+		return fmt.Errorf("snapshot: dim %d does not match store dim %d", s.Dim, s.Store.Dim())
+	}
+	ww := wire.NewWriter(w)
+	ww.Bytes([]byte(Magic))
+	ww.U32(Version)
+	ww.U32(uint32(s.Dim))
+	ww.U64(Fingerprint(s.Dim, s.Variant, s.Hyperparams))
+
+	writeSection(ww, tagMeta, encodeMeta(s))
+	writeSection(ww, tagStor, encodeStore(s.Store))
+	if s.Index != nil {
+		var buf bytes.Buffer
+		if _, err := s.Index.WriteTo(&buf); err != nil {
+			return fmt.Errorf("snapshot: serialising index: %w", err)
+		}
+		writeSection(ww, tagHNSW, buf.Bytes())
+	}
+	writeSection(ww, tagEnds, nil)
+	return ww.Flush()
+}
+
+func writeSection(ww *wire.Writer, tag string, payload []byte) {
+	ww.Bytes([]byte(tag))
+	ww.U64(uint64(len(payload)))
+	ww.U32(crc32.ChecksumIEEE(payload))
+	ww.Bytes(payload)
+}
+
+func encodeMeta(s *Snapshot) []byte {
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	ww.U8(uint8(s.Variant))
+	ww.F64(s.Hyperparams.Alpha)
+	ww.F64(s.Hyperparams.Beta)
+	ww.F64(s.Hyperparams.Gamma)
+	ww.F64(s.Hyperparams.Delta)
+	ww.U32(uint32(s.Hyperparams.Iterations))
+	ww.I64(s.CreatedUnix)
+	ww.I64(int64(s.ANNThreshold))
+	ww.U32(uint32(s.ANNParams.M))
+	ww.U32(uint32(s.ANNParams.EfConstruction))
+	ww.U32(uint32(s.ANNParams.EfSearch))
+	ww.I64(s.ANNParams.Seed)
+	ww.U32(uint32(len(s.LossHistory)))
+	for _, v := range s.LossHistory {
+		ww.F64(v)
+	}
+	ww.U32(uint32(len(s.Categories)))
+	for _, c := range s.Categories {
+		ww.String(c)
+	}
+	ww.U32(uint32(len(s.ExcludeColumns)))
+	for _, c := range s.ExcludeColumns {
+		ww.String(c)
+	}
+	ww.U32(uint32(len(s.ExcludeRelations)))
+	for _, c := range s.ExcludeRelations {
+		ww.String(c)
+	}
+	_ = ww.Flush()
+	return buf.Bytes()
+}
+
+func encodeStore(st *embed.Store) []byte {
+	var buf bytes.Buffer
+	ww := wire.NewWriter(&buf)
+	ww.U32(uint32(st.Dim()))
+	words := st.Words()
+	ww.U32(uint32(len(words)))
+	for id, word := range words {
+		ww.String(word)
+		for _, v := range st.Vector(id) {
+			ww.F32(float32(v))
+		}
+	}
+	_ = ww.Flush()
+	return buf.Bytes()
+}
+
+// Read parses a snapshot written by Write. It validates the magic, the
+// format version, every section checksum and all structural bounds, and
+// returns an error — never panics — on malformed input. The returned
+// snapshot's store has the ANN configuration applied and any serialised
+// index adopted, so it is immediately servable.
+func Read(r io.Reader) (*Snapshot, error) { return read(r, true) }
+
+// ReadInfo parses the header and metadata and verifies every section
+// checksum, but skips materialising the store and the HNSW graph — the
+// expensive parts — so introspection stays cheap on arbitrarily large
+// snapshots. Store and Index are nil on the result; NumValues and
+// HasIndex are filled from the section frames.
+func ReadInfo(r io.Reader) (*Snapshot, error) { return read(r, false) }
+
+func read(r io.Reader, full bool) (*Snapshot, error) {
+	rr := wire.NewReader(r)
+	magic := make([]byte, len(Magic))
+	rr.Bytes(magic)
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a retro snapshot)", magic)
+	}
+	version := rr.U32()
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: reading version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("snapshot: format version %d not supported (this build reads version %d)", version, Version)
+	}
+	dim := int(rr.U32())
+	fingerprint := rr.U64()
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if dim <= 0 || dim > maxDim {
+		return nil, fmt.Errorf("snapshot: implausible dimension %d", dim)
+	}
+
+	s := &Snapshot{Version: version, Fingerprint: fingerprint, Dim: dim}
+	var sawMeta, sawStor, sawEnds bool
+	for !sawEnds {
+		tag := make([]byte, 4)
+		rr.Bytes(tag)
+		length := rr.U64()
+		sum := rr.U32()
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("snapshot: reading section header: %w", err)
+		}
+		if int64(length) < 0 || int64(length) > maxSectionLen {
+			return nil, fmt.Errorf("snapshot: section %q has implausible length %d", tag, length)
+		}
+		payload, err := readPayload(rr, int64(length))
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %q: %w", tag, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("snapshot: section %q checksum mismatch (stored %08x, computed %08x): file is corrupt", tag, sum, got)
+		}
+		switch string(tag) {
+		case tagMeta:
+			if err := decodeMeta(payload, s); err != nil {
+				return nil, err
+			}
+			sawMeta = true
+		case tagStor:
+			if full {
+				st, err := decodeStore(payload, dim)
+				if err != nil {
+					return nil, err
+				}
+				s.Store = st
+				s.NumValues = st.Len()
+			} else {
+				n, err := decodeStoreHeader(payload, dim)
+				if err != nil {
+					return nil, err
+				}
+				s.NumValues = n
+			}
+			sawStor = true
+		case tagHNSW:
+			s.HasIndex = true
+			if full {
+				idx, err := ann.Read(bytes.NewReader(payload))
+				if err != nil {
+					return nil, fmt.Errorf("snapshot: %w", err)
+				}
+				if idx.Dim() != dim {
+					return nil, fmt.Errorf("snapshot: index dim %d does not match snapshot dim %d", idx.Dim(), dim)
+				}
+				s.Index = idx
+			}
+		case tagEnds:
+			sawEnds = true
+		default:
+			// Unknown sections from same-version writers are skipped for
+			// forward compatibility (their checksum was still verified).
+		}
+	}
+	if !sawMeta || !sawStor {
+		return nil, fmt.Errorf("snapshot: missing required section (META present: %v, STOR present: %v)", sawMeta, sawStor)
+	}
+	if want := Fingerprint(dim, s.Variant, s.Hyperparams); want != fingerprint {
+		return nil, fmt.Errorf("snapshot: hyperparameter fingerprint mismatch (header %016x, metadata %016x): file is corrupt", fingerprint, want)
+	}
+	if !full {
+		return s, nil
+	}
+
+	// Project the persisted ANN configuration onto the store, then adopt
+	// the deserialised graph so no rebuild is needed.
+	if s.ANNThreshold > 0 {
+		s.Store.EnableANN(s.ANNThreshold, s.ANNParams)
+	} else {
+		s.Store.DisableANN()
+	}
+	if s.Index != nil {
+		if err := s.Store.AdoptANN(s.Index); err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// WriteFileAtomic persists a snapshot produced by write to path via a
+// same-directory temp file, fsync and rename, so a crash or disk-full
+// mid-write never leaves a truncated file where a boot path expects a
+// valid snapshot.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("writing snapshot: %w", err)
+	}
+	// Data blocks must be durable before the rename becomes visible, or a
+	// power loss could persist the new name pointing at lost data.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		// Best effort: fsync the directory so the rename itself survives
+		// a crash (not supported on every platform/filesystem).
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer incrementally so
+// a forged huge length cannot force a single giant allocation before the
+// (truncated) input runs dry.
+func readPayload(rr *wire.Reader, n int64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min64(n, chunk))
+	for int64(len(buf)) < n {
+		step := min64(n-int64(len(buf)), chunk)
+		start := int64(len(buf))
+		buf = append(buf, make([]byte, step)...)
+		rr.Bytes(buf[start : start+step])
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func decodeMeta(payload []byte, s *Snapshot) error {
+	rr := wire.NewReader(bytes.NewReader(payload))
+	s.Variant = core.Variant(rr.U8())
+	s.Hyperparams.Alpha = rr.F64()
+	s.Hyperparams.Beta = rr.F64()
+	s.Hyperparams.Gamma = rr.F64()
+	s.Hyperparams.Delta = rr.F64()
+	s.Hyperparams.Iterations = int(rr.U32())
+	s.CreatedUnix = rr.I64()
+	s.ANNThreshold = int(rr.I64())
+	s.ANNParams.M = int(rr.U32())
+	s.ANNParams.EfConstruction = int(rr.U32())
+	s.ANNParams.EfSearch = int(rr.U32())
+	s.ANNParams.Seed = rr.I64()
+	lossLen := rr.Count32(maxLossLen)
+	if rr.Err() == nil && lossLen > 0 {
+		s.LossHistory = make([]float64, lossLen)
+		for i := range s.LossHistory {
+			s.LossHistory[i] = rr.F64()
+		}
+	}
+	s.Categories = decodeStringList(rr)
+	s.ExcludeColumns = decodeStringList(rr)
+	s.ExcludeRelations = decodeStringList(rr)
+	if err := rr.Err(); err != nil {
+		return fmt.Errorf("snapshot: decoding metadata: %w", err)
+	}
+	if s.Variant != core.RO && s.Variant != core.RN {
+		return fmt.Errorf("snapshot: unknown solver variant %d", s.Variant)
+	}
+	return nil
+}
+
+func decodeStringList(rr *wire.Reader) []string {
+	n := rr.Count32(maxCategories)
+	if rr.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, 0, min(n, 1<<12))
+	for i := 0; i < n; i++ {
+		out = append(out, rr.String(maxNameLen))
+	}
+	return out
+}
+
+// decodeStoreHeader reads only the dim and entry count off a STOR
+// payload (for ReadInfo).
+func decodeStoreHeader(payload []byte, dim int) (int, error) {
+	rr := wire.NewReader(bytes.NewReader(payload))
+	storDim := int(rr.U32())
+	if rr.Err() == nil && storDim != dim {
+		return 0, fmt.Errorf("snapshot: store dim %d does not match header dim %d", storDim, dim)
+	}
+	count := rr.Count32(maxValues)
+	if err := rr.Err(); err != nil {
+		return 0, fmt.Errorf("snapshot: decoding store: %w", err)
+	}
+	return count, nil
+}
+
+func decodeStore(payload []byte, dim int) (*embed.Store, error) {
+	rr := wire.NewReader(bytes.NewReader(payload))
+	storDim := int(rr.U32())
+	if rr.Err() == nil && storDim != dim {
+		return nil, fmt.Errorf("snapshot: store dim %d does not match header dim %d", storDim, dim)
+	}
+	count := rr.Count32(maxValues)
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding store: %w", err)
+	}
+	st := embed.NewStore(dim)
+	vecBuf := make([]float64, dim)
+	for i := 0; i < count; i++ {
+		key := rr.String(maxKeyLen)
+		for j := range vecBuf {
+			vecBuf[j] = float64(rr.F32())
+		}
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("snapshot: store entry %d: %w", i, err)
+		}
+		st.Add(key, vecBuf)
+	}
+	if st.Len() != count {
+		return nil, fmt.Errorf("snapshot: store has %d duplicate keys", count-st.Len())
+	}
+	return st, nil
+}

@@ -1,0 +1,353 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+	"github.com/retrodb/retro/internal/core"
+	"github.com/retrodb/retro/internal/embed"
+)
+
+// testSnapshot builds a store of n clustered vectors (ANN forced on, index
+// built) and wraps it in a Snapshot.
+func testSnapshot(t testing.TB, n, dim int) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	st := embed.NewStore(dim)
+	st.EnableANN(1, ann.Params{M: 8, EfConstruction: 60, EfSearch: 40})
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		st.Add(fmt.Sprintf("movies.title\x00value %d", i), v)
+	}
+	st.WarmANN()
+	if st.ANNIndex() == nil {
+		t.Fatal("index not built")
+	}
+	return &Snapshot{
+		Dim:          dim,
+		Variant:      core.RN,
+		Hyperparams:  core.DefaultRN(),
+		CreatedUnix:  1_750_000_000,
+		LossHistory:  []float64{10.5, 4.25, 2.125},
+		Categories:   []string{"movies.title"},
+		ANNThreshold: 1,
+		ANNParams:    st.ANNParams(),
+		Store:        st,
+		Index:        st.ANNIndex(),
+	}
+}
+
+func encode(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	const n, dim = 400, 12
+	orig := testSnapshot(t, n, dim)
+	got, err := Read(bytes.NewReader(encode(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Version != Version || got.Dim != dim {
+		t.Fatalf("header: version %d dim %d", got.Version, got.Dim)
+	}
+	if got.Fingerprint != Fingerprint(dim, core.RN, core.DefaultRN()) {
+		t.Fatalf("fingerprint %016x not the configuration hash", got.Fingerprint)
+	}
+	if got.Variant != orig.Variant || got.Hyperparams != orig.Hyperparams || got.CreatedUnix != orig.CreatedUnix {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if len(got.LossHistory) != 3 || got.LossHistory[1] != 4.25 {
+		t.Fatalf("loss history %v", got.LossHistory)
+	}
+	if len(got.Categories) != 1 || got.Categories[0] != "movies.title" {
+		t.Fatalf("categories %v", got.Categories)
+	}
+	if got.Store.Len() != n || got.Store.Dim() != dim {
+		t.Fatalf("store shape %d x %d", got.Store.Len(), got.Store.Dim())
+	}
+	if got.Store.ANNThreshold() != 1 || got.Store.ANNParams() != orig.ANNParams {
+		t.Fatalf("ANN config: threshold %d params %+v", got.Store.ANNThreshold(), got.Store.ANNParams())
+	}
+	if got.Index == nil || got.Store.ANNIndex() != got.Index {
+		t.Fatal("index not deserialised and adopted")
+	}
+
+	// Vectors survive exactly at float32 precision, keyed identically.
+	for id, word := range orig.Store.Words() {
+		gv, ok := got.Store.VectorOf(word)
+		if !ok {
+			t.Fatalf("key %q missing after load", word)
+		}
+		for j, v := range orig.Store.Vector(id) {
+			if gv[j] != float64(float32(v)) {
+				t.Fatalf("key %q dim %d: %g != float32-rounded %g", word, j, gv[j], v)
+			}
+		}
+	}
+}
+
+// TestRoundTripTopKIdentical is the serving invariant: the loaded store
+// must return the same neighbours in the same order as the original, on
+// both the ANN path and the exact path.
+func TestRoundTripTopKIdentical(t *testing.T) {
+	const n, dim = 400, 12
+	orig := testSnapshot(t, n, dim)
+	got, err := Read(bytes.NewReader(encode(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for qi := 0; qi < 40; qi++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		for _, exact := range []bool{false, true} {
+			var want, have []embed.Match
+			if exact {
+				want = orig.Store.TopKExact(q, 10, nil)
+				have = got.Store.TopKExact(q, 10, nil)
+			} else {
+				want = orig.Store.TopK(q, 10, nil)
+				have = got.Store.TopK(q, 10, nil)
+			}
+			if len(want) != len(have) {
+				t.Fatalf("query %d exact=%v: %d vs %d results", qi, exact, len(have), len(want))
+			}
+			for i := range want {
+				if want[i].Word != have[i].Word {
+					t.Fatalf("query %d exact=%v rank %d: %q vs %q", qi, exact, i, have[i].Word, want[i].Word)
+				}
+				if d := want[i].Score - have[i].Score; d > 1e-5 || d < -1e-5 {
+					t.Fatalf("query %d exact=%v rank %d: score drift %g", qi, exact, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestWriteLoadWriteByteIdentical: serialisation is deterministic and
+// lossless over its own output (float32 rounding happens only on the
+// first write).
+func TestWriteLoadWriteByteIdentical(t *testing.T) {
+	orig := testSnapshot(t, 200, 8)
+	first := encode(t, orig)
+	loaded, err := Read(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := encode(t, loaded)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("write-load-write not byte-identical: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+func TestNoIndexSnapshot(t *testing.T) {
+	s := testSnapshot(t, 50, 8)
+	s.Index = nil
+	got, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != nil {
+		t.Fatal("index materialised from nowhere")
+	}
+	// The store must still answer ANN queries by (re)building lazily.
+	if res := got.Store.TopK(got.Store.Vector(0), 5, nil); len(res) != 5 {
+		t.Fatalf("TopK after index-less load: %d results", len(res))
+	}
+	if got.Store.ANNIndex() == nil {
+		t.Fatal("lazy build did not kick in above threshold")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 20, 4))
+	raw[0] ^= 0x01
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+}
+
+func TestReadRejectsVersionSkew(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 20, 4))
+	binary.LittleEndian.PutUint32(raw[len(Magic):], Version+1)
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew: %v", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 100, 8))
+	// Every prefix must fail: a truncated snapshot is never silently
+	// accepted as a smaller valid one (the ENDS terminator guarantees it).
+	for _, cut := range []int{0, 4, len(Magic) + 2, 30, len(raw) / 3, len(raw) / 2, len(raw) - 30, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(raw))
+		}
+	}
+}
+
+func TestReadRejectsFlippedPayloadByte(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 100, 8))
+	// Flip one byte in the middle of the file (inside some section
+	// payload): the CRC must catch it.
+	for _, off := range []int{len(raw) / 4, len(raw) / 2, 3 * len(raw) / 4} {
+		bad := append([]byte{}, raw...)
+		bad[off] ^= 0x40
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte at %d accepted", off)
+		}
+	}
+}
+
+func TestReadRejectsFlippedCRC(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 50, 8))
+	// The first section header sits right after the 24-byte file header:
+	// tag(4) + len(8) + crc(4). Flip a CRC byte.
+	crcOff := len(Magic) + 4 + 4 + 8 + 4 + 8 // header + tag + len
+	bad := append([]byte{}, raw...)
+	bad[crcOff] ^= 0xff
+	_, err := Read(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("flipped CRC: %v", err)
+	}
+}
+
+func TestReadRejectsFingerprintMismatch(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 20, 4))
+	// The fingerprint occupies the last 8 header bytes; flipping it must
+	// be caught by the META cross-check.
+	off := len(Magic) + 4 + 4
+	bad := append([]byte{}, raw...)
+	bad[off] ^= 0x01
+	_, err := Read(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("fingerprint mismatch: %v", err)
+	}
+}
+
+func TestExcludesRoundTrip(t *testing.T) {
+	s := testSnapshot(t, 30, 6)
+	s.ExcludeColumns = []string{"movies.overview", "reviews.text"}
+	s.ExcludeRelations = []string{"movies.id->genres.id"}
+	got, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ExcludeColumns) != 2 || got.ExcludeColumns[1] != "reviews.text" {
+		t.Fatalf("exclude columns %v", got.ExcludeColumns)
+	}
+	if len(got.ExcludeRelations) != 1 || got.ExcludeRelations[0] != "movies.id->genres.id" {
+		t.Fatalf("exclude relations %v", got.ExcludeRelations)
+	}
+}
+
+// TestReadInfo: the summary path verifies checksums but skips
+// materialising the store and graph.
+func TestReadInfo(t *testing.T) {
+	const n = 150
+	orig := testSnapshot(t, n, 8)
+	raw := encode(t, orig)
+	info, err := ReadInfo(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Store != nil || info.Index != nil {
+		t.Fatal("ReadInfo materialised the store or index")
+	}
+	if info.NumValues != n || !info.HasIndex {
+		t.Fatalf("summary: values %d hasIndex %v", info.NumValues, info.HasIndex)
+	}
+	if info.Variant != orig.Variant || info.Hyperparams != orig.Hyperparams || info.CreatedUnix != orig.CreatedUnix {
+		t.Fatalf("metadata %+v", info)
+	}
+	// Checksums are still enforced.
+	bad := append([]byte{}, raw...)
+	bad[2*len(bad)/3] ^= 0x08
+	if _, err := ReadInfo(bytes.NewReader(bad)); err == nil {
+		t.Fatal("ReadInfo accepted a corrupt snapshot")
+	}
+	// Full Read reports the same summary fields.
+	full, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumValues != info.NumValues || full.HasIndex != info.HasIndex {
+		t.Fatalf("Read/ReadInfo summary skew: %d/%v vs %d/%v",
+			full.NumValues, full.HasIndex, info.NumValues, info.HasIndex)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+	s := testSnapshot(t, 40, 6)
+	if err := WriteFileAtomic(path, func(w io.Writer) error { return Write(w, s) }); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := Read(f); err != nil {
+		t.Fatalf("atomic write produced unreadable snapshot: %v", err)
+	}
+
+	// A failing writer must leave neither the target nor temp litter.
+	bad := filepath.Join(dir, "bad.snap")
+	if err := WriteFileAtomic(bad, func(w io.Writer) error { return fmt.Errorf("boom") }); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("failed write left a file: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "model.snap" {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(32, core.RN, core.DefaultRN())
+	if Fingerprint(32, core.RO, core.DefaultRN()) == base {
+		t.Fatal("variant not hashed")
+	}
+	if Fingerprint(33, core.RN, core.DefaultRN()) == base {
+		t.Fatal("dim not hashed")
+	}
+	hp := core.DefaultRN()
+	hp.Gamma++
+	if Fingerprint(32, core.RN, hp) == base {
+		t.Fatal("hyperparams not hashed")
+	}
+	if Fingerprint(32, core.RN, core.DefaultRN()) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

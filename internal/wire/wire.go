@@ -1,0 +1,199 @@
+// Package wire provides the little-endian binary encoding helpers shared
+// by the persistence formats (the HNSW graph section and the model
+// snapshot). Writers and readers carry a sticky error so serialisation
+// code reads as a flat sequence of field calls with a single check at the
+// end.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Writer encodes fixed-width little-endian values onto an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+	buf [8]byte
+}
+
+// NewWriter wraps w. Call Flush before relying on the output.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Count returns the number of bytes written so far (excluding buffering).
+func (w *Writer) Count() int64 { return w.n }
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.w.Write(p)
+	w.n += int64(n)
+	w.err = err
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.write([]byte{v}) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I32 writes a little-endian int32.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 writes a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F32 writes an IEEE-754 float32.
+func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
+
+// F64 writes an IEEE-754 float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes raw bytes with no length prefix.
+func (w *Writer) Bytes(p []byte) { w.write(p) }
+
+// String writes a uint32 length prefix followed by the bytes.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.write([]byte(s))
+}
+
+// Reader decodes values written by Writer. Every accessor returns the
+// zero value once an error (including io.EOF and any short read, both
+// normalised to io.ErrUnexpectedEOF) has occurred; check Err at the end.
+type Reader struct {
+	r   io.Reader
+	n   int64
+	err error
+	buf [8]byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Count returns the number of bytes consumed so far.
+func (r *Reader) Count() int64 { return r.n }
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// Fail records an error (used by callers for validation failures) so
+// subsequent reads become no-ops. The first failure wins.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) read(p []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	n, err := io.ReadFull(r.r, p)
+	r.n += int64(n)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = err
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.read(r.buf[:1]) {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.read(r.buf[:4]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.read(r.buf[:8]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I32 reads a little-endian int32.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F32 reads an IEEE-754 float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads exactly len(p) raw bytes into p.
+func (r *Reader) Bytes(p []byte) { r.read(p) }
+
+// String reads a uint32 length prefix and that many bytes, rejecting
+// lengths above max (a corruption guard against huge allocations).
+func (r *Reader) String(max int) string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if int64(n) > int64(max) {
+		r.Fail(fmt.Errorf("wire: string length %d exceeds limit %d", n, max))
+		return ""
+	}
+	p := make([]byte, n)
+	if !r.read(p) {
+		return ""
+	}
+	return string(p)
+}
+
+// Count32 reads a uint32 element count, rejecting values above max (a
+// corruption guard applied before any count-sized allocation).
+func (r *Reader) Count32(max int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		r.Fail(fmt.Errorf("wire: count %d exceeds limit %d", n, max))
+		return 0
+	}
+	return int(n)
+}

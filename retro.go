@@ -136,17 +136,23 @@ type Config struct {
 // α=1 β=0 γ=3 δ=1, 10 iterations).
 func Defaults() Config { return Config{Variant: RN} }
 
-// Model is a trained set of relational embeddings.
+// Model is a trained set of relational embeddings. Models come from two
+// places: Retrofit (trained in-process, with the source database and
+// extraction attached) or LoadSnapshot (deserialised, answering value
+// queries purely from the persisted store until ResumeSession reattaches
+// a database).
 type Model struct {
 	db     *DB
 	base   *Embedding
-	ex     *extract.Extraction
+	ex     *extract.Extraction // nil for a snapshot-loaded model
 	tok    *tokenize.Tokenizer
 	prob   *core.Problem
 	cfg    Config
 	hp     Hyperparams
 	store  *Embedding
 	lossHT []float64
+	cats   []string      // category names when ex == nil
+	snap   *SnapshotInfo // provenance when loaded from a snapshot
 }
 
 // Retrofit learns vectors for every unique text value in db, anchored to
@@ -226,11 +232,11 @@ func applyANNConfig(s *embed.Store, cfg Config) {
 // Vector returns the learned embedding of the text value stored in the
 // given table and column. The slice must not be mutated.
 func (m *Model) Vector(table, column, text string) ([]float64, error) {
-	id, ok := m.ex.Lookup(table, column, text)
+	key, ok := m.Key(table, column, text)
 	if !ok {
 		return nil, fmt.Errorf("retro: no value %q in %s.%s", text, table, column)
 	}
-	v, ok := m.store.VectorOf(deepwalk.ValueKey(m.ex, id))
+	v, ok := m.store.VectorOf(key)
 	if !ok {
 		return nil, fmt.Errorf("retro: internal: store missing value %q", text)
 	}
@@ -241,18 +247,44 @@ func (m *Model) Vector(table, column, text string) ([]float64, error) {
 func (m *Model) LossHistory() []float64 { return m.lossHT }
 
 // NumValues returns the number of embedded text values.
-func (m *Model) NumValues() int { return m.ex.NumValues() }
+func (m *Model) NumValues() int {
+	if m.ex == nil {
+		return m.store.Len()
+	}
+	return m.ex.NumValues()
+}
 
 // Store returns the embedding store keyed by "table.column\x00text".
 func (m *Model) Store() *Embedding { return m.store }
 
 // Key builds the store key for a (table, column, text) value.
 func (m *Model) Key(table, column, text string) (string, bool) {
+	if m.ex == nil {
+		// Snapshot-loaded model: the store keys themselves are the
+		// provenance, so address values directly by key.
+		key := table + "." + column + "\x00" + text
+		if _, ok := m.store.ID(key); !ok {
+			return "", false
+		}
+		return key, true
+	}
 	id, ok := m.ex.Lookup(table, column, text)
 	if !ok {
 		return "", false
 	}
 	return deepwalk.ValueKey(m.ex, id), true
+}
+
+// categories returns the "table.column" names the model covers.
+func (m *Model) categories() []string {
+	if m.ex == nil {
+		return m.cats
+	}
+	out := make([]string, len(m.ex.Categories))
+	for i, c := range m.ex.Categories {
+		out[i] = c.Name()
+	}
+	return out
 }
 
 // Neighbors returns the k most similar text values to the given value,

@@ -18,6 +18,11 @@ import (
 // Callers that query a Model concurrently with inserts must synchronise
 // the two, e.g. with a RWMutex as internal/server does; a held Model
 // stays queryable across inserts but is not a frozen snapshot.
+//
+// A session's trained state can be persisted with Snapshot and restored
+// with ResumeSession (see snapshot.go): the resumed session keeps the
+// deserialised HNSW index and continues incremental maintenance exactly
+// where the writing process left off.
 type Session struct {
 	db    *DB
 	base  *Embedding
