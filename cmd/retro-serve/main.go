@@ -9,6 +9,13 @@
 //	curl 'localhost:8080/v1/neighbors?table=movies&column=title&text=alien+autumn&k=5'
 //	curl -X POST localhost:8080/v1/insert -d '{"table":"movies","values":[9001,"new film",null,null,null,null,null,null]}'
 //
+// Inserts repair the embeddings incrementally at a cost proportional to
+// the inserted rows, not the database, and batches share one repair:
+//
+//	curl -X POST localhost:8080/v1/insert -d '{"table":"movies","rows":[
+//	  [9002,"second film",null,null,null,null,null,null],
+//	  [9003,"third film",null,null,null,null,null,null]]}'
+//
 // Training is the expensive step, so trained state can be persisted and
 // reused: -save-snapshot writes the retrofitted store plus the built
 // HNSW graph to a versioned snapshot file after training, and -snapshot
@@ -56,6 +63,7 @@ func run(args []string) error {
 	annEfC := fs.Int("ann-efc", 0, "HNSW construction beam width (0 = default 200)")
 	annEfS := fs.Int("ann-efs", 0, "HNSW search beam width (0 = default 64)")
 	cacheSize := fs.Int("cache", 1024, "LRU query cache entries (-1 disables)")
+	repairBudget := fs.Int("repair-budget", retro.DefaultRepairBudget, "max nodes re-solved per insert repair (0 = unlimited)")
 	snapshotPath := fs.String("snapshot", "", "boot from this snapshot file instead of training")
 	saveSnapshot := fs.String("save-snapshot", "", "write a snapshot of the trained session to this file")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
@@ -122,6 +130,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("retrofitted %d text values in %s\n", sess.Model().NumValues(), time.Since(start).Round(time.Millisecond))
 	}
+	sess.RepairBudget = *repairBudget
 	start := time.Now()
 	sess.Model().Store().WarmANN()
 	if sess.Model().Store().ANNIndex() != nil {

@@ -37,6 +37,61 @@ func Solve(p *Problem, h Hyperparams, variant Variant, opts SolveOptions) *Resul
 	}
 }
 
+// IncrementalState carries the cross-repair bookkeeping that makes a
+// local repair cost proportional to the dirty neighbourhood instead of
+// the problem: the per-group Σ_{k∈T_r} v_k target sums that both
+// solvers' repulsion terms (eqs. 15/16) need. Recomputing those sums
+// inline — as the repair kernels originally did — costs O(n) per dirty
+// node; maintaining them across vector updates costs O(dim) per group a
+// node belongs to.
+//
+// The state is bound to one (Problem, W) pair: it must be grown via Grow
+// whenever GrowProblem extends the problem, and every change to a row of
+// W must go through UpdateIncremental (which keeps the sums in step). If
+// W is mutated behind the state's back, discard and rebuild it.
+type IncrementalState struct {
+	sums [][]float64 // per group: Σ over the group's target set of w rows
+}
+
+// NewIncrementalState computes the target sums from scratch: O(n·|R|)
+// membership checks plus O(dim) per membership. Done once per session,
+// not per insert.
+func NewIncrementalState(p *Problem, w *vec.Matrix) *IncrementalState {
+	st := &IncrementalState{sums: make([][]float64, len(p.Groups))}
+	for gi := range p.Groups {
+		sum := make([]float64, p.Dim)
+		g := &p.Groups[gi]
+		for k := 0; k < p.N; k++ {
+			if g.TargetSet[k] {
+				vec.Axpy(sum, 1, w.Row(k))
+			}
+		}
+		st.sums[gi] = sum
+	}
+	return st
+}
+
+// Grow extends the state after GrowProblem: new groups get fresh sums and
+// every node that newly joined a target set contributes its current
+// vector. Call it after the new nodes' vectors are present in w.
+func (st *IncrementalState) Grow(p *Problem, w *vec.Matrix, rep *GrowthReport) {
+	for len(st.sums) < len(p.Groups) {
+		st.sums = append(st.sums, make([]float64, p.Dim))
+	}
+	for _, gn := range rep.NewTargets {
+		vec.Axpy(st.sums[gn.Group], 1, w.Row(gn.Node))
+	}
+}
+
+// apply folds a single node's vector change into the sums.
+func (st *IncrementalState) apply(p *Problem, i int, diff []float64) {
+	for gi := range p.Groups {
+		if p.Groups[gi].TargetSet[i] {
+			vec.Axpy(st.sums[gi], 1, diff)
+		}
+	}
+}
+
 // IncrementalOptions tunes incremental maintenance.
 type IncrementalOptions struct {
 	// MaxIterations bounds the local fixed-point iteration (default 50).
@@ -44,6 +99,9 @@ type IncrementalOptions struct {
 	// Tolerance stops iterating when no dirty vector moves more than this
 	// L2 distance in one sweep (default 1e-9).
 	Tolerance float64
+	// State reuses cross-repair target sums (see IncrementalState). When
+	// nil a fresh state is computed, which costs one O(n·|R|) pass.
+	State *IncrementalState
 }
 
 func (o IncrementalOptions) withDefaults() IncrementalOptions {
@@ -58,20 +116,27 @@ func (o IncrementalOptions) withDefaults() IncrementalOptions {
 
 // UpdateIncremental re-solves only the given dirty nodes of an
 // already-solved embedding in place, holding every other vector fixed.
-// This is the §1 "incrementally maintainable" property: after inserting or
-// changing rows, rebuild the problem, carry over the old vectors for
-// unchanged nodes (the caller aligns rows), and pass the ids of new or
-// affected values. Because both updates are contractions toward a fixed
-// point, iterating the pointwise updates over the dirty set converges to
-// the same values a full re-solve would assign given the fixed
-// complement.
+// This is the §1 "incrementally maintainable" property: after inserting
+// or changing rows, grow the problem (GrowProblem), carry over the old
+// vectors for unchanged nodes, and pass the ids of new or affected
+// values. Because both updates are contractions toward a fixed point,
+// iterating the pointwise updates over the dirty set converges to the
+// same values a full re-solve would assign given the fixed complement.
+//
+// With a maintained IncrementalState the cost per sweep is proportional
+// to the dirty nodes' degrees, independent of the problem size.
 //
 // Returns the number of sweeps performed.
 func UpdateIncremental(p *Problem, w *vec.Matrix, dirty []int, h Hyperparams, variant Variant, opts IncrementalOptions) int {
 	opts = opts.withDefaults()
 	h = h.withDefaults()
-	weights := deriveWeights(p, h)
+	st := opts.State
+	if st == nil {
+		st = NewIncrementalState(p, w)
+	}
 	buf := make([]float64, p.Dim)
+	scratch := make([]float64, p.Dim)
+	diff := make([]float64, p.Dim)
 
 	for sweep := 1; sweep <= opts.MaxIterations; sweep++ {
 		maxMove := 0.0
@@ -81,15 +146,24 @@ func UpdateIncremental(p *Problem, w *vec.Matrix, dirty []int, h Hyperparams, va
 			}
 			switch variant {
 			case RN:
-				rnUpdateNode(p, weights, w, i, buf)
+				rnRepairNode(p, h, st, w, i, buf)
 			default:
-				roUpdateNode(p, weights, w, i, buf)
+				roRepairNode(p, h, st, w, i, buf, scratch)
 			}
-			move := vec.SquaredDistance(buf, w.Row(i))
+			row := w.Row(i)
+			move := 0.0
+			for j := range diff {
+				d := buf[j] - row[j]
+				diff[j] = d
+				move += d * d
+			}
 			if move > maxMove {
 				maxMove = move
 			}
-			copy(w.Row(i), buf)
+			if move > 0 {
+				copy(row, buf)
+				st.apply(p, i, diff)
+			}
 		}
 		if maxMove <= opts.Tolerance*opts.Tolerance {
 			return sweep
@@ -98,28 +172,140 @@ func UpdateIncremental(p *Problem, w *vec.Matrix, dirty []int, h Hyperparams, va
 	return opts.MaxIterations
 }
 
+// rnRepairNode is the pointwise eq. (9) update using maintained target
+// sums and on-the-fly eq. (12)/(14) coefficients, so one node costs
+// O(deg·dim + |R|·dim) instead of O(n·dim).
+func rnRepairNode(p *Problem, h Hyperparams, st *IncrementalState, from *vec.Matrix, i int, dst []float64) {
+	rt := float64(p.NumRelTypes[i] + 1)
+	vec.Zero(dst)
+	vec.Axpy(dst, h.Alpha, p.W0.Row(i))
+	if beta := h.Beta / rt; beta != 0 {
+		vec.Axpy(dst, beta, p.Centroids.Row(i))
+	}
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		od := g.OutDeg(i)
+		if od == 0 {
+			continue
+		}
+		gamma := h.Gamma / (float64(od) * rt)
+		base, extra := g.TargetLists(i)
+		for _, j := range base {
+			vec.Axpy(dst, gamma, from.Row(int(j)))
+		}
+		for _, j := range extra {
+			vec.Axpy(dst, gamma, from.Row(int(j)))
+		}
+		if h.Delta != 0 && g.TargetCount > 0 {
+			vec.Axpy(dst, -h.Delta/(float64(g.TargetCount)*rt), st.sums[gi])
+		}
+	}
+	vec.Normalize(dst)
+}
+
+// roRepairNode is the pointwise eq. (8) update with the eq. (15)
+// complement trick over maintained target sums: the repulsion over
+// Ẽ_r(i) becomes sum(T_r) − sum(neighbours of i), so one node costs
+// O(deg·dim + |R|·dim) instead of O(n·dim). scratch must hold dim
+// floats.
+func roRepairNode(p *Problem, h Hyperparams, st *IncrementalState, from *vec.Matrix, i int, dst, scratch []float64) {
+	rt := float64(p.NumRelTypes[i] + 1)
+	beta := h.Beta / rt
+	vec.Zero(dst)
+	vec.Axpy(dst, h.Alpha, p.W0.Row(i))
+	if beta != 0 {
+		vec.Axpy(dst, beta, p.Centroids.Row(i))
+	}
+	denom := h.Alpha + beta
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		od := g.OutDeg(i)
+		if od == 0 {
+			continue
+		}
+		gammaSelf := h.Gamma / (float64(od) * rt)
+		inv := &p.Groups[g.Inverse]
+		nbrSum := scratch
+		vec.Zero(nbrSum)
+		attract := func(j int) {
+			// γ^r̄_j: j is a target of g, hence a source of the inverse.
+			weight := gammaSelf + h.Gamma/(float64(inv.OutDeg(j))*float64(p.NumRelTypes[j]+1))
+			vec.Axpy(dst, weight, from.Row(j))
+			denom += weight
+			vec.Axpy(nbrSum, 1, from.Row(j))
+		}
+		base, extra := g.TargetLists(i)
+		for _, j := range base {
+			attract(int(j))
+		}
+		for _, j := range extra {
+			attract(int(j))
+		}
+		if dg := deltaRO(g, h); dg != 0 {
+			vec.Axpy(dst, -2*dg, st.sums[gi])
+			vec.Axpy(dst, 2*dg, nbrSum)
+			denom -= 2 * dg * float64(g.TargetCount-od)
+		}
+	}
+	if denom != 0 {
+		vec.Scale(dst, 1/denom)
+	}
+}
+
 // AffectedNodes expands a set of seed node ids to every node within
 // `hops` relation steps, the neighbourhood worth re-solving after a
-// change. hops=0 returns the seeds themselves.
+// change. hops=0 returns the seeds themselves. The result is in
+// deterministic BFS discovery order.
 func AffectedNodes(p *Problem, seeds []int, hops int) []int {
+	return AffectedNodesBudget(p, seeds, hops, 0)
+}
+
+// AffectedNodesBudget is AffectedNodes with a size cap: expansion stops
+// once the set holds maxNodes ids (0 = unlimited). In-range seeds are
+// always included, even beyond the budget, so newly inserted values are
+// never dropped from a repair; the cap only bounds how far their
+// influence is chased through the graph — without it, one insert
+// touching a high-degree hub value (a language, say) would schedule a
+// re-solve of most of the database.
+func AffectedNodesBudget(p *Problem, seeds []int, hops, maxNodes int) []int {
 	seen := make(map[int]bool, len(seeds))
-	frontier := make([]int, 0, len(seeds))
+	out := make([]int, 0, len(seeds))
 	for _, s := range seeds {
 		if s >= 0 && s < p.N && !seen[s] {
 			seen[s] = true
-			frontier = append(frontier, s)
+			out = append(out, s)
 		}
 	}
+	frontier := out
 	for h := 0; h < hops; h++ {
+		if maxNodes > 0 && len(out) >= maxNodes {
+			break
+		}
 		var next []int
 		for _, i := range frontier {
 			for gi := range p.Groups {
 				g := &p.Groups[gi]
-				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-					j := int(g.Targets[k])
+				base, extra := g.TargetLists(i)
+				for _, j32 := range base {
+					j := int(j32)
 					if !seen[j] {
 						seen[j] = true
+						out = append(out, j)
 						next = append(next, j)
+						if maxNodes > 0 && len(out) >= maxNodes {
+							return out
+						}
+					}
+				}
+				for _, j32 := range extra {
+					j := int(j32)
+					if !seen[j] {
+						seen[j] = true
+						out = append(out, j)
+						next = append(next, j)
+						if maxNodes > 0 && len(out) >= maxNodes {
+							return out
+						}
 					}
 				}
 			}
@@ -128,10 +314,6 @@ func AffectedNodes(p *Problem, seeds []int, hops int) []int {
 		if len(frontier) == 0 {
 			break
 		}
-	}
-	out := make([]int, 0, len(seen))
-	for i := range seen {
-		out = append(out, i)
 	}
 	return out
 }

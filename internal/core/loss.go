@@ -38,8 +38,12 @@ func lossWithWeights(p *Problem, weights *weights, w *vec.Matrix) float64 {
 			if g.OutDeg(i) == 0 {
 				continue
 			}
-			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-				total += gamma[i] * vec.SquaredDistance(w.Row(i), w.Row(int(g.Targets[k])))
+			base, extra := g.TargetLists(i)
+			for _, j := range base {
+				total += gamma[i] * vec.SquaredDistance(w.Row(i), w.Row(int(j)))
+			}
+			for _, j := range extra {
+				total += gamma[i] * vec.SquaredDistance(w.Row(i), w.Row(int(j)))
 			}
 		}
 		if dg == 0 {
@@ -66,8 +70,12 @@ func lossWithWeights(p *Problem, weights *weights, w *vec.Matrix) float64 {
 			allPairs := nT*normSq - 2*vec.Dot(vi, sumT) + sumSqT
 			// Subtract the related (positive) pairs to leave only Ẽ_r.
 			var relPairs float64
-			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-				relPairs += vec.SquaredDistance(vi, w.Row(int(g.Targets[k])))
+			base, extra := g.TargetLists(i)
+			for _, j := range base {
+				relPairs += vec.SquaredDistance(vi, w.Row(int(j)))
+			}
+			for _, j := range extra {
+				relPairs += vec.SquaredDistance(vi, w.Row(int(j)))
 			}
 			total -= dg * (allPairs - relPairs)
 		}

@@ -62,14 +62,21 @@ func BuildManualProblem(spec ManualSpec) (*Problem, error) {
 		p.Labels[i] = v.Label
 		members[v.Category] = append(members[v.Category], i)
 	}
-	for _, m := range members {
+	// Keep the same per-category sum bookkeeping as BuildProblem so a
+	// manual problem supports RefreshCentroids/GrowProblem too.
+	p.catSums = vec.NewMatrix(spec.NumCategories, spec.Dim)
+	p.catCounts = make([]int, spec.NumCategories)
+	for c, m := range members {
 		if len(m) == 0 {
 			continue
 		}
-		centroid := make([]float64, spec.Dim)
+		sum := p.catSums.Row(c)
 		for _, i := range m {
-			vec.Axpy(centroid, 1, p.W0.Row(i))
+			vec.Axpy(sum, 1, p.W0.Row(i))
 		}
+		p.catCounts[c] = len(m)
+		centroid := make([]float64, spec.Dim)
+		copy(centroid, sum)
 		vec.Scale(centroid, 1/float64(len(m)))
 		for _, i := range m {
 			copy(p.Centroids.Row(i), centroid)
@@ -97,6 +104,7 @@ func BuildManualProblem(spec ManualSpec) (*Problem, error) {
 			}
 		}
 	}
+	computeMaxRel(p)
 	return p, nil
 }
 

@@ -75,8 +75,12 @@ func SolveROParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
 				if od == 0 {
 					continue
 				}
-				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-					d[i] += gammaSelf[i] + gammaInv[int(g.Targets[k])]
+				base, extra := g.TargetLists(i)
+				for _, j := range base {
+					d[i] += gammaSelf[i] + gammaInv[int(j)]
+				}
+				for _, j := range extra {
+					d[i] += gammaSelf[i] + gammaInv[int(j)]
 				}
 				d[i] -= 2 * dg * float64(g.TargetCount-od)
 			}
@@ -111,8 +115,13 @@ func SolveROParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
 						continue
 					}
 					row := next.Row(i)
-					for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-						j := int(g.Targets[k])
+					base, extra := g.TargetLists(i)
+					for _, j32 := range base {
+						j := int(j32)
+						vec.Axpy(row, gammaSelf[i]+gammaInv[j], cur.Row(j))
+					}
+					for _, j32 := range extra {
+						j := int(j32)
 						vec.Axpy(row, gammaSelf[i]+gammaInv[j], cur.Row(j))
 					}
 				}
@@ -134,8 +143,12 @@ func SolveROParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
 						continue
 					}
 					vec.Zero(nbrSum)
-					for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-						vec.Axpy(nbrSum, 1, cur.Row(int(g.Targets[k])))
+					base, extra := g.TargetLists(i)
+					for _, j := range base {
+						vec.Axpy(nbrSum, 1, cur.Row(int(j)))
+					}
+					for _, j := range extra {
+						vec.Axpy(nbrSum, 1, cur.Row(int(j)))
 					}
 					row := next.Row(i)
 					vec.Axpy(row, -2*dg, sumT)
@@ -191,8 +204,12 @@ func SolveRNParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
 						continue
 					}
 					row := next.Row(i)
-					for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-						vec.Axpy(row, gamma[i], cur.Row(int(g.Targets[k])))
+					base, extra := g.TargetLists(i)
+					for _, j := range base {
+						vec.Axpy(row, gamma[i], cur.Row(int(j)))
+					}
+					for _, j := range extra {
+						vec.Axpy(row, gamma[i], cur.Row(int(j)))
 					}
 				}
 			})

@@ -95,26 +95,23 @@ func deriveWeights(p *Problem, h Hyperparams) *weights {
 		}
 		w.gamma[gi] = gamma
 		w.deltaRN[gi] = deltaRN
-
-		// eq. (13): mr(r) = max |R_i|+1 over participants of E_r ∪ E_r̄;
-		// mc(r) = max(|sources|, |targets|).
-		mr := 0
-		for i := 0; i < p.N; i++ {
-			if g.SourceSet[i] || g.TargetSet[i] {
-				if p.NumRelTypes[i]+1 > mr {
-					mr = p.NumRelTypes[i] + 1
-				}
-			}
-		}
-		mc := g.SourceCount
-		if g.TargetCount > mc {
-			mc = g.TargetCount
-		}
-		if mc > 0 && mr > 0 {
-			w.deltaRO[gi] = h.Delta / (float64(mc) * float64(mr))
-		}
+		w.deltaRO[gi] = deltaRO(g, h)
 	}
 	return w
+}
+
+// deltaRO computes the constant δ^r of eq. (13) for one group:
+// δ / (mc(r)·mr(r)) with mc(r) = max(|S_r|, |T_r|) and mr(r) the cached
+// group maximum of |R_i|+1 over participants.
+func deltaRO(g *Group, h Hyperparams) float64 {
+	mc := g.SourceCount
+	if g.TargetCount > mc {
+		mc = g.TargetCount
+	}
+	if mc <= 0 || g.MaxRel <= 0 {
+		return 0
+	}
+	return h.Delta / (float64(mc) * float64(g.MaxRel))
 }
 
 // ConvexityReport captures both convexity conditions stated by the paper.

@@ -22,14 +22,28 @@ type Edge struct{ From, To int }
 // Group is one *directed* relation group. The paper's set R contains each
 // extracted relation r together with its inverse r̄; Problem.Groups stores
 // both, cross-linked via Inverse.
+//
+// Adjacency is a frozen CSR base plus a small overflow: GrowProblem
+// appends edges into the per-source overflow lists so that adding an edge
+// never rewrites the CSR arrays (which would cost O(|E_r| + n) per
+// insert). Iteration goes through TargetLists/EachEdge, which cover both;
+// once the overflow outgrows a fraction of the base the group is
+// compacted back into pure CSR, keeping appends amortised O(1).
 type Group struct {
 	Name    string
 	Inverse int // index of the inverse group within Problem.Groups
 
-	// CSR-style adjacency over sources: for node i the targets are
-	// Targets[RowPtr[i]:RowPtr[i+1]]. Rows exist for all n nodes.
+	// CSR-style adjacency over sources: for node i the base targets are
+	// Targets[RowPtr[i]:RowPtr[i+1]]. The base covers the nodes that
+	// existed when it was built; nodes appended later have no base row
+	// (OutDeg treats them as empty) and live purely in the overflow.
 	RowPtr  []int
 	Targets []int32
+
+	// extra holds edges appended after the base CSR was built, keyed by
+	// source node; extraEdges counts them.
+	extra      map[int32][]int32
+	extraEdges int
 
 	// SourceSet / TargetSet flag membership; SourceCount/TargetCount are
 	// |S_r| and |T_r| (mc(r) of eq. 13 = max of the two).
@@ -37,10 +51,33 @@ type Group struct {
 	TargetSet   []bool
 	SourceCount int
 	TargetCount int
+
+	// MaxRel caches mr(r) of eq. (13): max |R_i|+1 over every node that
+	// participates in E_r ∪ E_r̄. Problem growth only ever adds edges, so
+	// the max is monotone and can be maintained incrementally.
+	MaxRel int
+}
+
+// baseDeg returns the out-degree within the frozen CSR base.
+func (g *Group) baseDeg(i int) int {
+	if i+1 >= len(g.RowPtr) {
+		return 0 // node appended after the base was built, or empty base
+	}
+	return g.RowPtr[i+1] - g.RowPtr[i]
 }
 
 // OutDeg returns od_r(i) = |{j : (i,j) ∈ E_r}| (eq. 12).
-func (g *Group) OutDeg(i int) int { return g.RowPtr[i+1] - g.RowPtr[i] }
+func (g *Group) OutDeg(i int) int { return g.baseDeg(i) + len(g.extra[int32(i)]) }
+
+// TargetLists returns node i's targets as two slices — the frozen CSR
+// base and the appended overflow — so hot loops iterate without closure
+// overhead. Either slice may be empty; neither may be mutated.
+func (g *Group) TargetLists(i int) (base, extra []int32) {
+	if i+1 < len(g.RowPtr) {
+		base = g.Targets[g.RowPtr[i]:g.RowPtr[i+1]]
+	}
+	return base, g.extra[int32(i)]
+}
 
 // EachEdge calls fn for every (from, to) edge of the group.
 func (g *Group) EachEdge(fn func(from, to int)) {
@@ -49,10 +86,15 @@ func (g *Group) EachEdge(fn func(from, to int)) {
 			fn(i, int(g.Targets[k]))
 		}
 	}
+	for from, targets := range g.extra {
+		for _, to := range targets {
+			fn(int(from), int(to))
+		}
+	}
 }
 
 // NumEdges returns |E_r|.
-func (g *Group) NumEdges() int { return len(g.Targets) }
+func (g *Group) NumEdges() int { return len(g.Targets) + g.extraEdges }
 
 // Problem is the assembled §4.2 learning problem: n text values with
 // initial vectors W0, per-value category centroids, and the directed
@@ -77,6 +119,36 @@ type Problem struct {
 	// NumRelTypes[i] is |R_i|: the number of directed groups in which node
 	// i participates as a source (eq. 12 weights use |R_i|+1).
 	NumRelTypes []int
+
+	// catSums/catCounts back incremental centroid maintenance: per
+	// category, the running sum of the ORIGINAL (W0) member vectors and
+	// the member count, so a grown problem can refresh any node's
+	// Centroids row in O(dim) without re-scanning the column.
+	catSums   *vec.Matrix
+	catCounts []int
+}
+
+// RefreshCentroids rewrites the Centroids rows of the given nodes from
+// the per-category running sums, bringing them up to date after the
+// categories gained members through GrowProblem. Only the rows about to
+// be re-solved need refreshing; unread rows may stay stale.
+func (p *Problem) RefreshCentroids(ids []int) {
+	if p.catSums == nil {
+		return // hand-built problem that was never grown
+	}
+	for _, i := range ids {
+		if i < 0 || i >= p.N {
+			continue
+		}
+		c := p.CategoryOf[i]
+		row := p.Centroids.Row(i)
+		if n := p.catCounts[c]; n > 0 {
+			copy(row, p.catSums.Row(c))
+			vec.Scale(row, 1/float64(n))
+		} else {
+			vec.Zero(row)
+		}
+	}
 }
 
 // BuildProblem assembles the learning problem from an extraction and the
@@ -100,15 +172,22 @@ func BuildProblem(ex *extract.Extraction, tok *tokenize.Tokenizer) *Problem {
 		p.Labels[v.ID] = v.Text
 	}
 
-	// Per-category centroids of the ORIGINAL vectors (eq. 5).
+	// Per-category centroids of the ORIGINAL vectors (eq. 5). The
+	// unscaled sums are kept so GrowProblem can maintain centroids
+	// incrementally as categories gain members.
+	p.catSums = vec.NewMatrix(len(ex.Categories), dim)
+	p.catCounts = make([]int, len(ex.Categories))
 	for _, c := range ex.Categories {
 		if len(c.Members) == 0 {
 			continue
 		}
-		centroid := make([]float64, dim)
+		sum := p.catSums.Row(c.ID)
 		for _, m := range c.Members {
-			vec.Axpy(centroid, 1, p.W0.Row(m))
+			vec.Axpy(sum, 1, p.W0.Row(m))
 		}
+		p.catCounts[c.ID] = len(c.Members)
+		centroid := make([]float64, dim)
+		copy(centroid, sum)
 		vec.Scale(centroid, 1/float64(len(c.Members)))
 		for _, m := range c.Members {
 			copy(p.Centroids.Row(m), centroid)
@@ -135,7 +214,25 @@ func BuildProblem(ex *extract.Extraction, tok *tokenize.Tokenizer) *Problem {
 			}
 		}
 	}
+	computeMaxRel(p)
 	return p
+}
+
+// computeMaxRel fills each group's cached mr(r) (eq. 13) from scratch.
+// GrowProblem maintains the caches incrementally afterwards.
+func computeMaxRel(p *Problem) {
+	for gi := range p.Groups {
+		g := &p.Groups[gi]
+		mr := 0
+		for i := 0; i < p.N; i++ {
+			if g.SourceSet[i] || g.TargetSet[i] {
+				if rt := p.NumRelTypes[i] + 1; rt > mr {
+					mr = rt
+				}
+			}
+		}
+		g.MaxRel = mr
+	}
 }
 
 func edgesOf(src []extract.Edge, invert bool) []Edge {
@@ -197,8 +294,11 @@ func (p *Problem) Validate() error {
 		if g.Inverse < 0 || g.Inverse >= len(p.Groups) || p.Groups[g.Inverse].Inverse != gi {
 			return fmt.Errorf("core: group %d inverse link broken", gi)
 		}
-		if len(g.RowPtr) != p.N+1 {
-			return fmt.Errorf("core: group %d RowPtr length %d", gi, len(g.RowPtr))
+		if len(g.RowPtr) > p.N+1 {
+			return fmt.Errorf("core: group %d RowPtr length %d exceeds N+1", gi, len(g.RowPtr))
+		}
+		if len(g.SourceSet) != p.N || len(g.TargetSet) != p.N {
+			return fmt.Errorf("core: group %d membership sets disagree with N=%d", gi, p.N)
 		}
 		if g.NumEdges() != p.Groups[g.Inverse].NumEdges() {
 			return fmt.Errorf("core: group %d edge count mismatch with inverse", gi)

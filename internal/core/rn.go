@@ -40,8 +40,12 @@ func SolveRN(p *Problem, h Hyperparams, opts SolveOptions) *Result {
 					continue
 				}
 				row := next.Row(i)
-				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-					vec.Axpy(row, gamma[i], cur.Row(int(g.Targets[k])))
+				base, extra := g.TargetLists(i)
+				for _, j := range base {
+					vec.Axpy(row, gamma[i], cur.Row(int(j)))
+				}
+				for _, j := range extra {
+					vec.Axpy(row, gamma[i], cur.Row(int(j)))
 				}
 			}
 
@@ -93,8 +97,12 @@ func rnUpdateNode(p *Problem, w *weights, from *vec.Matrix, i int, dst []float64
 		}
 		gamma := w.gamma[gi]
 		deltaRN := w.deltaRN[gi]
-		for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-			vec.Axpy(dst, gamma[i], from.Row(int(g.Targets[k])))
+		base, extra := g.TargetLists(i)
+		for _, j := range base {
+			vec.Axpy(dst, gamma[i], from.Row(int(j)))
+		}
+		for _, j := range extra {
+			vec.Axpy(dst, gamma[i], from.Row(int(j)))
 		}
 		if deltaRN[i] != 0 {
 			for t := 0; t < p.N; t++ {

@@ -52,8 +52,12 @@ func SolveRO(p *Problem, h Hyperparams, opts SolveOptions) *Result {
 			if od == 0 {
 				continue
 			}
-			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-				d[i] += gammaSelf[i] + gammaInv[int(g.Targets[k])]
+			base, extra := g.TargetLists(i)
+			for _, j := range base {
+				d[i] += gammaSelf[i] + gammaInv[int(j)]
+			}
+			for _, j := range extra {
+				d[i] += gammaSelf[i] + gammaInv[int(j)]
 			}
 			// Σ_{k:(i,k)∈Ẽ_r} (δ^r_i + δ^r̄_k) = 2·d_g·(|T_r| − od_r(i)).
 			d[i] -= 2 * dg * float64(g.TargetCount-od)
@@ -88,8 +92,13 @@ func SolveRO(p *Problem, h Hyperparams, opts SolveOptions) *Result {
 					continue
 				}
 				row := next.Row(i)
-				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-					j := int(g.Targets[k])
+				base, extra := g.TargetLists(i)
+				for _, j32 := range base {
+					j := int(j32)
+					vec.Axpy(row, gammaSelf[i]+gammaInv[j], cur.Row(j))
+				}
+				for _, j32 := range extra {
+					j := int(j32)
 					vec.Axpy(row, gammaSelf[i]+gammaInv[j], cur.Row(j))
 				}
 			}
@@ -114,8 +123,12 @@ func SolveRO(p *Problem, h Hyperparams, opts SolveOptions) *Result {
 					continue
 				}
 				vec.Zero(nbrSum)
-				for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-					vec.Axpy(nbrSum, 1, cur.Row(int(g.Targets[k])))
+				base, extra := g.TargetLists(i)
+				for _, j := range base {
+					vec.Axpy(nbrSum, 1, cur.Row(int(j)))
+				}
+				for _, j := range extra {
+					vec.Axpy(nbrSum, 1, cur.Row(int(j)))
 				}
 				row := next.Row(i)
 				// -(2·d_g)·(Σ_{k∈T} v_k − Σ_{k∈N(i)} v_k)
@@ -152,8 +165,12 @@ func roNegativeNaive(p *Problem, g *Group, dg float64, cur, next *vec.Matrix) {
 		for k := range related {
 			delete(related, k)
 		}
-		for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-			related[int(g.Targets[k])] = true
+		base, extra := g.TargetLists(i)
+		for _, j := range base {
+			related[int(j)] = true
+		}
+		for _, j := range extra {
+			related[int(j)] = true
 		}
 		row := next.Row(i)
 		for t := 0; t < p.N; t++ {
@@ -184,12 +201,18 @@ func roUpdateNode(p *Problem, w *weights, from *vec.Matrix, i int, dst []float64
 		gammaInv := w.gamma[g.Inverse]
 		dg := w.deltaRO[gi]
 		related := make(map[int]bool, g.OutDeg(i))
-		for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
-			j := int(g.Targets[k])
+		attract := func(j int) {
 			weight := gammaSelf[i] + gammaInv[j]
 			vec.Axpy(dst, weight, from.Row(j))
 			denom += weight
 			related[j] = true
+		}
+		base, extra := g.TargetLists(i)
+		for _, j := range base {
+			attract(int(j))
+		}
+		for _, j := range extra {
+			attract(int(j))
 		}
 		if dg == 0 {
 			continue

@@ -38,6 +38,12 @@ type Store struct {
 	annStale     bool
 	annParams    ann.Params
 	annThreshold int
+
+	// Cached L2 row norms for the exact scan: built lazily on the first
+	// TopKExact and maintained by Add/SetVector/NormalizeAll/RefreshRow,
+	// so the hot path stops recomputing every norm per query.
+	normMu sync.Mutex
+	norms  []float64
 }
 
 // NewStore creates an empty store for vectors of the given dimensionality.
@@ -69,6 +75,7 @@ func (s *Store) Add(word string, vector []float64) int {
 	}
 	if id, ok := s.index[word]; ok {
 		copy(s.row(id), vector)
+		s.normUpdate(id)
 		s.annUpdate(id)
 		return id
 	}
@@ -77,8 +84,70 @@ func (s *Store) Add(word string, vector []float64) int {
 	s.index[word] = id
 	s.growTo(id + 1)
 	copy(s.row(id), vector)
+	s.normUpdate(id)
 	s.annUpdate(id)
 	return id
+}
+
+// AddStaged inserts a word and vector like Add but defers the derived
+// per-row state — the ANN graph node and the cached norm — to a later
+// RefreshRow(id). The write path stages new values with their
+// provisional W0 vectors, repairs them, and only then registers the
+// final vector, instead of paying a beam-search insert for a vector the
+// repair is about to tombstone and replace. Until RefreshRow runs, the
+// row is invisible to a built ANN index and the norm cache is dropped
+// lazily, so the staging window must not overlap reads (the same
+// external synchronisation Add already requires).
+func (s *Store) AddStaged(word string, vector []float64) int {
+	if len(vector) != s.dim {
+		panic(fmt.Sprintf("embed: vector for %q has dim %d, store has %d", word, len(vector), s.dim))
+	}
+	if id, ok := s.index[word]; ok {
+		copy(s.row(id), vector)
+		return id
+	}
+	id := len(s.words)
+	s.words = append(s.words, word)
+	s.index[word] = id
+	s.growTo(id + 1)
+	copy(s.row(id), vector)
+	return id
+}
+
+// normUpdate maintains the cached norm of one row; a cache that was never
+// built stays unbuilt (it fills lazily on the first exact scan).
+func (s *Store) normUpdate(id int) {
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	if s.norms == nil {
+		return
+	}
+	for len(s.norms) < id {
+		// Rows between the cache's tail and id: AddStaged appends rows
+		// without touching the cache, so a later RefreshRow on a higher
+		// id must backfill the staged rows in between.
+		s.norms = append(s.norms, vec.Norm(s.row(len(s.norms))))
+	}
+	if id == len(s.norms) {
+		s.norms = append(s.norms, vec.Norm(s.row(id)))
+		return
+	}
+	s.norms[id] = vec.Norm(s.row(id))
+}
+
+// rowNorms returns the norm cache, building it on first use. Concurrent
+// readers serialise only on the build.
+func (s *Store) rowNorms() []float64 {
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	if len(s.norms) != len(s.words) {
+		norms := make([]float64, len(s.words))
+		for id := range norms {
+			norms[id] = vec.Norm(s.row(id))
+		}
+		s.norms = norms
+	}
+	return s.norms
 }
 
 // annUpdate folds a single-row change into a built index: non-zero rows
@@ -159,11 +228,24 @@ func (s *Store) SetVector(id int, vector []float64) {
 		panic("embed: SetVector dimension mismatch")
 	}
 	copy(s.row(id), vector)
+	s.normUpdate(id)
+	s.annUpdate(id)
+}
+
+// RefreshRow re-syncs the store's derived per-row state — the cached row
+// norm and the ANN graph node — after the caller mutated row id in place
+// through Matrix(). The incremental repair path writes re-solved vectors
+// directly into the matrix and then refreshes each touched row, instead
+// of copying every vector through SetVector.
+func (s *Store) RefreshRow(id int) {
+	s.normUpdate(id)
 	s.annUpdate(id)
 }
 
 // Matrix exposes the underlying (Len x Dim) matrix. Rows are live views:
-// mutating them mutates the store.
+// mutating them mutates the store; callers that do so must call
+// RefreshRow for each changed row (or InvalidateANN for bulk rewrites)
+// so the ANN index and norm cache stay in step.
 func (s *Store) Matrix() *vec.Matrix {
 	if s.matrix == nil {
 		return vec.NewMatrix(0, s.dim)
@@ -189,6 +271,7 @@ func (s *Store) Clone() *Store {
 func (s *Store) NormalizeAll() {
 	for id := range s.words {
 		vec.Normalize(s.row(id))
+		s.normUpdate(id)
 	}
 	// A built ANN index stays valid: it already stores unit-normalised
 	// copies, and cosine similarity is scale-invariant, so normalising
@@ -221,14 +304,18 @@ func (s *Store) DisableANN() {
 	s.annStale = false
 }
 
-// InvalidateANN marks a built index stale so the next TopK rebuilds it.
-// Callers that mutate vectors through Matrix() must invoke this.
+// InvalidateANN marks a built index stale so the next TopK rebuilds it,
+// and drops the row-norm cache. Callers that bulk-rewrite vectors through
+// Matrix() must invoke this (single-row mutations use RefreshRow).
 func (s *Store) InvalidateANN() {
 	s.annMu.Lock()
-	defer s.annMu.Unlock()
 	if s.annIndex != nil {
 		s.annStale = true
 	}
+	s.annMu.Unlock()
+	s.normMu.Lock()
+	s.norms = nil
+	s.normMu.Unlock()
 }
 
 // ANNThreshold returns the vocabulary size at which TopK switches to the
@@ -335,12 +422,24 @@ type Match struct {
 // TopK returns the k entries most cosine-similar to query, excluding any
 // id for which skip returns true (skip may be nil). Results are sorted by
 // descending score, ties broken by ascending id for determinism.
+// Non-positive k returns nil and k is clamped to the vocabulary size —
+// on both the approximate and the exact path, so switching between them
+// never changes how out-of-range k behaves.
 //
 // At or above the ANN threshold (see EnableANN) the query is answered by
 // the HNSW index — approximate, with recall tuned by ann.Params — and
 // falls back to the exact scan below it or when ANN is disabled. Use
 // TopKExact to force the exact answer.
 func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
+	if len(query) != s.dim {
+		panic("embed: TopK query dimension mismatch")
+	}
+	if k <= 0 {
+		return nil
+	}
+	if k > len(s.words) {
+		k = len(s.words) // bounds the result allocation on either path
+	}
 	if idx := s.ensureANN(); idx != nil {
 		results := idx.TopK(query, k, skip)
 		matches := make([]Match, len(results))
@@ -353,7 +452,10 @@ func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
 }
 
 // TopKExact is the brute-force O(n·d) scan: always exact, regardless of
-// the ANN configuration.
+// the ANN configuration. Candidates are kept in a bounded min-heap, so a
+// scan costs O(n·d + n·log k) instead of the O(n·k·log k) a
+// sort-per-candidate would; row norms come from the store's cache rather
+// than being recomputed per query.
 func (s *Store) TopKExact(query []float64, k int, skip func(id int) bool) []Match {
 	if len(query) != s.dim {
 		panic("embed: TopK query dimension mismatch")
@@ -368,36 +470,77 @@ func (s *Store) TopKExact(query []float64, k int, skip func(id int) bool) []Matc
 	if qn == 0 {
 		return nil
 	}
-	matches := make([]Match, 0, k+1)
-	worst := -2.0
+	norms := s.rowNorms()
+	// Min-heap of the best k so far: the root is the weakest kept match
+	// (lowest score; among ties, the highest id), so a candidate beats the
+	// buffer iff its score strictly exceeds the root's — ties keep the
+	// earlier entry, exactly as the id-ordered scan always has.
+	heap := make([]Match, 0, k)
 	for id := range s.words {
 		if skip != nil && skip(id) {
 			continue
 		}
-		r := s.row(id)
-		rn := vec.Norm(r)
+		rn := norms[id]
 		if rn == 0 {
 			continue
 		}
-		score := vec.Dot(query, r) / (qn * rn)
-		// At a full buffer, a score tied with the current worst keeps the
-		// earlier (lower-id) entry because iteration is in id order.
-		if len(matches) == k && score <= worst {
+		score := vec.Dot(query, s.row(id)) / (qn * rn)
+		if len(heap) < k {
+			heap = append(heap, Match{ID: id, Word: s.words[id], Score: score})
+			siftUp(heap, len(heap)-1)
 			continue
 		}
-		matches = append(matches, Match{ID: id, Word: s.words[id], Score: score})
-		sort.Slice(matches, func(i, j int) bool {
-			if matches[i].Score != matches[j].Score {
-				return matches[i].Score > matches[j].Score
-			}
-			return matches[i].ID < matches[j].ID
-		})
-		if len(matches) > k {
-			matches = matches[:k]
+		if score <= heap[0].Score {
+			continue
 		}
-		worst = matches[len(matches)-1].Score
+		heap[0] = Match{ID: id, Word: s.words[id], Score: score}
+		siftDown(heap, 0)
 	}
-	return matches
+	sort.Slice(heap, func(i, j int) bool {
+		if heap[i].Score != heap[j].Score {
+			return heap[i].Score > heap[j].Score
+		}
+		return heap[i].ID < heap[j].ID
+	})
+	return heap
+}
+
+// matchLess orders the bounded heap: weakest match first — ascending
+// score, ties broken by descending id so that among equal scores the
+// latest-seen entry is evicted first.
+func matchLess(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func siftUp(h []Match, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !matchLess(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []Match, i int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(h) && matchLess(h[l], h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < len(h) && matchLess(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // Analogy computes the classic a - b + c query ("king" - "man" + "woman")

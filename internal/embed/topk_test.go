@@ -1,0 +1,182 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// naiveTopK is the reference the heap-based TopKExact is checked
+// against: score every row, sort, truncate.
+func naiveTopK(s *Store, query []float64, k int, skip func(int) bool) []Match {
+	if k <= 0 {
+		return nil
+	}
+	qn := vec.Norm(query)
+	if qn == 0 {
+		return nil
+	}
+	var all []Match
+	for id := 0; id < s.Len(); id++ {
+		if skip != nil && skip(id) {
+			continue
+		}
+		r := s.Vector(id)
+		rn := vec.Norm(r)
+		if rn == 0 {
+			continue
+		}
+		all = append(all, Match{ID: id, Word: s.Word(id), Score: vec.Dot(query, r) / (qn * rn)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// TestTopKExactMatchesReference drives the bounded-heap scan against the
+// naive reference over randomised stores, including quantised vectors
+// that force score ties, zero rows and skip filters.
+func TestTopKExactMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		dim := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(60)
+		s := NewStore(dim)
+		for i := 0; i < n; i++ {
+			v := make([]float64, dim)
+			if rng.Intn(10) > 0 { // leave ~10% of rows zero
+				for j := range v {
+					// Quantised coordinates make exact score ties common.
+					v[j] = float64(rng.Intn(3) - 1)
+				}
+			}
+			s.Add(fmt.Sprintf("w%03d", i), v)
+		}
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = float64(rng.Intn(3) - 1)
+		}
+		if vec.Norm(q) == 0 {
+			q[0] = 1
+		}
+		var skip func(int) bool
+		if trial%3 == 0 {
+			skip = func(id int) bool { return id%5 == 0 }
+		}
+		for _, k := range []int{-1, 0, 1, 2, n / 2, n, n + 10} {
+			got := s.TopKExact(q, k, skip)
+			want := naiveTopK(s, q, k, skip)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d results, want %d", trial, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || got[i].Score != want[i].Score || got[i].Word != want[i].Word {
+					t.Fatalf("trial %d k=%d rank %d: got %+v want %+v", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKExactNormCacheFollowsMutations ensures the cached row norms
+// stay correct through Add, SetVector, RefreshRow and NormalizeAll.
+func TestTopKExactNormCacheFollowsMutations(t *testing.T) {
+	s := NewStore(2)
+	s.Add("a", []float64{1, 0})
+	s.Add("b", []float64{0, 1})
+	q := []float64{1, 0}
+	if got := s.TopKExact(q, 1, nil); got[0].Word != "a" {
+		t.Fatalf("got %+v", got)
+	}
+	// Overwrite through SetVector: the cache must follow. A stale norm
+	// (still 1 from the original unit vector) would report a cosine of
+	// 10 for the new row instead of ~0.99995.
+	idB, _ := s.ID("b")
+	s.SetVector(idB, []float64{10, 0.1})
+	got := s.TopKExact(q, 2, nil)
+	for _, m := range got {
+		if m.Word == "b" && (m.Score > 1 || m.Score < 0.999) {
+			t.Fatalf("stale norm after SetVector: %+v", m)
+		}
+	}
+	// Mutate in place through the matrix + RefreshRow.
+	idA, _ := s.ID("a")
+	row := s.Matrix().Row(idA)
+	row[0], row[1] = 0, 0 // zero rows are skipped by the scan
+	s.RefreshRow(idA)
+	got = s.TopKExact(q, 2, nil)
+	if len(got) != 1 || got[0].Word != "b" {
+		t.Fatalf("after RefreshRow: %+v", got)
+	}
+	// New rows extend the cache.
+	s.Add("c", []float64{2, 0})
+	got = s.TopKExact(q, 3, nil)
+	if len(got) != 2 || got[0].Word != "c" && got[1].Word != "c" {
+		t.Fatalf("after Add: %+v", got)
+	}
+	s.NormalizeAll()
+	got = s.TopKExact(q, 2, nil)
+	if len(got) != 2 {
+		t.Fatalf("after NormalizeAll: %+v", got)
+	}
+	for _, m := range got {
+		if m.Score < -1.0001 || m.Score > 1.0001 {
+			t.Fatalf("cosine out of range after NormalizeAll: %+v", m)
+		}
+	}
+}
+
+// TestTopKClampParity pins the satellite fix: both the ANN and the exact
+// branch of Store.TopK agree on boundary k values — nil for k <= 0 and a
+// vocabulary-size clamp for oversized k — instead of the exact path
+// clamping and the ANN path forwarding raw k.
+func TestTopKClampParity(t *testing.T) {
+	const n, dim = 300, 8
+	rng := rand.New(rand.NewSource(11))
+	build := func() *Store {
+		s := NewStore(dim)
+		for i := 0; i < n; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			s.Add(fmt.Sprintf("w%04d", i), v)
+		}
+		return s
+	}
+	exact := build()
+	exact.DisableANN()
+	approx := build()
+	approx.EnableANN(1, ann.Params{}) // force the HNSW branch
+	q := make([]float64, dim)
+	q[0] = 1
+
+	for _, k := range []int{-5, 0, 1, 10, n - 1, n, n + 1, 100 * n} {
+		ge := exact.TopK(q, k, nil)
+		ga := approx.TopK(q, k, nil)
+		wantLen := k
+		if k < 0 {
+			wantLen = 0
+		}
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(ge) != wantLen {
+			t.Fatalf("exact branch k=%d: %d results, want %d", k, len(ge), wantLen)
+		}
+		if len(ga) != wantLen {
+			t.Fatalf("ann branch k=%d: %d results, want %d", k, len(ga), wantLen)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package extract
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// Delta records what ApplyInserts appended to an Extraction: the ids of
+// values, categories and relation groups that did not exist before, plus
+// every relation edge added — including edges between pre-existing
+// values, which a new row creates whenever it pairs two texts already in
+// the vocabulary. It is the input core.GrowProblem uses to grow a solved
+// retrofitting problem in place instead of rebuilding it.
+type Delta struct {
+	// NewValues are the TextValue ids created, in ascending id order.
+	NewValues []int
+	// NewCategories are the Category ids created (only when a table or
+	// column appeared after the base extraction; normally empty).
+	NewCategories []int
+	// NewRelations are the RelationGroup ids created (a group is only
+	// materialised once it has an edge, so the first row connecting two
+	// columns creates one).
+	NewRelations []int
+	// Edges are the appended edges in application order, each tagged
+	// with its relation group id.
+	Edges []DeltaEdge
+}
+
+// DeltaEdge is one appended relation edge.
+type DeltaEdge struct {
+	Relation int
+	Edge     Edge
+}
+
+// Empty reports whether the delta changes the learning problem at all
+// (a row with no text values and no relations leaves it untouched).
+func (d *Delta) Empty() bool {
+	return len(d.NewValues) == 0 && len(d.Edges) == 0 && len(d.NewCategories) == 0
+}
+
+// ApplyInserts folds newly committed rows of one table into the
+// extraction: the §3.2 pass run over a delta instead of the whole
+// database. It appends the text values, categorial connections and
+// relation edges the rows imply, leaving everything already extracted
+// untouched, so the cost is proportional to the rows' own connections —
+// independent of the database size.
+//
+// rowIDs must identify rows already committed to the table (a batch may
+// reference its own earlier rows through foreign keys), and opts must
+// match the options the extraction was originally built with; diverging
+// exclusions would extract a different vocabulary than FromDB sees.
+func (ex *Extraction) ApplyInserts(db *reldb.DB, table string, rowIDs []int, opts Options) (*Delta, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("extract: delta for unknown table %q", table)
+	}
+	nVals, nCats, nRels := len(ex.Values), len(ex.Categories), len(ex.Relations)
+	d := &Delta{}
+	for _, rowID := range rowIDs {
+		if rowID < 0 || rowID >= t.NumRows() {
+			return nil, fmt.Errorf("extract: delta row %d out of range for table %q (%d rows)", rowID, t.Name, t.NumRows())
+		}
+		var err error
+		if t.IsLinkTable() {
+			err = ex.applyLinkRow(db, t, rowID, opts, d)
+		} else {
+			err = ex.applyRow(db, t, rowID, opts, d)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for id := nVals; id < len(ex.Values); id++ {
+		d.NewValues = append(d.NewValues, id)
+	}
+	for id := nCats; id < len(ex.Categories); id++ {
+		d.NewCategories = append(d.NewCategories, id)
+	}
+	for id := nRels; id < len(ex.Relations); id++ {
+		d.NewRelations = append(d.NewRelations, id)
+	}
+	return d, nil
+}
+
+// applyRow extracts one regular-table row: its text values, the row-wise
+// edges between its text columns, and the PK-FK edges to the rows it
+// references. Nothing can reference the new row yet (FK existence is
+// checked at insert time), so no reverse scan is needed.
+func (ex *Extraction) applyRow(db *reldb.DB, t *reldb.Table, rowID int, opts Options, d *Delta) error {
+	row := t.Row(rowID)
+	cols := ex.activeTextColumns(t, opts)
+
+	// Values and categorial connections (FromDB pass 1).
+	for _, ci := range cols {
+		cat := ex.ensureCategory(t.Name, t.Columns[ci].Name)
+		if s, ok := row[ci].AsText(); ok {
+			ex.ensureValue(cat, clip(s, opts.MaxValueLength))
+		}
+	}
+
+	// Row-wise relationships (pass 2a).
+	for a := 0; a < len(cols); a++ {
+		sa, okA := row[cols[a]].AsText()
+		if !okA {
+			continue
+		}
+		for b := a + 1; b < len(cols); b++ {
+			sb, okB := row[cols[b]].AsText()
+			if !okB {
+				continue
+			}
+			catA := ex.catIndex[t.Name+"."+t.Columns[cols[a]].Name]
+			catB := ex.catIndex[t.Name+"."+t.Columns[cols[b]].Name]
+			name := relName(ex.Categories[catA], ex.Categories[catB])
+			if opts.excludedRelation(name) {
+				continue
+			}
+			ex.appendDeltaEdge(RowWise, name, "", catA, catB, Edge{
+				From: ex.ensureValue(catA, clip(sa, opts.MaxValueLength)),
+				To:   ex.ensureValue(catB, clip(sb, opts.MaxValueLength)),
+			}, d)
+		}
+	}
+
+	// PK-FK relationships (pass 2b): this row's text columns against the
+	// text columns of every row it references.
+	for _, fkCol := range t.ForeignKeyColumns() {
+		fkVal := row[fkCol]
+		if fkVal.IsNull() {
+			continue
+		}
+		fk := t.Columns[fkCol].FK
+		target, ok := db.Table(fk.Table)
+		if !ok {
+			return fmt.Errorf("extract: FK to unknown table %q", fk.Table)
+		}
+		targetRow, ok := target.LookupPK(fkVal)
+		if !ok {
+			// Cannot happen for a committed row; FK existence was enforced.
+			return fmt.Errorf("extract: committed row references missing %s.%s = %s", fk.Table, fk.Column, fkVal.String())
+		}
+		tCols := ex.activeTextColumns(target, opts)
+		via := t.Name + "." + t.Columns[fkCol].Name
+		for _, sc := range cols {
+			sText, ok := row[sc].AsText()
+			if !ok {
+				continue
+			}
+			for _, tc := range tCols {
+				tText, ok := target.Row(targetRow)[tc].AsText()
+				if !ok {
+					continue
+				}
+				catS := ex.ensureCategory(t.Name, t.Columns[sc].Name)
+				catT := ex.ensureCategory(target.Name, target.Columns[tc].Name)
+				name := relName(ex.Categories[catS], ex.Categories[catT])
+				if opts.excludedRelation(name) {
+					continue
+				}
+				ex.appendDeltaEdge(PKFK, name, via, catS, catT, Edge{
+					From: ex.ensureValue(catS, clip(sText, opts.MaxValueLength)),
+					To:   ex.ensureValue(catT, clip(tText, opts.MaxValueLength)),
+				}, d)
+			}
+		}
+	}
+	return nil
+}
+
+// applyLinkRow extracts one link-table row as n:m edges (pass 2c).
+func (ex *Extraction) applyLinkRow(db *reldb.DB, link *reldb.Table, rowID int, opts Options, d *Delta) error {
+	fks := link.ForeignKeyColumns()
+	if len(fks) != 2 {
+		return fmt.Errorf("extract: link table %q has %d FK columns", link.Name, len(fks))
+	}
+	row := link.Row(rowID)
+	av, bv := row[fks[0]], row[fks[1]]
+	if av.IsNull() || bv.IsNull() {
+		return nil
+	}
+	s, okS := db.Table(link.Columns[fks[0]].FK.Table)
+	t, okT := db.Table(link.Columns[fks[1]].FK.Table)
+	if !okS || !okT {
+		return fmt.Errorf("extract: link table %q references unknown tables", link.Name)
+	}
+	sRow, ok := s.LookupPK(av)
+	if !ok {
+		return fmt.Errorf("extract: committed link row references missing %s pk %s", s.Name, av.String())
+	}
+	tRow, ok := t.LookupPK(bv)
+	if !ok {
+		return fmt.Errorf("extract: committed link row references missing %s pk %s", t.Name, bv.String())
+	}
+	for _, sc := range ex.activeTextColumns(s, opts) {
+		sText, okText := s.Row(sRow)[sc].AsText()
+		if !okText {
+			continue
+		}
+		for _, tc := range ex.activeTextColumns(t, opts) {
+			tText, okText := t.Row(tRow)[tc].AsText()
+			if !okText {
+				continue
+			}
+			catS := ex.ensureCategory(s.Name, s.Columns[sc].Name)
+			catT := ex.ensureCategory(t.Name, t.Columns[tc].Name)
+			base := relName(ex.Categories[catS], ex.Categories[catT])
+			name := base + "[" + link.Name + "]"
+			if opts.excludedRelation(name) || opts.excludedRelation(base) {
+				continue
+			}
+			ex.appendDeltaEdge(ManyToMany, name, link.Name, catS, catT, Edge{
+				From: ex.ensureValue(catS, clip(sText, opts.MaxValueLength)),
+				To:   ex.ensureValue(catT, clip(tText, opts.MaxValueLength)),
+			}, d)
+		}
+	}
+	return nil
+}
+
+// appendDeltaEdge inserts one edge into its relation group, creating the
+// group on first use, deduplicating in O(1) against a per-group edge
+// set, and recording genuinely-new edges in the delta. New edges go to
+// the tail of Edges — a sorted insert would memmove O(|E_r|) per edge
+// and quietly reintroduce the O(database) write cost this path removes.
+func (ex *Extraction) appendDeltaEdge(kind RelKind, name, via string, src, dst int, e Edge, d *Delta) {
+	if ex.relIndex == nil {
+		ex.relIndex = make(map[relKey]int)
+		for i := range ex.Relations {
+			r := &ex.Relations[i]
+			ex.relIndex[relKey{r.Kind, r.Name, r.Via}] = i
+		}
+	}
+	key := relKey{kind, name, via}
+	gid, ok := ex.relIndex[key]
+	if !ok {
+		gid = len(ex.Relations)
+		ex.Relations = append(ex.Relations, RelationGroup{
+			ID:             gid,
+			Kind:           kind,
+			Name:           name,
+			Via:            via,
+			SourceCategory: src,
+			TargetCategory: dst,
+		})
+		ex.relIndex[key] = gid
+	}
+	g := &ex.Relations[gid]
+	if ex.edgeSets == nil {
+		ex.edgeSets = make(map[int]map[Edge]struct{})
+	}
+	set, ok := ex.edgeSets[gid]
+	if !ok {
+		// One O(|E_r|) pass the first time a group takes a delta edge;
+		// every append after that is O(1).
+		set = make(map[Edge]struct{}, len(g.Edges)+1)
+		for _, have := range g.Edges {
+			set[have] = struct{}{}
+		}
+		ex.edgeSets[gid] = set
+	}
+	if _, dup := set[e]; dup {
+		return // duplicate of an existing edge
+	}
+	set[e] = struct{}{}
+	g.Edges = append(g.Edges, e)
+	d.Edges = append(d.Edges, DeltaEdge{Relation: gid, Edge: e})
+}

@@ -1,0 +1,231 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+// valueSet renders the extraction's values as canonical (category, text)
+// strings, so extractions with different id assignments compare equal.
+func valueSet(ex *Extraction) map[string]bool {
+	out := make(map[string]bool, len(ex.Values))
+	for _, v := range ex.Values {
+		out[ex.Categories[v.Category].Name()+"\x00"+v.Text] = true
+	}
+	return out
+}
+
+// edgeSet renders every relation edge as a canonical string keyed by the
+// group identity (kind, name, via) and the endpoint values.
+func edgeSet(ex *Extraction) map[string]bool {
+	out := make(map[string]bool)
+	label := func(id int) string {
+		v := ex.Values[id]
+		return ex.Categories[v.Category].Name() + ":" + v.Text
+	}
+	for _, r := range ex.Relations {
+		for _, e := range r.Edges {
+			out[fmt.Sprintf("%d|%s|%s|%s->%s", r.Kind, r.Name, r.Via, label(e.From), label(e.To))] = true
+		}
+	}
+	return out
+}
+
+func diffSets(t *testing.T, what string, got, want map[string]bool) {
+	t.Helper()
+	for k := range want {
+		if !got[k] {
+			t.Errorf("%s: missing %q", what, k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("%s: unexpected %q", what, k)
+		}
+	}
+}
+
+// applyAndCompare inserts rows into the table on a DB that already has a
+// base extraction, applies the delta, and requires the grown extraction
+// to match a fresh full extraction of the mutated database.
+func applyAndCompare(t *testing.T, db *reldb.DB, ex *Extraction, table string, rows [][]reldb.Value, opts Options) *Delta {
+	t.Helper()
+	var ids []int
+	for _, row := range rows {
+		id, err := db.Insert(table, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	d, err := ex.ApplyInserts(db, table, ids, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := FromDB(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSets(t, "values", valueSet(ex), valueSet(fresh))
+	diffSets(t, "edges", edgeSet(ex), edgeSet(fresh))
+	if len(ex.Categories) != len(fresh.Categories) {
+		t.Fatalf("categories: %d vs fresh %d", len(ex.Categories), len(fresh.Categories))
+	}
+	return d
+}
+
+func TestApplyInsertsMatchesFullExtraction(t *testing.T) {
+	db := movieDB(t)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ex.NumValues()
+
+	// A new movie: new title value, shared director value, row-wise edge.
+	d := applyAndCompare(t, db, ex, "movies", [][]reldb.Value{
+		{reldb.Int(5), reldb.Text("The City of Lost Children"), reldb.Text("Luc Besson")},
+	}, Options{})
+	if len(d.NewValues) != 1 {
+		t.Fatalf("new values = %v, want exactly the new title", d.NewValues)
+	}
+	if ex.NumValues() != before+1 {
+		t.Fatalf("values = %d, want %d", ex.NumValues(), before+1)
+	}
+	// The row-wise edge must reference the PRE-EXISTING director value.
+	if len(d.Edges) != 1 {
+		t.Fatalf("delta edges = %+v, want one row-wise edge", d.Edges)
+	}
+
+	// A review referencing the new movie: PK-FK edges via reviews.movie_id.
+	d = applyAndCompare(t, db, ex, "reviews", [][]reldb.Value{
+		{reldb.Int(4), reldb.Int(5), reldb.Text("dreamlike and strange")},
+	}, Options{})
+	if len(d.NewValues) != 1 || len(d.Edges) != 2 {
+		// reviews.body -> movies.title and reviews.body -> movies.director
+		t.Fatalf("review delta: values %v edges %+v", d.NewValues, d.Edges)
+	}
+
+	// A link row: n:m edges between existing values, no new values.
+	d = applyAndCompare(t, db, ex, "movie_genres", [][]reldb.Value{
+		{reldb.Int(5), reldb.Int(2)},
+	}, Options{})
+	if len(d.NewValues) != 0 {
+		t.Fatalf("link delta created values: %v", d.NewValues)
+	}
+	if len(d.Edges) == 0 {
+		t.Fatal("link delta produced no edges")
+	}
+}
+
+func TestApplyInsertsBatchAndDuplicates(t *testing.T) {
+	db := movieDB(t)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One batch: a duplicate-title movie (no new value, but a new
+	// row-wise edge) and two brand-new movies sharing a new director.
+	d := applyAndCompare(t, db, ex, "movies", [][]reldb.Value{
+		{reldb.Int(6), reldb.Text("Alien"), reldb.Text("Luc Besson")},
+		{reldb.Int(7), reldb.Text("Delicatessen"), reldb.Text("Jeunet and Caro")},
+		{reldb.Int(8), reldb.Text("Amelie"), reldb.Text("Jeunet and Caro")},
+	}, Options{})
+	// New values: Delicatessen, Amelie, Jeunet and Caro.
+	if len(d.NewValues) != 3 {
+		t.Fatalf("new values = %d, want 3", len(d.NewValues))
+	}
+	sort.Ints(d.NewValues)
+	if d.NewValues[0] != ex.NumValues()-3 {
+		t.Fatalf("new value ids not contiguous at the tail: %v (num values %d)", d.NewValues, ex.NumValues())
+	}
+
+	// Re-applying an identical row's edge is deduplicated: an exact
+	// duplicate of row 6 only adds nothing (values and edges exist).
+	id, err := db.Insert("movies", []reldb.Value{reldb.Int(9), reldb.Text("Alien"), reldb.Text("Luc Besson")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ex.ApplyInserts(db, "movies", []int{id}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Empty() {
+		t.Fatalf("duplicate row produced a non-empty delta: %+v", d2)
+	}
+}
+
+func TestApplyInsertsCreatesGroupOnFirstEdge(t *testing.T) {
+	// A table whose second text column starts out entirely NULL: the base
+	// extraction has no row-wise group; the first row with both texts
+	// creates it.
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, a TEXT, b TEXT)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'alpha', NULL)`)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Relations) != 0 {
+		t.Fatalf("base relations = %d, want 0", len(ex.Relations))
+	}
+	d := applyAndCompare(t, db, ex, "t", [][]reldb.Value{
+		{reldb.Int(2), reldb.Text("beta"), reldb.Text("gamma")},
+	}, Options{})
+	if len(d.NewRelations) != 1 || len(ex.Relations) != 1 {
+		t.Fatalf("new relations = %v (total %d), want one row-wise group", d.NewRelations, len(ex.Relations))
+	}
+	if g := ex.Relations[d.NewRelations[0]]; g.Kind != RowWise || len(g.Edges) != 1 {
+		t.Fatalf("created group: %+v", g)
+	}
+}
+
+func TestApplyInsertsRespectsExclusions(t *testing.T) {
+	db := movieDB(t)
+	opts := Options{ExcludeColumns: []string{"movies.director"}}
+	ex, err := FromDB(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := applyAndCompare(t, db, ex, "movies", [][]reldb.Value{
+		{reldb.Int(5), reldb.Text("Subway"), reldb.Text("Luc Besson")},
+	}, opts)
+	if len(d.NewValues) != 1 {
+		t.Fatalf("new values = %v, want only the title", d.NewValues)
+	}
+	if _, ok := ex.Lookup("movies", "director", "Luc Besson"); ok {
+		t.Fatal("excluded column leaked into the delta")
+	}
+}
+
+func TestApplyInsertsVia(t *testing.T) {
+	// Two FKs from one table to the same target share a relation Name but
+	// not a Via; delta edges must land in the right group.
+	db := reldb.New()
+	db.MustExec(`CREATE TABLE persons (id INT PRIMARY KEY, name TEXT)`)
+	db.MustExec(`CREATE TABLE movies (id INT PRIMARY KEY, title TEXT,
+		director_id INT REFERENCES persons(id), producer_id INT REFERENCES persons(id))`)
+	db.MustExec(`INSERT INTO persons VALUES (1, 'Gilliam'), (2, 'Milchan')`)
+	db.MustExec(`INSERT INTO movies VALUES (1, 'Brazil', 1, 2)`)
+	ex, err := FromDB(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vias []string
+	for _, r := range ex.Relations {
+		if r.Kind == PKFK {
+			vias = append(vias, r.Via)
+		}
+	}
+	sort.Strings(vias)
+	want := []string{"movies.director_id", "movies.producer_id"}
+	if len(vias) != 2 || vias[0] != want[0] || vias[1] != want[1] {
+		t.Fatalf("PKFK vias = %v, want %v", vias, want)
+	}
+	applyAndCompare(t, db, ex, "movies", [][]reldb.Value{
+		{reldb.Int(2), reldb.Text("The Fisher King"), reldb.Int(1), reldb.Int(1)},
+	}, Options{})
+}

@@ -71,7 +71,18 @@ type RelationGroup struct {
 	Name           string // e.g. "movies.title->persons.name"
 	SourceCategory int
 	TargetCategory int
-	Edges          []Edge // deduplicated, sorted by (From, To)
+	// Edges is deduplicated; FromDB emits it sorted by (From, To), and
+	// incremental extraction appends newer edges at the tail (sorting in
+	// place would cost O(|E_r|) per insert). No consumer relies on order.
+	Edges []Edge
+
+	// Via disambiguates groups that share a Name: for PKFK groups it is
+	// the qualified FK column ("movies.director_id"), for n:m groups the
+	// link table name, and empty for row-wise groups. Two FK columns from
+	// the same source to the same target (director_id and producer_id,
+	// say) yield two groups with equal Names but distinct Vias, and
+	// incremental extraction routes delta edges by (Kind, Name, Via).
+	Via string
 }
 
 // Extraction is the §3.2 output: the text value registry plus categorial
@@ -84,11 +95,22 @@ type Extraction struct {
 
 	valueIndex map[valueKey]int
 	catIndex   map[string]int
+	relIndex   map[relKey]int
+	// edgeSets dedups delta appends in O(1) per edge; built lazily per
+	// group on the first ApplyInserts that touches it.
+	edgeSets map[int]map[Edge]struct{}
 }
 
 type valueKey struct {
 	category int
 	text     string
+}
+
+// relKey is the identity of a relation group; see RelationGroup.Via.
+type relKey struct {
+	kind RelKind
+	name string
+	via  string
 }
 
 // Options tunes extraction.
@@ -137,6 +159,7 @@ func FromDB(db *reldb.DB, opts Options) (*Extraction, error) {
 	ex := &Extraction{
 		valueIndex: make(map[valueKey]int),
 		catIndex:   make(map[string]int),
+		relIndex:   make(map[relKey]int),
 	}
 
 	// Pass 1: categories and text values (column order is deterministic).
@@ -274,7 +297,7 @@ func (ex *Extraction) addRowWise(t *reldb.Table, colA, colB int, opts Options) {
 		}
 		return true
 	})
-	ex.appendGroup(RowWise, name, catA, catB, edges)
+	ex.appendGroup(RowWise, name, "", catA, catB, edges)
 }
 
 func (ex *Extraction) addPKFK(db *reldb.DB, s *reldb.Table, fkCol int, target *reldb.Table, opts Options) {
@@ -315,7 +338,7 @@ func (ex *Extraction) addPKFK(db *reldb.DB, s *reldb.Table, fkCol int, target *r
 				})
 				return true
 			})
-			ex.appendGroup(PKFK, name, catS, catT, edges)
+			ex.appendGroup(PKFK, name, s.Name+"."+s.Columns[fkCol].Name, catS, catT, edges)
 		}
 	}
 }
@@ -356,7 +379,7 @@ func (ex *Extraction) addManyToMany(link *reldb.Table, fkA, fkB int, s, t *reldb
 				})
 				return true
 			})
-			ex.appendGroup(ManyToMany, name, catS, catT, edges)
+			ex.appendGroup(ManyToMany, name, link.Name, catS, catT, edges)
 		}
 	}
 }
@@ -365,7 +388,7 @@ func relName(a, b Category) string { return a.Name() + "->" + b.Name() }
 
 // appendGroup deduplicates, sorts and registers a relation group; empty
 // groups are dropped.
-func (ex *Extraction) appendGroup(kind RelKind, name string, src, dst int, edges []Edge) {
+func (ex *Extraction) appendGroup(kind RelKind, name, via string, src, dst int, edges []Edge) {
 	if len(edges) == 0 {
 		return
 	}
@@ -381,14 +404,20 @@ func (ex *Extraction) appendGroup(kind RelKind, name string, src, dst int, edges
 			dedup = append(dedup, e)
 		}
 	}
+	id := len(ex.Relations)
 	ex.Relations = append(ex.Relations, RelationGroup{
-		ID:             len(ex.Relations),
+		ID:             id,
 		Kind:           kind,
 		Name:           name,
+		Via:            via,
 		SourceCategory: src,
 		TargetCategory: dst,
 		Edges:          dedup,
 	})
+	if ex.relIndex == nil {
+		ex.relIndex = make(map[relKey]int)
+	}
+	ex.relIndex[relKey{kind, name, via}] = id
 }
 
 func (ex *Extraction) finalize() {

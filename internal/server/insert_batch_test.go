@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestInsertBatchEndpoint(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+
+	// Warm the cache so the batch's single purge is observable.
+	warm := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=3"
+	get(t, h, warm)
+	get(t, h, warm)
+
+	cols := columnCount(t, s, "movies")
+	batch := [][]any{
+		makeRow(cols, map[int]any{0: 91001, 1: "batched premiere one", 2: "english"}),
+		makeRow(cols, map[int]any{0: 91002, 1: "batched premiere two", 2: "english"}),
+		makeRow(cols, map[int]any{0: 91003, 1: "batched premiere three", 2: "english"}),
+	}
+	body, _ := json.Marshal(map[string]any{"table": "movies", "rows": batch})
+	rec, resp := post(t, h, "/v1/insert", string(body))
+	if rec.Code != http.StatusOK || resp["inserted"] != true {
+		t.Fatalf("batch insert: code %d body %v", rec.Code, resp)
+	}
+	if resp["rows"].(float64) != 3 {
+		t.Fatalf("rows = %v, want 3", resp["rows"])
+	}
+
+	// Every batched value is immediately queryable; the cache was purged
+	// once.
+	for _, title := range []string{"batched premiere one", "batched premiere two", "batched premiere three"} {
+		rec, body := get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(title)+"&k=3")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("post-batch neighbors for %q: code %d body %v", title, rec.Code, body)
+		}
+	}
+	if _, body := get(t, h, warm); body["cached"] != false {
+		t.Fatal("cache not purged by batch insert")
+	}
+
+	// Error paths specific to the batched form.
+	if rec, _ := post(t, h, "/v1/insert", `{"table":"movies","rows":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: code %d, want 400", rec.Code)
+	}
+	both, _ := json.Marshal(map[string]any{"table": "movies", "values": batch[0], "rows": batch})
+	if rec, _ := post(t, h, "/v1/insert", string(both)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("values+rows: code %d, want 400", rec.Code)
+	}
+	short, _ := json.Marshal(map[string]any{"table": "movies", "rows": [][]any{{1, "too short"}}})
+	if rec, _ := post(t, h, "/v1/insert", string(short)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch in batch: code %d, want 400", rec.Code)
+	}
+}
+
+func TestInsertBatchPartialFailureEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	cols := columnCount(t, s, "movies")
+	batch := [][]any{
+		makeRow(cols, map[int]any{0: 92001, 1: "partial premiere", 2: "english"}),
+		makeRow(cols, map[int]any{0: 92001, 1: "dup pk", 2: "english"}), // duplicate PK
+	}
+	body, _ := json.Marshal(map[string]any{"table": "movies", "rows": batch})
+	rec, resp := post(t, h, "/v1/insert", string(body))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("partial batch: code %d body %v", rec.Code, resp)
+	}
+	if resp["committed"] != float64(1) {
+		t.Fatalf("committed = %v, want 1", resp["committed"])
+	}
+	// The committed prefix is live.
+	if rec, _ := get(t, h, "/v1/neighbors?table=movies&column=title&text=partial+premiere&k=3"); rec.Code != http.StatusOK {
+		t.Fatalf("committed prefix not queryable: code %d", rec.Code)
+	}
+}
+
+func TestStatsExposeStalenessAndInsertRecovers(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	_, body := get(t, h, "/v1/stats")
+	sessStats, ok := body["session"].(map[string]any)
+	if !ok || sessStats["stale"] != false {
+		t.Fatalf("stats.session = %v, want stale:false", body["session"])
+	}
+
+	s.sess.MarkStale()
+	_, body = get(t, h, "/v1/stats")
+	if body["session"].(map[string]any)["stale"] != true {
+		t.Fatalf("stats.session after MarkStale = %v", body["session"])
+	}
+
+	// The next insert runs a full repair, clears the staleness and the
+	// inserted value is queryable.
+	cols := columnCount(t, s, "movies")
+	row := makeRow(cols, map[int]any{0: 93001, 1: "the recovered premiere", 2: "english"})
+	reqBody, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+	if rec, body := post(t, h, "/v1/insert", string(reqBody)); rec.Code != http.StatusOK {
+		t.Fatalf("insert on stale session: code %d body %v", rec.Code, body)
+	}
+	_, body = get(t, h, "/v1/stats")
+	if body["session"].(map[string]any)["stale"] != false {
+		t.Fatalf("staleness not cleared by full repair: %v", body["session"])
+	}
+	if rec, _ := get(t, h, "/v1/neighbors?table=movies&column=title&text=the+recovered+premiere&k=3"); rec.Code != http.StatusOK {
+		t.Fatalf("recovered value not queryable: code %d", rec.Code)
+	}
+}
+
+// TestConcurrentBatchInsertsAndReads is the write-path race regression
+// test: concurrent /v1/insert batches race /v1/neighbors and /v1/stats
+// (run the package under -race to arm it), no insert is lost, and every
+// inserted value is visible afterwards on both the ANN and the exact
+// search path.
+func TestConcurrentBatchInsertsAndReads(t *testing.T) {
+	s, titles := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const (
+		writers   = 4
+		batches   = 3
+		batchSize = 4
+		readers   = 6
+		reads     = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*batches+readers*reads)
+
+	cols := columnCount(t, s, "movies")
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				rows := make([][]any, batchSize)
+				for r := range rows {
+					id := 70000 + g*1000 + b*100 + r
+					rows[r] = makeRow(cols, map[int]any{
+						0: id, 1: fmt.Sprintf("race premiere %d", id), 2: "english",
+					})
+				}
+				body, _ := json.Marshal(map[string]any{"table": "movies", "rows": rows})
+				resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d batch %d: status %d", g, b, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				url := ts.URL + "/v1/neighbors?table=movies&column=title&text=" +
+					queryEscape(titles[(g+i)%len(titles)]) + "&k=3"
+				if i%3 == 2 {
+					url = ts.URL + "/v1/stats"
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: GET %s status %d", g, url, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// No lost updates: every row of every batch landed in the database
+	// and in the model, and is found by BOTH search paths.
+	model := s.sess.Model()
+	store := model.Store()
+	store.WarmANN()
+	if store.ANNIndex() == nil {
+		t.Fatal("ANN index unavailable after concurrent batches")
+	}
+	// The inserted titles share most of their tokens, so their vectors
+	// are near-duplicates of each other; search with a k that covers the
+	// whole cohort rather than expecting each to be its own top hit.
+	const cohort = writers * batches * batchSize
+	for g := 0; g < writers; g++ {
+		for b := 0; b < batches; b++ {
+			for r := 0; r < batchSize; r++ {
+				id := 70000 + g*1000 + b*100 + r
+				title := fmt.Sprintf("race premiere %d", id)
+				v, err := model.Vector("movies", "title", title)
+				if err != nil {
+					t.Fatalf("lost update: %s missing from model: %v", title, err)
+				}
+				selfKey, _ := model.Key("movies", "title", title)
+				selfID, _ := store.ID(selfKey)
+				if !store.ANNIndex().Contains(selfID) {
+					t.Errorf("%s not present in the ANN graph", title)
+				}
+				found := false
+				for _, m := range store.TopKExact(v, 2*cohort, nil) {
+					if m.ID == selfID {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("%s not found via exact path", title)
+				}
+			}
+		}
+	}
+}

@@ -11,7 +11,13 @@
 //	GET  /v1/vector?table=&column=&text=
 //	GET  /v1/neighbors?table=&column=&text=&k=
 //	POST /v1/analogy              {"a":{...},"b":{...},"c":{...},"k":n}
-//	POST /v1/insert               {"table":"...","values":[...]}
+//	POST /v1/insert               {"table":"...","values":[...]}     single row
+//	POST /v1/insert               {"table":"...","rows":[[...],...]} batch
+//
+// A batch commits all rows and performs ONE incremental repair, one
+// cache purge and one index warm-up — N single-row inserts pay each of
+// those N times — and the exclusive write lock is held only for the
+// commit + repair, not for request parsing or the index rebuild.
 package server
 
 import (
@@ -316,8 +322,9 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Table  string `json:"table"`
-		Values []any  `json:"values"`
+		Table  string  `json:"table"`
+		Values []any   `json:"values"` // single-row form
+		Rows   [][]any `json:"rows"`   // batched form
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
@@ -327,49 +334,109 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "table is required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if req.Values != nil && req.Rows != nil {
+		writeError(w, http.StatusBadRequest, `use either "values" (one row) or "rows" (a batch), not both`)
+		return
+	}
+	rawRows := req.Rows
+	if req.Rows == nil {
+		rawRows = [][]any{req.Values}
+	}
+	if len(rawRows) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+
+	// Everything that does not touch session state — arity checks, JSON
+	// value conversion — runs before the write lock, so readers are only
+	// excluded for the commit + repair itself.
+	s.mu.RLock()
 	tbl, ok := s.sess.DB().Table(req.Table)
+	numCols := 0
+	if ok {
+		numCols = len(tbl.Columns)
+	}
+	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q", req.Table))
 		return
 	}
-	if len(req.Values) != len(tbl.Columns) {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("table %q has %d columns, got %d values", req.Table, len(tbl.Columns), len(req.Values)))
-		return
-	}
-	row := make([]retro.Value, len(req.Values))
-	for i, v := range req.Values {
-		rv, err := jsonValue(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("value %d: %v", i, err))
+	rows := make([][]retro.Value, len(rawRows))
+	for ri, raw := range rawRows {
+		if len(raw) != numCols {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("row %d: table %q has %d columns, got %d values", ri, req.Table, numCols, len(raw)))
 			return
 		}
-		row[i] = rv
+		row := make([]retro.Value, len(raw))
+		for i, v := range raw {
+			rv, err := jsonValue(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d value %d: %v", ri, i, err))
+				return
+			}
+			row[i] = rv
+		}
+		rows[ri] = row
 	}
-	// Session.Insert writes the row and repairs the embeddings; the model
-	// is replaced, so the store (and its ANN index) the readers see next
-	// already includes the new values.
-	if err := s.sess.Insert(req.Table, row); err != nil {
+
+	// Commit + one repair for the whole batch under the write lock. The
+	// store (and its ANN index) is maintained in place, so readers see
+	// the new values as soon as the lock drops.
+	s.mu.Lock()
+	err := s.sess.InsertBatch(req.Table, rows)
+	committed := len(rows)
+	var batch *retro.BatchError
+	if errors.As(err, &batch) {
+		committed = batch.Committed
+	}
+	if committed > 0 && s.cache != nil {
+		s.cache.Purge()
+	}
+	s.mu.Unlock()
+
+	// Whatever the outcome, if rows landed, rebuild the index now (a
+	// no-op unless the repair invalidated it) so the cost falls on this
+	// write, not on the next reader — including the partial-batch and
+	// repair-failure responses below. The build is internally
+	// serialised; holding only the read lock keeps queries flowing.
+	if committed > 0 {
+		s.mu.RLock()
+		s.sess.Model().Store().WarmANN()
+		s.mu.RUnlock()
+	}
+
+	if err != nil {
 		var repair *retro.RepairError
 		if errors.As(err, &repair) {
-			// The row IS committed — a 400 would invite a retry that can
-			// only hit a duplicate key. Signal a server-side failure.
+			// The rows ARE committed — a 400 would invite a retry that
+			// can only hit a duplicate key. Signal a server-side failure.
+			// The session is now marked stale (see /v1/stats); queries
+			// keep serving the last good vectors. Deliberately NOT
+			// resolved inline here: reads keep flowing until the NEXT
+			// insert, which pays the full re-solve under the write lock
+			// once, instead of this (and every) failing request
+			// stalling all readers for a retrain.
 			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if batch != nil && batch.Committed > 0 {
+			// Partial success: report how far the batch got.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":     batch.Error(),
+				"committed": batch.Committed,
+			})
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if s.cache != nil {
-		s.cache.Purge()
-	}
-	// Rebuild the index now (no-op unless the repair invalidated it) so
-	// the cost lands on this write, not on the next reader.
-	s.sess.Model().Store().WarmANN()
+
+	s.mu.RLock()
+	numValues := s.sess.Model().NumValues()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"inserted": true, "table": req.Table, "num_values": s.sess.Model().NumValues(),
+		"inserted": true, "rows": len(rows), "table": req.Table, "num_values": numValues,
 	})
 }
 
@@ -403,6 +470,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	model := s.sess.Model()
 	numValues := model.NumValues()
+	stale := s.sess.Stale()
 	store := model.Store()
 	dim := store.Dim()
 	threshold := store.ANNThreshold()
@@ -464,9 +532,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"num_values":     numValues,
 		"dim":            dim,
-		"ann":            annStats,
-		"cache":          cacheStats,
-		"endpoints":      endpoints,
-		"origin":         origin,
+		// stale means a repair failed after a commit: queries serve the
+		// last good vectors and the next write runs a full re-solve.
+		"session":   map[string]any{"stale": stale},
+		"ann":       annStats,
+		"cache":     cacheStats,
+		"endpoints": endpoints,
+		"origin":    origin,
 	})
 }

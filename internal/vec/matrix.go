@@ -219,3 +219,34 @@ func (m *Matrix) String() string {
 	}
 	return s + "]"
 }
+
+// GrowRows extends the matrix to the given row count in place,
+// zero-filling the new rows, with amortised-doubling capacity so repeated
+// growth costs O(1) per row. Only compact matrices (Stride == Cols) can
+// grow. Row views taken before a growth that reallocates keep pointing at
+// the old backing array; re-fetch rows after growing.
+func (m *Matrix) GrowRows(rows int) {
+	if rows <= m.Rows {
+		return
+	}
+	if m.Stride != m.Cols {
+		panic(fmt.Sprintf("vec: GrowRows on non-compact matrix (stride %d, cols %d)", m.Stride, m.Cols))
+	}
+	need := rows * m.Stride
+	if cap(m.Data) < need {
+		c := 2 * cap(m.Data)
+		if c < need {
+			c = need
+		}
+		grown := make([]float64, need, c)
+		copy(grown, m.Data)
+		m.Data = grown
+	} else {
+		tail := m.Data[len(m.Data):need]
+		for i := range tail {
+			tail[i] = 0
+		}
+		m.Data = m.Data[:need]
+	}
+	m.Rows = rows
+}

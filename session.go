@@ -1,23 +1,40 @@
 package retro
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/retrodb/retro/internal/core"
 	"github.com/retrodb/retro/internal/deepwalk"
 	"github.com/retrodb/retro/internal/extract"
+	"github.com/retrodb/retro/internal/tokenize"
 )
+
+// DefaultRepairBudget bounds how many nodes one incremental repair
+// re-solves (see Session.RepairBudget).
+const DefaultRepairBudget = 512
 
 // Session couples a database with a live retrofitted model and maintains
 // the model incrementally as rows are inserted — the §1 property that
 // RETRO "does not rely on re-training, which allows us to incrementally
 // maintain the word vectors whenever the data in the database changes".
 //
-// Insert and ExecAndRefresh update the embedding store (and any built
-// ANN index) in place, and previously obtained Models share that store.
-// Callers that query a Model concurrently with inserts must synchronise
-// the two, e.g. with a RWMutex as internal/server does; a held Model
-// stays queryable across inserts but is not a frozen snapshot.
+// The write path is proportional to the change, not the database: an
+// insert extracts only the new row's values and relations
+// (extract.ApplyInserts), grows the learning problem in place
+// (core.GrowProblem) and re-solves only the new values' bounded
+// neighbourhood against maintained solver state, so the per-row cost
+// stays flat as the database grows. InsertBatch amortises one repair
+// over many rows.
+//
+// Insert, InsertBatch and ExecAndRefresh update the embedding store (and
+// any built ANN index) in place, and previously obtained Models share
+// that store. Callers that query a Model concurrently with inserts must
+// synchronise the two, e.g. with a RWMutex as internal/server does; a
+// held Model stays queryable across inserts but is not a frozen
+// snapshot. The session owns the store's vectors — mutating them
+// externally (NormalizeAll, Matrix writes) invalidates the maintained
+// repair state.
 //
 // A session's trained state can be persisted with Snapshot and restored
 // with ResumeSession (see snapshot.go): the resumed session keeps the
@@ -28,9 +45,27 @@ type Session struct {
 	base  *Embedding
 	cfg   Config
 	model *Model
+
 	// Hops bounds how far a change propagates during local repair
 	// (default 2 relation hops).
 	Hops int
+	// RepairBudget caps how many nodes one repair re-solves (default
+	// DefaultRepairBudget; 0 = unlimited). Inserted values are always
+	// re-solved; the budget only bounds how far their influence is
+	// chased — without it, a single insert touching a high-degree hub
+	// value (a language, a country) would re-solve most of the database
+	// and the write path would degrade to O(n) again.
+	RepairBudget int
+
+	// incState carries the per-group target sums the repair kernels need
+	// (rebuilt lazily after Resolve or a snapshot resume).
+	incState *core.IncrementalState
+	// stale records a failed repair: the model no longer reflects every
+	// committed row, so the next write falls back to a full re-solve.
+	stale bool
+	// repairHook, when set, runs before each incremental repair; a test
+	// seam for forcing repair failures.
+	repairHook func() error
 }
 
 // NewSession trains the initial model and returns the live session.
@@ -39,7 +74,7 @@ func NewSession(db *DB, base *Embedding, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{db: db, base: base, cfg: cfg, model: model, Hops: 2}, nil
+	return &Session{db: db, base: base, cfg: cfg, model: model, Hops: 2, RepairBudget: DefaultRepairBudget}, nil
 }
 
 // Model returns the current model.
@@ -48,11 +83,22 @@ func (s *Session) Model() *Model { return s.model }
 // DB returns the session's database.
 func (s *Session) DB() *DB { return s.db }
 
+// Stale reports whether a repair failure left the model behind the
+// database. A stale session still answers queries from its last good
+// state; the next successful write (which performs a full re-solve) or
+// an explicit Resolve clears it.
+func (s *Session) Stale() bool { return s.stale }
+
+// MarkStale forces the next write to run a full re-solve instead of an
+// incremental repair, as if a repair had failed. Operators can use it to
+// schedule a re-sync without blocking on an immediate Resolve.
+func (s *Session) MarkStale() { s.stale = true }
+
 // RepairError reports that a row was committed to the database but the
 // subsequent embedding repair failed: the model is now stale relative to
-// the data until a later refresh or Resolve succeeds. Callers should not
-// treat it as "nothing happened" — retrying the same insert will hit a
-// duplicate-key error.
+// the data (Stale reports true) until a later write or Resolve succeeds.
+// Callers should not treat it as "nothing happened" — retrying the same
+// insert will hit a duplicate-key error.
 type RepairError struct{ Err error }
 
 func (e *RepairError) Error() string {
@@ -61,35 +107,188 @@ func (e *RepairError) Error() string {
 
 func (e *RepairError) Unwrap() error { return e.Err }
 
+// BatchError reports a batch that failed part-way: rows before Index
+// were committed (and repaired), the row at Index was rejected, and
+// nothing after it was attempted.
+type BatchError struct {
+	Committed int   // rows stored before the failure
+	Index     int   // index of the rejected row within the batch
+	Err       error // why that row was rejected
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("retro: batch row %d rejected after %d rows were committed: %v", e.Index, e.Committed, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // Insert adds a row (column order) to a table and incrementally repairs
-// the embeddings: the problem is re-extracted, existing vectors are
-// carried over by value key, and only new values plus their Hops-hop
+// the embeddings: the new row's values and relations are appended to the
+// learning problem and only they plus their bounded Hops-hop
 // neighbourhood are re-solved with everything else held fixed.
 // A failure after the row was committed is reported as *RepairError.
 func (s *Session) Insert(table string, row []Value) error {
-	if _, err := s.db.Insert(table, row); err != nil {
+	id, err := s.db.Insert(table, row)
+	if err != nil {
 		return err
 	}
-	if err := s.refresh(); err != nil {
+	if err := s.refreshRows(table, []int{id}); err != nil {
+		s.stale = true
 		return &RepairError{Err: err}
+	}
+	return nil
+}
+
+// InsertBatch commits the rows (column order) to a table and runs ONE
+// incremental repair over the union of their neighbourhoods — one
+// problem growth, one re-solve, one pass of index maintenance — instead
+// of the per-row repair N separate Inserts would pay. Rows are committed
+// in order; the first invalid row stops the batch and is reported as
+// *BatchError with the preceding rows committed and repaired. A repair
+// failure after any rows were committed is reported as *RepairError.
+func (s *Session) InsertBatch(table string, rows [][]Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	rowIDs := make([]int, 0, len(rows))
+	var rejected *BatchError
+	for idx, row := range rows {
+		id, err := s.db.Insert(table, row)
+		if err != nil {
+			if len(rowIDs) == 0 {
+				return &BatchError{Committed: 0, Index: idx, Err: err}
+			}
+			rejected = &BatchError{Committed: len(rowIDs), Index: idx, Err: err}
+			break
+		}
+		rowIDs = append(rowIDs, id)
+	}
+	if err := s.refreshRows(table, rowIDs); err != nil {
+		s.stale = true
+		if rejected != nil {
+			// Keep the rejection visible through errors.As alongside the
+			// repair failure.
+			return &RepairError{Err: errors.Join(err, rejected)}
+		}
+		return &RepairError{Err: err}
+	}
+	if rejected != nil {
+		return rejected
 	}
 	return nil
 }
 
 // ExecAndRefresh runs a SQL statement (e.g. INSERT) and repairs the
-// embeddings afterwards. A failure after the statement executed is
-// reported as *RepairError.
+// embeddings afterwards. The statement's effect on the database is
+// opaque here, so this path re-extracts the whole database (a full
+// refresh); prefer Insert/InsertBatch on the serving path, which repair
+// from the delta. A failure after the statement executed is reported as
+// *RepairError.
 func (s *Session) ExecAndRefresh(sql string) error {
 	if _, err := s.db.Exec(sql); err != nil {
 		return err
 	}
-	if err := s.refresh(); err != nil {
+	if err := s.refreshFull(); err != nil {
+		s.stale = true
 		return &RepairError{Err: err}
 	}
 	return nil
 }
 
-func (s *Session) refresh() error {
+// refreshRows repairs the model after rows were committed to table.
+// A stale session cannot repair from a delta — its extraction baseline
+// no longer matches the database — so it re-solves from scratch, which
+// also clears the staleness.
+func (s *Session) refreshRows(table string, rowIDs []int) error {
+	if len(rowIDs) == 0 {
+		return nil
+	}
+	if s.repairHook != nil {
+		if err := s.repairHook(); err != nil {
+			return err
+		}
+	}
+	if s.stale {
+		return s.Resolve()
+	}
+	return s.repairDelta(table, rowIDs)
+}
+
+// repairDelta is the O(delta) write path: extract only the new rows,
+// grow the problem in place, and re-solve the bounded neighbourhood.
+func (s *Session) repairDelta(table string, rowIDs []int) error {
+	m := s.model
+	if m.ex == nil {
+		return fmt.Errorf("retro: session model has no extraction attached")
+	}
+	if m.tok == nil {
+		m.tok = tokenize.New(s.base)
+	}
+	if m.prob == nil {
+		// Snapshot-resumed session: materialise the problem once; every
+		// later insert grows it in place.
+		m.prob = core.BuildProblem(m.ex, m.tok)
+	}
+	if s.incState == nil {
+		if m.store.Len() != m.prob.N {
+			return fmt.Errorf("retro: store holds %d vectors but problem has %d nodes", m.store.Len(), m.prob.N)
+		}
+		s.incState = core.NewIncrementalState(m.prob, m.store.Matrix())
+	}
+
+	d, err := m.ex.ApplyInserts(s.db, table, rowIDs, extract.Options{
+		ExcludeColumns:   s.cfg.ExcludeColumns,
+		ExcludeRelations: s.cfg.ExcludeRelations,
+	})
+	if err != nil {
+		return err
+	}
+	if d.Empty() {
+		return nil // row carried no text values and no relations
+	}
+	rep, err := core.GrowProblem(m.prob, m.ex, m.tok, d)
+	if err != nil {
+		return err
+	}
+
+	// New values enter the store with their W0 initialisation; store row
+	// ids must mirror problem node ids (the repair writes through the
+	// shared matrix). Registration with the ANN index and norm cache is
+	// staged: every new node is in the repair's touched set, so the
+	// RefreshRow pass below indexes the FINAL vector once instead of
+	// beam-inserting the provisional W0 row only to tombstone it.
+	store := m.store
+	for _, id := range rep.NewNodes {
+		key := deepwalk.ValueKey(m.ex, id)
+		if got := store.AddStaged(key, m.prob.W0.Row(id)); got != id {
+			return fmt.Errorf("retro: store row %d for new value %d: vocabulary misaligned", got, id)
+		}
+	}
+	w := store.Matrix()
+	s.incState.Grow(m.prob, w, rep)
+
+	touched := core.AffectedNodesBudget(m.prob, rep.Seeds, s.Hops, s.RepairBudget)
+	m.prob.RefreshCentroids(touched)
+	core.UpdateIncremental(m.prob, w, touched, m.hp, s.cfg.Variant, core.IncrementalOptions{State: s.incState})
+
+	// Fold the repaired rows into the store's derived state. When the
+	// repair covered most of the vocabulary, one index rebuild is cheaper
+	// than a tombstone + beam-search re-insert per value (which would
+	// trip the tombstone limit and force the rebuild anyway).
+	if len(touched)*2 >= store.Len() {
+		store.InvalidateANN()
+	}
+	for _, id := range touched {
+		store.RefreshRow(id)
+	}
+	return nil
+}
+
+// refreshFull is the pre-delta repair path kept for statements whose
+// effect cannot be expressed as a row delta: re-extract the database,
+// rebuild the problem, carry over solved vectors by value key, and
+// re-solve what changed.
+func (s *Session) refreshFull() error {
 	old := s.model
 	ex, err := extract.FromDB(s.db, extract.Options{
 		ExcludeColumns:   s.cfg.ExcludeColumns,
@@ -114,7 +313,7 @@ func (s *Session) refresh() error {
 	}
 	touched := dirty
 	if len(dirty) > 0 {
-		touched = core.AffectedNodes(prob, dirty, s.Hops)
+		touched = core.AffectedNodesBudget(prob, dirty, s.Hops, s.RepairBudget)
 		core.UpdateIncremental(prob, w, touched, old.hp, s.cfg.Variant, core.IncrementalOptions{})
 	}
 
@@ -122,24 +321,41 @@ func (s *Session) refresh() error {
 		db: s.db, base: s.base, ex: ex, tok: old.tok, prob: prob,
 		cfg: s.cfg, hp: old.hp,
 	}
-	if old.store.Dim() != prob.Dim {
-		// Dimensionality changed (cannot happen with a fixed base
-		// embedding, but stay safe): rebuild the store from scratch.
+	// The delta write path requires store row ids to mirror the (new)
+	// extraction's value ids. Re-extraction renumbers values whenever a
+	// statement added rows to a multi-text-column table (FromDB assigns
+	// ids column-major), so the old store — keyed correctly but ordered
+	// by the OLD extraction — is only reusable in place when every key
+	// still sits in its row. Otherwise rebuild it aligned; reusing it
+	// would pass repairDelta's length check and let a later Insert
+	// silently read and write the wrong values' rows.
+	aligned := old.store.Dim() == prob.Dim && old.store.Len() <= len(ex.Values)
+	if aligned {
+		for _, v := range ex.Values {
+			id, ok := old.store.ID(deepwalk.ValueKey(ex, v.ID))
+			if ok && id == v.ID {
+				continue
+			}
+			if !ok && v.ID >= old.store.Len() {
+				continue // appended below at exactly this row
+			}
+			aligned = false
+			break
+		}
+	}
+	if !aligned {
 		m.store = m.buildStore(w.Row)
-		s.model = m
+		s.replaceModel(m)
 		return nil
 	}
 	// Reuse the previous store: the vocabulary only grows (reldb has no
 	// DELETE) and untouched vectors were carried over bitwise, so only the
-	// new values and their repaired Hops-hop neighbourhood need
-	// (re)writing. Store.Add maintains a built HNSW index incrementally,
-	// which keeps single-row insert cost flat on the serving path instead
-	// of forcing a full index rebuild. The previous Model shares this
-	// store: it stays queryable, but is not a frozen snapshot.
+	// new values and their repaired neighbourhood need (re)writing.
+	// Store.Add maintains a built HNSW index incrementally, which keeps
+	// insert cost flat on the serving path instead of forcing a full
+	// index rebuild. The previous Model shares this store: it stays
+	// queryable, but is not a frozen snapshot.
 	if len(touched)*2 >= old.store.Len() {
-		// Repairing most of the vocabulary: one rebuild is cheaper than
-		// a tombstone + beam-search re-insert per value (which would trip
-		// the tombstone limit and force the rebuild anyway).
 		old.store.InvalidateANN()
 	}
 	changed := make(map[int]bool, len(touched))
@@ -157,17 +373,26 @@ func (s *Session) refresh() error {
 		}
 	}
 	m.store = old.store
-	s.model = m
+	s.replaceModel(m)
 	return nil
 }
 
+// replaceModel swaps in a rebuilt model and resets the per-model repair
+// state (the incremental state binds to one problem/store pair).
+func (s *Session) replaceModel(m *Model) {
+	s.model = m
+	s.incState = nil
+	s.stale = false
+}
+
 // Resolve runs a full re-solve from scratch (the non-incremental path),
-// replacing the model. Useful after bulk loads.
+// replacing the model and clearing any staleness. Useful after bulk
+// loads.
 func (s *Session) Resolve() error {
 	model, err := Retrofit(s.db, s.base, s.cfg)
 	if err != nil {
 		return fmt.Errorf("retro: full re-solve: %w", err)
 	}
-	s.model = model
+	s.replaceModel(model)
 	return nil
 }

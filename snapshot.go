@@ -174,13 +174,36 @@ func ResumeSession(db *DB, base *Embedding, r io.Reader) (*Session, error) {
 		return nil, fmt.Errorf("retro: snapshot has %d values but database extracts %d: database changed since the snapshot was written (retrain or re-snapshot)",
 			m.store.Len(), ex.NumValues())
 	}
+	aligned := true
 	for _, v := range ex.Values {
 		key := deepwalk.ValueKey(ex, v.ID)
-		if _, ok := m.store.VectorOf(key); !ok {
+		id, ok := m.store.ID(key)
+		if !ok {
 			cat := ex.Categories[v.Category].Name()
 			return nil, fmt.Errorf("retro: snapshot is missing value %q in %s: database changed since the snapshot was written", v.Text, cat)
 		}
+		if id != v.ID {
+			aligned = false
+		}
+	}
+	if !aligned {
+		// The incremental write path requires store row ids to mirror
+		// extraction value ids. A snapshot written before any writes is
+		// stored in extraction order and stays aligned; one written after
+		// incremental inserts holds the written values in write order,
+		// while the fresh extraction numbers them column-major. Rebuild
+		// the store in extraction order. The persisted HNSW graph is
+		// keyed by the old rows and cannot be kept — it rebuilds lazily —
+		// but the solver state (the expensive part) is still reused.
+		ns := NewEmbedding(m.store.Dim())
+		applyANNConfig(ns, m.cfg)
+		for _, v := range ex.Values {
+			key := deepwalk.ValueKey(ex, v.ID)
+			vec, _ := m.store.VectorOf(key)
+			ns.Add(key, vec)
+		}
+		m.store = ns
 	}
 	m.db, m.base, m.ex, m.tok = db, base, ex, tokenize.New(base)
-	return &Session{db: db, base: base, cfg: m.cfg, model: m, Hops: 2}, nil
+	return &Session{db: db, base: base, cfg: m.cfg, model: m, Hops: 2, RepairBudget: DefaultRepairBudget}, nil
 }
