@@ -25,6 +25,14 @@
 //	retro-serve -data ./data -save-snapshot ./data/model.snap   # train once
 //	retro-serve -data ./data -snapshot ./data/model.snap        # warm boots
 //
+// Queries run lock-free against atomically published serving views (see
+// internal/server), so reads never wait on an insert. -pprof exposes
+// net/http/pprof on a separate admin port, kept off the serving
+// listener:
+//
+//	retro-serve -data ./data -addr :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
 package main
@@ -35,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,6 +75,7 @@ func run(args []string) error {
 	repairBudget := fs.Int("repair-budget", retro.DefaultRepairBudget, "max nodes re-solved per insert repair (0 = unlimited)")
 	snapshotPath := fs.String("snapshot", "", "boot from this snapshot file instead of training")
 	saveSnapshot := fs.String("save-snapshot", "", "write a snapshot of the trained session to this file")
+	pprofAddr := fs.String("pprof", "", "admin listen address for net/http/pprof, e.g. localhost:6060 (empty = disabled)")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,6 +157,26 @@ func run(args []string) error {
 	srv := server.New(sess, server.Config{CacheSize: *cacheSize, Origin: origin})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	// The profiling endpoints live on their own admin listener, never on
+	// the serving address: pprof handlers can hold the CPU for seconds
+	// and must not be reachable from (or compete with) query traffic.
+	var adminSrv *http.Server
+	if *pprofAddr != "" {
+		adminMux := http.NewServeMux()
+		adminMux.HandleFunc("/debug/pprof/", pprof.Index)
+		adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminSrv = &http.Server{Addr: *pprofAddr, Handler: adminMux}
+		go func() {
+			fmt.Printf("pprof admin on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "retro-serve: pprof listener:", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -164,6 +194,9 @@ func run(args []string) error {
 	fmt.Println("shutting down...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
+	if adminSrv != nil {
+		_ = adminSrv.Shutdown(shutdownCtx)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

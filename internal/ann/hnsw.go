@@ -12,10 +12,12 @@
 package ann
 
 import (
+	"cmp"
 	"fmt"
+	"maps"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/retrodb/retro/internal/vec"
@@ -85,7 +87,7 @@ type Index struct {
 	levelMult float64
 	rng       *rand.Rand
 	deleted   int       // count of tombstoned slots
-	visited   sync.Pool // *visitedSet scratch, shared by concurrent queries
+	scratch   sync.Pool // *searchScratch, shared by concurrent queries
 }
 
 // visitedSet is reusable per-traversal scratch: a slot-indexed mark array
@@ -112,20 +114,32 @@ func (v *visitedSet) reset() {
 	v.touched = v.touched[:0]
 }
 
-func (ix *Index) acquireVisited() *visitedSet {
-	v, _ := ix.visited.Get().(*visitedSet)
-	if v == nil {
-		v = &visitedSet{}
-	}
-	if len(v.marks) < len(ix.nodes) {
-		v.marks = make([]bool, 2*len(ix.nodes))
-	}
-	return v
+// searchScratch is everything one traversal needs beyond the graph
+// itself: the visited marks, the normalised-query buffer and the two
+// candidate heaps. Pooling the whole bundle makes a steady-state query
+// allocation-free — the serving read path runs thousands of these per
+// second and a per-call make() for each piece was pure GC pressure.
+type searchScratch struct {
+	visited visitedSet
+	q       []float64
+	cands   []candidate // min-heap storage, reused across calls
+	results []candidate // max-heap storage, reused across calls
 }
 
-func (ix *Index) releaseVisited(v *visitedSet) {
-	v.reset()
-	ix.visited.Put(v)
+func (ix *Index) acquireScratch() *searchScratch {
+	sc, _ := ix.scratch.Get().(*searchScratch)
+	if sc == nil {
+		sc = &searchScratch{}
+	}
+	if len(sc.visited.marks) < len(ix.nodes) {
+		sc.visited.marks = make([]bool, 2*len(ix.nodes))
+	}
+	return sc
+}
+
+func (ix *Index) releaseScratch(sc *searchScratch) {
+	sc.visited.reset()
+	ix.scratch.Put(sc)
 }
 
 // New creates an empty index for vectors of the given dimensionality.
@@ -215,11 +229,11 @@ func (ix *Index) Insert(id int, v []float64) error {
 		ep = ix.greedyClosest(unit, ep, l)
 	}
 	// Link on each shared layer, widest candidate list first.
-	visited := ix.acquireVisited()
-	defer ix.releaseVisited(visited)
+	sc := ix.acquireScratch()
+	defer ix.releaseScratch(sc)
 	for l := min(level, ix.maxLevel); l >= 0; l-- {
-		visited.reset()
-		cands := ix.searchLayer(unit, ep, ix.params.EfConstruction, l, visited)
+		sc.visited.reset()
+		cands := ix.searchLayer(unit, ep, ix.params.EfConstruction, l, sc)
 		chosen := ix.selectNeighbors(cands, ix.params.M)
 		ix.nodes[slot].neighbors[l] = chosen
 		maxConn := ix.params.M
@@ -227,8 +241,14 @@ func (ix *Index) Insert(id int, v []float64) error {
 			maxConn = 2 * ix.params.M
 		}
 		for _, nb := range chosen {
-			ix.nodes[nb].neighbors[l] = append(ix.nodes[nb].neighbors[l], slot)
-			if len(ix.nodes[nb].neighbors[l]) > maxConn {
+			// Copy-append, never grow in place: the adjacency slice may be
+			// structurally shared with a Clone serving concurrent queries.
+			nbs := ix.nodes[nb].neighbors[l]
+			grown := make([]int32, len(nbs)+1)
+			copy(grown, nbs)
+			grown[len(nbs)] = slot
+			ix.nodes[nb].neighbors[l] = grown
+			if len(grown) > maxConn {
 				ix.shrink(nb, l, maxConn)
 			}
 		}
@@ -241,6 +261,44 @@ func (ix *Index) Insert(id int, v []float64) error {
 		ix.entry = slot
 	}
 	return nil
+}
+
+// Clone returns an index that answers queries identically and evolves
+// independently from the original: inserts and deletes on either side
+// are invisible to the other. The copy is structural, not a rebuild —
+// node vectors and per-layer adjacency slices are shared (safe because
+// Insert never mutates an existing adjacency slice in place, see the
+// copy-append above, and a node's vector is immutable once linked), so
+// cloning costs O(nodes) header copies plus the slot map. The level RNG
+// is replayed one draw per historical insert, exactly as Read does, so
+// post-clone inserts assign the same levels on both sides.
+//
+// Clone is how the serving layer gets a mutable successor of an index
+// frozen into a published read view: the writer clones, mutates the
+// clone, and publishes it, while readers keep traversing the original.
+func (ix *Index) Clone() *Index {
+	cp := &Index{
+		dim:       ix.dim,
+		params:    ix.params,
+		nodes:     make([]node, len(ix.nodes)),
+		slots:     maps.Clone(ix.slots),
+		entry:     ix.entry,
+		maxLevel:  ix.maxLevel,
+		levelMult: ix.levelMult,
+		rng:       rand.New(rand.NewSource(ix.params.Seed)),
+		deleted:   ix.deleted,
+	}
+	copy(cp.nodes, ix.nodes)
+	for i := range cp.nodes {
+		// Private outer slice per node: the writer reassigns
+		// neighbors[l] on link updates, and that write must not be
+		// visible through the original's nodes array.
+		cp.nodes[i].neighbors = slices.Clone(cp.nodes[i].neighbors)
+	}
+	for i := 0; i < len(ix.nodes); i++ {
+		cp.rng.Float64()
+	}
+	return cp
 }
 
 // Delete tombstones an id: it stays in the graph for traversal but is
@@ -284,12 +342,13 @@ func (ix *Index) greedyClosest(q []float64, ep int32, l int) int32 {
 
 // searchLayer is the beam search of the HNSW paper (Algorithm 2): it
 // returns up to ef candidates on layer l, sorted by ascending distance.
-// Tombstoned nodes are traversed and returned; callers filter them.
-func (ix *Index) searchLayer(q []float64, ep int32, ef, l int, visited *visitedSet) []candidate {
+// Tombstoned nodes are traversed and returned; callers filter them. The
+// returned slice aliases sc and is valid until the scratch's next use.
+func (ix *Index) searchLayer(q []float64, ep int32, ef, l int, sc *searchScratch) []candidate {
 	d0 := ix.dist(q, ep)
-	visited.visit(ep)
-	cands := candHeap{min: true}
-	results := candHeap{min: false}
+	sc.visited.visit(ep)
+	cands := candHeap{data: sc.cands[:0], min: true}
+	results := candHeap{data: sc.results[:0], min: false}
 	cands.push(candidate{ep, d0})
 	results.push(candidate{ep, d0})
 	for cands.len() > 0 {
@@ -298,7 +357,7 @@ func (ix *Index) searchLayer(q []float64, ep int32, ef, l int, visited *visitedS
 			break
 		}
 		for _, nb := range ix.nodes[c.slot].neighbors[l] {
-			if !visited.visit(nb) {
+			if !sc.visited.visit(nb) {
 				continue
 			}
 			d := ix.dist(q, nb)
@@ -311,8 +370,20 @@ func (ix *Index) searchLayer(q []float64, ep int32, ef, l int, visited *visitedS
 			}
 		}
 	}
+	// Hand the (possibly grown) buffers back so the next traversal
+	// reuses their capacity.
+	sc.cands = cands.data
+	sc.results = results.data
 	out := results.data
-	sort.Slice(out, func(i, j int) bool { return out[i].dist < out[j].dist })
+	slices.SortFunc(out, func(a, b candidate) int {
+		if a.dist < b.dist {
+			return -1
+		}
+		if a.dist > b.dist {
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 
@@ -364,29 +435,55 @@ func (ix *Index) shrink(slot int32, l, maxConn int) {
 	for i, nb := range nbs {
 		cands[i] = candidate{nb, 1 - vec.Dot(ix.nodes[slot].vec, ix.nodes[nb].vec)}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	slices.SortFunc(cands, func(a, b candidate) int {
+		if a.dist < b.dist {
+			return -1
+		}
+		if a.dist > b.dist {
+			return 1
+		}
+		return 0
+	})
 	ix.nodes[slot].neighbors[l] = ix.selectNeighbors(cands, maxConn)
 }
 
 // TopK returns the approximately k most cosine-similar live entries to
 // query, excluding any id for which skip returns true (skip may be nil).
 // Results are sorted by descending score, ties by ascending id, matching
-// embed.Store.TopK ordering.
+// embed.Store.TopK ordering. The returned slice is freshly allocated and
+// owned by the caller; hot paths that want to recycle result storage use
+// TopKAppend.
 func (ix *Index) TopK(query []float64, k int, skip func(id int) bool) []Result {
+	return ix.TopKAppend(query, k, skip, nil)
+}
+
+// TopKAppend is TopK with caller-owned result storage: hits are written
+// into dst[:0] and the slice (grown if its capacity was short) is
+// returned. With cap(dst) >= k and a warm scratch pool a query performs
+// no allocation — the normalised-query buffer, the visited set and both
+// beam heaps come from the index's scratch pool. Queries may run
+// concurrently with each other; the usual Insert/Delete exclusion still
+// applies.
+func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst []Result) []Result {
 	if len(query) != ix.dim {
 		panic("ann: TopK query dimension mismatch")
 	}
+	dst = dst[:0]
 	if k <= 0 || ix.entry < 0 {
-		return nil
+		return dst
 	}
 	if k > len(ix.slots) {
-		k = len(ix.slots) // bounds the result allocation and the beam
+		k = len(ix.slots) // bounds the result growth and the beam
 	}
 	qn := vec.Norm(query)
 	if qn == 0 {
-		return nil
+		return dst
 	}
-	q := make([]float64, ix.dim)
+	sc := ix.acquireScratch()
+	if cap(sc.q) < ix.dim {
+		sc.q = make([]float64, ix.dim)
+	}
+	q := sc.q[:ix.dim]
 	for i, x := range query {
 		q[i] = x / qn
 	}
@@ -415,27 +512,28 @@ func (ix *Index) TopK(query []float64, k int, skip func(id int) bool) []Result {
 	for l := ix.maxLevel; l > 0; l-- {
 		ep = ix.greedyClosest(q, ep, l)
 	}
-	visited := ix.acquireVisited()
-	cands := ix.searchLayer(q, ep, ef, 0, visited)
-	ix.releaseVisited(visited)
-	out := make([]Result, 0, k)
+	cands := ix.searchLayer(q, ep, ef, 0, sc)
 	for _, c := range cands {
 		nd := &ix.nodes[c.slot]
 		if nd.deleted || (skip != nil && skip(nd.id)) {
 			continue
 		}
-		out = append(out, Result{ID: nd.id, Score: 1 - c.dist})
-		if len(out) == k {
+		dst = append(dst, Result{ID: nd.id, Score: 1 - c.dist})
+		if len(dst) == k {
 			break
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	ix.releaseScratch(sc)
+	slices.SortFunc(dst, func(a, b Result) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
-	return out
+	return dst
 }
 
 // candHeap is a binary heap of candidates: min-ordered when min is true

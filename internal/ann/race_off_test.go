@@ -1,0 +1,5 @@
+//go:build !race
+
+package ann
+
+const raceEnabled = false

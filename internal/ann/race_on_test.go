@@ -1,0 +1,8 @@
+//go:build race
+
+package ann
+
+// raceEnabled reports that this test binary runs under the race
+// detector; allocation-count assertions are skipped there (the detector
+// may instrument pool internals) — the non-race CI job enforces them.
+const raceEnabled = true

@@ -1,0 +1,51 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+)
+
+func benchQuery(dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	q := make([]float64, dim)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	return q
+}
+
+// BenchmarkTopKExactAppend is the exact-scan inner loop with
+// caller-owned storage: expect 0 allocs/op once the norm cache is warm.
+func BenchmarkTopKExactAppend(b *testing.B) {
+	s := randomStore(10000, 32, 3)
+	s.DisableANN()
+	f := s.Freeze()
+	q := benchQuery(32, 7)
+	buf := make([]Match, 0, 10)
+	buf = f.TopKExactAppend(q, 10, nil, buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.TopKExactAppend(q, 10, nil, buf)
+	}
+}
+
+// BenchmarkTopKAppendANN is the approximate path end to end (dispatch,
+// HNSW beam search, id->word resolution): expect 0 allocs/op with warm
+// scratch pools.
+func BenchmarkTopKAppendANN(b *testing.B) {
+	s := randomStore(10000, 32, 5)
+	s.EnableANN(1, ann.Params{})
+	s.WarmANN()
+	f := s.Freeze()
+	q := benchQuery(32, 9)
+	buf := make([]Match, 0, 10)
+	buf = f.TopKAppend(q, 10, nil, buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.TopKAppend(q, 10, nil, buf)
+	}
+}

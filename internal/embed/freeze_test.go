@@ -1,0 +1,325 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+)
+
+// captureMatches deep-copies a result list so later mutations of the
+// store (or of recycled buffers) cannot retroactively change it.
+func captureMatches(ms []Match) []Match {
+	out := make([]Match, len(ms))
+	copy(out, ms)
+	return out
+}
+
+func equalMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFreezeIsolation: a frozen snapshot is bit-stable under every live
+// mutation class — overwrites, staged and plain appends, direct matrix
+// writes behind PrepareWrite, and bulk normalisation.
+func TestFreezeIsolation(t *testing.T) {
+	for _, annOn := range []bool{false, true} {
+		name := "exact"
+		if annOn {
+			name = "ann"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := randomStore(300, 16, 42)
+			if annOn {
+				s.EnableANN(1, ann.Params{})
+			} else {
+				s.DisableANN()
+			}
+			rng := rand.New(rand.NewSource(9))
+			q := make([]float64, 16)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+
+			f := s.Freeze()
+			if !f.Frozen() || s.Frozen() {
+				t.Fatal("Frozen() flags wrong way around")
+			}
+			wantLen := f.Len()
+			wantVec := append([]float64(nil), f.Vector(3)...)
+			wantTop := captureMatches(f.TopK(q, 12, nil))
+
+			// Overwrite an existing row (COW matrix + ANN clone path).
+			nv := make([]float64, 16)
+			for i := range nv {
+				nv[i] = rng.NormFloat64()
+			}
+			s.Add(s.Word(3), nv)
+			// Append new vocabulary (COW index path; matrix append).
+			for i := 0; i < 50; i++ {
+				v := make([]float64, 16)
+				for j := range v {
+					v[j] = rng.NormFloat64()
+				}
+				s.Add("extra-"+string(rune('a'+i%26))+string(rune('0'+i/26)), v)
+			}
+			// Direct matrix writes, the incremental-repair idiom.
+			s.PrepareWrite()
+			w := s.Matrix()
+			for j := 0; j < 16; j++ {
+				w.Row(7)[j] = rng.NormFloat64()
+			}
+			s.RefreshRow(7)
+			// Bulk rewrite.
+			s.NormalizeAll()
+
+			if f.Len() != wantLen {
+				t.Fatalf("frozen Len changed: %d -> %d", wantLen, f.Len())
+			}
+			for j, x := range f.Vector(3) {
+				if x != wantVec[j] {
+					t.Fatalf("frozen vector for id 3 changed at dim %d", j)
+				}
+			}
+			if got := f.TopK(q, 12, nil); !equalMatches(got, wantTop) {
+				t.Fatalf("frozen TopK changed:\n  was %v\n  now %v", wantTop, got)
+			}
+			if _, ok := f.ID("extra-a0"); ok {
+				t.Fatal("frozen snapshot sees vocabulary added after the freeze")
+			}
+			if _, ok := s.ID("extra-a0"); !ok {
+				t.Fatal("live store lost an appended word")
+			}
+		})
+	}
+}
+
+// TestFreezeSeesPreFreezeState: the snapshot answers from exactly the
+// state at freeze time, including values added just before.
+func TestFreezeSeesPreFreezeState(t *testing.T) {
+	s := randomStore(64, 8, 7)
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	id := s.Add("fresh", v)
+	f := s.Freeze()
+	got, ok := f.VectorOf("fresh")
+	if !ok {
+		t.Fatal("frozen snapshot missing a pre-freeze value")
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("dim %d: %v != %v", i, got[i], v[i])
+		}
+	}
+	if fid, _ := f.ID("fresh"); fid != id {
+		t.Fatalf("frozen id %d != live id %d", fid, id)
+	}
+}
+
+// TestFrozenMutatorsPanic: every mutator refuses to run on a snapshot.
+func TestFrozenMutatorsPanic(t *testing.T) {
+	s := randomStore(32, 8, 3)
+	f := s.Freeze()
+	v := make([]float64, 8)
+	cases := map[string]func(){
+		"Add":           func() { f.Add("x", v) },
+		"AddStaged":     func() { f.AddStaged("x", v) },
+		"SetVector":     func() { f.SetVector(0, v) },
+		"RefreshRow":    func() { f.RefreshRow(0) },
+		"NormalizeAll":  func() { f.NormalizeAll() },
+		"EnableANN":     func() { f.EnableANN(1, ann.Params{}) },
+		"DisableANN":    func() { f.DisableANN() },
+		"InvalidateANN": func() { f.InvalidateANN() },
+		"TuneEfSearch":  func() { f.TuneEfSearch(32) },
+		"AdoptANN":      func() { _ = f.AdoptANN(ann.New(8, ann.Params{})) },
+		"PrepareWrite":  func() { f.PrepareWrite() },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a frozen snapshot did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFreezeRepeatedCycles exercises the freeze/write/freeze cadence of
+// the serving layer: each published generation stays stable while later
+// generations move on.
+func TestFreezeRepeatedCycles(t *testing.T) {
+	s := randomStore(200, 12, 5)
+	s.EnableANN(1, ann.Params{})
+	rng := rand.New(rand.NewSource(31))
+	q := make([]float64, 12)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+
+	type gen struct {
+		f   *Store
+		top []Match
+		n   int
+	}
+	var gens []gen
+	for cycle := 0; cycle < 5; cycle++ {
+		f := s.Freeze()
+		gens = append(gens, gen{f: f, top: captureMatches(f.TopK(q, 8, nil)), n: f.Len()})
+		// Mutate between freezes: one overwrite + three appends.
+		v := make([]float64, 12)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		s.Add(s.Word(rng.Intn(s.Len())), v)
+		for a := 0; a < 3; a++ {
+			nv := make([]float64, 12)
+			for j := range nv {
+				nv[j] = rng.NormFloat64()
+			}
+			s.Add("gen-"+string(rune('a'+cycle))+"-"+string(rune('0'+a)), nv)
+		}
+	}
+	for i, g := range gens {
+		if g.f.Len() != g.n {
+			t.Fatalf("generation %d grew from %d to %d", i, g.n, g.f.Len())
+		}
+		if got := g.f.TopK(q, 8, nil); !equalMatches(got, g.top) {
+			t.Fatalf("generation %d results drifted", i)
+		}
+	}
+}
+
+// TestTopKAppendBufferIndependence is the pooled-buffer property test:
+// repeated queries with interleaved k values, on both search paths, must
+// return correct results that the recycled internal scratch can never
+// alias — scribbling over one call's returned slice must not perturb any
+// other call's results.
+func TestTopKAppendBufferIndependence(t *testing.T) {
+	for _, annOn := range []bool{false, true} {
+		name := "exact"
+		if annOn {
+			name = "ann"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := randomStore(400, 16, 13)
+			if annOn {
+				s.EnableANN(1, ann.Params{})
+				s.WarmANN()
+			} else {
+				s.DisableANN()
+			}
+			rng := rand.New(rand.NewSource(17))
+			queries := make([][]float64, 8)
+			for i := range queries {
+				queries[i] = make([]float64, 16)
+				for j := range queries[i] {
+					queries[i][j] = rng.NormFloat64()
+				}
+			}
+			ks := []int{1, 17, 4, 33, 2, 9, 50, 5}
+
+			// Expected answers, computed one query at a time with fresh
+			// storage before any buffer recycling happens.
+			want := make([][]Match, len(queries))
+			for i, q := range queries {
+				want[i] = captureMatches(s.TopK(q, ks[i], nil))
+			}
+
+			// Interleave the same queries through TopK (fresh storage per
+			// call) and scribble over every returned slice immediately —
+			// if a recycled buffer aliased a returned result, a later
+			// query or the scribble would corrupt something.
+			got := make([][]Match, len(queries))
+			for round := 0; round < 4; round++ {
+				for i, q := range queries {
+					res := s.TopK(q, ks[i], nil)
+					got[i] = res
+					prev := (i + len(queries) - 1) % len(queries)
+					if round > 0 || i > 0 {
+						for j := range got[prev] {
+							if got[prev][j] != want[prev][j] {
+								t.Fatalf("round %d: result %d mutated by a later query", round, prev)
+							}
+						}
+					}
+					// Scribble: recycled scratch must not carry this back.
+					for j := range res {
+						res[j] = Match{ID: -1, Word: "poison", Score: -99}
+					}
+					got[i] = captureMatches(s.TopK(q, ks[i], nil))
+				}
+			}
+			for i := range got {
+				if !equalMatches(got[i], want[i]) {
+					t.Fatalf("query %d: interleaved results diverged from reference", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTopKExactAppendZeroAlloc guards the exact scan's inner loop: with
+// a warm norm cache and caller-owned storage it performs no allocation.
+func TestTopKExactAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are asserted without the race detector")
+	}
+	s := randomStore(2000, 32, 19)
+	s.DisableANN()
+	q := make([]float64, 32)
+	rng := rand.New(rand.NewSource(23))
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	buf := make([]Match, 0, 10)
+	buf = s.TopKExactAppend(q, 10, nil, buf) // warm the norm cache
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.TopKExactAppend(q, 10, nil, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKExactAppend allocated %.2f times per scan, want 0", allocs)
+	}
+
+	// The frozen (serving) variant must be allocation-free too.
+	f := s.Freeze()
+	allocs = testing.AllocsPerRun(100, func() {
+		buf = f.TopKExactAppend(q, 10, nil, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("frozen TopKExactAppend allocated %.2f times per scan, want 0", allocs)
+	}
+}
+
+// TestTopKAppendANNZeroAlloc covers the approximate path end to end
+// (store dispatch + index search + id->word resolution).
+func TestTopKAppendANNZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are asserted without the race detector")
+	}
+	s := randomStore(3000, 32, 29)
+	s.EnableANN(1, ann.Params{})
+	s.WarmANN()
+	f := s.Freeze()
+	q := make([]float64, 32)
+	rng := rand.New(rand.NewSource(37))
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	buf := make([]Match, 0, 10)
+	buf = f.TopKAppend(q, 10, nil, buf) // warm the scratch pools
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = f.TopKAppend(q, 10, nil, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("ANN TopKAppend allocated %.2f times per query, want 0", allocs)
+	}
+}

@@ -4,8 +4,10 @@
 package embed
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"sync"
 
 	"github.com/retrodb/retro/internal/ann"
@@ -24,11 +26,34 @@ const DefaultANNThreshold = 4096
 // each other — including the lazy ANN index build, which is serialised
 // internally. Mutations (Add, SetVector, NormalizeAll, ...) require
 // external synchronisation against reads and other writes.
+//
+// For fully lock-free concurrent reads, Freeze returns an immutable
+// snapshot that shares storage with the live store under a copy-on-write
+// discipline: the first mutation after a Freeze copies whatever piece of
+// state the snapshot still shares (matrix, vocabulary index, norm cache,
+// ANN graph) before touching it, so a frozen snapshot is never perturbed.
+// This is how the serving layer publishes read views that queries run
+// against without any lock while inserts mutate the live store.
 type Store struct {
 	dim    int
 	words  []string
 	index  map[string]int
 	matrix *vec.Matrix
+
+	// frozen marks an immutable Freeze snapshot: mutators panic, and the
+	// query paths read derived state (norms, ANN index) without locking
+	// because Freeze materialised it up front.
+	frozen bool
+
+	// shared* record which pieces of state the most recent Freeze
+	// snapshot still shares with this live store. The corresponding cow*
+	// helper copies the piece and clears the flag on the first mutation
+	// after a freeze; appends past the frozen length don't count (a
+	// snapshot never reads beyond the row/word count it was frozen at).
+	sharedMatrix bool
+	sharedIndex  bool
+	sharedNorms  bool
+	sharedANN    bool
 
 	// Approximate-search state. The HNSW index is built lazily on the
 	// first TopK at or above annThreshold and maintained incrementally by
@@ -66,14 +91,110 @@ func (s *Store) Dim() int { return s.dim }
 // Len returns the vocabulary size.
 func (s *Store) Len() int { return len(s.words) }
 
+// Frozen reports whether this store is an immutable Freeze snapshot.
+func (s *Store) Frozen() bool { return s.frozen }
+
+// mutable panics when a mutator is invoked on a frozen snapshot; the
+// serving layer depends on snapshots never changing underneath readers.
+func (s *Store) mutable(op string) {
+	if s.frozen {
+		panic("embed: " + op + " on a frozen store snapshot")
+	}
+}
+
+// Freeze returns an immutable snapshot of the store. The snapshot answers
+// every read (Vector, ID, TopK, TopKExact, Analogy) without taking any
+// lock: derived state — the row-norm cache and, where the vocabulary
+// size warrants it, the HNSW index — is materialised here, up front, so
+// no read ever builds anything lazily.
+//
+// The snapshot shares storage with the live store; the live store's
+// first mutation after a Freeze copies whatever the snapshot still
+// shares (copy-on-write), so snapshots are stable no matter how the live
+// store evolves. Appends stay O(delta): new rows and words land beyond
+// the frozen length, which no snapshot reader ever indexes. Overwrites
+// of existing rows pay one flat memcpy of the matrix (and, for the
+// vocabulary index, one map clone) per freeze/write cycle — a batch of
+// inserts amortises it across the batch.
+//
+// Freeze requires the same external synchronisation as Add. Mutating the
+// returned snapshot panics. Freezing a frozen store returns it unchanged.
+func (s *Store) Freeze() *Store {
+	if s.frozen {
+		return s
+	}
+	s.rowNorms()  // materialise the norm cache for lock-free exact scans
+	s.ensureANN() // build the index now; a snapshot never builds lazily
+	f := &Store{
+		dim:          s.dim,
+		words:        s.words,
+		index:        s.index,
+		frozen:       true,
+		annParams:    s.annParams,
+		annThreshold: s.annThreshold,
+	}
+	if s.matrix != nil {
+		m := *s.matrix // private header; the backing array is shared
+		f.matrix = &m
+	}
+	s.sharedMatrix, s.sharedIndex = true, true
+	s.normMu.Lock()
+	f.norms = s.norms
+	s.sharedNorms = true
+	s.normMu.Unlock()
+	s.annMu.Lock()
+	if s.annIndex != nil && !s.annStale {
+		f.annIndex = s.annIndex
+		s.sharedANN = true
+	}
+	s.annMu.Unlock()
+	return f
+}
+
+// cowMatrix gives the live store a private copy of the matrix backing
+// array before an existing row is overwritten in place.
+func (s *Store) cowMatrix() {
+	if !s.sharedMatrix {
+		return
+	}
+	if s.matrix != nil {
+		data := make([]float64, len(s.matrix.Data))
+		copy(data, s.matrix.Data)
+		s.matrix = &vec.Matrix{Rows: s.matrix.Rows, Cols: s.matrix.Cols, Stride: s.matrix.Stride, Data: data}
+	}
+	s.sharedMatrix = false
+}
+
+// cowIndex gives the live store a private vocabulary index before a new
+// word is registered (Go maps tolerate no concurrent read/write at all).
+func (s *Store) cowIndex() {
+	if !s.sharedIndex {
+		return
+	}
+	s.index = maps.Clone(s.index)
+	s.sharedIndex = false
+}
+
+// PrepareWrite must be called before mutating rows obtained through
+// Matrix() on a store that may have outstanding Freeze snapshots: it
+// detaches the matrix from any snapshot (copy-on-write) so the in-place
+// row writes of the incremental repair path cannot tear a published
+// read view. On a store that was never frozen it is free.
+func (s *Store) PrepareWrite() {
+	s.mutable("PrepareWrite")
+	s.cowMatrix()
+}
+
 // Add inserts a word with its vector and returns the assigned id. Adding
 // an existing word overwrites its vector and returns the existing id.
 // A built ANN index is updated in place.
 func (s *Store) Add(word string, vector []float64) int {
+	s.mutable("Add")
 	if len(vector) != s.dim {
 		panic(fmt.Sprintf("embed: vector for %q has dim %d, store has %d", word, len(vector), s.dim))
 	}
 	if id, ok := s.index[word]; ok {
+		s.cowMatrix() // overwriting a row a snapshot may be reading
 		copy(s.row(id), vector)
 		s.normUpdate(id)
 		s.annUpdate(id)
@@ -81,6 +202,7 @@ func (s *Store) Add(word string, vector []float64) int {
 	}
 	id := len(s.words)
 	s.words = append(s.words, word)
+	s.cowIndex()
 	s.index[word] = id
 	s.growTo(id + 1)
 	copy(s.row(id), vector)
@@ -99,15 +221,18 @@ func (s *Store) Add(word string, vector []float64) int {
 // lazily, so the staging window must not overlap reads (the same
 // external synchronisation Add already requires).
 func (s *Store) AddStaged(word string, vector []float64) int {
+	s.mutable("AddStaged")
 	if len(vector) != s.dim {
 		panic(fmt.Sprintf("embed: vector for %q has dim %d, store has %d", word, len(vector), s.dim))
 	}
 	if id, ok := s.index[word]; ok {
+		s.cowMatrix() // overwriting a row a snapshot may be reading
 		copy(s.row(id), vector)
 		return id
 	}
 	id := len(s.words)
 	s.words = append(s.words, word)
+	s.cowIndex()
 	s.index[word] = id
 	s.growTo(id + 1)
 	copy(s.row(id), vector)
@@ -121,6 +246,10 @@ func (s *Store) normUpdate(id int) {
 	defer s.normMu.Unlock()
 	if s.norms == nil {
 		return
+	}
+	if s.sharedNorms {
+		s.norms = slices.Clone(s.norms) // detach from any frozen snapshot
+		s.sharedNorms = false
 	}
 	for len(s.norms) < id {
 		// Rows between the cache's tail and id: AddStaged appends rows
@@ -146,6 +275,7 @@ func (s *Store) rowNorms() []float64 {
 			norms[id] = vec.Norm(s.row(id))
 		}
 		s.norms = norms
+		s.sharedNorms = false // freshly built, private to the live store
 	}
 	return s.norms
 }
@@ -157,6 +287,12 @@ func (s *Store) annUpdate(id int) {
 	defer s.annMu.Unlock()
 	if s.annIndex == nil || s.annStale {
 		return
+	}
+	if s.sharedANN {
+		// A frozen snapshot is serving queries from this graph: mutate a
+		// structural clone instead (O(n) header copies, not a rebuild).
+		s.annIndex = s.annIndex.Clone()
+		s.sharedANN = false
 	}
 	r := s.row(id)
 	if vec.Norm(r) == 0 {
@@ -181,7 +317,11 @@ func (s *Store) growTo(n int) {
 		grown := make([]float64, need, maxInt(need, 2*cap(s.matrix.Data)))
 		copy(grown, s.matrix.Data)
 		s.matrix.Data = grown
+		// The reallocation detached us from any frozen snapshot for free.
+		s.sharedMatrix = false
 	} else {
+		// In-place growth writes only rows at or past the frozen length,
+		// which no snapshot reader ever indexes — appends need no COW.
 		s.matrix.Data = s.matrix.Data[:need]
 	}
 	s.matrix.Rows = n
@@ -224,9 +364,11 @@ func (s *Store) VectorOf(word string) ([]float64, bool) {
 // SetVector overwrites the vector stored for id. A built ANN index is
 // updated in place.
 func (s *Store) SetVector(id int, vector []float64) {
+	s.mutable("SetVector")
 	if len(vector) != s.dim {
 		panic("embed: SetVector dimension mismatch")
 	}
+	s.cowMatrix()
 	copy(s.row(id), vector)
 	s.normUpdate(id)
 	s.annUpdate(id)
@@ -238,14 +380,16 @@ func (s *Store) SetVector(id int, vector []float64) {
 // directly into the matrix and then refreshes each touched row, instead
 // of copying every vector through SetVector.
 func (s *Store) RefreshRow(id int) {
+	s.mutable("RefreshRow")
 	s.normUpdate(id)
 	s.annUpdate(id)
 }
 
 // Matrix exposes the underlying (Len x Dim) matrix. Rows are live views:
 // mutating them mutates the store; callers that do so must call
-// RefreshRow for each changed row (or InvalidateANN for bulk rewrites)
-// so the ANN index and norm cache stay in step.
+// PrepareWrite first (so frozen snapshots are detached) and RefreshRow
+// for each changed row (or InvalidateANN for bulk rewrites) so the ANN
+// index and norm cache stay in step.
 func (s *Store) Matrix() *vec.Matrix {
 	if s.matrix == nil {
 		return vec.NewMatrix(0, s.dim)
@@ -269,6 +413,8 @@ func (s *Store) Clone() *Store {
 // stay zero). The paper normalises embeddings before feeding them to the
 // task networks (§5.5).
 func (s *Store) NormalizeAll() {
+	s.mutable("NormalizeAll")
+	s.cowMatrix()
 	for id := range s.words {
 		vec.Normalize(s.row(id))
 		s.normUpdate(id)
@@ -284,6 +430,7 @@ func (s *Store) NormalizeAll() {
 // parameters (zero fields select ann defaults). Any built index is
 // discarded and rebuilt lazily with the new settings.
 func (s *Store) EnableANN(threshold int, p ann.Params) {
+	s.mutable("EnableANN")
 	if threshold <= 0 {
 		threshold = DefaultANNThreshold
 	}
@@ -293,21 +440,25 @@ func (s *Store) EnableANN(threshold int, p ann.Params) {
 	s.annParams = p
 	s.annIndex = nil
 	s.annStale = false
+	s.sharedANN = false // any snapshot keeps the old index; ours is gone
 }
 
 // DisableANN makes every TopK use the exact scan.
 func (s *Store) DisableANN() {
+	s.mutable("DisableANN")
 	s.annMu.Lock()
 	defer s.annMu.Unlock()
 	s.annThreshold = 0
 	s.annIndex = nil
 	s.annStale = false
+	s.sharedANN = false
 }
 
 // InvalidateANN marks a built index stale so the next TopK rebuilds it,
 // and drops the row-norm cache. Callers that bulk-rewrite vectors through
 // Matrix() must invoke this (single-row mutations use RefreshRow).
 func (s *Store) InvalidateANN() {
+	s.mutable("InvalidateANN")
 	s.annMu.Lock()
 	if s.annIndex != nil {
 		s.annStale = true
@@ -315,6 +466,7 @@ func (s *Store) InvalidateANN() {
 	s.annMu.Unlock()
 	s.normMu.Lock()
 	s.norms = nil
+	s.sharedNorms = false // the snapshot keeps its cache; ours is dropped
 	s.normMu.Unlock()
 }
 
@@ -338,6 +490,7 @@ func (s *Store) ANNParams() ann.Params {
 // index — unlike EnableANN, which forces a rebuild. Non-positive values
 // are ignored. Requires the same external synchronisation as Add.
 func (s *Store) TuneEfSearch(ef int) {
+	s.mutable("TuneEfSearch")
 	if ef <= 0 {
 		return
 	}
@@ -345,6 +498,10 @@ func (s *Store) TuneEfSearch(ef int) {
 	defer s.annMu.Unlock()
 	s.annParams.EfSearch = ef
 	if s.annIndex != nil {
+		if s.sharedANN {
+			s.annIndex = s.annIndex.Clone() // the snapshot keeps its beam width
+			s.sharedANN = false
+		}
 		s.annIndex.SetEfSearch(ef)
 	}
 }
@@ -356,6 +513,7 @@ func (s *Store) TuneEfSearch(ef int) {
 // store had built it itself. The store's configured ANN parameters (used
 // for any future rebuild) are left untouched.
 func (s *Store) AdoptANN(idx *ann.Index) error {
+	s.mutable("AdoptANN")
 	if idx.Dim() != s.dim {
 		return fmt.Errorf("embed: adopting index of dim %d into store of dim %d", idx.Dim(), s.dim)
 	}
@@ -363,6 +521,7 @@ func (s *Store) AdoptANN(idx *ann.Index) error {
 	defer s.annMu.Unlock()
 	s.annIndex = idx
 	s.annStale = false
+	s.sharedANN = false
 	return nil
 }
 
@@ -380,9 +539,26 @@ func (s *Store) ANNIndex() *ann.Index {
 // WarmANN builds the HNSW index now if approximate search applies and it
 // is missing or stale. Serving paths call this after training and after
 // bulk repairs so the first live query never pays the O(n) build inside
-// its request.
+// its request. On a frozen snapshot it is a no-op: Freeze already
+// materialised the index.
 func (s *Store) WarmANN() {
+	if s.frozen {
+		return
+	}
 	s.ensureANN()
+}
+
+// queryANN returns the index TopK should use. A frozen snapshot reads
+// its (immutable) pointer directly — no lock, no lazy build; live stores
+// go through the build-if-needed path.
+func (s *Store) queryANN() *ann.Index {
+	if s.frozen {
+		if s.annThreshold <= 0 || len(s.words) < s.annThreshold {
+			return nil
+		}
+		return s.annIndex
+	}
+	return s.ensureANN()
 }
 
 // ensureANN returns a ready index when approximate search applies to this
@@ -409,6 +585,7 @@ func (s *Store) ensureANN() *ann.Index {
 	}
 	s.annIndex = idx
 	s.annStale = false
+	s.sharedANN = false // freshly built, private to the live store
 	return idx
 }
 
@@ -431,24 +608,39 @@ type Match struct {
 // falls back to the exact scan below it or when ANN is disabled. Use
 // TopKExact to force the exact answer.
 func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
+	return s.TopKAppend(query, k, skip, nil)
+}
+
+// resultPool recycles the intermediate ann.Result buffer the ANN path
+// needs before id->word resolution, keeping TopKAppend allocation-free.
+var resultPool = sync.Pool{New: func() any { return new([]ann.Result) }}
+
+// TopKAppend is TopK with caller-owned result storage: matches are
+// written into dst[:0] and the slice (grown if its capacity was short)
+// is returned. With cap(dst) >= k and warm scratch pools a query on
+// either path performs no allocation.
+func (s *Store) TopKAppend(query []float64, k int, skip func(id int) bool, dst []Match) []Match {
 	if len(query) != s.dim {
 		panic("embed: TopK query dimension mismatch")
 	}
+	dst = dst[:0]
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	if k > len(s.words) {
-		k = len(s.words) // bounds the result allocation on either path
+		k = len(s.words) // bounds the result growth on either path
 	}
-	if idx := s.ensureANN(); idx != nil {
-		results := idx.TopK(query, k, skip)
-		matches := make([]Match, len(results))
-		for i, r := range results {
-			matches[i] = Match{ID: r.ID, Word: s.words[r.ID], Score: r.Score}
+	if idx := s.queryANN(); idx != nil {
+		buf := resultPool.Get().(*[]ann.Result)
+		results := idx.TopKAppend(query, k, skip, *buf)
+		for _, r := range results {
+			dst = append(dst, Match{ID: r.ID, Word: s.words[r.ID], Score: r.Score})
 		}
-		return matches
+		*buf = results
+		resultPool.Put(buf)
+		return dst
 	}
-	return s.TopKExact(query, k, skip)
+	return s.TopKExactAppend(query, k, skip, dst)
 }
 
 // TopKExact is the brute-force O(n·d) scan: always exact, regardless of
@@ -457,25 +649,39 @@ func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
 // sort-per-candidate would; row norms come from the store's cache rather
 // than being recomputed per query.
 func (s *Store) TopKExact(query []float64, k int, skip func(id int) bool) []Match {
+	return s.TopKExactAppend(query, k, skip, nil)
+}
+
+// TopKExactAppend is TopKExact with caller-owned result storage: the
+// bounded min-heap is built directly in dst[:0], so with cap(dst) >= k
+// the scan performs no allocation at all. Frozen snapshots read the
+// materialised norm cache without taking the norm mutex.
+func (s *Store) TopKExactAppend(query []float64, k int, skip func(id int) bool, dst []Match) []Match {
 	if len(query) != s.dim {
 		panic("embed: TopK query dimension mismatch")
 	}
+	dst = dst[:0]
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	if k > len(s.words) {
-		k = len(s.words) // bounds the result allocation
+		k = len(s.words) // bounds the result growth
 	}
 	qn := vec.Norm(query)
 	if qn == 0 {
-		return nil
+		return dst
 	}
-	norms := s.rowNorms()
+	var norms []float64
+	if s.frozen {
+		norms = s.norms // materialised at Freeze, immutable from then on
+	} else {
+		norms = s.rowNorms()
+	}
 	// Min-heap of the best k so far: the root is the weakest kept match
 	// (lowest score; among ties, the highest id), so a candidate beats the
 	// buffer iff its score strictly exceeds the root's — ties keep the
 	// earlier entry, exactly as the id-ordered scan always has.
-	heap := make([]Match, 0, k)
+	heap := dst
 	for id := range s.words {
 		if skip != nil && skip(id) {
 			continue
@@ -496,11 +702,14 @@ func (s *Store) TopKExact(query []float64, k int, skip func(id int) bool) []Matc
 		heap[0] = Match{ID: id, Word: s.words[id], Score: score}
 		siftDown(heap, 0)
 	}
-	sort.Slice(heap, func(i, j int) bool {
-		if heap[i].Score != heap[j].Score {
-			return heap[i].Score > heap[j].Score
+	slices.SortFunc(heap, func(a, b Match) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return heap[i].ID < heap[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return heap
 }

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+)
+
+// nopResponseWriter sinks handler output so benchmarks measure the
+// serving path, not httptest.ResponseRecorder bookkeeping.
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+
+func trainBenchSession(b *testing.B, movies int) (*retro.Session, []string) {
+	b.Helper()
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: movies, Dim: 24, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	cfg.Parallel = -1
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	titles, err := w.DB.QueryText(`SELECT title FROM movies`)
+	if err != nil || len(titles) == 0 {
+		b.Fatalf("no seed titles (err=%v)", err)
+	}
+	return sess, titles
+}
+
+// benchReadServer is trained once and shared by the read-only
+// benchmarks (nothing mutates it), so -cpu sweeps don't retrain.
+var benchReadServer struct {
+	once   sync.Once
+	srv    *Server
+	h      http.Handler
+	titles []string
+	err    error
+}
+
+func sharedReadServer(b *testing.B) (*Server, http.Handler, []string) {
+	b.Helper()
+	benchReadServer.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				benchReadServer.err = fmt.Errorf("setup panic: %v", r)
+			}
+		}()
+		w := datagen.TMDB(datagen.TMDBConfig{Movies: 300, Dim: 24, Seed: 1})
+		cfg := retro.Defaults()
+		cfg.ANNThreshold = 1
+		cfg.Parallel = -1
+		sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+		if err != nil {
+			benchReadServer.err = err
+			return
+		}
+		benchReadServer.srv = New(sess, Config{CacheSize: 4096})
+		benchReadServer.h = benchReadServer.srv.Handler()
+		titles, err := w.DB.QueryText(`SELECT title FROM movies`)
+		if err != nil {
+			benchReadServer.err = err
+			return
+		}
+		benchReadServer.titles = titles
+	})
+	if benchReadServer.err != nil {
+		b.Fatal(benchReadServer.err)
+	}
+	return benchReadServer.srv, benchReadServer.h, benchReadServer.titles
+}
+
+// BenchmarkServeNeighborsParallel measures read throughput of the
+// lock-free serving path. Run with -cpu 1,4,8: the read path takes no
+// lock and the cache-hit path allocates nothing, so throughput should
+// scale near-linearly with cores.
+//
+//	cached-http  full handler path (mux, instrumentation, URL parsing)
+//	cached-core  the zero-allocation cache-hit core (key build + shard
+//	             probe + pre-encoded body), what a tuned transport sees
+//	miss-topk    uncached queries: view pin + ANN TopK + JSON encode
+func BenchmarkServeNeighborsParallel(b *testing.B) {
+	srv, h, titles := sharedReadServer(b)
+	urls := make([]string, len(titles))
+	for i, title := range titles {
+		urls[i] = "/v1/neighbors?table=movies&column=title&text=" + queryEscape(title) + "&k=10"
+	}
+	// Warm every cache entry for the current epoch.
+	for _, u := range urls {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, u, nil))
+		if w.Code != http.StatusOK {
+			b.Fatalf("warm %s: status %d", u, w.Code)
+		}
+	}
+
+	b.Run("cached-http", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			w := &nopResponseWriter{h: make(http.Header)}
+			reqs := make([]*http.Request, len(urls))
+			for i, u := range urls {
+				reqs[i] = httptest.NewRequest(http.MethodGet, u, nil)
+			}
+			i := 0
+			for pb.Next() {
+				h.ServeHTTP(w, reqs[i%len(reqs)])
+				i++
+			}
+		})
+	})
+
+	b.Run("cached-core", func(b *testing.B) {
+		epoch := srv.currentView().epoch
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, ok := srv.lookupNeighbors("movies", "title", titles[i%len(titles)], 10, epoch); !ok {
+					b.Error("cache miss on warmed key")
+					return
+				}
+				i++
+			}
+		})
+	})
+
+	b.Run("miss-topk", func(b *testing.B) {
+		// A second (cache-disabled) server over the same read-only
+		// session: every request drives the full view-pin + TopK + JSON
+		// encode path, so a regression there cannot hide behind a cache
+		// hit.
+		hMiss := New(srv.sess, Config{CacheSize: -1}).Handler()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			w := &nopResponseWriter{h: make(http.Header)}
+			reqs := make([]*http.Request, len(urls))
+			for i, u := range urls {
+				reqs[i] = httptest.NewRequest(http.MethodGet, u, nil)
+			}
+			i := 0
+			for pb.Next() {
+				hMiss.ServeHTTP(w, reqs[i%len(reqs)])
+				i++
+			}
+		})
+	})
+}
+
+// benchInsertID hands out globally unique primary keys so -cpu reruns of
+// the mixed benchmark never collide.
+var benchInsertID atomic.Int64
+
+// BenchmarkServeMixedReadInsert is the reads-during-inserts workload: a
+// background writer streams single-row inserts (each one commit, repair,
+// view publication and cache invalidation) while GOMAXPROCS readers
+// hammer /v1/neighbors. Readers never block on the writer — they pin
+// whichever view is published — so read throughput should degrade only
+// by the CPU the writer consumes, not by lock exclusion.
+func BenchmarkServeMixedReadInsert(b *testing.B) {
+	sess, titles := trainBenchSession(b, 200)
+	srv := New(sess, Config{CacheSize: 4096})
+	h := srv.Handler()
+	tbl, _ := sess.DB().Table("movies")
+	numCols := len(tbl.Columns)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writerFailed atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := benchInsertID.Add(1)
+			row := make([]any, numCols)
+			row[0] = 500000 + id
+			row[1] = fmt.Sprintf("mixed premiere %d", id)
+			row[2] = "english"
+			body, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/insert", bytes.NewReader(body)))
+			if w.Code != http.StatusOK {
+				writerFailed.Store(true)
+				return
+			}
+			time.Sleep(2 * time.Millisecond) // bounded write rate
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := &nopResponseWriter{h: make(http.Header)}
+		i := 0
+		for pb.Next() {
+			title := titles[i%len(titles)]
+			req := httptest.NewRequest(http.MethodGet,
+				"/v1/neighbors?table=movies&column=title&text="+queryEscape(title)+"&k=10", nil)
+			h.ServeHTTP(w, req)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if writerFailed.Load() {
+		b.Fatal("background insert failed")
+	}
+}

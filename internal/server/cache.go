@@ -1,75 +1,160 @@
 package server
 
 import (
-	"container/list"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// lruCache is a fixed-capacity least-recently-used cache for query
-// results. It is safe for concurrent use; the serving path reads it from
-// many goroutines at once and purges it wholesale on writes.
-type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	hits  int64
-	miss  int64
+// shardedCache is the query-result cache of the serving read path. It
+// replaced a single-mutex LRU whose Get took the exclusive lock even on
+// a hit (to splice the recency list) — under parallel load every cached
+// read serialised on that one mutex. The redesign removes both costs:
+//
+//   - Sharding: entries are spread over a power-of-two number of shards
+//     (>= GOMAXPROCS) by key hash, so concurrent requests for different
+//     keys almost never share a lock.
+//   - CLOCK recency instead of LRU order: a hit only sets an atomic
+//     reference bit under the shard's READ lock — no list splice, no
+//     exclusive section. Eviction (under the shard's write lock, on the
+//     rare miss-with-full-shard) sweeps a clock hand that gives each
+//     referenced entry a second chance. Recency is approximate, which is
+//     exactly the trade: reads stay read-mostly.
+//
+// Values are immutable pre-encoded response bodies stamped with the
+// serving-view epoch they were computed from: a Get for a different
+// epoch misses, so a result computed against an old view can never be
+// served after an insert published a new one, even if the Put raced the
+// purge.
+type shardedCache struct {
+	shards []cacheShard
+	mask   uint32
+	perCap int // capacity per shard, in entries
 }
 
-type lruEntry struct {
+type cacheShard struct {
+	mu    sync.RWMutex
+	items map[string]*cacheEntry
+	ring  []*cacheEntry // CLOCK ring, bounded by perCap
+	hand  int
+	hits  atomic.Int64
+	miss  atomic.Int64
+}
+
+type cacheEntry struct {
 	key   string
-	value any
+	epoch uint64
+	body  []byte      // immutable once published in the map
+	ref   atomic.Bool // CLOCK reference bit, set on every hit
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+func newShardedCache(capacity int) *shardedCache {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
 	}
+	perCap := (capacity + n - 1) / n
+	if perCap < 1 {
+		perCap = 1
+	}
+	c := &shardedCache{shards: make([]cacheShard, n), mask: uint32(n - 1), perCap: perCap}
+	for i := range c.shards {
+		c.shards[i].items = make(map[string]*cacheEntry)
+	}
+	return c
 }
 
-func (c *lruCache) Get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.miss++
+// fnv32 is FNV-1a over the raw key bytes; inlined here so the hit path
+// stays allocation-free (hash/fnv would force an interface indirection).
+func fnv32(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// Get returns the cached body for key if it was computed under the given
+// view epoch. The hit path allocates nothing: the map is probed with the
+// raw byte key, and recency is an atomic bit set under the read lock.
+func (c *shardedCache) Get(key []byte, epoch uint64) ([]byte, bool) {
+	sh := &c.shards[fnv32(key)&c.mask]
+	var body []byte
+	sh.mu.RLock()
+	if e := sh.items[string(key)]; e != nil && e.epoch == epoch {
+		e.ref.Store(true)
+		body = e.body
+	}
+	sh.mu.RUnlock()
+	if body == nil {
+		sh.miss.Add(1)
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).value, true
+	sh.hits.Add(1)
+	return body, true
 }
 
-func (c *lruCache) Put(key string, value any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).value = value
-		c.ll.MoveToFront(el)
+// Put stores body (which must not be mutated afterwards) for key under
+// the given epoch, evicting via the CLOCK sweep when the shard is full.
+func (c *shardedCache) Put(key []byte, epoch uint64, body []byte) {
+	sh := &c.shards[fnv32(key)&c.mask]
+	owned := string(key)
+	sh.mu.Lock()
+	if e := sh.items[owned]; e != nil {
+		// Same key recomputed (typically under a newer epoch): replace
+		// the payload in place. Concurrent readers copied the old body
+		// slice header out under the read lock; swapping the field here
+		// never mutates those bytes.
+		e.epoch = epoch
+		e.body = body
+		e.ref.Store(true)
+		sh.mu.Unlock()
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, value: value})
-	if c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).key)
+	e := &cacheEntry{key: owned, epoch: epoch, body: body}
+	if len(sh.ring) < c.perCap {
+		sh.ring = append(sh.ring, e)
+	} else {
+		for {
+			victim := sh.ring[sh.hand]
+			if victim.ref.CompareAndSwap(true, false) {
+				sh.hand = (sh.hand + 1) % len(sh.ring)
+				continue // second chance
+			}
+			delete(sh.items, victim.key)
+			sh.ring[sh.hand] = e
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			break
+		}
+	}
+	sh.items[owned] = e
+	sh.mu.Unlock()
+}
+
+// Purge drops every entry in every shard. Epoch stamping already makes
+// stale entries unservable the moment a new view is published; Purge
+// additionally releases their memory. Hit/miss counters survive.
+func (c *shardedCache) Purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.items)
+		sh.ring = sh.ring[:0]
+		sh.hand = 0
+		sh.mu.Unlock()
 	}
 }
 
-// Purge drops every entry (used on insert: any cached neighbour list may
-// now be missing the new values). Hit/miss counters survive.
-func (c *lruCache) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	clear(c.items)
-}
-
-func (c *lruCache) Stats() (length, capacity int, hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len(), c.cap, c.hits, c.miss
+// Stats sums entry counts and hit/miss counters across shards.
+func (c *shardedCache) Stats() (length, capacity, shards int, hits, misses int64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		length += len(sh.items)
+		sh.mu.RUnlock()
+		hits += sh.hits.Load()
+		misses += sh.miss.Load()
+	}
+	return length, c.perCap * len(c.shards), len(c.shards), hits, misses
 }

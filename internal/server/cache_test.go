@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedCacheBasics(t *testing.T) {
+	c := newShardedCache(64)
+	key := []byte("n\x00movies\x00title\x00alien\x003")
+	if _, ok := c.Get(key, 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, 1, []byte("body-1"))
+	body, ok := c.Get(key, 1)
+	if !ok || string(body) != "body-1" {
+		t.Fatalf("Get = %q, %v", body, ok)
+	}
+	// A different epoch misses: results computed under an old view are
+	// unservable the moment a new view is published.
+	if _, ok := c.Get(key, 2); ok {
+		t.Fatal("stale-epoch entry served")
+	}
+	// Re-putting under the new epoch revives the key.
+	c.Put(key, 2, []byte("body-2"))
+	if body, ok := c.Get(key, 2); !ok || string(body) != "body-2" {
+		t.Fatalf("after re-put: %q, %v", body, ok)
+	}
+
+	length, capacity, shards, hits, misses := c.Stats()
+	if length != 1 {
+		t.Fatalf("entries = %d, want 1", length)
+	}
+	if capacity < 64 || shards < 1 {
+		t.Fatalf("capacity %d shards %d", capacity, shards)
+	}
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits %d misses %d, want 2/2", hits, misses)
+	}
+
+	c.Purge()
+	if _, ok := c.Get(key, 2); ok {
+		t.Fatal("hit after purge")
+	}
+	if length, _, _, _, _ := c.Stats(); length != 0 {
+		t.Fatalf("entries after purge = %d", length)
+	}
+}
+
+// TestShardedCacheClockEviction: when a shard fills, the CLOCK sweep
+// evicts an unreferenced entry and gives recently hit entries a second
+// chance.
+func TestShardedCacheClockEviction(t *testing.T) {
+	c := newShardedCache(1) // one entry per shard: every insert contends
+	// Fill far beyond capacity; each Put may evict within its shard.
+	for i := 0; i < 256; i++ {
+		c.Put([]byte(fmt.Sprintf("key-%d", i)), 1, []byte{byte(i)})
+	}
+	length, capacity, _, _, _ := c.Stats()
+	if length > capacity {
+		t.Fatalf("%d entries exceed capacity %d", length, capacity)
+	}
+
+	// Second chance: fill one shard with a hot entry (hit, so its ref
+	// bit is set) and cold entries, then overflow it. The sweep must
+	// clear the hot entry's bit and evict a cold one instead.
+	c2 := newShardedCache(len(c.shards) * 4) // 4 entries per shard
+	hot := []byte("hot-key")
+	sh := &c2.shards[fnv32(hot)&c2.mask]
+	c2.Put(hot, 1, []byte("hot"))
+	var cold [][]byte
+	for i := 0; len(cold) < 4; i++ {
+		k := []byte(fmt.Sprintf("collide-%d", i))
+		if &c2.shards[fnv32(k)&c2.mask] == sh {
+			cold = append(cold, k)
+		}
+	}
+	for _, k := range cold[:3] { // shard now full: hot + 3 cold
+		c2.Put(k, 1, []byte("cold"))
+	}
+	if _, ok := c2.Get(hot, 1); !ok { // sets the hot ref bit
+		t.Fatal("hot key lost before any eviction pressure")
+	}
+	c2.Put(cold[3], 1, []byte("cold")) // overflow: one eviction
+	if _, ok := c2.Get(hot, 1); !ok {
+		t.Fatal("referenced entry evicted without a second chance")
+	}
+	evicted := 0
+	for _, k := range cold {
+		if _, ok := c2.Get(k, 1); !ok {
+			evicted++
+		}
+	}
+	if evicted != 1 {
+		t.Fatalf("%d cold entries missing, want exactly 1 evicted", evicted)
+	}
+}
+
+// TestShardedCacheConcurrency hammers Get/Put/Purge from many
+// goroutines; -race arms it.
+func TestShardedCacheConcurrency(t *testing.T) {
+	c := newShardedCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := []byte(fmt.Sprintf("key-%d", (g*31+i)%64))
+				if i%7 == 0 {
+					c.Put(key, uint64(i%3), []byte("v"))
+				} else {
+					c.Get(key, uint64(i%3))
+				}
+				if g == 0 && i%250 == 249 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

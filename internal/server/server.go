@@ -1,13 +1,18 @@
 // Package server exposes a trained retro.Session over HTTP/JSON: the
-// embedding serving subsystem. Reads (vector lookup, neighbours, analogy,
-// stats) run concurrently under a shared read lock; inserts take the
-// write lock, repair the model incrementally and invalidate the query
-// cache. Only the standard library is used.
+// embedding serving subsystem. The read path is lock-free: every query
+// loads an atomically published, immutable serving view (a frozen
+// embedding store + HNSW index, see view.go) and runs against it without
+// taking any lock; results are cached in a sharded CLOCK cache whose hit
+// path neither locks exclusively nor allocates. Inserts serialise on a
+// write mutex, mutate the live session under the store's copy-on-write
+// discipline (published views are never perturbed) and install the
+// successor view with a single pointer swap. Only the standard library
+// is used.
 //
 // Endpoints:
 //
 //	GET  /healthz                 liveness
-//	GET  /v1/stats                counters, cache and ANN introspection
+//	GET  /v1/stats                counters, cache, view and ANN introspection
 //	GET  /v1/vector?table=&column=&text=
 //	GET  /v1/neighbors?table=&column=&text=&k=
 //	POST /v1/analogy              {"a":{...},"b":{...},"c":{...},"k":n}
@@ -15,17 +20,18 @@
 //	POST /v1/insert               {"table":"...","rows":[[...],...]} batch
 //
 // A batch commits all rows and performs ONE incremental repair, one
-// cache purge and one index warm-up — N single-row inserts pay each of
-// those N times — and the exclusive write lock is held only for the
-// commit + repair, not for request parsing or the index rebuild.
+// index warm-up and one view publication — N single-row inserts pay each
+// of those N times. Readers are never blocked by a write: queries that
+// raced the insert finish on the previous view, and every query observes
+// exactly one view (pre- or post-insert state, never a mix).
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,8 +43,8 @@ import (
 
 // Config tunes the server.
 type Config struct {
-	// CacheSize is the LRU query-cache capacity in entries (default 1024,
-	// negative disables caching).
+	// CacheSize is the query-cache capacity in entries, spread across
+	// GOMAXPROCS-aligned shards (default 1024, negative disables).
 	CacheSize int
 	// Origin records where the session came from (trained in-process vs
 	// resumed from a snapshot); it is surfaced in /v1/stats. Nil means
@@ -61,22 +67,37 @@ type Origin struct {
 }
 
 // Server serves one live retro.Session. Snapshot-resumed and in-process
-// trained sessions are served identically: every endpoint goes through
-// the same model interface, and inserts maintain the deserialised HNSW
-// graph in place just as they would a freshly built one.
+// trained sessions are served identically. Queries run against the
+// published servingView; the session itself is touched only by writers
+// holding writeMu (and by /v1/stats through the session's atomic
+// staleness flag, which needs no lock).
 type Server struct {
-	// mu orders queries against inserts: reads share, inserts exclude.
-	// The lazy ANN build inside the store is internally synchronised, so
-	// concurrent readers never block each other.
-	mu      sync.RWMutex
+	// view is the atomically published immutable read state. Replaces
+	// the server-wide RWMutex the read path used to funnel through.
+	view atomic.Pointer[servingView]
+
+	// writeMu serialises state changes: inserts, view publication and
+	// snapshot writes. Readers never take it.
+	writeMu sync.Mutex
+
 	sess    *retro.Session
-	cache   *lruCache
-	metrics metrics
+	cache   *shardedCache
+	metrics metricsTable
 	started time.Time
 	origin  *Origin
+
+	// View lifecycle accounting (see view.go). retired is guarded by
+	// writeMu; the counters are atomics so /v1/stats reads them without
+	// blocking behind a write in progress.
+	retired        []*servingView
+	swaps          atomic.Int64
+	drained        atomic.Int64
+	retiredWaiting atomic.Int64
 }
 
-// New wraps an already-trained (or snapshot-resumed) session.
+// New wraps an already-trained (or snapshot-resumed) session and
+// publishes its first serving view (warming the ANN index if the
+// vocabulary calls for one, so no query ever pays the build).
 func New(sess *retro.Session, cfg Config) *Server {
 	size := cfg.CacheSize
 	if size == 0 {
@@ -87,13 +108,18 @@ func New(sess *retro.Session, cfg Config) *Server {
 		s.origin = &Origin{Source: "trained"}
 	}
 	if size > 0 {
-		s.cache = newLRUCache(size)
+		s.cache = newShardedCache(size)
 	}
+	s.writeMu.Lock()
+	s.publishLocked()
+	s.writeMu.Unlock()
 	return s
 }
 
 // Handler returns the route table, each endpoint wrapped with latency and
-// hit accounting.
+// hit accounting. Build handlers before serving traffic; construction
+// registers the per-endpoint counters that the request path then reads
+// without any lock.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", "GET", s.handleHealthz))
@@ -107,29 +133,58 @@ func (s *Server) Handler() http.Handler {
 
 // --- metrics ---------------------------------------------------------------
 
+// endpointStats is one endpoint's counters. All fields are atomics; the
+// request path never takes a lock to account a request.
 type endpointStats struct {
+	name    string
 	Count   atomic.Int64
 	Errors  atomic.Int64
 	TotalNs atomic.Int64
 }
 
-type metrics struct {
-	mu sync.Mutex
-	by map[string]*endpointStats
+// metricsTable is the pre-registered endpoint table. Registration
+// happens once, at Handler() construction; after that the table is an
+// immutable slice behind an atomic pointer, so both the per-request
+// accounting (which holds its *endpointStats directly) and the stats
+// endpoint's iteration are lock-free. This replaces the old
+// mutex-guarded map that every stats render serialised on.
+type metricsTable struct {
+	mu    sync.Mutex // guards registration only
+	table atomic.Pointer[[]*endpointStats]
 }
 
-func (m *metrics) get(endpoint string) *endpointStats {
+func (m *metricsTable) get(endpoint string) *endpointStats {
+	if p := m.table.Load(); p != nil {
+		for _, st := range *p {
+			if st.name == endpoint {
+				return st
+			}
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.by == nil {
-		m.by = make(map[string]*endpointStats)
+	var cur []*endpointStats
+	if p := m.table.Load(); p != nil {
+		cur = *p
+		for _, st := range cur {
+			if st.name == endpoint {
+				return st
+			}
+		}
 	}
-	st, ok := m.by[endpoint]
-	if !ok {
-		st = &endpointStats{}
-		m.by[endpoint] = st
-	}
+	st := &endpointStats{name: endpoint}
+	next := make([]*endpointStats, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = st
+	m.table.Store(&next)
 	return st
+}
+
+func (m *metricsTable) snapshot() []*endpointStats {
+	if p := m.table.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // statusWriter records the response code for error accounting.
@@ -178,6 +233,16 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// encodeBody renders v the same way writeJSON does (trailing newline
+// included) into a fresh byte slice.
+func encodeBody(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
 // valueRef addresses one text value of the database.
 type valueRef struct {
 	Table  string `json:"table"`
@@ -192,6 +257,14 @@ func refFromQuery(r *http.Request) (valueRef, error) {
 		return ref, fmt.Errorf("table, column and text query parameters are required")
 	}
 	return ref, nil
+}
+
+// storeKey is the embedding-store key for a (table, column, text) value:
+// category name and raw text, exactly as extraction registers them. The
+// read path resolves values directly against the frozen store with this
+// key — it never touches the session.
+func storeKey(table, column, text string) string {
+	return table + "." + column + "\x00" + text
 }
 
 // match is one neighbour in a response. Key is the raw store key; the
@@ -211,6 +284,39 @@ func toMatches(ms []retro.Match) []match {
 	return out
 }
 
+// neighborsResponse is the /v1/neighbors payload. A struct (not a map)
+// so the encoding is deterministic and the cached body for a key is a
+// stable byte string. Cached MUST stay the last field: the cache stores
+// the hit variant by patching the encoded suffix (see cachedVariant)
+// instead of encoding the payload a second time.
+type neighborsResponse struct {
+	Query     valueRef `json:"query"`
+	K         int      `json:"k"`
+	Neighbors []match  `json:"neighbors"`
+	Cached    bool     `json:"cached"`
+}
+
+const (
+	missSuffix = `"cached":false}` + "\n"
+	hitSuffix  = `"cached":true}` + "\n"
+)
+
+// cachedVariant derives the cached:true body from an encoded
+// cached:false response by swapping the fixed trailing token, so a miss
+// encodes the (potentially large) neighbour list exactly once. Returns
+// nil if the body does not end as expected (never the case for
+// neighborsResponse; checked so a future field reorder fails safe to
+// "don't cache" instead of serving a corrupt payload).
+func cachedVariant(body []byte) []byte {
+	if !bytes.HasSuffix(body, []byte(missSuffix)) {
+		return nil
+	}
+	head := len(body) - len(missSuffix)
+	out := make([]byte, 0, head+len(hitSuffix))
+	out = append(out, body[:head]...)
+	return append(out, hitSuffix...)
+}
+
 // --- handlers --------------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -223,17 +329,54 @@ func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, err := s.sess.Model().Vector(ref.Table, ref.Column, ref.Text)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+	v := s.acquireView()
+	defer v.release()
+	id, ok := v.store.ID(storeKey(ref.Table, ref.Column, ref.Text))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
 		return
 	}
+	vector := v.store.Vector(id)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"table": ref.Table, "column": ref.Column, "text": ref.Text,
-		"dim": len(v), "vector": v,
+		"dim": len(vector), "vector": vector,
 	})
+}
+
+// keyScratch pools the cache-key build buffer so the hit path allocates
+// nothing.
+type keyScratch struct{ buf []byte }
+
+var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// appendNeighborsKey renders the cache key for a neighbours query. NUL
+// separators cannot occur inside table/column names or clash with the
+// decimal k, so distinct queries never collide.
+func appendNeighborsKey(b []byte, table, column, text string, k int) []byte {
+	b = append(b, 'n', 0)
+	b = append(b, table...)
+	b = append(b, 0)
+	b = append(b, column...)
+	b = append(b, 0)
+	b = append(b, text...)
+	b = append(b, 0)
+	return strconv.AppendInt(b, int64(k), 10)
+}
+
+// lookupNeighbors probes the cache for a pre-encoded response computed
+// under the given view epoch. Steady-state hits perform zero heap
+// allocations: pooled key buffer, byte-keyed map probe, atomic recency
+// bit, and the returned body is written to the client verbatim.
+func (s *Server) lookupNeighbors(table, column, text string, k int, epoch uint64) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	ks := keyScratchPool.Get().(*keyScratch)
+	ks.buf = appendNeighborsKey(ks.buf[:0], table, column, text, k)
+	body, ok := s.cache.Get(ks.buf, epoch)
+	keyScratchPool.Put(ks)
+	return body, ok
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -250,34 +393,47 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	// Clamp before allocating anything k-sized: a single unauthenticated
 	// request must not be able to demand a multi-gigabyte result buffer.
-	if n := s.sess.Model().NumValues(); k > n {
-		k = n
+	v := s.currentView()
+	if k > v.numValues {
+		k = v.numValues
 	}
-	cacheKey := fmt.Sprintf("n\x00%s\x00%s\x00%s\x00%d", ref.Table, ref.Column, ref.Text, k)
-	if s.cache != nil {
-		if hit, ok := s.cache.Get(cacheKey); ok {
-			writeJSON(w, http.StatusOK, map[string]any{
-				"query": ref, "k": k, "neighbors": hit, "cached": true,
-			})
-			return
-		}
-	}
-	ms, err := s.sess.Model().Neighbors(ref.Table, ref.Column, ref.Text, k)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+	if body, ok := s.lookupNeighbors(ref.Table, ref.Column, ref.Text, k, v.epoch); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
 		return
 	}
-	out := toMatches(ms)
-	if s.cache != nil {
-		s.cache.Put(cacheKey, out)
+
+	v = s.acquireView()
+	defer v.release()
+	store := v.store
+	id, ok := store.ID(storeKey(ref.Table, ref.Column, ref.Text))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"query": ref, "k": k, "neighbors": out, "cached": false,
-	})
+	ms := store.TopKAppend(store.Vector(id), k, func(x int) bool { return x == id }, nil)
+	resp := neighborsResponse{Query: ref, K: k, Neighbors: toMatches(ms), Cached: false}
+	body := encodeBody(resp)
+	if s.cache != nil {
+		// Cache the full pre-encoded response (with cached:true, derived
+		// by patching the suffix — the payload is encoded once): a hit
+		// writes these bytes verbatim — no re-encoding, no allocation.
+		// Stamped with the epoch the result was computed under, so an
+		// insert that publishes a newer view implicitly kills it.
+		if hit := cachedVariant(body); hit != nil {
+			ks := keyScratchPool.Get().(*keyScratch)
+			ks.buf = appendNeighborsKey(ks.buf[:0], ref.Table, ref.Column, ref.Text, k)
+			s.cache.Put(ks.buf, v.epoch, hit)
+			keyScratchPool.Put(ks)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
@@ -294,23 +450,22 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 10
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	model := s.sess.Model()
-	if n := model.NumValues(); req.K > n {
-		req.K = n
+	v := s.acquireView()
+	defer v.release()
+	if req.K > v.numValues {
+		req.K = v.numValues
 	}
 	keys := make([]string, 3)
 	for i, ref := range []valueRef{req.A, req.B, req.C} {
-		key, ok := model.Key(ref.Table, ref.Column, ref.Text)
-		if !ok {
+		key := storeKey(ref.Table, ref.Column, ref.Text)
+		if _, ok := v.store.ID(key); !ok {
 			writeError(w, http.StatusNotFound,
 				fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
 			return
 		}
 		keys[i] = key
 	}
-	ms, err := model.Store().Analogy(keys[0], keys[1], keys[2], req.K)
+	ms, err := v.store.Analogy(keys[0], keys[1], keys[2], req.K)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -347,20 +502,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Everything that does not touch session state — arity checks, JSON
-	// value conversion — runs before the write lock, so readers are only
-	// excluded for the commit + repair itself.
-	s.mu.RLock()
+	// The schema probe and per-row value conversion run before the write
+	// mutex: the table map and column definitions are fixed once the
+	// dataset is loaded (the server exposes no DDL, and db.Insert only
+	// appends rows), so reading them is safe without any lock and a
+	// large batch's O(rows) decoding never blocks another writer. Only
+	// the commit + repair + publication below are write-exclusive —
+	// and even those exclude writers only, never readers.
 	tbl, ok := s.sess.DB().Table(req.Table)
-	numCols := 0
-	if ok {
-		numCols = len(tbl.Columns)
-	}
-	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q", req.Table))
 		return
 	}
+	numCols := len(tbl.Columns)
 	rows := make([][]retro.Value, len(rawRows))
 	for ri, raw := range rawRows {
 		if len(raw) != numCols {
@@ -369,8 +523,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		row := make([]retro.Value, len(raw))
-		for i, v := range raw {
-			rv, err := jsonValue(v)
+		for i, val := range raw {
+			rv, err := jsonValue(val)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d value %d: %v", ri, i, err))
 				return
@@ -380,43 +534,40 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		rows[ri] = row
 	}
 
-	// Commit + one repair for the whole batch under the write lock. The
-	// store (and its ANN index) is maintained in place, so readers see
-	// the new values as soon as the lock drops.
-	s.mu.Lock()
+	s.writeMu.Lock()
 	err := s.sess.InsertBatch(req.Table, rows)
 	committed := len(rows)
 	var batch *retro.BatchError
 	if errors.As(err, &batch) {
 		committed = batch.Committed
 	}
-	if committed > 0 && s.cache != nil {
-		s.cache.Purge()
+	var repair *retro.RepairError
+	repairFailed := errors.As(err, &repair)
+	published := committed > 0 && !repairFailed
+	if published {
+		// Warm the index and publish the successor view. The warm-up and
+		// the freeze both run on the live store, invisible to readers:
+		// the cost of a write lands on this write, never on a query.
+		s.publishLocked()
 	}
-	s.mu.Unlock()
-
-	// Whatever the outcome, if rows landed, rebuild the index now (a
-	// no-op unless the repair invalidated it) so the cost falls on this
-	// write, not on the next reader — including the partial-batch and
-	// repair-failure responses below. The build is internally
-	// serialised; holding only the read lock keeps queries flowing.
-	if committed > 0 {
-		s.mu.RLock()
-		s.sess.Model().Store().WarmANN()
-		s.mu.RUnlock()
+	numValues := s.currentView().numValues
+	s.writeMu.Unlock()
+	if published && s.cache != nil {
+		// Entries stamped with the old epoch are already unservable; the
+		// purge just releases their memory promptly.
+		s.cache.Purge()
 	}
 
 	if err != nil {
-		var repair *retro.RepairError
-		if errors.As(err, &repair) {
+		if repairFailed {
 			// The rows ARE committed — a 400 would invite a retry that
 			// can only hit a duplicate key. Signal a server-side failure.
-			// The session is now marked stale (see /v1/stats); queries
-			// keep serving the last good vectors. Deliberately NOT
-			// resolved inline here: reads keep flowing until the NEXT
-			// insert, which pays the full re-solve under the write lock
-			// once, instead of this (and every) failing request
-			// stalling all readers for a retrain.
+			// The session is marked stale (see /v1/stats) and the old
+			// view stays published: queries keep serving the last good
+			// vectors. Deliberately NOT resolved inline here: reads keep
+			// flowing until the NEXT insert, which pays the full re-solve
+			// once, instead of this (and every) failing request stalling
+			// the write path for a retrain.
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -432,9 +583,6 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.RLock()
-	numValues := s.sess.Model().NumValues()
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"inserted": true, "rows": len(rows), "table": req.Table, "num_values": numValues,
 	})
@@ -464,15 +612,10 @@ func jsonValue(v any) (retro.Value, error) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	// Snapshot everything — including the index introspection — while
-	// holding the read lock: inserts mutate the index under the write
-	// lock, so touching idx after RUnlock would race.
-	s.mu.RLock()
-	model := s.sess.Model()
-	numValues := model.NumValues()
-	stale := s.sess.Stale()
-	store := model.Store()
-	dim := store.Dim()
+	// Everything here reads either the immutable published view or
+	// dedicated atomics — no lock is taken and no insert is stalled.
+	v := s.currentView()
+	store := v.store
 	threshold := store.ANNThreshold()
 	idx := store.ANNIndex()
 	annStats := map[string]any{"enabled": threshold > 0, "threshold": threshold, "built": idx != nil}
@@ -484,25 +627,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		annStats["ef_construction"] = p.EfConstruction
 		annStats["ef_search"] = p.EfSearch
 	}
-	s.mu.RUnlock()
 
 	var cacheStats map[string]any
 	if s.cache != nil {
-		length, capacity, hits, misses := s.cache.Stats()
+		length, capacity, shards, hits, misses := s.cache.Stats()
 		cacheStats = map[string]any{
-			"entries": length, "capacity": capacity, "hits": hits, "misses": misses,
+			"entries": length, "capacity": capacity, "shards": shards,
+			"hits": hits, "misses": misses,
 		}
 	}
 
 	endpoints := map[string]any{}
-	s.metrics.mu.Lock()
-	names := make([]string, 0, len(s.metrics.by))
-	for name := range s.metrics.by {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		st := s.metrics.by[name]
+	for _, st := range s.metrics.snapshot() {
 		count := st.Count.Load()
 		total := time.Duration(st.TotalNs.Load())
 		ep := map[string]any{
@@ -513,9 +649,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if count > 0 {
 			ep["avg_ms"] = float64(total) / float64(count) / float64(time.Millisecond)
 		}
-		endpoints[name] = ep
+		endpoints[st.name] = ep
 	}
-	s.metrics.mu.Unlock()
 
 	origin := map[string]any{"source": s.origin.Source}
 	if s.origin.Source == "snapshot" {
@@ -530,13 +665,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
-		"num_values":     numValues,
-		"dim":            dim,
+		"num_values":     v.numValues,
+		"dim":            v.dim,
 		// stale means a repair failed after a commit: queries serve the
 		// last good vectors and the next write runs a full re-solve.
-		"session":   map[string]any{"stale": stale},
-		"ann":       annStats,
-		"cache":     cacheStats,
+		"session": map[string]any{"stale": s.sess.Stale()},
+		"ann":     annStats,
+		"cache":   cacheStats,
+		// View lifecycle: epoch of the published view, how many times a
+		// write swapped in a successor, how many retired views have fully
+		// drained their readers, and how many are still draining.
+		"views": map[string]any{
+			"epoch":    v.epoch,
+			"swaps":    s.swaps.Load(),
+			"drained":  s.drained.Load(),
+			"draining": s.retiredWaiting.Load(),
+		},
 		"endpoints": endpoints,
 		"origin":    origin,
 	})

@@ -1,0 +1,120 @@
+// Serving views: the lock-free read path.
+//
+// The server used to order queries against inserts with one server-wide
+// sync.RWMutex — every read bounced the same lock word, and a write
+// stalled the whole read side for the duration of commit + repair. That
+// invariant is gone. Reads now load an atomic pointer to an immutable
+// servingView and run entirely against it; writers build the successor
+// state off to the side (the live session mutates under copy-on-write,
+// so published views are never perturbed) and install it with a single
+// pointer swap. Readers that were mid-query keep using the view they
+// loaded; it is retired and reclaimed once its in-flight reference count
+// drains.
+package server
+
+import (
+	"io"
+	"sync/atomic"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/embed"
+)
+
+// servingView is one immutable generation of everything a query needs:
+// a frozen embedding store (vocabulary, matrix, norm cache and HNSW
+// index, all materialised and stable) plus the scalar metadata handlers
+// read. Views are never mutated after publication.
+type servingView struct {
+	epoch     uint64
+	store     *embed.Store // frozen snapshot: lock-free reads
+	numValues int
+	dim       int
+
+	// refs counts in-flight readers; it gates when a retired view is
+	// considered drained (see Server.sweepRetiredLocked).
+	refs atomic.Int64
+}
+
+// currentView returns the published view for wait-free metadata reads
+// (epoch, counts). Callers that will touch the store through blocking
+// work should use acquireView so drain accounting sees them.
+func (s *Server) currentView() *servingView {
+	return s.view.Load()
+}
+
+// acquireView pins the published view for the duration of a query. The
+// validation reload makes the pin race-free: if the view was swapped out
+// between the load and the ref bump, the ref is rolled back and the new
+// view is pinned instead, so a view whose refcount reads zero after
+// unpublication can never gain a reader that touches it.
+func (s *Server) acquireView() *servingView {
+	for {
+		v := s.view.Load()
+		v.refs.Add(1)
+		if s.view.Load() == v {
+			return v
+		}
+		v.refs.Add(-1)
+	}
+}
+
+func (v *servingView) release() { v.refs.Add(-1) }
+
+// publishLocked freezes the session's current store into a new view and
+// swaps it in. Caller holds writeMu. The WarmANN runs on the live store
+// before the freeze, so an index (re)build triggered by the write is
+// paid here — off the published view, with readers still flowing against
+// the old one — never inside a reader's request.
+func (s *Server) publishLocked() {
+	store := s.sess.Model().Store()
+	store.WarmANN()
+	frozen := store.Freeze()
+	old := s.view.Load()
+	next := &servingView{
+		store:     frozen,
+		numValues: frozen.Len(),
+		dim:       frozen.Dim(),
+	}
+	if old != nil {
+		next.epoch = old.epoch + 1
+	}
+	s.view.Store(next)
+	if old != nil {
+		s.swaps.Add(1)
+		s.retired = append(s.retired, old)
+	}
+	s.sweepRetiredLocked()
+}
+
+// sweepRetiredLocked reclaims retired views whose readers have drained.
+// Caller holds writeMu. Dropping the reference here is what lets the GC
+// collect a generation's copied state once no query can touch it.
+func (s *Server) sweepRetiredLocked() {
+	kept := s.retired[:0]
+	for _, v := range s.retired {
+		if v.refs.Load() == 0 {
+			s.drained.Add(1)
+			continue
+		}
+		kept = append(kept, v)
+	}
+	for i := len(kept); i < len(s.retired); i++ {
+		s.retired[i] = nil
+	}
+	s.retired = kept
+	s.retiredWaiting.Store(int64(len(kept)))
+}
+
+// WriteSnapshot serialises the served session to w. It takes the write
+// lock — excluding inserts, exactly the discipline Session.Snapshot
+// documents — while queries keep flowing against the published view.
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.sess.Snapshot(w)
+}
+
+// Session returns the served session. Any direct use must follow the
+// session's synchronisation rules; it is exposed for operational tooling
+// (snapshot timers, staleness probes), not for the request path.
+func (s *Server) Session() *retro.Session { return s.sess }

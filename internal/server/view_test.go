@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestViewPublicationAtomicity is the torn-read regression test for the
+// lock-free read path: writers insert PAIRS of rows in single batches
+// while readers pin serving views and check that each view is internally
+// consistent — both members of a pair present or both absent, and every
+// vector bit-stable for the lifetime of the view. A concurrent snapshot
+// writer exercises the write-mutex path at the same time. Run under
+// -race (CI does) this doubles as the data-race check for view
+// publication, copy-on-write and the sharded cache.
+func TestViewPublicationAtomicity(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+
+	const pairs = 6
+	cols := columnCount(t, s, "movies")
+
+	// Baseline vector bytes for an existing title, per epoch: within one
+	// view the vector must never change, even while repairs rewrite the
+	// live store's rows.
+	probeKey := storeKey("movies", "title", titles[0])
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+
+	// Reader goroutines: pin a view, verify pair-atomicity and vector
+	// stability inside it.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := s.acquireView()
+				store := v.store
+				id, ok := store.ID(probeKey)
+				if !ok {
+					errs <- fmt.Errorf("epoch %d: probe title missing", v.epoch)
+					v.release()
+					return
+				}
+				before := append([]float64(nil), store.Vector(id)...)
+				for p := 0; p < pairs; p++ {
+					_, okL := store.ID(storeKey("movies", "title", fmt.Sprintf("pair %d left", p)))
+					_, okR := store.ID(storeKey("movies", "title", fmt.Sprintf("pair %d right", p)))
+					if okL != okR {
+						errs <- fmt.Errorf("epoch %d: torn batch: pair %d left=%v right=%v", v.epoch, p, okL, okR)
+					}
+				}
+				after := store.Vector(id)
+				for j := range before {
+					if before[j] != after[j] {
+						errs <- fmt.Errorf("epoch %d: vector changed within a view at dim %d", v.epoch, j)
+						break
+					}
+				}
+				v.release()
+			}
+		}()
+	}
+
+	// Concurrent snapshot writer: serialises with inserts on writeMu,
+	// never with readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := s.WriteSnapshot(io.Discard); err != nil {
+				errs <- fmt.Errorf("concurrent snapshot: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer: each batch inserts a left/right pair atomically.
+	for p := 0; p < pairs; p++ {
+		rows := [][]any{
+			makeRow(cols, map[int]any{0: 60000 + 2*p, 1: fmt.Sprintf("pair %d left", p), 2: "english"}),
+			makeRow(cols, map[int]any{0: 60001 + 2*p, 1: fmt.Sprintf("pair %d right", p), 2: "english"}),
+		}
+		body, _ := json.Marshal(map[string]any{"table": "movies", "rows": rows})
+		rec, resp := post(t, h, "/v1/insert", string(body))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("pair %d insert: code %d body %v", p, rec.Code, resp)
+		}
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Post-conditions: the final view carries every pair and a bumped
+	// epoch; retired views have drained.
+	v := s.currentView()
+	for p := 0; p < pairs; p++ {
+		if _, ok := v.store.ID(storeKey("movies", "title", fmt.Sprintf("pair %d left", p))); !ok {
+			t.Errorf("final view missing pair %d", p)
+		}
+	}
+	if v.epoch < uint64(pairs) {
+		t.Errorf("epoch %d after %d publishing inserts", v.epoch, pairs)
+	}
+	s.writeMu.Lock()
+	s.sweepRetiredLocked()
+	waiting := len(s.retired)
+	s.writeMu.Unlock()
+	if waiting != 0 {
+		t.Errorf("%d retired views still hold readers after drain", waiting)
+	}
+}
+
+// TestViewEpochAdvancesAndStatsExposeViews: /v1/stats surfaces the view
+// lifecycle counters the ops side needs to see swaps happening.
+func TestViewEpochAdvancesAndStatsExposeViews(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	_, body := get(t, h, "/v1/stats")
+	views, ok := body["views"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats.views missing: %v", body)
+	}
+	epoch0 := views["epoch"].(float64)
+
+	cols := columnCount(t, s, "movies")
+	row := makeRow(cols, map[int]any{0: 61001, 1: "the epoch premiere", 2: "english"})
+	reqBody, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+	if rec, b := post(t, h, "/v1/insert", string(reqBody)); rec.Code != http.StatusOK {
+		t.Fatalf("insert: code %d body %v", rec.Code, b)
+	}
+
+	_, body = get(t, h, "/v1/stats")
+	views = body["views"].(map[string]any)
+	if got := views["epoch"].(float64); got != epoch0+1 {
+		t.Fatalf("epoch %v after insert, want %v", got, epoch0+1)
+	}
+	if swaps := views["swaps"].(float64); swaps < 1 {
+		t.Fatalf("swaps = %v, want >= 1", swaps)
+	}
+	if _, ok := views["drained"]; !ok {
+		t.Fatal("stats.views.drained missing")
+	}
+	cache, ok := body["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats.cache missing: %v", body)
+	}
+	if shards := cache["shards"].(float64); shards < 1 {
+		t.Fatalf("cache.shards = %v", shards)
+	}
+}
+
+// TestCacheHitZeroAlloc guards the zero-allocation contract of the
+// cached read path: key build, shard probe, recency bit and body return
+// must not touch the heap.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are asserted without the race detector")
+	}
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=3"
+	get(t, h, url) // populate the cache
+
+	v := s.currentView()
+	var sink []byte
+	// Warm the key-scratch pool.
+	if _, ok := s.lookupNeighbors("movies", "title", titles[0], 3, v.epoch); !ok {
+		t.Fatal("expected a cache hit")
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		body, ok := s.lookupNeighbors("movies", "title", titles[0], 3, v.epoch)
+		if !ok {
+			t.Fatal("cache hit lost")
+		}
+		sink = body
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit lookup allocated %.2f times per query, want 0", allocs)
+	}
+	if !bytes.Contains(sink, []byte(`"cached":true`)) {
+		t.Fatalf("cached body malformed: %s", sink)
+	}
+}
+
+// TestCachedBodyIsServedVerbatim: the hit path writes the stored
+// pre-encoded payload; it must decode to the same response shape as the
+// original (modulo the cached flag).
+func TestCachedBodyIsServedVerbatim(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[1]) + "&k=4"
+
+	_, miss := get(t, h, url)
+	_, hit := get(t, h, url)
+	if miss["cached"] != false || hit["cached"] != true {
+		t.Fatalf("cached flags: miss=%v hit=%v", miss["cached"], hit["cached"])
+	}
+	mn := miss["neighbors"].([]any)
+	hn := hit["neighbors"].([]any)
+	if len(mn) != len(hn) {
+		t.Fatalf("%d vs %d neighbours", len(mn), len(hn))
+	}
+	for i := range mn {
+		a, b := mn[i].(map[string]any), hn[i].(map[string]any)
+		if a["text"] != b["text"] || a["score"] != b["score"] {
+			t.Fatalf("rank %d: %v vs %v", i, a, b)
+		}
+	}
+	if miss["k"] != hit["k"] {
+		t.Fatalf("k drifted: %v vs %v", miss["k"], hit["k"])
+	}
+}
+
+// TestConcurrentMixedReadWriteStress is the reads-during-inserts stress
+// required by the acceptance criteria: full HTTP surface, sustained
+// concurrent GETs racing batched POST /v1/insert, everything OK-coded
+// and every committed row findable afterwards.
+func TestConcurrentMixedReadWriteStress(t *testing.T) {
+	s, titles := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const readers, reads, writers, batches = 8, 40, 2, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, readers*reads+writers*batches)
+	cols := columnCount(t, s, "movies")
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				rows := [][]any{
+					makeRow(cols, map[int]any{0: 62000 + g*100 + 2*b, 1: fmt.Sprintf("stress %d-%d a", g, b), 2: "english"}),
+					makeRow(cols, map[int]any{0: 62001 + g*100 + 2*b, 1: fmt.Sprintf("stress %d-%d b", g, b), 2: "english"}),
+				}
+				body, _ := json.Marshal(map[string]any{"table": "movies", "rows": rows})
+				resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d batch %d: status %d", g, b, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				var url string
+				switch i % 4 {
+				case 0, 1:
+					url = ts.URL + "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[(g+i)%len(titles)]) + "&k=3"
+				case 2:
+					url = ts.URL + "/v1/vector?table=movies&column=title&text=" + queryEscape(titles[(g+i)%len(titles)])
+				default:
+					url = ts.URL + "/v1/stats"
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: GET %s status %d", g, url, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	v := s.currentView()
+	for g := 0; g < writers; g++ {
+		for b := 0; b < batches; b++ {
+			for _, suffix := range []string{"a", "b"} {
+				title := fmt.Sprintf("stress %d-%d %s", g, b, suffix)
+				if _, ok := v.store.ID(storeKey("movies", "title", title)); !ok {
+					t.Errorf("lost update: %q missing from the published view", title)
+				}
+			}
+		}
+	}
+}

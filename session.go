@@ -3,6 +3,7 @@ package retro
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/retrodb/retro/internal/core"
 	"github.com/retrodb/retro/internal/deepwalk"
@@ -30,8 +31,11 @@ const DefaultRepairBudget = 512
 // Insert, InsertBatch and ExecAndRefresh update the embedding store (and
 // any built ANN index) in place, and previously obtained Models share
 // that store. Callers that query a Model concurrently with inserts must
-// synchronise the two, e.g. with a RWMutex as internal/server does; a
-// held Model stays queryable across inserts but is not a frozen
+// either synchronise the two with a lock, or — as internal/server does —
+// serve reads from an immutable Embedding.Freeze snapshot republished
+// after each write, in which case the store's copy-on-write discipline
+// keeps every published snapshot stable with no read-side lock at all.
+// A held Model stays queryable across inserts but is not a frozen
 // snapshot. The session owns the store's vectors — mutating them
 // externally (NormalizeAll, Matrix writes) invalidates the maintained
 // repair state.
@@ -62,7 +66,9 @@ type Session struct {
 	incState *core.IncrementalState
 	// stale records a failed repair: the model no longer reflects every
 	// committed row, so the next write falls back to a full re-solve.
-	stale bool
+	// Atomic so serving stats can read it without excluding writers;
+	// every other Session field still requires external synchronisation.
+	stale atomic.Bool
 	// repairHook, when set, runs before each incremental repair; a test
 	// seam for forcing repair failures.
 	repairHook func() error
@@ -87,12 +93,12 @@ func (s *Session) DB() *DB { return s.db }
 // database. A stale session still answers queries from its last good
 // state; the next successful write (which performs a full re-solve) or
 // an explicit Resolve clears it.
-func (s *Session) Stale() bool { return s.stale }
+func (s *Session) Stale() bool { return s.stale.Load() }
 
 // MarkStale forces the next write to run a full re-solve instead of an
 // incremental repair, as if a repair had failed. Operators can use it to
 // schedule a re-sync without blocking on an immediate Resolve.
-func (s *Session) MarkStale() { s.stale = true }
+func (s *Session) MarkStale() { s.stale.Store(true) }
 
 // RepairError reports that a row was committed to the database but the
 // subsequent embedding repair failed: the model is now stale relative to
@@ -133,7 +139,7 @@ func (s *Session) Insert(table string, row []Value) error {
 		return err
 	}
 	if err := s.refreshRows(table, []int{id}); err != nil {
-		s.stale = true
+		s.stale.Store(true)
 		return &RepairError{Err: err}
 	}
 	return nil
@@ -164,7 +170,7 @@ func (s *Session) InsertBatch(table string, rows [][]Value) error {
 		rowIDs = append(rowIDs, id)
 	}
 	if err := s.refreshRows(table, rowIDs); err != nil {
-		s.stale = true
+		s.stale.Store(true)
 		if rejected != nil {
 			// Keep the rejection visible through errors.As alongside the
 			// repair failure.
@@ -189,7 +195,7 @@ func (s *Session) ExecAndRefresh(sql string) error {
 		return err
 	}
 	if err := s.refreshFull(); err != nil {
-		s.stale = true
+		s.stale.Store(true)
 		return &RepairError{Err: err}
 	}
 	return nil
@@ -208,7 +214,7 @@ func (s *Session) refreshRows(table string, rowIDs []int) error {
 			return err
 		}
 	}
-	if s.stale {
+	if s.stale.Load() {
 		return s.Resolve()
 	}
 	return s.repairDelta(table, rowIDs)
@@ -258,6 +264,11 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 	// RefreshRow pass below indexes the FINAL vector once instead of
 	// beam-inserting the provisional W0 row only to tombstone it.
 	store := m.store
+	// The repair below writes re-solved vectors straight into the store
+	// matrix. Detach it from any published Freeze snapshot first
+	// (copy-on-write), or those in-place writes would tear the frozen
+	// read views the serving layer hands to lock-free queries.
+	store.PrepareWrite()
 	for _, id := range rep.NewNodes {
 		key := deepwalk.ValueKey(m.ex, id)
 		if got := store.AddStaged(key, m.prob.W0.Row(id)); got != id {
@@ -382,7 +393,7 @@ func (s *Session) refreshFull() error {
 func (s *Session) replaceModel(m *Model) {
 	s.model = m
 	s.incState = nil
-	s.stale = false
+	s.stale.Store(false)
 }
 
 // Resolve runs a full re-solve from scratch (the non-incremental path),
