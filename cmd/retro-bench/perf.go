@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/perfbench"
+	"github.com/retrodb/retro/internal/quant"
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// Perf mode: retro-bench -perf BENCH_5.json measures the serving-path
+// kernels and TopK pipelines on the shared 50k-value benchmark world
+// (see internal/perfbench) and writes one machine-readable JSON file, so
+// the perf trajectory is tracked file-by-file across PRs instead of
+// living in scrollback. The same world backs the pinned Go benchmarks
+// (BenchmarkTopKQuantized / BenchmarkTopKExactHNSW), so the JSON and CI
+// numbers are directly comparable.
+
+// perfSchema names the JSON layout; bump when fields change meaning.
+const perfSchema = "retro-bench-perf/1"
+
+type perfBenchmark struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type perfReport struct {
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Dataset   struct {
+		NumValues int `json:"num_values"`
+		Dim       int `json:"dim"`
+		Queries   int `json:"queries"`
+	} `json:"dataset"`
+	Benchmarks []perfBenchmark    `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func record(rep *perfReport, name string, extra map[string]float64, fn func(b *testing.B)) perfBenchmark {
+	res := testing.Benchmark(fn)
+	pb := perfBenchmark{
+		Name:        name,
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+		Extra:       extra,
+	}
+	rep.Benchmarks = append(rep.Benchmarks, pb)
+	fmt.Printf("  %-24s %12.0f ns/op  %4d allocs/op\n", name, pb.NsPerOp, pb.AllocsPerOp)
+	return pb
+}
+
+func runPerf(path string) error {
+	rep := &perfReport{
+		Schema:    perfSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Derived:   map[string]float64{},
+	}
+	rep.Dataset.NumValues = perfbench.NumValues
+	rep.Dataset.Dim = perfbench.Dim
+	rep.Dataset.Queries = perfbench.NumQueries
+
+	fmt.Printf("perf: building the %d-value dim-%d benchmark world (one HNSW build)...\n",
+		perfbench.NumValues, perfbench.Dim)
+	start := time.Now()
+	exact, quantized, queries := perfbench.Pair(perfbench.NumValues, perfbench.Dim, 42, 0)
+	fmt.Printf("perf: world ready in %s\n", time.Since(start).Round(time.Millisecond))
+
+	// Kernel microbenchmarks: one exact and one quantized distance worth
+	// of arithmetic at the embedding width.
+	q := queries[0]
+	v := queries[1]
+	record(rep, "vec_dot_f64", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += vec.Dot(q, v)
+		}
+		_ = s
+	})
+	cb := quant.Train(perfbench.Dim, 2, func(i int) []float64 { return queries[i] })
+	qc := make([]int8, perfbench.Dim)
+	vc := make([]int8, perfbench.Dim)
+	cb.EncodeQuery(qc, q)
+	cb.Encode(vc, v)
+	record(rep, "quant_dot8", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var s int32
+		for i := 0; i < b.N; i++ {
+			s += quant.Dot8(qc, vc)
+		}
+		_ = s
+	})
+
+	// End-to-end TopK on the serving read path (frozen stores, pooled
+	// scratch, zero steady-state allocations).
+	topk := func(s *embed.Store) func(b *testing.B) {
+		return func(b *testing.B) {
+			buf := make([]embed.Match, 0, 16)
+			buf = s.TopKAppend(queries[0], 10, nil, buf)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = s.TopKAppend(queries[i%len(queries)], 10, nil, buf)
+			}
+		}
+	}
+	recallExact := perfbench.Recall10(exact, queries[:64])
+	recallQuant := perfbench.Recall10(quantized, queries[:64])
+	eb := record(rep, "topk_exact_hnsw", map[string]float64{"recall_at_10": recallExact}, topk(exact))
+	qb := record(rep, "topk_quantized", map[string]float64{"recall_at_10": recallQuant}, topk(quantized))
+	record(rep, "topk_exact_scan", nil, func(b *testing.B) {
+		buf := make([]embed.Match, 0, 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = exact.TopKExactAppend(queries[i%len(queries)], 10, nil, buf)
+		}
+	})
+
+	rep.Derived["speedup_quant_vs_exact_hnsw"] = eb.NsPerOp / qb.NsPerOp
+	rep.Derived["recall_at_10_quantized"] = recallQuant
+	rep.Derived["recall_at_10_exact_hnsw"] = recallExact
+	if mode, rerank := quantized.Quantization(); mode == embed.QuantSQ8 {
+		rep.Derived["rerank_factor"] = float64(rerank)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("perf: speedup quantized vs exact HNSW = %.2fx (recall@10 %.4f vs %.4f)\n",
+		rep.Derived["speedup_quant_vs_exact_hnsw"], recallQuant, recallExact)
+	fmt.Printf("perf: report written to %s\n", path)
+	return nil
+}

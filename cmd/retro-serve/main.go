@@ -71,6 +71,8 @@ func run(args []string) error {
 	annM := fs.Int("ann-m", 0, "HNSW links per node (0 = default 16)")
 	annEfC := fs.Int("ann-efc", 0, "HNSW construction beam width (0 = default 200)")
 	annEfS := fs.Int("ann-efs", 0, "HNSW search beam width (0 = default 64)")
+	quantMode := fs.String("quant", "", "ANN distance kernel: sq8 = 8-bit quantized traversal with exact re-ranking, off = exact float64 (empty = off, or the snapshot's persisted mode when booting from one)")
+	rerank := fs.Int("rerank", 0, "SQ8 candidate over-fetch factor: rerank*k quantized candidates are re-scored exactly per query (0 = default 3)")
 	cacheSize := fs.Int("cache", 1024, "LRU query cache entries (-1 disables)")
 	repairBudget := fs.Int("repair-budget", retro.DefaultRepairBudget, "max nodes re-solved per insert repair (0 = unlimited)")
 	snapshotPath := fs.String("snapshot", "", "boot from this snapshot file instead of training")
@@ -114,10 +116,24 @@ func run(args []string) error {
 			sess.Model().NumValues(), *snapshotPath, info.Version,
 			info.Created.UTC().Format(time.RFC3339), time.Since(start).Round(time.Millisecond))
 		// Graph-shape knobs are baked into the snapshot; only the
-		// query-time beam width can be retuned without a rebuild.
+		// query-time knobs — beam width, quantization mode and re-rank
+		// depth — can be retuned without a rebuild. Switching -quant on a
+		// snapshot that persisted a different mode retrains the codes
+		// from the loaded vectors (the graph itself is untouched).
 		if *annEfS > 0 {
 			sess.Model().Store().TuneEfSearch(*annEfS)
 			fmt.Printf("HNSW query beam width set to %d\n", *annEfS)
+		}
+		if *quantMode != "" {
+			mode, err := retro.ParseQuantMode(*quantMode)
+			if err != nil {
+				return err
+			}
+			sess.Model().Store().EnableQuantization(mode, *rerank)
+			fmt.Printf("ANN quantization set to %s\n", mode)
+		} else if *rerank > 0 {
+			sess.Model().Store().TuneRerank(*rerank)
+			fmt.Printf("SQ8 re-rank depth set to %d\n", *rerank)
 		}
 		if *variant != "rn" || *parallel != -1 || *annThreshold != 0 || *annM != 0 || *annEfC != 0 {
 			fmt.Println("note: -variant, -parallel, -ann-threshold, -ann-m and -ann-efc apply at training time; the snapshot's persisted configuration is used")
@@ -130,6 +146,14 @@ func run(args []string) error {
 		cfg.Parallel = *parallel
 		cfg.ANNThreshold = *annThreshold
 		cfg.ANNParams = &retro.ANNParams{M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS}
+		if *quantMode != "" {
+			mode, err := retro.ParseQuantMode(*quantMode)
+			if err != nil {
+				return err
+			}
+			cfg.Quantization = mode
+			cfg.RerankFactor = *rerank
+		}
 
 		fmt.Printf("training %s solver on %d tables (base embedding: %d words, %d dims)...\n",
 			*variant, db.NumTables(), emb.Len(), emb.Dim())
@@ -143,8 +167,11 @@ func run(args []string) error {
 	sess.RepairBudget = *repairBudget
 	start := time.Now()
 	sess.Model().Store().WarmANN()
-	if sess.Model().Store().ANNIndex() != nil {
+	if idx := sess.Model().Store().ANNIndex(); idx != nil {
 		fmt.Printf("HNSW index ready in %s\n", time.Since(start).Round(time.Millisecond))
+		if idx.Quantized() {
+			fmt.Printf("SQ8 quantized traversal active (re-rank depth %d)\n", idx.Rerank())
+		}
 	}
 	if *saveSnapshot != "" {
 		start := time.Now()

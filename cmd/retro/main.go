@@ -291,6 +291,11 @@ func cmdSnapshotInfo(args []string) error {
 		info.Hyperparams.Alpha, info.Hyperparams.Beta, info.Hyperparams.Gamma,
 		info.Hyperparams.Delta, info.Hyperparams.Iterations)
 	fmt.Printf("hnsw graph:     %v\n", info.HasIndex)
+	if info.Quantization == retro.QuantSQ8 {
+		fmt.Printf("quantization:   %s (rerank %d)\n", info.Quantization, info.Rerank)
+	} else {
+		fmt.Printf("quantization:   off\n")
+	}
 	fmt.Printf("columns:        %s\n", strings.Join(info.Categories, ", "))
 	if len(info.ExcludeColumns) > 0 {
 		fmt.Printf("excl. columns:  %s\n", strings.Join(info.ExcludeColumns, ", "))

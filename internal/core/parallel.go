@@ -31,22 +31,30 @@ func (o ParallelOptions) workers() int {
 
 // parallelRows runs fn over [0, n) split into contiguous worker ranges.
 func parallelRows(n, workers int, fn func(lo, hi int)) {
+	parallelRowsIdx(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelRowsIdx is parallelRows with a stable worker slot passed to
+// fn, so callers can index per-worker scratch buffers allocated once per
+// solve instead of allocating inside the hot closure. Slots are dense in
+// [0, workers).
+func parallelRowsIdx(n, workers int, fn func(worker, lo, hi int)) {
 	if workers <= 1 || n < 2*workers {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
+	for lo, w := 0, 0; lo < n; lo, w = lo+chunk, w+1 {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
@@ -91,6 +99,11 @@ func SolveROParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
 	next := vec.NewMatrix(p.N, p.Dim)
 	res := &Result{Iterations: h.Iterations}
 	sumT := make([]float64, p.Dim)
+	// Per-worker neighbour-sum scratch, allocated once for the whole
+	// solve: the eq. (15) pass needs a p.Dim accumulator per worker, and
+	// allocating it inside the parallel closure cost one allocation per
+	// group x iteration x worker.
+	nbrScratch := vec.NewMatrix(workers, p.Dim)
 
 	for iter := 0; iter < h.Iterations; iter++ {
 		parallelRows(p.N, workers, func(lo, hi int) {
@@ -136,8 +149,8 @@ func SolveROParallel(p *Problem, h Hyperparams, opts ParallelOptions) *Result {
 					vec.Axpy(sumT, 1, cur.Row(k))
 				}
 			}
-			parallelRows(p.N, workers, func(lo, hi int) {
-				nbrSum := make([]float64, p.Dim)
+			parallelRowsIdx(p.N, workers, func(worker, lo, hi int) {
+				nbrSum := nbrScratch.Row(worker)
 				for i := lo; i < hi; i++ {
 					if !g.SourceSet[i] {
 						continue

@@ -19,6 +19,28 @@ import (
 // and exact; above it the graph wins by orders of magnitude.
 const DefaultANNThreshold = 4096
 
+// Quantization modes for ANN candidate generation (see EnableQuantization).
+const (
+	// QuantOff traverses the HNSW graph on exact float64 distances.
+	QuantOff = "off"
+	// QuantSQ8 traverses on 8-bit scalar-quantized codes (8x less memory
+	// traffic per hop) and re-scores the over-fetched candidates exactly
+	// in float64 before returning.
+	QuantSQ8 = "sq8"
+)
+
+// ParseQuantMode normalises a user-facing quantization mode string
+// ("", "off", "none" select QuantOff; "sq8" selects QuantSQ8).
+func ParseQuantMode(s string) (string, error) {
+	switch s {
+	case "", "off", "none":
+		return QuantOff, nil
+	case QuantSQ8:
+		return QuantSQ8, nil
+	}
+	return "", fmt.Errorf("embed: unknown quantization mode %q (use off or sq8)", s)
+}
+
 // Store holds an embedding matrix with a string vocabulary. Rows of the
 // matrix correspond 1:1 to vocabulary entries.
 //
@@ -63,6 +85,14 @@ type Store struct {
 	annStale     bool
 	annParams    ann.Params
 	annThreshold int
+
+	// Configured quantization for the ANN index (QuantOff or QuantSQ8,
+	// with the candidate over-fetch factor). The built index is brought
+	// in line lazily by ensureANN — under the same copy-on-write
+	// discipline as every other index mutation, so frozen snapshots keep
+	// serving their own (un)quantized graph untouched.
+	quantMode   string
+	quantRerank int
 
 	// Cached L2 row norms for the exact scan: built lazily on the first
 	// TopKExact and maintained by Add/SetVector/NormalizeAll/RefreshRow,
@@ -132,6 +162,8 @@ func (s *Store) Freeze() *Store {
 		frozen:       true,
 		annParams:    s.annParams,
 		annThreshold: s.annThreshold,
+		quantMode:    s.quantMode,
+		quantRerank:  s.quantRerank,
 	}
 	if s.matrix != nil {
 		m := *s.matrix // private header; the backing array is shared
@@ -397,12 +429,15 @@ func (s *Store) Matrix() *vec.Matrix {
 	return s.matrix
 }
 
-// Clone returns a deep copy of the store. The ANN configuration is
-// carried over; the index itself is rebuilt lazily on the copy.
+// Clone returns a deep copy of the store. The ANN and quantization
+// configuration is carried over; the index itself is rebuilt lazily on
+// the copy.
 func (s *Store) Clone() *Store {
 	out := NewStore(s.dim)
 	out.annParams = s.annParams
 	out.annThreshold = s.annThreshold
+	out.quantMode = s.quantMode
+	out.quantRerank = s.quantRerank
 	for id, w := range s.words {
 		out.Add(w, s.row(id))
 	}
@@ -485,6 +520,114 @@ func (s *Store) ANNParams() ann.Params {
 	return s.annParams
 }
 
+// EnableQuantization selects the ANN candidate-generation mode: QuantSQ8
+// traverses the HNSW graph on 8-bit codes and re-ranks exactly, QuantOff
+// (also "", "none") restores exact float64 traversal. rerank is the SQ8
+// over-fetch factor (candidates fetched = rerank*k before exact
+// re-scoring; non-positive selects the ann default). The built index is
+// converted lazily on the next query/WarmANN/Freeze, retraining code
+// ranges from the store's current vectors; a frozen snapshot keeps
+// whatever the store had at Freeze time. Unknown modes panic — callers
+// taking user input validate with ParseQuantMode first. Requires the
+// same external synchronisation as Add.
+func (s *Store) EnableQuantization(mode string, rerank int) {
+	s.mutable("EnableQuantization")
+	m, err := ParseQuantMode(mode)
+	if err != nil {
+		panic(err.Error())
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	s.quantMode = m
+	if rerank > 0 {
+		s.quantRerank = rerank
+	} else {
+		s.quantRerank = 0
+	}
+}
+
+// Quantization returns the configured mode (QuantOff or QuantSQ8) and
+// the effective rerank factor of the built index (the configured value,
+// or the index's actual factor once one is quantized).
+func (s *Store) Quantization() (mode string, rerank int) {
+	if s.frozen {
+		// Freeze materialised everything; read without locking.
+		mode, rerank = s.quantMode, s.quantRerank
+		if s.annIndex != nil && s.annIndex.Quantized() {
+			rerank = s.annIndex.Rerank()
+		}
+		if mode == "" {
+			mode = QuantOff
+		}
+		return mode, rerank
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	mode, rerank = s.quantMode, s.quantRerank
+	if s.annIndex != nil && !s.annStale && s.annIndex.Quantized() {
+		rerank = s.annIndex.Rerank()
+	}
+	if mode == "" {
+		mode = QuantOff
+	}
+	return mode, rerank
+}
+
+// TuneRerank adjusts the SQ8 over-fetch factor on both the configured
+// state and any built quantized index, without retraining the codebook —
+// the re-rank depth, like the beam width, is a pure query-time knob.
+// Non-positive values are ignored. Requires the same external
+// synchronisation as Add.
+func (s *Store) TuneRerank(r int) {
+	s.mutable("TuneRerank")
+	if r <= 0 {
+		return
+	}
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	s.quantRerank = r
+	if s.annIndex != nil && s.annIndex.Quantized() {
+		if s.sharedANN {
+			s.annIndex = s.annIndex.Clone() // the snapshot keeps its depth
+			s.sharedANN = false
+		}
+		s.annIndex.SetRerank(r)
+	}
+}
+
+// reconcileQuantLocked brings a built index's quantization state in line
+// with the store's configured mode (annMu held). A frozen snapshot still
+// sharing the index keeps its version: the store clones before
+// converting, exactly as every other post-freeze index mutation does.
+func (s *Store) reconcileQuantLocked() {
+	idx := s.annIndex
+	if idx == nil || s.annStale {
+		return
+	}
+	wantSQ8 := s.quantMode == QuantSQ8
+	if wantSQ8 == idx.Quantized() {
+		if wantSQ8 && s.quantRerank > 0 && idx.Rerank() != s.quantRerank {
+			if s.sharedANN {
+				idx = idx.Clone()
+				s.annIndex = idx
+				s.sharedANN = false
+			}
+			idx.SetRerank(s.quantRerank)
+		}
+		return
+	}
+	if s.sharedANN {
+		idx = idx.Clone()
+		s.annIndex = idx
+		s.sharedANN = false
+	}
+	if wantSQ8 {
+		idx.QuantizeSQ8(s.quantRerank)
+	} else {
+		idx.DisableQuant()
+	}
+}
+
 // TuneEfSearch adjusts the query-time beam width on both the configured
 // parameters and any built (or adopted) index, without discarding the
 // index — unlike EnableANN, which forces a rebuild. Non-positive values
@@ -511,7 +654,10 @@ func (s *Store) TuneEfSearch(ef int) {
 // index must cover this store's vectors under the store's ids; Add and
 // SetVector maintain it incrementally from here on, exactly as if the
 // store had built it itself. The store's configured ANN parameters (used
-// for any future rebuild) are left untouched.
+// for any future rebuild) are left untouched, but the quantization
+// configuration is taken FROM the adopted index — it arrives with its
+// codes and codebook (or without), and that state must survive the next
+// reconcile instead of being converted back to whatever the store had.
 func (s *Store) AdoptANN(idx *ann.Index) error {
 	s.mutable("AdoptANN")
 	if idx.Dim() != s.dim {
@@ -522,6 +668,13 @@ func (s *Store) AdoptANN(idx *ann.Index) error {
 	s.annIndex = idx
 	s.annStale = false
 	s.sharedANN = false
+	if idx.Quantized() {
+		s.quantMode = QuantSQ8
+		s.quantRerank = idx.Rerank()
+	} else {
+		s.quantMode = QuantOff
+		s.quantRerank = 0
+	}
 	return nil
 }
 
@@ -571,6 +724,7 @@ func (s *Store) ensureANN() *ann.Index {
 	s.annMu.Lock()
 	defer s.annMu.Unlock()
 	if s.annIndex != nil && !s.annStale {
+		s.reconcileQuantLocked()
 		return s.annIndex
 	}
 	idx := ann.New(s.dim, s.annParams)
@@ -586,7 +740,8 @@ func (s *Store) ensureANN() *ann.Index {
 	s.annIndex = idx
 	s.annStale = false
 	s.sharedANN = false // freshly built, private to the live store
-	return idx
+	s.reconcileQuantLocked()
+	return s.annIndex
 }
 
 // Match is one nearest-neighbour result.

@@ -1,0 +1,104 @@
+// Package perfbench builds the shared performance-benchmark world and
+// measurements used by both the pinned Go benchmarks (bench_test.go at
+// the repo root, run in CI bench-smoke) and the retro-bench -perf mode,
+// which emits the machine-readable BENCH_*.json perf-trajectory file.
+// One definition of "the 50k-value dataset" keeps the CI gate, the JSON
+// artifact and local runs measuring the same thing.
+package perfbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/retrodb/retro/internal/ann"
+	"github.com/retrodb/retro/internal/embed"
+)
+
+// Dim is the benchmark embedding width: the word-embedding width RETRO
+// consumes in the paper (300-dim GloVe), which is also the regime where
+// SQ8 codes cut per-hop traffic 8x versus float64.
+const Dim = 300
+
+// NumValues is the benchmark vocabulary size ("the 50k-value dataset").
+const NumValues = 50_000
+
+// NumQueries is the size of the benchmark query pool. It is deliberately
+// large: serving traffic is diverse, and a small recycled pool would let
+// the exact float64 path keep its visited working set cache-resident —
+// hiding exactly the memory traffic quantization exists to cut.
+const NumQueries = 2048
+
+// World builds a store of n dim-wide vectors plus a fixed query set.
+// The vectors are a cluster mixture, mirroring how retrofitted
+// embeddings group by column and relation neighbourhood rather than
+// filling the space uniformly. The store has ANN enabled from the first
+// entry but the index is NOT built; callers warm it so the build stays
+// outside any timing window.
+func World(n, dim int, seed int64) (*embed.Store, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, 256)
+	for ci := range centers {
+		c := make([]float64, dim)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		centers[ci] = c
+	}
+	point := func() []float64 {
+		c := centers[rng.Intn(len(centers))]
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = c[j] + 0.25*rng.NormFloat64()
+		}
+		return v
+	}
+	s := embed.NewStore(dim)
+	s.EnableANN(1, ann.Params{})
+	for i := 0; i < n; i++ {
+		s.Add(fmt.Sprintf("v%07d", i), point())
+	}
+	queries := make([][]float64, NumQueries)
+	for qi := range queries {
+		queries[qi] = point()
+	}
+	return s, queries
+}
+
+// Recall10 measures recall@10 of the store's TopK path (ANN, quantized
+// or not — whatever the store is configured with) against the exact
+// scan, over the given queries.
+func Recall10(s *embed.Store, queries [][]float64) float64 {
+	hits, total := 0, 0
+	for _, q := range queries {
+		want := map[int]bool{}
+		for _, m := range s.TopKExact(q, 10, nil) {
+			want[m.ID] = true
+		}
+		for _, m := range s.TopK(q, 10, nil) {
+			if want[m.ID] {
+				hits++
+			}
+		}
+		total += 10
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Pair builds the benchmark comparison pair over one shared world: two
+// frozen views of the SAME built HNSW graph, one traversing exact
+// float64 distances and one on SQ8 codes with exact re-ranking (the
+// quantized view is a structural clone + encode, not a second O(n log n)
+// graph build). Freezing mirrors the serving read path: queries run
+// lock-free with all derived state materialised.
+func Pair(n, dim int, seed int64, rerank int) (exact, quantized *embed.Store, queries [][]float64) {
+	s, queries := World(n, dim, seed)
+	s.WarmANN()
+	exact = s.Freeze()
+	s.EnableQuantization(embed.QuantSQ8, rerank)
+	s.WarmANN() // copy-on-write: clones the shared graph, then quantizes
+	quantized = s.Freeze()
+	return exact, quantized, queries
+}

@@ -1,0 +1,108 @@
+package perfbench
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/retrodb/retro/internal/embed"
+)
+
+// The pinned quantization benchmarks (CI bench-smoke greps for these
+// names): BenchmarkTopKQuantized must beat BenchmarkTopKExactHNSW by
+// >= 2x on the 50k-value dataset while holding recall@10 >= 0.95. Both
+// run over the SAME built graph — the only variable is the distance
+// kernel (and the re-ranking pass the quantized path adds).
+
+var pair struct {
+	sync.Once
+	exact, quantized *embed.Store
+	queries          [][]float64
+}
+
+func benchPair(b *testing.B) (*embed.Store, *embed.Store, [][]float64) {
+	b.Helper()
+	pair.Do(func() {
+		pair.exact, pair.quantized, pair.queries = Pair(NumValues, Dim, 42, 0)
+	})
+	return pair.exact, pair.quantized, pair.queries
+}
+
+func benchTopK(b *testing.B, s *embed.Store, queries [][]float64) {
+	buf := make([]embed.Match, 0, 16)
+	buf = s.TopKAppend(queries[0], 10, nil, buf) // warm scratch pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.TopKAppend(queries[i%len(queries)], 10, nil, buf)
+		if len(buf) != 10 {
+			b.Fatal("short result")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(Recall10(s, queries[:16]), "recall@10")
+}
+
+// BenchmarkTopKExactHNSW is the float64 HNSW serving path: every hop
+// streams the full 8-byte-per-dimension vector.
+func BenchmarkTopKExactHNSW(b *testing.B) {
+	exact, _, queries := benchPair(b)
+	benchTopK(b, exact, queries)
+}
+
+// BenchmarkTopKQuantized is the SQ8 path: traversal reads 1-byte codes
+// (8x less memory per hop), then the over-fetched candidates are
+// re-scored exactly in float64.
+func BenchmarkTopKQuantized(b *testing.B) {
+	_, quantized, queries := benchPair(b)
+	benchTopK(b, quantized, queries)
+}
+
+// TestQuantizedRecallGuard is the CI recall gate: quantized recall@10
+// must hold >= 0.95 against the exact scan on the bench dataset. The
+// default run uses a 10k slice of the world so the tier-1 suite stays
+// fast; CI's recall-guard job sets RETRO_RECALL_FULL=1 to run the full
+// 50k-value dataset.
+func TestQuantizedRecallGuard(t *testing.T) {
+	n := 10_000
+	if os.Getenv("RETRO_RECALL_FULL") != "" {
+		n = NumValues
+	} else if testing.Short() || raceEnabled {
+		t.Skip("short mode / race detector (enforced by the recall-guard CI job)")
+	}
+	_, quantized, queries := Pair(n, Dim, 42, 0)
+	if recall := Recall10(quantized, queries[:64]); recall < 0.95 {
+		t.Fatalf("quantized recall@10 = %.4f on n=%d, want >= 0.95", recall, n)
+	}
+}
+
+// TestPairSharesOneGraph guards the benchmark's validity: the two views
+// must disagree only in kernel, not in graph shape.
+func TestPairSharesOneGraph(t *testing.T) {
+	exact, quantized, queries := Pair(2000, 32, 7, 0)
+	if exact.ANNIndex() == nil || quantized.ANNIndex() == nil {
+		t.Fatal("pair missing an index")
+	}
+	if exact.ANNIndex().Quantized() {
+		t.Fatal("exact view is quantized")
+	}
+	if !quantized.ANNIndex().Quantized() {
+		t.Fatal("quantized view is not quantized")
+	}
+	if exact.ANNIndex().Len() != quantized.ANNIndex().Len() {
+		t.Fatal("views index different vector counts")
+	}
+	// Same world, nearly identical answers (re-rank makes ordering exact
+	// over the fetched candidates).
+	agree := 0
+	for _, q := range queries[:32] {
+		a := exact.TopK(q, 1, nil)
+		b := quantized.TopK(q, 1, nil)
+		if len(a) == 1 && len(b) == 1 && a[0].ID == b[0].ID {
+			agree++
+		}
+	}
+	if agree < 31 {
+		t.Fatalf("top-1 agreement %d/32 between the pair's views", agree)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package perfbench
+
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package perfbench
+
+// raceEnabled reports that this test binary runs under the race
+// detector; the large-world recall measurements are skipped there (a
+// 10k x 300 HNSW build under instrumentation adds minutes for a
+// single-threaded, pure-compute check that the regular test and
+// recall-guard CI jobs already enforce).
+const raceEnabled = true

@@ -1,0 +1,22 @@
+//go:build amd64
+
+package quant
+
+// dot8Blocks is implemented in dot8_amd64.s: the int8 inner product over
+// blocks*8 elements via SSE2 (guaranteed on amd64, so there is no
+// runtime feature detection to get wrong).
+//
+//go:noescape
+func dot8Blocks(a, b *int8, blocks int) int32
+
+func dot8(a, b []int8) int32 {
+	n := len(a)
+	var s int32
+	if blocks := n / 8; blocks > 0 {
+		s = dot8Blocks(&a[0], &b[0], blocks)
+	}
+	for i := n &^ 7; i < n; i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}

@@ -1,0 +1,68 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dot8Blocks(a, b *int8, blocks int) int32
+//
+// Sums a[i]*b[i] over blocks*8 int8 elements using SSE2 only (baseline
+// on amd64): each 8-byte group is sign-extended to int16 lanes with
+// PUNPCKLBW+PSRAW (interleave a byte with itself, then arithmetic-shift
+// the high copy back down), multiplied pairwise and horizontally added
+// into four int32 lanes with PMADDWL, and accumulated with PADDL. Two
+// interleaved accumulators (X6, X7) hide the PMADDWL latency. Products
+// are bounded by 2*127^2 per lane-pair and blocks*8 <= 2^17 dimensions,
+// so the int32 lanes cannot overflow.
+TEXT ·dot8Blocks(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ blocks+16(FP), CX
+	PXOR X6, X6
+	PXOR X7, X7
+	CMPQ CX, $2
+	JL   tail
+
+loop2:
+	MOVQ      (SI), X0
+	PUNPCKLBW X0, X0
+	PSRAW     $8, X0
+	MOVQ      (DI), X1
+	PUNPCKLBW X1, X1
+	PSRAW     $8, X1
+	PMADDWL   X1, X0
+	PADDL     X0, X6
+	MOVQ      8(SI), X2
+	PUNPCKLBW X2, X2
+	PSRAW     $8, X2
+	MOVQ      8(DI), X3
+	PUNPCKLBW X3, X3
+	PSRAW     $8, X3
+	PMADDWL   X3, X2
+	PADDL     X2, X7
+	ADDQ      $16, SI
+	ADDQ      $16, DI
+	SUBQ      $2, CX
+	CMPQ      CX, $2
+	JGE       loop2
+
+tail:
+	TESTQ CX, CX
+	JZ    done
+	MOVQ      (SI), X0
+	PUNPCKLBW X0, X0
+	PSRAW     $8, X0
+	MOVQ      (DI), X1
+	PUNPCKLBW X1, X1
+	PSRAW     $8, X1
+	PMADDWL   X1, X0
+	PADDL     X0, X6
+
+done:
+	// Horizontal sum of the four int32 lanes.
+	PADDL  X7, X6
+	PSHUFL $0x4E, X6, X0
+	PADDL  X0, X6
+	PSHUFL $0xB1, X6, X0
+	PADDL  X0, X6
+	MOVD   X6, AX
+	MOVL   AX, ret+24(FP)
+	RET

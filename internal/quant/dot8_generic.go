@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package quant
+
+func dot8(a, b []int8) int32 { return dot8Scalar(a, b) }

@@ -1,0 +1,232 @@
+// Package quant implements symmetric per-dimension scalar quantization
+// (SQ8) for the serving read path: float64 vectors are compressed to one
+// signed byte per dimension, cutting the bytes touched per distance
+// evaluation 8x. The HNSW traversal runs on the codes (an int8 dot
+// product with int32 accumulation) and only the final candidates are
+// re-scored in exact float64 — the FAISS-style candidate-generation /
+// re-ranking split.
+//
+// The scheme is symmetric and per-dimension: a codebook trained from the
+// store matrix records one scale per dimension (the maximum absolute
+// value seen, mapped to code 127), so dimensions with tight ranges keep
+// more precision than a single global scale would give them. Encoding a
+// row additionally yields a per-row correction term — the reciprocal
+// norm of the decoded vector — so quantized scores are properly
+// normalised cosines even though rounding perturbs the stored norm.
+//
+// Queries are encoded asymmetrically at search time: each query
+// component is pre-multiplied by its dimension's scale and the product
+// is quantized with one per-query scale. The per-dimension scales then
+// cancel inside the integer dot product,
+//
+//	Σ qc[d]·vc[d] · qscale · corr  ≈  cos(q, v),
+//
+// which is what lets the kernel accumulate in int32 with a single float
+// fixup at the end instead of a per-dimension multiply.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// CodeBits is the code width; SQ8 packs one dimension per signed byte.
+const CodeBits = 8
+
+// maxCode is the largest code magnitude: the trained range maps to
+// [-127, 127] (symmetric, so negation is exact and -128 is never used).
+const maxCode = 127
+
+// Codebook holds the trained per-dimension scales of an SQ8 quantizer.
+// A codebook is immutable after Train/NewCodebook; sharing one across
+// goroutines is safe.
+type Codebook struct {
+	dim    int
+	scales []float64 // value ≈ code * scales[d]
+	inv    []float64 // 1/scales[d], hoisted out of the encode loop
+}
+
+// Train builds a codebook for dim-wide vectors from n training rows
+// (typically every row of the store matrix). Each dimension's scale maps
+// the largest absolute value seen to code 127; a dimension that is zero
+// across all rows gets scale 1 so encoding stays defined. Train panics
+// on non-positive dim; n may be 0 (all scales default to 1).
+func Train(dim, n int, row func(i int) []float64) *Codebook {
+	if dim <= 0 {
+		panic(fmt.Sprintf("quant: non-positive dimension %d", dim))
+	}
+	maxAbs := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		r := row(i)
+		for d, v := range r[:dim] {
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs[d] {
+				maxAbs[d] = v
+			}
+		}
+	}
+	scales := make([]float64, dim)
+	for d, m := range maxAbs {
+		if m == 0 {
+			scales[d] = 1
+		} else {
+			scales[d] = m / maxCode
+		}
+	}
+	return newCodebook(dim, scales)
+}
+
+// NewCodebook reconstructs a codebook from persisted scales (one per
+// dimension, all strictly positive and finite).
+func NewCodebook(scales []float64) (*Codebook, error) {
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("quant: empty scale vector")
+	}
+	for d, s := range scales {
+		if !(s > 0) || s > 1e300 { // rejects 0, negatives, NaN, Inf
+			return nil, fmt.Errorf("quant: invalid scale %v for dimension %d", s, d)
+		}
+	}
+	return newCodebook(len(scales), append([]float64(nil), scales...)), nil
+}
+
+func newCodebook(dim int, scales []float64) *Codebook {
+	inv := make([]float64, dim)
+	for d, s := range scales {
+		inv[d] = 1 / s
+	}
+	return &Codebook{dim: dim, scales: scales, inv: inv}
+}
+
+// Dim returns the vector dimensionality the codebook was trained for.
+func (cb *Codebook) Dim() int { return cb.dim }
+
+// Scales returns the per-dimension scales for serialisation. The slice
+// must not be mutated.
+func (cb *Codebook) Scales() []float64 { return cb.scales }
+
+// clampRound maps x to the nearest integer code in [-127, 127].
+func clampRound(x float64) int8 {
+	// Round half away from zero, then saturate. Values beyond the trained
+	// range (possible for vectors inserted after training) clamp to the
+	// range edge instead of wrapping.
+	if x >= 0 {
+		x += 0.5
+		if x > maxCode {
+			return maxCode
+		}
+		return int8(x)
+	}
+	x -= 0.5
+	if x < -maxCode {
+		return -maxCode
+	}
+	return int8(x)
+}
+
+// Encode quantizes v into dst (len >= Dim) and returns the per-row
+// correction term: the reciprocal L2 norm of the decoded vector, or 0
+// when every code rounds to zero. The correction folds the decode scale
+// AND the unit-normalisation of the decoded row into one multiplier, so
+// a quantized cosine is Dot8(qc, dst) * qscale * corr.
+func (cb *Codebook) Encode(dst []int8, v []float64) (corr float64) {
+	if len(v) != cb.dim {
+		panic(fmt.Sprintf("quant: Encode vector dim %d, codebook dim %d", len(v), cb.dim))
+	}
+	dst = dst[:cb.dim]
+	var norm2 float64
+	for d, x := range v {
+		c := clampRound(x * cb.inv[d])
+		dst[d] = c
+		dec := float64(c) * cb.scales[d]
+		norm2 += dec * dec
+	}
+	if norm2 == 0 {
+		return 0
+	}
+	return 1 / math.Sqrt(norm2)
+}
+
+// Decode reconstructs the float64 vector a code represents into dst
+// (len >= Dim).
+func (cb *Codebook) Decode(dst []float64, codes []int8) {
+	if len(codes) < cb.dim || len(dst) < cb.dim {
+		panic("quant: Decode length mismatch")
+	}
+	for d := 0; d < cb.dim; d++ {
+		dst[d] = float64(codes[d]) * cb.scales[d]
+	}
+}
+
+// EncodeQuery quantizes a query for asymmetric search: each component is
+// pre-multiplied by its dimension's scale (cancelling the per-dimension
+// scales of the stored codes inside the integer dot product) and the
+// result is quantized with a single per-query scale, which is returned.
+// A zero (or degenerate) query returns qscale 0; callers fall back to
+// the exact kernel.
+func (cb *Codebook) EncodeQuery(dst []int8, q []float64) (qscale float64) {
+	if len(q) != cb.dim {
+		panic(fmt.Sprintf("quant: EncodeQuery dim %d, codebook dim %d", len(q), cb.dim))
+	}
+	dst = dst[:cb.dim]
+	var maxAbs float64
+	for d, x := range q {
+		p := x * cb.scales[d]
+		if p < 0 {
+			p = -p
+		}
+		if p > maxAbs {
+			maxAbs = p
+		}
+	}
+	if maxAbs == 0 || maxAbs != maxAbs { // zero query or NaN component
+		for d := range dst {
+			dst[d] = 0
+		}
+		return 0
+	}
+	qscale = maxAbs / maxCode
+	inv := 1 / qscale
+	for d, x := range q {
+		dst[d] = clampRound(x * cb.scales[d] * inv)
+	}
+	return qscale
+}
+
+// Dot8 returns the int32 inner product of two code vectors. With
+// |codes| <= 127 the sum is bounded by 127²·len, which stays inside
+// int32 for any dimensionality up to 2^17 (far above the snapshot
+// format's 2^16 dimension cap). It panics if the lengths differ.
+//
+// On amd64 the inner loop is the SSE2 kernel in dot8_amd64.s (8 codes
+// per multiply-add, baseline instructions so no feature detection);
+// other architectures use the unrolled scalar loop.
+func Dot8(a, b []int8) int32 {
+	if len(a) != len(b) {
+		// Constant panic message: a Sprintf here would push Dot8 over the
+		// inlining budget and cost an extra call frame on every ANN hop.
+		panic("quant: Dot8 length mismatch")
+	}
+	return dot8(a, b)
+}
+
+// dot8Scalar is the portable kernel: four independent int32 accumulators
+// in slice-advance form (bounds-check free, as in vec.Dot). It is also
+// the reference the assembly kernel is property-tested against.
+func dot8Scalar(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += int32(a[0]) * int32(b[0])
+		s1 += int32(a[1]) * int32(b[1])
+		s2 += int32(a[2]) * int32(b[2])
+		s3 += int32(a[3]) * int32(b[3])
+		a, b = a[4:], b[4:]
+	}
+	for i := range a {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}

@@ -1,0 +1,264 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRows(rng *rand.Rand, n, dim int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		rows[i] = v
+	}
+	return rows
+}
+
+func TestTrainScalesCoverRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := randRows(rng, 200, 16)
+	cb := Train(16, len(rows), func(i int) []float64 { return rows[i] })
+	for d := 0; d < 16; d++ {
+		var maxAbs float64
+		for _, r := range rows {
+			maxAbs = math.Max(maxAbs, math.Abs(r[d]))
+		}
+		if got := cb.Scales()[d] * 127; !(got >= maxAbs*(1-1e-12)) {
+			t.Fatalf("dim %d: scale*127 = %v does not cover max |v| = %v", d, got, maxAbs)
+		}
+	}
+}
+
+func TestTrainZeroDimensionGetsUnitScale(t *testing.T) {
+	rows := [][]float64{{0, 1}, {0, -2}}
+	cb := Train(2, 2, func(i int) []float64 { return rows[i] })
+	if cb.Scales()[0] != 1 {
+		t.Fatalf("zero dimension scale = %v, want 1", cb.Scales()[0])
+	}
+}
+
+// TestPropertyEncodeDecodeWithinEpsilon is the SQ8 round-trip bound: for
+// any vector inside the trained range, every decoded component must be
+// within half a quantization step (scale/2) of the original.
+func TestPropertyEncodeDecodeWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const dim = 48
+	rows := randRows(rng, 500, dim)
+	cb := Train(dim, len(rows), func(i int) []float64 { return rows[i] })
+	codes := make([]int8, dim)
+	dec := make([]float64, dim)
+	for _, v := range rows {
+		corr := cb.Encode(codes, v)
+		cb.Decode(dec, codes)
+		var norm2 float64
+		for d := 0; d < dim; d++ {
+			eps := cb.Scales()[d]/2 + 1e-12
+			if diff := math.Abs(dec[d] - v[d]); diff > eps {
+				t.Fatalf("dim %d: |decode-orig| = %v exceeds epsilon %v (scale %v)",
+					d, diff, eps, cb.Scales()[d])
+			}
+			norm2 += dec[d] * dec[d]
+		}
+		if norm2 == 0 {
+			if corr != 0 {
+				t.Fatalf("zero decoded vector must have corr 0, got %v", corr)
+			}
+			continue
+		}
+		if want := 1 / math.Sqrt(norm2); math.Abs(corr-want) > 1e-9*want {
+			t.Fatalf("corr = %v, want reciprocal decoded norm %v", corr, want)
+		}
+	}
+}
+
+// TestEncodeClampsOutOfRange: vectors beyond the trained range (inserted
+// after training) saturate at ±127 instead of wrapping.
+func TestEncodeClampsOutOfRange(t *testing.T) {
+	rows := [][]float64{{1, -1}}
+	cb := Train(2, 1, func(i int) []float64 { return rows[i] })
+	codes := make([]int8, 2)
+	cb.Encode(codes, []float64{1000, -1000})
+	if codes[0] != 127 || codes[1] != -127 {
+		t.Fatalf("out-of-range encode = %v, want [127 -127]", codes)
+	}
+}
+
+// TestQuantizedCosineApproximatesExact: the full asymmetric pipeline
+// (Encode rows, EncodeQuery, Dot8, qscale·corr fixup) must land within
+// ~1% of the exact cosine on unit vectors — the regime the ANN index
+// uses it in.
+func TestQuantizedCosineApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const dim = 300
+	rows := randRows(rng, 300, dim)
+	for _, v := range rows {
+		normalize(v)
+	}
+	cb := Train(dim, len(rows), func(i int) []float64 { return rows[i] })
+	codes := make([][]int8, len(rows))
+	corrs := make([]float64, len(rows))
+	for i, v := range rows {
+		codes[i] = make([]int8, dim)
+		corrs[i] = cb.Encode(codes[i], v)
+	}
+	qc := make([]int8, dim)
+	for qi := 0; qi < 32; qi++ {
+		q := rows[rng.Intn(len(rows))]
+		qscale := cb.EncodeQuery(qc, q)
+		if qscale <= 0 {
+			t.Fatal("unit query encoded to qscale 0")
+		}
+		for i, v := range rows {
+			var exact float64
+			for d := 0; d < dim; d++ {
+				exact += q[d] * v[d]
+			}
+			approx := float64(Dot8(qc, codes[i])) * qscale * corrs[i]
+			if math.Abs(approx-exact) > 0.01 {
+				t.Fatalf("query %d row %d: quantized cosine %v vs exact %v", qi, i, approx, exact)
+			}
+		}
+	}
+}
+
+func normalize(v []float64) {
+	var n2 float64
+	for _, x := range v {
+		n2 += x * x
+	}
+	inv := 1 / math.Sqrt(n2)
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+func TestDot8MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 33, 300} {
+		a, b := make([]int8, n), make([]int8, n)
+		var want int32
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+			want += int32(a[i]) * int32(b[i])
+		}
+		if got := Dot8(a, b); got != want {
+			t.Fatalf("n=%d: Dot8 = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDot8PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot8([]int8{1}, []int8{1, 2})
+}
+
+func TestNewCodebookValidates(t *testing.T) {
+	if _, err := NewCodebook(nil); err == nil {
+		t.Fatal("empty scales accepted")
+	}
+	if _, err := NewCodebook([]float64{1, 0}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := NewCodebook([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN scale accepted")
+	}
+	cb, err := NewCodebook([]float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Dim() != 2 || cb.Scales()[1] != 2 {
+		t.Fatalf("codebook round-trip: dim %d scales %v", cb.Dim(), cb.Scales())
+	}
+}
+
+// TestEncodeQueryScaleCancellation: the per-dimension scales must cancel
+// inside the integer dot product — a query aligned with a stored row
+// recovers a cosine near 1 even when the trained ranges are wildly
+// anisotropic across dimensions.
+func TestEncodeQueryScaleCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const dim = 64
+	ranges := make([]float64, dim)
+	for d := range ranges {
+		ranges[d] = math.Pow(10, rng.Float64()*6-3) // 1e-3 .. 1e3
+	}
+	rows := make([][]float64, 100)
+	for i := range rows {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = ranges[d] * rng.NormFloat64()
+		}
+		normalize(v)
+		rows[i] = v
+	}
+	cb := Train(dim, len(rows), func(i int) []float64 { return rows[i] })
+	codes := make([]int8, dim)
+	qc := make([]int8, dim)
+	for _, v := range rows {
+		corr := cb.Encode(codes, v)
+		qscale := cb.EncodeQuery(qc, v)
+		got := float64(Dot8(qc, codes)) * qscale * corr
+		if math.Abs(got-1) > 0.02 {
+			t.Fatalf("self-similarity under anisotropic scales = %v, want ~1", got)
+		}
+	}
+}
+
+// TestDot8AsmScalarParity pins the arch-specific kernel to the portable
+// scalar reference across every alignment and tail-length class.
+func TestDot8AsmScalarParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 24, 31, 63, 300, 301, 1024} {
+		a, b := make([]int8, n), make([]int8, n)
+		for trial := 0; trial < 20; trial++ {
+			for i := range a {
+				a[i] = int8(rng.Intn(255) - 127)
+				b[i] = int8(rng.Intn(255) - 127)
+			}
+			if got, want := Dot8(a, b), dot8Scalar(a, b); got != want {
+				t.Fatalf("n=%d: Dot8 = %d, scalar reference = %d", n, got, want)
+			}
+		}
+	}
+	// Saturated extremes: every product at its magnitude bound.
+	n := 4096
+	a, b := make([]int8, n), make([]int8, n)
+	for i := range a {
+		a[i], b[i] = -127, 127
+	}
+	if got, want := Dot8(a, b), int32(-127*127*n); got != want {
+		t.Fatalf("saturated: Dot8 = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkDot8(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := make([]int8, 300), make([]int8, 300)
+	for i := range x {
+		x[i] = int8(rng.Intn(255) - 127)
+		y[i] = int8(rng.Intn(255) - 127)
+	}
+	b.Run("kernel", func(b *testing.B) {
+		var s int32
+		for i := 0; i < b.N; i++ {
+			s += Dot8(x, y)
+		}
+		_ = s
+	})
+	b.Run("scalar", func(b *testing.B) {
+		var s int32
+		for i := 0; i < b.N; i++ {
+			s += dot8Scalar(x, y)
+		}
+		_ = s
+	})
+}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/embed"
 )
 
 // Config tunes the server.
@@ -619,6 +620,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	threshold := store.ANNThreshold()
 	idx := store.ANNIndex()
 	annStats := map[string]any{"enabled": threshold > 0, "threshold": threshold, "built": idx != nil}
+	// Quantization mode and re-rank depth: operators watching a rollout
+	// need to see which distance kernel queries are actually running on.
+	quantMode, quantRerank := store.Quantization()
+	annStats["quantization"] = quantMode
+	if quantMode != embed.QuantOff {
+		annStats["rerank"] = quantRerank
+	}
 	if idx != nil {
 		p := idx.Params()
 		annStats["size"] = idx.Len()
@@ -626,6 +634,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		annStats["m"] = p.M
 		annStats["ef_construction"] = p.EfConstruction
 		annStats["ef_search"] = p.EfSearch
+		annStats["quantized"] = idx.Quantized()
 	}
 
 	var cacheStats map[string]any

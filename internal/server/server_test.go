@@ -458,3 +458,72 @@ func makeRow(cols []string, set map[int]any) []any {
 	}
 	return row
 }
+
+// newQuantTestServer is newTestServer with SQ8 candidate generation on.
+func newQuantTestServer(t *testing.T) (*Server, []string) {
+	t.Helper()
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	cfg.Quantization = retro.QuantSQ8
+	cfg.RerankFactor = 5
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, err := w.DB.QueryText(`SELECT title FROM movies`)
+	if err != nil || len(titles) == 0 {
+		t.Fatalf("no seed titles (err=%v)", err)
+	}
+	return New(sess, Config{}), titles
+}
+
+// TestQuantizedServing: a server configured for SQ8 serves neighbours
+// from the quantized index, reports the mode and re-rank depth in
+// /v1/stats, and keeps both across an insert (incremental code
+// maintenance + view republication).
+func TestQuantizedServing(t *testing.T) {
+	s, titles := newQuantTestServer(t)
+	h := s.Handler()
+
+	rec, body := get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(titles[0])+"&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("quantized neighbors: code %d body %v", rec.Code, body)
+	}
+	if got := body["neighbors"].([]any); len(got) != 3 {
+		t.Fatalf("quantized neighbors: %d results", len(got))
+	}
+
+	checkStats := func(stage string) {
+		_, stats := get(t, h, "/v1/stats")
+		ann, ok := stats["ann"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s: stats.ann missing: %v", stage, stats)
+		}
+		if ann["quantization"] != "sq8" {
+			t.Fatalf("%s: stats.ann.quantization = %v, want sq8", stage, ann["quantization"])
+		}
+		if ann["rerank"].(float64) != 5 {
+			t.Fatalf("%s: stats.ann.rerank = %v, want 5", stage, ann["rerank"])
+		}
+		if ann["quantized"] != true {
+			t.Fatalf("%s: stats.ann.quantized = %v, want true", stage, ann["quantized"])
+		}
+	}
+	checkStats("boot")
+
+	// Recombine in-vocabulary words so the new value tokenizes to a
+	// non-zero vector (an OOV title would embed to zero and legitimately
+	// have no neighbours).
+	freshTitle := strings.Fields(titles[0])[0] + " " + strings.Fields(titles[1])[0] + " reprise"
+	row, _ := json.Marshal(map[string]any{"table": "movies",
+		"values": []any{9001, freshTitle, nil, nil, nil, nil, nil, nil}})
+	if rec, body := post(t, h, "/v1/insert", string(row)); rec.Code != http.StatusOK {
+		t.Fatalf("insert on quantized server: code %d body %v", rec.Code, body)
+	}
+	rec, body = get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(freshTitle)+"&k=3")
+	if rec.Code != http.StatusOK || len(body["neighbors"].([]any)) != 3 {
+		t.Fatalf("inserted value not servable on quantized index: code %d body %v", rec.Code, body)
+	}
+	checkStats("after insert")
+}

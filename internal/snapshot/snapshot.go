@@ -42,15 +42,23 @@ import (
 // Magic starts every snapshot file.
 const Magic = "RETROSNP"
 
-// Version is the current format version. Readers reject snapshots with a
-// different version outright: the format is an internal artifact, not a
-// long-lived interchange file, so cross-version migration is out of scope.
-const Version = 1
+// Version is the current format version. Version 2 added the optional
+// QNT8 section (SQ8 quantization sidecar: trained per-dimension ranges
+// plus every node's codes). Readers accept MinVersion..Version: a
+// version-1 snapshot simply has no QNT8 section, so a process that wants
+// quantization retrains the codes from the loaded vectors — old
+// snapshots stay bootable, their codes are just rebuilt. Writers always
+// emit the current Version.
+const Version = 2
+
+// MinVersion is the oldest format version this build still reads.
+const MinVersion = 1
 
 const (
 	tagMeta = "META"
 	tagStor = "STOR"
 	tagHNSW = "HNSW"
+	tagQnt8 = "QNT8"
 	tagEnds = "ENDS"
 
 	maxSectionLen = int64(1) << 36 // 64 GiB: far above any real snapshot
@@ -93,6 +101,17 @@ type Snapshot struct {
 	ANNThreshold int
 	// ANNParams is the HNSW configuration.
 	ANNParams ann.Params
+	// Quantization is the CONFIGURED ANN candidate-generation mode and
+	// Rerank its candidate over-fetch factor. Both are persisted in the
+	// version-2 META section (like ANNThreshold/ANNParams), so the
+	// configuration survives even when the snapshot was written while the
+	// index was stale and no HNSW/QNT8 section could be emitted — the
+	// loading process re-quantizes lazily in that case instead of
+	// silently serving unquantized. The QNT8 sidecar additionally carries
+	// the trained ranges and codes when a quantized index was present.
+	// Filled by both Read and ReadInfo.
+	Quantization string
+	Rerank       int
 	// Store holds the retrofitted vectors keyed "table.column\x00text".
 	// After Read it has the ANN configuration applied and, when the
 	// snapshot carried a graph, the deserialised index adopted. Nil after
@@ -135,6 +154,13 @@ func Write(w io.Writer, s *Snapshot) error {
 	if s.Dim != s.Store.Dim() {
 		return fmt.Errorf("snapshot: dim %d does not match store dim %d", s.Dim, s.Store.Dim())
 	}
+	// META carries the CONFIGURED quantization; when a quantized index is
+	// attached, its actual state is authoritative so the two sections can
+	// never disagree.
+	if s.Index != nil && s.Index.Quantized() {
+		s.Quantization = embed.QuantSQ8
+		s.Rerank = s.Index.Rerank()
+	}
 	ww := wire.NewWriter(w)
 	ww.Bytes([]byte(Magic))
 	ww.U32(Version)
@@ -149,6 +175,17 @@ func Write(w io.Writer, s *Snapshot) error {
 			return fmt.Errorf("snapshot: serialising index: %w", err)
 		}
 		writeSection(ww, tagHNSW, buf.Bytes())
+		if s.Index.Quantized() {
+			// The quant sidecar is slot-aligned with the HNSW section just
+			// written, and persists the codes verbatim so a re-saved
+			// snapshot is byte-identical (re-encoding from the
+			// float32-rounded vectors could flip rounding ties).
+			var qbuf bytes.Buffer
+			if _, err := s.Index.WriteQuantTo(&qbuf); err != nil {
+				return fmt.Errorf("snapshot: serialising quant sidecar: %w", err)
+			}
+			writeSection(ww, tagQnt8, qbuf.Bytes())
+		}
 	}
 	writeSection(ww, tagEnds, nil)
 	return ww.Flush()
@@ -165,6 +202,16 @@ func encodeMeta(s *Snapshot) []byte {
 	var buf bytes.Buffer
 	ww := wire.NewWriter(&buf)
 	ww.U8(uint8(s.Variant))
+	// Version-2 addition, read back conditionally on the header version:
+	// the configured quantization mode and re-rank depth. Kept at the
+	// front (right after the variant byte) so the growth point of the
+	// META layout is fixed rather than trailing unbounded lists.
+	if s.Quantization == embed.QuantSQ8 {
+		ww.U8(1)
+	} else {
+		ww.U8(0)
+	}
+	ww.U32(uint32(s.Rerank))
 	ww.F64(s.Hyperparams.Alpha)
 	ww.F64(s.Hyperparams.Beta)
 	ww.F64(s.Hyperparams.Gamma)
@@ -240,8 +287,8 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("snapshot: reading version: %w", err)
 	}
-	if version != Version {
-		return nil, fmt.Errorf("snapshot: format version %d not supported (this build reads version %d)", version, Version)
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("snapshot: format version %d not supported (this build reads versions %d-%d)", version, MinVersion, Version)
 	}
 	dim := int(rr.U32())
 	fingerprint := rr.U64()
@@ -274,7 +321,7 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 		}
 		switch string(tag) {
 		case tagMeta:
-			if err := decodeMeta(payload, s); err != nil {
+			if err := decodeMeta(payload, s, version); err != nil {
 				return nil, err
 			}
 			sawMeta = true
@@ -306,6 +353,30 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 				}
 				s.Index = idx
 			}
+		case tagQnt8:
+			// Writers emit QNT8 directly after HNSW (the sidecar is
+			// slot-aligned with that graph), so the index is already
+			// materialised here on the full-read path.
+			if full {
+				if s.Index == nil {
+					return nil, fmt.Errorf("snapshot: quant sidecar without a preceding index section")
+				}
+				if err := s.Index.ReadQuantInto(bytes.NewReader(payload)); err != nil {
+					return nil, fmt.Errorf("snapshot: %w", err)
+				}
+				s.Quantization = embed.QuantSQ8
+				s.Rerank = s.Index.Rerank()
+			} else {
+				qdim, rerank, err := ann.ReadQuantHeader(bytes.NewReader(payload))
+				if err != nil {
+					return nil, fmt.Errorf("snapshot: %w", err)
+				}
+				if qdim != dim {
+					return nil, fmt.Errorf("snapshot: quant sidecar dim %d does not match snapshot dim %d", qdim, dim)
+				}
+				s.Quantization = embed.QuantSQ8
+				s.Rerank = rerank
+			}
 		case tagEnds:
 			sawEnds = true
 		default:
@@ -319,12 +390,17 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 	if want := Fingerprint(dim, s.Variant, s.Hyperparams); want != fingerprint {
 		return nil, fmt.Errorf("snapshot: hyperparameter fingerprint mismatch (header %016x, metadata %016x): file is corrupt", fingerprint, want)
 	}
+	if s.Quantization == "" {
+		s.Quantization = embed.QuantOff
+	}
 	if !full {
 		return s, nil
 	}
 
 	// Project the persisted ANN configuration onto the store, then adopt
-	// the deserialised graph so no rebuild is needed.
+	// the deserialised graph so no rebuild is needed. AdoptANN takes the
+	// quantization state from the index itself, so a QNT8-carrying
+	// snapshot comes up quantized with its persisted codes.
 	if s.ANNThreshold > 0 {
 		s.Store.EnableANN(s.ANNThreshold, s.ANNParams)
 	} else {
@@ -334,6 +410,14 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 		if err := s.Store.AdoptANN(s.Index); err != nil {
 			return nil, fmt.Errorf("snapshot: %w", err)
 		}
+	}
+	if s.Quantization == embed.QuantSQ8 && (s.Index == nil || !s.Index.Quantized()) {
+		// The snapshot was configured for SQ8 but carried no quantized
+		// graph (written while the index was stale, or before the lazy
+		// reconcile ran): restore the configuration so the loading
+		// process re-quantizes on its next build instead of silently
+		// serving unquantized.
+		s.Store.EnableQuantization(embed.QuantSQ8, s.Rerank)
 	}
 	return s, nil
 }
@@ -398,9 +482,18 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-func decodeMeta(payload []byte, s *Snapshot) error {
+func decodeMeta(payload []byte, s *Snapshot, version uint32) error {
 	rr := wire.NewReader(bytes.NewReader(payload))
 	s.Variant = core.Variant(rr.U8())
+	if version >= 2 {
+		if rr.U8() != 0 {
+			s.Quantization = embed.QuantSQ8
+		}
+		s.Rerank = int(rr.U32())
+		if s.Rerank < 0 || s.Rerank > 1<<16 {
+			return fmt.Errorf("snapshot: implausible rerank factor %d", s.Rerank)
+		}
+	}
 	s.Hyperparams.Alpha = rr.F64()
 	s.Hyperparams.Beta = rr.F64()
 	s.Hyperparams.Gamma = rr.F64()

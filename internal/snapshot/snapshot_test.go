@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math/rand"
 	"os"
@@ -349,5 +350,181 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 	if Fingerprint(32, core.RN, core.DefaultRN()) != base {
 		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+// --- Quantization sidecar (QNT8, format version 2) --------------------------
+
+// quantSnapshot is testSnapshot with the index SQ8-quantized.
+func quantSnapshot(t testing.TB, n, dim int) *Snapshot {
+	t.Helper()
+	s := testSnapshot(t, n, dim)
+	s.Store.EnableQuantization(embed.QuantSQ8, 6)
+	s.Store.WarmANN() // reconcile: train + encode
+	s.Index = s.Store.ANNIndex()
+	if s.Index == nil || !s.Index.Quantized() {
+		t.Fatal("index not quantized")
+	}
+	return s
+}
+
+func TestQuantizedRoundTrip(t *testing.T) {
+	orig := quantSnapshot(t, 300, 12)
+	got, err := Read(bytes.NewReader(encode(t, orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 {
+		t.Fatalf("version %d, want 2", got.Version)
+	}
+	if got.Quantization != embed.QuantSQ8 || got.Rerank != 6 {
+		t.Fatalf("quant meta = (%q, %d), want (sq8, 6)", got.Quantization, got.Rerank)
+	}
+	if got.Index == nil || !got.Index.Quantized() || got.Index.Rerank() != 6 {
+		t.Fatal("index did not come up quantized with its persisted sidecar")
+	}
+	if mode, rerank := got.Store.Quantization(); mode != embed.QuantSQ8 || rerank != 6 {
+		t.Fatalf("store quant state = (%q, %d)", mode, rerank)
+	}
+	// Quantized queries answer identically to the writing process.
+	rng := rand.New(rand.NewSource(6))
+	for qi := 0; qi < 25; qi++ {
+		q := make([]float64, 12)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		want := orig.Store.TopK(q, 10, nil)
+		have := got.Store.TopK(q, 10, nil)
+		if len(want) != len(have) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(have), len(want))
+		}
+		for i := range want {
+			if want[i].Word != have[i].Word {
+				t.Fatalf("query %d rank %d: %q vs %q", qi, i, have[i].Word, want[i].Word)
+			}
+		}
+	}
+}
+
+// TestQuantizedWriteLoadWriteByteIdentical is the acceptance bar for the
+// QNT8 section: a quantized snapshot re-saved after load reproduces the
+// file byte for byte (codes are persisted verbatim, never re-derived
+// from the float32-rounded vectors).
+func TestQuantizedWriteLoadWriteByteIdentical(t *testing.T) {
+	orig := quantSnapshot(t, 250, 10)
+	first := encode(t, orig)
+	loaded, err := Read(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := encode(t, loaded)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("quantized write-load-write not byte-identical: %d vs %d bytes", len(first), len(second))
+	}
+}
+
+// TestVersion1StillReads: a version-1 snapshot (identical layout, no
+// QNT8 section) must load on this build, with quantization off — and a
+// process that wants SQ8 can enable it afterwards, rebuilding the codes
+// from the loaded vectors.
+func TestVersion1StillReads(t *testing.T) {
+	s := testSnapshot(t, 150, 8)
+	raw := encode(t, s)
+	// Reconstruct the version-1 artifact this file would have been: set
+	// the header version word back to 1 and strip the two version-2 META
+	// fields (quant flag u8 + rerank u32, bytes 1..6 of the payload),
+	// refreshing the section's length prefix and CRC.
+	binary.LittleEndian.PutUint32(raw[len(Magic):], 1)
+	header := len(Magic) + 4 + 4 + 8
+	frame := header + 4 // past the META tag
+	metaLen := int(binary.LittleEndian.Uint64(raw[frame:]))
+	payload := raw[frame+12 : frame+12+metaLen]
+	v1meta := append(append([]byte(nil), payload[0]), payload[6:]...)
+	binary.LittleEndian.PutUint64(raw[frame:], uint64(len(v1meta)))
+	binary.LittleEndian.PutUint32(raw[frame+8:], crc32.ChecksumIEEE(v1meta))
+	raw = append(raw[:frame+12], append(v1meta, raw[frame+12+metaLen:]...)...)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if got.Version != 1 {
+		t.Fatalf("version %d, want 1", got.Version)
+	}
+	if got.Quantization != embed.QuantOff || got.Rerank != 0 {
+		t.Fatalf("v1 quant meta = (%q, %d), want (off, 0)", got.Quantization, got.Rerank)
+	}
+	// Codes rebuilt on demand: enable quantization post-load.
+	got.Store.EnableQuantization(embed.QuantSQ8, 0)
+	got.Store.WarmANN()
+	if idx := got.Store.ANNIndex(); idx == nil || !idx.Quantized() {
+		t.Fatal("post-load quantization did not rebuild codes")
+	}
+	if res := got.Store.TopK(got.Store.Vector(3), 5, nil); len(res) != 5 {
+		t.Fatalf("quantized TopK on v1-loaded store: %d results", len(res))
+	}
+}
+
+func TestReadInfoReportsQuantization(t *testing.T) {
+	raw := encode(t, quantSnapshot(t, 120, 8))
+	info, err := ReadInfo(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Quantization != embed.QuantSQ8 || info.Rerank != 6 {
+		t.Fatalf("ReadInfo quant = (%q, %d), want (sq8, 6)", info.Quantization, info.Rerank)
+	}
+	if info.Store != nil || info.Index != nil {
+		t.Fatal("ReadInfo materialised store or index")
+	}
+
+	plain, err := ReadInfo(bytes.NewReader(encode(t, testSnapshot(t, 50, 8))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Quantization != embed.QuantOff {
+		t.Fatalf("unquantized ReadInfo mode = %q", plain.Quantization)
+	}
+}
+
+// TestQuantSidecarCorruption: a flipped byte inside the QNT8 payload
+// trips the section CRC, and a sidecar frame for the wrong graph is
+// rejected by the structural check.
+func TestQuantSidecarCorruption(t *testing.T) {
+	raw := encode(t, quantSnapshot(t, 100, 8))
+	idx := bytes.Index(raw, []byte(tagQnt8))
+	if idx < 0 {
+		t.Fatal("no QNT8 section in quantized snapshot")
+	}
+	// Flip a byte well inside the payload (past tag+len+crc = 16 bytes).
+	corrupt := append([]byte(nil), raw...)
+	corrupt[idx+40] ^= 0x10
+	if _, err := Read(bytes.NewReader(corrupt)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("QNT8 payload corruption: %v", err)
+	}
+}
+
+// TestQuantConfigSurvivesIndexlessSnapshot: a snapshot written while the
+// index was stale (no HNSW/QNT8 sections possible) must still persist
+// the CONFIGURED quantization in META, so the loading process
+// re-quantizes on its next index build instead of silently serving
+// unquantized.
+func TestQuantConfigSurvivesIndexlessSnapshot(t *testing.T) {
+	s := testSnapshot(t, 150, 8)
+	s.Index = nil // as when Store.ANNIndex() returns nil on a stale index
+	s.Quantization = embed.QuantSQ8
+	s.Rerank = 5
+	got, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quantization != embed.QuantSQ8 || got.Rerank != 5 {
+		t.Fatalf("quant config = (%q, %d), want (sq8, 5)", got.Quantization, got.Rerank)
+	}
+	if mode, rerank := got.Store.Quantization(); mode != embed.QuantSQ8 || rerank != 5 {
+		t.Fatalf("store quant config = (%q, %d), want (sq8, 5)", mode, rerank)
+	}
+	got.Store.WarmANN() // lazy rebuild must come up quantized
+	if idx := got.Store.ANNIndex(); idx == nil || !idx.Quantized() || idx.Rerank() != 5 {
+		t.Fatal("rebuilt index did not re-quantize from the persisted configuration")
 	}
 }

@@ -394,3 +394,78 @@ func TestMatrixString(t *testing.T) {
 		t.Fatalf("big String = %q", big.String())
 	}
 }
+
+// --- Unrolled-kernel parity --------------------------------------------------
+
+// naiveDot is the pre-unroll reference; the 4-accumulator kernel may
+// differ from it only by re-association rounding.
+func naiveDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestUnrolledKernelsMatchNaive sweeps every residual length class of the
+// 4-wide loops (n mod 4 = 0..3, plus tiny and empty inputs) and checks the
+// unrolled kernels against straightforward scalar references.
+func TestUnrolledKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 31, 32, 33, 300} {
+		a, b := randVec(rng, n), randVec(rng, n)
+		tol := 1e-12 * float64(n+1)
+
+		if got, want := Dot(a, b), naiveDot(a, b); !almostEqual(got, want, tol) {
+			t.Fatalf("n=%d: Dot = %v, naive = %v", n, got, want)
+		}
+
+		var wantSq float64
+		for i := range a {
+			d := a[i] - b[i]
+			wantSq += d * d
+		}
+		if got := SquaredDistance(a, b); !almostEqual(got, wantSq, tol) {
+			t.Fatalf("n=%d: SquaredDistance = %v, naive = %v", n, got, wantSq)
+		}
+
+		dst, ref := Clone(a), Clone(a)
+		Axpy(dst, 1.5, b)
+		for i := range ref {
+			ref[i] += 1.5 * b[i]
+		}
+		for i := range dst {
+			if dst[i] != ref[i] {
+				t.Fatalf("n=%d: Axpy[%d] = %v, want %v (elementwise op must be bit-exact)", n, i, dst[i], ref[i])
+			}
+		}
+		dst, ref = Clone(a), Clone(a)
+		Axpy(dst, 1, b)
+		for i := range ref {
+			ref[i] += b[i]
+		}
+		for i := range dst {
+			if dst[i] != ref[i] {
+				t.Fatalf("n=%d: Axpy(alpha=1)[%d] = %v, want %v", n, i, dst[i], ref[i])
+			}
+		}
+
+		if n > 0 {
+			na, nb := Norm(a), Norm(b)
+			if na != 0 && nb != 0 {
+				want := naiveDot(a, b) / (na * nb)
+				if got := Cosine(a, b); !almostEqual(got, want, 1e-9) {
+					t.Fatalf("n=%d: fused Cosine = %v, three-pass = %v", n, got, want)
+				}
+			}
+		}
+	}
+}

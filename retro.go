@@ -130,7 +130,30 @@ type Config struct {
 	ANNThreshold int
 	// ANNParams tunes the HNSW graph; nil selects the defaults.
 	ANNParams *ANNParams
+	// Quantization selects the ANN candidate-generation mode: "sq8"
+	// traverses the HNSW graph on 8-bit scalar-quantized codes (8x less
+	// memory traffic per hop) and re-scores candidates exactly in float64
+	// before returning; "" or "off" keeps exact traversal. Returned
+	// scores are always exact either way.
+	Quantization string
+	// RerankFactor is the SQ8 candidate over-fetch factor: quantized
+	// queries fetch RerankFactor*k candidates and re-rank them exactly
+	// (0 selects ann.DefaultRerank, currently 3). Ignored unless
+	// Quantization is enabled.
+	RerankFactor int
 }
+
+// QuantSQ8 is the Config.Quantization value selecting 8-bit scalar
+// quantization; QuantOff (or "") selects exact traversal.
+const (
+	QuantOff = embed.QuantOff
+	QuantSQ8 = embed.QuantSQ8
+)
+
+// ParseQuantMode normalises a user-facing quantization mode string
+// ("", "off", "none" or "sq8") to the canonical Config.Quantization
+// value, rejecting anything else.
+func ParseQuantMode(s string) (string, error) { return embed.ParseQuantMode(s) }
 
 // Defaults returns the paper's recommended configuration (RN solver,
 // α=1 β=0 γ=3 δ=1, 10 iterations).
@@ -158,6 +181,9 @@ type Model struct {
 // Retrofit learns vectors for every unique text value in db, anchored to
 // the given pre-trained embedding (§3–4 of the paper).
 func Retrofit(db *DB, base *Embedding, cfg Config) (*Model, error) {
+	if _, err := embed.ParseQuantMode(cfg.Quantization); err != nil {
+		return nil, fmt.Errorf("retro: %w", err)
+	}
 	ex, err := extract.FromDB(db, extract.Options{
 		ExcludeColumns:   cfg.ExcludeColumns,
 		ExcludeRelations: cfg.ExcludeRelations,
@@ -216,17 +242,19 @@ func (m *Model) buildStore(row func(int) []float64) *Embedding {
 	return s
 }
 
-// applyANNConfig projects the Config ANN knobs onto a store.
+// applyANNConfig projects the Config ANN knobs onto a store. The
+// quantization mode must be pre-validated (see Retrofit).
 func applyANNConfig(s *embed.Store, cfg Config) {
 	if cfg.ANNThreshold < 0 {
 		s.DisableANN()
-		return
+	} else {
+		var p ann.Params
+		if cfg.ANNParams != nil {
+			p = *cfg.ANNParams
+		}
+		s.EnableANN(cfg.ANNThreshold, p)
 	}
-	var p ann.Params
-	if cfg.ANNParams != nil {
-		p = *cfg.ANNParams
-	}
-	s.EnableANN(cfg.ANNThreshold, p)
+	s.EnableQuantization(cfg.Quantization, cfg.RerankFactor)
 }
 
 // Vector returns the learned embedding of the text value stored in the

@@ -36,6 +36,11 @@ type SnapshotInfo struct {
 	Fingerprint uint64
 	// HasIndex reports whether the file carried a built HNSW graph.
 	HasIndex bool
+	// Quantization is the persisted ANN candidate-generation mode
+	// (QuantOff when the snapshot carried no quantization sidecar) and
+	// Rerank its candidate over-fetch factor.
+	Quantization string
+	Rerank       int
 	// Variant is the solver that produced the vectors.
 	Variant Variant
 	// Hyperparams is the training configuration.
@@ -54,6 +59,10 @@ type SnapshotInfo struct {
 // first to guarantee it is included), and the training provenance. The
 // caller must not mutate the model concurrently.
 func (m *Model) WriteSnapshot(w io.Writer) error {
+	// The configured quantization persists even when no built index does
+	// (e.g. the index was stale at save time): a reboot from the snapshot
+	// must come back up quantized, codes retrained lazily.
+	quantMode, rerank := m.store.Quantization()
 	return snapshot.Write(w, &snapshot.Snapshot{
 		Dim:              m.store.Dim(),
 		Variant:          m.cfg.Variant,
@@ -65,6 +74,8 @@ func (m *Model) WriteSnapshot(w io.Writer) error {
 		ExcludeRelations: m.cfg.ExcludeRelations,
 		ANNThreshold:     m.store.ANNThreshold(),
 		ANNParams:        m.store.ANNParams(),
+		Quantization:     quantMode,
+		Rerank:           rerank,
 		Store:            m.store,
 		Index:            m.store.ANNIndex(),
 	})
@@ -95,6 +106,12 @@ func LoadSnapshot(r io.Reader) (*Model, error) {
 	}
 	annParams := snap.ANNParams
 	cfg.ANNParams = &annParams
+	// Carry the persisted quantization into the config: the loaded store
+	// is already quantized (codes came from the QNT8 section), and any
+	// path that rebuilds the store (e.g. ResumeSession realignment)
+	// re-quantizes with freshly trained codes.
+	cfg.Quantization = snap.Quantization
+	cfg.RerankFactor = snap.Rerank
 	return &Model{
 		cfg:    cfg,
 		hp:     hp,
@@ -118,6 +135,8 @@ func infoFrom(snap *snapshot.Snapshot) *SnapshotInfo {
 		Categories:       snap.Categories,
 		ExcludeColumns:   snap.ExcludeColumns,
 		ExcludeRelations: snap.ExcludeRelations,
+		Quantization:     snap.Quantization,
+		Rerank:           snap.Rerank,
 	}
 }
 
