@@ -1,0 +1,49 @@
+// Command promcheck validates a Prometheus text-format exposition: it
+// parses every line and enforces the structural invariants a scraper
+// relies on (HELP/TYPE headers, no duplicate series, histogram bucket
+// monotonicity and _sum/_count consistency, non-negative counters).
+//
+//	curl -s localhost:6060/metrics | promcheck
+//	promcheck metrics.txt
+//
+// Exits 0 on a valid exposition, 1 on a malformed one (with the first
+// violation on stderr). The CI scrape-smoke job runs it against a live
+// retro-serve /metrics endpoint.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/retrodb/retro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, name = f, args[0]
+	default:
+		return fmt.Errorf("usage: promcheck [exposition-file] (default: stdin)")
+	}
+	if err := obs.ValidateExposition(in); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("%s: valid Prometheus exposition\n", name)
+	return nil
+}

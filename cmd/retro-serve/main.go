@@ -26,15 +26,20 @@
 //	retro-serve -data ./data -snapshot ./data/model.snap        # warm boots
 //
 // Queries run lock-free against atomically published serving views (see
-// internal/server), so reads never wait on an insert. -pprof exposes
-// net/http/pprof on a separate admin port, kept off the serving
-// listener:
+// internal/server), so reads never wait on an insert. -admin exposes the
+// operator surface on a separate listener, kept off the serving address:
+// Prometheus metrics at /metrics, the slow-query log at /debug/slowlog,
+// readiness at /readyz, and net/http/pprof under /debug/pprof/:
 //
-//	retro-serve -data ./data -addr :8080 -pprof localhost:6060
+//	retro-serve -data ./data -addr :8080 -admin localhost:6060
+//	curl localhost:6060/metrics
+//	curl 'localhost:6060/debug/slowlog?threshold=50ms'
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //
-// The process shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// Logs are structured (log/slog); -log-format json emits one JSON object
+// per line for ingestion, -log-level debug enables the per-request log.
+// The process shuts down gracefully on SIGINT/SIGTERM, draining both
+// listeners before exiting.
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -54,11 +60,35 @@ import (
 	"github.com/retrodb/retro/internal/server"
 )
 
+// version is stamped into the retro_build_info metric; override at build
+// time with -ldflags "-X main.version=...".
+var version = "dev"
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "retro-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
+	return slog.New(h), nil
 }
 
 func run(args []string) error {
@@ -77,7 +107,11 @@ func run(args []string) error {
 	repairBudget := fs.Int("repair-budget", retro.DefaultRepairBudget, "max nodes re-solved per insert repair (0 = unlimited)")
 	snapshotPath := fs.String("snapshot", "", "boot from this snapshot file instead of training")
 	saveSnapshot := fs.String("save-snapshot", "", "write a snapshot of the trained session to this file")
-	pprofAddr := fs.String("pprof", "", "admin listen address for net/http/pprof, e.g. localhost:6060 (empty = disabled)")
+	adminAddr := fs.String("admin", "", "admin listen address for /metrics, /debug/slowlog, /readyz and pprof, e.g. localhost:6060 (empty = disabled)")
+	pprofAddr := fs.String("pprof", "", "deprecated alias for -admin")
+	slowQuery := fs.Duration("slow-query", 0, "slow-query log threshold (0 = default 100ms; retune live via /debug/slowlog?threshold=)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error (debug enables the per-request log)")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "drain timeout on SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +119,15 @@ func run(args []string) error {
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	log, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if *adminAddr == "" {
+		*adminAddr = *pprofAddr
+	}
 
+	bootStart := time.Now()
 	db, emb, err := dataset.LoadDir(*data)
 	if err != nil {
 		return err
@@ -112,9 +154,11 @@ func run(args []string) error {
 			FormatVersion: info.Version,
 			Fingerprint:   info.Fingerprint,
 		}
-		fmt.Printf("resumed %d text values from snapshot %s (format v%d, written %s) in %s\n",
-			sess.Model().NumValues(), *snapshotPath, info.Version,
-			info.Created.UTC().Format(time.RFC3339), time.Since(start).Round(time.Millisecond))
+		log.Info("resumed from snapshot",
+			"values", sess.Model().NumValues(), "path", *snapshotPath,
+			"format_version", info.Version,
+			"written", info.Created.UTC().Format(time.RFC3339),
+			"elapsed", time.Since(start).Round(time.Millisecond))
 		// Graph-shape knobs are baked into the snapshot; only the
 		// query-time knobs — beam width, quantization mode and re-rank
 		// depth — can be retuned without a rebuild. Switching -quant on a
@@ -122,7 +166,7 @@ func run(args []string) error {
 		// from the loaded vectors (the graph itself is untouched).
 		if *annEfS > 0 {
 			sess.Model().Store().TuneEfSearch(*annEfS)
-			fmt.Printf("HNSW query beam width set to %d\n", *annEfS)
+			log.Info("HNSW query beam width set", "ef_search", *annEfS)
 		}
 		if *quantMode != "" {
 			mode, err := retro.ParseQuantMode(*quantMode)
@@ -130,13 +174,13 @@ func run(args []string) error {
 				return err
 			}
 			sess.Model().Store().EnableQuantization(mode, *rerank)
-			fmt.Printf("ANN quantization set to %s\n", mode)
+			log.Info("ANN quantization set", "mode", mode)
 		} else if *rerank > 0 {
 			sess.Model().Store().TuneRerank(*rerank)
-			fmt.Printf("SQ8 re-rank depth set to %d\n", *rerank)
+			log.Info("SQ8 re-rank depth set", "rerank", *rerank)
 		}
 		if *variant != "rn" || *parallel != -1 || *annThreshold != 0 || *annM != 0 || *annEfC != 0 {
-			fmt.Println("note: -variant, -parallel, -ann-threshold, -ann-m and -ann-efc apply at training time; the snapshot's persisted configuration is used")
+			log.Warn("-variant, -parallel, -ann-threshold, -ann-m and -ann-efc apply at training time; the snapshot's persisted configuration is used")
 		}
 	} else {
 		cfg := retro.Defaults()
@@ -155,22 +199,25 @@ func run(args []string) error {
 			cfg.RerankFactor = *rerank
 		}
 
-		fmt.Printf("training %s solver on %d tables (base embedding: %d words, %d dims)...\n",
-			*variant, db.NumTables(), emb.Len(), emb.Dim())
+		log.Info("training",
+			"solver", *variant, "tables", db.NumTables(),
+			"base_words", emb.Len(), "dim", emb.Dim())
 		start := time.Now()
 		sess, err = retro.NewSession(db, emb, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("retrofitted %d text values in %s\n", sess.Model().NumValues(), time.Since(start).Round(time.Millisecond))
+		log.Info("retrofit complete",
+			"values", sess.Model().NumValues(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 	sess.RepairBudget = *repairBudget
 	start := time.Now()
 	sess.Model().Store().WarmANN()
 	if idx := sess.Model().Store().ANNIndex(); idx != nil {
-		fmt.Printf("HNSW index ready in %s\n", time.Since(start).Round(time.Millisecond))
+		log.Info("HNSW index ready", "elapsed", time.Since(start).Round(time.Millisecond))
 		if idx.Quantized() {
-			fmt.Printf("SQ8 quantized traversal active (re-rank depth %d)\n", idx.Rerank())
+			log.Info("SQ8 quantized traversal active", "rerank", idx.Rerank())
 		}
 	}
 	if *saveSnapshot != "" {
@@ -178,58 +225,87 @@ func run(args []string) error {
 		if err := sess.WriteSnapshotFile(*saveSnapshot); err != nil {
 			return err
 		}
-		fmt.Printf("snapshot written to %s in %s\n", *saveSnapshot, time.Since(start).Round(time.Millisecond))
+		log.Info("snapshot written", "path", *saveSnapshot,
+			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(sess, server.Config{CacheSize: *cacheSize, Origin: origin})
+	srv := server.New(sess, server.Config{
+		CacheSize:          *cacheSize,
+		Origin:             origin,
+		Logger:             log,
+		SlowQueryThreshold: *slowQuery,
+		Version:            version,
+	})
+	bootDur := time.Since(bootStart)
+	srv.Metrics().GaugeFunc("retro_boot_duration_seconds",
+		"Time from process start to the server being constructed (load + train/resume + warm).",
+		"", bootDur.Seconds)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	// The profiling endpoints live on their own admin listener, never on
-	// the serving address: pprof handlers can hold the CPU for seconds
-	// and must not be reachable from (or compete with) query traffic.
+	// The operator surface lives on its own admin listener, never on the
+	// serving address: pprof handlers can hold the CPU for seconds and
+	// must not be reachable from (or compete with) query traffic, and
+	// /metrics + /debug/slowlog follow them there.
 	var adminSrv *http.Server
-	if *pprofAddr != "" {
+	adminErr := make(chan error, 1)
+	if *adminAddr != "" {
 		adminMux := http.NewServeMux()
+		adminMux.Handle("/", srv.AdminHandler())
 		adminMux.HandleFunc("/debug/pprof/", pprof.Index)
 		adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		adminSrv = &http.Server{Addr: *pprofAddr, Handler: adminMux}
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: adminMux}
 		go func() {
-			fmt.Printf("pprof admin on http://%s/debug/pprof/\n", *pprofAddr)
-			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "retro-serve: pprof listener:", err)
-			}
+			log.Info("admin listening", "addr", *adminAddr)
+			adminErr <- adminSrv.ListenAndServe()
 		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
+	serveErr := make(chan error, 1)
 	go func() {
-		fmt.Printf("serving on %s\n", *addr)
-		errc <- httpSrv.ListenAndServe()
+		log.Info("serving", "addr", *addr, "boot_elapsed", bootDur.Round(time.Millisecond))
+		serveErr <- httpSrv.ListenAndServe()
 	}()
 
 	select {
-	case err := <-errc:
+	case err := <-serveErr:
 		return err
+	case err := <-adminErr:
+		// The admin listener failing (port clash, fd exhaustion) is a
+		// deployment error; surface it instead of serving half-blind.
+		return fmt.Errorf("admin listener: %w", err)
 	case <-ctx.Done():
 	}
 	stop()
-	fmt.Println("shutting down...")
+	log.Info("shutting down", "grace", *shutdownGrace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
+	// Both listeners drain under the same deadline; their serve
+	// goroutines are then joined so no exit path abandons a listener.
+	var shutdownErr error
 	if adminSrv != nil {
-		_ = adminSrv.Shutdown(shutdownCtx)
+		if err := adminSrv.Shutdown(shutdownCtx); err != nil {
+			shutdownErr = fmt.Errorf("admin shutdown: %w", err)
+		}
 	}
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && shutdownErr == nil {
+		shutdownErr = fmt.Errorf("shutdown: %w", err)
 	}
-	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
 	}
-	fmt.Println("bye")
+	if adminSrv != nil {
+		if err := <-adminErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+			shutdownErr = fmt.Errorf("admin listener: %w", err)
+		}
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	log.Info("bye")
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"time"
 
 	"github.com/retrodb/retro/internal/quant"
 	"github.com/retrodb/retro/internal/vec"
@@ -133,6 +134,13 @@ type searchScratch struct {
 	q       []float64
 	cands   []candidate // min-heap storage, reused across calls
 	results []candidate // max-heap storage, reused across calls
+
+	// hops counts candidate expansions (beam pops and greedy steps)
+	// across the traversal; TopKAppendStats resets and reads it. The
+	// counter lives in the scratch so the hot loops pay one integer add
+	// per expansion — no pointer chase, no atomic — and the telemetry
+	// layer reads it out only when a caller asked for stats.
+	hops int
 
 	// Quantized-query state, prepared per traversal by prepareQueryCodes:
 	// the SQ8-encoded query, its scale and whether the code-domain kernel
@@ -401,11 +409,13 @@ func (ix *Index) Contains(id int) bool {
 // greedyClosest walks layer l from ep to the locally closest node to the
 // scratch's prepared query.
 func (ix *Index) greedyClosest(sc *searchScratch, ep int32, l int) int32 {
+	steps := 0
 	if sc.useQ {
 		qcode, qscale := sc.qcode, sc.qscale
 		best, bestD := ep, ix.distQ(sc, ep)
 		for improved := true; improved; {
 			improved = false
+			steps++
 			for _, nb := range ix.nodes[best].neighbors[l] {
 				nd := &ix.nodes[nb]
 				if d := 1 - float64(quant.Dot8(qcode, nd.code))*qscale*nd.corr; d < bestD {
@@ -414,11 +424,13 @@ func (ix *Index) greedyClosest(sc *searchScratch, ep int32, l int) int32 {
 				}
 			}
 		}
+		sc.hops += steps
 		return best
 	}
 	best, bestD := ep, ix.distX(sc, ep)
 	for improved := true; improved; {
 		improved = false
+		steps++
 		for _, nb := range ix.nodes[best].neighbors[l] {
 			if d := ix.distX(sc, nb); d < bestD {
 				best, bestD = nb, d
@@ -426,6 +438,7 @@ func (ix *Index) greedyClosest(sc *searchScratch, ep int32, l int) int32 {
 			}
 		}
 	}
+	sc.hops += steps
 	return best
 }
 
@@ -446,10 +459,12 @@ func (ix *Index) searchLayer(sc *searchScratch, ep int32, ef, l int) []candidate
 	// inlined by the compiler) because a shared per-hop helper was too
 	// big to inline and its call frame showed up as ~15% of quantized
 	// query time. The exact body goes through distX, which does inline.
+	pops := 0
 	if sc.useQ {
 		qcode, qscale := sc.qcode, sc.qscale
 		for cands.len() > 0 {
 			c := cands.pop()
+			pops++
 			if results.len() >= ef && c.dist > results.top().dist {
 				break
 			}
@@ -471,6 +486,7 @@ func (ix *Index) searchLayer(sc *searchScratch, ep int32, ef, l int) []candidate
 	} else {
 		for cands.len() > 0 {
 			c := cands.pop()
+			pops++
 			if results.len() >= ef && c.dist > results.top().dist {
 				break
 			}
@@ -489,6 +505,7 @@ func (ix *Index) searchLayer(sc *searchScratch, ep int32, ef, l int) []candidate
 			}
 		}
 	}
+	sc.hops += pops
 	// Hand the (possibly grown) buffers back so the next traversal
 	// reuses their capacity.
 	sc.cands = cands.data
@@ -576,6 +593,21 @@ func (ix *Index) TopK(query []float64, k int, skip func(id int) bool) []Result {
 	return ix.TopKAppend(query, k, skip, nil)
 }
 
+// SearchStats reports what one TopK traversal did, for the serving
+// telemetry layer: how many candidate expansions the walk performed,
+// how many distinct nodes the layer-0 beam evaluated, how many
+// candidates the quantized path re-scored exactly, and how the time
+// split between the graph walk and the exact re-rank. Populated by
+// TopKAppendStats; the stat-less entry points never touch it.
+type SearchStats struct {
+	Hops      int   // candidate expansions: beam pops + greedy descent steps
+	Nodes     int   // distinct nodes scored by the layer-0 beam
+	Reranked  int   // candidates re-scored exactly (quantized path only)
+	WalkNs    int64 // descent + beam search wall time
+	RerankNs  int64 // exact re-scoring + result sort wall time
+	Quantized bool  // traversal ran on SQ8 codes
+}
+
 // TopKAppend is TopK with caller-owned result storage: hits are written
 // into dst[:0] and the slice (grown if its capacity was short) is
 // returned. With cap(dst) >= k and a warm scratch pool a query performs
@@ -584,8 +616,19 @@ func (ix *Index) TopK(query []float64, k int, skip func(id int) bool) []Result {
 // concurrently with each other; the usual Insert/Delete exclusion still
 // applies.
 func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst []Result) []Result {
+	return ix.TopKAppendStats(query, k, skip, dst, nil)
+}
+
+// TopKAppendStats is TopKAppend with traversal telemetry: when st is
+// non-nil it is overwritten with this query's stats, including the
+// walk/re-rank timing split. A nil st skips every clock read, so the
+// stat-less path costs exactly what it did before this hook existed.
+func (ix *Index) TopKAppendStats(query []float64, k int, skip func(id int) bool, dst []Result, st *SearchStats) []Result {
 	if len(query) != ix.dim {
 		panic("ann: TopK query dimension mismatch")
+	}
+	if st != nil {
+		*st = SearchStats{}
 	}
 	dst = dst[:0]
 	if k <= 0 || ix.entry < 0 {
@@ -599,6 +642,7 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 		return dst
 	}
 	sc := ix.acquireScratch()
+	sc.hops = 0
 	if cap(sc.q) < ix.dim {
 		sc.q = make([]float64, ix.dim)
 	}
@@ -655,11 +699,24 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 	if skip != nil {
 		ef += fetch
 	}
+	var walkStart time.Time
+	if st != nil {
+		walkStart = time.Now()
+	}
 	ep := ix.entry
 	for l := ix.maxLevel; l > 0; l-- {
 		ep = ix.greedyClosest(sc, ep, l)
 	}
 	cands := ix.searchLayer(sc, ep, ef, 0)
+	var rerankStart time.Time
+	if st != nil {
+		st.WalkNs = time.Since(walkStart).Nanoseconds()
+		st.Hops = sc.hops
+		st.Nodes = len(sc.visited.touched)
+		st.Quantized = sc.useQ
+		rerankStart = time.Now()
+	}
+	reranked := 0
 	for _, c := range cands {
 		nd := &ix.nodes[c.slot]
 		if nd.deleted || (skip != nil && skip(nd.id)) {
@@ -670,6 +727,7 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 			// Exact re-scoring: one full-width dot per surviving candidate
 			// (fetch of them), instead of one per traversal hop.
 			score = vec.Dot(q, nd.vec)
+			reranked++
 		}
 		dst = append(dst, Result{ID: nd.id, Score: score})
 		if len(dst) == fetch {
@@ -688,6 +746,10 @@ func (ix *Index) TopKAppend(query []float64, k int, skip func(id int) bool, dst 
 	})
 	if len(dst) > k {
 		dst = dst[:k]
+	}
+	if st != nil {
+		st.RerankNs = time.Since(rerankStart).Nanoseconds()
+		st.Reranked = reranked
 	}
 	return dst
 }

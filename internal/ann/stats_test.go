@@ -1,0 +1,74 @@
+package ann
+
+import "testing"
+
+// TestTopKAppendStatsParity checks the telemetry variant returns the
+// exact results of TopKAppend while filling SearchStats with plausible
+// traversal numbers, and that passing nil stats changes nothing.
+func TestTopKAppendStatsParity(t *testing.T) {
+	vectors := randomVectors(3000, 32, 7)
+	ix := buildIndex(t, vectors, DefaultParams())
+	q := vectors[42]
+
+	plain := ix.TopKAppend(q, 10, nil, nil)
+	var st SearchStats
+	stats := ix.TopKAppendStats(q, 10, nil, nil, &st)
+
+	if len(plain) != len(stats) {
+		t.Fatalf("result length mismatch: %d vs %d", len(plain), len(stats))
+	}
+	for i := range plain {
+		if plain[i] != stats[i] {
+			t.Fatalf("result %d: %+v vs %+v", i, plain[i], stats[i])
+		}
+	}
+	if st.Hops <= 0 {
+		t.Fatalf("Hops = %d, want > 0", st.Hops)
+	}
+	if st.Nodes <= 0 || st.Nodes > len(vectors) {
+		t.Fatalf("Nodes = %d, want in (0, %d]", st.Nodes, len(vectors))
+	}
+	if st.WalkNs <= 0 {
+		t.Fatalf("WalkNs = %d, want > 0", st.WalkNs)
+	}
+	if st.Quantized {
+		if st.Reranked <= 0 {
+			t.Fatalf("quantized search reported Reranked = %d, want > 0", st.Reranked)
+		}
+	} else if st.Reranked != 0 {
+		t.Fatalf("exact search reported Reranked = %d, want 0", st.Reranked)
+	}
+}
+
+// TestTopKAppendStatsReset checks stats from a previous call don't leak
+// into the next: the struct is zeroed on entry.
+func TestTopKAppendStatsReset(t *testing.T) {
+	vectors := randomVectors(500, 16, 3)
+	ix := buildIndex(t, vectors, DefaultParams())
+	st := SearchStats{Hops: 999999, Nodes: 999999, Reranked: 999999, WalkNs: -1, RerankNs: -1}
+	ix.TopKAppendStats(vectors[0], 5, nil, nil, &st)
+	if st.Hops >= 999999 || st.Nodes >= 999999 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+}
+
+// TestTopKAppendStatsZeroAlloc guards the instrumented path: with a
+// warm scratch pool and caller-owned dst, collecting stats must not
+// allocate.
+func TestTopKAppendStatsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	vectors := randomVectors(2000, 32, 11)
+	ix := buildIndex(t, vectors, DefaultParams())
+	q := vectors[7]
+	dst := make([]Result, 0, 16)
+	var st SearchStats
+	ix.TopKAppendStats(q, 10, nil, dst, &st) // warm the pools
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = ix.TopKAppendStats(q, 10, nil, dst[:0], &st)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKAppendStats allocated %.2f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,80 @@
+package embed
+
+import (
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+)
+
+// TestTopKAppendStatsANNPath checks the stats passthrough on the ANN
+// path: identical results to TopKAppend, traversal counters filled.
+func TestTopKAppendStatsANNPath(t *testing.T) {
+	s := randomStore(3000, 16, 5)
+	s.EnableANN(1000, ann.DefaultParams())
+	s.WarmANN()
+	if s.ANNIndex() == nil {
+		t.Fatal("ANN index not built")
+	}
+	q := s.Vector(42)
+
+	plain := s.TopKAppend(q, 10, nil, nil)
+	var st ann.SearchStats
+	stats := s.TopKAppendStats(q, 10, nil, nil, &st)
+
+	if len(plain) != len(stats) {
+		t.Fatalf("result length mismatch: %d vs %d", len(plain), len(stats))
+	}
+	for i := range plain {
+		if plain[i] != stats[i] {
+			t.Fatalf("result %d: %+v vs %+v", i, plain[i], stats[i])
+		}
+	}
+	if st.Hops <= 0 || st.Nodes <= 0 || st.WalkNs <= 0 {
+		t.Fatalf("traversal stats not filled: %+v", st)
+	}
+}
+
+// TestTopKAppendStatsExactFallback checks the exact-scan path reports
+// the scan as the walk stage with every row counted as a node.
+func TestTopKAppendStatsExactFallback(t *testing.T) {
+	s := randomStore(100, 8, 9) // below the ANN threshold
+	if s.ANNIndex() != nil {
+		t.Fatal("unexpected ANN index on a small store")
+	}
+	var st ann.SearchStats
+	got := s.TopKAppendStats(s.Vector(3), 5, nil, nil, &st)
+	if len(got) != 5 {
+		t.Fatalf("got %d results, want 5", len(got))
+	}
+	if st.Nodes != s.Len() {
+		t.Fatalf("Nodes = %d, want %d", st.Nodes, s.Len())
+	}
+	if st.WalkNs <= 0 {
+		t.Fatalf("WalkNs = %d, want > 0", st.WalkNs)
+	}
+	if st.Hops != 0 || st.Reranked != 0 || st.Quantized {
+		t.Fatalf("exact scan filled graph-only fields: %+v", st)
+	}
+}
+
+// TestTopKAppendStatsZeroAlloc guards the frozen-store instrumented
+// query path at zero allocations per call.
+func TestTopKAppendStatsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	s := randomStore(3000, 16, 13)
+	s.EnableANN(1000, ann.DefaultParams())
+	s.WarmANN()
+	s.Freeze()
+	q := s.Vector(7)
+	dst := make([]Match, 0, 16)
+	var st ann.SearchStats
+	dst = s.TopKAppendStats(q, 10, nil, dst, &st) // warm the pools
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = s.TopKAppendStats(q, 10, nil, dst[:0], &st)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKAppendStats allocated %.2f times per call, want 0", allocs)
+	}
+}

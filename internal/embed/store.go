@@ -9,6 +9,7 @@ import (
 	"maps"
 	"slices"
 	"sync"
+	"time"
 
 	"github.com/retrodb/retro/internal/ann"
 	"github.com/retrodb/retro/internal/vec"
@@ -775,8 +776,20 @@ var resultPool = sync.Pool{New: func() any { return new([]ann.Result) }}
 // is returned. With cap(dst) >= k and warm scratch pools a query on
 // either path performs no allocation.
 func (s *Store) TopKAppend(query []float64, k int, skip func(id int) bool, dst []Match) []Match {
+	return s.TopKAppendStats(query, k, skip, dst, nil)
+}
+
+// TopKAppendStats is TopKAppend with traversal telemetry for the
+// serving layer: when st is non-nil it is filled with the query's
+// per-stage stats (see ann.SearchStats). On the exact-scan fallback the
+// whole scan counts as the walk, every row is a scored node, and hops
+// and re-rank stay zero. A nil st adds no work to either path.
+func (s *Store) TopKAppendStats(query []float64, k int, skip func(id int) bool, dst []Match, st *ann.SearchStats) []Match {
 	if len(query) != s.dim {
 		panic("embed: TopK query dimension mismatch")
+	}
+	if st != nil {
+		*st = ann.SearchStats{}
 	}
 	dst = dst[:0]
 	if k <= 0 {
@@ -787,7 +800,7 @@ func (s *Store) TopKAppend(query []float64, k int, skip func(id int) bool, dst [
 	}
 	if idx := s.queryANN(); idx != nil {
 		buf := resultPool.Get().(*[]ann.Result)
-		results := idx.TopKAppend(query, k, skip, *buf)
+		results := idx.TopKAppendStats(query, k, skip, *buf, st)
 		for _, r := range results {
 			dst = append(dst, Match{ID: r.ID, Word: s.words[r.ID], Score: r.Score})
 		}
@@ -795,7 +808,14 @@ func (s *Store) TopKAppend(query []float64, k int, skip func(id int) bool, dst [
 		resultPool.Put(buf)
 		return dst
 	}
-	return s.TopKExactAppend(query, k, skip, dst)
+	if st == nil {
+		return s.TopKExactAppend(query, k, skip, dst)
+	}
+	start := time.Now()
+	dst = s.TopKExactAppend(query, k, skip, dst)
+	st.WalkNs = time.Since(start).Nanoseconds()
+	st.Nodes = len(s.words)
+	return dst
 }
 
 // TopKExact is the brute-force O(n·d) scan: always exact, regardless of

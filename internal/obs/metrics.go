@@ -1,0 +1,333 @@
+// Package obs is the telemetry layer of the serving system: a
+// dependency-free metrics registry with Prometheus text exposition, a
+// ring-buffer slow-query log, and process/runtime collectors.
+//
+// The package is built for the engine's read path, which is lock-free
+// and zero-allocation and must stay that way when instrumented:
+//
+//   - Counters and gauges are single atomics.
+//   - Histograms are pre-registered fixed-bucket atomic arrays; Observe
+//     is a bounded linear scan plus two atomic adds and never allocates
+//     or locks.
+//   - Registration happens once, at startup, under a mutex; after that
+//     the instrument handles are plain pointers the hot path uses
+//     without any coordination.
+//
+// Exposition (Registry.WritePrometheus) takes the registration mutex —
+// scrapes are rare and never on the query path. Series are rendered in
+// registration order, so the output is deterministic.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric types in the Prometheus exposition format.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the exposition to stay a valid
+// counter; this is not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta with a CAS loop (lock-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: counts[i] holds observations
+// with v <= bounds[i]; the final slot is the +Inf overflow bucket. All
+// state is atomic — Observe performs no locking and no allocation.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf excluded
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets covers the serving latency range: 1µs to 10s,
+// roughly logarithmic. Stage latencies (cache probe ~100ns, graph walk
+// tens of µs, encode µs) and request latencies all land inside it.
+func DurationBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// CountBuckets covers discrete magnitudes (hops, nodes visited, batch
+// rows): powers of four from 1 to ~1M.
+func CountBuckets() []float64 {
+	return []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+}
+
+// series is one sample stream within a family.
+type series interface {
+	write(w *countingWriter, name, labels string)
+}
+
+type counterSeries struct{ c *Counter }
+type gaugeSeries struct{ g *Gauge }
+type funcSeries struct{ fn func() float64 }
+type histogramSeries struct{ h *Histogram }
+
+// family is one metric name with its help/type header and every
+// labelled series registered under it.
+type family struct {
+	name, help, typ string
+	labels          []string
+	series          []series
+}
+
+// Registry holds registered metrics and renders them in the Prometheus
+// text exposition format. Register everything at startup; the returned
+// handles are safe for concurrent lock-free use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, typ, labels string, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s, was %s", name, typ, f.typ))
+	}
+	for _, l := range f.labels {
+		if l == labels {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, labels))
+		}
+	}
+	f.labels = append(f.labels, labels)
+	f.series = append(f.series, s)
+}
+
+// Counter registers (and returns) a counter series. labels is either ""
+// or a pre-rendered Prometheus label body, e.g. `endpoint="/v1/stats"`.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	c := &Counter{}
+	r.register(name, help, TypeCounter, labels, &counterSeries{c})
+	return c
+}
+
+// Gauge registers (and returns) a gauge series.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, TypeGauge, labels, &gaugeSeries{g})
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.register(name, help, TypeGauge, labels, &funcSeries{fn})
+}
+
+// CounterFunc registers a counter evaluated at scrape time (for values
+// whose source of truth is an existing atomic elsewhere).
+func (r *Registry) CounterFunc(name, help, labels string, fn func() float64) {
+	r.register(name, help, TypeCounter, labels, &funcSeries{fn})
+}
+
+// Histogram registers (and returns) a histogram series with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help, labels string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic("obs: histogram bucket bounds must be ascending")
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.register(name, help, TypeHistogram, labels, &histogramSeries{h})
+	return h
+}
+
+// countingWriter tracks bytes written so WritePrometheus can report
+// them without every write site threading errors by hand; the first
+// error sticks.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf []byte
+}
+
+func (cw *countingWriter) writeString(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countingWriter) writeBytes(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	n, err := cw.w.Write(b)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countingWriter) writeFloat(v float64) {
+	cw.buf = strconv.AppendFloat(cw.buf[:0], v, 'g', -1, 64)
+	cw.writeBytes(cw.buf)
+}
+
+func (cw *countingWriter) writeInt(v int64) {
+	cw.buf = strconv.AppendInt(cw.buf[:0], v, 10)
+	cw.writeBytes(cw.buf)
+}
+
+func (cw *countingWriter) writeUint(v uint64) {
+	cw.buf = strconv.AppendUint(cw.buf[:0], v, 10)
+	cw.writeBytes(cw.buf)
+}
+
+// sample writes one `name{labels} value` line with the value renderer
+// supplied by the caller.
+func (cw *countingWriter) sample(name, suffix, labels, extraLabel string, value func()) {
+	cw.writeString(name)
+	cw.writeString(suffix)
+	if labels != "" || extraLabel != "" {
+		cw.writeString("{")
+		cw.writeString(labels)
+		if labels != "" && extraLabel != "" {
+			cw.writeString(",")
+		}
+		cw.writeString(extraLabel)
+		cw.writeString("}")
+	}
+	cw.writeString(" ")
+	value()
+	cw.writeString("\n")
+}
+
+func (s *counterSeries) write(w *countingWriter, name, labels string) {
+	w.sample(name, "", labels, "", func() { w.writeInt(s.c.Value()) })
+}
+
+func (s *gaugeSeries) write(w *countingWriter, name, labels string) {
+	w.sample(name, "", labels, "", func() { w.writeFloat(s.g.Value()) })
+}
+
+func (s *funcSeries) write(w *countingWriter, name, labels string) {
+	w.sample(name, "", labels, "", func() { w.writeFloat(s.fn()) })
+}
+
+func (s *histogramSeries) write(w *countingWriter, name, labels string) {
+	h := s.h
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		c := cum
+		le := `le="` + strconv.FormatFloat(bound, 'g', -1, 64) + `"`
+		w.sample(name, "_bucket", labels, le, func() { w.writeUint(c) })
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	total := cum
+	w.sample(name, "_bucket", labels, `le="+Inf"`, func() { w.writeUint(total) })
+	w.sample(name, "_sum", labels, "", func() { w.writeFloat(h.Sum()) })
+	w.sample(name, "_count", labels, "", func() { w.writeUint(total) })
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cw := &countingWriter{w: w}
+	for _, f := range r.families {
+		cw.writeString("# HELP " + f.name + " " + f.help + "\n")
+		cw.writeString("# TYPE " + f.name + " " + f.typ + "\n")
+		for i, s := range f.series {
+			s.write(cw, f.name, f.labels[i])
+		}
+	}
+	return cw.n, cw.err
+}
+
+// Handler serves the registry at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WritePrometheus(w)
+	})
+}

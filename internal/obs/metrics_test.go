@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("retro_tests_total", "Test counter.", `kind="unit"`)
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("retro_tests_gauge", "Test gauge.", "")
+	g.Set(2.5)
+	g.Add(-1)
+	r.GaugeFunc("retro_tests_func", "Func gauge.", "", func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	if _, err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP retro_tests_total Test counter.",
+		"# TYPE retro_tests_total counter",
+		`retro_tests_total{kind="unit"} 42`,
+		"# TYPE retro_tests_gauge gauge",
+		"retro_tests_gauge 1.5",
+		"retro_tests_func 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, out)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("retro_test_seconds", "Test histogram.", `stage="walk"`, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %g, want 56.05", h.Sum())
+	}
+
+	var buf bytes.Buffer
+	if _, err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`retro_test_seconds_bucket{stage="walk",le="0.1"} 1`,
+		`retro_test_seconds_bucket{stage="walk",le="1"} 3`,
+		`retro_test_seconds_bucket{stage="walk",le="10"} 4`,
+		`retro_test_seconds_bucket{stage="walk",le="+Inf"} 5`,
+		`retro_test_seconds_count{stage="walk"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, out)
+	}
+}
+
+func TestHistogramObserveConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("retro_conc_seconds", "h", "", DurationBuckets())
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(seed*i%100) * 1e-4)
+			}
+		}(w + 1)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket total = %d, want %d", cum, workers*per)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("retro_alloc_seconds", "h", "", DurationBuckets())
+	c := r.Counter("retro_alloc_total", "c", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.0012)
+		h.ObserveDuration(42 * time.Microsecond)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.2f times per call, want 0", allocs)
+	}
+}
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("retro_x_total", "x", `a="1"`)
+	mustPanic(t, "type conflict", func() { r.Gauge("retro_x_total", "x", `b="2"`) })
+	mustPanic(t, "duplicate series", func() { r.Counter("retro_x_total", "x", `a="1"`) })
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("retro_y", "y", "", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRuntimeAndBuildInfoValidate(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	RegisterBuildInfo(r, "test")
+	var buf bytes.Buffer
+	if _, err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `retro_build_info{version="test"`) {
+		t.Fatalf("missing build info:\n%s", out)
+	}
+	if !strings.Contains(out, "retro_goroutines") {
+		t.Fatalf("missing goroutine gauge:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("runtime exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionCatchesBreakage(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE": "retro_a 1\n",
+		"bucket non-monotonic": "# HELP retro_h h\n# TYPE retro_h histogram\n" +
+			`retro_h_bucket{le="1"} 5` + "\n" +
+			`retro_h_bucket{le="2"} 3` + "\n" +
+			`retro_h_bucket{le="+Inf"} 5` + "\n" +
+			"retro_h_sum 1\nretro_h_count 5\n",
+		"inf != count": "# HELP retro_h h\n# TYPE retro_h histogram\n" +
+			`retro_h_bucket{le="+Inf"} 4` + "\n" +
+			"retro_h_sum 1\nretro_h_count 5\n",
+		"missing sum": "# HELP retro_h h\n# TYPE retro_h histogram\n" +
+			`retro_h_bucket{le="+Inf"} 5` + "\n" +
+			"retro_h_count 5\n",
+		"missing inf bucket": "# HELP retro_h h\n# TYPE retro_h histogram\n" +
+			`retro_h_bucket{le="1"} 5` + "\n" +
+			"retro_h_sum 1\nretro_h_count 5\n",
+		"duplicate series": "# HELP retro_a a\n# TYPE retro_a gauge\nretro_a 1\nretro_a 2\n",
+		"negative counter": "# HELP retro_a a\n# TYPE retro_a counter\nretro_a -1\n",
+		"bad value":        "# HELP retro_a a\n# TYPE retro_a gauge\nretro_a xyzzy\n",
+		"bad name":         "# HELP retro_a a\n# TYPE retro_a gauge\n9retro_a 1\n",
+	}
+	for name, payload := range cases {
+		if err := ValidateExposition(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: validation passed on broken payload:\n%s", name, payload)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches one runtime.MemStats snapshot per scrape burst:
+// ReadMemStats stops the world briefly, and a scrape evaluates several
+// gauges that would otherwise each pay that cost back to back.
+type memSampler struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+func (s *memSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) > 500*time.Millisecond {
+		runtime.ReadMemStats(&s.ms)
+		s.last = time.Now()
+	}
+	return s.ms
+}
+
+// RegisterRuntime registers the process/runtime gauges an operator
+// graphs next to serving latency: goroutine count, heap size and
+// occupancy, GC cycle count and cumulative pause time.
+func RegisterRuntime(r *Registry) {
+	var ms memSampler
+	r.GaugeFunc("retro_goroutines", "Number of live goroutines.", "",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("retro_heap_alloc_bytes", "Bytes of allocated heap objects.", "",
+		func() float64 { return float64(ms.sample().HeapAlloc) })
+	r.GaugeFunc("retro_heap_sys_bytes", "Bytes of heap obtained from the OS.", "",
+		func() float64 { return float64(ms.sample().HeapSys) })
+	r.GaugeFunc("retro_heap_objects", "Number of allocated heap objects.", "",
+		func() float64 { return float64(ms.sample().HeapObjects) })
+	r.CounterFunc("retro_gc_cycles_total", "Completed GC cycles.", "",
+		func() float64 { return float64(ms.sample().NumGC) })
+	r.CounterFunc("retro_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "",
+		func() float64 { return float64(ms.sample().PauseTotalNs) / 1e9 })
+	r.CounterFunc("retro_alloc_bytes_total", "Cumulative bytes allocated on the heap.", "",
+		func() float64 { return float64(ms.sample().TotalAlloc) })
+}
+
+// RegisterBuildInfo registers the constant retro_build_info gauge whose
+// labels carry the toolchain and platform; its value is always 1, so
+// joins against it annotate every other series with the build.
+func RegisterBuildInfo(r *Registry, version string) {
+	labels := `version="` + version + `",go_version="` + runtime.Version() +
+		`",goos="` + runtime.GOOS + `",goarch="` + runtime.GOARCH + `"`
+	r.GaugeFunc("retro_build_info",
+		"Build metadata; the value is constant 1.", labels,
+		func() float64 { return 1 })
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one recorded slow query with its per-stage breakdown.
+// Stage fields that don't apply to the recorded endpoint stay zero.
+type SlowEntry struct {
+	Time     time.Time `json:"time"`
+	Endpoint string    `json:"endpoint"`
+	Table    string    `json:"table,omitempty"`
+	Column   string    `json:"column,omitempty"`
+	Text     string    `json:"text,omitempty"`
+	K        int       `json:"k,omitempty"`
+	Cached   bool      `json:"cached"`
+
+	TotalNs  int64 `json:"total_ns"`
+	CacheNs  int64 `json:"cache_lookup_ns,omitempty"`
+	WalkNs   int64 `json:"graph_walk_ns,omitempty"`
+	RerankNs int64 `json:"rerank_ns,omitempty"`
+	EncodeNs int64 `json:"encode_ns,omitempty"`
+
+	Hops     int `json:"hops,omitempty"`
+	Nodes    int `json:"nodes_visited,omitempty"`
+	Reranked int `json:"reranked,omitempty"`
+}
+
+// SlowLog is a bounded ring buffer of SlowEntry records. The threshold
+// is an atomic so the read path decides "is this query slow?" with one
+// load and no lock; only queries that actually cross it pay the mutex
+// to append (by construction a rare event — that is what the threshold
+// is for). Recording copies the entry into a pre-allocated ring slot:
+// no allocation on the serving path.
+type SlowLog struct {
+	thresholdNs atomic.Int64
+	recorded    atomic.Int64 // total entries ever recorded (ring may have evicted)
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int  // ring slot the next record lands in
+	full bool // ring has wrapped at least once
+}
+
+// DefaultSlowThreshold flags queries slower than this unless the
+// operator retunes it (-slow-query / ?threshold=).
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// NewSlowLog returns a slow-query log holding the last capacity entries
+// above threshold (capacity is clamped to at least 1; a non-positive
+// threshold selects DefaultSlowThreshold).
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]SlowEntry, capacity)}
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	l.thresholdNs.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the current slow-query threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.thresholdNs.Load())
+}
+
+// SetThreshold retunes the threshold (non-positive values are ignored).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if d > 0 {
+		l.thresholdNs.Store(int64(d))
+	}
+}
+
+// Slow reports whether a query of the given duration should be
+// recorded. One atomic load — this is the only cost the fast path pays.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return int64(d) >= l.thresholdNs.Load()
+}
+
+// Record appends e to the ring, evicting the oldest entry once full.
+func (l *SlowLog) Record(e SlowEntry) {
+	l.recorded.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Recorded returns how many entries were ever recorded (including ones
+// the ring has since evicted).
+func (l *SlowLog) Recorded() int64 { return l.recorded.Load() }
+
+// Entries returns the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// ServeHTTP serves the retained entries as JSON. GET ?threshold=50ms
+// retunes the threshold on the fly (the admin listener is the intended
+// mount point, so no extra auth layer is imposed here).
+func (l *SlowLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d <= 0 {
+			http.Error(w, "threshold must be a positive duration, e.g. 50ms", http.StatusBadRequest)
+			return
+		}
+		l.SetThreshold(d)
+	}
+	entries := l.Entries()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(map[string]any{
+		"threshold_ms": float64(l.Threshold()) / float64(time.Millisecond),
+		"capacity":     len(l.ring),
+		"recorded":     l.Recorded(),
+		"entries":      entries,
+	})
+}

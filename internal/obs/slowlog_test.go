@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdAndRing(t *testing.T) {
+	l := NewSlowLog(3, 50*time.Millisecond)
+	if l.Slow(49 * time.Millisecond) {
+		t.Fatal("49ms flagged slow at a 50ms threshold")
+	}
+	if !l.Slow(50 * time.Millisecond) {
+		t.Fatal("50ms not flagged slow at a 50ms threshold")
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(SlowEntry{Endpoint: "/v1/neighbors", K: i, TotalNs: int64(i)})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d entries, want 3", len(got))
+	}
+	// Newest first: K = 4, 3, 2.
+	for i, wantK := range []int{4, 3, 2} {
+		if got[i].K != wantK {
+			t.Fatalf("entry %d: K=%d, want %d", i, got[i].K, wantK)
+		}
+	}
+	if l.Recorded() != 5 {
+		t.Fatalf("recorded = %d, want 5", l.Recorded())
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond)
+	l.Record(SlowEntry{Endpoint: "/v1/neighbors", Table: "movies", TotalNs: 12e6})
+
+	rec := httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog", nil))
+	var body struct {
+		ThresholdMs float64     `json:"threshold_ms"`
+		Capacity    int         `json:"capacity"`
+		Recorded    int64       `json:"recorded"`
+		Entries     []SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if body.ThresholdMs != 10 || body.Capacity != 8 || body.Recorded != 1 || len(body.Entries) != 1 {
+		t.Fatalf("unexpected payload: %+v", body)
+	}
+	if body.Entries[0].Table != "movies" {
+		t.Fatalf("entry = %+v", body.Entries[0])
+	}
+
+	// Retune the threshold through the handler.
+	rec = httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog?threshold=250ms", nil))
+	if l.Threshold() != 250*time.Millisecond {
+		t.Fatalf("threshold = %v after retune, want 250ms", l.Threshold())
+	}
+	rec = httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog?threshold=bogus", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bogus threshold: code %d, want 400", rec.Code)
+	}
+}
+
+func TestSlowLogRecordZeroAlloc(t *testing.T) {
+	l := NewSlowLog(64, time.Millisecond)
+	e := SlowEntry{Endpoint: "/v1/neighbors", Table: "movies", Column: "title", Text: "alien", K: 10, TotalNs: 2e6}
+	allocs := testing.AllocsPerRun(500, func() { l.Record(e) })
+	if allocs != 0 {
+		t.Fatalf("Record allocated %.2f times per call, want 0", allocs)
+	}
+}

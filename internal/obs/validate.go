@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format payload and checks
+// the structural invariants a scraper relies on:
+//
+//   - every sample line parses (metric name, optional label body, float
+//     value) and its metric name is legal;
+//   - every sample belongs to a family that was announced with # HELP
+//     and # TYPE before its first sample;
+//   - no series (name + label set) appears twice;
+//   - histograms are complete and consistent per label set: bucket
+//     counts are monotonically non-decreasing in le, the +Inf bucket is
+//     present and equals _count, and _sum exists;
+//   - counter samples are non-negative.
+//
+// It is used by the exposition tests and by cmd/promcheck (which the CI
+// scrape-smoke job runs against a live /metrics endpoint).
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+
+	type familyMeta struct {
+		help, typ bool
+		typName   string
+	}
+	families := map[string]*familyMeta{}
+	seen := map[string]bool{} // dedup over "name{labels}"
+
+	// Histogram bookkeeping, keyed by family + label set (minus le).
+	type histKey struct{ name, labels string }
+	buckets := map[histKey]map[float64]float64{}
+	sums := map[histKey]bool{}
+	counts := map[histKey]float64{}
+	countSeen := map[histKey]bool{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &familyMeta{}
+				families[name] = f
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				f.typ = true
+				f.typName = fields[3]
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		famName := name
+		f := families[name]
+		if f == nil {
+			// Histogram/summary child series report under suffixed names.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && families[base] != nil {
+					famName, f = base, families[base]
+					break
+				}
+			}
+		}
+		if f == nil {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if !f.help || !f.typ {
+			return fmt.Errorf("line %d: family %s missing HELP or TYPE before samples", lineNo, famName)
+		}
+		serKey := name + "{" + labels + "}"
+		if seen[serKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, serKey)
+		}
+		seen[serKey] = true
+
+		if f.typName == "counter" && value < 0 {
+			return fmt.Errorf("line %d: counter %s is negative (%g)", lineNo, name, value)
+		}
+		if f.typName == "histogram" {
+			base, rest := splitLe(labels)
+			k := histKey{famName, base}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if rest == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				le, err := parseLe(rest)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				if buckets[k] == nil {
+					buckets[k] = map[float64]float64{}
+				}
+				if _, dup := buckets[k][le]; dup {
+					return fmt.Errorf("line %d: duplicate bucket le=%g for %s", lineNo, le, famName)
+				}
+				buckets[k][le] = value
+			case strings.HasSuffix(name, "_sum"):
+				sums[k] = true
+			case strings.HasSuffix(name, "_count"):
+				counts[k] = value
+				countSeen[k] = true
+			default:
+				return fmt.Errorf("line %d: unexpected histogram sample %s", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for k, bs := range buckets {
+		les := make([]float64, 0, len(bs))
+		hasInf := false
+		for le := range bs {
+			if math.IsInf(le, 1) {
+				hasInf = true
+			}
+			les = append(les, le)
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s{%s}: no +Inf bucket", k.name, k.labels)
+		}
+		sort.Float64s(les)
+		prev := -1.0
+		for _, le := range les {
+			if bs[le] < prev {
+				return fmt.Errorf("histogram %s{%s}: bucket le=%g count %g below preceding %g",
+					k.name, k.labels, le, bs[le], prev)
+			}
+			prev = bs[le]
+		}
+		if !countSeen[k] {
+			return fmt.Errorf("histogram %s{%s}: missing _count", k.name, k.labels)
+		}
+		if !sums[k] {
+			return fmt.Errorf("histogram %s{%s}: missing _sum", k.name, k.labels)
+		}
+		if inf := bs[math.Inf(1)]; inf != counts[k] {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", k.name, k.labels, inf, counts[k])
+		}
+	}
+	for k := range countSeen {
+		if buckets[k] == nil {
+			return fmt.Errorf("histogram %s{%s}: _count without buckets", k.name, k.labels)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits `name{labels} value` (labels optional). The label
+// body is returned raw; it is validated just enough to catch unbalanced
+// quoting.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// A timestamp may trail the value; we don't emit them but accept them.
+	valueField := strings.Fields(rest)
+	if len(valueField) == 0 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	value, err = parsePromFloat(valueField[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", valueField[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func checkLabels(labels string) error {
+	if labels == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(labels) {
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		v := pair[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits a label body on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(labels[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, strings.TrimSpace(labels[start:]))
+	}
+	return out
+}
+
+// splitLe separates the le pair from the rest of a bucket's label body.
+func splitLe(labels string) (base, le string) {
+	var kept []string
+	for _, pair := range splitLabelPairs(labels) {
+		if strings.HasPrefix(pair, "le=") {
+			le = pair
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return strings.Join(kept, ","), le
+}
+
+func parseLe(pair string) (float64, error) {
+	v := strings.TrimPrefix(pair, "le=")
+	v = strings.Trim(v, `"`)
+	return parsePromFloat(v)
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

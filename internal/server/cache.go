@@ -146,6 +146,16 @@ func (c *shardedCache) Purge() {
 	}
 }
 
+// Counts sums the hit/miss counters without taking any shard lock —
+// the scrape-time source for the cache counter metrics.
+func (c *shardedCache) Counts() (hits, misses int64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].miss.Load()
+	}
+	return hits, misses
+}
+
 // Stats sums entry counts and hit/miss counters across shards.
 func (c *shardedCache) Stats() (length, capacity, shards int, hits, misses int64) {
 	for i := range c.shards {

@@ -1,0 +1,243 @@
+// Telemetry wiring: the server's obs.Registry, the per-stage tracing
+// instruments the read path records into, the slow-query log, and the
+// admin handler that exposes all of it.
+//
+// Everything is registered once, in newTelemetry, before the first
+// request; after that the request path touches only pre-registered
+// atomic instruments — no lock, no allocation, no map lookup. Gauges
+// whose source of truth already lives in server atomics (view epoch,
+// cache occupancy, staleness) are scrape-time closures, so the hot path
+// pays nothing to keep them fresh.
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/retrodb/retro/internal/obs"
+)
+
+// telemetry bundles the server's metric handles. Fields are plain
+// pointers into the registry; handlers use them directly.
+type telemetry struct {
+	reg  *obs.Registry
+	slow *obs.SlowLog
+	log  *slog.Logger
+
+	// Read-path stage latencies (seconds), one series per stage.
+	stageCache  *obs.Histogram
+	stageWalk   *obs.Histogram
+	stageRerank *obs.Histogram
+	stageEncode *obs.Histogram
+
+	// ANN traversal effort per uncached query.
+	annHops     *obs.Histogram
+	annNodes    *obs.Histogram
+	annReranked *obs.Histogram
+
+	// Write path and lifecycle.
+	insertRows       *obs.Histogram
+	insertsTotal     *obs.Counter
+	insertErrors     *obs.Counter
+	repairDur        *obs.Histogram
+	repairNodes      *obs.Histogram
+	repairFailures   *obs.Counter
+	staleTransitions *obs.Counter
+	publishDur       *obs.Histogram
+	snapshotSave     *obs.Histogram
+
+	// staleSeen is the edge detector behind staleTransitions: staleness
+	// is a flag the session flips internally (failed repair, operator
+	// MarkStale), so every observation point reports the current state
+	// through noteStale and the flip is counted exactly once.
+	staleSeen atomic.Bool
+}
+
+// noteStale records an observation of the session's staleness and
+// reports whether this observation was the false→true transition.
+func (t *telemetry) noteStale(stale bool) bool {
+	if stale {
+		if t.staleSeen.CompareAndSwap(false, true) {
+			t.staleTransitions.Inc()
+			return true
+		}
+		return false
+	}
+	t.staleSeen.Store(false)
+	return false
+}
+
+// newTelemetry registers every server metric. Called once from New,
+// before the first view is published, so no request can race
+// registration.
+func newTelemetry(s *Server, cfg Config) *telemetry {
+	reg := obs.NewRegistry()
+	capacity := cfg.SlowLogSize
+	if capacity == 0 {
+		capacity = 128
+	}
+	t := &telemetry{
+		reg:  reg,
+		slow: obs.NewSlowLog(capacity, cfg.SlowQueryThreshold),
+		log:  cfg.Logger,
+	}
+	if t.log == nil {
+		t.log = slog.Default()
+	}
+
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("retro_query_stage_duration_seconds",
+			"Read-path latency per stage, in seconds.",
+			`stage="`+name+`"`, obs.DurationBuckets())
+	}
+	t.stageCache = stage("cache_lookup")
+	t.stageWalk = stage("graph_walk")
+	t.stageRerank = stage("rerank")
+	t.stageEncode = stage("encode")
+
+	t.annHops = reg.Histogram("retro_ann_hops",
+		"Candidate expansions (greedy descent steps plus beam pops) per ANN query.",
+		"", obs.CountBuckets())
+	t.annNodes = reg.Histogram("retro_ann_nodes_visited",
+		"Distinct nodes scored by the layer-0 beam per ANN query.",
+		"", obs.CountBuckets())
+	t.annReranked = reg.Histogram("retro_ann_reranked",
+		"Quantized candidates re-scored with exact distances per ANN query.",
+		"", obs.CountBuckets())
+
+	t.insertRows = reg.Histogram("retro_insert_rows",
+		"Rows per insert batch.", "", obs.CountBuckets())
+	t.insertsTotal = reg.Counter("retro_inserts_total",
+		"Insert requests that reached the commit path.", "")
+	t.insertErrors = reg.Counter("retro_insert_errors_total",
+		"Insert requests that returned an error.", "")
+	t.repairDur = reg.Histogram("retro_repair_duration_seconds",
+		"Embedding repair wall time per successful insert.", "", obs.DurationBuckets())
+	t.repairNodes = reg.Histogram("retro_repair_nodes",
+		"Nodes re-solved per embedding repair.", "", obs.CountBuckets())
+	t.repairFailures = reg.Counter("retro_repair_failures_total",
+		"Repairs that failed after rows were committed, leaving the session stale.", "")
+	t.staleTransitions = reg.Counter("retro_stale_transitions_total",
+		"Times the session entered the stale state.", "")
+	t.publishDur = reg.Histogram("retro_view_publish_duration_seconds",
+		"Time to warm the index, freeze the store and publish a serving view.",
+		"", obs.DurationBuckets())
+	t.snapshotSave = reg.Histogram("retro_snapshot_save_duration_seconds",
+		"Time to serialise a session snapshot.", "", obs.DurationBuckets())
+
+	// Scrape-time gauges over state the server already maintains.
+	reg.GaugeFunc("retro_view_epoch",
+		"Epoch of the published serving view (-1 before the first publish).", "",
+		func() float64 {
+			if v := s.view.Load(); v != nil {
+				return float64(v.epoch)
+			}
+			return -1
+		})
+	reg.GaugeFunc("retro_num_values",
+		"Text values in the published serving view.", "",
+		func() float64 {
+			if v := s.view.Load(); v != nil {
+				return float64(v.numValues)
+			}
+			return 0
+		})
+	reg.GaugeFunc("retro_dim",
+		"Embedding dimensionality of the published serving view.", "",
+		func() float64 {
+			if v := s.view.Load(); v != nil {
+				return float64(v.dim)
+			}
+			return 0
+		})
+	reg.CounterFunc("retro_view_swaps_total",
+		"Serving-view publications that replaced an older view.", "",
+		func() float64 { return float64(s.swaps.Load()) })
+	reg.CounterFunc("retro_views_drained_total",
+		"Retired serving views whose in-flight readers have fully drained.", "",
+		func() float64 { return float64(s.drained.Load()) })
+	reg.GaugeFunc("retro_views_draining",
+		"Retired serving views still waiting for readers to drain.", "",
+		func() float64 { return float64(s.retiredWaiting.Load()) })
+	reg.GaugeFunc("retro_session_stale",
+		"1 when a failed repair left the model behind the database, else 0.", "",
+		func() float64 {
+			stale := s.sess.Stale()
+			t.noteStale(stale)
+			if stale {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("retro_uptime_seconds",
+		"Seconds since the server was constructed.", "",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	if s.cache != nil {
+		reg.CounterFunc("retro_cache_hits_total",
+			"Query-cache hits.", "",
+			func() float64 { hits, _ := s.cache.Counts(); return float64(hits) })
+		reg.CounterFunc("retro_cache_misses_total",
+			"Query-cache misses.", "",
+			func() float64 { _, misses := s.cache.Counts(); return float64(misses) })
+		reg.GaugeFunc("retro_cache_entries",
+			"Entries resident in the query cache.", "",
+			func() float64 { length, _, _, _, _ := s.cache.Stats(); return float64(length) })
+		reg.GaugeFunc("retro_cache_capacity",
+			"Query-cache capacity in entries.", "",
+			func() float64 { _, capacity, _, _, _ := s.cache.Stats(); return float64(capacity) })
+	}
+	reg.CounterFunc("retro_slow_queries_total",
+		"Queries recorded by the slow-query log.", "",
+		func() float64 { return float64(t.slow.Recorded()) })
+
+	obs.RegisterRuntime(reg)
+	version := cfg.Version
+	if version == "" {
+		version = "dev"
+	}
+	obs.RegisterBuildInfo(reg, version)
+	return t
+}
+
+// Metrics exposes the server's registry (for embedding /metrics into an
+// existing admin mux).
+func (s *Server) Metrics() *obs.Registry { return s.tel.reg }
+
+// SlowLog exposes the slow-query log.
+func (s *Server) SlowLog() *obs.SlowLog { return s.tel.slow }
+
+// AdminHandler returns the operator surface, meant for a separate admin
+// listener (alongside pprof), never the serving address: /metrics in
+// Prometheus text format, /debug/slowlog, and the health and readiness
+// probes (also available on the serving mux).
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.tel.reg.Handler())
+	mux.Handle("/debug/slowlog", s.tel.slow)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
+}
+
+// handleReadyz is the readiness probe: liveness (/healthz) says the
+// process is up, readiness says this replica should receive traffic. A
+// replica with no published view or a stale session reports 503 so a
+// load balancer can drain it while /healthz keeps the process alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if v := s.view.Load(); v == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "no serving view published"})
+		return
+	}
+	stale := s.sess.Stale()
+	s.tel.noteStale(stale)
+	if stale {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "session stale: model lags the database until the next successful write"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -39,7 +40,9 @@ import (
 	"time"
 
 	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/ann"
 	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/obs"
 )
 
 // Config tunes the server.
@@ -51,6 +54,17 @@ type Config struct {
 	// resumed from a snapshot); it is surfaced in /v1/stats. Nil means
 	// trained.
 	Origin *Origin
+	// Logger receives the request log and write-path events (nil =
+	// slog.Default()).
+	Logger *slog.Logger
+	// SlowQueryThreshold flags queries at or above this duration into
+	// the slow-query log (0 = obs.DefaultSlowThreshold).
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring capacity (default 128).
+	SlowLogSize int
+	// Version is stamped into the retro_build_info metric (default
+	// "dev").
+	Version string
 }
 
 // Origin describes the provenance of the served session.
@@ -84,6 +98,7 @@ type Server struct {
 	sess    *retro.Session
 	cache   *shardedCache
 	metrics metricsTable
+	tel     *telemetry
 	started time.Time
 	origin  *Origin
 
@@ -111,6 +126,10 @@ func New(sess *retro.Session, cfg Config) *Server {
 	if size > 0 {
 		s.cache = newShardedCache(size)
 	}
+	// Telemetry registers before the first publish so every instrument
+	// (including the publish-duration histogram) exists when used.
+	s.tel = newTelemetry(s, cfg)
+	s.metrics.reg = s.tel.reg
 	s.writeMu.Lock()
 	s.publishLocked()
 	s.writeMu.Unlock()
@@ -124,6 +143,7 @@ func New(sess *retro.Session, cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", "GET", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", "GET", s.handleReadyz))
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", "GET", s.handleStats))
 	mux.HandleFunc("/v1/vector", s.instrument("/v1/vector", "GET", s.handleVector))
 	mux.HandleFunc("/v1/neighbors", s.instrument("/v1/neighbors", "GET", s.handleNeighbors))
@@ -141,6 +161,9 @@ type endpointStats struct {
 	Count   atomic.Int64
 	Errors  atomic.Int64
 	TotalNs atomic.Int64
+	// dur is the endpoint's Prometheus latency histogram, registered
+	// alongside the counters; nil only in tests that bypass New.
+	dur *obs.Histogram
 }
 
 // metricsTable is the pre-registered endpoint table. Registration
@@ -152,6 +175,10 @@ type endpointStats struct {
 type metricsTable struct {
 	mu    sync.Mutex // guards registration only
 	table atomic.Pointer[[]*endpointStats]
+	// reg, when set, mirrors each endpoint's counters into Prometheus
+	// series at registration time (scrape reads the same atomics the
+	// request path writes — no second accounting).
+	reg *obs.Registry
 }
 
 func (m *metricsTable) get(endpoint string) *endpointStats {
@@ -174,6 +201,17 @@ func (m *metricsTable) get(endpoint string) *endpointStats {
 		}
 	}
 	st := &endpointStats{name: endpoint}
+	if m.reg != nil {
+		labels := `endpoint="` + endpoint + `"`
+		st.dur = m.reg.Histogram("retro_http_request_duration_seconds",
+			"HTTP request latency by endpoint, in seconds.", labels, obs.DurationBuckets())
+		m.reg.CounterFunc("retro_http_requests_total",
+			"HTTP requests by endpoint.", labels,
+			func() float64 { return float64(st.Count.Load()) })
+		m.reg.CounterFunc("retro_http_request_errors_total",
+			"HTTP requests that returned a 4xx/5xx status, by endpoint.", labels,
+			func() float64 { return float64(st.Errors.Load()) })
+	}
 	next := make([]*endpointStats, len(cur)+1)
 	copy(next, cur)
 	next[len(cur)] = st
@@ -212,12 +250,42 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
+		elapsed := time.Since(start)
 		st.Count.Add(1)
-		st.TotalNs.Add(time.Since(start).Nanoseconds())
+		st.TotalNs.Add(elapsed.Nanoseconds())
+		if st.dur != nil {
+			st.dur.ObserveDuration(elapsed)
+		}
 		if sw.status >= 400 {
 			st.Errors.Add(1)
 		}
+		s.logRequest(r, endpoint, sw.status, elapsed)
 	}
+}
+
+// logRequest is the structured request log: server errors at Warn so
+// they surface under the default level, everything else at Debug (the
+// Enabled check keeps production request logging free).
+func (s *Server) logRequest(r *http.Request, endpoint string, status int, elapsed time.Duration) {
+	if s.tel == nil {
+		return
+	}
+	lg := s.tel.log
+	level := slog.LevelDebug
+	if status >= 500 {
+		level = slog.LevelWarn
+	}
+	if !lg.Enabled(r.Context(), level) {
+		return
+	}
+	lg.LogAttrs(r.Context(), level, "request",
+		slog.String("endpoint", endpoint),
+		slog.String("method", r.Method),
+		slog.String("query", r.URL.RawQuery),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+		slog.String("remote", r.RemoteAddr),
+	)
 }
 
 // --- JSON plumbing ---------------------------------------------------------
@@ -381,6 +449,7 @@ func (s *Server) lookupNeighbors(table, column, text string, k int, epoch uint64
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	ref, err := refFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -394,16 +463,32 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	t := s.tel
 	// Clamp before allocating anything k-sized: a single unauthenticated
 	// request must not be able to demand a multi-gigabyte result buffer.
 	v := s.currentView()
 	if k > v.numValues {
 		k = v.numValues
 	}
-	if body, ok := s.lookupNeighbors(ref.Table, ref.Column, ref.Text, k, v.epoch); ok {
+	cacheStart := time.Now()
+	body, hit := s.lookupNeighbors(ref.Table, ref.Column, ref.Text, k, v.epoch)
+	cacheDur := time.Since(cacheStart)
+	t.stageCache.ObserveDuration(cacheDur)
+	if hit {
+		encodeStart := time.Now()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(body)
+		encodeDur := time.Since(encodeStart)
+		t.stageEncode.ObserveDuration(encodeDur)
+		if total := time.Since(start); t.slow.Slow(total) {
+			t.slow.Record(obs.SlowEntry{
+				Time: start, Endpoint: "/v1/neighbors",
+				Table: ref.Table, Column: ref.Column, Text: ref.Text, K: k,
+				Cached: true, TotalNs: total.Nanoseconds(),
+				CacheNs: cacheDur.Nanoseconds(), EncodeNs: encodeDur.Nanoseconds(),
+			})
+		}
 		return
 	}
 
@@ -416,25 +501,45 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
 		return
 	}
-	ms := store.TopKAppend(store.Vector(id), k, func(x int) bool { return x == id }, nil)
+	var st ann.SearchStats
+	ms := store.TopKAppendStats(store.Vector(id), k, func(x int) bool { return x == id }, nil, &st)
+	t.stageWalk.Observe(float64(st.WalkNs) / 1e9)
+	t.stageRerank.Observe(float64(st.RerankNs) / 1e9)
+	t.annHops.Observe(float64(st.Hops))
+	t.annNodes.Observe(float64(st.Nodes))
+	if st.Reranked > 0 {
+		t.annReranked.Observe(float64(st.Reranked))
+	}
+	encodeStart := time.Now()
 	resp := neighborsResponse{Query: ref, K: k, Neighbors: toMatches(ms), Cached: false}
-	body := encodeBody(resp)
+	body = encodeBody(resp)
 	if s.cache != nil {
 		// Cache the full pre-encoded response (with cached:true, derived
 		// by patching the suffix — the payload is encoded once): a hit
 		// writes these bytes verbatim — no re-encoding, no allocation.
 		// Stamped with the epoch the result was computed under, so an
 		// insert that publishes a newer view implicitly kills it.
-		if hit := cachedVariant(body); hit != nil {
+		if hitBody := cachedVariant(body); hitBody != nil {
 			ks := keyScratchPool.Get().(*keyScratch)
 			ks.buf = appendNeighborsKey(ks.buf[:0], ref.Table, ref.Column, ref.Text, k)
-			s.cache.Put(ks.buf, v.epoch, hit)
+			s.cache.Put(ks.buf, v.epoch, hitBody)
 			keyScratchPool.Put(ks)
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+	encodeDur := time.Since(encodeStart)
+	t.stageEncode.ObserveDuration(encodeDur)
+	if total := time.Since(start); t.slow.Slow(total) {
+		t.slow.Record(obs.SlowEntry{
+			Time: start, Endpoint: "/v1/neighbors",
+			Table: ref.Table, Column: ref.Column, Text: ref.Text, K: k,
+			TotalNs: total.Nanoseconds(), CacheNs: cacheDur.Nanoseconds(),
+			WalkNs: st.WalkNs, RerankNs: st.RerankNs, EncodeNs: encodeDur.Nanoseconds(),
+			Hops: st.Hops, Nodes: st.Nodes, Reranked: st.Reranked,
+		})
+	}
 }
 
 func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
@@ -535,6 +640,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		rows[ri] = row
 	}
 
+	t := s.tel
+	t.insertRows.Observe(float64(len(rows)))
+	t.insertsTotal.Inc()
 	s.writeMu.Lock()
 	err := s.sess.InsertBatch(req.Table, rows)
 	committed := len(rows)
@@ -545,6 +653,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var repair *retro.RepairError
 	repairFailed := errors.As(err, &repair)
 	published := committed > 0 && !repairFailed
+	rep := s.sess.LastRepair()
 	if published {
 		// Warm the index and publish the successor view. The warm-up and
 		// the freeze both run on the live store, invisible to readers:
@@ -553,6 +662,20 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	numValues := s.currentView().numValues
 	s.writeMu.Unlock()
+	if published {
+		t.repairDur.ObserveDuration(rep.Duration)
+		t.repairNodes.Observe(float64(rep.Touched))
+	}
+	if repairFailed {
+		t.repairFailures.Inc()
+	}
+	if t.noteStale(s.sess.Stale()) {
+		t.log.Warn("session marked stale after failed repair",
+			"table", req.Table, "rows", len(rows), "error", err)
+	}
+	if err != nil {
+		t.insertErrors.Inc()
+	}
 	if published && s.cache != nil {
 		// Entries stamped with the old epoch are already unservable; the
 		// purge just releases their memory promptly.

@@ -15,6 +15,7 @@ package server
 import (
 	"io"
 	"sync/atomic"
+	"time"
 
 	retro "github.com/retrodb/retro"
 	"github.com/retrodb/retro/internal/embed"
@@ -66,6 +67,7 @@ func (v *servingView) release() { v.refs.Add(-1) }
 // paid here — off the published view, with readers still flowing against
 // the old one — never inside a reader's request.
 func (s *Server) publishLocked() {
+	start := time.Now()
 	store := s.sess.Model().Store()
 	store.WarmANN()
 	frozen := store.Freeze()
@@ -84,6 +86,7 @@ func (s *Server) publishLocked() {
 		s.retired = append(s.retired, old)
 	}
 	s.sweepRetiredLocked()
+	s.tel.publishDur.ObserveDuration(time.Since(start))
 }
 
 // sweepRetiredLocked reclaims retired views whose readers have drained.
@@ -109,9 +112,12 @@ func (s *Server) sweepRetiredLocked() {
 // lock — excluding inserts, exactly the discipline Session.Snapshot
 // documents — while queries keep flowing against the published view.
 func (s *Server) WriteSnapshot(w io.Writer) error {
+	start := time.Now()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	return s.sess.Snapshot(w)
+	err := s.sess.Snapshot(w)
+	s.tel.snapshotSave.ObserveDuration(time.Since(start))
+	return err
 }
 
 // Session returns the served session. Any direct use must follow the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/retrodb/retro/internal/core"
 	"github.com/retrodb/retro/internal/deepwalk"
@@ -72,7 +73,28 @@ type Session struct {
 	// repairHook, when set, runs before each incremental repair; a test
 	// seam for forcing repair failures.
 	repairHook func() error
+
+	// lastRepair describes the most recent maintenance pass. Written by
+	// the repair paths and read by LastRepair; like the rest of the
+	// session it requires external synchronisation (the serving layer
+	// reads it under its write mutex, right after the insert it timed).
+	lastRepair RepairStats
 }
+
+// RepairStats describes one embedding-maintenance pass: how long it
+// took, how much of the model it re-solved, and whether it was the
+// incremental delta path or a full re-solve. The serving layer exports
+// these as repair-duration and affected-node metrics.
+type RepairStats struct {
+	Duration time.Duration // wall time of the repair
+	Touched  int           // nodes re-solved (0 when the delta carried no values)
+	NewNodes int           // values added to the vocabulary by the pass
+	Full     bool          // true for a full re-solve, false for a delta repair
+}
+
+// LastRepair returns stats for the most recent repair or re-solve.
+// Callers must synchronise with writers the same way as for Insert.
+func (s *Session) LastRepair() RepairStats { return s.lastRepair }
 
 // NewSession trains the initial model and returns the live session.
 func NewSession(db *DB, base *Embedding, cfg Config) (*Session, error) {
@@ -223,6 +245,7 @@ func (s *Session) refreshRows(table string, rowIDs []int) error {
 // repairDelta is the O(delta) write path: extract only the new rows,
 // grow the problem in place, and re-solve the bounded neighbourhood.
 func (s *Session) repairDelta(table string, rowIDs []int) error {
+	start := time.Now()
 	m := s.model
 	if m.ex == nil {
 		return fmt.Errorf("retro: session model has no extraction attached")
@@ -250,7 +273,9 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 		return err
 	}
 	if d.Empty() {
-		return nil // row carried no text values and no relations
+		// Row carried no text values and no relations: nothing to repair.
+		s.lastRepair = RepairStats{Duration: time.Since(start)}
+		return nil
 	}
 	rep, err := core.GrowProblem(m.prob, m.ex, m.tok, d)
 	if err != nil {
@@ -292,6 +317,11 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 	for _, id := range touched {
 		store.RefreshRow(id)
 	}
+	s.lastRepair = RepairStats{
+		Duration: time.Since(start),
+		Touched:  len(touched),
+		NewNodes: len(rep.NewNodes),
+	}
 	return nil
 }
 
@@ -300,6 +330,7 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 // rebuild the problem, carry over solved vectors by value key, and
 // re-solve what changed.
 func (s *Session) refreshFull() error {
+	start := time.Now()
 	old := s.model
 	ex, err := extract.FromDB(s.db, extract.Options{
 		ExcludeColumns:   s.cfg.ExcludeColumns,
@@ -357,6 +388,10 @@ func (s *Session) refreshFull() error {
 	if !aligned {
 		m.store = m.buildStore(w.Row)
 		s.replaceModel(m)
+		s.lastRepair = RepairStats{
+			Duration: time.Since(start), Touched: len(touched),
+			NewNodes: len(dirty), Full: true,
+		}
 		return nil
 	}
 	// Reuse the previous store: the vocabulary only grows (reldb has no
@@ -385,6 +420,10 @@ func (s *Session) refreshFull() error {
 	}
 	m.store = old.store
 	s.replaceModel(m)
+	s.lastRepair = RepairStats{
+		Duration: time.Since(start), Touched: len(touched),
+		NewNodes: len(dirty), Full: true,
+	}
 	return nil
 }
 
@@ -400,10 +439,16 @@ func (s *Session) replaceModel(m *Model) {
 // replacing the model and clearing any staleness. Useful after bulk
 // loads.
 func (s *Session) Resolve() error {
+	start := time.Now()
 	model, err := Retrofit(s.db, s.base, s.cfg)
 	if err != nil {
 		return fmt.Errorf("retro: full re-solve: %w", err)
 	}
 	s.replaceModel(model)
+	s.lastRepair = RepairStats{
+		Duration: time.Since(start),
+		Touched:  model.store.Len(),
+		Full:     true,
+	}
 	return nil
 }
