@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/retrodb/retro/internal/cpu"
 	"github.com/retrodb/retro/internal/embed"
 	"github.com/retrodb/retro/internal/perfbench"
 	"github.com/retrodb/retro/internal/quant"
@@ -41,7 +42,13 @@ type perfReport struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
-	Dataset   struct {
+	// CPUFeatures and SIMDLevel record what the runtime dispatcher
+	// actually selected on this host (RETRO_SIMD caps included), so a
+	// perf number is never read without knowing which kernels produced
+	// it.
+	CPUFeatures string `json:"cpu_features"`
+	SIMDLevel   string `json:"simd_level"`
+	Dataset     struct {
 		NumValues int `json:"num_values"`
 		Dim       int `json:"dim"`
 		Queries   int `json:"queries"`
@@ -67,13 +74,15 @@ func record(rep *perfReport, name string, extra map[string]float64, fn func(b *t
 
 func runPerf(path string) error {
 	rep := &perfReport{
-		Schema:    perfSchema,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Derived:   map[string]float64{},
+		Schema:      perfSchema,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		CPUFeatures: cpu.Features(),
+		SIMDLevel:   cpu.Active().String(),
+		Derived:     map[string]float64{},
 	}
 	rep.Dataset.NumValues = perfbench.NumValues
 	rep.Dataset.Dim = perfbench.Dim
@@ -136,9 +145,53 @@ func runPerf(path string) error {
 		}
 	})
 
+	// Batched read path: the TopKMany engine over the same world, at the
+	// pinned batch sizes. ns/op is per BATCH; the derived per-query
+	// figures and the batch-64 speedup against the looped single-query
+	// path above are what the acceptance gate reads.
+	recallMany := perfbench.Recall10Many(quantized, queries[:64], 64)
+	var perQuery64 float64
+	for _, batch := range []int{1, 16, 64} {
+		qbatch := make([][]float64, batch)
+		ks := make([]int, batch)
+		for i := range ks {
+			ks[i] = 10
+		}
+		dst := make([][]embed.Match, batch)
+		for i := range dst {
+			dst[i] = make([]embed.Match, 0, 16)
+		}
+		pos := 0
+		fill := func() {
+			for j := range qbatch {
+				qbatch[j] = queries[(pos+j)%len(queries)]
+			}
+			pos += batch
+		}
+		fill()
+		dst = quantized.TopKManyAppend(qbatch, ks, nil, dst) // warm the pools
+		pb := record(rep, fmt.Sprintf("topk_many_batch%d", batch),
+			map[string]float64{"queries_per_batch": float64(batch), "recall_at_10": recallMany},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fill()
+					dst = quantized.TopKManyAppend(qbatch, ks, nil, dst)
+				}
+			})
+		perQuery := pb.NsPerOp / float64(batch)
+		rep.Derived[fmt.Sprintf("ns_per_query_batch%d", batch)] = perQuery
+		if batch == 64 {
+			perQuery64 = perQuery
+		}
+	}
+
 	rep.Derived["speedup_quant_vs_exact_hnsw"] = eb.NsPerOp / qb.NsPerOp
+	rep.Derived["speedup_batch64_vs_looped_topk"] = qb.NsPerOp / perQuery64
 	rep.Derived["recall_at_10_quantized"] = recallQuant
 	rep.Derived["recall_at_10_exact_hnsw"] = recallExact
+	rep.Derived["recall_at_10_batched"] = recallMany
 	if mode, rerank := quantized.Quantization(); mode == embed.QuantSQ8 {
 		rep.Derived["rerank_factor"] = float64(rerank)
 	}
@@ -158,6 +211,8 @@ func runPerf(path string) error {
 	}
 	fmt.Printf("perf: speedup quantized vs exact HNSW = %.2fx (recall@10 %.4f vs %.4f)\n",
 		rep.Derived["speedup_quant_vs_exact_hnsw"], recallQuant, recallExact)
+	fmt.Printf("perf: batch64 %.0f ns/query vs looped %.0f ns/query = %.2fx (batched recall@10 %.4f)\n",
+		perQuery64, qb.NsPerOp, rep.Derived["speedup_batch64_vs_looped_topk"], recallMany)
 	fmt.Printf("perf: report written to %s\n", path)
 	return nil
 }

@@ -7,7 +7,15 @@
 //	retro-serve -data ./data -addr :8080
 //
 //	curl 'localhost:8080/v1/neighbors?table=movies&column=title&text=alien+autumn&k=5'
+//	curl -X POST localhost:8080/v1/neighbors/batch -d '{"queries":[
+//	  {"table":"movies","column":"title","text":"alien autumn","k":5},
+//	  {"table":"movies","column":"title","text":"second film"}],"default_k":10}'
 //	curl -X POST localhost:8080/v1/insert -d '{"table":"movies","values":[9001,"new film",null,null,null,null,null,null]}'
+//
+// The batch endpoint answers up to 256 queries with ONE index traversal
+// (shared HNSW descent, SIMD-batched scoring) and is the preferred face
+// for bulk lookups; the single-query GET is a batch-of-1 through the
+// same core.
 //
 // Inserts repair the embeddings incrementally at a cost proportional to
 // the inserted rows, not the database, and batches share one repair:

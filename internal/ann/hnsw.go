@@ -92,12 +92,24 @@ type Index struct {
 	rng       *rand.Rand
 	deleted   int       // count of tombstoned slots
 	scratch   sync.Pool // *searchScratch, shared by concurrent queries
+	batchPool sync.Pool // *batchScratch, shared by concurrent TopKMany calls
 
 	// Quantized candidate generation (see quant.go): when quant is set,
 	// traversal scores hops against 1-byte-per-dimension SQ8 codes and
 	// TopKAppend over-fetches rerank*k candidates for exact re-scoring.
 	quant  *quant.Codebook
 	rerank int
+
+	// Slot-major flat views of the per-node quantization state, kept in
+	// lockstep with nodes whenever quant is set: node i's code is
+	// qflat[i*dim:(i+1)*dim] (nd.code aliases it) and its correction is
+	// qcorr[i]. The batched walk computes code addresses from the slot
+	// alone — no node-header load on the gather/prefetch path — which is
+	// where the single-query path spends a large share of its stalls.
+	// Clone copies both with exact-length clones so divergent clones
+	// never share spare append capacity.
+	qflat []int8
+	qcorr []float64
 }
 
 // visitedSet is reusable per-traversal scratch: a slot-indexed mark array
@@ -278,9 +290,15 @@ func (ix *Index) Insert(id int, v []float64) error {
 	if ix.quant != nil {
 		// Incremental code maintenance: the new vector is encoded with the
 		// codebook trained at quantization time (out-of-range components
-		// saturate), so the quantized traversal sees it immediately.
-		nd.code = make([]int8, ix.dim)
+		// saturate), so the quantized traversal sees it immediately. The
+		// code is appended to the slot-major flat array and the node
+		// header aliases its slot's window, keeping the batch path's
+		// qflat/qcorr invariant intact.
+		base := len(ix.qflat)
+		ix.qflat = append(ix.qflat, make([]int8, ix.dim)...)
+		nd.code = ix.qflat[base : base+ix.dim : base+ix.dim]
 		nd.corr = ix.quant.Encode(nd.code, unit)
+		ix.qcorr = append(ix.qcorr, nd.corr)
 	}
 	ix.nodes = append(ix.nodes, nd)
 	ix.slots[id] = slot
@@ -365,9 +383,13 @@ func (ix *Index) Clone() *Index {
 		// The codebook is immutable and the per-node SQ8 codes are shared
 		// through the copied node headers (a code, like a vector, is never
 		// mutated once its node is linked), so quantization state rides
-		// along copy-on-write for free.
+		// along copy-on-write for free. The flat views are cloned at exact
+		// length: a subsequent Insert on either side reallocates privately
+		// instead of writing into backing memory the other still reads.
 		quant:  ix.quant,
 		rerank: ix.rerank,
+		qflat:  slices.Clone(ix.qflat),
+		qcorr:  slices.Clone(ix.qcorr),
 	}
 	copy(cp.nodes, ix.nodes)
 	for i := range cp.nodes {

@@ -43,14 +43,21 @@ func (ix *Index) installQuant(cb *quant.Codebook, rerank int) {
 	if rerank <= 0 {
 		rerank = DefaultRerank
 	}
+	// One slot-major backing array for every code (the batch walk
+	// computes code addresses from the slot alone, see Index.qflat), and
+	// fresh storage rather than reuse in place: a Clone may share the
+	// previous codes with concurrent readers.
+	flat := make([]int8, len(ix.nodes)*ix.dim)
+	corrs := make([]float64, len(ix.nodes))
 	for i := range ix.nodes {
 		nd := &ix.nodes[i]
-		// Fresh code slices, never reused in place: a Clone may share the
-		// previous codes with concurrent readers.
-		code := make([]int8, ix.dim)
+		code := flat[i*ix.dim : (i+1)*ix.dim : (i+1)*ix.dim]
 		nd.corr = cb.Encode(code, nd.vec)
 		nd.code = code
+		corrs[i] = nd.corr
 	}
+	ix.qflat = flat
+	ix.qcorr = corrs
 	ix.quant = cb
 	ix.rerank = rerank
 }
@@ -60,6 +67,8 @@ func (ix *Index) installQuant(cb *quant.Codebook, rerank int) {
 func (ix *Index) DisableQuant() {
 	ix.quant = nil
 	ix.rerank = 0
+	ix.qflat = nil
+	ix.qcorr = nil
 	for i := range ix.nodes {
 		ix.nodes[i].code = nil
 		ix.nodes[i].corr = 0
@@ -172,7 +181,7 @@ func (ix *Index) ReadQuantInto(r io.Reader) error {
 		return fmt.Errorf("ann: quant sidecar covers %d nodes, graph has %d", numNodes, len(ix.nodes))
 	}
 	corrs := make([]float64, numNodes)
-	codes := make([][]int8, numNodes)
+	flat := make([]int8, numNodes*dim)
 	buf := make([]byte, dim)
 	for i := 0; i < numNodes; i++ {
 		corrs[i] = rr.F64()
@@ -183,16 +192,17 @@ func (ix *Index) ReadQuantInto(r io.Reader) error {
 		if corrs[i] < 0 || math.IsNaN(corrs[i]) || math.IsInf(corrs[i], 0) {
 			return fmt.Errorf("ann: implausible correction %v for node %d", corrs[i], i)
 		}
-		code := make([]int8, dim)
+		code := flat[i*dim : (i+1)*dim]
 		for d, b := range buf {
 			code[d] = int8(b)
 		}
-		codes[i] = code
 	}
 	for i := range ix.nodes {
-		ix.nodes[i].code = codes[i]
+		ix.nodes[i].code = flat[i*dim : (i+1)*dim : (i+1)*dim]
 		ix.nodes[i].corr = corrs[i]
 	}
+	ix.qflat = flat
+	ix.qcorr = corrs
 	ix.quant = cb
 	ix.rerank = rerank
 	return nil

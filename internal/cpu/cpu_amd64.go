@@ -1,0 +1,36 @@
+//go:build amd64
+
+package cpu
+
+// cpuid and xgetbv are implemented in cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// probe detects the best usable kernel tier. SSE2 is architectural on
+// amd64; AVX2 additionally requires the CPUID feature bit AND the OS to
+// have enabled XMM+YMM state saving (OSXSAVE set and XCR0 bits 1..2),
+// otherwise the registers are not preserved across context switches and
+// using them silently corrupts data.
+func probe() (Level, bool) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return SSE2, false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		bitFMA     = 1 << 12
+		bitOSXSAVE = 1 << 27
+	)
+	if ecx1&bitOSXSAVE == 0 {
+		return SSE2, false
+	}
+	if xcr0, _ := xgetbv(); xcr0&0x6 != 0x6 { // XMM and YMM state enabled
+		return SSE2, false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const bitAVX2 = 1 << 5
+	if ebx7&bitAVX2 == 0 {
+		return SSE2, false
+	}
+	return AVX2, ecx1&bitFMA != 0
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package cpu
+
+// probe on non-amd64 architectures selects the portable kernels. On
+// arm64 the natural next tier is NEON (SMLAL/SDOT for the int8 dot,
+// FMLA for float64); the dispatch plumbing here and in the kernel
+// packages is ready for it — a NEON tier slots in as a new Level above
+// Scalar with its own probe — but no NEON kernels exist yet, so arm64
+// deliberately reports Scalar rather than advertising a tier that would
+// fall through.
+func probe() (Level, bool) { return Scalar, false }

@@ -1,0 +1,19 @@
+//go:build amd64
+
+package cpu
+
+import "unsafe"
+
+// PrefetchT0 hints the cache hierarchy to pull the line containing p
+// into every level. It is a hint: no fault occurs on a bad address the
+// hardware cannot translate, and the scheduler is free to drop it.
+//
+//go:noescape
+func PrefetchT0(p unsafe.Pointer)
+
+// PrefetchRange hints every cache line of [p, p+n). The batched query
+// engine uses it to start pulling a node's code block (or an embedding
+// row) while other queries' arithmetic fills the latency.
+//
+//go:noescape
+func PrefetchRange(p unsafe.Pointer, n int)

@@ -1,0 +1,27 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func PrefetchT0(p unsafe.Pointer)
+TEXT ·PrefetchT0(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	PREFETCHT0 (AX)
+	RET
+
+// func PrefetchRange(p unsafe.Pointer, n int)
+//
+// Issues one PREFETCHT0 per 64-byte line covering [p, p+n).
+TEXT ·PrefetchRange(SB), NOSPLIT, $0-16
+	MOVQ p+0(FP), AX
+	MOVQ n+8(FP), CX
+	TESTQ CX, CX
+	JLE  done
+
+loop:
+	PREFETCHT0 (AX)
+	ADDQ $64, AX
+	SUBQ $64, CX
+	JG   loop
+
+done:
+	RET

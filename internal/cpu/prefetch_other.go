@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package cpu
+
+import "unsafe"
+
+// Prefetching is an amd64-only optimisation for now; other
+// architectures pay nothing for the calls once the compiler inlines the
+// empty bodies.
+
+func PrefetchT0(p unsafe.Pointer) {}
+
+func PrefetchRange(p unsafe.Pointer, n int) {}

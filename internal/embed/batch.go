@@ -1,0 +1,116 @@
+package embed
+
+import (
+	"sync"
+	"time"
+
+	"github.com/retrodb/retro/internal/ann"
+)
+
+// This file is the store-level face of the batched query path: TopKMany
+// answers Q queries together, each identically to a TopK call, routing
+// through ann.TopKMany when the index applies and falling back to the
+// exact scan per query below the ANN threshold — the same switch, with
+// the same clamps, as the single-query path.
+
+// manyResultPool recycles the intermediate [][]ann.Result storage the
+// batched ANN path needs before id->word resolution. The inner slices
+// ride along inside the pooled value, so a warm steady-state batch
+// resolves every query without allocating.
+var manyResultPool = sync.Pool{New: func() any { return new([][]ann.Result) }}
+
+// TopKMany returns, per query, the k entries most cosine-similar to it,
+// excluding ids for which skip returns true (skip may be nil; qi is the
+// query's index in the batch). Each query's result is exactly what
+// TopK(queries[qi], k, ...) returns — same matches, same order — but a
+// batch traverses the index together and is substantially cheaper per
+// query than a loop of TopK calls. Fresh result storage is allocated;
+// the serving path uses TopKManyAppend.
+func (s *Store) TopKMany(queries [][]float64, k int, skip func(qi, id int) bool) [][]Match {
+	ks := make([]int, len(queries))
+	for i := range ks {
+		ks[i] = k
+	}
+	return s.TopKManyAppend(queries, ks, skip, nil)
+}
+
+// TopKManyAppend is TopKMany with per-query k values and caller-owned
+// result storage: query i's matches are written into dst[i][:0] (dst is
+// grown to len(queries) if short) and the slice of slices is returned.
+// With warm capacity and warm pools a steady-state batch on the ANN
+// path performs no allocation.
+func (s *Store) TopKManyAppend(queries [][]float64, ks []int, skip func(qi, id int) bool, dst [][]Match) [][]Match {
+	return s.TopKManyAppendStats(queries, ks, skip, dst, nil)
+}
+
+// TopKManyAppendStats is TopKManyAppend with batch telemetry: when st
+// is non-nil it receives the batch's aggregate traversal stats (see
+// ann.SearchStats; on the exact fallback each query's scan counts as
+// walk time and every row as a scored node, as in the single path).
+func (s *Store) TopKManyAppendStats(queries [][]float64, ks []int, skip func(qi, id int) bool, dst [][]Match, st *ann.SearchStats) [][]Match {
+	if len(queries) != len(ks) {
+		panic("embed: TopKMany ks length mismatch")
+	}
+	for _, q := range queries {
+		if len(q) != s.dim {
+			panic("embed: TopKMany query dimension mismatch")
+		}
+	}
+	if st != nil {
+		*st = ann.SearchStats{}
+	}
+	if cap(dst) < len(queries) {
+		grown := make([][]Match, len(queries))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:len(queries)]
+	for i := range dst {
+		dst[i] = dst[i][:0]
+	}
+	if len(queries) == 0 {
+		return dst
+	}
+
+	if idx := s.queryANN(); idx != nil {
+		// k clamping is the index's own (to the live entry count, after
+		// the k <= 0 empty-result rule) — the same net clamp the single
+		// path applies before and inside its idx call.
+		buf := manyResultPool.Get().(*[][]ann.Result)
+		results := idx.TopKManyAppendStats(queries, ks, skip, *buf, st)
+		for qi, rs := range results {
+			out := dst[qi]
+			for _, r := range rs {
+				out = append(out, Match{ID: r.ID, Word: s.words[r.ID], Score: r.Score})
+			}
+			dst[qi] = out
+		}
+		*buf = results
+		manyResultPool.Put(buf)
+		return dst
+	}
+
+	// Exact fallback: one bounded-heap scan per query, exactly the
+	// single-query path in a loop. One adapter closure serves the whole
+	// batch — qi is rebound per iteration, and the scans are sequential.
+	var start time.Time
+	if st != nil {
+		start = time.Now()
+	}
+	qi := 0
+	var single func(id int) bool
+	if skip != nil {
+		single = func(id int) bool { return skip(qi, id) }
+	}
+	for i := range queries {
+		qi = i
+		dst[i] = s.TopKExactAppend(queries[i], ks[i], single, dst[i])
+		if st != nil && ks[i] > 0 {
+			st.Nodes += len(s.words)
+		}
+	}
+	if st != nil {
+		st.WalkNs = time.Since(start).Nanoseconds()
+	}
+	return dst
+}

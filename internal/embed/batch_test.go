@@ -1,0 +1,199 @@
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/ann"
+)
+
+// batchStore builds a store with n Gaussian vectors, optionally pushed
+// over the ANN threshold (threshold 0 keeps the exact path).
+func batchStore(t testing.TB, n, dim int, annThreshold int, quantize bool) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	s := NewStore(dim)
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		s.Add(fmt.Sprintf("w%04d", i), v)
+	}
+	if annThreshold > 0 {
+		s.EnableANN(annThreshold, ann.Params{EfSearch: 48, Seed: 3})
+		if quantize {
+			s.EnableQuantization(QuantSQ8, 3)
+		}
+		s.WarmANN()
+	} else {
+		s.DisableANN()
+	}
+	return s
+}
+
+func assertStoreBatchMatchesLoop(t *testing.T, s *Store, queries [][]float64, ks []int, skip func(qi, id int) bool) {
+	t.Helper()
+	got := s.TopKManyAppend(queries, ks, skip, nil)
+	if len(got) != len(queries) {
+		t.Fatalf("TopKMany returned %d sets for %d queries", len(got), len(queries))
+	}
+	for qi := range queries {
+		var single func(id int) bool
+		if skip != nil {
+			qi := qi
+			single = func(id int) bool { return skip(qi, id) }
+		}
+		want := s.TopK(queries[qi], ks[qi], single)
+		if len(got[qi]) != len(want) {
+			t.Fatalf("query %d: batch %d matches, single %d", qi, len(got[qi]), len(want))
+		}
+		for i := range want {
+			if got[qi][i] != want[i] {
+				t.Fatalf("query %d match %d: batch %+v, single %+v", qi, i, got[qi][i], want[i])
+			}
+		}
+	}
+}
+
+// TestStoreTopKManyMatchesLoop covers all three routing modes of the
+// store-level batch path: ANN exact, ANN quantized, and the brute-force
+// fallback below the threshold — each must agree with looped TopK
+// exactly, including word resolution.
+func TestStoreTopKManyMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const dim = 24
+	queries := make([][]float64, 13)
+	for i := range queries {
+		queries[i] = make([]float64, dim)
+		for j := range queries[i] {
+			queries[i][j] = rng.NormFloat64()
+		}
+	}
+	ks := make([]int, len(queries))
+	for i := range ks {
+		ks[i] = []int{10, 1, 3, 0, 9999}[i%5]
+	}
+	skip := func(qi, id int) bool { return id%5 == qi%5 }
+	cases := []struct {
+		name      string
+		threshold int
+		quantize  bool
+	}{
+		{"ann-exact", 16, false},
+		{"ann-quantized", 16, true},
+		{"exact-fallback", 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := batchStore(t, 600, dim, c.threshold, c.quantize)
+			assertStoreBatchMatchesLoop(t, s, queries, ks, nil)
+			assertStoreBatchMatchesLoop(t, s, queries, ks, skip)
+		})
+	}
+}
+
+// TestStoreTopKManyFrozenView: the serving layer batches against frozen
+// snapshots; the direct-pointer queryANN read must work batched too.
+func TestStoreTopKManyFrozenView(t *testing.T) {
+	s := batchStore(t, 600, 24, 16, true)
+	f := s.Freeze()
+	rng := rand.New(rand.NewSource(41))
+	queries := make([][]float64, 9)
+	for i := range queries {
+		queries[i] = make([]float64, 24)
+		for j := range queries[i] {
+			queries[i][j] = rng.NormFloat64()
+		}
+	}
+	ks := make([]int, len(queries))
+	for i := range ks {
+		ks[i] = 10
+	}
+	assertStoreBatchMatchesLoop(t, f, queries, ks, nil)
+}
+
+// TestStoreTopKManyStats: the aggregate stats must flow up from the
+// index on the ANN path and be synthesised on the exact fallback.
+func TestStoreTopKManyStats(t *testing.T) {
+	queries := [][]float64{make([]float64, 24), make([]float64, 24)}
+	for i := range queries {
+		for j := range queries[i] {
+			queries[i][j] = float64(i*24+j%7) + 1
+		}
+	}
+	ks := []int{5, 5}
+
+	t.Run("ann", func(t *testing.T) {
+		s := batchStore(t, 600, 24, 16, true)
+		var st ann.SearchStats
+		s.TopKManyAppendStats(queries, ks, nil, nil, &st)
+		if st.Hops == 0 || st.Nodes == 0 || !st.Quantized || st.Reranked == 0 {
+			t.Fatalf("unexpected ANN batch stats: %+v", st)
+		}
+	})
+	t.Run("exact", func(t *testing.T) {
+		s := batchStore(t, 100, 24, 0, false)
+		var st ann.SearchStats
+		s.TopKManyAppendStats(queries, ks, nil, nil, &st)
+		if st.Nodes != 2*s.Len() {
+			t.Fatalf("exact fallback Nodes=%d, want %d", st.Nodes, 2*s.Len())
+		}
+		if st.Hops != 0 || st.Quantized {
+			t.Fatalf("exact fallback stats: %+v", st)
+		}
+	})
+}
+
+// TestStoreTopKManyZeroAlloc guards the serving steady state end to
+// end: warm pools, caller-owned storage, no allocation per batch.
+func TestStoreTopKManyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	s := batchStore(t, 2000, 24, 16, true)
+	f := s.Freeze()
+	rng := rand.New(rand.NewSource(43))
+	queries := make([][]float64, 16)
+	for i := range queries {
+		queries[i] = make([]float64, 24)
+		for j := range queries[i] {
+			queries[i][j] = rng.NormFloat64()
+		}
+	}
+	ks := make([]int, len(queries))
+	for i := range ks {
+		ks[i] = 10
+	}
+	dst := make([][]Match, len(queries))
+	for i := range dst {
+		dst[i] = make([]Match, 0, 16)
+	}
+	var st ann.SearchStats
+	dst = f.TopKManyAppendStats(queries, ks, nil, dst, &st) // warm pools
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = f.TopKManyAppendStats(queries, ks, nil, dst, &st)
+	})
+	if allocs != 0 {
+		t.Fatalf("store TopKMany allocated %.2f times per batch, want 0", allocs)
+	}
+}
+
+// TestStoreTopKManyPanics: API-contract guards.
+func TestStoreTopKManyPanics(t *testing.T) {
+	s := batchStore(t, 10, 4, 0, false)
+	for name, call := range map[string]func(){
+		"ks mismatch":  func() { s.TopKManyAppend([][]float64{make([]float64, 4)}, nil, nil, nil) },
+		"dim mismatch": func() { s.TopKManyAppend([][]float64{make([]float64, 3)}, []int{5}, nil, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			call()
+		})
+	}
+}

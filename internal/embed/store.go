@@ -930,6 +930,14 @@ func siftDown(h []Match, i int) {
 // Analogy computes the classic a - b + c query ("king" - "man" + "woman")
 // and returns the top-k neighbours of the result, excluding a, b and c.
 func (s *Store) Analogy(a, b, c string, k int) ([]Match, error) {
+	return s.AnalogyStats(a, b, c, k, nil)
+}
+
+// AnalogyStats is Analogy with traversal telemetry: when st is non-nil
+// it receives the underlying search's stats (see TopKAppendStats), so a
+// serving layer can trace analogy queries exactly like neighbour
+// queries.
+func (s *Store) AnalogyStats(a, b, c string, k int, st *ann.SearchStats) ([]Match, error) {
 	va, okA := s.VectorOf(a)
 	vb, okB := s.VectorOf(b)
 	vc, okC := s.VectorOf(c)
@@ -945,5 +953,5 @@ func (s *Store) Analogy(a, b, c string, k int) ([]Match, error) {
 			exclude[id] = true
 		}
 	}
-	return s.TopK(q, k, func(id int) bool { return exclude[id] }), nil
+	return s.TopKAppendStats(q, k, func(id int) bool { return exclude[id] }, nil, st), nil
 }

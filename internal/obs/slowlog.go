@@ -17,7 +17,11 @@ type SlowEntry struct {
 	Column   string    `json:"column,omitempty"`
 	Text     string    `json:"text,omitempty"`
 	K        int       `json:"k,omitempty"`
-	Cached   bool      `json:"cached"`
+	// Batch is the query count of a batched request (0 for single-query
+	// endpoints); batched entries aggregate the whole batch and leave the
+	// per-value fields empty.
+	Batch  int  `json:"batch,omitempty"`
+	Cached bool `json:"cached"`
 
 	TotalNs  int64 `json:"total_ns"`
 	CacheNs  int64 `json:"cache_lookup_ns,omitempty"`

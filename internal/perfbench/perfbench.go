@@ -87,6 +87,43 @@ func Recall10(s *embed.Store, queries [][]float64) float64 {
 	return float64(hits) / float64(total)
 }
 
+// Recall10Many is Recall10 through the batched TopKMany path, so the
+// recall gate measures what the batch endpoint actually serves rather
+// than inferring it from the single-query path plus the parity tests.
+func Recall10Many(s *embed.Store, queries [][]float64, batch int) float64 {
+	hits, total := 0, 0
+	ks := make([]int, 0, batch)
+	var dst [][]embed.Match
+	for base := 0; base < len(queries); base += batch {
+		end := base + batch
+		if end > len(queries) {
+			end = len(queries)
+		}
+		chunk := queries[base:end]
+		ks = ks[:0]
+		for range chunk {
+			ks = append(ks, 10)
+		}
+		dst = s.TopKManyAppend(chunk, ks, nil, dst)
+		for qi, q := range chunk {
+			want := map[int]bool{}
+			for _, m := range s.TopKExact(q, 10, nil) {
+				want[m.ID] = true
+			}
+			for _, m := range dst[qi] {
+				if want[m.ID] {
+					hits++
+				}
+			}
+			total += 10
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
 // Pair builds the benchmark comparison pair over one shared world: two
 // frozen views of the SAME built HNSW graph, one traversing exact
 // float64 distances and one on SQ8 codes with exact re-ranking (the

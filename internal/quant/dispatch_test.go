@@ -1,0 +1,185 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/cpu"
+)
+
+// forEachLevel runs f once per kernel level this CPU can execute,
+// restoring the original level afterwards. On an AVX2 machine that is
+// scalar, sse2, and avx2; CI also runs the whole package with
+// RETRO_SIMD=sse2 and =scalar so the capped init paths are covered too.
+func forEachLevel(t *testing.T, f func(t *testing.T, l cpu.Level)) {
+	t.Helper()
+	orig := cpu.Active()
+	defer cpu.SetLevel(orig)
+	for _, l := range []cpu.Level{cpu.Scalar, cpu.SSE2, cpu.AVX2} {
+		if l > cpu.Detected() {
+			continue
+		}
+		installed := cpu.SetLevel(l)
+		if installed != l {
+			t.Fatalf("SetLevel(%v) installed %v", l, installed)
+		}
+		t.Run(l.String(), func(t *testing.T) { f(t, l) })
+	}
+	cpu.SetLevel(orig)
+}
+
+func naiveDot8(a, b []int8) int32 {
+	var s int32
+	for i := range a {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// TestDot8LevelParity proves every dispatch level computes the exact
+// same int32 as the naive loop, across lengths that exercise every tail
+// combination (AVX2 32-blocks, SSE2 8-blocks, scalar remainders).
+func TestDot8LevelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 96, 100, 127, 128, 300, 301}
+	forEachLevel(t, func(t *testing.T, l cpu.Level) {
+		for _, n := range lengths {
+			a := make([]int8, n)
+			b := make([]int8, n)
+			for i := range a {
+				a[i] = int8(rng.Intn(256) - 128)
+				b[i] = int8(rng.Intn(256) - 128)
+			}
+			want := naiveDot8(a, b)
+			if got := Dot8(a, b); got != want {
+				t.Fatalf("level %v n=%d: Dot8=%d naive=%d", l, n, got, want)
+			}
+		}
+	})
+}
+
+// TestDot8SaturationExtremes drives every kernel at the numeric edges:
+// all-(+127), all-(-128), and alternating extremes. These are the inputs
+// where a kernel that sign-extended incorrectly (or used the
+// unsigned-by-signed VPMADDUBSW) would diverge.
+func TestDot8SaturationExtremes(t *testing.T) {
+	patterns := []struct {
+		name string
+		a, b int8
+	}{
+		{"max*max", 127, 127},
+		{"min*min", -128, -128},
+		{"min*max", -128, 127},
+		{"max*min", 127, -128},
+	}
+	lengths := []int{1, 8, 16, 31, 32, 300, 301}
+	forEachLevel(t, func(t *testing.T, l cpu.Level) {
+		for _, p := range patterns {
+			for _, n := range lengths {
+				a := make([]int8, n)
+				b := make([]int8, n)
+				for i := range a {
+					a[i], b[i] = p.a, p.b
+					if i%2 == 1 { // alternate sign so lane sums cross zero
+						a[i], b[i] = p.b, p.a
+					}
+				}
+				want := naiveDot8(a, b)
+				if got := Dot8(a, b); got != want {
+					t.Fatalf("level %v %s n=%d: Dot8=%d naive=%d", l, p.name, n, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestDot8ManyMatchesLoop: Dot8Many must be bit-identical to Q separate
+// Dot8 calls at every level, for even and odd batch sizes (the pair
+// kernel leaves an odd straggler) and tail-bearing dimensions.
+func TestDot8ManyMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	forEachLevel(t, func(t *testing.T, l cpu.Level) {
+		for _, dim := range []int{0, 5, 15, 16, 17, 48, 300, 301} {
+			for _, q := range []int{0, 1, 2, 3, 7, 8} {
+				node := make([]int8, dim)
+				for i := range node {
+					node[i] = int8(rng.Intn(256) - 128)
+				}
+				queries := make([][]int8, q)
+				for j := range queries {
+					queries[j] = make([]int8, dim)
+					for i := range queries[j] {
+						queries[j][i] = int8(rng.Intn(256) - 128)
+					}
+				}
+				got := make([]int32, q)
+				Dot8Many(node, queries, got)
+				for j := range queries {
+					if want := Dot8(node, queries[j]); got[j] != want {
+						t.Fatalf("level %v dim=%d q=%d: Many[%d]=%d loop=%d", l, dim, q, j, got[j], want)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestDot8ManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dst length mismatch")
+		}
+	}()
+	Dot8Many(make([]int8, 4), make([][]int8, 2), make([]int32, 1))
+}
+
+func BenchmarkDot8Dispatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const dim = 300
+	x := make([]int8, dim)
+	y := make([]int8, dim)
+	for i := range x {
+		x[i] = int8(rng.Intn(256) - 128)
+		y[i] = int8(rng.Intn(256) - 128)
+	}
+	orig := cpu.Active()
+	defer cpu.SetLevel(orig)
+	for _, l := range []cpu.Level{cpu.Scalar, cpu.SSE2, cpu.AVX2} {
+		if l > cpu.Detected() {
+			continue
+		}
+		cpu.SetLevel(l)
+		b.Run(l.String(), func(b *testing.B) {
+			var s int32
+			for i := 0; i < b.N; i++ {
+				s += Dot8(x, y)
+			}
+			sink32 = s
+		})
+	}
+	cpu.SetLevel(orig)
+}
+
+func BenchmarkDot8Many(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const dim, q = 300, 8
+	node := make([]int8, dim)
+	for i := range node {
+		node[i] = int8(rng.Intn(256) - 128)
+	}
+	queries := make([][]int8, q)
+	for j := range queries {
+		queries[j] = make([]int8, dim)
+		for i := range queries[j] {
+			queries[j][i] = int8(rng.Intn(256) - 128)
+		}
+	}
+	dst := make([]int32, q)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Dot8Many(node, queries, dst)
+	}
+	sink32 = dst[0]
+}
+
+var sink32 int32

@@ -2,14 +2,46 @@
 
 package quant
 
+import "github.com/retrodb/retro/internal/cpu"
+
 // dot8Blocks is implemented in dot8_amd64.s: the int8 inner product over
-// blocks*8 elements via SSE2 (guaranteed on amd64, so there is no
-// runtime feature detection to get wrong).
+// blocks*8 elements via SSE2 (guaranteed on amd64, so it is the floor of
+// the dispatch ladder — the level runtime detection can never sink
+// below on this architecture).
 //
 //go:noescape
 func dot8Blocks(a, b *int8, blocks int) int32
 
+// dot8BlocksAVX2 is implemented in dot8_avx2_amd64.s: blocks*32
+// elements per call via VPMOVSXBW sign-extension and VPMADDWD. Only
+// reachable when cpu.Active() >= cpu.AVX2.
+//
+//go:noescape
+func dot8BlocksAVX2(a, b *int8, blocks int) int32
+
+// dot8PairBlocks scores one node code against two query codes over
+// blocks*16 elements, loading the shared node operand once per block.
+// This is the kernel behind Dot8Many: in a batched graph walk the node
+// code is the operand that would otherwise be re-streamed per query.
+//
+//go:noescape
+func dot8PairBlocks(n, q0, q1 *int8, blocks int) (s0, s1 int32)
+
+// dot8 picks the widest kernel the CPU (and the RETRO_SIMD cap) allows.
+// All three levels compute exact int32 arithmetic, so the choice is
+// invisible to callers: parity across levels is bit-identical, which the
+// property tests assert rather than assume.
 func dot8(a, b []int8) int32 {
+	switch cpu.Active() {
+	case cpu.AVX2:
+		return dot8AVX2(a, b)
+	case cpu.SSE2:
+		return dot8SSE2(a, b)
+	}
+	return dot8Scalar(a, b)
+}
+
+func dot8SSE2(a, b []int8) int32 {
 	n := len(a)
 	var s int32
 	if blocks := n / 8; blocks > 0 {
@@ -19,4 +51,71 @@ func dot8(a, b []int8) int32 {
 		s += int32(a[i]) * int32(b[i])
 	}
 	return s
+}
+
+func dot8AVX2(a, b []int8) int32 {
+	n := len(a)
+	var s int32
+	i := 0
+	if blocks := n / 32; blocks > 0 {
+		s = dot8BlocksAVX2(&a[0], &b[0], blocks)
+		i = blocks * 32
+	}
+	// Mop up 8-wide with the SSE2 kernel, then scalar for the last <8.
+	if rem := n - i; rem >= 8 {
+		bl := rem / 8
+		s += dot8Blocks(&a[i], &b[i], bl)
+		i += bl * 8
+	}
+	for ; i < n; i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// dot8Pair scores the shared code against two others through the pair
+// kernel when AVX2 is active, sharing the sign-extended load of shared.
+func dot8Pair(shared, a, b []int8) (int32, int32) {
+	n := len(shared)
+	if cpu.Active() >= cpu.AVX2 && n >= 16 {
+		blocks := n / 16
+		s0, s1 := dot8PairBlocks(&shared[0], &a[0], &b[0], blocks)
+		for i := blocks * 16; i < n; i++ {
+			s0 += int32(shared[i]) * int32(a[i])
+			s1 += int32(shared[i]) * int32(b[i])
+		}
+		return s0, s1
+	}
+	return dot8(shared, a), dot8(shared, b)
+}
+
+// dot8Many scores node against every query code. On AVX2 queries are
+// consumed in pairs through dot8PairBlocks so the node operand is
+// loaded once per block instead of once per query; lower levels fall
+// back to the per-pair dispatched kernel (node stays L1-resident across
+// the loop either way).
+func dot8Many(node []int8, queries [][]int8, dst []int32) {
+	n := len(node)
+	if cpu.Active() >= cpu.AVX2 && n >= 16 {
+		blocks := n / 16
+		head := blocks * 16
+		j := 0
+		for ; j+1 < len(queries); j += 2 {
+			q0, q1 := queries[j], queries[j+1]
+			if len(q0) != n || len(q1) != n {
+				panic("quant: Dot8Many length mismatch")
+			}
+			s0, s1 := dot8PairBlocks(&node[0], &q0[0], &q1[0], blocks)
+			for i := head; i < n; i++ {
+				s0 += int32(node[i]) * int32(q0[i])
+				s1 += int32(node[i]) * int32(q1[i])
+			}
+			dst[j], dst[j+1] = s0, s1
+		}
+		if j < len(queries) {
+			dst[j] = Dot8(node, queries[j])
+		}
+		return
+	}
+	dot8ManyPortable(node, queries, dst)
 }

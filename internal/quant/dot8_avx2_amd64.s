@@ -1,0 +1,93 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dot8BlocksAVX2(a, b *int8, blocks int) int32
+//
+// Sums a[i]*b[i] over blocks*32 int8 elements. Each half-block of 16
+// codes is sign-extended to int16 lanes in one VPMOVSXBW, multiplied and
+// horizontally paired into int32 lanes with VPMADDWD, and accumulated
+// with VPADDD. Two independent accumulators (Y6, Y7) hide the VPMADDWD
+// latency. Per int32 lane the accumulation is 2*127^2 per block over at
+// most 2^17/32 blocks, far inside int32.
+TEXT ·dot8BlocksAVX2(SB), NOSPLIT, $0-28
+	MOVQ  a+0(FP), SI
+	MOVQ  b+8(FP), DI
+	MOVQ  blocks+16(FP), CX
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+loop:
+	VPMOVSXBW (SI), Y0
+	VPMOVSXBW (DI), Y1
+	VPMADDWD  Y1, Y0, Y0
+	VPADDD    Y0, Y6, Y6
+	VPMOVSXBW 16(SI), Y2
+	VPMOVSXBW 16(DI), Y3
+	VPMADDWD  Y3, Y2, Y2
+	VPADDD    Y2, Y7, Y7
+	ADDQ      $32, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       loop
+
+	// Horizontal sum of the eight int32 lanes of Y6+Y7.
+	VPADDD       Y7, Y6, Y6
+	VEXTRACTI128 $1, Y6, X0
+	VPADDD       X0, X6, X6
+	VPSHUFD      $0x4E, X6, X0
+	VPADDD       X0, X6, X6
+	VPSHUFD      $0xB1, X6, X0
+	VPADDD       X0, X6, X6
+	VMOVD        X6, AX
+	VZEROUPPER
+	MOVL         AX, ret+24(FP)
+	RET
+
+// func dot8PairBlocks(n, q0, q1 *int8, blocks int) (s0, s1 int32)
+//
+// Scores the shared node code against two query codes over blocks*16
+// elements. The node half-block is sign-extended once (Y0) and reused
+// for both VPMADDWDs — the whole point of the pair kernel: in a batched
+// walk the node bytes are fetched from memory once per pair instead of
+// once per query.
+TEXT ·dot8PairBlocks(SB), NOSPLIT, $0-40
+	MOVQ  n+0(FP), SI
+	MOVQ  q0+8(FP), R8
+	MOVQ  q1+16(FP), R9
+	MOVQ  blocks+24(FP), CX
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+pairloop:
+	VPMOVSXBW (SI), Y0
+	VPMOVSXBW (R8), Y1
+	VPMADDWD  Y0, Y1, Y1
+	VPADDD    Y1, Y6, Y6
+	VPMOVSXBW (R9), Y2
+	VPMADDWD  Y0, Y2, Y2
+	VPADDD    Y2, Y7, Y7
+	ADDQ      $16, SI
+	ADDQ      $16, R8
+	ADDQ      $16, R9
+	DECQ      CX
+	JNZ       pairloop
+
+	VEXTRACTI128 $1, Y6, X0
+	VPADDD       X0, X6, X6
+	VPSHUFD      $0x4E, X6, X0
+	VPADDD       X0, X6, X6
+	VPSHUFD      $0xB1, X6, X0
+	VPADDD       X0, X6, X6
+	VEXTRACTI128 $1, Y7, X1
+	VPADDD       X1, X7, X7
+	VPSHUFD      $0x4E, X7, X1
+	VPADDD       X1, X7, X7
+	VPSHUFD      $0xB1, X7, X1
+	VPADDD       X1, X7, X7
+	VMOVD        X6, AX
+	VMOVD        X7, BX
+	VZEROUPPER
+	MOVL         AX, s0+32(FP)
+	MOVL         BX, s1+36(FP)
+	RET

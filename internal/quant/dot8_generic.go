@@ -3,3 +3,11 @@
 package quant
 
 func dot8(a, b []int8) int32 { return dot8Scalar(a, b) }
+
+func dot8Many(node []int8, queries [][]int8, dst []int32) {
+	dot8ManyPortable(node, queries, dst)
+}
+
+func dot8Pair(shared, a, b []int8) (int32, int32) {
+	return dot8(shared, a), dot8(shared, b)
+}

@@ -200,9 +200,13 @@ func (cb *Codebook) EncodeQuery(dst []int8, q []float64) (qscale float64) {
 // int32 for any dimensionality up to 2^17 (far above the snapshot
 // format's 2^16 dimension cap). It panics if the lengths differ.
 //
-// On amd64 the inner loop is the SSE2 kernel in dot8_amd64.s (8 codes
-// per multiply-add, baseline instructions so no feature detection);
-// other architectures use the unrolled scalar loop.
+// On amd64 the inner loop is runtime-dispatched on cpu.Active(): the
+// AVX2 kernel in dot8_avx2_amd64.s (32 codes per iteration) when the
+// CPU and the RETRO_SIMD cap allow it, the SSE2 kernel in dot8_amd64.s
+// (8 codes per multiply-add, baseline so it needs no detection)
+// otherwise. Other architectures use the unrolled scalar loop. All
+// levels are exact integer arithmetic, so results are bit-identical
+// regardless of which kernel runs.
 func Dot8(a, b []int8) int32 {
 	if len(a) != len(b) {
 		// Constant panic message: a Sprintf here would push Dot8 over the
@@ -210,6 +214,40 @@ func Dot8(a, b []int8) int32 {
 		panic("quant: Dot8 length mismatch")
 	}
 	return dot8(a, b)
+}
+
+// Dot8Many computes dst[j] = Dot8(node, queries[j]) for every query.
+// It exists for the batched graph walk: when Q queries visit the same
+// node, the node's code is the operand all Q scores share, and on AVX2
+// the pair kernel loads it once per block instead of once per query. It
+// panics if len(dst) != len(queries) or any query length differs from
+// the node's. Results are bit-identical to Q separate Dot8 calls.
+func Dot8Many(node []int8, queries [][]int8, dst []int32) {
+	if len(queries) != len(dst) {
+		panic("quant: Dot8Many dst length mismatch")
+	}
+	dot8Many(node, queries, dst)
+}
+
+// Dot8Pair returns (Dot8(shared, a), Dot8(shared, b)). The batched beam
+// search uses it to score one query code against two candidate codes
+// per call: on AVX2 the shared operand is sign-extended once per block
+// and reused for both products. It panics on length mismatch. Results
+// are bit-identical to two Dot8 calls.
+func Dot8Pair(shared, a, b []int8) (int32, int32) {
+	if len(a) != len(shared) || len(b) != len(shared) {
+		panic("quant: Dot8Pair length mismatch")
+	}
+	return dot8Pair(shared, a, b)
+}
+
+// dot8ManyPortable is the fallback shape of Dot8Many: one dispatched
+// dot per query. The node code stays cache-resident across the loop, so
+// even this path amortises the batched walk's dominant memory cost.
+func dot8ManyPortable(node []int8, queries [][]int8, dst []int32) {
+	for j, q := range queries {
+		dst[j] = Dot8(node, q)
+	}
 }
 
 // dot8Scalar is the portable kernel: four independent int32 accumulators

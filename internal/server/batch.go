@@ -1,0 +1,341 @@
+// The batch-first neighbours path. POST /v1/neighbors/batch answers Q
+// queries in one request: every item probes the shared cache, and all
+// misses traverse the index TOGETHER through the store's TopKMany
+// engine (one coalesced upper-layer descent, interleaved layer-0 beams
+// — see internal/ann/batch.go), which is substantially cheaper per
+// query than Q single walks. The legacy single-query GET /v1/neighbors
+// is a thin wrapper over the same core, so both faces share one cache
+// keyspace, one telemetry path and one result encoding: a successful
+// batch item is byte-for-byte the single-query response body.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/retrodb/retro/internal/ann"
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/obs"
+)
+
+// maxBatchQueries bounds one batch request. The limit exists for the
+// same reason as the k clamp: a single unauthenticated request must not
+// be able to demand unbounded work. 256 queries is far past the point
+// where per-query batching gains flatten (the engine blocks at
+// batchBlock internally), so the cap costs legitimate clients nothing —
+// they pipeline multiple requests instead.
+const maxBatchQueries = 256
+
+// batchQuery is one query of a batch request. K = 0 means "use the
+// envelope's default_k" (which itself defaults to 10).
+type batchQuery struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Text   string `json:"text"`
+	K      int    `json:"k,omitempty"`
+}
+
+// neighborsBatchRequest is the POST /v1/neighbors/batch envelope.
+type neighborsBatchRequest struct {
+	Queries  []batchQuery `json:"queries"`
+	DefaultK int          `json:"default_k"`
+}
+
+// batchItem is one query's outcome from the neighbours core: either the
+// pre-encoded response body (exactly the single-query payload, trailing
+// newline included) or a structured per-item error.
+type batchItem struct {
+	body   []byte
+	cached bool
+	status int    // HTTP status the single-query wrapper maps this to
+	code   string // machine error code when body is nil
+	msg    string
+}
+
+func (it *batchItem) fail(status int, code, msg string) {
+	it.body, it.cached = nil, false
+	it.status, it.code, it.msg = status, code, msg
+}
+
+// coreStats aggregates what one core invocation did, for the slow-query
+// log and the batch envelope's summary fields.
+type coreStats struct {
+	cacheNs int64
+	hits    int // answered from the cache
+	walked  int // answered by the batched traversal
+	failed  int // per-item errors
+	walk    ann.SearchStats
+}
+
+// neighborsScratch recycles every per-batch slice the core needs, so a
+// steady-state batch (and in particular a fully cached one) runs
+// without allocating. The skip closure is created once per scratch and
+// rebound through the ids slice, not per call.
+type neighborsScratch struct {
+	queries []batchQuery
+	items   []batchItem
+	qs      [][]float64
+	ks      []int
+	ids     []int
+	slots   []int
+	dst     [][]embed.Match
+	skip    func(qi, id int) bool
+}
+
+var neighborsScratchPool = sync.Pool{New: func() any {
+	sc := new(neighborsScratch)
+	// Each query excludes its own value from its neighbour list, exactly
+	// like the single-query path's skip.
+	sc.skip = func(qi, id int) bool { return id == sc.ids[qi] }
+	return sc
+}}
+
+// neighborsCore answers one batch of neighbours queries: a per-item
+// cache probe, ONE batched traversal over the misses, then per-item
+// encoding and cache fill. Both /v1/neighbors faces sit on top of this.
+// Queries may be mutated (k clamping); items aliases sc.items.
+func (s *Server) neighborsCore(queries []batchQuery, sc *neighborsScratch) ([]batchItem, coreStats) {
+	t := s.tel
+	var cs coreStats
+
+	if cap(sc.items) < len(queries) {
+		sc.items = make([]batchItem, len(queries))
+	}
+	items := sc.items[:len(queries)]
+	for i := range items {
+		items[i] = batchItem{}
+	}
+
+	// Phase 1: validate and probe the cache under the current epoch.
+	v := s.currentView()
+	cacheStart := time.Now()
+	misses := 0
+	for i := range queries {
+		q := &queries[i]
+		it := &items[i]
+		if q.Table == "" || q.Column == "" || q.Text == "" {
+			it.fail(http.StatusBadRequest, errInvalidArgument, "table, column and text are required")
+			cs.failed++
+			continue
+		}
+		if q.K < 0 {
+			it.fail(http.StatusBadRequest, errInvalidArgument, "k must be a positive integer")
+			cs.failed++
+			continue
+		}
+		// Clamp before allocating anything k-sized: one unauthenticated
+		// request must not demand a multi-gigabyte result buffer.
+		if q.K > v.numValues {
+			q.K = v.numValues
+		}
+		if body, ok := s.lookupNeighbors(q.Table, q.Column, q.Text, q.K, v.epoch); ok {
+			it.body, it.cached, it.status = body, true, http.StatusOK
+			cs.hits++
+			continue
+		}
+		misses++
+	}
+	cacheDur := time.Since(cacheStart)
+	t.stageCache.ObserveDuration(cacheDur)
+	cs.cacheNs = cacheDur.Nanoseconds()
+	if misses == 0 {
+		return items, cs
+	}
+
+	// Phase 2: pin a view and resolve every miss against its store. The
+	// pinned view may be one epoch newer than the probed one if an insert
+	// raced us; results and cache fills are stamped with the pinned
+	// epoch, so they are consistent with what was actually searched.
+	pv := s.acquireView()
+	defer pv.release()
+	store := pv.store
+	qs, ks, ids, slots := sc.qs[:0], sc.ks[:0], sc.ids[:0], sc.slots[:0]
+	for i := range queries {
+		it := &items[i]
+		if it.body != nil || it.code != "" {
+			continue
+		}
+		q := &queries[i]
+		id, ok := store.ID(storeKey(q.Table, q.Column, q.Text))
+		if !ok {
+			it.fail(http.StatusNotFound, errNotFound,
+				fmt.Sprintf("no value %q in %s.%s", q.Text, q.Table, q.Column))
+			cs.failed++
+			continue
+		}
+		qs = append(qs, store.Vector(id))
+		ks = append(ks, q.K)
+		ids = append(ids, id)
+		slots = append(slots, i)
+	}
+	sc.qs, sc.ks, sc.ids, sc.slots = qs, ks, ids, slots
+	if len(qs) == 0 {
+		return items, cs
+	}
+	cs.walked = len(qs)
+
+	// Phase 3: one traversal for the whole miss set.
+	var st ann.SearchStats
+	sc.dst = store.TopKManyAppendStats(qs, ks, sc.skip, sc.dst, &st)
+	t.stageWalk.Observe(float64(st.WalkNs) / 1e9)
+	t.stageRerank.Observe(float64(st.RerankNs) / 1e9)
+	t.annHops.Observe(float64(st.Hops))
+	t.annNodes.Observe(float64(st.Nodes))
+	if st.Reranked > 0 {
+		t.annReranked.Observe(float64(st.Reranked))
+	}
+	cs.walk = st
+
+	// Phase 4: per-item encode and cache fill. The cache stores the
+	// cached:true variant (suffix patch — the payload is encoded once);
+	// a hit writes those bytes verbatim.
+	for bi, i := range slots {
+		q := &queries[i]
+		it := &items[i]
+		it.body = encodeBody(neighborsResponse{
+			Query:     valueRef{Table: q.Table, Column: q.Column, Text: q.Text},
+			K:         q.K,
+			Neighbors: toMatches(sc.dst[bi]),
+		})
+		it.status = http.StatusOK
+		if s.cache != nil {
+			if hitBody := cachedVariant(it.body); hitBody != nil {
+				kb := keyScratchPool.Get().(*keyScratch)
+				kb.buf = appendNeighborsKey(kb.buf[:0], q.Table, q.Column, q.Text, q.K)
+				s.cache.Put(kb.buf, pv.epoch, hitBody)
+				keyScratchPool.Put(kb)
+			}
+		}
+	}
+	return items, cs
+}
+
+// handleNeighbors is the legacy single-query GET, now a batch of one
+// through neighborsCore: same cache keys, same traversal, same bytes on
+// the wire as before the batch endpoint existed.
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ref, err := refFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, err.Error())
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, errInvalidArgument, "k must be a positive integer")
+			return
+		}
+	}
+	sc := neighborsScratchPool.Get().(*neighborsScratch)
+	defer neighborsScratchPool.Put(sc)
+	sc.queries = append(sc.queries[:0], batchQuery{Table: ref.Table, Column: ref.Column, Text: ref.Text, K: k})
+	items, cs := s.neighborsCore(sc.queries, sc)
+	it := &items[0]
+	if it.body == nil {
+		writeError(w, it.status, it.code, it.msg)
+		return
+	}
+	t := s.tel
+	encodeStart := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(it.body)
+	encodeDur := time.Since(encodeStart)
+	t.stageEncode.ObserveDuration(encodeDur)
+	if total := time.Since(start); t.slow.Slow(total) {
+		t.slow.Record(obs.SlowEntry{
+			Time: start, Endpoint: "/v1/neighbors",
+			Table: ref.Table, Column: ref.Column, Text: ref.Text,
+			K: sc.queries[0].K, Cached: it.cached,
+			TotalNs: total.Nanoseconds(), CacheNs: cs.cacheNs,
+			WalkNs: cs.walk.WalkNs, RerankNs: cs.walk.RerankNs,
+			EncodeNs: encodeDur.Nanoseconds(),
+			Hops:     cs.walk.Hops, Nodes: cs.walk.Nodes, Reranked: cs.walk.Reranked,
+		})
+	}
+}
+
+// handleNeighborsBatch answers POST /v1/neighbors/batch. The response
+// is {"results":[...],"queries":Q,"cached":H,"errors":E}: results[i]
+// answers queries[i] — either a single-query response object (verbatim,
+// so a batch of one is byte-compatible with GET /v1/neighbors) or a
+// per-item {"error":{"code","message"}}. Per-item failures do not fail
+// the batch; the HTTP status stays 200 whenever the envelope itself was
+// valid.
+func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req neighborsBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errMalformedJSON, "malformed JSON: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, `"queries" must contain at least one query`)
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, errBatchTooLarge,
+			fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	defaultK := req.DefaultK
+	if defaultK < 0 {
+		writeError(w, http.StatusBadRequest, errInvalidArgument, "default_k must be a positive integer")
+		return
+	}
+	if defaultK == 0 {
+		defaultK = 10
+	}
+	for i := range req.Queries {
+		if req.Queries[i].K == 0 {
+			req.Queries[i].K = defaultK
+		}
+	}
+
+	sc := neighborsScratchPool.Get().(*neighborsScratch)
+	defer neighborsScratchPool.Put(sc)
+	items, cs := s.neighborsCore(req.Queries, sc)
+
+	// Splice the pre-encoded item bodies into the envelope verbatim
+	// (minus their trailing newline) instead of re-marshalling them.
+	t := s.tel
+	encodeStart := time.Now()
+	var buf bytes.Buffer
+	buf.WriteString(`{"results":[`)
+	for i := range items {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		it := &items[i]
+		if it.body != nil {
+			buf.Write(it.body[:len(it.body)-1])
+			continue
+		}
+		eb := encodeBody(errorEnvelope{Error: apiError{Code: it.code, Message: it.msg}})
+		buf.Write(eb[:len(eb)-1])
+	}
+	fmt.Fprintf(&buf, "],\"queries\":%d,\"cached\":%d,\"errors\":%d}\n",
+		len(items), cs.hits, cs.failed)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+	encodeDur := time.Since(encodeStart)
+	t.stageEncode.ObserveDuration(encodeDur)
+	if total := time.Since(start); t.slow.Slow(total) {
+		t.slow.Record(obs.SlowEntry{
+			Time: start, Endpoint: "/v1/neighbors/batch",
+			Batch: len(items), Cached: cs.walked == 0 && cs.hits > 0,
+			TotalNs: total.Nanoseconds(), CacheNs: cs.cacheNs,
+			WalkNs: cs.walk.WalkNs, RerankNs: cs.walk.RerankNs,
+			EncodeNs: encodeDur.Nanoseconds(),
+			Hops:     cs.walk.Hops, Nodes: cs.walk.Nodes, Reranked: cs.walk.Reranked,
+		})
+	}
+}

@@ -1,0 +1,402 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+)
+
+// newTestServerWithConfig is newTestServer with a caller-chosen server
+// config (the batch tests need a cache-disabled variant for byte-parity
+// checks).
+func newTestServerWithConfig(t *testing.T, scfg Config) (*Server, []string) {
+	t.Helper()
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, err := w.DB.QueryText(`SELECT title FROM movies`)
+	if err != nil || len(titles) == 0 {
+		t.Fatalf("no seed titles (err=%v)", err)
+	}
+	return New(sess, scfg), titles
+}
+
+// errCode digs the machine code out of a decoded error envelope
+// ({"error":{"code":...,"message":...}}); empty when absent.
+func errCode(body map[string]any) string {
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		return ""
+	}
+	code, _ := e["code"].(string)
+	return code
+}
+
+// batchBody builds a /v1/neighbors/batch request body.
+func batchBody(t *testing.T, queries []map[string]any, defaultK int) string {
+	t.Helper()
+	env := map[string]any{"queries": queries}
+	if defaultK != 0 {
+		env["default_k"] = defaultK
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func q(text string, k int) map[string]any {
+	m := map[string]any{"table": "movies", "column": "title", "text": text}
+	if k != 0 {
+		m["k"] = k
+	}
+	return m
+}
+
+func TestNeighborsBatchEndpoint(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	rec, body := post(t, h, "/v1/neighbors/batch",
+		batchBody(t, []map[string]any{q(titles[0], 3), q(titles[1], 0), q(titles[2], 5)}, 4))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: code %d body %v", rec.Code, body)
+	}
+	results, ok := body["results"].([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("results: %v", body["results"])
+	}
+	if body["queries"] != float64(3) || body["errors"] != float64(0) {
+		t.Fatalf("summary fields: %v", body)
+	}
+	wantK := []float64{3, 4, 5} // explicit k, default_k, explicit k
+	for i, raw := range results {
+		item := raw.(map[string]any)
+		if item["k"] != wantK[i] {
+			t.Fatalf("item %d: k = %v, want %v", i, item["k"], wantK[i])
+		}
+		query := item["query"].(map[string]any)
+		if query["text"] != titles[i] {
+			t.Fatalf("item %d answers %v, want %q", i, query["text"], titles[i])
+		}
+		nbs := item["neighbors"].([]any)
+		if len(nbs) == 0 || len(nbs) > int(wantK[i]) {
+			t.Fatalf("item %d: %d neighbours for k=%v", i, len(nbs), wantK[i])
+		}
+		if item["cached"] != false {
+			t.Fatalf("item %d: cached on first sight", i)
+		}
+	}
+}
+
+// TestNeighborsBatchOfOneByteParity is the compatibility contract: one
+// query through the batch endpoint yields byte-for-byte the single-query
+// GET response (modulo the envelope around it), on both the uncached and
+// the cached path.
+func TestNeighborsBatchOfOneByteParity(t *testing.T) {
+	// Uncached side: no cache, so both faces compute fresh bodies.
+	s, titles := newTestServerWithConfig(t, Config{CacheSize: -1})
+	h := s.Handler()
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=3"
+	recSingle, _ := get(t, h, url)
+	recBatch, _ := post(t, h, "/v1/neighbors/batch", batchBody(t, []map[string]any{q(titles[0], 3)}, 0))
+	var env struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(recBatch.Body.Bytes(), &env); err != nil || len(env.Results) != 1 {
+		t.Fatalf("batch envelope: %v %s", err, recBatch.Body.String())
+	}
+	single := strings.TrimSuffix(recSingle.Body.String(), "\n")
+	if string(env.Results[0]) != single {
+		t.Fatalf("batch-of-1 diverges from single response:\nbatch:  %s\nsingle: %s", env.Results[0], single)
+	}
+
+	// Cached side: warm through GET, then both faces serve the cached
+	// variant — still byte-identical.
+	s2, titles2 := newTestServer(t)
+	h2 := s2.Handler()
+	url2 := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles2[0]) + "&k=3"
+	get(t, h2, url2)
+	recSingle2, body := get(t, h2, url2)
+	if body["cached"] != true {
+		t.Fatal("warmed single query not cached")
+	}
+	recBatch2, _ := post(t, h2, "/v1/neighbors/batch", batchBody(t, []map[string]any{q(titles2[0], 3)}, 0))
+	if err := json.Unmarshal(recBatch2.Body.Bytes(), &env); err != nil || len(env.Results) != 1 {
+		t.Fatalf("batch envelope: %v %s", err, recBatch2.Body.String())
+	}
+	single2 := strings.TrimSuffix(recSingle2.Body.String(), "\n")
+	if string(env.Results[0]) != single2 {
+		t.Fatalf("cached batch-of-1 diverges:\nbatch:  %s\nsingle: %s", env.Results[0], single2)
+	}
+}
+
+// TestNeighborsBatchMatchesLoopedSingles: every item of a mixed batch
+// carries exactly the neighbours the single-query endpoint returns for
+// it — the HTTP face of the engine's batch-parity property.
+func TestNeighborsBatchMatchesLoopedSingles(t *testing.T) {
+	s, titles := newTestServerWithConfig(t, Config{CacheSize: -1})
+	h := s.Handler()
+	n := 8
+	queries := make([]map[string]any, n)
+	for i := range queries {
+		queries[i] = q(titles[i%len(titles)], 3)
+	}
+	_, body := post(t, h, "/v1/neighbors/batch", batchBody(t, queries, 0))
+	results := body["results"].([]any)
+	for i, raw := range results {
+		item := raw.(map[string]any)
+		_, single := get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(titles[i%len(titles)])+"&k=3")
+		want, _ := json.Marshal(single["neighbors"])
+		got, _ := json.Marshal(item["neighbors"])
+		if string(got) != string(want) {
+			t.Fatalf("item %d: batch %s\nsingle %s", i, got, want)
+		}
+	}
+}
+
+func TestNeighborsBatchPartialErrors(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	queries := []map[string]any{
+		q(titles[0], 3),
+		q("definitely not a movie", 3),
+		{"table": "movies", "text": "missing column"}, // no column
+		q(titles[1], -2),
+	}
+	rec, body := post(t, h, "/v1/neighbors/batch", batchBody(t, queries, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial-error batch must stay 200, got %d body %v", rec.Code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("results: %v", body["results"])
+	}
+	if item := results[0].(map[string]any); item["neighbors"] == nil {
+		t.Fatalf("healthy item failed: %v", item)
+	}
+	wantCodes := map[int]string{1: "not_found", 2: "invalid_argument", 3: "invalid_argument"}
+	for i, code := range wantCodes {
+		item := results[i].(map[string]any)
+		if errCode(item) != code {
+			t.Fatalf("item %d: error %v, want code %q", i, item["error"], code)
+		}
+		if e := item["error"].(map[string]any); e["message"] == "" {
+			t.Fatalf("item %d: empty message", i)
+		}
+	}
+	if body["errors"] != float64(3) {
+		t.Fatalf("errors summary = %v, want 3", body["errors"])
+	}
+}
+
+func TestNeighborsBatchKClamp(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	_, stats := get(t, h, "/v1/stats")
+	numValues := int(stats["num_values"].(float64))
+
+	rec, body := post(t, h, "/v1/neighbors/batch",
+		batchBody(t, []map[string]any{q(titles[0], 100000), q(titles[1], 0)}, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("clamp batch: code %d body %v", rec.Code, body)
+	}
+	results := body["results"].([]any)
+	if k := results[0].(map[string]any)["k"].(float64); int(k) != numValues {
+		t.Fatalf("oversized k clamped to %v, want num_values %d", k, numValues)
+	}
+	if k := results[1].(map[string]any)["k"].(float64); k != 10 {
+		t.Fatalf("default k = %v, want 10", k)
+	}
+}
+
+func TestNeighborsBatchCacheInteraction(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	url := "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=3"
+
+	// A GET warms the shared cache; the batch endpoint hits it.
+	get(t, h, url)
+	_, body := post(t, h, "/v1/neighbors/batch",
+		batchBody(t, []map[string]any{q(titles[0], 3), q(titles[1], 3)}, 0))
+	results := body["results"].([]any)
+	if results[0].(map[string]any)["cached"] != true {
+		t.Fatal("batch did not hit the cache the GET warmed")
+	}
+	if results[1].(map[string]any)["cached"] != false {
+		t.Fatal("fresh batch item claims to be cached")
+	}
+	if body["cached"] != float64(1) {
+		t.Fatalf("cached summary = %v, want 1", body["cached"])
+	}
+
+	// And the batch's misses warm the cache for later GETs.
+	if _, body := get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(titles[1])+"&k=3"); body["cached"] != true {
+		t.Fatal("GET did not hit the cache the batch filled")
+	}
+}
+
+func TestNeighborsBatchEnvelopeErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	rec, body := post(t, h, "/v1/neighbors/batch", "{not json")
+	if rec.Code != http.StatusBadRequest || errCode(body) != "malformed_json" {
+		t.Fatalf("malformed JSON: code %d body %v", rec.Code, body)
+	}
+	rec, body = post(t, h, "/v1/neighbors/batch", `{"queries":[]}`)
+	if rec.Code != http.StatusBadRequest || errCode(body) != "invalid_argument" {
+		t.Fatalf("empty batch: code %d body %v", rec.Code, body)
+	}
+	rec, body = post(t, h, "/v1/neighbors/batch", `{"queries":[{"table":"movies","column":"title","text":"x"}],"default_k":-1}`)
+	if rec.Code != http.StatusBadRequest || errCode(body) != "invalid_argument" {
+		t.Fatalf("negative default_k: code %d body %v", rec.Code, body)
+	}
+
+	over := make([]map[string]any, maxBatchQueries+1)
+	for i := range over {
+		over[i] = q(fmt.Sprintf("title %d", i), 3)
+	}
+	rec, body = post(t, h, "/v1/neighbors/batch", batchBody(t, over, 0))
+	if rec.Code != http.StatusBadRequest || errCode(body) != "batch_too_large" {
+		t.Fatalf("oversized batch: code %d body %v", rec.Code, body)
+	}
+
+	rec, body = get(t, h, "/v1/neighbors/batch")
+	if rec.Code != http.StatusMethodNotAllowed || errCode(body) != "method_not_allowed" {
+		t.Fatalf("GET on batch: code %d body %v", rec.Code, body)
+	}
+}
+
+// TestErrorEnvelopeAcrossEndpoints pins the unified error shape: every
+// /v1/* error response is {"error":{"code","message"}} with a stable
+// machine code.
+func TestErrorEnvelopeAcrossEndpoints(t *testing.T) {
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	cases := []struct {
+		name     string
+		rec      int
+		code     string
+		method   string
+		url, req string
+	}{
+		{"vector missing params", 400, "invalid_argument", "GET", "/v1/vector?table=movies", ""},
+		{"vector unknown value", 404, "not_found", "GET", "/v1/vector?table=movies&column=title&text=nope", ""},
+		{"neighbors bad k", 400, "invalid_argument", "GET", "/v1/neighbors?table=movies&column=title&text=" + queryEscape(titles[0]) + "&k=zero", ""},
+		{"neighbors unknown value", 404, "not_found", "GET", "/v1/neighbors?table=movies&column=title&text=nope", ""},
+		{"neighbors wrong method", 405, "method_not_allowed", "POST", "/v1/neighbors", "{}"},
+		{"analogy malformed", 400, "malformed_json", "POST", "/v1/analogy", "{nope"},
+		{"insert unknown table", 404, "not_found", "POST", "/v1/insert", `{"table":"nope","values":[]}`},
+		{"insert malformed", 400, "malformed_json", "POST", "/v1/insert", "{nope"},
+	}
+	for _, tc := range cases {
+		var rec int
+		var body map[string]any
+		if tc.method == "GET" {
+			r, b := get(t, h, tc.url)
+			rec, body = r.Code, b
+		} else {
+			r, b := post(t, h, tc.url, tc.req)
+			rec, body = r.Code, b
+		}
+		if rec != tc.rec || errCode(body) != tc.code {
+			t.Fatalf("%s: code %d body %v, want %d/%s", tc.name, rec, body, tc.rec, tc.code)
+		}
+		if e := body["error"].(map[string]any); e["message"] == "" {
+			t.Fatalf("%s: empty message", tc.name)
+		}
+	}
+}
+
+// TestNeighborsBatchSlowLogEntry: a traced batch lands in the slow log
+// as ONE aggregate entry carrying the batch size and the combined
+// traversal stats.
+func TestNeighborsBatchSlowLogEntry(t *testing.T) {
+	s, titles := newTestServer(t)
+	s.SlowLog().SetThreshold(time.Nanosecond)
+	h := s.Handler()
+	post(t, h, "/v1/neighbors/batch",
+		batchBody(t, []map[string]any{q(titles[0], 3), q(titles[1], 3), q(titles[2], 3)}, 0))
+	entries := s.SlowLog().Entries()
+	if len(entries) != 1 {
+		t.Fatalf("slowlog holds %d entries, want 1 aggregate", len(entries))
+	}
+	e := entries[0]
+	if e.Endpoint != "/v1/neighbors/batch" || e.Batch != 3 {
+		t.Fatalf("entry: %+v", e)
+	}
+	if e.WalkNs <= 0 || e.Nodes <= 0 {
+		t.Fatalf("aggregate walk stats missing: %+v", e)
+	}
+}
+
+// TestNeighborsCoreCachedZeroAlloc: the hard allocation bound on the
+// batch core — a fully cached batch (the steady state of a hot working
+// set) runs the whole core without a single heap allocation.
+func TestNeighborsCoreCachedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	s, titles := newTestServer(t)
+	h := s.Handler()
+	const n = 8
+	queries := make([]batchQuery, n)
+	for i := range queries {
+		queries[i] = batchQuery{Table: "movies", Column: "title", Text: titles[i%len(titles)], K: 5}
+		get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(queries[i].Text)+"&k=5")
+	}
+	sc := neighborsScratchPool.Get().(*neighborsScratch)
+	defer neighborsScratchPool.Put(sc)
+	work := make([]batchQuery, n)
+	allocs := testing.AllocsPerRun(500, func() {
+		copy(work, queries) // the core clamps k in place; keep inputs pristine
+		items, cs := s.neighborsCore(work, sc)
+		if cs.hits != n {
+			t.Fatalf("warmed batch missed: %+v", cs)
+		}
+		for i := range items {
+			if !items[i].cached || items[i].body == nil {
+				t.Fatalf("item %d not served from cache", i)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cached batch core allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestQuantizedBatchServing drives the batch endpoint against an SQ8
+// server: every item re-ranks exactly and matches its single-query
+// twin.
+func TestQuantizedBatchServing(t *testing.T) {
+	s, titles := newQuantTestServer(t)
+	h := s.Handler()
+	queries := []map[string]any{q(titles[0], 3), q(titles[1], 3), q(titles[2], 3), q(titles[3], 3)}
+	rec, body := post(t, h, "/v1/neighbors/batch", batchBody(t, queries, 0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("quantized batch: code %d body %v", rec.Code, body)
+	}
+	results := body["results"].([]any)
+	for i, raw := range results {
+		item := raw.(map[string]any)
+		nbs, ok := item["neighbors"].([]any)
+		if !ok || len(nbs) != 3 {
+			t.Fatalf("item %d: %v", i, item)
+		}
+	}
+	// Cache interplay also holds on the quantized path.
+	if _, body := get(t, h, "/v1/neighbors?table=movies&column=title&text="+queryEscape(titles[0])+"&k=3"); body["cached"] != true {
+		t.Fatal("quantized batch result not cached for the single path")
+	}
+}

@@ -15,15 +15,25 @@
 //	GET  /v1/stats                counters, cache, view and ANN introspection
 //	GET  /v1/vector?table=&column=&text=
 //	GET  /v1/neighbors?table=&column=&text=&k=
+//	POST /v1/neighbors/batch      {"queries":[{"table","column","text","k"},...],"default_k":n}
 //	POST /v1/analogy              {"a":{...},"b":{...},"c":{...},"k":n}
 //	POST /v1/insert               {"table":"...","values":[...]}     single row
 //	POST /v1/insert               {"table":"...","rows":[[...],...]} batch
 //
-// A batch commits all rows and performs ONE incremental repair, one
-// index warm-up and one view publication — N single-row inserts pay each
-// of those N times. Readers are never blocked by a write: queries that
-// raced the insert finish on the previous view, and every query observes
-// exactly one view (pre- or post-insert state, never a mix).
+// The API is batch-first: /v1/neighbors/batch answers Q queries with a
+// single traversal of the index (see internal/ann TopKMany), and the
+// single-query GET is a thin wrapper over the same core (see batch.go).
+// Likewise a row batch commits all rows and performs ONE incremental
+// repair, one index warm-up and one view publication — N single-row
+// inserts pay each of those N times. Readers are never blocked by a
+// write: queries that raced the insert finish on the previous view, and
+// every query observes exactly one view (pre- or post-insert state,
+// never a mix).
+//
+// Every error — top-level or per-item inside a batch — carries one
+// envelope: {"error":{"code":"...","message":"..."}} with a stable
+// machine-readable code (see errInvalidArgument and friends) and a
+// human-readable message.
 package server
 
 import (
@@ -147,6 +157,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.instrument("/v1/stats", "GET", s.handleStats))
 	mux.HandleFunc("/v1/vector", s.instrument("/v1/vector", "GET", s.handleVector))
 	mux.HandleFunc("/v1/neighbors", s.instrument("/v1/neighbors", "GET", s.handleNeighbors))
+	mux.HandleFunc("/v1/neighbors/batch", s.instrument("/v1/neighbors/batch", "POST", s.handleNeighborsBatch))
 	mux.HandleFunc("/v1/analogy", s.instrument("/v1/analogy", "POST", s.handleAnalogy))
 	mux.HandleFunc("/v1/insert", s.instrument("/v1/insert", "POST", s.handleInsert))
 	return mux
@@ -242,7 +253,8 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
-			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", endpoint, method))
+			writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed,
+				fmt.Sprintf("%s requires %s", endpoint, method))
 			st.Count.Add(1)
 			st.Errors.Add(1)
 			return
@@ -290,6 +302,33 @@ func (s *Server) logRequest(r *http.Request, endpoint string, status int, elapse
 
 // --- JSON plumbing ---------------------------------------------------------
 
+// Machine-readable error codes. Every error response — top-level or
+// per-item in a batch — carries exactly one of these; clients branch on
+// the code, the message is for humans. The set is append-only: codes
+// are part of the API surface and never renamed.
+const (
+	errInvalidArgument  = "invalid_argument"   // missing/ill-typed parameter
+	errMalformedJSON    = "malformed_json"     // request body failed to parse
+	errNotFound         = "not_found"          // value, table or resource absent
+	errMethodNotAllowed = "method_not_allowed" // wrong HTTP method for the route
+	errBatchTooLarge    = "batch_too_large"    // batch exceeds maxBatchQueries
+	errPartialCommit    = "partial_commit"     // row batch failed mid-way; see "committed"
+	errRepairFailed     = "repair_failed"      // rows committed, embedding repair failed
+)
+
+// apiError is the wire form of one error: a stable code and a
+// human-readable message.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the uniform error response body:
+// {"error":{"code":"...","message":"..."}}.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -298,8 +337,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: msg}})
 }
 
 // encodeBody renders v the same way writeJSON does (trailing newline
@@ -392,25 +431,87 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// vectorResponse is the /v1/vector payload. A struct for the same
+// reason as neighborsResponse: deterministic encoding makes the body
+// cacheable, and Cached last keeps cachedVariant applicable.
+type vectorResponse struct {
+	Table  string    `json:"table"`
+	Column string    `json:"column"`
+	Text   string    `json:"text"`
+	Dim    int       `json:"dim"`
+	Vector []float64 `json:"vector"`
+	Cached bool      `json:"cached"`
+}
+
+// appendVectorKey renders the cache key for a vector lookup; the 'v'
+// prefix keeps it disjoint from neighbours ('n') and analogy ('a') keys.
+func appendVectorKey(b []byte, table, column, text string) []byte {
+	b = append(b, 'v', 0)
+	b = append(b, table...)
+	b = append(b, 0)
+	b = append(b, column...)
+	b = append(b, 0)
+	return append(b, text...)
+}
+
 func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	t := s.tel
 	ref, err := refFromQuery(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, errInvalidArgument, err.Error())
 		return
 	}
-	v := s.acquireView()
-	defer v.release()
-	id, ok := v.store.ID(storeKey(ref.Table, ref.Column, ref.Text))
-	if !ok {
-		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
-		return
+	v := s.currentView()
+	cacheStart := time.Now()
+	var body []byte
+	var hit bool
+	if s.cache != nil {
+		ks := keyScratchPool.Get().(*keyScratch)
+		ks.buf = appendVectorKey(ks.buf[:0], ref.Table, ref.Column, ref.Text)
+		body, hit = s.cache.Get(ks.buf, v.epoch)
+		keyScratchPool.Put(ks)
 	}
-	vector := v.store.Vector(id)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"table": ref.Table, "column": ref.Column, "text": ref.Text,
-		"dim": len(vector), "vector": vector,
-	})
+	cacheDur := time.Since(cacheStart)
+	t.stageCache.ObserveDuration(cacheDur)
+	if !hit {
+		pv := s.acquireView()
+		id, ok := pv.store.ID(storeKey(ref.Table, ref.Column, ref.Text))
+		if !ok {
+			pv.release()
+			writeError(w, http.StatusNotFound, errNotFound,
+				fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
+			return
+		}
+		vector := pv.store.Vector(id)
+		body = encodeBody(vectorResponse{
+			Table: ref.Table, Column: ref.Column, Text: ref.Text,
+			Dim: len(vector), Vector: vector,
+		})
+		if s.cache != nil {
+			if hitBody := cachedVariant(body); hitBody != nil {
+				ks := keyScratchPool.Get().(*keyScratch)
+				ks.buf = appendVectorKey(ks.buf[:0], ref.Table, ref.Column, ref.Text)
+				s.cache.Put(ks.buf, pv.epoch, hitBody)
+				keyScratchPool.Put(ks)
+			}
+		}
+		pv.release()
+	}
+	encodeStart := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	encodeDur := time.Since(encodeStart)
+	t.stageEncode.ObserveDuration(encodeDur)
+	if total := time.Since(start); t.slow.Slow(total) {
+		t.slow.Record(obs.SlowEntry{
+			Time: start, Endpoint: "/v1/vector",
+			Table: ref.Table, Column: ref.Column, Text: ref.Text,
+			Cached: hit, TotalNs: total.Nanoseconds(),
+			CacheNs: cacheDur.Nanoseconds(), EncodeNs: encodeDur.Nanoseconds(),
+		})
+	}
 }
 
 // keyScratch pools the cache-key build buffer so the hit path allocates
@@ -448,101 +549,38 @@ func (s *Server) lookupNeighbors(table, column, text string, k int, epoch uint64
 	return body, ok
 }
 
-func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	ref, err := refFromQuery(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	k := 10
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		k, err = strconv.Atoi(ks)
-		if err != nil || k <= 0 {
-			writeError(w, http.StatusBadRequest, "k must be a positive integer")
-			return
-		}
-	}
-	t := s.tel
-	// Clamp before allocating anything k-sized: a single unauthenticated
-	// request must not be able to demand a multi-gigabyte result buffer.
-	v := s.currentView()
-	if k > v.numValues {
-		k = v.numValues
-	}
-	cacheStart := time.Now()
-	body, hit := s.lookupNeighbors(ref.Table, ref.Column, ref.Text, k, v.epoch)
-	cacheDur := time.Since(cacheStart)
-	t.stageCache.ObserveDuration(cacheDur)
-	if hit {
-		encodeStart := time.Now()
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(body)
-		encodeDur := time.Since(encodeStart)
-		t.stageEncode.ObserveDuration(encodeDur)
-		if total := time.Since(start); t.slow.Slow(total) {
-			t.slow.Record(obs.SlowEntry{
-				Time: start, Endpoint: "/v1/neighbors",
-				Table: ref.Table, Column: ref.Column, Text: ref.Text, K: k,
-				Cached: true, TotalNs: total.Nanoseconds(),
-				CacheNs: cacheDur.Nanoseconds(), EncodeNs: encodeDur.Nanoseconds(),
-			})
-		}
-		return
-	}
+// handleNeighbors (single-query GET) and handleNeighborsBatch both live
+// in batch.go, as thin faces over the shared neighborsCore.
 
-	v = s.acquireView()
-	defer v.release()
-	store := v.store
-	id, ok := store.ID(storeKey(ref.Table, ref.Column, ref.Text))
-	if !ok {
-		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
-		return
+// analogyResponse is the /v1/analogy payload; like the other cacheable
+// responses, Cached stays last so cachedVariant applies.
+type analogyResponse struct {
+	A       valueRef `json:"a"`
+	B       valueRef `json:"b"`
+	C       valueRef `json:"c"`
+	K       int      `json:"k"`
+	Matches []match  `json:"matches"`
+	Cached  bool     `json:"cached"`
+}
+
+// appendAnalogyKey renders the cache key for an analogy query: the 'a'
+// prefix, the three value references and the decimal k.
+func appendAnalogyKey(b []byte, refs *[3]valueRef, k int) []byte {
+	b = append(b, 'a', 0)
+	for _, ref := range refs {
+		b = append(b, ref.Table...)
+		b = append(b, 0)
+		b = append(b, ref.Column...)
+		b = append(b, 0)
+		b = append(b, ref.Text...)
+		b = append(b, 0)
 	}
-	var st ann.SearchStats
-	ms := store.TopKAppendStats(store.Vector(id), k, func(x int) bool { return x == id }, nil, &st)
-	t.stageWalk.Observe(float64(st.WalkNs) / 1e9)
-	t.stageRerank.Observe(float64(st.RerankNs) / 1e9)
-	t.annHops.Observe(float64(st.Hops))
-	t.annNodes.Observe(float64(st.Nodes))
-	if st.Reranked > 0 {
-		t.annReranked.Observe(float64(st.Reranked))
-	}
-	encodeStart := time.Now()
-	resp := neighborsResponse{Query: ref, K: k, Neighbors: toMatches(ms), Cached: false}
-	body = encodeBody(resp)
-	if s.cache != nil {
-		// Cache the full pre-encoded response (with cached:true, derived
-		// by patching the suffix — the payload is encoded once): a hit
-		// writes these bytes verbatim — no re-encoding, no allocation.
-		// Stamped with the epoch the result was computed under, so an
-		// insert that publishes a newer view implicitly kills it.
-		if hitBody := cachedVariant(body); hitBody != nil {
-			ks := keyScratchPool.Get().(*keyScratch)
-			ks.buf = appendNeighborsKey(ks.buf[:0], ref.Table, ref.Column, ref.Text, k)
-			s.cache.Put(ks.buf, v.epoch, hitBody)
-			keyScratchPool.Put(ks)
-		}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
-	encodeDur := time.Since(encodeStart)
-	t.stageEncode.ObserveDuration(encodeDur)
-	if total := time.Since(start); t.slow.Slow(total) {
-		t.slow.Record(obs.SlowEntry{
-			Time: start, Endpoint: "/v1/neighbors",
-			Table: ref.Table, Column: ref.Column, Text: ref.Text, K: k,
-			TotalNs: total.Nanoseconds(), CacheNs: cacheDur.Nanoseconds(),
-			WalkNs: st.WalkNs, RerankNs: st.RerankNs, EncodeNs: encodeDur.Nanoseconds(),
-			Hops: st.Hops, Nodes: st.Nodes, Reranked: st.Reranked,
-		})
-	}
+	return strconv.AppendInt(b, int64(k), 10)
 }
 
 func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	t := s.tel
 	var req struct {
 		A valueRef `json:"a"`
 		B valueRef `json:"b"`
@@ -550,35 +588,84 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
 		K int      `json:"k"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, errMalformedJSON, "malformed JSON: "+err.Error())
 		return
 	}
 	if req.K <= 0 {
 		req.K = 10
 	}
-	v := s.acquireView()
-	defer v.release()
+	v := s.currentView()
 	if req.K > v.numValues {
 		req.K = v.numValues
 	}
-	keys := make([]string, 3)
-	for i, ref := range []valueRef{req.A, req.B, req.C} {
-		key := storeKey(ref.Table, ref.Column, ref.Text)
-		if _, ok := v.store.ID(key); !ok {
-			writeError(w, http.StatusNotFound,
-				fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
+	refs := [3]valueRef{req.A, req.B, req.C}
+	cacheStart := time.Now()
+	var body []byte
+	var hit bool
+	if s.cache != nil {
+		ks := keyScratchPool.Get().(*keyScratch)
+		ks.buf = appendAnalogyKey(ks.buf[:0], &refs, req.K)
+		body, hit = s.cache.Get(ks.buf, v.epoch)
+		keyScratchPool.Put(ks)
+	}
+	cacheDur := time.Since(cacheStart)
+	t.stageCache.ObserveDuration(cacheDur)
+	var st ann.SearchStats
+	if !hit {
+		pv := s.acquireView()
+		keys := [3]string{}
+		for i, ref := range refs {
+			key := storeKey(ref.Table, ref.Column, ref.Text)
+			if _, ok := pv.store.ID(key); !ok {
+				pv.release()
+				writeError(w, http.StatusNotFound, errNotFound,
+					fmt.Sprintf("no value %q in %s.%s", ref.Text, ref.Table, ref.Column))
+				return
+			}
+			keys[i] = key
+		}
+		ms, err := pv.store.AnalogyStats(keys[0], keys[1], keys[2], req.K, &st)
+		if err != nil {
+			pv.release()
+			writeError(w, http.StatusNotFound, errNotFound, err.Error())
 			return
 		}
-		keys[i] = key
+		t.stageWalk.Observe(float64(st.WalkNs) / 1e9)
+		t.stageRerank.Observe(float64(st.RerankNs) / 1e9)
+		t.annHops.Observe(float64(st.Hops))
+		t.annNodes.Observe(float64(st.Nodes))
+		if st.Reranked > 0 {
+			t.annReranked.Observe(float64(st.Reranked))
+		}
+		body = encodeBody(analogyResponse{
+			A: req.A, B: req.B, C: req.C, K: req.K, Matches: toMatches(ms),
+		})
+		if s.cache != nil {
+			if hitBody := cachedVariant(body); hitBody != nil {
+				ks := keyScratchPool.Get().(*keyScratch)
+				ks.buf = appendAnalogyKey(ks.buf[:0], &refs, req.K)
+				s.cache.Put(ks.buf, pv.epoch, hitBody)
+				keyScratchPool.Put(ks)
+			}
+		}
+		pv.release()
 	}
-	ms, err := v.store.Analogy(keys[0], keys[1], keys[2], req.K)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
-		return
+	encodeStart := time.Now()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+	encodeDur := time.Since(encodeStart)
+	t.stageEncode.ObserveDuration(encodeDur)
+	if total := time.Since(start); t.slow.Slow(total) {
+		t.slow.Record(obs.SlowEntry{
+			Time: start, Endpoint: "/v1/analogy", K: req.K,
+			Cached: hit, TotalNs: total.Nanoseconds(),
+			CacheNs: cacheDur.Nanoseconds(),
+			WalkNs:  st.WalkNs, RerankNs: st.RerankNs,
+			EncodeNs: encodeDur.Nanoseconds(),
+			Hops:     st.Hops, Nodes: st.Nodes, Reranked: st.Reranked,
+		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"a": req.A, "b": req.B, "c": req.C, "k": req.K, "matches": toMatches(ms),
-	})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -588,15 +675,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		Rows   [][]any `json:"rows"`   // batched form
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, errMalformedJSON, "malformed JSON: "+err.Error())
 		return
 	}
 	if req.Table == "" {
-		writeError(w, http.StatusBadRequest, "table is required")
+		writeError(w, http.StatusBadRequest, errInvalidArgument, "table is required")
 		return
 	}
 	if req.Values != nil && req.Rows != nil {
-		writeError(w, http.StatusBadRequest, `use either "values" (one row) or "rows" (a batch), not both`)
+		writeError(w, http.StatusBadRequest, errInvalidArgument, `use either "values" (one row) or "rows" (a batch), not both`)
 		return
 	}
 	rawRows := req.Rows
@@ -604,7 +691,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		rawRows = [][]any{req.Values}
 	}
 	if len(rawRows) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, errInvalidArgument, "empty batch")
 		return
 	}
 
@@ -617,14 +704,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// and even those exclude writers only, never readers.
 	tbl, ok := s.sess.DB().Table(req.Table)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown table %q", req.Table))
+		writeError(w, http.StatusNotFound, errNotFound, fmt.Sprintf("unknown table %q", req.Table))
 		return
 	}
 	numCols := len(tbl.Columns)
 	rows := make([][]retro.Value, len(rawRows))
 	for ri, raw := range rawRows {
 		if len(raw) != numCols {
-			writeError(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest, errInvalidArgument,
 				fmt.Sprintf("row %d: table %q has %d columns, got %d values", ri, req.Table, numCols, len(raw)))
 			return
 		}
@@ -632,7 +719,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		for i, val := range raw {
 			rv, err := jsonValue(val)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("row %d value %d: %v", ri, i, err))
+				writeError(w, http.StatusBadRequest, errInvalidArgument, fmt.Sprintf("row %d value %d: %v", ri, i, err))
 				return
 			}
 			row[i] = rv
@@ -692,18 +779,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			// flowing until the NEXT insert, which pays the full re-solve
 			// once, instead of this (and every) failing request stalling
 			// the write path for a retrain.
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, http.StatusInternalServerError, errRepairFailed, err.Error())
 			return
 		}
 		if batch != nil && batch.Committed > 0 {
 			// Partial success: report how far the batch got.
 			writeJSON(w, http.StatusBadRequest, map[string]any{
-				"error":     batch.Error(),
+				"error":     apiError{Code: errPartialCommit, Message: batch.Error()},
 				"committed": batch.Committed,
 			})
 			return
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, errInvalidArgument, err.Error())
 		return
 	}
 

@@ -76,8 +76,8 @@ func TestVectorEndpoint(t *testing.T) {
 	}
 
 	rec, body = get(t, h, "/v1/vector?table=movies&column=title&text=definitely+not+a+movie")
-	if rec.Code != http.StatusNotFound || body["error"] == "" {
-		t.Fatalf("unknown value: code %d body %v, want 404 with error", rec.Code, body)
+	if rec.Code != http.StatusNotFound || errCode(body) != "not_found" {
+		t.Fatalf("unknown value: code %d body %v, want 404 with not_found error", rec.Code, body)
 	}
 	rec, _ = get(t, h, "/v1/vector?table=movies")
 	if rec.Code != http.StatusBadRequest {

@@ -1,0 +1,28 @@
+//go:build amd64
+
+package vec
+
+import "github.com/retrodb/retro/internal/cpu"
+
+// dotBlocksFMA is implemented in dot_amd64.s: the float64 inner product
+// over blocks*8 elements via VFMADD231PD on two independent ymm
+// accumulators. Only reachable when cpu.HasFMA() (which implies AVX2 is
+// both present and uncapped).
+//
+//go:noescape
+func dotBlocksFMA(a, b *float64, blocks int) float64
+
+func dot(a, b []float64) float64 {
+	if !cpu.HasFMA() {
+		return dotGeneric(a, b)
+	}
+	n := len(a)
+	var s float64
+	if blocks := n / 8; blocks > 0 {
+		s = dotBlocksFMA(&a[0], &b[0], blocks)
+	}
+	for i := n &^ 7; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotBlocksFMA(a, b *float64, blocks int) float64
+//
+// Sums a[i]*b[i] over blocks*8 float64 elements with fused multiply-add.
+// Two independent accumulators (Y6, Y7) of four lanes each hide the
+// 4-cycle FMA latency; the horizontal reduction at the end adds the
+// eight lanes pairwise, so the summation order is fixed (and therefore
+// deterministic) even though it differs from dotGeneric's.
+TEXT ·dotBlocksFMA(SB), NOSPLIT, $0-32
+	MOVQ   a+0(FP), SI
+	MOVQ   b+8(FP), DI
+	MOVQ   blocks+16(FP), CX
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+loop:
+	VMOVUPD     (SI), Y0
+	VFMADD231PD (DI), Y0, Y6
+	VMOVUPD     32(SI), Y1
+	VFMADD231PD 32(DI), Y1, Y7
+	ADDQ        $64, SI
+	ADDQ        $64, DI
+	DECQ        CX
+	JNZ         loop
+
+	// Horizontal sum: fold upper halves onto lower, then the two
+	// remaining doubles onto each other.
+	VADDPD       Y7, Y6, Y6
+	VEXTRACTF128 $1, Y6, X0
+	VADDPD       X0, X6, X6
+	VPERMILPD    $1, X6, X0
+	VADDSD       X0, X6, X6
+	VZEROUPPER
+	MOVSD        X6, ret+24(FP)
+	RET

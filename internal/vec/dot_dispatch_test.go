@@ -1,0 +1,101 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/retrodb/retro/internal/cpu"
+)
+
+// TestDotKernelParity compares the dispatched Dot against dotGeneric at
+// every level this CPU supports. Float64 kernels re-associate the sum
+// (and FMA skips an intermediate rounding), so parity is to relative
+// tolerance rather than bit-exact — unlike the int8 kernels.
+func TestDotKernelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	orig := cpu.Active()
+	defer cpu.SetLevel(orig)
+	lengths := []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 300, 301}
+	for _, l := range []cpu.Level{cpu.Scalar, cpu.SSE2, cpu.AVX2} {
+		if l > cpu.Detected() {
+			continue
+		}
+		cpu.SetLevel(l)
+		t.Run(l.String(), func(t *testing.T) {
+			for _, n := range lengths {
+				a := make([]float64, n)
+				b := make([]float64, n)
+				for i := range a {
+					a[i] = rng.NormFloat64()
+					b[i] = rng.NormFloat64()
+				}
+				got := Dot(a, b)
+				want := dotGeneric(a, b)
+				// Scale the tolerance by the magnitude of the terms, not the
+				// result: a near-cancelling sum legitimately loses relative
+				// precision in any association order.
+				var mag float64
+				for i := range a {
+					mag += math.Abs(a[i] * b[i])
+				}
+				if diff := math.Abs(got - want); diff > 1e-12*(1+mag) {
+					t.Fatalf("level %v n=%d: Dot=%g generic=%g diff=%g", cpu.Active(), n, got, want, diff)
+				}
+			}
+		})
+	}
+	cpu.SetLevel(orig)
+}
+
+// TestDotKernelDeterministic: the dispatched kernel must be a pure
+// function — same inputs, same bits — since TopKMany's parity with
+// looped TopK depends on score stability within a process.
+func TestDotKernelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := make([]float64, 301)
+	b := make([]float64, 301)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	first := Dot(a, b)
+	for i := 0; i < 100; i++ {
+		if got := Dot(a, b); got != first {
+			t.Fatalf("run %d: Dot returned %v then %v", i, first, got)
+		}
+	}
+}
+
+func BenchmarkDotKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	const dim = 300
+	x := make([]float64, dim)
+	y := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	orig := cpu.Active()
+	defer cpu.SetLevel(orig)
+	for _, l := range []cpu.Level{cpu.Scalar, cpu.AVX2} {
+		if l > cpu.Detected() {
+			continue
+		}
+		cpu.SetLevel(l)
+		name := "generic"
+		if cpu.HasFMA() {
+			name = "fma"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += Dot(x, y)
+			}
+			sinkF = s
+		})
+	}
+	cpu.SetLevel(orig)
+}
+
+var sinkF float64

@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package vec
+
+func dot(a, b []float64) float64 { return dotGeneric(a, b) }

@@ -15,16 +15,28 @@ import (
 
 // Dot returns the inner product of a and b. It panics if the lengths differ.
 //
-// The loop runs four independent accumulators so the floating-point adds
-// pipeline instead of serialising on one dependency chain; distance
-// arithmetic on this kernel dominates every ANN hop, so the ~3x
-// throughput difference is visible end to end. The re-association
-// changes results only in the last ulps, well below the solver and
-// search tolerances.
+// On amd64 with AVX2+FMA (and no RETRO_SIMD cap) the inner loop is the
+// fused multiply-add kernel in dot_amd64.s; everywhere else it is
+// dotGeneric. The kernels re-associate the sum differently (8 SIMD
+// accumulator lanes vs 4 scalar ones) and FMA skips an intermediate
+// rounding, so results differ across levels only in the last ulps —
+// well below the solver and search tolerances, and irrelevant to
+// batch-vs-single parity because one process always runs one kernel.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
 	}
+	return dot(a, b)
+}
+
+// dotGeneric is the portable kernel and the reference the assembly is
+// property-tested against.
+//
+// The loop runs four independent accumulators so the floating-point adds
+// pipeline instead of serialising on one dependency chain; distance
+// arithmetic on this kernel dominates every ANN hop, so the ~3x
+// throughput difference is visible end to end.
+func dotGeneric(a, b []float64) float64 {
 	b = b[:len(a)]
 	var s0, s1, s2, s3 float64
 	// Slice-advance form: the loop condition covers both slices, so the
