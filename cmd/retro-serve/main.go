@@ -33,6 +33,16 @@
 //	retro-serve -data ./data -save-snapshot ./data/model.snap   # train once
 //	retro-serve -data ./data -snapshot ./data/model.snap        # warm boots
 //
+// -data-dir goes further: it binds the server to a durable storage
+// directory with a write-ahead log, delta checkpoints and a manifest.
+// Every insert is fsynced to the WAL before it is acknowledged, periodic
+// checkpoints (-checkpoint-interval) fold the log into O(delta) segment
+// files, and a reboot — including after kill -9 — recovers exactly the
+// acknowledged state:
+//
+//	retro-serve -data ./data -data-dir ./store -checkpoint-interval 30s
+//	retro storage info -dir ./store     # inspect the manifest, segments and WAL
+//
 // Queries run lock-free against atomically published serving views (see
 // internal/server), so reads never wait on an insert. -admin exposes the
 // operator surface on a separate listener, kept off the serving address:
@@ -115,6 +125,9 @@ func run(args []string) error {
 	repairBudget := fs.Int("repair-budget", retro.DefaultRepairBudget, "max nodes re-solved per insert repair (0 = unlimited)")
 	snapshotPath := fs.String("snapshot", "", "boot from this snapshot file instead of training")
 	saveSnapshot := fs.String("save-snapshot", "", "write a snapshot of the trained session to this file")
+	dataDir := fs.String("data-dir", "", "durable storage directory (WAL + checkpoints + manifest): trains fresh when empty, recovers otherwise; excludes -snapshot/-save-snapshot")
+	checkpointInterval := fs.Duration("checkpoint-interval", 0, "fold the WAL into a delta checkpoint this often (0 = only at shutdown; requires -data-dir)")
+	walSyncEvery := fs.Int("wal-sync-every", 1, "fsync the WAL every N record appends (1 = group size one: every insert durable before its ack)")
 	adminAddr := fs.String("admin", "", "admin listen address for /metrics, /debug/slowlog, /readyz and pprof, e.g. localhost:6060 (empty = disabled)")
 	pprofAddr := fs.String("pprof", "", "deprecated alias for -admin")
 	slowQuery := fs.Duration("slow-query", 0, "slow-query log threshold (0 = default 100ms; retune live via /debug/slowlog?threshold=)")
@@ -134,6 +147,15 @@ func run(args []string) error {
 	if *adminAddr == "" {
 		*adminAddr = *pprofAddr
 	}
+	if *dataDir != "" && (*snapshotPath != "" || *saveSnapshot != "") {
+		return fmt.Errorf("-data-dir manages its own snapshots and cannot be combined with -snapshot or -save-snapshot")
+	}
+	if *checkpointInterval != 0 && *dataDir == "" {
+		return fmt.Errorf("-checkpoint-interval requires -data-dir")
+	}
+	if *checkpointInterval < 0 {
+		return fmt.Errorf("-checkpoint-interval must not be negative")
+	}
 
 	bootStart := time.Now()
 	db, emb, err := dataset.LoadDir(*data)
@@ -141,9 +163,53 @@ func run(args []string) error {
 		return err
 	}
 
+	// buildCfg assembles the training configuration from the solver and
+	// ANN flags; it applies when a session is trained in-process — fresh
+	// or as the first boot of an empty -data-dir.
+	buildCfg := func() (retro.Config, error) {
+		cfg := retro.Defaults()
+		if *variant == "ro" {
+			cfg.Variant = retro.RO
+		}
+		cfg.Parallel = *parallel
+		cfg.ANNThreshold = *annThreshold
+		cfg.ANNParams = &retro.ANNParams{M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS}
+		if *quantMode != "" {
+			mode, err := retro.ParseQuantMode(*quantMode)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Quantization = mode
+			cfg.RerankFactor = *rerank
+		}
+		return cfg, nil
+	}
+
 	var sess *retro.Session
+	var engine *retro.StorageEngine
 	origin := &server.Origin{Source: "trained"}
-	if *snapshotPath != "" {
+	if *dataDir != "" {
+		cfg, err := buildCfg()
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		engine, err = retro.OpenStorage(*dataDir, db, emb, retro.StorageOptions{
+			Config: cfg, SyncEvery: *walSyncEvery,
+		})
+		if err != nil {
+			return err
+		}
+		sess = engine.Session()
+		st := engine.Stats()
+		origin = &server.Origin{Source: "storage", Path: *dataDir}
+		log.Info("storage engine ready",
+			"dir", *dataDir, "epoch", st.Epoch, "segments", st.Segments,
+			"replayed_records", st.ReplayedRecords, "replayed_rows", st.ReplayedRows,
+			"wal_truncated", st.WALTruncated,
+			"values", sess.Model().NumValues(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	} else if *snapshotPath != "" {
 		start := time.Now()
 		f, err := os.Open(*snapshotPath)
 		if err != nil {
@@ -243,6 +309,7 @@ func run(args []string) error {
 		Logger:             log,
 		SlowQueryThreshold: *slowQuery,
 		Version:            version,
+		Engine:             engine,
 	})
 	bootDur := time.Since(bootStart)
 	srv.Metrics().GaugeFunc("retro_boot_duration_seconds",
@@ -273,6 +340,35 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The checkpoint loop bounds replay time after a crash: each tick
+	// folds the WAL's tail into an O(delta) segment under the server's
+	// write lock, queries unaffected. A failed checkpoint is logged and
+	// retried next tick — the WAL still holds everything.
+	if engine != nil && *checkpointInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*checkpointInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					st, err := srv.Checkpoint()
+					switch {
+					case err != nil:
+						log.Error("checkpoint failed", "error", err)
+					case !st.Skipped:
+						log.Info("checkpoint",
+							"epoch", st.Epoch, "rows", st.Rows, "vectors", st.Vectors,
+							"bytes", st.Bytes, "compacted", st.Compacted,
+							"elapsed", st.Duration.Round(time.Millisecond))
+					}
+				}
+			}
+		}()
+	}
+
 	serveErr := make(chan error, 1)
 	go func() {
 		log.Info("serving", "addr", *addr, "boot_elapsed", bootDur.Round(time.Millisecond))
@@ -309,6 +405,24 @@ func run(args []string) error {
 	if adminSrv != nil {
 		if err := <-adminErr; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
 			shutdownErr = fmt.Errorf("admin listener: %w", err)
+		}
+	}
+	// With the listeners drained no writer is in flight: take a final
+	// checkpoint so the next boot replays an empty log, then release the
+	// WAL. Failures leave the log as the source of truth — recovery
+	// replays it — so they are reported but cost no durability.
+	if engine != nil {
+		if st, err := srv.Checkpoint(); err != nil {
+			log.Error("final checkpoint failed (the WAL remains authoritative)", "error", err)
+			if shutdownErr == nil {
+				shutdownErr = fmt.Errorf("final checkpoint: %w", err)
+			}
+		} else if !st.Skipped {
+			log.Info("final checkpoint", "epoch", st.Epoch, "rows", st.Rows,
+				"elapsed", st.Duration.Round(time.Millisecond))
+		}
+		if err := engine.Close(); err != nil && shutdownErr == nil {
+			shutdownErr = fmt.Errorf("closing storage: %w", err)
 		}
 	}
 	if shutdownErr != nil {

@@ -17,6 +17,9 @@
 //	    print a snapshot's header and provenance
 //	snapshot query -in FILE -key 'table.column:text' [-k N]
 //	    nearest neighbours served from a snapshot, no retraining
+//	storage info -dir DIR
+//	    inspect a retro-serve -data-dir directory: manifest, base
+//	    snapshot, delta segments and the WAL's replay tail
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"github.com/retrodb/retro/internal/datagen"
 	"github.com/retrodb/retro/internal/dataset"
 	"github.com/retrodb/retro/internal/reldb"
+	"github.com/retrodb/retro/internal/storage"
 )
 
 func main() {
@@ -49,6 +53,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "snapshot":
 		err = cmdSnapshot(os.Args[2:])
+	case "storage":
+		err = cmdStorage(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -60,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: retro <generate|train|query|info|snapshot> [flags]
+	fmt.Fprintln(os.Stderr, `usage: retro <generate|train|query|info|snapshot|storage> [flags]
 run "retro <subcommand> -h" for the flags of each subcommand`)
 }
 
@@ -303,6 +309,84 @@ func cmdSnapshotInfo(args []string) error {
 	if len(info.ExcludeRelations) > 0 {
 		fmt.Printf("excl. relations: %s\n", strings.Join(info.ExcludeRelations, ", "))
 	}
+	return nil
+}
+
+func cmdStorage(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("storage: usage: retro storage info [flags]")
+	}
+	switch args[0] {
+	case "info":
+		return cmdStorageInfo(args[1:])
+	default:
+		return fmt.Errorf("storage: unknown subcommand %q (want info)", args[0])
+	}
+}
+
+// cmdStorageInfo prints what a recovery of the directory would see: the
+// manifest, the base snapshot it starts from, the delta segments it
+// replays, and the WAL tail past the last checkpoint. Read-only — safe
+// on a directory a live server is writing (a checkpoint racing the scan
+// can at worst make the WAL line reflect the pre-rotation log).
+func cmdStorageInfo(args []string) error {
+	fs := flag.NewFlagSet("storage info", flag.ExitOnError)
+	dir := fs.String("dir", "", "storage directory from 'retro-serve -data-dir' (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("storage info: -dir is required")
+	}
+	man, err := storage.ReadManifest(*dir)
+	if err != nil {
+		return fmt.Errorf("storage info: %w", err)
+	}
+	fmt.Printf("manifest:       epoch %d, checkpointed through wal seq %d\n", man.Epoch, man.WALSeq)
+
+	basePath := filepath.Join(*dir, man.Base)
+	baseLine := man.Base
+	if fi, err := os.Stat(basePath); err == nil {
+		baseLine += fmt.Sprintf("  (%d bytes)", fi.Size())
+	}
+	fmt.Printf("base:           %s\n", baseLine)
+	if f, err := os.Open(basePath); err == nil {
+		if info, err := retro.ReadSnapshotInfo(f); err == nil {
+			fmt.Printf("                %d values, %d dims, format v%d, written %s\n",
+				info.NumValues, info.Dim, info.Version,
+				info.Created.UTC().Format("2006-01-02 15:04:05 MST"))
+		}
+		f.Close()
+	}
+
+	fmt.Printf("segments:       %d\n", len(man.Segments))
+	for _, name := range man.Segments {
+		info, err := storage.ReadSegmentInfo(filepath.Join(*dir, name))
+		if err != nil {
+			fmt.Printf("  %-18s UNREADABLE: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("  %-18s epochs [%d,%d)  %4d rows  %4d vectors  %8d bytes\n",
+			name, info.FromEpoch, info.ToEpoch, info.Rows, info.Vectors, info.Bytes)
+	}
+
+	st, records, err := storage.ScanWALInfo(filepath.Join(*dir, man.WAL))
+	if err != nil {
+		return fmt.Errorf("storage info: scanning %s: %w", man.WAL, err)
+	}
+	fmt.Printf("wal:            %s  seq (%d, %d]  %d records  %d bytes\n",
+		man.WAL, st.BaseSeq, st.LastSeq, st.Records, st.Bytes)
+	if st.Truncated {
+		fmt.Printf("                torn tail: recovery will cut the log to the last intact record\n")
+	}
+	tailRecords, tailRows := 0, 0
+	for _, r := range records {
+		if r.Seq > man.WALSeq {
+			tailRecords++
+			tailRows += r.Batch.NumRows()
+		}
+	}
+	fmt.Printf("replay tail:    %d records / %d rows past the last checkpoint\n", tailRecords, tailRows)
 	return nil
 }
 

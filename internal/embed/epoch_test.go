@@ -1,0 +1,121 @@
+package embed
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestEpochStampingMutators: every mutator class stamps the rows it
+// touches with the current epoch, and ChangedSince windows follow
+// AdvanceEpoch.
+func TestEpochStampingMutators(t *testing.T) {
+	s := NewStore(2)
+	a := s.Add("a", []float64{1, 0})
+	b := s.Add("b", []float64{0, 1})
+	if got := s.ChangedSince(0); !slices.Equal(got, []int{a, b}) {
+		t.Fatalf("ChangedSince(0) on a fresh store = %v", got)
+	}
+
+	if e := s.AdvanceEpoch(); e != 1 || s.Epoch() != 1 {
+		t.Fatalf("AdvanceEpoch = %d, Epoch = %d", e, s.Epoch())
+	}
+	if got := s.ChangedSince(1); len(got) != 0 {
+		t.Fatalf("nothing changed in epoch 1 yet, got %v", got)
+	}
+
+	// Each mutator stamps at the current epoch.
+	s.SetVector(a, []float64{2, 0})
+	if got := s.ChangedSince(1); !slices.Equal(got, []int{a}) {
+		t.Fatalf("SetVector did not stamp: %v", got)
+	}
+	s.AdvanceEpoch()
+	c := s.Add("c", []float64{1, 1})
+	if got := s.ChangedSince(2); !slices.Equal(got, []int{c}) {
+		t.Fatalf("Add did not stamp: %v", got)
+	}
+	s.AdvanceEpoch()
+	d := s.AddStaged("d", []float64{1, 2})
+	s.RefreshRow(b)
+	if got := s.ChangedSince(3); !slices.Equal(got, []int{b, d}) {
+		t.Fatalf("AddStaged/RefreshRow did not stamp: %v", got)
+	}
+	// A closed window keeps its rows; the next window starts empty.
+	s.AdvanceEpoch()
+	if got := s.ChangedSince(3); !slices.Equal(got, []int{b, d}) {
+		t.Fatalf("closed window lost rows: %v", got)
+	}
+	if got := s.ChangedSince(4); len(got) != 0 {
+		t.Fatalf("new window not empty: %v", got)
+	}
+	s.NormalizeAll()
+	if got := s.ChangedSince(4); len(got) != s.Len() {
+		t.Fatalf("NormalizeAll stamped %d of %d rows", len(got), s.Len())
+	}
+}
+
+// TestEpochMissingStampsAreDurable: a store deserialised straight from a
+// snapshot has no row stamps; those rows must count as stamped at 0 —
+// they came from durable state and are unchanged relative to any later
+// epoch — while rows mutated afterwards are stamped normally.
+func TestEpochMissingStampsAreDurable(t *testing.T) {
+	s := NewStore(2)
+	a := s.Add("a", []float64{1, 0})
+	b := s.Add("b", []float64{0, 1})
+	s.rowEpochs = nil // as after deserialisation: values without stamps
+	s.SetEpoch(7)
+	if got := s.ChangedSince(1); len(got) != 0 {
+		t.Fatalf("unstamped rows reported changed: %v", got)
+	}
+	if got := s.ChangedSince(0); len(got) != s.Len() {
+		t.Fatalf("ChangedSince(0) must cover everything, got %v", got)
+	}
+	s.RefreshRow(a)
+	if got := s.ChangedSince(7); !slices.Equal(got, []int{a}) {
+		t.Fatalf("post-recovery mutation not stamped: %v", got)
+	}
+	// b, beyond the stamped prefix, still counts as durable.
+	if got := s.ChangedSince(1); !slices.Equal(got, []int{a}) {
+		t.Fatalf("unstamped tail row reported changed: %v", got)
+	}
+	// Touching past the gap backfills conservatively at the current
+	// epoch: over-capture into the next segment, never data loss.
+	c := s.Add("c", []float64{1, 1})
+	if got := s.ChangedSince(7); !slices.Equal(got, []int{a, b, c}) {
+		t.Fatalf("backfilled stamps = %v", got)
+	}
+}
+
+// TestEpochStampAll covers the conservative path a full model rebuild
+// takes: everything is marked changed in the current epoch.
+func TestEpochStampAll(t *testing.T) {
+	s := NewStore(2)
+	s.Add("a", []float64{1, 0})
+	s.Add("b", []float64{0, 1})
+	s.SetEpoch(3)
+	s.StampAll()
+	if got := s.ChangedSince(3); len(got) != 2 {
+		t.Fatalf("StampAll stamped %d rows", len(got))
+	}
+}
+
+// TestEpochFrozenPanics: epoch mutators follow the store's freeze
+// discipline.
+func TestEpochFrozenPanics(t *testing.T) {
+	s := NewStore(2)
+	s.Add("a", []float64{1, 0})
+	f := s.Freeze()
+	for name, fn := range map[string]func(){
+		"AdvanceEpoch": func() { f.AdvanceEpoch() },
+		"SetEpoch":     func() { f.SetEpoch(9) },
+		"StampAll":     func() { f.StampAll() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a frozen store did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -100,6 +100,16 @@ type Store struct {
 	// so the hot path stops recomputing every norm per query.
 	normMu sync.Mutex
 	norms  []float64
+
+	// Epoch stamping for the storage engine's delta checkpoints: every
+	// mutator stamps the touched row with the store's current epoch, so
+	// "rows changed since epoch E" (ChangedSince) is an O(n) scan over
+	// one uint64 per row instead of a diff of two matrices. The stamps
+	// are maintained by writers and read under the same external
+	// synchronisation as every other mutation; Freeze snapshots do not
+	// carry them (a frozen view is never checkpointed directly).
+	epoch     uint64
+	rowEpochs []uint64
 }
 
 // NewStore creates an empty store for vectors of the given dimensionality.
@@ -208,6 +218,71 @@ func (s *Store) cowIndex() {
 	s.sharedIndex = false
 }
 
+// stamp records that row id changed in the store's current epoch.
+// AddStaged appends rows without a RefreshRow in between, so the stamp
+// backfills any gap at the current epoch (those rows were appended in
+// this epoch too).
+func (s *Store) stamp(id int) {
+	for len(s.rowEpochs) <= id {
+		s.rowEpochs = append(s.rowEpochs, s.epoch)
+	}
+	s.rowEpochs[id] = s.epoch
+}
+
+// Epoch returns the store's current change epoch.
+func (s *Store) Epoch() uint64 { return s.epoch }
+
+// AdvanceEpoch increments the change epoch and returns the new value.
+// The storage engine calls it at each checkpoint: rows stamped before
+// the advance belong to the segment just written, rows stamped after it
+// to the next one. Requires the same external synchronisation as Add.
+func (s *Store) AdvanceEpoch() uint64 {
+	s.mutable("AdvanceEpoch")
+	s.epoch++
+	return s.epoch
+}
+
+// SetEpoch sets the change epoch without touching any row stamp. Used
+// after recovery: rows restored from the base and segments keep their
+// zero stamps (already durable), and the epoch jumps to the manifest's
+// so rows touched by WAL tail replay land in the next delta.
+func (s *Store) SetEpoch(e uint64) {
+	s.mutable("SetEpoch")
+	s.epoch = e
+}
+
+// StampAll marks every row changed in the current epoch. A full
+// re-solve that rebuilt the store loses the per-row history, so the
+// session conservatively stamps everything — the next checkpoint then
+// captures the whole vocabulary (and typically compacts) instead of
+// silently dropping rebuilt rows from the delta.
+func (s *Store) StampAll() {
+	s.mutable("StampAll")
+	for id := range s.words {
+		s.stamp(id)
+	}
+}
+
+// ChangedSince returns the ids of rows stamped at or after epoch e, in
+// ascending order. Rows with no stamp (a store deserialised directly
+// from a snapshot) count as stamped at 0: they came from durable state,
+// so they are unchanged relative to any later epoch. Requires the same
+// external synchronisation as Add and is meaningless on a Freeze
+// snapshot (stamps stay with the live store).
+func (s *Store) ChangedSince(e uint64) []int {
+	var out []int
+	for id := range s.words {
+		var stamp uint64
+		if id < len(s.rowEpochs) {
+			stamp = s.rowEpochs[id]
+		}
+		if stamp >= e {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // PrepareWrite must be called before mutating rows obtained through
 // Matrix() on a store that may have outstanding Freeze snapshots: it
 // detaches the matrix from any snapshot (copy-on-write) so the in-place
@@ -231,6 +306,7 @@ func (s *Store) Add(word string, vector []float64) int {
 		copy(s.row(id), vector)
 		s.normUpdate(id)
 		s.annUpdate(id)
+		s.stamp(id)
 		return id
 	}
 	id := len(s.words)
@@ -241,6 +317,7 @@ func (s *Store) Add(word string, vector []float64) int {
 	copy(s.row(id), vector)
 	s.normUpdate(id)
 	s.annUpdate(id)
+	s.stamp(id)
 	return id
 }
 
@@ -261,6 +338,7 @@ func (s *Store) AddStaged(word string, vector []float64) int {
 	if id, ok := s.index[word]; ok {
 		s.cowMatrix() // overwriting a row a snapshot may be reading
 		copy(s.row(id), vector)
+		s.stamp(id)
 		return id
 	}
 	id := len(s.words)
@@ -269,6 +347,7 @@ func (s *Store) AddStaged(word string, vector []float64) int {
 	s.index[word] = id
 	s.growTo(id + 1)
 	copy(s.row(id), vector)
+	s.stamp(id)
 	return id
 }
 
@@ -405,6 +484,7 @@ func (s *Store) SetVector(id int, vector []float64) {
 	copy(s.row(id), vector)
 	s.normUpdate(id)
 	s.annUpdate(id)
+	s.stamp(id)
 }
 
 // RefreshRow re-syncs the store's derived per-row state — the cached row
@@ -416,6 +496,7 @@ func (s *Store) RefreshRow(id int) {
 	s.mutable("RefreshRow")
 	s.normUpdate(id)
 	s.annUpdate(id)
+	s.stamp(id)
 }
 
 // Matrix exposes the underlying (Len x Dim) matrix. Rows are live views:
@@ -454,6 +535,7 @@ func (s *Store) NormalizeAll() {
 	for id := range s.words {
 		vec.Normalize(s.row(id))
 		s.normUpdate(id)
+		s.stamp(id)
 	}
 	// A built ANN index stays valid: it already stores unit-normalised
 	// copies, and cosine similarity is scale-invariant, so normalising

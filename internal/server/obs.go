@@ -47,6 +47,7 @@ type telemetry struct {
 	staleTransitions *obs.Counter
 	publishDur       *obs.Histogram
 	snapshotSave     *obs.Histogram
+	checkpointDur    *obs.Histogram // nil without a storage engine
 
 	// staleSeen is the edge detector behind staleTransitions: staleness
 	// is a flag the session flips internally (failed repair, operator
@@ -192,6 +193,44 @@ func newTelemetry(s *Server, cfg Config) *telemetry {
 	reg.CounterFunc("retro_slow_queries_total",
 		"Queries recorded by the slow-query log.", "",
 		func() float64 { return float64(t.slow.Recorded()) })
+
+	if s.engine != nil {
+		// Storage-engine durability counters. The engine keeps these under
+		// its own mutex; scrape-time closures read a consistent snapshot
+		// without the request path paying anything.
+		reg.CounterFunc("retro_wal_appends_total",
+			"Record batches appended to the write-ahead log.", "",
+			func() float64 { return float64(s.engine.Stats().WAL.Appends) })
+		reg.CounterFunc("retro_wal_syncs_total",
+			"fsync calls issued by the write-ahead log.", "",
+			func() float64 { return float64(s.engine.Stats().WAL.Syncs) })
+		reg.CounterFunc("retro_wal_sync_seconds_total",
+			"Cumulative wall time spent in WAL fsync.", "",
+			func() float64 { return float64(s.engine.Stats().WAL.SyncNanos) / 1e9 })
+		reg.GaugeFunc("retro_wal_bytes",
+			"Size of the active write-ahead log in bytes.", "",
+			func() float64 { return float64(s.engine.Stats().WAL.Bytes) })
+		reg.GaugeFunc("retro_wal_last_seq",
+			"Sequence number of the last durable WAL record.", "",
+			func() float64 { return float64(s.engine.Stats().WAL.LastSeq) })
+		reg.GaugeFunc("retro_storage_epoch",
+			"Checkpoint epoch of the storage engine.", "",
+			func() float64 { return float64(s.engine.Stats().Epoch) })
+		reg.GaugeFunc("retro_storage_segments",
+			"Delta segments in the manifest chain.", "",
+			func() float64 { return float64(s.engine.Stats().Segments) })
+		reg.GaugeFunc("retro_storage_pending_rows",
+			"Rows logged since the last checkpoint (replayed on crash).", "",
+			func() float64 { return float64(s.engine.Stats().PendingRows) })
+		reg.CounterFunc("retro_checkpoints_total",
+			"Checkpoints taken by this engine handle.", "",
+			func() float64 { return float64(s.engine.Stats().Checkpoints) })
+		reg.CounterFunc("retro_storage_compactions_total",
+			"Checkpoints that compacted the chain into a fresh base.", "",
+			func() float64 { return float64(s.engine.Stats().Compactions) })
+		t.checkpointDur = reg.Histogram("retro_checkpoint_duration_seconds",
+			"Wall time per non-skipped checkpoint.", "", obs.DurationBuckets())
+	}
 
 	obs.RegisterRuntime(reg)
 	version := cfg.Version

@@ -75,6 +75,12 @@ type Config struct {
 	// Version is stamped into the retro_build_info metric (default
 	// "dev").
 	Version string
+	// Engine, when set, is the storage engine backing the session: the
+	// server surfaces its WAL and checkpoint counters in /v1/stats and
+	// /metrics, maps WAL append failures onto their own error code, and
+	// exposes Checkpoint for the operator loop. The session must be the
+	// engine's own (Engine.Session()).
+	Engine *retro.StorageEngine
 }
 
 // Origin describes the provenance of the served session.
@@ -106,6 +112,7 @@ type Server struct {
 	writeMu sync.Mutex
 
 	sess    *retro.Session
+	engine  *retro.StorageEngine
 	cache   *shardedCache
 	metrics metricsTable
 	tel     *telemetry
@@ -129,7 +136,7 @@ func New(sess *retro.Session, cfg Config) *Server {
 	if size == 0 {
 		size = 1024
 	}
-	s := &Server{sess: sess, started: time.Now(), origin: cfg.Origin}
+	s := &Server{sess: sess, engine: cfg.Engine, started: time.Now(), origin: cfg.Origin}
 	if s.origin == nil {
 		s.origin = &Origin{Source: "trained"}
 	}
@@ -314,6 +321,7 @@ const (
 	errBatchTooLarge    = "batch_too_large"    // batch exceeds maxBatchQueries
 	errPartialCommit    = "partial_commit"     // row batch failed mid-way; see "committed"
 	errRepairFailed     = "repair_failed"      // rows committed, embedding repair failed
+	errWALFailed        = "wal_failed"         // rows committed in memory, WAL append failed
 )
 
 // apiError is the wire form of one error: a stable code and a
@@ -739,7 +747,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	var repair *retro.RepairError
 	repairFailed := errors.As(err, &repair)
-	published := committed > 0 && !repairFailed
+	// A WAL append failure means the rows are live in memory but have no
+	// durable record: the insert must not be acknowledged and the new
+	// state must not be published — a crash now would serve values that
+	// recovery cannot reproduce.
+	var walErr *retro.WALError
+	walFailed := errors.As(err, &walErr)
+	published := committed > 0 && !repairFailed && !walFailed
 	rep := s.sess.LastRepair()
 	if published {
 		// Warm the index and publish the successor view. The warm-up and
@@ -757,7 +771,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		t.repairFailures.Inc()
 	}
 	if t.noteStale(s.sess.Stale()) {
-		t.log.Warn("session marked stale after failed repair",
+		t.log.Warn("session marked stale after failed write",
 			"table", req.Table, "rows", len(rows), "error", err)
 	}
 	if err != nil {
@@ -770,6 +784,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if err != nil {
+		if walFailed {
+			// Rows reached memory but not the log: the write is NOT durable
+			// and is not acknowledged. The session is stale and /readyz
+			// fails until the operator restores the log (typically by
+			// restarting onto a healthy disk); the old view keeps serving.
+			writeError(w, http.StatusInternalServerError, errWALFailed, err.Error())
+			return
+		}
 		if repairFailed {
 			// The rows ARE committed — a 400 would invite a retry that
 			// can only hit a duplicate key. Signal a server-side failure.
@@ -871,6 +893,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		endpoints[st.name] = ep
 	}
 
+	// Storage engine: durability counters for operators watching WAL
+	// growth (checkpoint-lag) and checkpoint/compaction cadence. Absent
+	// when the server runs without a data directory.
+	var storageStats map[string]any
+	if s.engine != nil {
+		st := s.engine.Stats()
+		storageStats = map[string]any{
+			"dir":              st.Dir,
+			"epoch":            st.Epoch,
+			"segments":         st.Segments,
+			"pending_rows":     st.PendingRows,
+			"checkpoints":      st.Checkpoints,
+			"compactions":      st.Compactions,
+			"replayed_records": st.ReplayedRecords,
+			"replayed_rows":    st.ReplayedRows,
+			"wal_truncated":    st.WALTruncated,
+			"wal": map[string]any{
+				"path":     st.WAL.Path,
+				"base_seq": st.WAL.BaseSeq,
+				"last_seq": st.WAL.LastSeq,
+				"records":  st.WAL.Records,
+				"bytes":    st.WAL.Bytes,
+				"appends":  st.WAL.Appends,
+				"syncs":    st.WAL.Syncs,
+			},
+		}
+		if !st.LastCheckpoint.Skipped && st.LastCheckpoint.Epoch > 0 {
+			storageStats["last_checkpoint"] = map[string]any{
+				"epoch":     st.LastCheckpoint.Epoch,
+				"compacted": st.LastCheckpoint.Compacted,
+				"rows":      st.LastCheckpoint.Rows,
+				"vectors":   st.LastCheckpoint.Vectors,
+				"bytes":     st.LastCheckpoint.Bytes,
+				"ms":        float64(st.LastCheckpoint.Duration) / float64(time.Millisecond),
+			}
+		}
+	}
+
 	origin := map[string]any{"source": s.origin.Source}
 	if s.origin.Source == "snapshot" {
 		origin["snapshot_path"] = s.origin.Path
@@ -902,5 +962,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"endpoints": endpoints,
 		"origin":    origin,
+		"storage":   storageStats,
 	})
 }

@@ -124,3 +124,20 @@ func (s *Server) WriteSnapshot(w io.Writer) error {
 // session's synchronisation rules; it is exposed for operational tooling
 // (snapshot timers, staleness probes), not for the request path.
 func (s *Server) Session() *retro.Session { return s.sess }
+
+// Checkpoint runs a storage-engine checkpoint under the write lock —
+// the exclusion Checkpoint requires — while queries keep flowing
+// against the published view. It is a no-op (Skipped) when the server
+// has no engine or nothing changed since the last checkpoint.
+func (s *Server) Checkpoint() (retro.CheckpointStats, error) {
+	if s.engine == nil {
+		return retro.CheckpointStats{Skipped: true}, nil
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	stats, err := s.engine.Checkpoint()
+	if err == nil && !stats.Skipped && s.tel.checkpointDur != nil {
+		s.tel.checkpointDur.ObserveDuration(stats.Duration)
+	}
+	return stats, err
+}

@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"io"
+	"testing"
+
+	"github.com/retrodb/retro/internal/embed"
+	"github.com/retrodb/retro/internal/snapshot"
+)
+
+// The checkpoint cost claim: a delta segment is O(changed rows) where a
+// full snapshot is O(model). At 50k values with a 256-row delta the
+// segment write must be orders of magnitude smaller and faster —
+// `go test -bench 'Checkpoint|FullSnapshot' ./internal/storage` shows
+// both the ns/op gap and the bytes-written gap (reported as segB/op and
+// snapB/op).
+
+const (
+	benchValues = 50_000
+	benchDim    = 32
+	benchDelta  = 256
+)
+
+// lcg is a tiny deterministic generator so benchmark vectors need no
+// seed plumbing and stay identical across runs.
+type lcg uint64
+
+func (g *lcg) next() float64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return float64(int64(*g>>11)) / float64(1<<52)
+}
+
+func benchStore() *embed.Store {
+	s := embed.NewStore(benchDim)
+	g := lcg(1)
+	vec := make([]float64, benchDim)
+	for i := 0; i < benchValues; i++ {
+		for d := range vec {
+			vec[d] = g.next()
+		}
+		s.Add("movies.title\x00value-"+string(rune('a'+i%26))+"-"+itoa(i), vec)
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func benchSegment(s *embed.Store) *Segment {
+	seg := &Segment{FromEpoch: 1, ToEpoch: 2, WALSeq: benchDelta}
+	for i := 0; i < benchDelta; i++ {
+		id := s.Len() - benchDelta + i
+		seg.Vectors = append(seg.Vectors, VectorDelta{Key: s.Word(id), Vec: s.Vector(id)})
+	}
+	return seg
+}
+
+func BenchmarkCheckpointSegment(b *testing.B) {
+	s := benchStore()
+	seg := benchSegment(s)
+	data := EncodeSegment(seg)
+	b.ReportMetric(float64(len(data)), "segB/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := EncodeSegment(seg)
+		if len(out) == 0 {
+			b.Fatal("empty segment")
+		}
+	}
+}
+
+func BenchmarkFullSnapshot(b *testing.B) {
+	s := benchStore()
+	snap := &snapshot.Snapshot{Dim: benchDim, Store: s}
+	n := &countWriter{}
+	if err := snapshot.Write(n, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n.n), "snapB/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := snapshot.Write(io.Discard, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,116 @@
+// Wire codec for committed insert batches: the unit both the WAL and
+// the delta segments persist. A batch is the committed subset of one
+// Session.Insert/InsertBatch call — table name plus rows in commit
+// order, each value carried with its reldb type so replay re-inserts
+// exactly what the writer committed.
+
+package storage
+
+import (
+	"fmt"
+
+	"github.com/retrodb/retro/internal/reldb"
+	"github.com/retrodb/retro/internal/wire"
+)
+
+const (
+	maxTableLen = 1 << 12
+	maxTextLen  = 1 << 24
+	maxRows     = 1 << 24
+	maxCols     = 1 << 12
+)
+
+// Batch is one committed insert batch: rows bound for one table, in
+// commit order. BatchError-rejected rows are never part of a Batch —
+// only the committed prefix is logged, so a rejected row can never
+// reappear on replay.
+type Batch struct {
+	Table string
+	Rows  [][]reldb.Value
+}
+
+// NumRows returns the row count.
+func (b *Batch) NumRows() int { return len(b.Rows) }
+
+func encodeValue(w *wire.Writer, v reldb.Value) {
+	w.U8(uint8(v.Kind))
+	switch v.Kind {
+	case reldb.KindNull:
+	case reldb.KindText:
+		w.String(v.Str)
+	case reldb.KindInt:
+		w.I64(v.I)
+	case reldb.KindFloat:
+		w.F64(v.Num)
+	case reldb.KindBool:
+		if v.Num != 0 {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+	}
+}
+
+func decodeValue(r *wire.Reader) reldb.Value {
+	kind := reldb.Kind(r.U8())
+	switch kind {
+	case reldb.KindNull:
+		return reldb.Null
+	case reldb.KindText:
+		return reldb.Text(r.String(maxTextLen))
+	case reldb.KindInt:
+		return reldb.Int(r.I64())
+	case reldb.KindFloat:
+		return reldb.Float(r.F64())
+	case reldb.KindBool:
+		return reldb.Bool(r.U8() != 0)
+	default:
+		r.Fail(fmt.Errorf("storage: unknown value kind %d", kind))
+		return reldb.Null
+	}
+}
+
+func encodeBatch(w *wire.Writer, b *Batch) {
+	w.String(b.Table)
+	w.U32(uint32(len(b.Rows)))
+	for _, row := range b.Rows {
+		w.U32(uint32(len(row)))
+		for _, v := range row {
+			encodeValue(w, v)
+		}
+	}
+}
+
+func decodeBatch(r *wire.Reader) Batch {
+	b := Batch{Table: r.String(maxTableLen)}
+	rows := r.Count32(maxRows)
+	for i := 0; i < rows && r.Err() == nil; i++ {
+		cols := r.Count32(maxCols)
+		row := make([]reldb.Value, 0, cols)
+		for c := 0; c < cols && r.Err() == nil; c++ {
+			row = append(row, decodeValue(r))
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	return b
+}
+
+// cloneBatch deep-copies a batch so the storage layer can retain it
+// past the caller's request lifetime (reldb.Value is a value type, so
+// copying the row slices is a full copy).
+func cloneBatch(table string, rows [][]reldb.Value) Batch {
+	out := Batch{Table: table, Rows: make([][]reldb.Value, len(rows))}
+	for i, row := range rows {
+		cp := make([]reldb.Value, len(row))
+		copy(cp, row)
+		out.Rows[i] = cp
+	}
+	return out
+}
+
+// CloneBatch deep-copies the committed rows of one insert call into a
+// Batch the engine may retain (the session hands it slices the API
+// caller owns).
+func CloneBatch(table string, rows [][]reldb.Value) Batch {
+	return cloneBatch(table, rows)
+}

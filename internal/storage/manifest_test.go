@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Epoch: 42, WALSeq: 17,
+		Base: "base-000001.snap", WAL: "wal-000042.wal",
+		Segments: []string{"seg-000002.seg", "seg-000007.seg"},
+	}
+	got, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.WALSeq != m.WALSeq || got.Base != m.Base ||
+		got.WAL != m.WAL || !slices.Equal(got.Segments, m.Segments) {
+		t.Fatalf("round trip = %+v, want %+v", got, m)
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	m := &Manifest{Epoch: 1, Base: "base-000001.snap", WAL: "wal-000001.wal"}
+	data := EncodeManifest(m)
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-4] }},
+		{"bad magic", func(b []byte) []byte { c := slices.Clone(b); c[0] ^= 0xff; return c }},
+		{"bit flip in payload", func(b []byte) []byte { c := slices.Clone(b); c[len(c)-1] ^= 0x01; return c }},
+		{"version skew", func(b []byte) []byte { c := slices.Clone(b); c[8] = 0xee; return c }},
+	} {
+		if _, err := DecodeManifest(tc.mutate(slices.Clone(data))); err == nil {
+			t.Errorf("%s: corruption accepted", tc.name)
+		}
+	}
+}
+
+func TestManifestRejectsPathTraversal(t *testing.T) {
+	for _, bad := range []string{"../evil.snap", "/etc/passwd", "a/b.seg", ""} {
+		m := &Manifest{Epoch: 1, Base: bad, WAL: "wal-000001.wal"}
+		if _, err := DecodeManifest(EncodeManifest(m)); err == nil {
+			t.Errorf("file name %q accepted", bad)
+		}
+	}
+}
+
+func TestWriteManifestAtomic(t *testing.T) {
+	dir := t.TempDir()
+	m1 := &Manifest{Epoch: 1, Base: "base-000001.snap", WAL: "wal-000001.wal"}
+	if err := WriteManifest(dir, m1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A failed rewrite must leave the previous manifest untouched.
+	m2 := &Manifest{Epoch: 2, Base: "base-000001.snap", WAL: "wal-000002.wal"}
+	sys := &Sys{Rename: func(oldpath, newpath string) error { return errors.New("injected") }}
+	if err := WriteManifest(dir, m2, sys); err == nil {
+		t.Fatal("rename failure not surfaced")
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 || got.WAL != "wal-000001.wal" {
+		t.Fatalf("failed rewrite clobbered the manifest: %+v", got)
+	}
+	// And a successful one replaces it.
+	if err := WriteManifest(dir, m2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ReadManifest(dir); got == nil || got.Epoch != 2 {
+		t.Fatalf("rewrite not visible: %+v", got)
+	}
+}
+
+func TestReadManifestMissing(t *testing.T) {
+	if _, err := ReadManifest(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing manifest error = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestCleanDirSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	m := &Manifest{
+		Epoch: 3, Base: "base-000001.snap", WAL: "wal-000003.wal",
+		Segments: []string{"seg-000002.seg"},
+	}
+	referenced := []string{"base-000001.snap", "wal-000003.wal", "seg-000002.seg"}
+	orphans := []string{"seg-000003.seg", "wal-000002.wal", "base-000002.snap", "MANIFEST.tmp123", "seg-000004.seg.tmp42"}
+	foreign := []string{"notes.txt", "model.bin"}
+	for _, name := range append(append(append([]string{}, referenced...), orphans...), foreign...) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	CleanDir(dir, m)
+	for _, name := range append(referenced, foreign...) {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s should have survived: %v", name, err)
+		}
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphan %s not swept", name)
+		}
+	}
+}

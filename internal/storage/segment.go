@@ -1,0 +1,189 @@
+// Delta snapshot segments: one file per checkpoint, carrying everything
+// that changed since the previous checkpoint epoch — the committed rows
+// (so the WAL prefix they came from can be discarded) and the store
+// vectors the frozen-view epoch stamping marked dirty, at full float64
+// precision (so applying a segment reproduces the writer's vectors
+// bit-for-bit, unlike the float32-packed base snapshot). Checkpoint
+// write cost is O(delta), not O(model); recovery applies the chain in
+// order over the base.
+
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/retrodb/retro/internal/wire"
+)
+
+const (
+	segMagic   = "RETROSEG"
+	segVersion = 1
+
+	maxBatches    = 1 << 24
+	maxVectors    = 1 << 28
+	maxKeyLen     = 1 << 20
+	maxSegDim     = 1 << 16
+	maxSegPayload = int64(1) << 36
+)
+
+// Segment is one checkpoint's delta over the previous epoch.
+type Segment struct {
+	// FromEpoch..ToEpoch is the half-open epoch window this delta
+	// covers: rows stamped in [FromEpoch, ToEpoch) at checkpoint time.
+	FromEpoch uint64
+	ToEpoch   uint64
+	// WALSeq is the log high-water mark at checkpoint time: the batches
+	// below are exactly the WAL records with seq <= WALSeq not covered
+	// by an earlier segment.
+	WALSeq uint64
+	// Batches are the committed insert batches, in commit order.
+	Batches []Batch
+	// Vectors are the store rows that changed in the window, keyed by
+	// store word, at full float64 precision.
+	Vectors []VectorDelta
+}
+
+// VectorDelta is one changed store row.
+type VectorDelta struct {
+	Key string
+	Vec []float64
+}
+
+// SegmentInfo summarises a segment without retaining its content.
+type SegmentInfo struct {
+	Name      string
+	FromEpoch uint64
+	ToEpoch   uint64
+	WALSeq    uint64
+	Rows      int
+	Vectors   int
+	Bytes     int64
+}
+
+// EncodeSegment renders a segment to its wire form.
+func EncodeSegment(s *Segment) []byte {
+	var payload bytes.Buffer
+	w := wire.NewWriter(&payload)
+	w.U64(s.FromEpoch)
+	w.U64(s.ToEpoch)
+	w.U64(s.WALSeq)
+	w.U32(uint32(len(s.Batches)))
+	for i := range s.Batches {
+		encodeBatch(w, &s.Batches[i])
+	}
+	w.U32(uint32(len(s.Vectors)))
+	for _, v := range s.Vectors {
+		w.String(v.Key)
+		w.U32(uint32(len(v.Vec)))
+		for _, x := range v.Vec {
+			w.F64(x)
+		}
+	}
+	_ = w.Flush()
+
+	var out bytes.Buffer
+	fw := wire.NewWriter(&out)
+	fw.Bytes([]byte(segMagic))
+	fw.U32(segVersion)
+	fw.U64(uint64(payload.Len()))
+	fw.U32(crc32.ChecksumIEEE(payload.Bytes()))
+	fw.Bytes(payload.Bytes())
+	_ = fw.Flush()
+	return out.Bytes()
+}
+
+// DecodeSegment parses a segment written by EncodeSegment. Corruption
+// is an error, never a panic.
+func DecodeSegment(data []byte) (*Segment, error) {
+	r := wire.NewReader(bytes.NewReader(data))
+	magic := make([]byte, len(segMagic))
+	r.Bytes(magic)
+	if r.Err() == nil && string(magic) != segMagic {
+		return nil, fmt.Errorf("storage: bad segment magic %q", magic)
+	}
+	if v := r.U32(); r.Err() == nil && v != segVersion {
+		return nil, fmt.Errorf("storage: unsupported segment version %d", v)
+	}
+	n := r.U64()
+	if r.Err() == nil && (n > uint64(maxSegPayload) || n > uint64(len(data))) {
+		return nil, fmt.Errorf("storage: segment payload length %d exceeds file size %d", n, len(data))
+	}
+	crc := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("storage: segment header: %w", err)
+	}
+	payload := make([]byte, n)
+	r.Bytes(payload)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("storage: segment payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != crc {
+		return nil, fmt.Errorf("storage: segment checksum mismatch (want %08x, got %08x)", crc, got)
+	}
+
+	pr := wire.NewReader(bytes.NewReader(payload))
+	s := &Segment{}
+	s.FromEpoch = pr.U64()
+	s.ToEpoch = pr.U64()
+	s.WALSeq = pr.U64()
+	batches := pr.Count32(maxBatches)
+	for i := 0; i < batches && pr.Err() == nil; i++ {
+		s.Batches = append(s.Batches, decodeBatch(pr))
+	}
+	vectors := pr.Count32(maxVectors)
+	for i := 0; i < vectors && pr.Err() == nil; i++ {
+		key := pr.String(maxKeyLen)
+		dim := pr.Count32(maxSegDim)
+		vec := make([]float64, 0, dim)
+		for d := 0; d < dim && pr.Err() == nil; d++ {
+			vec = append(vec, pr.F64())
+		}
+		s.Vectors = append(s.Vectors, VectorDelta{Key: key, Vec: vec})
+	}
+	if err := pr.Err(); err != nil {
+		return nil, fmt.Errorf("storage: segment body: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSegmentFile persists a segment atomically (temp + fsync +
+// rename through sys).
+func WriteSegmentFile(path string, s *Segment, sys *Sys) error {
+	data := EncodeSegment(s)
+	return WriteFileAtomic(path, sys, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// ReadSegmentFile loads a segment.
+func ReadSegmentFile(path string) (*Segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSegment(data)
+}
+
+// ReadSegmentInfo summarises a segment file (for `retro storage info`).
+func ReadSegmentInfo(path string) (SegmentInfo, error) {
+	s, err := ReadSegmentFile(path)
+	if err != nil {
+		return SegmentInfo{}, err
+	}
+	info := SegmentInfo{
+		FromEpoch: s.FromEpoch, ToEpoch: s.ToEpoch, WALSeq: s.WALSeq,
+		Vectors: len(s.Vectors),
+	}
+	for i := range s.Batches {
+		info.Rows += len(s.Batches[i].Rows)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		info.Bytes = fi.Size()
+	}
+	return info, nil
+}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+func fixtureSegment() *Segment {
+	return &Segment{
+		FromEpoch: 2, ToEpoch: 3, WALSeq: 9,
+		Batches: []Batch{
+			{Table: "movies", Rows: testRows("matrix", "alien")},
+			{Table: "people", Rows: testRows("lynch")},
+		},
+		Vectors: []VectorDelta{
+			{Key: "movies.title\x00matrix", Vec: []float64{0.25, -1.5, 3.75}},
+			{Key: "movies.country\x00usa", Vec: []float64{1e-300, 42}},
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := fixtureSegment()
+	got, err := DecodeSegment(EncodeSegment(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FromEpoch != s.FromEpoch || got.ToEpoch != s.ToEpoch || got.WALSeq != s.WALSeq {
+		t.Fatalf("header round trip = %+v", got)
+	}
+	if len(got.Batches) != 2 || got.Batches[0].Table != "movies" ||
+		!sameRows(got.Batches[0].Rows, s.Batches[0].Rows) ||
+		!sameRows(got.Batches[1].Rows, s.Batches[1].Rows) {
+		t.Fatalf("batches round trip = %+v", got.Batches)
+	}
+	if len(got.Vectors) != 2 {
+		t.Fatalf("vectors round trip = %+v", got.Vectors)
+	}
+	for i, v := range got.Vectors {
+		// Full float64 precision: the delta path must reproduce the
+		// writer's vectors bit-for-bit.
+		if v.Key != s.Vectors[i].Key || !slices.Equal(v.Vec, s.Vectors[i].Vec) {
+			t.Fatalf("vector %d = %+v, want %+v", i, v, s.Vectors[i])
+		}
+	}
+}
+
+func TestSegmentCorruptionDetected(t *testing.T) {
+	data := EncodeSegment(fixtureSegment())
+	for i := 0; i < len(data); i += 7 {
+		c := slices.Clone(data)
+		c[i] ^= 0xff
+		if _, err := DecodeSegment(c); err == nil {
+			t.Fatalf("bit flip at offset %d accepted", i)
+		}
+	}
+	if _, err := DecodeSegment(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated segment accepted")
+	}
+}
+
+func TestSegmentFileAndInfo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg-000003.seg")
+	s := fixtureSegment()
+	if err := WriteSegmentFile(path, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSegmentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ToEpoch != 3 {
+		t.Fatalf("read back = %+v", got)
+	}
+	info, err := ReadSegmentInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FromEpoch != 2 || info.ToEpoch != 3 || info.WALSeq != 9 || info.Rows != 3 || info.Vectors != 2 || info.Bytes <= 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestCloneBatchIsDeep(t *testing.T) {
+	rows := [][]reldb.Value{{reldb.Text("a")}}
+	b := CloneBatch("movies", rows)
+	rows[0][0] = reldb.Text("mutated")
+	if b.Rows[0][0].Str != "a" {
+		t.Fatal("CloneBatch shared row storage with the caller")
+	}
+	if b.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", b.NumRows())
+	}
+}

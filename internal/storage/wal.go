@@ -1,0 +1,321 @@
+// The write-ahead log: an append-only file of CRC-framed committed
+// insert batches. Appends happen after the database commit and before
+// the embedding repair; an insert is acknowledged only after its record
+// is fsynced, so every acknowledged write survives a crash. On boot the
+// tail (records past the manifest's high-water mark) replays through
+// the session's delta-repair path, and a torn final record — a crash
+// mid-append — is detected by its checksum and truncated away.
+
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/retrodb/retro/internal/reldb"
+	"github.com/retrodb/retro/internal/wire"
+)
+
+const (
+	walMagic   = "RETROWAL"
+	walVersion = 1
+
+	walHeaderSize = 8 + 4 + 8 // magic | version u32 | baseSeq u64
+	recHeaderSize = 8 + 4 + 4 // seq u64 | payload len u32 | payload crc u32
+
+	maxRecordLen = 1 << 30 // 1 GiB: far above any real batch
+)
+
+// Record is one recovered WAL entry.
+type Record struct {
+	Seq   uint64
+	Batch Batch
+}
+
+// WALStats counts a log's activity since it was opened or created.
+type WALStats struct {
+	Path      string
+	BaseSeq   uint64 // seq of the last record before this file
+	LastSeq   uint64 // seq of the last appended/recovered record
+	Records   int    // records appended plus recovered
+	Bytes     int64  // current file size
+	Appends   uint64 // Append calls on this handle
+	Syncs     uint64 // fsyncs issued by this handle
+	SyncNanos int64  // cumulative fsync wall time
+	Truncated bool   // a torn tail was cut off at open
+}
+
+// WAL is an open write-ahead log positioned for appends. Append and
+// Sync require external synchronisation (the engine serialises them
+// under its own mutex); Stats may be called concurrently with neither.
+type WAL struct {
+	f    *os.File
+	path string
+	sys  *Sys
+
+	baseSeq   uint64
+	seq       uint64 // last record written or recovered
+	size      int64
+	records   int
+	truncated bool
+
+	syncEvery int
+	sinceSync int
+
+	appends   uint64
+	syncs     uint64
+	syncNanos int64
+}
+
+// CreateWAL creates a fresh log at path whose records continue from
+// baseSeq+1 (the manifest's high-water mark at rotation time). The
+// header is written and synced before the call returns, so a manifest
+// referencing the file never points at a missing or empty-garbage log.
+func CreateWAL(path string, baseSeq uint64, sys *Sys) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr bytes.Buffer
+	w := wire.NewWriter(&hdr)
+	w.Bytes([]byte(walMagic))
+	w.U32(walVersion)
+	w.U64(baseSeq)
+	_ = w.Flush()
+	if _, err := f.Write(hdr.Bytes()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := sys.fsync(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	syncDir(filepath.Dir(path))
+	return &WAL{
+		f: f, path: path, sys: sys,
+		baseSeq: baseSeq, seq: baseSeq,
+		size: walHeaderSize, syncEvery: 1,
+	}, nil
+}
+
+// OpenWAL opens an existing log, scans every record, truncates a torn
+// tail (a partial or corrupt final record from a crash mid-append), and
+// returns the handle positioned for appends plus the intact records in
+// order. Records must be contiguous from baseSeq+1; the first gap or
+// checksum failure ends the intact prefix.
+func OpenWAL(path string, sys *Sys) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path, sys: sys, syncEvery: 1}
+	records, good, err := scanWAL(f, w)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		// Torn tail: cut it off so the next append starts on a clean
+		// record boundary instead of interleaving with garbage.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: truncating torn WAL tail: %w", err)
+		}
+		w.truncated = true
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.size = good
+	w.records = len(records)
+	return w, records, nil
+}
+
+// ScanWALInfo summarises a log read-only (for `retro storage info`):
+// no truncation, no write access.
+func ScanWALInfo(path string) (WALStats, []Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return WALStats{}, nil, err
+	}
+	defer f.Close()
+	w := &WAL{path: path}
+	records, good, err := scanWAL(f, w)
+	if err != nil {
+		return WALStats{}, nil, err
+	}
+	st := WALStats{
+		Path: path, BaseSeq: w.baseSeq, LastSeq: w.seq,
+		Records: len(records), Bytes: good,
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		st.Truncated = true
+		st.Bytes = fi.Size()
+	}
+	return st, records, nil
+}
+
+// scanWAL validates the header and reads the intact record prefix,
+// filling w's baseSeq/seq. It returns the records and the offset just
+// past the last intact record. Header corruption is a hard error (the
+// file is not a WAL); record corruption merely ends the prefix.
+func scanWAL(f *os.File, w *WAL) ([]Record, int64, error) {
+	hdr := make([]byte, walHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, 0, fmt.Errorf("storage: WAL header: %w", err)
+	}
+	r := wire.NewReader(bytes.NewReader(hdr))
+	magic := make([]byte, len(walMagic))
+	r.Bytes(magic)
+	if string(magic) != walMagic {
+		return nil, 0, fmt.Errorf("storage: bad WAL magic %q", magic)
+	}
+	if v := r.U32(); v != walVersion {
+		return nil, 0, fmt.Errorf("storage: unsupported WAL version %d", v)
+	}
+	w.baseSeq = r.U64()
+	w.seq = w.baseSeq
+
+	var records []Record
+	good := int64(walHeaderSize)
+	rec := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, rec); err != nil {
+			break // clean EOF or torn header: prefix ends here
+		}
+		rr := wire.NewReader(bytes.NewReader(rec))
+		seq := rr.U64()
+		n := rr.U32()
+		crc := rr.U32()
+		if seq != w.seq+1 || int64(n) > maxRecordLen {
+			break // gap or nonsense length: treat as corruption
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // bit rot or half-written record
+		}
+		pr := wire.NewReader(bytes.NewReader(payload))
+		b := decodeBatch(pr)
+		if pr.Err() != nil {
+			break // framed length lied about the content
+		}
+		w.seq = seq
+		records = append(records, Record{Seq: seq, Batch: b})
+		good += int64(recHeaderSize) + int64(n)
+	}
+	return records, good, nil
+}
+
+// Append durably logs one committed batch and returns its sequence
+// number. With SyncEvery == 1 (the default) the record is fsynced
+// before Append returns — the acknowledgement barrier. A sync failure
+// leaves the record's durability unknown: the caller must withhold the
+// acknowledgement, and recovery tolerates the record being present or
+// absent.
+func (w *WAL) Append(table string, rows [][]reldb.Value) (uint64, error) {
+	b := cloneBatch(table, rows)
+	var payload bytes.Buffer
+	pw := wire.NewWriter(&payload)
+	encodeBatch(pw, &b)
+	if err := pw.Flush(); err != nil {
+		return 0, err
+	}
+	seq := w.seq + 1
+	var frame bytes.Buffer
+	fw := wire.NewWriter(&frame)
+	fw.U64(seq)
+	fw.U32(uint32(payload.Len()))
+	fw.U32(crc32.ChecksumIEEE(payload.Bytes()))
+	fw.Bytes(payload.Bytes())
+	_ = fw.Flush()
+
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		// Claw back whatever partial frame landed so the file stays
+		// well-formed for the next attempt; if even that fails the torn
+		// record is caught by its checksum on recovery.
+		_ = w.f.Truncate(w.size)
+		_, _ = w.f.Seek(w.size, io.SeekStart)
+		return 0, err
+	}
+	w.seq = seq
+	w.size += int64(frame.Len())
+	w.records++
+	w.appends++
+	w.sinceSync++
+	if w.sinceSync >= w.syncEvery {
+		if err := w.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// Sync flushes pending records to stable storage (group commit when
+// SyncEvery > 1).
+func (w *WAL) Sync() error {
+	start := time.Now()
+	err := w.sys.fsync(w.f)
+	w.syncNanos += time.Since(start).Nanoseconds()
+	w.syncs++
+	if err != nil {
+		return fmt.Errorf("storage: WAL fsync: %w", err)
+	}
+	w.sinceSync = 0
+	return nil
+}
+
+// SetSyncEvery sets the group-commit interval: fsync once every n
+// appends (n <= 1 syncs every append, the durable default). Raising it
+// trades the tail of unacknowledged-but-committed records on crash for
+// fewer fsyncs under bulk load.
+func (w *WAL) SetSyncEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.syncEvery = n
+}
+
+// Seq returns the sequence number of the last record in the log (the
+// base seq when empty).
+func (w *WAL) Seq() uint64 { return w.seq }
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Truncated reports whether open cut off a torn tail.
+func (w *WAL) Truncated() bool { return w.truncated }
+
+// Stats returns activity counters for this handle.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Path: w.path, BaseSeq: w.baseSeq, LastSeq: w.seq,
+		Records: w.records, Bytes: w.size,
+		Appends: w.appends, Syncs: w.syncs, SyncNanos: w.syncNanos,
+		Truncated: w.truncated,
+	}
+}
+
+// Close syncs outstanding records and closes the file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.sinceSync > 0 {
+		err = w.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

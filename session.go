@@ -74,6 +74,14 @@ type Session struct {
 	// seam for forcing repair failures.
 	repairHook func() error
 
+	// walAppend, when set by the storage engine, durably logs each
+	// committed insert batch before the embedding repair runs. It
+	// receives only the committed rows — a BatchError-rejected row is
+	// never logged, so it can never reappear on replay. A failure is
+	// reported as *WALError and marks the session stale: the rows are in
+	// the in-memory database but their durability is unknown.
+	walAppend func(table string, rows [][]Value) error
+
 	// lastRepair describes the most recent maintenance pass. Written by
 	// the repair paths and read by LastRepair; like the rest of the
 	// session it requires external synchronisation (the serving layer
@@ -135,6 +143,19 @@ func (e *RepairError) Error() string {
 
 func (e *RepairError) Unwrap() error { return e.Err }
 
+// WALError reports that rows were committed to the in-memory database
+// but the write-ahead log failed to make them durable: the write must
+// not be acknowledged, and the session is marked stale (the embedding
+// repair was skipped). After a WALError the in-memory state may be
+// ahead of what a restart recovers.
+type WALError struct{ Err error }
+
+func (e *WALError) Error() string {
+	return fmt.Sprintf("retro: rows committed but write-ahead log failed: %v", e.Err)
+}
+
+func (e *WALError) Unwrap() error { return e.Err }
+
 // BatchError reports a batch that failed part-way: rows before Index
 // were committed (and repaired), the row at Index was rejected, and
 // nothing after it was attempted.
@@ -159,6 +180,12 @@ func (s *Session) Insert(table string, row []Value) error {
 	id, err := s.db.Insert(table, row)
 	if err != nil {
 		return err
+	}
+	if s.walAppend != nil {
+		if err := s.walAppend(table, [][]Value{row}); err != nil {
+			s.stale.Store(true)
+			return &WALError{Err: err}
+		}
 	}
 	if err := s.refreshRows(table, []int{id}); err != nil {
 		s.stale.Store(true)
@@ -191,6 +218,17 @@ func (s *Session) InsertBatch(table string, rows [][]Value) error {
 		}
 		rowIDs = append(rowIDs, id)
 	}
+	if s.walAppend != nil && len(rowIDs) > 0 {
+		// Log exactly the committed prefix: a rejected row must never
+		// replay, and rows after it were never attempted.
+		if err := s.walAppend(table, rows[:len(rowIDs)]); err != nil {
+			s.stale.Store(true)
+			if rejected != nil {
+				return &WALError{Err: errors.Join(err, rejected)}
+			}
+			return &WALError{Err: err}
+		}
+	}
 	if err := s.refreshRows(table, rowIDs); err != nil {
 		s.stale.Store(true)
 		if rejected != nil {
@@ -213,6 +251,13 @@ func (s *Session) InsertBatch(table string, rows [][]Value) error {
 // from the delta. A failure after the statement executed is reported as
 // *RepairError.
 func (s *Session) ExecAndRefresh(sql string) error {
+	if s.walAppend != nil {
+		// A SQL statement's row effects are opaque here, so they cannot be
+		// written to the log — after a restart the recovered model would
+		// silently miss them. Storage-backed sessions must insert through
+		// Insert/InsertBatch.
+		return fmt.Errorf("retro: ExecAndRefresh is not supported on a storage-backed session (statements bypass the write-ahead log)")
+	}
 	if _, err := s.db.Exec(sql); err != nil {
 		return err
 	}
@@ -428,8 +473,17 @@ func (s *Session) refreshFull() error {
 }
 
 // replaceModel swaps in a rebuilt model and resets the per-model repair
-// state (the incremental state binds to one problem/store pair).
+// state (the incremental state binds to one problem/store pair). A
+// rebuilt store starts at change epoch 0 with no per-row history; if the
+// old store was further along (a storage engine is checkpointing this
+// session), the epoch is carried over and every row conservatively
+// stamped as changed — the next checkpoint then captures the whole
+// rebuilt vocabulary instead of silently dropping it from the delta.
 func (s *Session) replaceModel(m *Model) {
+	if old := s.model; old != nil && old.store != m.store && m.store.Epoch() < old.store.Epoch() {
+		m.store.SetEpoch(old.store.Epoch())
+		m.store.StampAll()
+	}
 	s.model = m
 	s.incState = nil
 	s.stale.Store(false)

@@ -179,6 +179,15 @@ func ResumeSession(db *DB, base *Embedding, r io.Reader) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return resumeModel(db, base, m)
+}
+
+// resumeModel attaches a snapshot-loaded model to a database and base
+// embedding and returns the live session. The storage engine uses it
+// directly: recovery loads the base snapshot, applies the delta segment
+// chain to the database and store, and only then re-attaches — so the
+// vocabulary check runs against the fully recovered state.
+func resumeModel(db *DB, base *Embedding, m *Model) (*Session, error) {
 	if base.Dim() != m.store.Dim() {
 		return nil, fmt.Errorf("retro: snapshot dim %d does not match base embedding dim %d", m.store.Dim(), base.Dim())
 	}
