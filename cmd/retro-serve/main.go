@@ -75,6 +75,7 @@ import (
 
 	retro "github.com/retrodb/retro"
 	"github.com/retrodb/retro/internal/dataset"
+	"github.com/retrodb/retro/internal/repl"
 	"github.com/retrodb/retro/internal/server"
 )
 
@@ -128,6 +129,10 @@ func run(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable storage directory (WAL + checkpoints + manifest): trains fresh when empty, recovers otherwise; excludes -snapshot/-save-snapshot")
 	checkpointInterval := fs.Duration("checkpoint-interval", 0, "fold the WAL into a delta checkpoint this often (0 = only at shutdown; requires -data-dir)")
 	walSyncEvery := fs.Int("wal-sync-every", 1, "fsync the WAL every N record appends (1 = group size one: every insert durable before its ack)")
+	replicateFrom := fs.String("replicate-from", "", "primary base URL, e.g. http://primary:8080: boot as a read replica — sync the primary's storage into -data-dir, tail its WAL, reject writes (requires -data-dir)")
+	maxReplicaLag := fs.Duration("max-replica-lag", 30*time.Second, "replica /readyz reports not-ready after this long without being caught up to the primary (negative = never gate on time)")
+	maxReplicaLagSeqs := fs.Uint64("max-replica-lag-seqs", 0, "replica /readyz additionally reports not-ready when this many WAL records behind (0 = no seq gate)")
+	maxBodyBytes := fs.Int64("max-body-bytes", server.DefaultMaxBodyBytes, "request-body cap on /v1/insert and /v1/neighbors/batch, in bytes (negative = unlimited)")
 	adminAddr := fs.String("admin", "", "admin listen address for /metrics, /debug/slowlog, /readyz and pprof, e.g. localhost:6060 (empty = disabled)")
 	pprofAddr := fs.String("pprof", "", "deprecated alias for -admin")
 	slowQuery := fs.Duration("slow-query", 0, "slow-query log threshold (0 = default 100ms; retune live via /debug/slowlog?threshold=)")
@@ -156,6 +161,15 @@ func run(args []string) error {
 	if *checkpointInterval < 0 {
 		return fmt.Errorf("-checkpoint-interval must not be negative")
 	}
+	if *replicateFrom != "" && *dataDir == "" {
+		return fmt.Errorf("-replicate-from requires -data-dir (the replica mirrors the primary's storage there)")
+	}
+
+	// The signal context is established before boot: a replica's initial
+	// sync can block on an unreachable primary, and Ctrl-C must interrupt
+	// it the same way it interrupts serving.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	bootStart := time.Now()
 	db, emb, err := dataset.LoadDir(*data)
@@ -187,8 +201,49 @@ func run(args []string) error {
 
 	var sess *retro.Session
 	var engine *retro.StorageEngine
+	var follower *repl.Follower
 	origin := &server.Origin{Source: "trained"}
-	if *dataDir != "" {
+	if *replicateFrom != "" {
+		cfg, err := buildCfg()
+		if err != nil {
+			return err
+		}
+		// The first (re-)sync consumes the dataset already loaded above;
+		// later re-syncs reload it fresh — recovery replays segment rows
+		// into the database it is given, so a copy that already absorbed a
+		// replay cannot be reused.
+		usedPreloaded := false
+		loadFresh := func() (*retro.DB, *retro.Embedding, error) {
+			if !usedPreloaded {
+				usedPreloaded = true
+				return db, emb, nil
+			}
+			return dataset.LoadDir(*data)
+		}
+		follower, err = repl.NewFollower(repl.Config{
+			Primary: *replicateFrom,
+			Dir:     *dataDir,
+			Dataset: loadFresh,
+			Storage: retro.StorageOptions{Config: cfg, SyncEvery: *walSyncEvery},
+			MaxLag:  *maxReplicaLag, MaxLagSeqs: *maxReplicaLagSeqs,
+			Logger: log,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		log.Info("bootstrapping replica", "primary", *replicateFrom, "dir", *dataDir)
+		if err := follower.Bootstrap(ctx); err != nil {
+			return fmt.Errorf("replica bootstrap: %w", err)
+		}
+		engine = follower.Engine()
+		sess = engine.Session()
+		origin = &server.Origin{Source: "replica", Path: *dataDir}
+		log.Info("replica ready",
+			"primary", *replicateFrom, "applied_seq", engine.WALSeq(),
+			"values", sess.Model().NumValues(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	} else if *dataDir != "" {
 		cfg, err := buildCfg()
 		if err != nil {
 			return err
@@ -303,19 +358,50 @@ func run(args []string) error {
 			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(sess, server.Config{
+	srvCfg := server.Config{
 		CacheSize:          *cacheSize,
 		Origin:             origin,
 		Logger:             log,
 		SlowQueryThreshold: *slowQuery,
 		Version:            version,
 		Engine:             engine,
-	})
+		MaxBodyBytes:       *maxBodyBytes,
+	}
+	if follower != nil {
+		srvCfg.ReadOnly = true
+		srvCfg.Replica = follower.Status
+	}
+	srv := server.New(sess, srvCfg)
+	followerDone := make(chan struct{})
+	if follower != nil {
+		// Replicated batches flow through the server's write path (commit,
+		// repair, view publish); a re-sync hands the server a replacement
+		// engine the same way, with the repair budget re-applied to the
+		// fresh session.
+		follower.Attach(srv.ApplyReplicated, func(eng *retro.StorageEngine) {
+			eng.Session().RepairBudget = *repairBudget
+			srv.ReplaceEngine(eng)
+		})
+		go func() {
+			follower.Run(ctx)
+			close(followerDone)
+		}()
+	} else {
+		close(followerDone)
+	}
 	bootDur := time.Since(bootStart)
 	srv.Metrics().GaugeFunc("retro_boot_duration_seconds",
 		"Time from process start to the server being constructed (load + train/resume + warm).",
 		"", bootDur.Seconds)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds how long an idle connection may dribble
+	// headers (slowloris); IdleTimeout reaps parked keep-alives. No
+	// ReadTimeout/WriteTimeout: replication long-polls legitimately hold
+	// a response open for tens of seconds.
+	httpSrv := &http.Server{
+		Addr: *addr, Handler: srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	// The operator surface lives on its own admin listener, never on the
 	// serving address: pprof handlers can hold the CPU for seconds and
@@ -331,15 +417,16 @@ func run(args []string) error {
 		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		adminSrv = &http.Server{Addr: *adminAddr, Handler: adminMux}
+		adminSrv = &http.Server{
+			Addr: *adminAddr, Handler: adminMux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
 		go func() {
 			log.Info("admin listening", "addr", *adminAddr)
 			adminErr <- adminSrv.ListenAndServe()
 		}()
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	// The checkpoint loop bounds replay time after a crash: each tick
 	// folds the WAL's tail into an O(delta) segment under the server's
@@ -407,11 +494,16 @@ func run(args []string) error {
 			shutdownErr = fmt.Errorf("admin listener: %w", err)
 		}
 	}
+	// A replica's tail loop exits once the signal context is cancelled;
+	// join it so no apply races the storage teardown below.
+	<-followerDone
 	// With the listeners drained no writer is in flight: take a final
 	// checkpoint so the next boot replays an empty log, then release the
 	// WAL. Failures leave the log as the source of truth — recovery
-	// replays it — so they are reported but cost no durability.
-	if engine != nil {
+	// replays it — so they are reported but cost no durability. The
+	// engine is re-resolved through the server: a replica re-sync may
+	// have swapped in a successor since boot.
+	if cur := srv.Engine(); cur != nil {
 		if st, err := srv.Checkpoint(); err != nil {
 			log.Error("final checkpoint failed (the WAL remains authoritative)", "error", err)
 			if shutdownErr == nil {
@@ -421,7 +513,7 @@ func run(args []string) error {
 			log.Info("final checkpoint", "epoch", st.Epoch, "rows", st.Rows,
 				"elapsed", st.Duration.Round(time.Millisecond))
 		}
-		if err := engine.Close(); err != nil && shutdownErr == nil {
+		if err := cur.Close(); err != nil && shutdownErr == nil {
 			shutdownErr = fmt.Errorf("closing storage: %w", err)
 		}
 	}

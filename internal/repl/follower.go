@@ -1,0 +1,634 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/storage"
+)
+
+// Follower lifecycle defaults; all overridable through Config.
+const (
+	DefaultMaxLag     = 30 * time.Second
+	DefaultBackoffMin = 100 * time.Millisecond
+	DefaultBackoffMax = 5 * time.Second
+)
+
+// Follower states, exported through Status and /v1/stats.
+const (
+	StateSyncing      = "syncing"      // downloading the primary's storage directory
+	StateTailing      = "tailing"      // connected, applying the WAL stream
+	StateDisconnected = "disconnected" // primary unreachable, backing off
+	StateResyncing    = "resyncing"    // resume seq compacted away; full re-sync
+)
+
+// Sentinel failures of one tail attempt that demand a full re-sync
+// rather than a reconnect-and-resume.
+var (
+	// errSeqCompacted: the primary no longer retains records past our
+	// applied seq (we sat disconnected across its compaction).
+	errSeqCompacted = errors.New("repl: resume seq compacted away on primary")
+	// errDiverged: the stream carried a seq we did not expect, or a batch
+	// failed to apply — local state can no longer be trusted to be a
+	// prefix of the primary's history.
+	errDiverged = errors.New("repl: follower state diverged from primary")
+)
+
+// Config configures a Follower.
+type Config struct {
+	// Primary is the base URL of the primary's serving address, e.g.
+	// "http://primary:8080". The /repl/v1/* endpoints are resolved under
+	// it.
+	Primary string
+	// Dir is the local storage directory the follower mirrors into.
+	Dir string
+	// Dataset loads a fresh copy of the dataset the primary was built
+	// from. Recovery replays segment rows INTO this database, so every
+	// (re-)sync needs an unmodified copy — reusing an already-replayed
+	// one would double-insert.
+	Dataset func() (*retro.DB, *retro.Embedding, error)
+	// Storage is passed through to retro.OpenStorage.
+	Storage retro.StorageOptions
+
+	// MaxLag gates readiness: once caught up, the follower reports
+	// not-ready when it has gone this long without being caught up to
+	// the primary's high-water mark. 0 selects DefaultMaxLag; negative
+	// disables the time gate (a follower that lost its primary keeps
+	// serving reads indefinitely).
+	MaxLag time.Duration
+	// MaxLagSeqs additionally gates readiness on the number of records
+	// the follower is behind. 0 disables the seq gate.
+	MaxLagSeqs uint64
+
+	// PollWait is the long-poll duration requested from the primary.
+	// 0 selects DefaultPollWait.
+	PollWait time.Duration
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff. Zero values select the defaults.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+
+	// Client is the HTTP client used for all primary traffic; nil builds
+	// one with no global timeout (long-polls outlive any sane timeout;
+	// cancellation is per-request via context).
+	Client *http.Client
+	// Logger receives lifecycle events; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// Status is a point-in-time snapshot of the follower, the input to the
+// /readyz lag policy and the replication section of /v1/stats.
+type Status struct {
+	State        string  `json:"state"`
+	Primary      string  `json:"primary"`
+	Connected    bool    `json:"connected"`
+	AppliedSeq   uint64  `json:"applied_seq"`
+	PrimarySeq   uint64  `json:"primary_seq"`
+	LagSeqs      uint64  `json:"lag_seqs"`
+	LagSeconds   float64 `json:"lag_seconds"`
+	Resyncs      uint64  `json:"resyncs"`
+	CaughtUpOnce bool    `json:"caught_up_once"`
+	Ready        bool    `json:"ready"`
+	Reason       string  `json:"reason,omitempty"`
+	LastError    string  `json:"last_error,omitempty"`
+}
+
+// Follower mirrors a primary: Bootstrap establishes a local storage
+// directory (recovering a previous one or downloading fresh), Run tails
+// the WAL stream until the context is cancelled. All state needed by the
+// readiness policy is behind one mutex and exposed via Status.
+type Follower struct {
+	cfg  Config
+	log  *slog.Logger
+	rng  *rand.Rand
+	seed sync.Mutex // guards rng (Run goroutine + nothing else today, but cheap)
+
+	// apply pushes one replicated batch through the serving write path
+	// (insert + delta repair + view publish). Set by Attach; defaults to
+	// the engine's session directly.
+	apply func(table string, rows [][]retro.Value) error
+	// swap installs a replacement engine after a re-sync (the serving
+	// layer atomically swaps its session/engine pointers). Optional.
+	swap func(*retro.StorageEngine)
+
+	mu           sync.Mutex
+	engine       *retro.StorageEngine
+	state        string
+	connected    bool
+	appliedSeq   uint64
+	primarySeq   uint64
+	lastCaughtUp time.Time
+	caughtUpOnce bool
+	resyncs      uint64
+	lastErr      error
+}
+
+// NewFollower validates the config and fills defaults. Call Bootstrap
+// before Run.
+func NewFollower(cfg Config) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("repl: Config.Primary is required")
+	}
+	if _, err := url.Parse(cfg.Primary); err != nil {
+		return nil, fmt.Errorf("repl: invalid primary URL: %w", err)
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("repl: Config.Dir is required")
+	}
+	if cfg.Dataset == nil {
+		return nil, errors.New("repl: Config.Dataset is required")
+	}
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	if cfg.MaxLag == 0 {
+		cfg.MaxLag = DefaultMaxLag
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultPollWait
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = DefaultBackoffMin
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	f := &Follower{
+		cfg:   cfg,
+		log:   log,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		state: StateSyncing,
+	}
+	f.apply = f.applyDefault
+	return f, nil
+}
+
+// Attach overrides the batch-apply and engine-swap hooks. The serving
+// layer points apply at its replicated-write path (which also publishes
+// views) and swap at its engine-replacement; either may be nil to keep
+// the default (apply straight through the session; no swap notification).
+func (f *Follower) Attach(apply func(table string, rows [][]retro.Value) error, swap func(*retro.StorageEngine)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if apply != nil {
+		f.apply = apply
+	}
+	f.swap = swap
+}
+
+// Engine returns the follower's current storage engine (replaced on
+// re-sync).
+func (f *Follower) Engine() *retro.StorageEngine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.engine
+}
+
+func (f *Follower) applyDefault(table string, rows [][]retro.Value) error {
+	eng := f.Engine()
+	if eng == nil {
+		return errors.New("repl: no engine to apply to")
+	}
+	return eng.Session().InsertBatch(table, rows)
+}
+
+// Status reports the follower's replication state and applies the
+// readiness policy:
+//
+//   - never caught up since boot → not ready (still syncing);
+//   - lag_seconds exceeds MaxLag (when enabled) → not ready;
+//   - lag_seqs exceeds MaxLagSeqs (when enabled) → not ready;
+//   - otherwise ready — including while the primary is down, as long as
+//     the lag gates hold: a replica's job is serving reads through the
+//     primary's failure, not mirroring its liveness.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Status{
+		State:        f.state,
+		Primary:      f.cfg.Primary,
+		Connected:    f.connected,
+		AppliedSeq:   f.appliedSeq,
+		PrimarySeq:   f.primarySeq,
+		Resyncs:      f.resyncs,
+		CaughtUpOnce: f.caughtUpOnce,
+	}
+	if f.lastErr != nil {
+		s.LastError = f.lastErr.Error()
+	}
+	if f.primarySeq > f.appliedSeq {
+		s.LagSeqs = f.primarySeq - f.appliedSeq
+	}
+	// Time lag: zero while connected and fully applied; otherwise the
+	// time since we were last known caught up. While disconnected the
+	// primary's high-water mark is unobservable, so wall-clock since the
+	// last caught-up moment is the honest bound on staleness.
+	caughtUpNow := f.connected && f.caughtUpOnce && s.LagSeqs == 0
+	if f.caughtUpOnce && !caughtUpNow {
+		s.LagSeconds = time.Since(f.lastCaughtUp).Seconds()
+	}
+	switch {
+	case !f.caughtUpOnce:
+		s.Reason = "replica has not caught up to the primary since boot"
+	case f.cfg.MaxLag > 0 && s.LagSeconds > f.cfg.MaxLag.Seconds():
+		s.Reason = fmt.Sprintf("replication lag %.1fs exceeds max %s", s.LagSeconds, f.cfg.MaxLag)
+	case f.cfg.MaxLagSeqs > 0 && s.LagSeqs > f.cfg.MaxLagSeqs:
+		s.Reason = fmt.Sprintf("replica is %d records behind (max %d)", s.LagSeqs, f.cfg.MaxLagSeqs)
+	default:
+		s.Ready = true
+	}
+	return s
+}
+
+// Bootstrap establishes the follower's local storage: a directory with a
+// valid manifest is recovered exactly like a local restart (then Run
+// resumes tailing from its own WAL seq — exactly-once, because seqs are
+// aligned with the primary's); anything else falls back to a full sync,
+// retried with backoff until it succeeds or ctx ends.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	if _, err := storage.ReadManifest(f.cfg.Dir); err == nil {
+		eng, rerr := f.openLocal()
+		if rerr == nil {
+			f.installEngine(eng)
+			f.log.Info("replica recovered local storage", "dir", f.cfg.Dir, "applied_seq", eng.WALSeq())
+			return nil
+		}
+		f.log.Warn("replica local recovery failed; falling back to full sync", "error", rerr)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		f.log.Warn("replica manifest unreadable; falling back to full sync", "error", err)
+	}
+
+	backoff := f.cfg.BackoffMin
+	for {
+		err := f.fullSync(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f.setError(err)
+		f.log.Warn("replica full sync failed; retrying", "error", err, "backoff", backoff)
+		if !f.sleep(ctx, backoff) {
+			return ctx.Err()
+		}
+		backoff = f.nextBackoff(backoff)
+	}
+}
+
+func (f *Follower) openLocal() (*retro.StorageEngine, error) {
+	db, emb, err := f.cfg.Dataset()
+	if err != nil {
+		return nil, fmt.Errorf("repl: loading dataset: %w", err)
+	}
+	return retro.OpenStorage(f.cfg.Dir, db, emb, f.cfg.Storage)
+}
+
+func (f *Follower) installEngine(eng *retro.StorageEngine) {
+	f.mu.Lock()
+	f.engine = eng
+	f.appliedSeq = eng.WALSeq()
+	f.state = StateTailing
+	swap := f.swap
+	f.mu.Unlock()
+	if swap != nil {
+		swap(eng)
+	}
+}
+
+// Run tails the primary until ctx ends: long-poll, apply, repeat.
+// Transport failures back off with jitter and resume from the follower's
+// own WAL seq; a compacted resume point or divergent stream triggers a
+// full re-sync. Run never returns an error — a replica's failure mode is
+// lag (visible in Status), not termination.
+func (f *Follower) Run(ctx context.Context) {
+	backoff := f.cfg.BackoffMin
+	for ctx.Err() == nil {
+		err := f.tailOnce(ctx)
+		switch {
+		case err == nil:
+			backoff = f.cfg.BackoffMin
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, errSeqCompacted) || errors.Is(err, errDiverged):
+			f.setState(StateResyncing)
+			f.setError(err)
+			f.log.Warn("replica falling back to full re-sync", "cause", err)
+			f.mu.Lock()
+			f.resyncs++
+			f.mu.Unlock()
+			if serr := f.fullSync(ctx); serr != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				f.setError(serr)
+				f.log.Warn("replica re-sync failed; backing off", "error", serr, "backoff", backoff)
+				if !f.sleep(ctx, backoff) {
+					return
+				}
+				backoff = f.nextBackoff(backoff)
+			} else {
+				backoff = f.cfg.BackoffMin
+			}
+		default:
+			f.setDisconnected(err)
+			if !f.sleep(ctx, backoff) {
+				return
+			}
+			backoff = f.nextBackoff(backoff)
+		}
+	}
+}
+
+// tailOnce performs one long-poll round trip and applies its records.
+// nil means progress (records applied, or a clean caught-up heartbeat);
+// errSeqCompacted/errDiverged demand a re-sync; anything else is a
+// transient transport failure.
+func (f *Follower) tailOnce(ctx context.Context) error {
+	f.mu.Lock()
+	from := f.appliedSeq
+	apply := f.apply
+	f.mu.Unlock()
+	u := fmt.Sprintf("%s/repl/v1/wal?from=%d&wait=%s", f.cfg.Primary, from, f.cfg.PollWait)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return errSeqCompacted
+	default:
+		return fmt.Errorf("repl: primary answered %s: %s", resp.Status, readErrorEnvelope(resp.Body))
+	}
+	lastSeq, recs, err := storage.ReadStream(resp.Body)
+	if err != nil {
+		// Corrupt or truncated stream: drop it and re-poll; nothing was
+		// applied (ReadStream is all-or-nothing).
+		return fmt.Errorf("repl: reading stream: %w", err)
+	}
+	for _, rec := range recs {
+		f.mu.Lock()
+		want := f.appliedSeq + 1
+		f.mu.Unlock()
+		if rec.Seq != want {
+			return fmt.Errorf("%w: stream carried seq %d, expected %d", errDiverged, rec.Seq, want)
+		}
+		if err := apply(rec.Batch.Table, rec.Batch.Rows); err != nil {
+			var repair *retro.RepairError
+			if errors.As(err, &repair) {
+				// Committed and logged; only the incremental repair went
+				// stale. The next applied batch full-Resolves — same
+				// self-healing contract as a local write.
+				f.log.Warn("replicated batch committed with stale repair", "seq", rec.Seq, "error", err)
+			} else {
+				return fmt.Errorf("%w: applying seq %d: %v", errDiverged, rec.Seq, err)
+			}
+		}
+		f.mu.Lock()
+		f.appliedSeq = rec.Seq
+		f.primarySeq = max(f.primarySeq, rec.Seq)
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.connected = true
+	f.state = StateTailing
+	f.lastErr = nil
+	f.primarySeq = max(f.primarySeq, lastSeq)
+	if f.appliedSeq >= lastSeq {
+		f.lastCaughtUp = time.Now()
+		f.caughtUpOnce = true
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// fullSync discards local storage and rebuilds it from the primary:
+//
+//  1. fetch the primary's manifest;
+//  2. close the old engine and delete the local MANIFEST FIRST — from
+//     here until step 5 the directory deliberately has no manifest, so a
+//     crash at any point leaves a state the next boot resolves by doing
+//     another clean full sync (never a manifest pointing at mixed
+//     local/primary file contents, which share epoch-derived names);
+//  3. delete stale data files and download the base + segments;
+//  4. create a fresh WAL whose base seq is the manifest's high-water
+//     mark (the live tail arrives over the stream, not as a file);
+//  5. write the manifest — the commit point — then recover from the
+//     directory exactly as a local restart would, against a fresh
+//     dataset copy.
+func (f *Follower) fullSync(ctx context.Context) error {
+	f.setState(StateSyncing)
+	man, err := f.fetchManifest(ctx)
+	if err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	old := f.engine
+	f.engine = nil
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if err := os.MkdirAll(f.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(f.cfg.Dir, storage.ManifestName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("repl: clearing local manifest: %w", err)
+	}
+	if err := f.clearDataFiles(); err != nil {
+		return err
+	}
+
+	for _, name := range append([]string{man.Base}, man.Segments...) {
+		if err := f.downloadFile(ctx, name); err != nil {
+			return err
+		}
+	}
+	wal, err := storage.CreateWAL(filepath.Join(f.cfg.Dir, man.WAL), man.WALSeq, f.cfg.Storage.Sys)
+	if err != nil {
+		return fmt.Errorf("repl: creating WAL: %w", err)
+	}
+	if err := wal.Close(); err != nil {
+		return err
+	}
+	local := &storage.Manifest{Epoch: man.Epoch, WALSeq: man.WALSeq, Base: man.Base, WAL: man.WAL, Segments: man.Segments}
+	if err := storage.WriteManifest(f.cfg.Dir, local, f.cfg.Storage.Sys); err != nil {
+		return fmt.Errorf("repl: writing manifest: %w", err)
+	}
+
+	eng, err := f.openLocal()
+	if err != nil {
+		return fmt.Errorf("repl: recovering synced directory: %w", err)
+	}
+	f.installEngine(eng)
+	f.mu.Lock()
+	f.primarySeq = max(f.primarySeq, man.LastSeq)
+	f.mu.Unlock()
+	f.log.Info("replica full sync complete",
+		"epoch", man.Epoch, "segments", len(man.Segments), "applied_seq", eng.WALSeq())
+	return nil
+}
+
+// clearDataFiles removes stale snapshot/segment/WAL files before a
+// download. Names are epoch-derived on both sides, so a leftover local
+// file could collide with (and a crash could interleave with) a primary
+// file of the same name; starting from an empty directory removes the
+// ambiguity. Unknown files are left alone.
+func (f *Follower) clearDataFiles() error {
+	entries, err := os.ReadDir(f.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".snap", ".seg", ".wal", ".tmp":
+			if err := os.Remove(filepath.Join(f.cfg.Dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("repl: clearing %s: %w", e.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Follower) fetchManifest(ctx context.Context) (*manifestResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+"/repl/v1/manifest", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("repl: manifest fetch answered %s: %s", resp.Status, readErrorEnvelope(resp.Body))
+	}
+	var man manifestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		return nil, fmt.Errorf("repl: decoding manifest: %w", err)
+	}
+	if man.Base == "" || man.WAL == "" {
+		return nil, errors.New("repl: primary manifest names no base or WAL")
+	}
+	return &man, nil
+}
+
+func (f *Follower) downloadFile(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.cfg.Primary+"/repl/v1/file?name="+url.QueryEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Includes the checkpoint race: the manifest we read named a file
+		// a compaction just retired. The caller retries the whole sync
+		// against the fresh manifest.
+		return fmt.Errorf("repl: downloading %s answered %s: %s", name, resp.Status, readErrorEnvelope(resp.Body))
+	}
+	return storage.WriteFileAtomic(filepath.Join(f.cfg.Dir, name), f.cfg.Storage.Sys, func(w io.Writer) error {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	})
+}
+
+// readErrorEnvelope extracts code+message from a structured error
+// response body, falling back to the raw text.
+func readErrorEnvelope(r io.Reader) string {
+	body, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil || len(body) == 0 {
+		return "(no body)"
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		return env.Error.Code + ": " + env.Error.Message
+	}
+	return strings.TrimSpace(string(body))
+}
+
+func (f *Follower) setState(state string) {
+	f.mu.Lock()
+	f.state = state
+	f.connected = false
+	f.mu.Unlock()
+}
+
+func (f *Follower) setDisconnected(err error) {
+	f.mu.Lock()
+	f.state = StateDisconnected
+	f.connected = false
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+func (f *Follower) setError(err error) {
+	f.mu.Lock()
+	f.lastErr = err
+	f.mu.Unlock()
+}
+
+// nextBackoff doubles up to the cap.
+func (f *Follower) nextBackoff(cur time.Duration) time.Duration {
+	next := cur * 2
+	if next > f.cfg.BackoffMax {
+		next = f.cfg.BackoffMax
+	}
+	return next
+}
+
+// sleep waits for d plus up to 50% jitter (decorrelating a fleet of
+// followers reconnecting to a rebooted primary), or until ctx ends.
+// Reports whether the wait completed (false: ctx cancelled).
+func (f *Follower) sleep(ctx context.Context, d time.Duration) bool {
+	f.seed.Lock()
+	jitter := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
+	f.seed.Unlock()
+	timer := time.NewTimer(d + jitter)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,236 @@
+// Package repl implements streaming WAL replication between retro-serve
+// processes: a primary exposes its storage engine's durable state over
+// HTTP, and a follower bootstraps a byte-identical local copy, recovers
+// from it exactly as a local restart would, then tails the primary's
+// write-ahead log — applying each committed batch through the normal
+// delta-repair insert path and republishing serving views, so reads
+// survive the primary dying.
+//
+// The protocol is three endpoints, all addressed by WAL sequence number:
+//
+//	GET /repl/v1/manifest         current manifest + WAL high-water mark (JSON)
+//	GET /repl/v1/file?name=N      one manifest-referenced file (base or segment)
+//	GET /repl/v1/wal?from=S&wait=D long-poll stream of records with seq > S
+//
+// The stream endpoint answers immediately when records past S are
+// retained, blocks up to `wait` for the next durable append otherwise,
+// and returns 410 Gone with code "seq_compacted" when S has been pruned
+// from the primary's replication window (the follower sat disconnected
+// across checkpoints or a compaction) — the follower's cue to fall back
+// to a full re-sync. Record frames on the wire are CRC-checked exactly
+// like on-disk WAL records.
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/storage"
+)
+
+const (
+	// DefaultPollWait is how long the stream endpoint blocks for new
+	// records when the follower is caught up (and the default a follower
+	// requests).
+	DefaultPollWait = 25 * time.Second
+	// MaxPollWait caps the wait a client may request, keeping one
+	// long-poll under common LB/proxy idle timeouts.
+	MaxPollWait = 55 * time.Second
+	// maxStreamBatch bounds records per stream response; a far-behind
+	// follower catches up over several round trips.
+	maxStreamBatch = 512
+)
+
+// Error codes carried in the {"error":{"code","message"}} envelope, the
+// same shape the serving API uses.
+const (
+	codeSeqCompacted  = "seq_compacted"
+	codeInvalidArg    = "invalid_argument"
+	codeNotFound      = "not_found"
+	codeUnavailable   = "replication_unavailable"
+	codeMethodNotAllo = "method_not_allowed"
+)
+
+// manifestResponse is the /repl/v1/manifest payload.
+type manifestResponse struct {
+	Epoch    uint64   `json:"epoch"`
+	WALSeq   uint64   `json:"wal_seq"`
+	Base     string   `json:"base"`
+	WAL      string   `json:"wal"`
+	Segments []string `json:"segments"`
+	LastSeq  uint64   `json:"last_seq"`
+}
+
+// PrimaryStats counts replication traffic served by this process.
+type PrimaryStats struct {
+	StreamRequests uint64 // /repl/v1/wal requests answered
+	StreamRecords  uint64 // records shipped over all streams
+	FileRequests   uint64 // base/segment downloads served
+	Resyncs        uint64 // 410 responses (followers told to re-sync)
+}
+
+// Primary serves the replication API off a storage engine. The engine is
+// resolved per request through a getter so a server whose engine can be
+// swapped (a follower serving cascaded replication after a re-sync)
+// always streams from the live one.
+type Primary struct {
+	engine func() *retro.StorageEngine
+	log    *slog.Logger
+
+	streamRequests atomic.Uint64
+	streamRecords  atomic.Uint64
+	fileRequests   atomic.Uint64
+	resyncs        atomic.Uint64
+}
+
+// NewPrimary builds the replication handler. engine may return nil (no
+// storage backing yet), which the handler reports as 503.
+func NewPrimary(engine func() *retro.StorageEngine, log *slog.Logger) *Primary {
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Primary{engine: engine, log: log}
+}
+
+// Stats returns traffic counters for this handler.
+func (p *Primary) Stats() PrimaryStats {
+	return PrimaryStats{
+		StreamRequests: p.streamRequests.Load(),
+		StreamRecords:  p.streamRecords.Load(),
+		FileRequests:   p.fileRequests.Load(),
+		Resyncs:        p.resyncs.Load(),
+	}
+}
+
+func writeReplError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+func (p *Primary) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeReplError(w, http.StatusMethodNotAllowed, codeMethodNotAllo, "replication endpoints are GET-only")
+		return
+	}
+	eng := p.engine()
+	if eng == nil {
+		writeReplError(w, http.StatusServiceUnavailable, codeUnavailable, "this server has no storage engine to replicate from")
+		return
+	}
+	switch r.URL.Path {
+	case "/repl/v1/manifest":
+		p.handleManifest(w, eng)
+	case "/repl/v1/file":
+		p.handleFile(w, r, eng)
+	case "/repl/v1/wal":
+		p.handleWAL(w, r, eng)
+	default:
+		writeReplError(w, http.StatusNotFound, codeNotFound, "unknown replication endpoint "+r.URL.Path)
+	}
+}
+
+func (p *Primary) handleManifest(w http.ResponseWriter, eng *retro.StorageEngine) {
+	man, lastSeq := eng.ReplicationState()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(manifestResponse{
+		Epoch: man.Epoch, WALSeq: man.WALSeq,
+		Base: man.Base, WAL: man.WAL, Segments: man.Segments,
+		LastSeq: lastSeq,
+	})
+}
+
+func (p *Primary) handleFile(w http.ResponseWriter, r *http.Request, eng *retro.StorageEngine) {
+	name := r.URL.Query().Get("name")
+	if name == "" || name != filepath.Base(name) {
+		writeReplError(w, http.StatusBadRequest, codeInvalidArg, "name must be a bare manifest-referenced file name")
+		return
+	}
+	f, err := eng.OpenReplicaFile(name)
+	if err != nil {
+		// Either never referenced, or a checkpoint retired it between the
+		// follower reading the manifest and asking for the file; the
+		// follower refetches the manifest and retries.
+		writeReplError(w, http.StatusNotFound, codeNotFound, err.Error())
+		return
+	}
+	defer f.Close()
+	p.fileRequests.Add(1)
+	if fi, err := f.Stat(); err == nil {
+		w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := io.Copy(w, f); err != nil {
+		p.log.Debug("replica file transfer aborted", "name", name, "error", err)
+	}
+}
+
+func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request, eng *retro.StorageEngine) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeReplError(w, http.StatusBadRequest, codeInvalidArg, "from must be a WAL sequence number")
+		return
+	}
+	wait := DefaultPollWait
+	if s := q.Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			writeReplError(w, http.StatusBadRequest, codeInvalidArg, "wait must be a non-negative duration")
+			return
+		}
+		wait = min(d, MaxPollWait)
+	}
+	p.streamRequests.Add(1)
+
+	deadline := time.Now().Add(wait)
+	var recs []storage.Record
+	var lastSeq uint64
+	for {
+		// Arm the notification BEFORE checking for records: an append
+		// between the check and the wait closes the channel we already
+		// hold, so the wake-up cannot be missed.
+		notify := eng.WALNotify()
+		var ok bool
+		recs, lastSeq, ok = eng.RecordsSince(from, maxStreamBatch)
+		if !ok {
+			p.resyncs.Add(1)
+			writeReplError(w, http.StatusGone, codeSeqCompacted,
+				fmt.Sprintf("records after seq %d are no longer retained (window starts past it); run a full re-sync", from))
+			return
+		}
+		if len(recs) > 0 {
+			break
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break // caught-up heartbeat: empty stream carrying lastSeq
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := storage.WriteStream(w, lastSeq, recs); err != nil {
+		p.log.Debug("replication stream aborted", "from", from, "error", err)
+		return
+	}
+	p.streamRecords.Add(uint64(len(recs)))
+}

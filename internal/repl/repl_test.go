@@ -1,0 +1,584 @@
+// Integration and chaos tests for streaming WAL replication. The tests
+// run a real primary (storage engine + serving HTTP stack on a TCP
+// listener whose port survives restarts) and a real follower (Bootstrap
+// + Run against that URL, applying through the server's replicated-write
+// path), then kill processes the way kill -9 does: the listener and
+// every connection die instantly and the storage engine is ABANDONED
+// without Close — no flush, no final checkpoint — exactly the state a
+// SIGKILL leaves. Recovery must be a pure function of the directory.
+package repl_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+	"github.com/retrodb/retro/internal/repl"
+	"github.com/retrodb/retro/internal/server"
+	"github.com/retrodb/retro/internal/storage"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// freshDataset loads a new copy of the deterministic toy world — the
+// same one on every call, which is the replication contract: primary and
+// follower boot from identical datasets.
+func freshDataset() (*retro.DB, *retro.Embedding, error) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 40, Dim: 12, Seed: 1})
+	return w.DB, w.Embedding, nil
+}
+
+func testStorageOpts(extra func(*retro.StorageOptions)) retro.StorageOptions {
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	opts := retro.StorageOptions{Config: cfg}
+	if extra != nil {
+		extra(&opts)
+	}
+	return opts
+}
+
+// primary is one bootable primary process: engine + serving stack on a
+// stable address.
+type primary struct {
+	t    *testing.T
+	dir  string
+	opts retro.StorageOptions
+	addr string
+
+	eng *retro.StorageEngine
+	srv *server.Server
+	hs  *http.Server
+}
+
+func startPrimary(t *testing.T, dir string, opts retro.StorageOptions) *primary {
+	t.Helper()
+	p := &primary{t: t, dir: dir, opts: opts}
+	p.boot("127.0.0.1:0")
+	return p
+}
+
+func (p *primary) boot(addr string) {
+	p.t.Helper()
+	db, emb, err := freshDataset()
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	p.eng, err = retro.OpenStorage(p.dir, db, emb, p.opts)
+	if err != nil {
+		p.t.Fatalf("opening primary storage: %v", err)
+	}
+	p.srv = server.New(p.eng.Session(), server.Config{
+		Engine: p.eng, CacheSize: -1, Logger: quietLogger(),
+	})
+	var ln net.Listener
+	// Restarts must come back on the SAME port (the follower's primary
+	// URL is fixed); retry briefly in case the old socket lingers.
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i > 100 {
+			p.t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	p.addr = ln.Addr().String()
+	p.hs = &http.Server{Handler: p.srv.Handler()}
+	go p.hs.Serve(ln)
+}
+
+func (p *primary) url() string { return "http://" + p.addr }
+
+// kill9 is SIGKILL: listener and connections die instantly, the engine
+// is abandoned un-Closed. Acked state is on disk (fsync-before-ack);
+// everything else is gone.
+func (p *primary) kill9() {
+	p.hs.Close()
+	p.eng, p.srv, p.hs = nil, nil, nil
+}
+
+// restart recovers the directory and serves on the same address.
+func (p *primary) restart() {
+	p.t.Helper()
+	p.boot(p.addr)
+}
+
+func (p *primary) shutdown() {
+	if p.hs != nil {
+		p.hs.Close()
+	}
+	if p.eng != nil {
+		p.eng.Close()
+	}
+}
+
+// insert posts one movies row over HTTP and requires the ack — after it
+// returns, the row is fsynced on the primary and replication owes it to
+// the follower.
+func (p *primary) insert(id int, title string) {
+	p.t.Helper()
+	insertRow(p.t, p.url(), id, title)
+}
+
+func insertRow(t *testing.T, url string, id int, title string) {
+	t.Helper()
+	db, _, err := freshDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := db.Table("movies")
+	if !ok {
+		t.Fatal("no movies table")
+	}
+	row := make([]any, len(tbl.Columns))
+	row[0], row[1] = id, title
+	body, _ := json.Marshal(map[string]any{"table": "movies", "values": row})
+	resp, err := http.Post(url+"/v1/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("insert %q: %v", title, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("insert %q: status %d: %s", title, resp.StatusCode, msg)
+	}
+}
+
+// replica is one bootable follower process: Follower + read-only serving
+// stack, applying through the server write path like cmd/retro-serve.
+type replica struct {
+	t   *testing.T
+	dir string
+
+	fol    *repl.Follower
+	srv    *server.Server
+	hs     http.Handler
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func startReplica(t *testing.T, dir, primaryURL string, extra func(*repl.Config)) *replica {
+	t.Helper()
+	cfg := repl.Config{
+		Primary:    primaryURL,
+		Dir:        dir,
+		Dataset:    freshDataset,
+		Storage:    testStorageOpts(nil),
+		PollWait:   300 * time.Millisecond,
+		BackoffMin: 10 * time.Millisecond,
+		BackoffMax: 200 * time.Millisecond,
+		Logger:     quietLogger(),
+	}
+	if extra != nil {
+		extra(&cfg)
+	}
+	fol, err := repl.NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bootCtx, cancelBoot := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelBoot()
+	if err := fol.Bootstrap(bootCtx); err != nil {
+		t.Fatalf("replica bootstrap: %v", err)
+	}
+	srv := server.New(fol.Engine().Session(), server.Config{
+		Engine: fol.Engine(), CacheSize: -1, Logger: quietLogger(),
+		ReadOnly: true, Replica: fol.Status,
+	})
+	fol.Attach(srv.ApplyReplicated, srv.ReplaceEngine)
+	r := &replica{t: t, dir: dir, fol: fol, srv: srv, hs: srv.Handler()}
+	r.run()
+	return r
+}
+
+func (r *replica) run() {
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	go func() {
+		r.fol.Run(ctx)
+		close(r.done)
+	}()
+}
+
+// kill9 stops the tail loop and abandons the engine without Close — the
+// in-process stand-in for SIGKILL (the goroutine cannot be killed
+// mid-instruction, but the durable state it leaves is the same: WAL
+// synced through the last applied record, nothing else).
+func (r *replica) kill9() {
+	r.cancel()
+	<-r.done
+}
+
+func (r *replica) shutdown() {
+	r.cancel()
+	<-r.done
+	if eng := r.fol.Engine(); eng != nil {
+		eng.Close()
+	}
+}
+
+// queryable reports whether the replica serves the given movie title.
+func (r *replica) queryable(title string) bool {
+	req, _ := http.NewRequest(http.MethodGet, "/v1/vector?table=movies&column=title&text="+queryEscape(title), nil)
+	rec := newRecorder()
+	r.hs.ServeHTTP(rec, req)
+	return rec.status == http.StatusOK
+}
+
+func (r *replica) readyz() (int, map[string]any) {
+	req, _ := http.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := newRecorder()
+	r.hs.ServeHTTP(rec, req)
+	var body map[string]any
+	_ = json.Unmarshal(rec.buf.Bytes(), &body)
+	return rec.status, body
+}
+
+// recorder is a minimal ResponseWriter (httptest.NewRecorder works too;
+// this keeps the handler path identical to production's statusWriter
+// wrapping without importing httptest in several helpers).
+type recorder struct {
+	hdr    http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func newRecorder() *recorder                    { return &recorder{hdr: make(http.Header), status: http.StatusOK} }
+func (r *recorder) Header() http.Header         { return r.hdr }
+func (r *recorder) WriteHeader(c int)           { r.status = c }
+func (r *recorder) Write(b []byte) (int, error) { return r.buf.Write(b) }
+
+func queryEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			out = append(out, '+')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %s waiting for %s", timeout, what)
+}
+
+// --- tests -----------------------------------------------------------------
+
+func TestReplicaTailsPrimary(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), testStorageOpts(nil))
+	defer p.shutdown()
+	r := startReplica(t, t.TempDir(), p.url(), nil)
+	defer r.shutdown()
+
+	// A fresh replica is caught up (seq 0 == seq 0) and ready.
+	waitFor(t, 10*time.Second, "initial catch-up", func() bool { return r.fol.Status().Ready })
+	if code, body := r.readyz(); code != http.StatusOK {
+		t.Fatalf("readyz on caught-up replica: %d %v", code, body)
+	}
+
+	// Writes on the replica are refused with the structured envelope.
+	req, _ := http.NewRequest(http.MethodPost, "/v1/insert",
+		bytes.NewReader([]byte(`{"table":"movies","values":[1,"x"]}`)))
+	rec := newRecorder()
+	r.hs.ServeHTTP(rec, req)
+	if rec.status != http.StatusForbidden {
+		t.Fatalf("replica insert: status %d body %s, want 403", rec.status, rec.buf.String())
+	}
+	var env struct {
+		Error struct{ Code string }
+	}
+	if json.Unmarshal(rec.buf.Bytes(), &env); env.Error.Code != "read_only" {
+		t.Fatalf("replica insert error = %s, want read_only", rec.buf.String())
+	}
+
+	// Acked primary inserts stream over and become queryable.
+	titles := []string{"replica premiere one", "replica premiere two", "replica premiere three"}
+	for i, title := range titles {
+		p.insert(9001+i, title)
+	}
+	for _, title := range titles {
+		title := title
+		waitFor(t, 10*time.Second, "replication of "+title, func() bool { return r.queryable(title) })
+	}
+	st := r.fol.Status()
+	if st.AppliedSeq != uint64(len(titles)) || st.LagSeqs != 0 {
+		t.Fatalf("replica status after catch-up = %+v", st)
+	}
+	if st.Resyncs != 0 {
+		t.Fatalf("unexpected resyncs on a clean tail: %+v", st)
+	}
+}
+
+// TestFollowerCatchUpAcrossCompaction is the satellite scenario: the
+// follower disconnects, the primary folds its segment chain (MaxSegments
+// exceeded → compaction) and prunes the replication window past the
+// follower's resume point, and the reconnecting follower must fall back
+// to a full re-sync — not error, not wedge.
+func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), testStorageOpts(func(o *retro.StorageOptions) {
+		o.MaxSegments = 1
+		o.ReplLog = 2
+	}))
+	defer p.shutdown()
+	r := startReplica(t, t.TempDir(), p.url(), nil)
+	defer r.shutdown()
+	waitFor(t, 10*time.Second, "initial catch-up", func() bool { return r.fol.Status().Ready })
+
+	// Disconnect the follower, then move the primary far past it:
+	// checkpoints after every insert exceed MaxSegments immediately, so
+	// the chain compacts, and >ReplLog inserts prune the in-memory
+	// window past the follower's resume seq.
+	r.kill9()
+	titles := []string{"fold one", "fold two", "fold three", "fold four"}
+	for i, title := range titles {
+		p.insert(9100+i, title)
+		if _, err := p.srv.Checkpoint(); err != nil {
+			t.Fatalf("primary checkpoint: %v", err)
+		}
+	}
+	if compactions := p.eng.Stats().Compactions; compactions == 0 {
+		t.Fatal("test setup: primary never compacted")
+	}
+
+	// Reconnect: the resume seq is gone, so the primary answers 410 and
+	// the follower re-syncs, ending caught up with every row.
+	r.run()
+	for _, title := range titles {
+		title := title
+		waitFor(t, 20*time.Second, "post-compaction replication of "+title, func() bool { return r.queryable(title) })
+	}
+	if st := r.fol.Status(); st.Resyncs == 0 {
+		t.Fatalf("follower caught up across compaction without a re-sync: %+v", st)
+	} else if !st.Ready {
+		t.Fatalf("follower not ready after re-sync: %+v", st)
+	}
+}
+
+// TestReadyzLagPolicy: a replica that loses its primary keeps serving
+// reads, but /readyz degrades once the configured max lag is exceeded —
+// and recovers when the primary returns (the caught-up heartbeat resets
+// the lag clock even with no new writes).
+func TestReadyzLagPolicy(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), testStorageOpts(nil))
+	defer p.shutdown()
+	r := startReplica(t, t.TempDir(), p.url(), func(c *repl.Config) {
+		c.MaxLag = 300 * time.Millisecond
+	})
+	defer r.shutdown()
+
+	p.insert(9200, "lag policy premiere")
+	waitFor(t, 10*time.Second, "replication", func() bool { return r.queryable("lag policy premiere") })
+
+	p.kill9()
+	waitFor(t, 10*time.Second, "lag policy to trip", func() bool {
+		code, _ := r.readyz()
+		return code == http.StatusServiceUnavailable
+	})
+	// Degraded means not-ready for load balancers — reads still serve.
+	if !r.queryable("lag policy premiere") {
+		t.Fatal("degraded replica stopped serving reads")
+	}
+	if _, body := r.readyz(); body["reason"] == nil {
+		t.Fatalf("degraded readyz carries no reason: %v", body)
+	}
+
+	p.restart()
+	waitFor(t, 20*time.Second, "readiness after primary restart", func() bool {
+		code, _ := r.readyz()
+		return code == http.StatusOK
+	})
+}
+
+// TestChaosKillSweep is the kill -9 interleaving sweep: primary and
+// follower die without warning at different points of the replication
+// lifecycle. Invariant, every time: every insert acked by the primary is
+// eventually queryable on the follower, recovery needs no manual
+// intervention, and neither side wedges.
+func TestChaosKillSweep(t *testing.T) {
+	t.Run("primary-dies-midstream", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), testStorageOpts(nil))
+		defer p.shutdown()
+		r := startReplica(t, t.TempDir(), p.url(), nil)
+		defer r.shutdown()
+
+		p.insert(9300, "survivor one")
+		waitFor(t, 10*time.Second, "replication", func() bool { return r.queryable("survivor one") })
+
+		p.kill9()
+		// The caught-up replica keeps serving within its lag budget.
+		if code, body := r.readyz(); code != http.StatusOK {
+			t.Fatalf("readyz right after primary death: %d %v", code, body)
+		}
+		if !r.queryable("survivor one") {
+			t.Fatal("replica lost data when the primary died")
+		}
+
+		p.restart()
+		p.insert(9301, "survivor two")
+		waitFor(t, 20*time.Second, "replication after primary restart", func() bool { return r.queryable("survivor two") })
+	})
+
+	t.Run("follower-dies-midtail", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), testStorageOpts(nil))
+		defer p.shutdown()
+		dir := t.TempDir()
+		r := startReplica(t, dir, p.url(), nil)
+
+		p.insert(9310, "before the crash")
+		waitFor(t, 10*time.Second, "replication", func() bool { return r.queryable("before the crash") })
+		r.kill9() // abandoned un-Closed: durable state only
+
+		// The primary keeps taking writes while the follower is dead.
+		p.insert(9311, "while it was down")
+
+		// A rebooted follower on the same directory recovers locally and
+		// resumes from its own WAL seq — exactly-once, no re-sync needed.
+		r2 := startReplica(t, dir, p.url(), nil)
+		defer r2.shutdown()
+		for _, title := range []string{"before the crash", "while it was down"} {
+			title := title
+			waitFor(t, 20*time.Second, "replication of "+title, func() bool { return r2.queryable(title) })
+		}
+		if st := r2.fol.Status(); st.Resyncs != 0 {
+			t.Fatalf("local recovery forced a re-sync: %+v", st)
+		}
+	})
+
+	t.Run("follower-dies-midresync", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), testStorageOpts(nil))
+		defer p.shutdown()
+		dir := t.TempDir()
+		r := startReplica(t, dir, p.url(), nil)
+
+		p.insert(9320, "resync era premiere")
+		waitFor(t, 10*time.Second, "replication", func() bool { return r.queryable("resync era premiere") })
+		r.kill9()
+
+		// A re-sync deletes the local MANIFEST before touching data files;
+		// dying between that and the manifest rewrite leaves a directory
+		// with data files but no manifest. Reproduce that state directly.
+		if err := os.Remove(filepath.Join(dir, storage.ManifestName)); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reboot: no manifest → clean full sync, never a wedge or a
+		// half-adopted directory.
+		r2 := startReplica(t, dir, p.url(), nil)
+		defer r2.shutdown()
+		waitFor(t, 20*time.Second, "replication after re-sync", func() bool { return r2.queryable("resync era premiere") })
+		if code, body := r2.readyz(); code != http.StatusOK {
+			t.Fatalf("readyz after mid-resync recovery: %d %v", code, body)
+		}
+	})
+
+	t.Run("primary-dies-after-checkpoint", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), testStorageOpts(nil))
+		defer p.shutdown()
+		r := startReplica(t, t.TempDir(), p.url(), nil)
+		defer r.shutdown()
+
+		p.insert(9330, "checkpointed row")
+		if _, err := p.srv.Checkpoint(); err != nil {
+			t.Fatalf("primary checkpoint: %v", err)
+		}
+		p.insert(9331, "post checkpoint row")
+		p.kill9()
+		p.restart()
+
+		// Both the checkpointed row and the WAL-tail row survive the
+		// SIGKILL on the primary and reach the follower; the seq space
+		// never regresses, so the follower resumes without divergence.
+		for _, title := range []string{"checkpointed row", "post checkpoint row"} {
+			title := title
+			waitFor(t, 20*time.Second, "replication of "+title, func() bool { return r.queryable(title) })
+		}
+		p.insert(9332, "second life row")
+		waitFor(t, 20*time.Second, "replication after restart", func() bool { return r.queryable("second life row") })
+	})
+}
+
+// TestStreamProtocolErrors exercises the primary handler's error paths
+// directly: bad parameters, unknown files, and the 410 that drives the
+// re-sync state machine.
+func TestStreamProtocolErrors(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), testStorageOpts(func(o *retro.StorageOptions) { o.ReplLog = 1 }))
+	defer p.shutdown()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(p.url() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/repl/v1/wal?from=notanumber"); code != http.StatusBadRequest {
+		t.Fatalf("bad from: %d %s", code, body)
+	}
+	if code, body := get("/repl/v1/file?name=../../etc/passwd"); code != http.StatusBadRequest {
+		t.Fatalf("path traversal: %d %s", code, body)
+	}
+	if code, body := get("/repl/v1/file?name=nope.snap"); code != http.StatusNotFound {
+		t.Fatalf("unreferenced file: %d %s", code, body)
+	}
+
+	// Drive the window past seq 1 (cap 1 keeps only the latest record),
+	// then ask to resume from 0: pruned → 410 seq_compacted.
+	p.insert(9400, "window one")
+	p.insert(9401, "window two")
+	code, body := get(fmt.Sprintf("/repl/v1/wal?from=%d&wait=0s", 0))
+	if code != http.StatusGone {
+		t.Fatalf("pruned resume: %d %s, want 410", code, body)
+	}
+	var env struct {
+		Error struct{ Code string }
+	}
+	if json.Unmarshal([]byte(body), &env); env.Error.Code != "seq_compacted" {
+		t.Fatalf("pruned resume error = %s, want seq_compacted", body)
+	}
+
+	// A resume inside the window streams the retained tail.
+	resp, err := http.Get(p.url() + "/repl/v1/wal?from=1&wait=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-window resume: %d", resp.StatusCode)
+	}
+	lastSeq, recs, err := storage.ReadStream(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 2 || len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("in-window stream: lastSeq=%d recs=%d", lastSeq, len(recs))
+	}
+}

@@ -271,9 +271,10 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 // valid.
 func (s *Server) handleNeighborsBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	s.limitBody(w, r)
 	var req neighborsBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, errMalformedJSON, "malformed JSON: "+err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	if len(req.Queries) == 0 {

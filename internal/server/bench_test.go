@@ -142,7 +142,7 @@ func BenchmarkServeNeighborsParallel(b *testing.B) {
 		// session: every request drives the full view-pin + TopK + JSON
 		// encode path, so a regression there cannot hide behind a cache
 		// hit.
-		hMiss := New(srv.sess, Config{CacheSize: -1}).Handler()
+		hMiss := New(srv.session(), Config{CacheSize: -1}).Handler()
 		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			w := &nopResponseWriter{h: make(http.Header)}

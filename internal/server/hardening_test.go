@@ -1,0 +1,106 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+)
+
+func TestMaxBodyBytesRejectsOversizedInsert(t *testing.T) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sess, Config{MaxBodyBytes: 256})
+	h := s.Handler()
+
+	big := `{"table":"movies","values":[9001,"` + strings.Repeat("x", 512) + `",null,null,null,null,null,null]}`
+	rec, body := post(t, h, "/v1/insert", big)
+	if rec.Code != http.StatusRequestEntityTooLarge || errCode(body) != "request_too_large" {
+		t.Fatalf("oversized insert: code %d body %v, want 413 request_too_large", rec.Code, body)
+	}
+
+	rec, body = post(t, h, "/v1/neighbors/batch", `{"queries":[{"text":"`+strings.Repeat("y", 512)+`"}]}`)
+	if rec.Code != http.StatusRequestEntityTooLarge || errCode(body) != "request_too_large" {
+		t.Fatalf("oversized batch: code %d body %v, want 413 request_too_large", rec.Code, body)
+	}
+
+	// Small requests still pass the limiter and reach the handler.
+	cols := columnCount(t, s, "movies")
+	row := makeRow(cols, map[int]any{0: 9002, 1: "tiny"})
+	if code, body := insertRow(t, s, h, 9002, "tiny"); code != http.StatusOK {
+		t.Fatalf("small insert under limit: code %d body %v (row %v)", code, body, row)
+	}
+}
+
+func TestReadOnlyRejectsInsert(t *testing.T) {
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sess, Config{ReadOnly: true})
+	h := s.Handler()
+
+	rec, body := post(t, h, "/v1/insert", `{"table":"movies","values":[1,"x"]}`)
+	if rec.Code != http.StatusForbidden || errCode(body) != "read_only" {
+		t.Fatalf("read-only insert: code %d body %v, want 403 read_only", rec.Code, body)
+	}
+
+	// Reads are unaffected.
+	if rec, _ := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("read-only healthz: %d", rec.Code)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/explode", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: code %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"internal"`) {
+		t.Fatalf("panic response not the structured envelope: %s", rec.Body.String())
+	}
+
+	if out := scrape(t, s); !strings.Contains(out, "retro_http_panics_total 1") {
+		t.Fatalf("panic counter not exported:\n%s", grepMetric(out, "retro_http_panics_total"))
+	}
+
+	// http.ErrAbortHandler must pass through untouched (it is the
+	// sanctioned way to abort a response).
+	aborter := s.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("recoverPanics swallowed http.ErrAbortHandler")
+		}
+	}()
+	aborter.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	t.Fatal("aborting handler did not panic through")
+}
+
+func grepMetric(out, name string) string {
+	var hits []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, name) {
+			hits = append(hits, line)
+		}
+	}
+	return strings.Join(hits, "\n")
+}

@@ -92,7 +92,7 @@ func TestStatsExposeStalenessAndInsertRecovers(t *testing.T) {
 		t.Fatalf("stats.session = %v, want stale:false", body["session"])
 	}
 
-	s.sess.MarkStale()
+	s.session().MarkStale()
 	_, body = get(t, h, "/v1/stats")
 	if body["session"].(map[string]any)["stale"] != true {
 		t.Fatalf("stats.session after MarkStale = %v", body["session"])
@@ -191,7 +191,7 @@ func TestConcurrentBatchInsertsAndReads(t *testing.T) {
 
 	// No lost updates: every row of every batch landed in the database
 	// and in the model, and is found by BOTH search paths.
-	model := s.sess.Model()
+	model := s.session().Model()
 	store := model.Store()
 	store.WarmANN()
 	if store.ANNIndex() == nil {

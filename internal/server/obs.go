@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	retro "github.com/retrodb/retro"
 	"github.com/retrodb/retro/internal/obs"
 )
 
@@ -41,6 +42,7 @@ type telemetry struct {
 	insertRows       *obs.Histogram
 	insertsTotal     *obs.Counter
 	insertErrors     *obs.Counter
+	panics           *obs.Counter
 	repairDur        *obs.Histogram
 	repairNodes      *obs.Histogram
 	repairFailures   *obs.Counter
@@ -114,6 +116,8 @@ func newTelemetry(s *Server, cfg Config) *telemetry {
 		"Insert requests that reached the commit path.", "")
 	t.insertErrors = reg.Counter("retro_insert_errors_total",
 		"Insert requests that returned an error.", "")
+	t.panics = reg.Counter("retro_http_panics_total",
+		"Handler panics converted into the structured internal error.", "")
 	t.repairDur = reg.Histogram("retro_repair_duration_seconds",
 		"Embedding repair wall time per successful insert.", "", obs.DurationBuckets())
 	t.repairNodes = reg.Histogram("retro_repair_nodes",
@@ -165,7 +169,7 @@ func newTelemetry(s *Server, cfg Config) *telemetry {
 	reg.GaugeFunc("retro_session_stale",
 		"1 when a failed repair left the model behind the database, else 0.", "",
 		func() float64 {
-			stale := s.sess.Stale()
+			stale := s.session().Stale()
 			t.noteStale(stale)
 			if stale {
 				return 1
@@ -194,42 +198,74 @@ func newTelemetry(s *Server, cfg Config) *telemetry {
 		"Queries recorded by the slow-query log.", "",
 		func() float64 { return float64(t.slow.Recorded()) })
 
-	if s.engine != nil {
+	if cfg.Engine != nil {
 		// Storage-engine durability counters. The engine keeps these under
 		// its own mutex; scrape-time closures read a consistent snapshot
-		// without the request path paying anything.
+		// without the request path paying anything. The closures resolve
+		// the engine per scrape: a follower re-sync swaps it, and a scrape
+		// racing the swap must read the live one, not a closed handle.
+		engStats := func() retro.StorageStats {
+			if e := s.Engine(); e != nil {
+				return e.Stats()
+			}
+			return retro.StorageStats{}
+		}
 		reg.CounterFunc("retro_wal_appends_total",
 			"Record batches appended to the write-ahead log.", "",
-			func() float64 { return float64(s.engine.Stats().WAL.Appends) })
+			func() float64 { return float64(engStats().WAL.Appends) })
 		reg.CounterFunc("retro_wal_syncs_total",
 			"fsync calls issued by the write-ahead log.", "",
-			func() float64 { return float64(s.engine.Stats().WAL.Syncs) })
+			func() float64 { return float64(engStats().WAL.Syncs) })
 		reg.CounterFunc("retro_wal_sync_seconds_total",
 			"Cumulative wall time spent in WAL fsync.", "",
-			func() float64 { return float64(s.engine.Stats().WAL.SyncNanos) / 1e9 })
+			func() float64 { return float64(engStats().WAL.SyncNanos) / 1e9 })
 		reg.GaugeFunc("retro_wal_bytes",
 			"Size of the active write-ahead log in bytes.", "",
-			func() float64 { return float64(s.engine.Stats().WAL.Bytes) })
+			func() float64 { return float64(engStats().WAL.Bytes) })
 		reg.GaugeFunc("retro_wal_last_seq",
 			"Sequence number of the last durable WAL record.", "",
-			func() float64 { return float64(s.engine.Stats().WAL.LastSeq) })
+			func() float64 { return float64(engStats().WAL.LastSeq) })
 		reg.GaugeFunc("retro_storage_epoch",
 			"Checkpoint epoch of the storage engine.", "",
-			func() float64 { return float64(s.engine.Stats().Epoch) })
+			func() float64 { return float64(engStats().Epoch) })
 		reg.GaugeFunc("retro_storage_segments",
 			"Delta segments in the manifest chain.", "",
-			func() float64 { return float64(s.engine.Stats().Segments) })
+			func() float64 { return float64(engStats().Segments) })
 		reg.GaugeFunc("retro_storage_pending_rows",
 			"Rows logged since the last checkpoint (replayed on crash).", "",
-			func() float64 { return float64(s.engine.Stats().PendingRows) })
+			func() float64 { return float64(engStats().PendingRows) })
 		reg.CounterFunc("retro_checkpoints_total",
 			"Checkpoints taken by this engine handle.", "",
-			func() float64 { return float64(s.engine.Stats().Checkpoints) })
+			func() float64 { return float64(engStats().Checkpoints) })
 		reg.CounterFunc("retro_storage_compactions_total",
 			"Checkpoints that compacted the chain into a fresh base.", "",
-			func() float64 { return float64(s.engine.Stats().Compactions) })
+			func() float64 { return float64(engStats().Compactions) })
 		t.checkpointDur = reg.Histogram("retro_checkpoint_duration_seconds",
 			"Wall time per non-skipped checkpoint.", "", obs.DurationBuckets())
+	}
+
+	if cfg.Replica != nil {
+		// Replication lag, the follower's headline health signal: how far
+		// behind the primary this replica is serving, in records and in
+		// wall time, plus how often it had to throw its state away.
+		replica := cfg.Replica
+		reg.GaugeFunc("retro_replica_lag_seconds",
+			"Seconds since this replica was last caught up to the primary (0 while caught up).", "",
+			func() float64 { return replica().LagSeconds })
+		reg.GaugeFunc("retro_replica_lag_seqs",
+			"WAL records the replica has not yet applied.", "",
+			func() float64 { return float64(replica().LagSeqs) })
+		reg.CounterFunc("retro_replica_resyncs_total",
+			"Full re-syncs this replica has performed (resume point compacted away or stream diverged).", "",
+			func() float64 { return float64(replica().Resyncs) })
+		reg.GaugeFunc("retro_replica_connected",
+			"1 while the replica's WAL stream to the primary is live, else 0.", "",
+			func() float64 {
+				if replica().Connected {
+					return 1
+				}
+				return 0
+			})
 	}
 
 	obs.RegisterRuntime(reg)
@@ -258,24 +294,43 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.Handle("/debug/slowlog", s.tel.slow)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	return mux
+	return s.recoverPanics(mux)
 }
 
 // handleReadyz is the readiness probe: liveness (/healthz) says the
 // process is up, readiness says this replica should receive traffic. A
-// replica with no published view or a stale session reports 503 so a
-// load balancer can drain it while /healthz keeps the process alive.
+// server with no published view or a stale session reports 503 so a
+// load balancer can drain it while /healthz keeps the process alive. A
+// read replica additionally gates on its replication lag policy (see
+// repl.Follower.Status): never-synced or lagging past the configured
+// threshold means not ready, while a caught-up replica that merely lost
+// its primary stays ready — serving reads through the primary's failure
+// is the point.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if v := s.view.Load(); v == nil {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"ready": false, "reason": "no serving view published"})
 		return
 	}
-	stale := s.sess.Stale()
+	stale := s.session().Stale()
 	s.tel.noteStale(stale)
 	if stale {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"ready": false, "reason": "session stale: model lags the database until the next successful write"})
+		return
+	}
+	if s.replica != nil {
+		rs := s.replica()
+		body := map[string]any{
+			"ready":       rs.Ready,
+			"replication": map[string]any{"state": rs.State, "lag_seconds": rs.LagSeconds, "lag_seqs": rs.LagSeqs, "connected": rs.Connected},
+		}
+		if !rs.Ready {
+			body["reason"] = rs.Reason
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})

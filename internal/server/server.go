@@ -53,7 +53,12 @@ import (
 	"github.com/retrodb/retro/internal/ann"
 	"github.com/retrodb/retro/internal/embed"
 	"github.com/retrodb/retro/internal/obs"
+	"github.com/retrodb/retro/internal/repl"
 )
+
+// DefaultMaxBodyBytes bounds request bodies on the write and batch-query
+// endpoints unless Config.MaxBodyBytes overrides it.
+const DefaultMaxBodyBytes = 8 << 20
 
 // Config tunes the server.
 type Config struct {
@@ -77,10 +82,24 @@ type Config struct {
 	Version string
 	// Engine, when set, is the storage engine backing the session: the
 	// server surfaces its WAL and checkpoint counters in /v1/stats and
-	// /metrics, maps WAL append failures onto their own error code, and
-	// exposes Checkpoint for the operator loop. The session must be the
-	// engine's own (Engine.Session()).
+	// /metrics, maps WAL append failures onto their own error code,
+	// exposes Checkpoint for the operator loop, and mounts the
+	// /repl/v1/* replication API so followers can sync from this
+	// process. The session must be the engine's own (Engine.Session()).
 	Engine *retro.StorageEngine
+	// ReadOnly rejects /v1/insert with the structured read_only error.
+	// Set on read replicas, whose only writer is the replication stream
+	// (which bypasses the HTTP surface via ApplyReplicated).
+	ReadOnly bool
+	// Replica, when set, reports the replication state of this follower:
+	// /readyz gates on its lag policy and /v1/stats surfaces it. Nil on
+	// a primary.
+	Replica func() repl.Status
+	// MaxBodyBytes caps request bodies on /v1/insert and
+	// /v1/neighbors/batch; oversized requests get the structured
+	// request_too_large error. 0 selects DefaultMaxBodyBytes, negative
+	// disables the limit.
+	MaxBodyBytes int64
 }
 
 // Origin describes the provenance of the served session.
@@ -111,13 +130,24 @@ type Server struct {
 	// snapshot writes. Readers never take it.
 	writeMu sync.Mutex
 
-	sess    *retro.Session
-	engine  *retro.StorageEngine
+	// sessP/engineP are atomic so a follower re-sync can swap in a fresh
+	// engine (ReplaceEngine) while scrape-time metric closures and stats
+	// renders keep reading whichever pair is current without a lock.
+	// Writers swap both under writeMu; everything else goes through
+	// session() / Engine().
+	sessP   atomic.Pointer[retro.Session]
+	engineP atomic.Pointer[retro.StorageEngine]
+
 	cache   *shardedCache
 	metrics metricsTable
 	tel     *telemetry
 	started time.Time
 	origin  *Origin
+
+	readOnly     bool
+	maxBodyBytes int64
+	replica      func() repl.Status
+	replPrimary  *repl.Primary
 
 	// View lifecycle accounting (see view.go). retired is guarded by
 	// writeMu; the counters are atomics so /v1/stats reads them without
@@ -136,7 +166,17 @@ func New(sess *retro.Session, cfg Config) *Server {
 	if size == 0 {
 		size = 1024
 	}
-	s := &Server{sess: sess, engine: cfg.Engine, started: time.Now(), origin: cfg.Origin}
+	s := &Server{
+		started: time.Now(), origin: cfg.Origin,
+		readOnly: cfg.ReadOnly, replica: cfg.Replica, maxBodyBytes: cfg.MaxBodyBytes,
+	}
+	s.sessP.Store(sess)
+	if cfg.Engine != nil {
+		s.engineP.Store(cfg.Engine)
+	}
+	if s.maxBodyBytes == 0 {
+		s.maxBodyBytes = DefaultMaxBodyBytes
+	}
 	if s.origin == nil {
 		s.origin = &Origin{Source: "trained"}
 	}
@@ -147,16 +187,31 @@ func New(sess *retro.Session, cfg Config) *Server {
 	// (including the publish-duration histogram) exists when used.
 	s.tel = newTelemetry(s, cfg)
 	s.metrics.reg = s.tel.reg
+	if cfg.Engine != nil {
+		// Any storage-backed server can be replicated from; the getter
+		// indirection keeps the handler streaming from the live engine
+		// even after a follower re-sync swaps it.
+		s.replPrimary = repl.NewPrimary(s.Engine, s.tel.log)
+	}
 	s.writeMu.Lock()
 	s.publishLocked()
 	s.writeMu.Unlock()
 	return s
 }
 
+// session returns the currently served session (swapped on follower
+// re-sync; see ReplaceEngine).
+func (s *Server) session() *retro.Session { return s.sessP.Load() }
+
+// Engine returns the storage engine backing the session, or nil when
+// the server runs without a data directory.
+func (s *Server) Engine() *retro.StorageEngine { return s.engineP.Load() }
+
 // Handler returns the route table, each endpoint wrapped with latency and
-// hit accounting. Build handlers before serving traffic; construction
-// registers the per-endpoint counters that the request path then reads
-// without any lock.
+// hit accounting and the whole mux wrapped with panic recovery. Build
+// handlers before serving traffic; construction registers the
+// per-endpoint counters that the request path then reads without any
+// lock.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", "GET", s.handleHealthz))
@@ -167,7 +222,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/neighbors/batch", s.instrument("/v1/neighbors/batch", "POST", s.handleNeighborsBatch))
 	mux.HandleFunc("/v1/analogy", s.instrument("/v1/analogy", "POST", s.handleAnalogy))
 	mux.HandleFunc("/v1/insert", s.instrument("/v1/insert", "POST", s.handleInsert))
-	return mux
+	if s.replPrimary != nil {
+		mux.Handle("/repl/v1/", s.replPrimary)
+	}
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a panicking handler into the structured
+// `internal` error envelope (best effort — headers may already be out)
+// and a retro_http_panics_total tick, instead of net/http killing the
+// connection and, for panics outside a handler goroutine, the process.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response and must keep its net/http semantics.
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.tel.panics.Inc()
+			s.tel.log.Error("handler panic",
+				"path", r.URL.Path, "method", r.Method, "panic", fmt.Sprint(rec))
+			writeError(w, http.StatusInternalServerError, errInternal, "internal server error")
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // --- metrics ---------------------------------------------------------------
@@ -322,6 +405,9 @@ const (
 	errPartialCommit    = "partial_commit"     // row batch failed mid-way; see "committed"
 	errRepairFailed     = "repair_failed"      // rows committed, embedding repair failed
 	errWALFailed        = "wal_failed"         // rows committed in memory, WAL append failed
+	errReadOnly         = "read_only"          // write on a read replica; send it to the primary
+	errRequestTooLarge  = "request_too_large"  // body exceeds the -max-body-bytes cap
+	errInternal         = "internal"           // handler panic; nothing was committed
 )
 
 // apiError is the wire form of one error: a stable code and a
@@ -347,6 +433,28 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorEnvelope{Error: apiError{Code: code, Message: msg}})
+}
+
+// limitBody caps the request body (write and batch-query endpoints);
+// decode failures past the cap surface as *http.MaxBytesError, which
+// writeDecodeError maps onto request_too_large.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.maxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	}
+}
+
+// writeDecodeError maps a JSON decode failure onto the right envelope:
+// request_too_large when the body limiter cut the read off, otherwise
+// malformed_json.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, errRequestTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte limit", tooLarge.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, errMalformedJSON, "malformed JSON: "+err.Error())
 }
 
 // encodeBody renders v the same way writeJSON does (trailing newline
@@ -677,13 +785,19 @@ func (s *Server) handleAnalogy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeError(w, http.StatusForbidden, errReadOnly,
+			"this server is a read replica; send writes to the primary")
+		return
+	}
+	s.limitBody(w, r)
 	var req struct {
 		Table  string  `json:"table"`
 		Values []any   `json:"values"` // single-row form
 		Rows   [][]any `json:"rows"`   // batched form
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, errMalformedJSON, "malformed JSON: "+err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	if req.Table == "" {
@@ -710,7 +824,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// large batch's O(rows) decoding never blocks another writer. Only
 	// the commit + repair + publication below are write-exclusive —
 	// and even those exclude writers only, never readers.
-	tbl, ok := s.sess.DB().Table(req.Table)
+	tbl, ok := s.session().DB().Table(req.Table)
 	if !ok {
 		writeError(w, http.StatusNotFound, errNotFound, fmt.Sprintf("unknown table %q", req.Table))
 		return
@@ -739,7 +853,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	t.insertRows.Observe(float64(len(rows)))
 	t.insertsTotal.Inc()
 	s.writeMu.Lock()
-	err := s.sess.InsertBatch(req.Table, rows)
+	sess := s.session()
+	err := sess.InsertBatch(req.Table, rows)
 	committed := len(rows)
 	var batch *retro.BatchError
 	if errors.As(err, &batch) {
@@ -754,7 +869,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var walErr *retro.WALError
 	walFailed := errors.As(err, &walErr)
 	published := committed > 0 && !repairFailed && !walFailed
-	rep := s.sess.LastRepair()
+	rep := sess.LastRepair()
 	if published {
 		// Warm the index and publish the successor view. The warm-up and
 		// the freeze both run on the live store, invisible to readers:
@@ -770,7 +885,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if repairFailed {
 		t.repairFailures.Inc()
 	}
-	if t.noteStale(s.sess.Stale()) {
+	if t.noteStale(sess.Stale()) {
 		t.log.Warn("session marked stale after failed write",
 			"table", req.Table, "rows", len(rows), "error", err)
 	}
@@ -819,6 +934,45 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"inserted": true, "rows": len(rows), "table": req.Table, "num_values": numValues,
 	})
+}
+
+// ApplyReplicated commits one replicated WAL batch through the same
+// write path an HTTP insert takes — commit, incremental repair, view
+// publication, cache purge — bypassing only the HTTP surface (a replica
+// rejects client writes; the stream is its writer). A RepairError is
+// returned but leaves the batch committed and durably logged, same as
+// the local contract: the session is stale until the next successful
+// batch full-resolves.
+func (s *Server) ApplyReplicated(table string, rows [][]retro.Value) error {
+	t := s.tel
+	t.insertRows.Observe(float64(len(rows)))
+	t.insertsTotal.Inc()
+	s.writeMu.Lock()
+	sess := s.session()
+	err := sess.InsertBatch(table, rows)
+	rep := sess.LastRepair()
+	if err == nil {
+		s.publishLocked()
+	}
+	s.writeMu.Unlock()
+	if err == nil {
+		t.repairDur.ObserveDuration(rep.Duration)
+		t.repairNodes.Observe(float64(rep.Touched))
+		if s.cache != nil {
+			s.cache.Purge()
+		}
+	} else {
+		t.insertErrors.Inc()
+		var repair *retro.RepairError
+		if errors.As(err, &repair) {
+			t.repairFailures.Inc()
+		}
+	}
+	if t.noteStale(sess.Stale()) {
+		t.log.Warn("session marked stale after replicated write",
+			"table", table, "rows", len(rows), "error", err)
+	}
+	return err
 }
 
 // jsonValue maps a decoded JSON value onto a database value; reldb's
@@ -897,8 +1051,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// growth (checkpoint-lag) and checkpoint/compaction cadence. Absent
 	// when the server runs without a data directory.
 	var storageStats map[string]any
-	if s.engine != nil {
-		st := s.engine.Stats()
+	if engine := s.Engine(); engine != nil {
+		st := engine.Stats()
 		storageStats = map[string]any{
 			"dir":              st.Dir,
 			"epoch":            st.Epoch,
@@ -931,6 +1085,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Replication: a replica reports its tailing state and lag; any
+	// storage-backed server reports the traffic it serves to followers.
+	var replStats map[string]any
+	if s.replica != nil {
+		rs := s.replica()
+		replStats = map[string]any{
+			"role":           "replica",
+			"state":          rs.State,
+			"primary":        rs.Primary,
+			"connected":      rs.Connected,
+			"applied_seq":    rs.AppliedSeq,
+			"primary_seq":    rs.PrimarySeq,
+			"lag_seqs":       rs.LagSeqs,
+			"lag_seconds":    rs.LagSeconds,
+			"resyncs":        rs.Resyncs,
+			"caught_up_once": rs.CaughtUpOnce,
+			"ready":          rs.Ready,
+		}
+		if rs.Reason != "" {
+			replStats["reason"] = rs.Reason
+		}
+		if rs.LastError != "" {
+			replStats["last_error"] = rs.LastError
+		}
+	} else if s.replPrimary != nil {
+		ps := s.replPrimary.Stats()
+		replStats = map[string]any{
+			"role":            "primary",
+			"stream_requests": ps.StreamRequests,
+			"stream_records":  ps.StreamRecords,
+			"file_requests":   ps.FileRequests,
+			"resyncs_served":  ps.Resyncs,
+		}
+	}
+
 	origin := map[string]any{"source": s.origin.Source}
 	if s.origin.Source == "snapshot" {
 		origin["snapshot_path"] = s.origin.Path
@@ -948,7 +1137,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"dim":            v.dim,
 		// stale means a repair failed after a commit: queries serve the
 		// last good vectors and the next write runs a full re-solve.
-		"session": map[string]any{"stale": s.sess.Stale()},
+		"session": map[string]any{"stale": s.session().Stale()},
 		"ann":     annStats,
 		"cache":   cacheStats,
 		// View lifecycle: epoch of the published view, how many times a
@@ -960,8 +1149,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"drained":  s.drained.Load(),
 			"draining": s.retiredWaiting.Load(),
 		},
-		"endpoints": endpoints,
-		"origin":    origin,
-		"storage":   storageStats,
+		"endpoints":   endpoints,
+		"origin":      origin,
+		"storage":     storageStats,
+		"replication": replStats,
 	})
 }

@@ -284,9 +284,9 @@ func TestConcurrentReadsDuringInsert(t *testing.T) {
 func newSnapshotServer(t *testing.T) (trained *Server, resumed *Server, titles []string) {
 	t.Helper()
 	trained, titles = newTestServer(t)
-	trained.sess.Model().Store().WarmANN()
+	trained.session().Model().Store().WarmANN()
 	var buf bytes.Buffer
-	if err := trained.sess.Snapshot(&buf); err != nil {
+	if err := trained.session().Snapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// A fresh, deterministic re-generation stands in for the new process.
@@ -378,7 +378,7 @@ func TestSnapshotBootedServer(t *testing.T) {
 	// queryable. Exercise an overwrite too by inserting a row whose title
 	// reuses an existing one — the shared value vector is re-solved,
 	// which tombstones and re-inserts its node in the loaded graph.
-	if resumed.sess.Model().Store().ANNIndex() == nil {
+	if resumed.session().Model().Store().ANNIndex() == nil {
 		t.Fatal("resumed server has no adopted index")
 	}
 	cols := columnCount(t, resumed, "movies")
@@ -397,7 +397,7 @@ func TestSnapshotBootedServer(t *testing.T) {
 	} else if len(body["neighbors"].([]any)) == 0 {
 		t.Fatal("post-insert neighbours empty")
 	}
-	if resumed.sess.Model().Store().ANNIndex() == nil {
+	if resumed.session().Model().Store().ANNIndex() == nil {
 		t.Fatal("insert dropped the adopted index instead of maintaining it")
 	}
 }
@@ -437,7 +437,7 @@ func queryEscape(s string) string {
 
 func columnCount(t *testing.T, s *Server, table string) []string {
 	t.Helper()
-	tbl, ok := s.sess.DB().Table(table)
+	tbl, ok := s.session().DB().Table(table)
 	if !ok {
 		t.Fatalf("no table %q", table)
 	}

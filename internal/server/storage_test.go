@@ -128,7 +128,7 @@ func TestInsertWALFailure(t *testing.T) {
 		t.Fatalf("view advanced past an unlogged insert: epoch %d→%d, values %d→%d",
 			epochBefore, v.epoch, valuesBefore, v.numValues)
 	}
-	if !s.sess.Stale() {
+	if !s.session().Stale() {
 		t.Fatal("session not stale after WAL failure")
 	}
 	if rec, body := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {

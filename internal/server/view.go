@@ -68,7 +68,7 @@ func (v *servingView) release() { v.refs.Add(-1) }
 // the old one — never inside a reader's request.
 func (s *Server) publishLocked() {
 	start := time.Now()
-	store := s.sess.Model().Store()
+	store := s.session().Model().Store()
 	store.WarmANN()
 	frozen := store.Freeze()
 	old := s.view.Load()
@@ -115,7 +115,7 @@ func (s *Server) WriteSnapshot(w io.Writer) error {
 	start := time.Now()
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	err := s.sess.Snapshot(w)
+	err := s.session().Snapshot(w)
 	s.tel.snapshotSave.ObserveDuration(time.Since(start))
 	return err
 }
@@ -123,21 +123,39 @@ func (s *Server) WriteSnapshot(w io.Writer) error {
 // Session returns the served session. Any direct use must follow the
 // session's synchronisation rules; it is exposed for operational tooling
 // (snapshot timers, staleness probes), not for the request path.
-func (s *Server) Session() *retro.Session { return s.sess }
+func (s *Server) Session() *retro.Session { return s.session() }
 
 // Checkpoint runs a storage-engine checkpoint under the write lock —
 // the exclusion Checkpoint requires — while queries keep flowing
 // against the published view. It is a no-op (Skipped) when the server
 // has no engine or nothing changed since the last checkpoint.
 func (s *Server) Checkpoint() (retro.CheckpointStats, error) {
-	if s.engine == nil {
+	engine := s.Engine()
+	if engine == nil {
 		return retro.CheckpointStats{Skipped: true}, nil
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	stats, err := s.engine.Checkpoint()
+	stats, err := engine.Checkpoint()
 	if err == nil && !stats.Skipped && s.tel.checkpointDur != nil {
 		s.tel.checkpointDur.ObserveDuration(stats.Duration)
 	}
 	return stats, err
+}
+
+// ReplaceEngine swaps in a fresh engine + session pair and publishes its
+// first view — the follower re-sync path: the old engine's state was
+// discarded and rebuilt from the primary, so the served session must be
+// replaced wholesale, not mutated. Queries racing the swap finish on the
+// retired view; the epoch bump makes every cache entry unservable and
+// the purge releases them promptly.
+func (s *Server) ReplaceEngine(engine *retro.StorageEngine) {
+	s.writeMu.Lock()
+	s.engineP.Store(engine)
+	s.sessP.Store(engine.Session())
+	s.publishLocked()
+	s.writeMu.Unlock()
+	if s.cache != nil {
+		s.cache.Purge()
+	}
 }

@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/retrodb/retro/internal/reldb"
+)
+
+func streamRecords() []Record {
+	return []Record{
+		{Seq: 7, Batch: Batch{Table: "movies", Rows: [][]reldb.Value{
+			{reldb.Int(1), reldb.Text("alpha"), reldb.Null},
+			{reldb.Int(2), reldb.Text("beta"), reldb.Float(0.5)},
+		}}},
+		{Seq: 8, Batch: Batch{Table: "people", Rows: [][]reldb.Value{
+			{reldb.Text("carol"), reldb.Bool(true)},
+		}}},
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	recs := streamRecords()
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, 42, recs); err != nil {
+		t.Fatal(err)
+	}
+	lastSeq, got, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 42 {
+		t.Fatalf("lastSeq = %d, want 42", lastSeq)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Seq != recs[i].Seq {
+			t.Fatalf("record %d seq = %d, want %d", i, got[i].Seq, recs[i].Seq)
+		}
+		if got[i].Batch.Table != recs[i].Batch.Table {
+			t.Fatalf("record %d table = %q, want %q", i, got[i].Batch.Table, recs[i].Batch.Table)
+		}
+		if len(got[i].Batch.Rows) != len(recs[i].Batch.Rows) {
+			t.Fatalf("record %d rows = %d, want %d", i, len(got[i].Batch.Rows), len(recs[i].Batch.Rows))
+		}
+		for r, row := range recs[i].Batch.Rows {
+			for c, v := range row {
+				if got[i].Batch.Rows[r][c] != v {
+					t.Fatalf("record %d row %d col %d = %v, want %v", i, r, c, got[i].Batch.Rows[r][c], v)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	lastSeq, recs, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 9 || len(recs) != 0 {
+		t.Fatalf("lastSeq=%d recs=%d, want 9 and 0", lastSeq, len(recs))
+	}
+}
+
+func TestStreamCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, 42, streamRecords()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		if _, _, err := ReadStream(strings.NewReader("NOTASTRM" + string(good[8:]))); err == nil {
+			t.Fatal("want error for bad magic")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{len(good) / 4, len(good) / 2, len(good) - 3} {
+			if _, _, err := ReadStream(bytes.NewReader(good[:cut])); err == nil {
+				t.Fatalf("want error for truncation at %d", cut)
+			}
+		}
+	})
+	t.Run("flipped payload bit", func(t *testing.T) {
+		// Flip a byte well past the header frame: CRC must catch it.
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-2] ^= 0x40
+		if _, _, err := ReadStream(bytes.NewReader(bad)); err == nil {
+			t.Fatal("want error for corrupted payload")
+		}
+	})
+}

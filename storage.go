@@ -34,6 +34,11 @@ import (
 // compacts into a fresh full base snapshot (see StorageOptions).
 const DefaultMaxSegments = 8
 
+// DefaultReplLog is the default in-memory replication window: how many
+// recent WAL records the engine retains for followers to tail (see
+// StorageOptions.ReplLog).
+const DefaultReplLog = 4096
+
 // StorageOptions configures OpenStorage.
 type StorageOptions struct {
 	// Config is the training configuration used when the directory is
@@ -48,6 +53,14 @@ type StorageOptions struct {
 	// would exceed it writes a full base snapshot instead (compaction).
 	// 0 selects DefaultMaxSegments.
 	MaxSegments int
+	// ReplLog caps the in-memory replication window: the engine retains
+	// this many recent WAL records (across checkpoints) so followers can
+	// resume tailing without a full re-sync. A follower whose resume
+	// point has been pruned past — typically after it sat disconnected
+	// across a compaction — is told to re-sync instead. 0 selects
+	// DefaultReplLog; negative disables retention (every follower
+	// reconnect behind the live tail forces a re-sync).
+	ReplLog int
 	// Sys overrides the durability syscalls (crash-test injection); nil
 	// uses the real fsync and rename.
 	Sys *storage.Sys
@@ -105,6 +118,17 @@ type StorageEngine struct {
 	pending     []storage.Batch
 	pendingRows int
 
+	// replLog is the in-memory replication window: the most recent WAL
+	// records (seq-contiguous, capped at replCap), retained ACROSS
+	// checkpoints so a briefly-disconnected follower can resume tailing
+	// without re-downloading the store. Batches are shared with pending
+	// — both are immutable after commit.
+	replLog []storage.Record
+	replCap int
+	// replNotify is closed (and replaced) on every durable append, waking
+	// long-poll replication streams waiting for new records.
+	replNotify chan struct{}
+
 	replayedRecords int
 	replayedRows    int
 	walTruncated    bool
@@ -136,9 +160,15 @@ func OpenStorage(dir string, db *DB, base *Embedding, opts StorageOptions) (*Sto
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	e := &StorageEngine{dir: dir, sys: opts.Sys, maxSegments: opts.MaxSegments}
+	e := &StorageEngine{
+		dir: dir, sys: opts.Sys, maxSegments: opts.MaxSegments,
+		replCap: opts.ReplLog, replNotify: make(chan struct{}),
+	}
 	if e.maxSegments <= 0 {
 		e.maxSegments = DefaultMaxSegments
+	}
+	if e.replCap == 0 {
+		e.replCap = DefaultReplLog
 	}
 
 	man, err := storage.ReadManifest(dir)
@@ -323,10 +353,28 @@ func (e *StorageEngine) recover(db *DB, base *Embedding, man *storage.Manifest) 
 		}
 		e.pending = append(e.pending, rec.Batch)
 		e.pendingRows += rec.Batch.NumRows()
+		e.retainRecord(rec)
 		e.replayedRecords++
 		e.replayedRows += rec.Batch.NumRows()
 	}
 	return nil
+}
+
+// retainRecord adds one durable record to the replication window,
+// pruning the oldest past the cap. Caller holds e.mu (or, during
+// recovery, has exclusive access).
+func (e *StorageEngine) retainRecord(rec storage.Record) {
+	if e.replCap < 0 {
+		return
+	}
+	e.replLog = append(e.replLog, rec)
+	if excess := len(e.replLog) - e.replCap; excess > 0 {
+		// Slide instead of re-slicing so the pruned prefix is actually
+		// released to the GC rather than pinned by the backing array.
+		kept := make([]storage.Record, e.replCap)
+		copy(kept, e.replLog[excess:])
+		e.replLog = kept
+	}
 }
 
 // appendWAL is the session's write-ahead hook: durably log the committed
@@ -337,13 +385,21 @@ func (e *StorageEngine) appendWAL(table string, rows [][]Value) error {
 	if e.closed {
 		return errors.New("retro: storage engine is closed")
 	}
-	if _, err := e.wal.Append(table, rows); err != nil {
+	seq, err := e.wal.Append(table, rows)
+	if err != nil {
 		return err
 	}
 	// The WAL cloned the rows for its own frame; clone again for the
-	// in-memory pending list — the caller owns these slices.
-	e.pending = append(e.pending, storage.CloneBatch(table, rows))
+	// in-memory pending list — the caller owns these slices. The
+	// replication window shares the same immutable clone.
+	b := storage.CloneBatch(table, rows)
+	e.pending = append(e.pending, b)
 	e.pendingRows += len(rows)
+	e.retainRecord(storage.Record{Seq: seq, Batch: b})
+	// Wake long-poll replication streams: close-and-replace makes the
+	// signal a broadcast every waiter observes exactly once.
+	close(e.replNotify)
+	e.replNotify = make(chan struct{})
 	return nil
 }
 
@@ -486,6 +542,93 @@ func (e *StorageEngine) Manifest() storage.Manifest {
 	m := *e.man
 	m.Segments = append([]string(nil), e.man.Segments...)
 	return m
+}
+
+// --- replication surface ---------------------------------------------------
+//
+// A primary exposes these to internal/repl's HTTP handler; everything is
+// safe to call concurrently with inserts and checkpoints.
+
+// WALSeq returns the sequence number of the last durable WAL record.
+func (e *StorageEngine) WALSeq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wal.Seq()
+}
+
+// WALNotify returns a channel closed at the next durable append. Callers
+// re-arm by calling it again after the close; a long-poll stream selects
+// on it against its deadline.
+func (e *StorageEngine) WALNotify() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replNotify
+}
+
+// RecordsSince returns up to max retained records with seq > from, plus
+// the current WAL high-water mark. ok reports whether from is still
+// inside the replication window: false means the records a follower
+// would need have been pruned (it sat disconnected across checkpoints or
+// a compaction) — or the follower claims a seq the primary never wrote
+// (divergent history) — and it must fall back to a full re-sync.
+func (e *StorageEngine) RecordsSince(from uint64, max int) (recs []storage.Record, lastSeq uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lastSeq = e.wal.Seq()
+	if from > lastSeq {
+		return nil, lastSeq, false
+	}
+	if from == lastSeq {
+		return nil, lastSeq, true
+	}
+	winStart := lastSeq + 1
+	if len(e.replLog) > 0 {
+		winStart = e.replLog[0].Seq
+	}
+	if from+1 < winStart {
+		return nil, lastSeq, false
+	}
+	idx := int(from + 1 - winStart)
+	tail := e.replLog[idx:]
+	if max > 0 && len(tail) > max {
+		tail = tail[:max]
+	}
+	// Copy the slice header region so callers iterate a stable snapshot
+	// while appends keep growing (and pruning) the window. The batches
+	// themselves are immutable after commit.
+	recs = make([]storage.Record, len(tail))
+	copy(recs, tail)
+	return recs, lastSeq, true
+}
+
+// ReplicationState returns a copy of the current manifest plus the WAL
+// high-water mark, the unit a follower needs to bootstrap: download the
+// named base and segments, then tail from WALSeq.
+func (e *StorageEngine) ReplicationState() (storage.Manifest, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := *e.man
+	m.Segments = append([]string(nil), e.man.Segments...)
+	return m, e.wal.Seq()
+}
+
+// OpenReplicaFile opens a file for shipping to a bootstrapping replica.
+// Only files the current manifest references are served — the base
+// snapshot and the segment chain; never the live WAL (its content
+// travels over the record stream) and never an arbitrary path. Opening
+// under the engine mutex makes the check atomic against a concurrent
+// compaction deleting the file.
+func (e *StorageEngine) OpenReplicaFile(name string) (*os.File, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ok := name == e.man.Base
+	for _, s := range e.man.Segments {
+		ok = ok || name == s
+	}
+	if !ok {
+		return nil, fmt.Errorf("retro: %q is not referenced by the current manifest", name)
+	}
+	return os.Open(filepath.Join(e.dir, name))
 }
 
 // Stats returns a point-in-time summary. Safe to call concurrently with
