@@ -24,7 +24,9 @@ import (
 // numbers are directly comparable.
 
 // perfSchema names the JSON layout; bump when fields change meaning.
-const perfSchema = "retro-bench-perf/1"
+// Version 2 adds the paired float32 rows (the *_f32 benchmarks) and the
+// f32-vs-f64 derived figures.
+const perfSchema = "retro-bench-perf/2"
 
 type perfBenchmark struct {
 	Name        string             `json:"name"`
@@ -135,15 +137,18 @@ func runPerf(path string) error {
 	}
 	recallExact := perfbench.Recall10(exact, queries[:64])
 	recallQuant := perfbench.Recall10(quantized, queries[:64])
+	scan := func(s *embed.Store) func(b *testing.B) {
+		return func(b *testing.B) {
+			buf := make([]embed.Match, 0, 16)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = s.TopKExactAppend(queries[i%len(queries)], 10, nil, buf)
+			}
+		}
+	}
 	eb := record(rep, "topk_exact_hnsw", map[string]float64{"recall_at_10": recallExact}, topk(exact))
 	qb := record(rep, "topk_quantized", map[string]float64{"recall_at_10": recallQuant}, topk(quantized))
-	record(rep, "topk_exact_scan", nil, func(b *testing.B) {
-		buf := make([]embed.Match, 0, 16)
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			buf = exact.TopKExactAppend(queries[i%len(queries)], 10, nil, buf)
-		}
-	})
+	sb64 := record(rep, "topk_exact_scan", nil, scan(exact))
 
 	// Batched read path: the TopKMany engine over the same world, at the
 	// pinned batch sizes. ns/op is per BATCH; the derived per-query
@@ -196,6 +201,82 @@ func runPerf(path string) error {
 		rep.Derived["rerank_factor"] = float64(rerank)
 	}
 
+	// Float32 serving pair: the same world at the same seed in a float32
+	// store. Every f64 row above gets an f32 twin; the derived figures
+	// are the acceptance gates — exact-scan speedup at matching recall,
+	// quantized path no slower, resident bytes at most 55% of f64.
+	fmt.Printf("perf: building the float32 twin world (one HNSW build)...\n")
+	start = time.Now()
+	exact32, quantized32, _ := perfbench.PairWithPrecision(perfbench.NumValues, perfbench.Dim, 42, 0, embed.F32)
+	fmt.Printf("perf: f32 world ready in %s\n", time.Since(start).Round(time.Millisecond))
+
+	q32 := make([]float32, len(q))
+	v32 := make([]float32, len(v))
+	for i := range q {
+		q32[i], v32[i] = float32(q[i]), float32(v[i])
+	}
+	record(rep, "vec_dot_f32", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += vec.Dot32(q32, v32)
+		}
+		_ = s
+	})
+	recallExact32 := perfbench.Recall10(exact32, queries[:64])
+	recallQuant32 := perfbench.Recall10(quantized32, queries[:64])
+	eb32 := record(rep, "topk_exact_hnsw_f32", map[string]float64{"recall_at_10": recallExact32}, topk(exact32))
+	qb32 := record(rep, "topk_quantized_f32", map[string]float64{"recall_at_10": recallQuant32}, topk(quantized32))
+	sb32 := record(rep, "topk_exact_scan_f32", nil, scan(exact32))
+	{
+		const batch = 64
+		qbatch := make([][]float64, batch)
+		ks := make([]int, batch)
+		for i := range ks {
+			ks[i] = 10
+		}
+		dst := make([][]embed.Match, batch)
+		for i := range dst {
+			dst[i] = make([]embed.Match, 0, 16)
+		}
+		pos := 0
+		fill := func() {
+			for j := range qbatch {
+				qbatch[j] = queries[(pos+j)%len(queries)]
+			}
+			pos += batch
+		}
+		fill()
+		dst = quantized32.TopKManyAppend(qbatch, ks, nil, dst)
+		pb := record(rep, "topk_many_batch64_f32",
+			map[string]float64{"queries_per_batch": batch},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fill()
+					dst = quantized32.TopKManyAppend(qbatch, ks, nil, dst)
+				}
+			})
+		rep.Derived["ns_per_query_batch64_f32"] = pb.NsPerOp / batch
+	}
+
+	// Fidelity and footprint gates. Recall is measured against the f64
+	// exact scan over the shared ID space; the byte ratio covers the
+	// precision-carrying components (matrix, norms, graph vectors —
+	// SQ8 codes and adjacency lists are precision-invariant).
+	recallF32vsF64 := perfbench.CrossRecall10(exact32, exact, queries[:256])
+	ms64, ms32 := exact.MemoryStats(), exact32.MemoryStats()
+	res64 := ms64.MatrixBytes + ms64.NormBytes + ms64.GraphVecBytes
+	res32 := ms32.MatrixBytes + ms32.NormBytes + ms32.GraphVecBytes
+	rep.Derived["speedup_exact_scan_f32_vs_f64"] = sb64.NsPerOp / sb32.NsPerOp
+	rep.Derived["speedup_exact_hnsw_f32_vs_f64"] = eb.NsPerOp / eb32.NsPerOp
+	rep.Derived["speedup_quantized_f32_vs_f64"] = qb.NsPerOp / qb32.NsPerOp
+	rep.Derived["recall_at_10_f32_exact_vs_f64"] = recallF32vsF64
+	rep.Derived["bytes_per_value_f64"] = float64(ms64.TotalBytes) / float64(perfbench.NumValues)
+	rep.Derived["bytes_per_value_f32"] = float64(ms32.TotalBytes) / float64(perfbench.NumValues)
+	rep.Derived["store_bytes_ratio_f32_vs_f64"] = float64(res32) / float64(res64)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -213,6 +294,9 @@ func runPerf(path string) error {
 		rep.Derived["speedup_quant_vs_exact_hnsw"], recallQuant, recallExact)
 	fmt.Printf("perf: batch64 %.0f ns/query vs looped %.0f ns/query = %.2fx (batched recall@10 %.4f)\n",
 		perQuery64, qb.NsPerOp, rep.Derived["speedup_batch64_vs_looped_topk"], recallMany)
+	fmt.Printf("perf: f32 exact scan %.2fx vs f64 (recall@10 vs f64 exact %.4f), quantized %.2fx, resident bytes ratio %.3f\n",
+		rep.Derived["speedup_exact_scan_f32_vs_f64"], recallF32vsF64,
+		rep.Derived["speedup_quantized_f32_vs_f64"], rep.Derived["store_bytes_ratio_f32_vs_f64"])
 	fmt.Printf("perf: report written to %s\n", path)
 	return nil
 }

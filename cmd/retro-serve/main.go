@@ -121,6 +121,7 @@ func run(args []string) error {
 	annEfC := fs.Int("ann-efc", 0, "HNSW construction beam width (0 = default 200)")
 	annEfS := fs.Int("ann-efs", 0, "HNSW search beam width (0 = default 64)")
 	quantMode := fs.String("quant", "", "ANN distance kernel: sq8 = 8-bit quantized traversal with exact re-ranking, off = exact float64 (empty = off, or the snapshot's persisted mode when booting from one)")
+	precision := fs.String("precision", "f32", "serving store precision: f32 halves the resident matrix (scores within 1e-6), f64 is the full-precision store; applies at training time, snapshots persist their own")
 	rerank := fs.Int("rerank", 0, "SQ8 candidate over-fetch factor: rerank*k quantized candidates are re-scored exactly per query (0 = default 3)")
 	cacheSize := fs.Int("cache", 1024, "LRU query cache entries (-1 disables)")
 	repairBudget := fs.Int("repair-budget", retro.DefaultRepairBudget, "max nodes re-solved per insert repair (0 = unlimited)")
@@ -196,6 +197,11 @@ func run(args []string) error {
 			cfg.Quantization = mode
 			cfg.RerankFactor = *rerank
 		}
+		p, err := retro.ParsePrecision(*precision)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Precision = p
 		return cfg, nil
 	}
 
@@ -308,24 +314,13 @@ func run(args []string) error {
 			sess.Model().Store().TuneRerank(*rerank)
 			log.Info("SQ8 re-rank depth set", "rerank", *rerank)
 		}
-		if *variant != "rn" || *parallel != -1 || *annThreshold != 0 || *annM != 0 || *annEfC != 0 {
-			log.Warn("-variant, -parallel, -ann-threshold, -ann-m and -ann-efc apply at training time; the snapshot's persisted configuration is used")
+		if *variant != "rn" || *parallel != -1 || *annThreshold != 0 || *annM != 0 || *annEfC != 0 || *precision != "f32" {
+			log.Warn("-variant, -parallel, -ann-threshold, -ann-m, -ann-efc and -precision apply at training time; the snapshot's persisted configuration is used")
 		}
 	} else {
-		cfg := retro.Defaults()
-		if *variant == "ro" {
-			cfg.Variant = retro.RO
-		}
-		cfg.Parallel = *parallel
-		cfg.ANNThreshold = *annThreshold
-		cfg.ANNParams = &retro.ANNParams{M: *annM, EfConstruction: *annEfC, EfSearch: *annEfS}
-		if *quantMode != "" {
-			mode, err := retro.ParseQuantMode(*quantMode)
-			if err != nil {
-				return err
-			}
-			cfg.Quantization = mode
-			cfg.RerankFactor = *rerank
+		cfg, err := buildCfg()
+		if err != nil {
+			return err
 		}
 
 		log.Info("training",

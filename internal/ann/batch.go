@@ -51,6 +51,7 @@ const batchBlock = 8
 type batchQueryState struct {
 	visited visitedSet
 	q       []float64 // unit-normalised query
+	q32     []float32 // narrowed query (f32 index only)
 	qcode   []int8
 	qscale  float64
 	useQ    bool
@@ -166,6 +167,9 @@ func (ix *Index) stateDist(s *batchQueryState, slot int32) float64 {
 	if s.useQ {
 		return 1 - float64(quant.Dot8(s.qcode, nd.code))*s.qscale*nd.corr
 	}
+	if ix.f32 {
+		return 1 - vec.Dot32(s.q32, nd.vec32)
+	}
 	return 1 - vec.Dot(s.q, nd.vec)
 }
 
@@ -204,6 +208,12 @@ func (ix *Index) runBatchBlock(bs *batchScratch, queries [][]float64, ks []int, 
 		s.q = s.q[:ix.dim]
 		for i, x := range query {
 			s.q[i] = x / qn
+		}
+		if ix.f32 {
+			if cap(s.q32) < ix.dim {
+				s.q32 = make([]float32, ix.dim)
+			}
+			s.q32 = vec.Narrow(s.q32[:ix.dim], s.q)
 		}
 		s.useQ = false
 		if ix.quant != nil {
@@ -411,11 +421,21 @@ func (ix *Index) descentGroup(bs *batchScratch, slot int32, l, nq, nx int) {
 				}
 			}
 		}
-		for m := 0; m < nx; m++ {
-			s := bs.xmem[m]
-			if d := 1 - vec.Dot(s.q, ix.nodes[nb].vec); d < s.curD {
-				s.cur, s.curD = nb, d
-				s.improved = true
+		if ix.f32 {
+			for m := 0; m < nx; m++ {
+				s := bs.xmem[m]
+				if d := 1 - vec.Dot32(s.q32, ix.nodes[nb].vec32); d < s.curD {
+					s.cur, s.curD = nb, d
+					s.improved = true
+				}
+			}
+		} else {
+			for m := 0; m < nx; m++ {
+				s := bs.xmem[m]
+				if d := 1 - vec.Dot(s.q, ix.nodes[nb].vec); d < s.curD {
+					s.cur, s.curD = nb, d
+					s.improved = true
+				}
 			}
 		}
 	}
@@ -465,6 +485,9 @@ func (ix *Index) beamTurn(s *batchQueryState) {
 			// small enough to stay cache-resident on its own, and the
 			// extra issue cost measured as a net loss.
 			cpu.PrefetchRange(unsafe.Pointer(&ix.qflat[int(nb)*dim]), dim)
+		} else if ix.f32 {
+			nd := &ix.nodes[nb]
+			cpu.PrefetchRange(unsafe.Pointer(&nd.vec32[0]), 4*len(nd.vec32))
 		} else {
 			nd := &ix.nodes[nb]
 			cpu.PrefetchRange(unsafe.Pointer(&nd.vec[0]), 8*len(nd.vec))
@@ -514,6 +537,12 @@ func (ix *Index) scorePendingQ(s *batchQueryState) {
 }
 
 func (ix *Index) scorePendingX(s *batchQueryState) {
+	if ix.f32 {
+		for _, nb := range s.pending {
+			s.beamPush(nb, 1-vec.Dot32(s.q32, ix.nodes[nb].vec32))
+		}
+		return
+	}
 	for _, nb := range s.pending {
 		s.beamPush(nb, 1-vec.Dot(s.q, ix.nodes[nb].vec))
 	}
@@ -538,11 +567,15 @@ func (ix *Index) rerankState(s *batchQueryState, skip func(qi, id int) bool, out
 	out = out[:0]
 	for ci, c := range cands {
 		if s.useQ && ci+1 < len(cands) {
-			// Touch the head of the next candidate's float64 row while this
-			// one is being scored; the hardware prefetcher follows the
-			// sequential stream from there. Pulling whole rows in software
-			// costs more in issued prefetches than the misses it saves.
-			if v := ix.nodes[cands[ci+1].slot].vec; len(v) > 0 {
+			// Touch the head of the next candidate's row while this one is
+			// being scored; the hardware prefetcher follows the sequential
+			// stream from there. Pulling whole rows in software costs more
+			// in issued prefetches than the misses it saves.
+			if ix.f32 {
+				if v := ix.nodes[cands[ci+1].slot].vec32; len(v) > 0 {
+					cpu.PrefetchRange(unsafe.Pointer(&v[0]), 128)
+				}
+			} else if v := ix.nodes[cands[ci+1].slot].vec; len(v) > 0 {
 				cpu.PrefetchRange(unsafe.Pointer(&v[0]), 128)
 			}
 		}
@@ -552,7 +585,11 @@ func (ix *Index) rerankState(s *batchQueryState, skip func(qi, id int) bool, out
 		}
 		score := 1 - c.dist
 		if s.useQ {
-			score = vec.Dot(s.q, nd.vec)
+			if ix.f32 {
+				score = vec.Dot32(s.q32, nd.vec32)
+			} else {
+				score = vec.Dot(s.q, nd.vec)
+			}
 			s.reranked++
 		}
 		out = append(out, Result{ID: nd.id, Score: score})

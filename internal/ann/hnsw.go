@@ -73,7 +73,8 @@ type Result struct {
 
 type node struct {
 	id        int
-	vec       []float64 // unit-normalised copy
+	vec       []float64 // unit-normalised copy (float64 index, nil on f32)
+	vec32     []float32 // unit-normalised copy (float32 index, nil on f64)
 	code      []int8    // SQ8 code of vec (nil when quantization is off)
 	corr      float64   // reciprocal decoded-code norm (see quant.Encode)
 	neighbors [][]int32 // adjacency per layer, 0..level
@@ -82,7 +83,13 @@ type node struct {
 
 // Index is an HNSW graph over external integer ids.
 type Index struct {
-	dim       int
+	dim int
+	// f32 selects the float32 vector representation (see New32): nodes
+	// store unit vectors as []float32 and exact distances run on the
+	// vec.Dot32 kernel (float64 accumulation over float32 rows — half the
+	// memory traffic per hop). The query API is unchanged: queries arrive
+	// as []float64 and are narrowed once per traversal.
+	f32       bool
 	params    Params
 	nodes     []node
 	slots     map[int]int32 // external id -> slot in nodes
@@ -144,6 +151,7 @@ func (v *visitedSet) reset() {
 type searchScratch struct {
 	visited visitedSet
 	q       []float64
+	q32     []float32   // narrowed query, prepared only on an f32 index
 	cands   []candidate // min-heap storage, reused across calls
 	results []candidate // max-heap storage, reused across calls
 
@@ -195,6 +203,21 @@ func New(dim int, p Params) *Index {
 	}
 }
 
+// New32 creates an empty float32 index: node vectors are stored as
+// unit-normalised []float32 and exact distances run on the float32
+// kernels (float64 accumulation, see vec.Dot32). Everything else —
+// graph construction, quantization, the query API — is identical to a
+// float64 index; scores agree with the float64 index built from the
+// same float32-rounded data to within the kernel tolerance (~1e-6).
+func New32(dim int, p Params) *Index {
+	ix := New(dim, p)
+	ix.f32 = true
+	return ix
+}
+
+// F32 reports whether node vectors are stored as float32.
+func (ix *Index) F32() bool { return ix.f32 }
+
 // Dim returns the vector dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
@@ -223,11 +246,19 @@ type candidate struct {
 	dist float64 // 1 - cosine
 }
 
-// prepareQueryCodes encodes the scratch's unit query (sc.q) for the
-// code-domain traversal. On an unquantized index — or for a degenerate
-// query the codebook cannot represent — the exact float64 kernel stays
-// active.
+// prepareQueryCodes prepares the scratch's unit query (sc.q) for
+// traversal: on an f32 index it is narrowed once into sc.q32 for the
+// float32 exact kernel, and on a quantized index it is SQ8-encoded for
+// the code-domain traversal. On an unquantized index — or for a
+// degenerate query the codebook cannot represent — the exact kernel
+// stays active.
 func (ix *Index) prepareQueryCodes(sc *searchScratch) {
+	if ix.f32 {
+		if cap(sc.q32) < ix.dim {
+			sc.q32 = make([]float32, ix.dim)
+		}
+		sc.q32 = vec.Narrow(sc.q32[:ix.dim], sc.q)
+	}
 	sc.useQ = false
 	if ix.quant == nil {
 		return
@@ -257,11 +288,30 @@ func (ix *Index) distX(sc *searchScratch, slot int32) float64 {
 	return 1 - vec.Dot(sc.q, ix.nodes[slot].vec)
 }
 
+// distX32 is the exact kernel of an f32 index: the float32 rows halve
+// the bytes per hop and vec.Dot32 accumulates in float64. Like distQ it
+// is a separate function so the f64 loop bodies keep inlining distX.
+func (ix *Index) distX32(sc *searchScratch, slot int32) float64 {
+	return 1 - vec.Dot32(sc.q32, ix.nodes[slot].vec32)
+}
+
 func (ix *Index) dist(sc *searchScratch, slot int32) float64 {
 	if sc.useQ {
 		return ix.distQ(sc, slot)
 	}
+	if ix.f32 {
+		return ix.distX32(sc, slot)
+	}
 	return ix.distX(sc, slot)
+}
+
+// distNodes is the node-to-node distance used by neighbour selection
+// during construction; it dispatches on the index representation.
+func (ix *Index) distNodes(a, b int32) float64 {
+	if ix.f32 {
+		return 1 - vec.Dot32(ix.nodes[a].vec32, ix.nodes[b].vec32)
+	}
+	return 1 - vec.Dot(ix.nodes[a].vec, ix.nodes[b].vec)
 }
 
 // Insert adds a vector under the given id. Inserting an existing id
@@ -286,7 +336,15 @@ func (ix *Index) Insert(id int, v []float64) error {
 
 	level := int(math.Floor(-math.Log(1-ix.rng.Float64()) * ix.levelMult))
 	slot := int32(len(ix.nodes))
-	nd := node{id: id, vec: unit, neighbors: make([][]int32, level+1)}
+	nd := node{id: id, neighbors: make([][]int32, level+1)}
+	if ix.f32 {
+		// The float64 unit vector is narrowed once at the store boundary;
+		// traversal, quantization and persistence all read the rounded
+		// copy, so every downstream consumer sees one consistent value.
+		nd.vec32 = vec.Narrow(make([]float32, ix.dim), unit)
+	} else {
+		nd.vec = unit
+	}
 	if ix.quant != nil {
 		// Incremental code maintenance: the new vector is encoded with the
 		// codebook trained at quantization time (out-of-range components
@@ -297,7 +355,13 @@ func (ix *Index) Insert(id int, v []float64) error {
 		base := len(ix.qflat)
 		ix.qflat = append(ix.qflat, make([]int8, ix.dim)...)
 		nd.code = ix.qflat[base : base+ix.dim : base+ix.dim]
-		nd.corr = ix.quant.Encode(nd.code, unit)
+		if ix.f32 {
+			// Encode from the narrowed copy, not the float64 unit, so the
+			// code matches what a retrain over the stored rows would emit.
+			nd.corr = ix.quant.Encode32(nd.code, nd.vec32)
+		} else {
+			nd.corr = ix.quant.Encode(nd.code, unit)
+		}
 		ix.qcorr = append(ix.qcorr, nd.corr)
 	}
 	ix.nodes = append(ix.nodes, nd)
@@ -372,6 +436,7 @@ func (ix *Index) Insert(id int, v []float64) error {
 func (ix *Index) Clone() *Index {
 	cp := &Index{
 		dim:       ix.dim,
+		f32:       ix.f32,
 		params:    ix.params,
 		nodes:     make([]node, len(ix.nodes)),
 		slots:     maps.Clone(ix.slots),
@@ -428,6 +493,33 @@ func (ix *Index) Contains(id int) bool {
 	return ok
 }
 
+// MemoryStats breaks down the index's resident data payload for the
+// serving memory accounting: graph vectors (including tombstones, which
+// keep their rows), SQ8 codes with their per-row corrections, and the
+// per-layer adjacency lists. Figures are payload bytes — Go slice and
+// map headers are excluded — so they compare cleanly across precisions.
+type MemoryStats struct {
+	VectorBytes    int64 // node rows: 8 bytes/value f64, 4 bytes/value f32
+	CodeBytes      int64 // SQ8 codes + float64 corrections (0 when unquantized)
+	AdjacencyBytes int64 // int32 neighbour lists across all layers
+}
+
+// MemoryStats walks the graph and reports its payload footprint. It
+// needs the same external synchronisation as queries (safe concurrently
+// with other reads, excluded against Insert/Delete).
+func (ix *Index) MemoryStats() MemoryStats {
+	var ms MemoryStats
+	for i := range ix.nodes {
+		nd := &ix.nodes[i]
+		ms.VectorBytes += int64(8*len(nd.vec) + 4*len(nd.vec32))
+		for _, layer := range nd.neighbors {
+			ms.AdjacencyBytes += int64(4 * len(layer))
+		}
+	}
+	ms.CodeBytes = int64(len(ix.qflat)) + int64(8*len(ix.qcorr))
+	return ms
+}
+
 // greedyClosest walks layer l from ep to the locally closest node to the
 // scratch's prepared query.
 func (ix *Index) greedyClosest(sc *searchScratch, ep int32, l int) int32 {
@@ -441,6 +533,21 @@ func (ix *Index) greedyClosest(sc *searchScratch, ep int32, l int) int32 {
 			for _, nb := range ix.nodes[best].neighbors[l] {
 				nd := &ix.nodes[nb]
 				if d := 1 - float64(quant.Dot8(qcode, nd.code))*qscale*nd.corr; d < bestD {
+					best, bestD = nb, d
+					improved = true
+				}
+			}
+		}
+		sc.hops += steps
+		return best
+	}
+	if ix.f32 {
+		best, bestD := ep, ix.distX32(sc, ep)
+		for improved := true; improved; {
+			improved = false
+			steps++
+			for _, nb := range ix.nodes[best].neighbors[l] {
+				if d := ix.distX32(sc, nb); d < bestD {
 					best, bestD = nb, d
 					improved = true
 				}
@@ -476,11 +583,13 @@ func (ix *Index) searchLayer(sc *searchScratch, ep int32, ef, l int) []candidate
 	results := candHeap{data: sc.results[:0], min: false}
 	cands.push(candidate{ep, d0})
 	results.push(candidate{ep, d0})
-	// Two copies of the scan loop, one per kernel: the quantized body is
+	// One copy of the scan loop per kernel: the quantized body is
 	// written out (loop-invariant query code/scale hoisted, quant.Dot8
 	// inlined by the compiler) because a shared per-hop helper was too
 	// big to inline and its call frame showed up as ~15% of quantized
-	// query time. The exact body goes through distX, which does inline.
+	// query time. The exact bodies go through distX/distX32, which do
+	// inline; they stay separate loops so neither carries the other's
+	// representation branch per hop.
 	pops := 0
 	if sc.useQ {
 		qcode, qscale := sc.qcode, sc.qscale
@@ -496,6 +605,27 @@ func (ix *Index) searchLayer(sc *searchScratch, ep int32, ef, l int) []candidate
 				}
 				nd := &ix.nodes[nb]
 				d := 1 - float64(quant.Dot8(qcode, nd.code))*qscale*nd.corr
+				if results.len() < ef || d < results.top().dist {
+					cands.push(candidate{nb, d})
+					results.push(candidate{nb, d})
+					if results.len() > ef {
+						results.pop()
+					}
+				}
+			}
+		}
+	} else if ix.f32 {
+		for cands.len() > 0 {
+			c := cands.pop()
+			pops++
+			if results.len() >= ef && c.dist > results.top().dist {
+				break
+			}
+			for _, nb := range ix.nodes[c.slot].neighbors[l] {
+				if !sc.visited.visit(nb) {
+					continue
+				}
+				d := ix.distX32(sc, nb)
 				if results.len() < ef || d < results.top().dist {
 					cands.push(candidate{nb, d})
 					results.push(candidate{nb, d})
@@ -565,7 +695,7 @@ func (ix *Index) selectNeighbors(cands []candidate, m int) []int32 {
 		}
 		keep := true
 		for _, s := range chosen {
-			if 1-vec.Dot(ix.nodes[c.slot].vec, ix.nodes[s].vec) < c.dist {
+			if ix.distNodes(c.slot, s) < c.dist {
 				keep = false
 				break
 			}
@@ -591,7 +721,7 @@ func (ix *Index) shrink(slot int32, l, maxConn int) {
 	nbs := ix.nodes[slot].neighbors[l]
 	cands := make([]candidate, len(nbs))
 	for i, nb := range nbs {
-		cands[i] = candidate{nb, 1 - vec.Dot(ix.nodes[slot].vec, ix.nodes[nb].vec)}
+		cands[i] = candidate{nb, ix.distNodes(slot, nb)}
 	}
 	slices.SortFunc(cands, func(a, b candidate) int {
 		if a.dist < b.dist {
@@ -748,7 +878,11 @@ func (ix *Index) TopKAppendStats(query []float64, k int, skip func(id int) bool,
 		if sc.useQ {
 			// Exact re-scoring: one full-width dot per surviving candidate
 			// (fetch of them), instead of one per traversal hop.
-			score = vec.Dot(q, nd.vec)
+			if ix.f32 {
+				score = vec.Dot32(sc.q32, nd.vec32)
+			} else {
+				score = vec.Dot(q, nd.vec)
+			}
 			reranked++
 		}
 		dst = append(dst, Result{ID: nd.id, Score: score})

@@ -59,8 +59,17 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 				ww.I32(nb)
 			}
 		}
-		for _, x := range nd.vec {
-			ww.F32(float32(x))
+		if ix.f32 {
+			// Float32 nodes persist verbatim: the on-disk format has always
+			// been F32-packed, so the two representations share a byte-
+			// identical layout and either can read the other's graphs.
+			for _, x := range nd.vec32 {
+				ww.F32(x)
+			}
+		} else {
+			for _, x := range nd.vec {
+				ww.F32(float32(x))
+			}
 		}
 	}
 	err := ww.Flush()
@@ -70,7 +79,15 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 // Read reconstructs an index serialised by WriteTo. Malformed input —
 // truncation, impossible counts, out-of-range adjacency — is reported as
 // an error, never a panic, so callers can feed it untrusted bytes.
-func Read(r io.Reader) (*Index, error) {
+func Read(r io.Reader) (*Index, error) { return readIndex(r, false) }
+
+// Read32 is Read into a float32 index: node vectors are kept as the
+// []float32 the file already stores instead of being widened. Since the
+// on-disk layout is F32-packed regardless of the writer's precision,
+// any graph can be read at either precision without loss.
+func Read32(r io.Reader) (*Index, error) { return readIndex(r, true) }
+
+func readIndex(r io.Reader, f32 bool) (*Index, error) {
 	rr := wire.NewReader(r)
 	magic := make([]byte, len(graphMagic))
 	rr.Bytes(magic)
@@ -103,6 +120,7 @@ func Read(r io.Reader) (*Index, error) {
 	}
 
 	ix := New(dim, p)
+	ix.f32 = f32
 	ix.entry = entry
 	ix.maxLevel = maxLevel
 	ix.nodes = make([]node, 0, min(numNodes, 1<<20))
@@ -129,9 +147,16 @@ func Read(r io.Reader) (*Index, error) {
 			}
 			nd.neighbors[l] = layer
 		}
-		nd.vec = make([]float64, dim)
-		for j := range nd.vec {
-			nd.vec[j] = float64(rr.F32())
+		if f32 {
+			nd.vec32 = make([]float32, dim)
+			for j := range nd.vec32 {
+				nd.vec32[j] = rr.F32()
+			}
+		} else {
+			nd.vec = make([]float64, dim)
+			for j := range nd.vec {
+				nd.vec[j] = float64(rr.F32())
+			}
 		}
 		if err := rr.Err(); err != nil {
 			return nil, fmt.Errorf("ann: node %d: %w", i, err)

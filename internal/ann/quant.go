@@ -35,7 +35,15 @@ const DefaultRerank = 3
 // (non-positive selects DefaultRerank). Re-quantizing an already
 // quantized index retrains from the current vectors.
 func (ix *Index) QuantizeSQ8(rerank int) {
-	cb := quant.Train(ix.dim, len(ix.nodes), func(i int) []float64 { return ix.nodes[i].vec })
+	var cb *quant.Codebook
+	if ix.f32 {
+		// Train32/Encode32 widen every component to float64 internally,
+		// so an f32 index produces the same codes a float64 index over
+		// the identical float32-rounded rows would.
+		cb = quant.Train32(ix.dim, len(ix.nodes), func(i int) []float32 { return ix.nodes[i].vec32 })
+	} else {
+		cb = quant.Train(ix.dim, len(ix.nodes), func(i int) []float64 { return ix.nodes[i].vec })
+	}
 	ix.installQuant(cb, rerank)
 }
 
@@ -52,7 +60,11 @@ func (ix *Index) installQuant(cb *quant.Codebook, rerank int) {
 	for i := range ix.nodes {
 		nd := &ix.nodes[i]
 		code := flat[i*ix.dim : (i+1)*ix.dim : (i+1)*ix.dim]
-		nd.corr = cb.Encode(code, nd.vec)
+		if ix.f32 {
+			nd.corr = cb.Encode32(code, nd.vec32)
+		} else {
+			nd.corr = cb.Encode(code, nd.vec)
+		}
 		nd.code = code
 		corrs[i] = nd.corr
 	}

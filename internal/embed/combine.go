@@ -38,9 +38,10 @@ func Combine(a, b *Store, mode CombineMode) (*Store, error) {
 	case Concat:
 		out := NewStore(a.Dim() + b.Dim())
 		buf := make([]float64, a.Dim()+b.Dim())
+		rowBuf := make([]float64, a.Dim())
 		for id, word := range a.words {
 			vec.Zero(buf)
-			copy(buf[:a.Dim()], a.row(id))
+			copy(buf[:a.Dim()], a.rowWide(rowBuf, id))
 			if vb, ok := b.VectorOf(word); ok {
 				copy(buf[a.Dim():], vb)
 			}
@@ -53,8 +54,9 @@ func Combine(a, b *Store, mode CombineMode) (*Store, error) {
 		}
 		out := NewStore(a.Dim())
 		buf := make([]float64, a.Dim())
+		rowBuf := make([]float64, a.Dim())
 		for id, word := range a.words {
-			copy(buf, a.row(id))
+			copy(buf, a.rowWide(rowBuf, id))
 			if vb, ok := b.VectorOf(word); ok {
 				vec.Axpy(buf, 1, vb)
 				vec.Scale(buf, 0.5)

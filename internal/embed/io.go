@@ -17,6 +17,7 @@ import (
 // WriteText serialises the store in the word2vec/GloVe text layout.
 func (s *Store) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	rowBuf := make([]float64, s.dim)
 	for id, word := range s.words {
 		if strings.ContainsAny(word, " \n") {
 			return fmt.Errorf("embed: word %q contains whitespace; text format cannot represent it", word)
@@ -24,7 +25,7 @@ func (s *Store) WriteText(w io.Writer) error {
 		if _, err := bw.WriteString(word); err != nil {
 			return err
 		}
-		for _, v := range s.row(id) {
+		for _, v := range s.rowWide(rowBuf, id) {
 			if _, err := bw.WriteString(" " + strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
 				return err
 			}
@@ -93,6 +94,7 @@ func (s *Store) WriteBinary(w io.Writer) error {
 		return err
 	}
 	buf := make([]byte, 8)
+	rowBuf := make([]float64, s.dim)
 	for id, word := range s.words {
 		binary.LittleEndian.PutUint32(buf[:4], uint32(len(word)))
 		if _, err := bw.Write(buf[:4]); err != nil {
@@ -101,7 +103,7 @@ func (s *Store) WriteBinary(w io.Writer) error {
 		if _, err := bw.WriteString(word); err != nil {
 			return err
 		}
-		for _, v := range s.row(id) {
+		for _, v := range s.rowWide(rowBuf, id) {
 			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
 			if _, err := bw.Write(buf); err != nil {
 				return err

@@ -42,6 +42,57 @@ func ParseQuantMode(s string) (string, error) {
 	return "", fmt.Errorf("embed: unknown quantization mode %q (use off or sq8)", s)
 }
 
+// Precision selects the in-memory representation of the store's vectors.
+// The zero value is F64, the historical representation, so existing
+// callers are unaffected.
+//
+// An F32 store holds its matrix, row-norm cache and ANN graph rows as
+// float32 — half the resident bytes and half the memory traffic per
+// distance evaluation — while every score is still accumulated in
+// float64 (see vec.Dot32), keeping serving results within ~1e-6 of the
+// float64 pipeline on the same float32-rounded data. The float64 API is
+// unchanged: vectors go in as []float64 and are rounded once at the
+// store boundary; Vector/VectorOf return widened copies.
+type Precision uint8
+
+const (
+	// F64 stores vectors as float64 (the default).
+	F64 Precision = iota
+	// F32 stores vectors as float32 with float64 score accumulation.
+	F32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	default:
+		return fmt.Sprintf("Precision(%d)", uint8(p))
+	}
+}
+
+// Bytes returns the bytes per stored value.
+func (p Precision) Bytes() int {
+	if p == F32 {
+		return 4
+	}
+	return 8
+}
+
+// ParsePrecision normalises a user-facing precision string. The empty
+// string selects F64 so zero-valued configs keep their meaning.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "float64", "double":
+		return F64, nil
+	case "f32", "float32", "single":
+		return F32, nil
+	}
+	return F64, fmt.Errorf("embed: unknown precision %q (use f32 or f64)", s)
+}
+
 // Store holds an embedding matrix with a string vocabulary. Rows of the
 // matrix correspond 1:1 to vocabulary entries.
 //
@@ -58,10 +109,17 @@ func ParseQuantMode(s string) (string, error) {
 // This is how the serving layer publishes read views that queries run
 // against without any lock while inserts mutate the live store.
 type Store struct {
-	dim    int
-	words  []string
-	index  map[string]int
-	matrix *vec.Matrix
+	dim   int
+	words []string
+	index map[string]int
+
+	// Exactly one of matrix/matrix32 is populated, per precision. Every
+	// mutator and scan branches through the precision-aware helpers
+	// (setRow, computeNorm, rowWide, ...) so the copy-on-write and epoch
+	// machinery is shared between the representations.
+	precision Precision
+	matrix    *vec.Matrix   // F64 rows
+	matrix32  *vec.Matrix32 // F32 rows
 
 	// frozen marks an immutable Freeze snapshot: mutators panic, and the
 	// query paths read derived state (norms, ANN index) without locking
@@ -97,9 +155,17 @@ type Store struct {
 
 	// Cached L2 row norms for the exact scan: built lazily on the first
 	// TopKExact and maintained by Add/SetVector/NormalizeAll/RefreshRow,
-	// so the hot path stops recomputing every norm per query.
-	normMu sync.Mutex
-	norms  []float64
+	// so the hot path stops recomputing every norm per query. An F32
+	// store keeps the cache as float32 (norms32); an F64 store as
+	// float64 (norms) — only one is ever populated.
+	normMu  sync.Mutex
+	norms   []float64
+	norms32 []float32
+
+	// wbuf is a widening scratch row for the ANN maintenance paths of an
+	// F32 store (ann.Index.Insert takes []float64). It is only touched
+	// under annMu.
+	wbuf []float64
 
 	// Epoch stamping for the storage engine's delta checkpoints: every
 	// mutator stamps the touched row with the store's current epoch, so
@@ -112,14 +178,26 @@ type Store struct {
 	rowEpochs []uint64
 }
 
-// NewStore creates an empty store for vectors of the given dimensionality.
-// ANN search is enabled by default at DefaultANNThreshold.
+// NewStore creates an empty float64 store for vectors of the given
+// dimensionality. ANN search is enabled by default at
+// DefaultANNThreshold.
 func NewStore(dim int) *Store {
+	return NewStoreWithPrecision(dim, F64)
+}
+
+// NewStoreWithPrecision creates an empty store with the given vector
+// representation (see Precision). The precision is fixed for the
+// store's lifetime.
+func NewStoreWithPrecision(dim int, p Precision) *Store {
 	if dim <= 0 {
 		panic(fmt.Sprintf("embed: non-positive dimension %d", dim))
 	}
+	if p != F64 && p != F32 {
+		panic(fmt.Sprintf("embed: invalid precision %d", p))
+	}
 	return &Store{
 		dim:          dim,
+		precision:    p,
 		index:        make(map[string]int),
 		annParams:    ann.DefaultParams(),
 		annThreshold: DefaultANNThreshold,
@@ -128,6 +206,9 @@ func NewStore(dim int) *Store {
 
 // Dim returns the vector dimensionality.
 func (s *Store) Dim() int { return s.dim }
+
+// Precision returns the store's vector representation.
+func (s *Store) Precision() Precision { return s.precision }
 
 // Len returns the vocabulary size.
 func (s *Store) Len() int { return len(s.words) }
@@ -164,10 +245,11 @@ func (s *Store) Freeze() *Store {
 	if s.frozen {
 		return s
 	}
-	s.rowNorms()  // materialise the norm cache for lock-free exact scans
-	s.ensureANN() // build the index now; a snapshot never builds lazily
+	s.ensureNormCache() // materialise the norm cache for lock-free exact scans
+	s.ensureANN()       // build the index now; a snapshot never builds lazily
 	f := &Store{
 		dim:          s.dim,
+		precision:    s.precision,
 		words:        s.words,
 		index:        s.index,
 		frozen:       true,
@@ -180,9 +262,14 @@ func (s *Store) Freeze() *Store {
 		m := *s.matrix // private header; the backing array is shared
 		f.matrix = &m
 	}
+	if s.matrix32 != nil {
+		m := *s.matrix32
+		f.matrix32 = &m
+	}
 	s.sharedMatrix, s.sharedIndex = true, true
 	s.normMu.Lock()
 	f.norms = s.norms
+	f.norms32 = s.norms32
 	s.sharedNorms = true
 	s.normMu.Unlock()
 	s.annMu.Lock()
@@ -204,6 +291,11 @@ func (s *Store) cowMatrix() {
 		data := make([]float64, len(s.matrix.Data))
 		copy(data, s.matrix.Data)
 		s.matrix = &vec.Matrix{Rows: s.matrix.Rows, Cols: s.matrix.Cols, Stride: s.matrix.Stride, Data: data}
+	}
+	if s.matrix32 != nil {
+		data := make([]float32, len(s.matrix32.Data))
+		copy(data, s.matrix32.Data)
+		s.matrix32 = &vec.Matrix32{Rows: s.matrix32.Rows, Cols: s.matrix32.Cols, Stride: s.matrix32.Stride, Data: data}
 	}
 	s.sharedMatrix = false
 }
@@ -303,7 +395,7 @@ func (s *Store) Add(word string, vector []float64) int {
 	}
 	if id, ok := s.index[word]; ok {
 		s.cowMatrix() // overwriting a row a snapshot may be reading
-		copy(s.row(id), vector)
+		s.setRow(id, vector)
 		s.normUpdate(id)
 		s.annUpdate(id)
 		s.stamp(id)
@@ -314,7 +406,7 @@ func (s *Store) Add(word string, vector []float64) int {
 	s.cowIndex()
 	s.index[word] = id
 	s.growTo(id + 1)
-	copy(s.row(id), vector)
+	s.setRow(id, vector)
 	s.normUpdate(id)
 	s.annUpdate(id)
 	s.stamp(id)
@@ -337,7 +429,7 @@ func (s *Store) AddStaged(word string, vector []float64) int {
 	}
 	if id, ok := s.index[word]; ok {
 		s.cowMatrix() // overwriting a row a snapshot may be reading
-		copy(s.row(id), vector)
+		s.setRow(id, vector)
 		s.stamp(id)
 		return id
 	}
@@ -346,9 +438,18 @@ func (s *Store) AddStaged(word string, vector []float64) int {
 	s.cowIndex()
 	s.index[word] = id
 	s.growTo(id + 1)
-	copy(s.row(id), vector)
+	s.setRow(id, vector)
 	s.stamp(id)
 	return id
+}
+
+// computeNorm returns the L2 norm of row id under the store's precision
+// (float64 accumulation on either representation).
+func (s *Store) computeNorm(id int) float64 {
+	if s.precision == F32 {
+		return vec.Norm32(s.row32(id))
+	}
+	return vec.Norm(s.row(id))
 }
 
 // normUpdate maintains the cached norm of one row; a cache that was never
@@ -356,6 +457,24 @@ func (s *Store) AddStaged(word string, vector []float64) int {
 func (s *Store) normUpdate(id int) {
 	s.normMu.Lock()
 	defer s.normMu.Unlock()
+	if s.precision == F32 {
+		if s.norms32 == nil {
+			return
+		}
+		if s.sharedNorms {
+			s.norms32 = slices.Clone(s.norms32)
+			s.sharedNorms = false
+		}
+		for len(s.norms32) < id {
+			s.norms32 = append(s.norms32, float32(s.computeNorm(len(s.norms32))))
+		}
+		if id == len(s.norms32) {
+			s.norms32 = append(s.norms32, float32(s.computeNorm(id)))
+			return
+		}
+		s.norms32[id] = float32(s.computeNorm(id))
+		return
+	}
 	if s.norms == nil {
 		return
 	}
@@ -376,8 +495,8 @@ func (s *Store) normUpdate(id int) {
 	s.norms[id] = vec.Norm(s.row(id))
 }
 
-// rowNorms returns the norm cache, building it on first use. Concurrent
-// readers serialise only on the build.
+// rowNorms returns the float64 norm cache, building it on first use.
+// Concurrent readers serialise only on the build. F64 stores only.
 func (s *Store) rowNorms() []float64 {
 	s.normMu.Lock()
 	defer s.normMu.Unlock()
@@ -390,6 +509,31 @@ func (s *Store) rowNorms() []float64 {
 		s.sharedNorms = false // freshly built, private to the live store
 	}
 	return s.norms
+}
+
+// rowNorms32 is rowNorms for an F32 store: the cache itself is float32
+// (half the bytes the scan streams), computed through float64 norms.
+func (s *Store) rowNorms32() []float32 {
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	if len(s.norms32) != len(s.words) {
+		norms := make([]float32, len(s.words))
+		for id := range norms {
+			norms[id] = float32(s.computeNorm(id))
+		}
+		s.norms32 = norms
+		s.sharedNorms = false
+	}
+	return s.norms32
+}
+
+// ensureNormCache materialises whichever norm cache the precision uses.
+func (s *Store) ensureNormCache() {
+	if s.precision == F32 {
+		s.rowNorms32()
+	} else {
+		s.rowNorms()
+	}
 }
 
 // annUpdate folds a single-row change into a built index: non-zero rows
@@ -406,7 +550,7 @@ func (s *Store) annUpdate(id int) {
 		s.annIndex = s.annIndex.Clone()
 		s.sharedANN = false
 	}
-	r := s.row(id)
+	r := s.widenRowLocked(id)
 	if vec.Norm(r) == 0 {
 		s.annIndex.Delete(id)
 	} else if err := s.annIndex.Insert(id, r); err != nil {
@@ -421,10 +565,25 @@ func (s *Store) annUpdate(id int) {
 }
 
 func (s *Store) growTo(n int) {
+	need := n * s.dim
+	if s.precision == F32 {
+		if s.matrix32 == nil {
+			s.matrix32 = &vec.Matrix32{Rows: 0, Cols: s.dim, Stride: s.dim}
+		}
+		if cap(s.matrix32.Data) < need {
+			grown := make([]float32, need, maxInt(need, 2*cap(s.matrix32.Data)))
+			copy(grown, s.matrix32.Data)
+			s.matrix32.Data = grown
+			s.sharedMatrix = false
+		} else {
+			s.matrix32.Data = s.matrix32.Data[:need]
+		}
+		s.matrix32.Rows = n
+		return
+	}
 	if s.matrix == nil {
 		s.matrix = &vec.Matrix{Rows: 0, Cols: s.dim, Stride: s.dim}
 	}
-	need := n * s.dim
 	if cap(s.matrix.Data) < need {
 		grown := make([]float64, need, maxInt(need, 2*cap(s.matrix.Data)))
 		copy(grown, s.matrix.Data)
@@ -446,7 +605,43 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func (s *Store) row(id int) []float64 { return s.matrix.Row(id) }
+func (s *Store) row(id int) []float64   { return s.matrix.Row(id) }
+func (s *Store) row32(id int) []float32 { return s.matrix32.Row(id) }
+
+// setRow writes a float64 vector into row id under the store's
+// precision. On an F32 store this is the single rounding point: each
+// component is rounded to float32 once, here, and every downstream
+// consumer (scans, ANN, quantization, persistence) reads the rounded
+// value.
+func (s *Store) setRow(id int, v []float64) {
+	if s.precision == F32 {
+		vec.Narrow(s.row32(id), v)
+		return
+	}
+	copy(s.row(id), v)
+}
+
+// rowWide returns row id as []float64: the live row view on an F64
+// store, or the row widened into buf (which must have length Dim) on an
+// F32 store.
+func (s *Store) rowWide(buf []float64, id int) []float64 {
+	if s.precision == F32 {
+		return vec.Widen(buf, s.row32(id))
+	}
+	return s.row(id)
+}
+
+// widenRowLocked widens row id into the store's scratch row (annMu must
+// be held on concurrent paths). F64 stores return the live row.
+func (s *Store) widenRowLocked(id int) []float64 {
+	if s.precision != F32 {
+		return s.row(id)
+	}
+	if len(s.wbuf) != s.dim {
+		s.wbuf = make([]float64, s.dim)
+	}
+	return vec.Widen(s.wbuf, s.row32(id))
+}
 
 // ID returns the id of word.
 func (s *Store) ID(word string) (int, bool) {
@@ -460,17 +655,34 @@ func (s *Store) Word(id int) string { return s.words[id] }
 // Words returns the vocabulary in id order. The slice must not be mutated.
 func (s *Store) Words() []string { return s.words }
 
-// Vector returns a read-only view of the vector for id. Callers must not
+// Vector returns the vector for id as []float64: a read-only view on an
+// F64 store, a freshly widened copy on an F32 store. Callers must not
 // mutate it; use SetVector to change a stored vector.
-func (s *Store) Vector(id int) []float64 { return s.row(id) }
+func (s *Store) Vector(id int) []float64 {
+	if s.precision == F32 {
+		return vec.Widen(make([]float64, s.dim), s.row32(id))
+	}
+	return s.row(id)
+}
 
-// VectorOf returns the vector for a word, if present.
+// Vector32 returns a read-only float32 view of the vector for id. Only
+// valid on an F32 store (the storage engine's delta checkpoints read
+// rows through it to persist float32 words without a round trip).
+func (s *Store) Vector32(id int) []float32 {
+	if s.precision != F32 {
+		panic("embed: Vector32 on a float64 store")
+	}
+	return s.row32(id)
+}
+
+// VectorOf returns the vector for a word, if present. Like Vector, an
+// F32 store returns a widened copy.
 func (s *Store) VectorOf(word string) ([]float64, bool) {
 	id, ok := s.index[word]
 	if !ok {
 		return nil, false
 	}
-	return s.row(id), true
+	return s.Vector(id), true
 }
 
 // SetVector overwrites the vector stored for id. A built ANN index is
@@ -481,7 +693,7 @@ func (s *Store) SetVector(id int, vector []float64) {
 		panic("embed: SetVector dimension mismatch")
 	}
 	s.cowMatrix()
-	copy(s.row(id), vector)
+	s.setRow(id, vector)
 	s.normUpdate(id)
 	s.annUpdate(id)
 	s.stamp(id)
@@ -499,29 +711,49 @@ func (s *Store) RefreshRow(id int) {
 	s.stamp(id)
 }
 
-// Matrix exposes the underlying (Len x Dim) matrix. Rows are live views:
-// mutating them mutates the store; callers that do so must call
-// PrepareWrite first (so frozen snapshots are detached) and RefreshRow
-// for each changed row (or InvalidateANN for bulk rewrites) so the ANN
-// index and norm cache stay in step.
+// Matrix exposes the underlying (Len x Dim) float64 matrix. Rows are
+// live views: mutating them mutates the store; callers that do so must
+// call PrepareWrite first (so frozen snapshots are detached) and
+// RefreshRow for each changed row (or InvalidateANN for bulk rewrites)
+// so the ANN index and norm cache stay in step.
+//
+// Matrix panics on an F32 store: the float64 solver state cannot alias
+// float32 rows. The session layer keeps its own float64 mirror and
+// writes results back through SetVector (which rounds once).
 func (s *Store) Matrix() *vec.Matrix {
+	if s.precision == F32 {
+		panic("embed: Matrix on a float32 store (solvers bind to a float64 mirror)")
+	}
 	if s.matrix == nil {
 		return vec.NewMatrix(0, s.dim)
 	}
 	return s.matrix
 }
 
-// Clone returns a deep copy of the store. The ANN and quantization
-// configuration is carried over; the index itself is rebuilt lazily on
-// the copy.
+// Matrix32 exposes the underlying float32 matrix of an F32 store, with
+// the same live-view caveats as Matrix. It panics on an F64 store.
+func (s *Store) Matrix32() *vec.Matrix32 {
+	if s.precision != F32 {
+		panic("embed: Matrix32 on a float64 store")
+	}
+	if s.matrix32 == nil {
+		return vec.NewMatrix32(0, s.dim)
+	}
+	return s.matrix32
+}
+
+// Clone returns a deep copy of the store at the same precision. The ANN
+// and quantization configuration is carried over; the index itself is
+// rebuilt lazily on the copy.
 func (s *Store) Clone() *Store {
-	out := NewStore(s.dim)
+	out := NewStoreWithPrecision(s.dim, s.precision)
 	out.annParams = s.annParams
 	out.annThreshold = s.annThreshold
 	out.quantMode = s.quantMode
 	out.quantRerank = s.quantRerank
+	buf := make([]float64, s.dim)
 	for id, w := range s.words {
-		out.Add(w, s.row(id))
+		out.Add(w, s.rowWide(buf, id))
 	}
 	return out
 }
@@ -533,7 +765,11 @@ func (s *Store) NormalizeAll() {
 	s.mutable("NormalizeAll")
 	s.cowMatrix()
 	for id := range s.words {
-		vec.Normalize(s.row(id))
+		if s.precision == F32 {
+			vec.Normalize32(s.row32(id))
+		} else {
+			vec.Normalize(s.row(id))
+		}
 		s.normUpdate(id)
 		s.stamp(id)
 	}
@@ -584,6 +820,7 @@ func (s *Store) InvalidateANN() {
 	s.annMu.Unlock()
 	s.normMu.Lock()
 	s.norms = nil
+	s.norms32 = nil
 	s.sharedNorms = false // the snapshot keeps its cache; ours is dropped
 	s.normMu.Unlock()
 }
@@ -761,6 +998,58 @@ func (s *Store) AdoptANN(idx *ann.Index) error {
 	return nil
 }
 
+// MemoryStats breaks down the store's resident data payload: the
+// embedding matrix, the row-norm cache, and — when an ANN index is
+// built — its graph rows, SQ8 codes and adjacency lists. Figures are
+// payload bytes (slice headers and the vocabulary excluded), which is
+// what the precision choice actually moves; the serving stats endpoint
+// and the footprint guard read them.
+type MemoryStats struct {
+	Precision      string `json:"precision"`
+	MatrixBytes    int64  `json:"matrix_bytes"`
+	NormBytes      int64  `json:"norm_bytes"`
+	GraphVecBytes  int64  `json:"graph_vector_bytes"`
+	CodeBytes      int64  `json:"code_bytes"`
+	AdjacencyBytes int64  `json:"adjacency_bytes"`
+	TotalBytes     int64  `json:"total_bytes"`
+}
+
+// MemoryStats reports the store's payload footprint. Safe concurrently
+// with reads (it takes the internal locks a live store's lazy builds
+// use); requires the usual external exclusion against writers.
+func (s *Store) MemoryStats() MemoryStats {
+	ms := MemoryStats{Precision: s.precision.String()}
+	if s.matrix != nil {
+		ms.MatrixBytes = int64(8 * len(s.matrix.Data))
+	}
+	if s.matrix32 != nil {
+		ms.MatrixBytes = int64(4 * len(s.matrix32.Data))
+	}
+	if s.frozen {
+		ms.NormBytes = int64(8*len(s.norms) + 4*len(s.norms32))
+		if s.annIndex != nil {
+			ann := s.annIndex.MemoryStats()
+			ms.GraphVecBytes = ann.VectorBytes
+			ms.CodeBytes = ann.CodeBytes
+			ms.AdjacencyBytes = ann.AdjacencyBytes
+		}
+	} else {
+		s.normMu.Lock()
+		ms.NormBytes = int64(8*len(s.norms) + 4*len(s.norms32))
+		s.normMu.Unlock()
+		s.annMu.Lock()
+		if s.annIndex != nil && !s.annStale {
+			ann := s.annIndex.MemoryStats()
+			ms.GraphVecBytes = ann.VectorBytes
+			ms.CodeBytes = ann.CodeBytes
+			ms.AdjacencyBytes = ann.AdjacencyBytes
+		}
+		s.annMu.Unlock()
+	}
+	ms.TotalBytes = ms.MatrixBytes + ms.NormBytes + ms.GraphVecBytes + ms.CodeBytes + ms.AdjacencyBytes
+	return ms
+}
+
 // ANNIndex returns the built HNSW index, or nil when disabled, stale or
 // not yet built. Intended for introspection (serving stats).
 func (s *Store) ANNIndex() *ann.Index {
@@ -810,9 +1099,17 @@ func (s *Store) ensureANN() *ann.Index {
 		s.reconcileQuantLocked()
 		return s.annIndex
 	}
-	idx := ann.New(s.dim, s.annParams)
+	var idx *ann.Index
+	if s.precision == F32 {
+		// The graph stores float32 rows too: the store's rounded rows
+		// pass through a float64 widening for unit-normalisation and are
+		// narrowed again inside the index.
+		idx = ann.New32(s.dim, s.annParams)
+	} else {
+		idx = ann.New(s.dim, s.annParams)
+	}
 	for id := range s.words {
-		r := s.row(id)
+		r := s.widenRowLocked(id)
 		if vec.Norm(r) == 0 {
 			continue // the exact scan skips zero vectors too
 		}
@@ -852,6 +1149,9 @@ func (s *Store) TopK(query []float64, k int, skip func(id int) bool) []Match {
 // resultPool recycles the intermediate ann.Result buffer the ANN path
 // needs before id->word resolution, keeping TopKAppend allocation-free.
 var resultPool = sync.Pool{New: func() any { return new([]ann.Result) }}
+
+// q32Pool recycles the narrowed-query buffer of the float32 exact scan.
+var q32Pool = sync.Pool{New: func() any { return new([]float32) }}
 
 // TopKAppend is TopK with caller-owned result storage: matches are
 // written into dst[:0] and the slice (grown if its capacity was short)
@@ -928,36 +1228,75 @@ func (s *Store) TopKExactAppend(query []float64, k int, skip func(id int) bool, 
 	if qn == 0 {
 		return dst
 	}
-	var norms []float64
-	if s.frozen {
-		norms = s.norms // materialised at Freeze, immutable from then on
-	} else {
-		norms = s.rowNorms()
-	}
 	// Min-heap of the best k so far: the root is the weakest kept match
 	// (lowest score; among ties, the highest id), so a candidate beats the
 	// buffer iff its score strictly exceeds the root's — ties keep the
 	// earlier entry, exactly as the id-ordered scan always has.
 	heap := dst
-	for id := range s.words {
-		if skip != nil && skip(id) {
-			continue
+	if s.precision == F32 {
+		var norms []float32
+		if s.frozen {
+			norms = s.norms32 // materialised at Freeze, immutable from then on
+		} else {
+			norms = s.rowNorms32()
 		}
-		rn := norms[id]
-		if rn == 0 {
-			continue
+		// Narrow the query once; the scan then streams half the bytes per
+		// row it would in float64, with float64 accumulation inside Dot32.
+		qbuf := q32Pool.Get().(*[]float32)
+		q32 := *qbuf
+		if cap(q32) < s.dim {
+			q32 = make([]float32, s.dim)
 		}
-		score := vec.Dot(query, s.row(id)) / (qn * rn)
-		if len(heap) < k {
-			heap = append(heap, Match{ID: id, Word: s.words[id], Score: score})
-			siftUp(heap, len(heap)-1)
-			continue
+		q32 = vec.Narrow(q32[:s.dim], query)
+		for id := range s.words {
+			if skip != nil && skip(id) {
+				continue
+			}
+			rn := norms[id]
+			if rn == 0 {
+				continue
+			}
+			score := vec.Dot32(q32, s.row32(id)) / (qn * float64(rn))
+			if len(heap) < k {
+				heap = append(heap, Match{ID: id, Word: s.words[id], Score: score})
+				siftUp(heap, len(heap)-1)
+				continue
+			}
+			if score <= heap[0].Score {
+				continue
+			}
+			heap[0] = Match{ID: id, Word: s.words[id], Score: score}
+			siftDown(heap, 0)
 		}
-		if score <= heap[0].Score {
-			continue
+		*qbuf = q32
+		q32Pool.Put(qbuf)
+	} else {
+		var norms []float64
+		if s.frozen {
+			norms = s.norms // materialised at Freeze, immutable from then on
+		} else {
+			norms = s.rowNorms()
 		}
-		heap[0] = Match{ID: id, Word: s.words[id], Score: score}
-		siftDown(heap, 0)
+		for id := range s.words {
+			if skip != nil && skip(id) {
+				continue
+			}
+			rn := norms[id]
+			if rn == 0 {
+				continue
+			}
+			score := vec.Dot(query, s.row(id)) / (qn * rn)
+			if len(heap) < k {
+				heap = append(heap, Match{ID: id, Word: s.words[id], Score: score})
+				siftUp(heap, len(heap)-1)
+				continue
+			}
+			if score <= heap[0].Score {
+				continue
+			}
+			heap[0] = Match{ID: id, Word: s.words[id], Score: score}
+			siftDown(heap, 0)
+		}
 	}
 	slices.SortFunc(heap, func(a, b Match) int {
 		if a.Score != b.Score {

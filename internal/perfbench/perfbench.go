@@ -35,6 +35,14 @@ const NumQueries = 2048
 // entry but the index is NOT built; callers warm it so the build stays
 // outside any timing window.
 func World(n, dim int, seed int64) (*embed.Store, [][]float64) {
+	return WorldWithPrecision(n, dim, seed, embed.F64)
+}
+
+// WorldWithPrecision is World with an explicit store precision. The
+// vector stream is identical for every precision at the same seed (the
+// store rounds on entry), so an F32 world and an F64 world hold the same
+// data and their rankings are directly comparable ID-for-ID.
+func WorldWithPrecision(n, dim int, seed int64, p embed.Precision) (*embed.Store, [][]float64) {
 	rng := rand.New(rand.NewSource(seed))
 	centers := make([][]float64, 256)
 	for ci := range centers {
@@ -52,7 +60,7 @@ func World(n, dim int, seed int64) (*embed.Store, [][]float64) {
 		}
 		return v
 	}
-	s := embed.NewStore(dim)
+	s := embed.NewStoreWithPrecision(dim, p)
 	s.EnableANN(1, ann.Params{})
 	for i := 0; i < n; i++ {
 		s.Add(fmt.Sprintf("v%07d", i), point())
@@ -131,11 +139,42 @@ func Recall10Many(s *embed.Store, queries [][]float64, batch int) float64 {
 // graph build). Freezing mirrors the serving read path: queries run
 // lock-free with all derived state materialised.
 func Pair(n, dim int, seed int64, rerank int) (exact, quantized *embed.Store, queries [][]float64) {
-	s, queries := World(n, dim, seed)
+	return PairWithPrecision(n, dim, seed, rerank, embed.F64)
+}
+
+// PairWithPrecision is Pair over a store of the given precision: the
+// float32 serving comparison builds its pair with embed.F32 and the same
+// seed, yielding the same vectors in half the resident bytes.
+func PairWithPrecision(n, dim int, seed int64, rerank int, p embed.Precision) (exact, quantized *embed.Store, queries [][]float64) {
+	s, queries := WorldWithPrecision(n, dim, seed, p)
 	s.WarmANN()
 	exact = s.Freeze()
 	s.EnableQuantization(embed.QuantSQ8, rerank)
 	s.WarmANN() // copy-on-write: clones the shared graph, then quantizes
 	quantized = s.Freeze()
 	return exact, quantized, queries
+}
+
+// CrossRecall10 measures recall@10 of s's exact scan against a reference
+// store's exact scan over the same vocabulary (IDs align by insertion
+// order) — the fidelity gate for a reduced-precision store versus its
+// float64 twin.
+func CrossRecall10(s, ref *embed.Store, queries [][]float64) float64 {
+	hits, total := 0, 0
+	for _, q := range queries {
+		want := map[int]bool{}
+		for _, m := range ref.TopKExact(q, 10, nil) {
+			want[m.ID] = true
+		}
+		for _, m := range s.TopKExact(q, 10, nil) {
+			if want[m.ID] {
+				hits++
+			}
+		}
+		total += 10
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
 }

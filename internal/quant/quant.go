@@ -78,6 +78,38 @@ func Train(dim, n int, row func(i int) []float64) *Codebook {
 	return newCodebook(dim, scales)
 }
 
+// Train32 is Train over float32 rows (the float32 serving store's
+// matrix). The per-element arithmetic widens each component to float64,
+// so the trained scales — and therefore every code — are bit-identical
+// to Train on the widened rows.
+func Train32(dim, n int, row func(i int) []float32) *Codebook {
+	if dim <= 0 {
+		panic(fmt.Sprintf("quant: non-positive dimension %d", dim))
+	}
+	maxAbs := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		r := row(i)
+		for d, v := range r[:dim] {
+			x := float64(v)
+			if x < 0 {
+				x = -x
+			}
+			if x > maxAbs[d] {
+				maxAbs[d] = x
+			}
+		}
+	}
+	scales := make([]float64, dim)
+	for d, m := range maxAbs {
+		if m == 0 {
+			scales[d] = 1
+		} else {
+			scales[d] = m / maxCode
+		}
+	}
+	return newCodebook(dim, scales)
+}
+
 // NewCodebook reconstructs a codebook from persisted scales (one per
 // dimension, all strictly positive and finite).
 func NewCodebook(scales []float64) (*Codebook, error) {
@@ -139,6 +171,27 @@ func (cb *Codebook) Encode(dst []int8, v []float64) (corr float64) {
 	var norm2 float64
 	for d, x := range v {
 		c := clampRound(x * cb.inv[d])
+		dst[d] = c
+		dec := float64(c) * cb.scales[d]
+		norm2 += dec * dec
+	}
+	if norm2 == 0 {
+		return 0
+	}
+	return 1 / math.Sqrt(norm2)
+}
+
+// Encode32 is Encode over a float32 row. Each component widens to
+// float64 before scaling, so codes and correction are bit-identical to
+// Encode on the widened row.
+func (cb *Codebook) Encode32(dst []int8, v []float32) (corr float64) {
+	if len(v) != cb.dim {
+		panic(fmt.Sprintf("quant: Encode32 vector dim %d, codebook dim %d", len(v), cb.dim))
+	}
+	dst = dst[:cb.dim]
+	var norm2 float64
+	for d, x := range v {
+		c := clampRound(float64(x) * cb.inv[d])
 		dst[d] = c
 		dec := float64(c) * cb.scales[d]
 		norm2 += dec * dec

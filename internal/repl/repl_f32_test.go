@@ -1,0 +1,134 @@
+package repl_test
+
+import (
+	"testing"
+	"time"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/repl"
+)
+
+func f32StorageOpts(extra func(*retro.StorageOptions)) retro.StorageOptions {
+	return testStorageOpts(func(o *retro.StorageOptions) {
+		o.Config.Precision = retro.F32
+		if extra != nil {
+			extra(o)
+		}
+	})
+}
+
+// TestReplicationF32 runs the chaos scenarios with a float32 primary and
+// follower: the follower's WAL tail re-repairs at float32 precision and
+// converges on the primary's exact float32 words, a SIGKILL'd primary
+// recovers its f32 store from disk, and a forced full re-sync ships the
+// version-3 (precision-tagged) snapshot so the replacement engine comes
+// up float32 too.
+func TestReplicationF32(t *testing.T) {
+	t.Run("tail-matches-primary-bitwise", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), f32StorageOpts(nil))
+		defer p.shutdown()
+		r := startReplica(t, t.TempDir(), p.url(), func(c *repl.Config) {
+			c.Storage = f32StorageOpts(nil)
+		})
+		defer r.shutdown()
+		waitFor(t, 10*time.Second, "initial catch-up", func() bool { return r.fol.Status().Ready })
+
+		pStore := p.eng.Session().Model().Store()
+		if pStore.Precision() != retro.F32 {
+			t.Fatalf("primary store precision = %v, want F32", pStore.Precision())
+		}
+		if got := r.fol.Engine().Session().Model().Store().Precision(); got != retro.F32 {
+			t.Fatalf("follower store precision = %v, want F32", got)
+		}
+
+		titles := []string{"f32 premiere one", "f32 premiere two", "f32 premiere three"}
+		for i, title := range titles {
+			p.insert(9500+i, title)
+		}
+		for _, title := range titles {
+			title := title
+			waitFor(t, 10*time.Second, "replication of "+title, func() bool { return r.queryable(title) })
+		}
+
+		// Both sides repaired the same ops from the same dataset through
+		// the same deterministic solver, so the follower's float32 words
+		// are bit-identical to the primary's.
+		fStore := r.fol.Engine().Session().Model().Store()
+		for _, title := range titles {
+			key := "movies.title\x00" + title
+			pid, ok := pStore.ID(key)
+			if !ok {
+				t.Fatalf("primary missing %q", key)
+			}
+			fid, ok := fStore.ID(key)
+			if !ok {
+				t.Fatalf("follower missing %q", key)
+			}
+			pv, fv := pStore.Vector32(pid), fStore.Vector32(fid)
+			for i := range pv {
+				if pv[i] != fv[i] {
+					t.Fatalf("%q[%d]: primary %v, follower %v", title, i, pv[i], fv[i])
+				}
+			}
+		}
+	})
+
+	t.Run("primary-sigkill-recovers-f32", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), f32StorageOpts(nil))
+		defer p.shutdown()
+		r := startReplica(t, t.TempDir(), p.url(), func(c *repl.Config) {
+			c.Storage = f32StorageOpts(nil)
+		})
+		defer r.shutdown()
+
+		p.insert(9510, "f32 survivor")
+		waitFor(t, 10*time.Second, "replication", func() bool { return r.queryable("f32 survivor") })
+		p.kill9()
+		p.restart()
+		if got := p.eng.Session().Model().Store().Precision(); got != retro.F32 {
+			t.Fatalf("restarted primary store precision = %v, want F32", got)
+		}
+		p.insert(9511, "f32 second life")
+		waitFor(t, 20*time.Second, "replication after restart", func() bool { return r.queryable("f32 second life") })
+	})
+
+	t.Run("full-resync-ships-f32-snapshot", func(t *testing.T) {
+		p := startPrimary(t, t.TempDir(), f32StorageOpts(func(o *retro.StorageOptions) {
+			o.MaxSegments = 1
+			o.ReplLog = 2
+		}))
+		defer p.shutdown()
+		r := startReplica(t, t.TempDir(), p.url(), func(c *repl.Config) {
+			c.Storage = f32StorageOpts(nil)
+		})
+		defer r.shutdown()
+		waitFor(t, 10*time.Second, "initial catch-up", func() bool { return r.fol.Status().Ready })
+
+		// Move the primary past the follower's resume point while it is
+		// down: checkpoint-per-insert compacts the chain and prunes the
+		// replication window, forcing a full re-sync on reconnect.
+		r.kill9()
+		titles := []string{"f32 fold one", "f32 fold two", "f32 fold three", "f32 fold four"}
+		for i, title := range titles {
+			p.insert(9520+i, title)
+			if _, err := p.srv.Checkpoint(); err != nil {
+				t.Fatalf("primary checkpoint: %v", err)
+			}
+		}
+
+		r.run()
+		for _, title := range titles {
+			title := title
+			waitFor(t, 20*time.Second, "post-compaction replication of "+title, func() bool { return r.queryable(title) })
+		}
+		st := r.fol.Status()
+		if st.Resyncs == 0 {
+			t.Fatalf("follower caught up without the expected re-sync: %+v", st)
+		}
+		// The replacement engine was built from the primary's version-3
+		// snapshot: the precision header byte must have carried over.
+		if got := r.fol.Engine().Session().Model().Store().Precision(); got != retro.F32 {
+			t.Fatalf("post-resync follower store precision = %v, want F32", got)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/embed"
 	"github.com/retrodb/retro/internal/obs"
 )
 
@@ -179,6 +180,33 @@ func newTelemetry(s *Server, cfg Config) *telemetry {
 	reg.GaugeFunc("retro_uptime_seconds",
 		"Seconds since the server was constructed.", "",
 		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Resident store payload by component — the bytes the precision mode
+	// (f32 vs f64) moves. One series per component; each closure reads
+	// the published view at scrape time (MemoryStats is a handful of
+	// length reads, cheap enough to evaluate per series).
+	storeBytes := func(pick func(embed.MemoryStats) int64) func() float64 {
+		return func() float64 {
+			v := s.view.Load()
+			if v == nil {
+				return 0
+			}
+			return float64(pick(v.store.MemoryStats()))
+		}
+	}
+	reg.GaugeFunc("retro_store_bytes",
+		"Resident store payload bytes by component.", `component="matrix"`,
+		storeBytes(func(m embed.MemoryStats) int64 { return m.MatrixBytes }))
+	reg.GaugeFunc("retro_store_bytes", "", `component="norms"`,
+		storeBytes(func(m embed.MemoryStats) int64 { return m.NormBytes }))
+	reg.GaugeFunc("retro_store_bytes", "", `component="graph_vectors"`,
+		storeBytes(func(m embed.MemoryStats) int64 { return m.GraphVecBytes }))
+	reg.GaugeFunc("retro_store_bytes", "", `component="codes"`,
+		storeBytes(func(m embed.MemoryStats) int64 { return m.CodeBytes }))
+	reg.GaugeFunc("retro_store_bytes", "", `component="adjacency"`,
+		storeBytes(func(m embed.MemoryStats) int64 { return m.AdjacencyBytes }))
+	reg.GaugeFunc("retro_store_bytes", "", `component="total"`,
+		storeBytes(func(m embed.MemoryStats) int64 { return m.TotalBytes }))
 
 	if s.cache != nil {
 		reg.CounterFunc("retro_cache_hits_total",

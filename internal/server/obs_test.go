@@ -73,6 +73,12 @@ func TestMetricsExpositionValid(t *testing.T) {
 		"retro_cache_hits_total 2",
 		"retro_session_stale 0",
 		"retro_num_values",
+		`retro_store_bytes{component="matrix"}`,
+		`retro_store_bytes{component="norms"}`,
+		`retro_store_bytes{component="graph_vectors"}`,
+		`retro_store_bytes{component="codes"}`,
+		`retro_store_bytes{component="adjacency"}`,
+		`retro_store_bytes{component="total"}`,
 		"retro_goroutines",
 		`retro_build_info{version="dev"`,
 	} {

@@ -1139,7 +1139,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// last good vectors and the next write runs a full re-solve.
 		"session": map[string]any{"stale": s.session().Stale()},
 		"ann":     annStats,
-		"cache":   cacheStats,
+		// Resident payload breakdown of the serving store — what the
+		// precision mode (f32 vs f64) actually moves. Component bytes
+		// mirror the retro_store_bytes gauges.
+		"memory": store.MemoryStats(),
+		"cache":  cacheStats,
 		// View lifecycle: epoch of the published view, how many times a
 		// write swapped in a successor, how many retired views have fully
 		// drained their readers, and how many are still draining.

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	retro "github.com/retrodb/retro"
+	"github.com/retrodb/retro/internal/datagen"
+)
+
+func newPrecisionServer(t *testing.T, p retro.Precision) *Server {
+	t.Helper()
+	w := datagen.TMDB(datagen.TMDBConfig{Movies: 50, Dim: 16, Seed: 1})
+	cfg := retro.Defaults()
+	cfg.ANNThreshold = 1
+	cfg.Precision = p
+	sess, err := retro.NewSession(w.DB, w.Embedding, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sess, Config{})
+}
+
+// TestStatsMemorySection: /v1/stats exposes the resident payload
+// breakdown, and a float32 server reports exactly half the matrix bytes
+// of its float64 twin over the same dataset.
+func TestStatsMemorySection(t *testing.T) {
+	memory := func(p retro.Precision) map[string]any {
+		s := newPrecisionServer(t, p)
+		rec, body := get(t, s.Handler(), "/v1/stats")
+		if rec.Code != 200 {
+			t.Fatalf("stats: status %d", rec.Code)
+		}
+		mem, ok := body["memory"].(map[string]any)
+		if !ok {
+			t.Fatalf("stats has no memory section: %v", body)
+		}
+		return mem
+	}
+
+	m64 := memory(retro.F64)
+	m32 := memory(retro.F32)
+	if m64["precision"] != "f64" || m32["precision"] != "f32" {
+		t.Fatalf("precisions = %v / %v", m64["precision"], m32["precision"])
+	}
+	for _, key := range []string{"matrix_bytes", "norm_bytes", "total_bytes"} {
+		if v, ok := m32[key].(float64); !ok || v <= 0 {
+			t.Fatalf("memory.%s = %v, want > 0", key, m32[key])
+		}
+	}
+	if got, want := m32["matrix_bytes"].(float64)*2, m64["matrix_bytes"].(float64); got != want {
+		t.Fatalf("f32 matrix bytes ×2 = %v, f64 = %v", got, want)
+	}
+	if m32["total_bytes"].(float64) >= m64["total_bytes"].(float64) {
+		t.Fatalf("f32 total %v not below f64 total %v", m32["total_bytes"], m64["total_bytes"])
+	}
+}
+
+// TestStoreBytesGaugeTracksPrecision: the retro_store_bytes{component}
+// gauges follow the store precision — the f32 matrix series scrapes at
+// half the f64 value.
+func TestStoreBytesGaugeTracksPrecision(t *testing.T) {
+	matrixBytes := func(p retro.Precision) float64 {
+		out := scrape(t, newPrecisionServer(t, p))
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, `retro_store_bytes{component="matrix"}`) {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+		t.Fatalf("no matrix series in exposition:\n%s", out)
+		return 0
+	}
+	b64, b32 := matrixBytes(retro.F64), matrixBytes(retro.F32)
+	if b32 <= 0 || b32*2 != b64 {
+		t.Fatalf("matrix bytes f32=%v f64=%v, want exact halving", b32, b64)
+	}
+}

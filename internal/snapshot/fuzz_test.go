@@ -40,8 +40,26 @@ func FuzzRead(f *testing.F) {
 
 	// Flipped CRC byte of the first section (META).
 	badCRC := append([]byte{}, valid...)
-	badCRC[len(Magic)+4+4+8+4+8] ^= 0xff
+	badCRC[len(Magic)+4+4+8+1+4+8] ^= 0xff
 	f.Add(badCRC)
+
+	// Version-3 header with an unknown precision byte.
+	badPrec := append([]byte{}, valid...)
+	badPrec[len(Magic)+4+4+8] = 7
+	f.Add(badPrec)
+
+	// A float32 store snapshot (valid), and one with its precision byte
+	// flipped back to f64 — the store then materialises as float64, which
+	// must still parse (the on-disk vectors are float32 either way).
+	valid32 := encode(f, testSnapshot32(f, 40, 6))
+	f.Add(valid32)
+	flipped := append([]byte{}, valid32...)
+	flipped[len(Magic)+4+4+8] = 0
+	f.Add(flipped)
+
+	// Downgraded version-1 and version-2 artifacts (both valid).
+	f.Add(downgrade(f, valid, 1))
+	f.Add(downgrade(f, valid, 2))
 
 	// Flipped payload bytes at several depths.
 	for _, off := range []int{40, len(valid) / 3, len(valid) / 2, 4 * len(valid) / 5} {
@@ -54,7 +72,7 @@ func FuzzRead(f *testing.F) {
 
 	// Forged giant section length.
 	bigLen := append([]byte{}, valid...)
-	binary.LittleEndian.PutUint64(bigLen[24+4:], 1<<50)
+	binary.LittleEndian.PutUint64(bigLen[25+4:], 1<<50)
 	f.Add(bigLen)
 
 	// A snapshot without its index section (still valid).

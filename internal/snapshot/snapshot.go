@@ -6,7 +6,7 @@
 //
 // Layout (all integers little-endian):
 //
-//	header   magic "RETROSNP" | version u32 | dim u32 | fingerprint u64
+//	header   magic "RETROSNP" | version u32 | dim u32 | fingerprint u64 | precision u8 (v3+)
 //	section  tag [4]byte | payload length u64 | payload CRC32 (IEEE) u32 | payload
 //	...      META (required), STOR (required), HNSW (optional), ENDS (terminator)
 //
@@ -44,12 +44,16 @@ const Magic = "RETROSNP"
 
 // Version is the current format version. Version 2 added the optional
 // QNT8 section (SQ8 quantization sidecar: trained per-dimension ranges
-// plus every node's codes). Readers accept MinVersion..Version: a
-// version-1 snapshot simply has no QNT8 section, so a process that wants
-// quantization retrains the codes from the loaded vectors — old
-// snapshots stay bootable, their codes are just rebuilt. Writers always
-// emit the current Version.
-const Version = 2
+// plus every node's codes). Version 3 added a store-precision byte to
+// the header, so a float32 serving store reboots as float32 instead of
+// silently widening. Readers accept MinVersion..Version: a version-1
+// snapshot simply has no QNT8 section, so a process that wants
+// quantization retrains the codes from the loaded vectors, and a
+// pre-version-3 snapshot has no precision byte and loads as float64 —
+// old snapshots stay bootable either way. Vectors have been packed as
+// float32 on disk since version 1, so cross-precision loads are
+// lossless in both directions. Writers always emit the current Version.
+const Version = 3
 
 // MinVersion is the oldest format version this build still reads.
 const MinVersion = 1
@@ -81,6 +85,10 @@ type Snapshot struct {
 	Fingerprint uint64
 	// Dim is the embedding dimensionality.
 	Dim int
+	// Precision is the store's vector representation (version-3 header
+	// byte; pre-v3 snapshots load as embed.F64). On Write it is taken
+	// from the attached Store, not from this field.
+	Precision embed.Precision
 	// Variant is the solver that produced the vectors.
 	Variant core.Variant
 	// Hyperparams is the training configuration of §4.4.
@@ -161,11 +169,13 @@ func Write(w io.Writer, s *Snapshot) error {
 		s.Quantization = embed.QuantSQ8
 		s.Rerank = s.Index.Rerank()
 	}
+	s.Precision = s.Store.Precision()
 	ww := wire.NewWriter(w)
 	ww.Bytes([]byte(Magic))
 	ww.U32(Version)
 	ww.U32(uint32(s.Dim))
 	ww.U64(Fingerprint(s.Dim, s.Variant, s.Hyperparams))
+	ww.U8(uint8(s.Precision))
 
 	writeSection(ww, tagMeta, encodeMeta(s))
 	writeSection(ww, tagStor, encodeStore(s.Store))
@@ -298,8 +308,19 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 	if dim <= 0 || dim > maxDim {
 		return nil, fmt.Errorf("snapshot: implausible dimension %d", dim)
 	}
+	precision := embed.F64
+	if version >= 3 {
+		p := rr.U8()
+		if err := rr.Err(); err != nil {
+			return nil, fmt.Errorf("snapshot: reading precision: %w", err)
+		}
+		if p > uint8(embed.F32) {
+			return nil, fmt.Errorf("snapshot: unknown store precision %d", p)
+		}
+		precision = embed.Precision(p)
+	}
 
-	s := &Snapshot{Version: version, Fingerprint: fingerprint, Dim: dim}
+	s := &Snapshot{Version: version, Fingerprint: fingerprint, Dim: dim, Precision: precision}
 	var sawMeta, sawStor, sawEnds bool
 	for !sawEnds {
 		tag := make([]byte, 4)
@@ -327,7 +348,7 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 			sawMeta = true
 		case tagStor:
 			if full {
-				st, err := decodeStore(payload, dim)
+				st, err := decodeStore(payload, dim, precision)
 				if err != nil {
 					return nil, err
 				}
@@ -344,7 +365,14 @@ func read(r io.Reader, full bool) (*Snapshot, error) {
 		case tagHNSW:
 			s.HasIndex = true
 			if full {
-				idx, err := ann.Read(bytes.NewReader(payload))
+				// Graph vectors are float32-packed on disk regardless of the
+				// store precision; materialise the index in the store's
+				// representation so traversal and the store agree.
+				readGraph := ann.Read
+				if precision == embed.F32 {
+					readGraph = ann.Read32
+				}
+				idx, err := readGraph(bytes.NewReader(payload))
 				if err != nil {
 					return nil, fmt.Errorf("snapshot: %w", err)
 				}
@@ -551,7 +579,7 @@ func decodeStoreHeader(payload []byte, dim int) (int, error) {
 	return count, nil
 }
 
-func decodeStore(payload []byte, dim int) (*embed.Store, error) {
+func decodeStore(payload []byte, dim int, precision embed.Precision) (*embed.Store, error) {
 	rr := wire.NewReader(bytes.NewReader(payload))
 	storDim := int(rr.U32())
 	if rr.Err() == nil && storDim != dim {
@@ -561,7 +589,10 @@ func decodeStore(payload []byte, dim int) (*embed.Store, error) {
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("snapshot: decoding store: %w", err)
 	}
-	st := embed.NewStore(dim)
+	// Vectors are float32 words on disk, so materialising into an F32
+	// store round-trips bit-exactly (the widen-then-narrow through the
+	// float64 Add boundary is the identity on float32 values).
+	st := embed.NewStoreWithPrecision(dim, precision)
 	vecBuf := make([]float64, dim)
 	for i := 0; i < count; i++ {
 		key := rr.String(maxKeyLen)

@@ -224,9 +224,9 @@ func TestReadRejectsFlippedPayloadByte(t *testing.T) {
 
 func TestReadRejectsFlippedCRC(t *testing.T) {
 	raw := encode(t, testSnapshot(t, 50, 8))
-	// The first section header sits right after the 24-byte file header:
+	// The first section header sits right after the 25-byte file header:
 	// tag(4) + len(8) + crc(4). Flip a CRC byte.
-	crcOff := len(Magic) + 4 + 4 + 8 + 4 + 8 // header + tag + len
+	crcOff := len(Magic) + 4 + 4 + 8 + 1 + 4 + 8 // header (version+dim+fp+precision) + tag + len
 	bad := append([]byte{}, raw...)
 	bad[crcOff] ^= 0xff
 	_, err := Read(bytes.NewReader(bad))
@@ -374,8 +374,8 @@ func TestQuantizedRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Version != 2 {
-		t.Fatalf("version %d, want 2", got.Version)
+	if got.Version != Version {
+		t.Fatalf("version %d, want %d", got.Version, Version)
 	}
 	if got.Quantization != embed.QuantSQ8 || got.Rerank != 6 {
 		t.Fatalf("quant meta = (%q, %d), want (sq8, 6)", got.Quantization, got.Rerank)
@@ -423,44 +423,167 @@ func TestQuantizedWriteLoadWriteByteIdentical(t *testing.T) {
 	}
 }
 
-// TestVersion1StillReads: a version-1 snapshot (identical layout, no
-// QNT8 section) must load on this build, with quantization off — and a
-// process that wants SQ8 can enable it afterwards, rebuilding the codes
-// from the loaded vectors.
-func TestVersion1StillReads(t *testing.T) {
-	s := testSnapshot(t, 150, 8)
-	raw := encode(t, s)
-	// Reconstruct the version-1 artifact this file would have been: set
-	// the header version word back to 1 and strip the two version-2 META
-	// fields (quant flag u8 + rerank u32, bytes 1..6 of the payload),
-	// refreshing the section's length prefix and CRC.
-	binary.LittleEndian.PutUint32(raw[len(Magic):], 1)
+// downgrade reconstructs the version-1 or version-2 artifact a current
+// (version-3, unquantized) file would have been: rewrite the header
+// version word, drop the version-3 precision byte, and for version 1
+// also strip the two version-2 META fields (quant flag u8 + rerank u32),
+// refreshing the META length prefix and CRC.
+func downgrade(t testing.TB, raw []byte, version uint32) []byte {
+	t.Helper()
+	if version != 1 && version != 2 {
+		t.Fatalf("downgrade to unknown version %d", version)
+	}
+	raw = append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(raw[len(Magic):], version)
 	header := len(Magic) + 4 + 4 + 8
-	frame := header + 4 // past the META tag
-	metaLen := int(binary.LittleEndian.Uint64(raw[frame:]))
-	payload := raw[frame+12 : frame+12+metaLen]
-	v1meta := append(append([]byte(nil), payload[0]), payload[6:]...)
-	binary.LittleEndian.PutUint64(raw[frame:], uint64(len(v1meta)))
-	binary.LittleEndian.PutUint32(raw[frame+8:], crc32.ChecksumIEEE(v1meta))
-	raw = append(raw[:frame+12], append(v1meta, raw[frame+12+metaLen:]...)...)
-	got, err := Read(bytes.NewReader(raw))
+	raw = append(raw[:header], raw[header+1:]...) // pre-v3: no precision byte
+	if version == 1 {
+		frame := header + 4 // past the META tag
+		metaLen := int(binary.LittleEndian.Uint64(raw[frame:]))
+		payload := raw[frame+12 : frame+12+metaLen]
+		v1meta := append(append([]byte(nil), payload[0]), payload[6:]...)
+		binary.LittleEndian.PutUint64(raw[frame:], uint64(len(v1meta)))
+		binary.LittleEndian.PutUint32(raw[frame+8:], crc32.ChecksumIEEE(v1meta))
+		raw = append(raw[:frame+12], append(v1meta, raw[frame+12+metaLen:]...)...)
+	}
+	return raw
+}
+
+// TestCrossVersionReadMatrix: every supported format version loads on
+// this build, pre-v3 files come up as float64 stores with quantization
+// off, and the vectors — float32 words on disk since version 1 — are
+// identical across every (version, store precision) cell.
+func TestCrossVersionReadMatrix(t *testing.T) {
+	const n, dim = 150, 8
+	s := testSnapshot(t, n, dim)
+	rawV3 := encode(t, s)
+
+	s32 := testSnapshot32(t, n, dim)
+	rawF32 := encode(t, s32)
+
+	cells := []struct {
+		name    string
+		raw     []byte
+		version uint32
+		prec    embed.Precision
+	}{
+		{"v1-f64", downgrade(t, rawV3, 1), 1, embed.F64},
+		{"v2-f64", downgrade(t, rawV3, 2), 2, embed.F64},
+		{"v3-f64", rawV3, 3, embed.F64},
+		{"v3-f32", rawF32, 3, embed.F32},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			got, err := Read(bytes.NewReader(cell.raw))
+			if err != nil {
+				t.Fatalf("%s rejected: %v", cell.name, err)
+			}
+			if got.Version != cell.version {
+				t.Fatalf("version %d, want %d", got.Version, cell.version)
+			}
+			if got.Precision != cell.prec || got.Store.Precision() != cell.prec {
+				t.Fatalf("precision %v/%v, want %v", got.Precision, got.Store.Precision(), cell.prec)
+			}
+			if got.Quantization != embed.QuantOff || got.Rerank != 0 {
+				t.Fatalf("quant meta = (%q, %d), want (off, 0)", got.Quantization, got.Rerank)
+			}
+			// Vectors survive bit-exactly at float32 precision in every cell.
+			for id, word := range s.Store.Words() {
+				gv, ok := got.Store.VectorOf(word)
+				if !ok {
+					t.Fatalf("key %q missing", word)
+				}
+				for j, v := range s.Store.Vector(id) {
+					if gv[j] != float64(float32(v)) {
+						t.Fatalf("key %q dim %d: %g != %g", word, j, gv[j], float64(float32(v)))
+					}
+				}
+			}
+			// Codes rebuilt on demand: enable quantization post-load.
+			got.Store.EnableQuantization(embed.QuantSQ8, 0)
+			got.Store.WarmANN()
+			if idx := got.Store.ANNIndex(); idx == nil || !idx.Quantized() {
+				t.Fatal("post-load quantization did not rebuild codes")
+			}
+			if res := got.Store.TopK(got.Store.Vector(3), 5, nil); len(res) != 5 {
+				t.Fatalf("quantized TopK on loaded store: %d results", len(res))
+			}
+		})
+	}
+}
+
+// testSnapshot32 is testSnapshot over a float32 store (same seed, same
+// data: every vector is float32-representable after the store rounds
+// it, so the two stores serialise identical float32 words).
+func testSnapshot32(t testing.TB, n, dim int) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	st := embed.NewStoreWithPrecision(dim, embed.F32)
+	st.EnableANN(1, ann.Params{M: 8, EfConstruction: 60, EfSearch: 40})
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		st.Add(fmt.Sprintf("movies.title\x00value %d", i), v)
+	}
+	st.WarmANN()
+	if st.ANNIndex() == nil {
+		t.Fatal("index not built")
+	}
+	return &Snapshot{
+		Dim:          dim,
+		Variant:      core.RN,
+		Hyperparams:  core.DefaultRN(),
+		CreatedUnix:  1_750_000_000,
+		LossHistory:  []float64{10.5, 4.25, 2.125},
+		Categories:   []string{"movies.title"},
+		ANNThreshold: 1,
+		ANNParams:    st.ANNParams(),
+		Store:        st,
+		Index:        st.ANNIndex(),
+	}
+}
+
+// TestF32SnapshotRoundTrip: a float32 store snapshot reboots as float32,
+// answers identically, and re-saves byte-identically.
+func TestF32SnapshotRoundTrip(t *testing.T) {
+	const n, dim = 250, 10
+	orig := testSnapshot32(t, n, dim)
+	orig.Store.EnableQuantization(embed.QuantSQ8, 4)
+	orig.Store.WarmANN()
+	orig.Index = orig.Store.ANNIndex()
+	first := encode(t, orig)
+	got, err := Read(bytes.NewReader(first))
 	if err != nil {
-		t.Fatalf("version-1 snapshot rejected: %v", err)
+		t.Fatal(err)
 	}
-	if got.Version != 1 {
-		t.Fatalf("version %d, want 1", got.Version)
+	if got.Precision != embed.F32 || got.Store.Precision() != embed.F32 {
+		t.Fatalf("precision %v/%v, want F32", got.Precision, got.Store.Precision())
 	}
-	if got.Quantization != embed.QuantOff || got.Rerank != 0 {
-		t.Fatalf("v1 quant meta = (%q, %d), want (off, 0)", got.Quantization, got.Rerank)
+	if got.Index == nil || !got.Index.F32() || !got.Index.Quantized() {
+		t.Fatal("index not materialised as quantized float32")
 	}
-	// Codes rebuilt on demand: enable quantization post-load.
-	got.Store.EnableQuantization(embed.QuantSQ8, 0)
-	got.Store.WarmANN()
-	if idx := got.Store.ANNIndex(); idx == nil || !idx.Quantized() {
-		t.Fatal("post-load quantization did not rebuild codes")
+	rng := rand.New(rand.NewSource(9))
+	for qi := 0; qi < 25; qi++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		want := orig.Store.TopK(q, 10, nil)
+		have := got.Store.TopK(q, 10, nil)
+		if len(want) != len(have) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(have), len(want))
+		}
+		for i := range want {
+			if want[i].Word != have[i].Word {
+				t.Fatalf("query %d rank %d: %q vs %q", qi, i, have[i].Word, want[i].Word)
+			}
+		}
 	}
-	if res := got.Store.TopK(got.Store.Vector(3), 5, nil); len(res) != 5 {
-		t.Fatalf("quantized TopK on v1-loaded store: %d results", len(res))
+	second := encode(t, got)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("f32 write-load-write not byte-identical: %d vs %d bytes", len(first), len(second))
 	}
 }
 

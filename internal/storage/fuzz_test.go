@@ -84,6 +84,7 @@ func FuzzWALRecord(f *testing.F) {
 // checksum) over the batch codec.
 func FuzzSegment(f *testing.F) {
 	f.Add(EncodeSegment(fixtureSegment()))
+	f.Add(EncodeSegment(fixtureSegmentF32()))
 	f.Add(EncodeSegment(&Segment{FromEpoch: 1, ToEpoch: 2}))
 	f.Add([]byte("RETROSEG"))
 	f.Fuzz(func(t *testing.T, data []byte) {

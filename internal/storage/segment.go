@@ -1,11 +1,17 @@
 // Delta snapshot segments: one file per checkpoint, carrying everything
 // that changed since the previous checkpoint epoch — the committed rows
 // (so the WAL prefix they came from can be discarded) and the store
-// vectors the frozen-view epoch stamping marked dirty, at full float64
-// precision (so applying a segment reproduces the writer's vectors
-// bit-for-bit, unlike the float32-packed base snapshot). Checkpoint
-// write cost is O(delta), not O(model); recovery applies the chain in
-// order over the base.
+// vectors the frozen-view epoch stamping marked dirty, at the writer's
+// store precision (float64 rows from an F64 store, float32 words from
+// an F32 store), so applying a segment reproduces the writer's vectors
+// bit-for-bit. Checkpoint write cost is O(delta), not O(model);
+// recovery applies the chain in order over the base.
+//
+// Format versions: version 1 frames every vector as float64 and is
+// still written whenever no float32 delta is present, so F64 engines
+// keep producing byte-identical files. Version 2 adds a per-vector
+// representation byte and is emitted only when an F32 store
+// checkpointed at least one row. Readers accept both.
 
 package storage
 
@@ -20,8 +26,9 @@ import (
 )
 
 const (
-	segMagic   = "RETROSEG"
-	segVersion = 1
+	segMagic      = "RETROSEG"
+	segVersion    = 1 // float64-only vector frames
+	segVersionF32 = 2 // per-vector representation byte (f64 or f32)
 
 	maxBatches    = 1 << 24
 	maxVectors    = 1 << 28
@@ -43,14 +50,32 @@ type Segment struct {
 	// Batches are the committed insert batches, in commit order.
 	Batches []Batch
 	// Vectors are the store rows that changed in the window, keyed by
-	// store word, at full float64 precision.
+	// store word, at the writer's store precision.
 	Vectors []VectorDelta
 }
 
-// VectorDelta is one changed store row.
+// VectorDelta is one changed store row: exactly one of Vec (an F64
+// store's row) or Vec32 (an F32 store's row, persisted without a
+// widening round trip) is set.
 type VectorDelta struct {
-	Key string
-	Vec []float64
+	Key   string
+	Vec   []float64
+	Vec32 []float32
+}
+
+// Float64 returns the delta's vector widened to float64 — the form
+// Store.Add consumes on recovery. Applying a Vec32 delta to an F32
+// store is lossless: the store narrows the widened values straight back
+// to the persisted float32 words.
+func (v *VectorDelta) Float64() []float64 {
+	if v.Vec32 == nil {
+		return v.Vec
+	}
+	out := make([]float64, len(v.Vec32))
+	for i, x := range v.Vec32 {
+		out[i] = float64(x)
+	}
+	return out
 }
 
 // SegmentInfo summarises a segment without retaining its content.
@@ -64,8 +89,18 @@ type SegmentInfo struct {
 	Bytes     int64
 }
 
-// EncodeSegment renders a segment to its wire form.
+// EncodeSegment renders a segment to its wire form. Segments whose
+// vectors are all float64 use format version 1 (byte-identical to what
+// this package has always written); a float32 delta switches the file
+// to version 2, which tags each vector with its representation.
 func EncodeSegment(s *Segment) []byte {
+	version := uint32(segVersion)
+	for i := range s.Vectors {
+		if s.Vectors[i].Vec32 != nil {
+			version = segVersionF32
+			break
+		}
+	}
 	var payload bytes.Buffer
 	w := wire.NewWriter(&payload)
 	w.U64(s.FromEpoch)
@@ -78,6 +113,17 @@ func EncodeSegment(s *Segment) []byte {
 	w.U32(uint32(len(s.Vectors)))
 	for _, v := range s.Vectors {
 		w.String(v.Key)
+		if version >= segVersionF32 {
+			if v.Vec32 != nil {
+				w.U8(1)
+				w.U32(uint32(len(v.Vec32)))
+				for _, x := range v.Vec32 {
+					w.F32(x)
+				}
+				continue
+			}
+			w.U8(0)
+		}
 		w.U32(uint32(len(v.Vec)))
 		for _, x := range v.Vec {
 			w.F64(x)
@@ -88,7 +134,7 @@ func EncodeSegment(s *Segment) []byte {
 	var out bytes.Buffer
 	fw := wire.NewWriter(&out)
 	fw.Bytes([]byte(segMagic))
-	fw.U32(segVersion)
+	fw.U32(version)
 	fw.U64(uint64(payload.Len()))
 	fw.U32(crc32.ChecksumIEEE(payload.Bytes()))
 	fw.Bytes(payload.Bytes())
@@ -105,8 +151,9 @@ func DecodeSegment(data []byte) (*Segment, error) {
 	if r.Err() == nil && string(magic) != segMagic {
 		return nil, fmt.Errorf("storage: bad segment magic %q", magic)
 	}
-	if v := r.U32(); r.Err() == nil && v != segVersion {
-		return nil, fmt.Errorf("storage: unsupported segment version %d", v)
+	version := r.U32()
+	if r.Err() == nil && version != segVersion && version != segVersionF32 {
+		return nil, fmt.Errorf("storage: unsupported segment version %d", version)
 	}
 	n := r.U64()
 	if r.Err() == nil && (n > uint64(maxSegPayload) || n > uint64(len(data))) {
@@ -137,7 +184,22 @@ func DecodeSegment(data []byte) (*Segment, error) {
 	vectors := pr.Count32(maxVectors)
 	for i := 0; i < vectors && pr.Err() == nil; i++ {
 		key := pr.String(maxKeyLen)
+		kind := uint8(0)
+		if version >= segVersionF32 {
+			kind = pr.U8()
+			if pr.Err() == nil && kind > 1 {
+				return nil, fmt.Errorf("storage: segment vector %d has unknown representation %d", i, kind)
+			}
+		}
 		dim := pr.Count32(maxSegDim)
+		if kind == 1 {
+			vec := make([]float32, 0, dim)
+			for d := 0; d < dim && pr.Err() == nil; d++ {
+				vec = append(vec, pr.F32())
+			}
+			s.Vectors = append(s.Vectors, VectorDelta{Key: key, Vec32: vec})
+			continue
+		}
 		vec := make([]float64, 0, dim)
 		for d := 0; d < dim && pr.Err() == nil; d++ {
 			vec = append(vec, pr.F64())

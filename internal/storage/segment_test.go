@@ -1,8 +1,12 @@
 package storage
 
 import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"path/filepath"
 	"slices"
+	"strings"
 	"testing"
 
 	"github.com/retrodb/retro/internal/reldb"
@@ -45,6 +49,79 @@ func TestSegmentRoundTrip(t *testing.T) {
 		if v.Key != s.Vectors[i].Key || !slices.Equal(v.Vec, s.Vectors[i].Vec) {
 			t.Fatalf("vector %d = %+v, want %+v", i, v, s.Vectors[i])
 		}
+	}
+}
+
+func fixtureSegmentF32() *Segment {
+	return &Segment{
+		FromEpoch: 2, ToEpoch: 3, WALSeq: 9,
+		Batches: []Batch{
+			{Table: "movies", Rows: testRows("matrix")},
+		},
+		Vectors: []VectorDelta{
+			{Key: "movies.title\x00matrix", Vec32: []float32{0.25, -1.5, 3.75}},
+			{Key: "movies.country\x00usa", Vec: []float64{1e-300, 42}},
+		},
+	}
+}
+
+func TestSegmentF32RoundTrip(t *testing.T) {
+	s := fixtureSegmentF32()
+	data := EncodeSegment(s)
+	// A float32 delta switches the file to format version 2.
+	if v := binary.LittleEndian.Uint32(data[len(segMagic):]); v != segVersionF32 {
+		t.Fatalf("segment with f32 deltas encoded as version %d", v)
+	}
+	got, err := DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vectors) != 2 {
+		t.Fatalf("vectors round trip = %+v", got.Vectors)
+	}
+	if !slices.Equal(got.Vectors[0].Vec32, s.Vectors[0].Vec32) || got.Vectors[0].Vec != nil {
+		t.Fatalf("f32 vector = %+v, want %+v", got.Vectors[0], s.Vectors[0])
+	}
+	// Mixed representation: the f64 delta in the same file survives at
+	// full float64 precision.
+	if !slices.Equal(got.Vectors[1].Vec, s.Vectors[1].Vec) || got.Vectors[1].Vec32 != nil {
+		t.Fatalf("f64 vector = %+v, want %+v", got.Vectors[1], s.Vectors[1])
+	}
+	want64 := []float64{0.25, -1.5, 3.75}
+	if !slices.Equal(got.Vectors[0].Float64(), want64) {
+		t.Fatalf("Float64() = %v, want %v", got.Vectors[0].Float64(), want64)
+	}
+}
+
+func TestSegmentF64StaysVersion1(t *testing.T) {
+	// An all-float64 segment must keep the original format so F64
+	// engines produce byte-identical files to what they always wrote.
+	data := EncodeSegment(fixtureSegment())
+	if v := binary.LittleEndian.Uint32(data[len(segMagic):]); v != segVersion {
+		t.Fatalf("f64-only segment encoded as version %d, want %d", v, segVersion)
+	}
+}
+
+func TestSegmentRejectsUnknownRepresentation(t *testing.T) {
+	data := EncodeSegment(fixtureSegmentF32())
+	// The first vector's representation byte follows the payload header
+	// (3×u64 epochs/seq, batch count + one batch) and its key; rather
+	// than hand-computing the offset, find the key and flip the byte
+	// right after it.
+	key := []byte("movies.title\x00matrix")
+	off := bytes.Index(data, key)
+	if off < 0 {
+		t.Fatal("key not found in encoded segment")
+	}
+	c := slices.Clone(data)
+	c[off+len(key)] = 9
+	// Fix the CRC up so the representation check (not the checksum) is
+	// what rejects the file.
+	payload := c[len(segMagic)+4+8+4:]
+	binary.LittleEndian.PutUint32(c[len(segMagic)+4+8:], crc32.ChecksumIEEE(payload))
+	_, err := DecodeSegment(c)
+	if err == nil || !strings.Contains(err.Error(), "unknown representation") {
+		t.Fatalf("err = %v, want unknown representation", err)
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package vec
+
+func axpy(dst []float64, alpha float64, x []float64) { axpyGeneric(dst, alpha, x) }
+
+func scale(a []float64, alpha float64) { scaleGeneric(a, alpha) }
+
+func add(dst, a, b []float64) { addGeneric(dst, a, b) }

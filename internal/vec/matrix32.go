@@ -1,0 +1,66 @@
+package vec
+
+import "fmt"
+
+// Matrix32 is a dense row-major float32 matrix: the float32 twin of
+// Matrix, carrying the serving store's vectors when it runs in float32
+// mode. It deliberately implements only what the store needs — row
+// views, cloning and amortised growth; the solvers stay on the float64
+// Matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed rows x cols matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: NewMatrix32 negative dims %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Stride: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// Clone returns a deep copy with a compact stride.
+func (m *Matrix32) Clone() *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// GrowRows extends the matrix to the given row count in place,
+// zero-filling the new rows, with amortised-doubling capacity. Same
+// contract as Matrix.GrowRows: only compact matrices can grow, and row
+// views taken before a reallocating growth go stale.
+func (m *Matrix32) GrowRows(rows int) {
+	if rows <= m.Rows {
+		return
+	}
+	if m.Stride != m.Cols {
+		panic(fmt.Sprintf("vec: GrowRows on non-compact matrix (stride %d, cols %d)", m.Stride, m.Cols))
+	}
+	need := rows * m.Stride
+	if cap(m.Data) < need {
+		c := 2 * cap(m.Data)
+		if c < need {
+			c = need
+		}
+		grown := make([]float32, need, c)
+		copy(grown, m.Data)
+		m.Data = grown
+	} else {
+		tail := m.Data[len(m.Data):need]
+		for i := range tail {
+			tail[i] = 0
+		}
+		m.Data = m.Data[:need]
+	}
+	m.Rows = rows
+}

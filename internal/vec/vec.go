@@ -122,13 +122,21 @@ func Cosine(a, b []float64) float64 {
 }
 
 // Axpy computes dst += alpha*x element-wise. It panics on length mismatch.
-// Each element is independent, so the 4-wide unroll changes no result;
-// it exists to keep the solver inner loops fed (this kernel carries the
-// bulk of every retrofitting iteration).
+// Like Dot, the inner loop routes through the runtime SIMD dispatch (the
+// repair kernels call this in the write hot loop); the AVX2 path keeps
+// the separate multiply and add, so every level is bit-identical.
 func Axpy(dst []float64, alpha float64, x []float64) {
 	if len(dst) != len(x) {
 		panic(fmt.Sprintf("vec: Axpy length mismatch %d != %d", len(dst), len(x)))
 	}
+	axpy(dst, alpha, x)
+}
+
+// axpyGeneric is the portable kernel and the reference the assembly is
+// property-tested against. Each element is independent, so the 4-wide
+// unroll changes no result; it exists to keep the solver inner loops fed
+// (this kernel carries the bulk of every retrofitting iteration).
+func axpyGeneric(dst []float64, alpha float64, x []float64) {
 	x = x[:len(dst)]
 	if alpha == 1 {
 		for len(dst) >= 4 && len(x) >= 4 {
@@ -155,18 +163,29 @@ func Axpy(dst []float64, alpha float64, x []float64) {
 	}
 }
 
-// Scale multiplies every element of a by alpha in place.
+// Scale multiplies every element of a by alpha in place. The SIMD path
+// (VMULPD) performs the identical independent multiply per element, so
+// every dispatch level is bit-identical.
 func Scale(a []float64, alpha float64) {
+	scale(a, alpha)
+}
+
+func scaleGeneric(a []float64, alpha float64) {
 	for i := range a {
 		a[i] *= alpha
 	}
 }
 
-// Add computes dst = a + b. dst may alias a or b.
+// Add computes dst = a + b. dst may alias a or b. Like Scale, the SIMD
+// path is bit-identical to the scalar one.
 func Add(dst, a, b []float64) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("vec: Add length mismatch")
 	}
+	add(dst, a, b)
+}
+
+func addGeneric(dst, a, b []float64) {
 	for i := range a {
 		dst[i] = a[i] + b[i]
 	}

@@ -75,6 +75,30 @@ var Null = reldb.Null
 // NewEmbedding creates an empty embedding store of the given width.
 func NewEmbedding(dim int) *Embedding { return embed.NewStore(dim) }
 
+// Precision selects the serving store's vector representation: F64 is
+// the classic float64 layout, F32 halves the resident footprint and
+// serves similarity queries through float32 SIMD kernels with float64
+// accumulation (training always runs in float64; an F32 store rounds
+// each vector once, at the store boundary).
+type Precision = embed.Precision
+
+// Store precisions. The Config zero value is F64 for compatibility;
+// retro-serve defaults to F32.
+const (
+	F64 = embed.F64
+	F32 = embed.F32
+)
+
+// ParsePrecision normalises a user-facing precision string ("f32",
+// "float32", "single", "f64", "float64", "double", or "" for F64).
+func ParsePrecision(s string) (Precision, error) { return embed.ParsePrecision(s) }
+
+// NewEmbeddingWithPrecision creates an empty embedding store of the
+// given width and vector precision.
+func NewEmbeddingWithPrecision(dim int, p Precision) *Embedding {
+	return embed.NewStoreWithPrecision(dim, p)
+}
+
 // ReadTextEmbedding parses the word2vec/GloVe text format.
 func ReadTextEmbedding(r io.Reader) (*Embedding, error) { return embed.ReadText(r) }
 
@@ -141,6 +165,12 @@ type Config struct {
 	// (0 selects ann.DefaultRerank, currently 3). Ignored unless
 	// Quantization is enabled.
 	RerankFactor int
+	// Precision selects the serving store representation: F64 (the zero
+	// value, full float64 rows) or F32 (half the resident bytes, float32
+	// SIMD scoring with float64 accumulation). Training and incremental
+	// repair always solve in float64; with F32 each repaired vector is
+	// rounded once when it is written back into the store.
+	Precision Precision
 }
 
 // QuantSQ8 is the Config.Quantization value selecting 8-bit scalar
@@ -234,7 +264,7 @@ func resolveParams(cfg Config) Hyperparams {
 }
 
 func (m *Model) buildStore(row func(int) []float64) *Embedding {
-	s := embed.NewStore(m.prob.Dim)
+	s := embed.NewStoreWithPrecision(m.prob.Dim, m.cfg.Precision)
 	applyANNConfig(s, m.cfg)
 	for _, v := range m.ex.Values {
 		s.Add(deepwalk.ValueKey(m.ex, v.ID), row(v.ID))

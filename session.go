@@ -10,6 +10,7 @@ import (
 	"github.com/retrodb/retro/internal/deepwalk"
 	"github.com/retrodb/retro/internal/extract"
 	"github.com/retrodb/retro/internal/tokenize"
+	"github.com/retrodb/retro/internal/vec"
 )
 
 // DefaultRepairBudget bounds how many nodes one incremental repair
@@ -65,6 +66,13 @@ type Session struct {
 	// incState carries the per-group target sums the repair kernels need
 	// (rebuilt lazily after Resolve or a snapshot resume).
 	incState *core.IncrementalState
+	// mirror is the float64 solver matrix for a float32 store: the
+	// incremental kernels read and write float64 rows, so on an F32
+	// store the session maintains this widened mirror and rounds each
+	// repaired row back through Store.SetVector (one rounding, at the
+	// store boundary). Outside a repair, every mirror row equals the
+	// widened store row. Nil on F64 stores; reset with incState.
+	mirror *vec.Matrix
 	// stale records a failed repair: the model no longer reflects every
 	// committed row, so the next write falls back to a full re-solve.
 	// Atomic so serving stats can read it without excluding writers;
@@ -307,7 +315,7 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 		if m.store.Len() != m.prob.N {
 			return fmt.Errorf("retro: store holds %d vectors but problem has %d nodes", m.store.Len(), m.prob.N)
 		}
-		s.incState = core.NewIncrementalState(m.prob, m.store.Matrix())
+		s.incState = core.NewIncrementalState(m.prob, s.solverMatrix(m.store))
 	}
 
 	d, err := m.ex.ApplyInserts(s.db, table, rowIDs, extract.Options{
@@ -345,7 +353,10 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 			return fmt.Errorf("retro: store row %d for new value %d: vocabulary misaligned", got, id)
 		}
 	}
-	w := store.Matrix()
+	// On an F32 store the kernels repair the session's float64 mirror
+	// (grown here to cover the staged rows); on F64 they write the store
+	// matrix in place.
+	w := s.solverMatrix(store)
 	s.incState.Grow(m.prob, w, rep)
 
 	touched := core.AffectedNodesBudget(m.prob, rep.Seeds, s.Hops, s.RepairBudget)
@@ -360,7 +371,13 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 		store.InvalidateANN()
 	}
 	for _, id := range touched {
-		store.RefreshRow(id)
+		if s.mirror != nil {
+			// Round the repaired float64 row into the float32 store; the
+			// store refreshes the norm cache and ANN node itself.
+			store.SetVector(id, s.mirror.Row(id))
+		} else {
+			store.RefreshRow(id)
+		}
 	}
 	s.lastRepair = RepairStats{
 		Duration: time.Since(start),
@@ -368,6 +385,28 @@ func (s *Session) repairDelta(table string, rowIDs []int) error {
 		NewNodes: len(rep.NewNodes),
 	}
 	return nil
+}
+
+// solverMatrix returns the float64 matrix the incremental kernels bind
+// to: the store's own matrix on an F64 store, or the session-held
+// widened mirror on an F32 store. The mirror is built on first use and
+// grown here whenever the store gained rows (staged inserts); new
+// mirror rows are widened from the store, so outside a repair the
+// mirror is exactly the store seen in float64.
+func (s *Session) solverMatrix(store *Embedding) *vec.Matrix {
+	if store.Precision() != F32 {
+		return store.Matrix()
+	}
+	if s.mirror == nil {
+		s.mirror = vec.NewMatrix(0, store.Dim())
+	}
+	if from := s.mirror.Rows; from < store.Len() {
+		s.mirror.GrowRows(store.Len())
+		for id := from; id < store.Len(); id++ {
+			vec.Widen(s.mirror.Row(id), store.Vector32(id))
+		}
+	}
+	return s.mirror
 }
 
 // refreshFull is the pre-delta repair path kept for statements whose
@@ -486,6 +525,7 @@ func (s *Session) replaceModel(m *Model) {
 	}
 	s.model = m
 	s.incState = nil
+	s.mirror = nil
 	s.stale.Store(false)
 }
 

@@ -1,0 +1,100 @@
+package retro
+
+import (
+	"math"
+	"testing"
+
+	"github.com/retrodb/retro/internal/vec"
+)
+
+// An F32 session must track an F64 session closely through the whole
+// incremental lifecycle: initial training rounds each solved vector once
+// at the store boundary, and every delta repair solves in the session's
+// float64 mirror before rounding the repaired rows back in. The paths
+// are numerically independent after the first rounding, so vectors are
+// compared by cosine, not bitwise.
+func TestSessionF32TracksF64(t *testing.T) {
+	mk := func(p Precision) *Session {
+		cfg := Defaults()
+		cfg.Precision = p
+		s, err := NewSession(fixtureDB(t), fixtureEmbedding(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s64 := mk(F64)
+	s32 := mk(F32)
+	if got := s32.Model().Store().Precision(); got != F32 {
+		t.Fatalf("f32 session store precision = %v", got)
+	}
+
+	rows := [][]Value{
+		{Int(10), Text("brazil"), Text("usa")},
+		{Int(11), Text("leon"), Text("france")},
+		{Int(12), Text("nikita"), Text("france")},
+	}
+	if err := s64.Insert("movies", rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s32.Insert("movies", rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s64.InsertBatch("movies", rows[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s32.InsertBatch("movies", rows[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if s32.Stale() {
+		t.Fatal("f32 session stale after inserts")
+	}
+
+	m64, m32 := s64.Model(), s32.Model()
+	if m64.NumValues() != m32.NumValues() {
+		t.Fatalf("value counts diverged: %d vs %d", m64.NumValues(), m32.NumValues())
+	}
+	st := m32.Store()
+	for _, word := range st.Words() {
+		v32, ok := m32.Store().VectorOf(word)
+		if !ok {
+			t.Fatalf("f32 store missing %q", word)
+		}
+		v64, ok := m64.Store().VectorOf(word)
+		if !ok {
+			t.Fatalf("f64 store missing %q", word)
+		}
+		if cos := cosine(v32, v64); cos < 1-1e-9 {
+			t.Fatalf("%q drifted: cosine %.12f", word, cos)
+		}
+	}
+
+	// Relational placement survives the rounded repair path.
+	b, err := m32.Vector("movies", "title", "brazil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, _ := m32.Vector("movies", "country", "usa")
+	fr, _ := m32.Vector("movies", "country", "france")
+	if vec.SquaredDistance(b, us) >= vec.SquaredDistance(b, fr) {
+		t.Fatal("f32 repaired value not placed relationally")
+	}
+
+	// The full re-solve path keeps the precision too.
+	if err := s32.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s32.Model().Store().Precision(); got != F32 {
+		t.Fatalf("precision after Resolve = %v", got)
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

@@ -41,6 +41,9 @@ type SnapshotInfo struct {
 	// Rerank its candidate over-fetch factor.
 	Quantization string
 	Rerank       int
+	// Precision is the persisted store representation (F64 for snapshots
+	// written before format version 3).
+	Precision Precision
 	// Variant is the solver that produced the vectors.
 	Variant Variant
 	// Hyperparams is the training configuration.
@@ -112,6 +115,9 @@ func LoadSnapshot(r io.Reader) (*Model, error) {
 	// re-quantizes with freshly trained codes.
 	cfg.Quantization = snap.Quantization
 	cfg.RerankFactor = snap.Rerank
+	// The model comes back at the precision it was persisted with; any
+	// store rebuild (e.g. ResumeSession realignment) keeps it.
+	cfg.Precision = snap.Precision
 	return &Model{
 		cfg:    cfg,
 		hp:     hp,
@@ -137,6 +143,7 @@ func infoFrom(snap *snapshot.Snapshot) *SnapshotInfo {
 		ExcludeRelations: snap.ExcludeRelations,
 		Quantization:     snap.Quantization,
 		Rerank:           snap.Rerank,
+		Precision:        snap.Precision,
 	}
 }
 
@@ -223,7 +230,7 @@ func resumeModel(db *DB, base *Embedding, m *Model) (*Session, error) {
 		// the store in extraction order. The persisted HNSW graph is
 		// keyed by the old rows and cannot be kept — it rebuilds lazily —
 		// but the solver state (the expensive part) is still reused.
-		ns := NewEmbedding(m.store.Dim())
+		ns := NewEmbeddingWithPrecision(m.store.Dim(), m.store.Precision())
 		applyANNConfig(ns, m.cfg)
 		for _, v := range ex.Values {
 			key := deepwalk.ValueKey(ex, v.ID)

@@ -302,10 +302,11 @@ func (e *StorageEngine) recover(db *DB, base *Embedding, man *storage.Manifest) 
 	}
 
 	// Apply the delta chain: committed rows re-enter the database,
-	// changed vectors overwrite (or append to) the store — at the full
-	// float64 precision the writer had, so recovered vectors are
-	// bit-identical to the checkpointed ones rather than rounded
-	// through the base's float32 packing.
+	// changed vectors overwrite (or append to) the store — at the
+	// writer's store precision (float64 rows, or float32 words from an
+	// F32 store), so recovered vectors are bit-identical to the
+	// checkpointed ones rather than rounded through the base's float32
+	// packing.
 	store := model.Store()
 	for _, name := range man.Segments {
 		seg, err := storage.ReadSegmentFile(filepath.Join(e.dir, name))
@@ -320,7 +321,7 @@ func (e *StorageEngine) recover(db *DB, base *Embedding, man *storage.Manifest) 
 			}
 		}
 		for _, v := range seg.Vectors {
-			store.Add(v.Key, v.Vec)
+			store.Add(v.Key, v.Float64())
 		}
 	}
 
@@ -473,11 +474,22 @@ func (e *StorageEngine) Checkpoint() (CheckpointStats, error) {
 			FromEpoch: e.lastCkpt, ToEpoch: newEpoch, WALSeq: e.wal.Seq(),
 			Batches: e.pending,
 		}
-		for _, id := range changed {
-			vec := store.Vector(id)
-			cp := make([]float64, len(vec))
-			copy(cp, vec)
-			seg.Vectors = append(seg.Vectors, storage.VectorDelta{Key: store.Word(id), Vec: cp})
+		if store.Precision() == F32 {
+			// Persist float32 words directly: no widening round trip, and
+			// half the segment bytes per changed row.
+			for _, id := range changed {
+				vec := store.Vector32(id)
+				cp := make([]float32, len(vec))
+				copy(cp, vec)
+				seg.Vectors = append(seg.Vectors, storage.VectorDelta{Key: store.Word(id), Vec32: cp})
+			}
+		} else {
+			for _, id := range changed {
+				vec := store.Vector(id)
+				cp := make([]float64, len(vec))
+				copy(cp, vec)
+				seg.Vectors = append(seg.Vectors, storage.VectorDelta{Key: store.Word(id), Vec: cp})
+			}
 		}
 		segName := storage.SegmentName(newEpoch)
 		written = filepath.Join(e.dir, segName)

@@ -1,0 +1,246 @@
+package retro
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/retrodb/retro/internal/storage"
+)
+
+func f32StorageOpts(sys *storage.Sys) StorageOptions {
+	cfg := Defaults()
+	cfg.Precision = F32
+	return StorageOptions{Sys: sys, Config: cfg}
+}
+
+// TestStorageF32Lifecycle: a float32 engine trains, checkpoints float32
+// delta segments (format version 2), and recovers bit-exactly — the
+// segments persist the store's float32 words verbatim, so every row a
+// checkpoint covered comes back identical.
+func TestStorageF32Lifecycle(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenStorage(dir, fixtureDB(t), fixtureEmbedding(), f32StorageOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Session()
+	if got := s.Model().Store().Precision(); got != F32 {
+		t.Fatalf("fresh f32 engine store precision = %v", got)
+	}
+	for i, title := range []string{"matrix", "alien", "brazil"} {
+		if err := s.Insert("movies", []Value{Int(int64(100 + i)), Text(title), Text("france")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint's segment must be a version-2 (float32) file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawV2 := false
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".seg") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint32(raw[8:]); v == 2 {
+			sawV2 = true
+		}
+	}
+	if !sawV2 {
+		t.Fatal("f32 checkpoint produced no version-2 segment")
+	}
+
+	liveStore := s.Model().Store()
+	live := map[string][]float32{}
+	for id, w := range liveStore.Words() {
+		v := liveStore.Vector32(id)
+		cp := make([]float32, len(v))
+		copy(cp, v)
+		live[w] = cp
+	}
+	e.Close()
+
+	e2, err := OpenStorage(dir, fixtureDB(t), fixtureEmbedding(), f32StorageOpts(nil))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer e2.Close()
+	recStore := e2.Session().Model().Store()
+	if got := recStore.Precision(); got != F32 {
+		t.Fatalf("recovered store precision = %v", got)
+	}
+	if recStore.Len() != len(live) {
+		t.Fatalf("recovered %d words, live had %d", recStore.Len(), len(live))
+	}
+	// Everything was checkpointed, so recovery is the identity on the
+	// float32 words: base snapshot and delta segments both carry the
+	// exact representation.
+	for id, w := range recStore.Words() {
+		got := recStore.Vector32(id)
+		want := live[w]
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%q[%d]: recovered %v, live %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStorageF32CrashSweep is the float32 cell of the crash matrix:
+// inject a failure at every durability call, recover, and assert P1
+// (acked inserts survive), P2 (recovery is deterministic, bitwise on
+// the float32 words) and P3 (rows a checkpoint covered recover within
+// float32 ULP — bit-equal words — while WAL-replayed rows re-repair
+// deterministically at float32 precision).
+func TestStorageF32CrashSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep is slow")
+	}
+	const sweep = 28
+	for failAt := 1; failAt <= sweep; failAt++ {
+		fs := &faultSys{failAt: failAt}
+		dir := t.TempDir()
+		acked := f32CrashWorkload(t, dir, fs.sys())
+
+		vecs, titles := f32RecoverVectors(t, dir)
+		have := map[string]bool{}
+		for _, title := range titles {
+			have[title] = true
+		}
+		for _, title := range acked {
+			if !have[title] {
+				t.Fatalf("failAt=%d: acked insert %q lost (recovered rows: %v)", failAt, title, titles)
+			}
+			if _, ok := vecs["movies.title\x00"+title]; !ok {
+				t.Fatalf("failAt=%d: acked insert %q missing from the recovered model", failAt, title)
+			}
+		}
+		vecs2, _ := f32RecoverVectors(t, dir)
+		if len(vecs) != len(vecs2) {
+			t.Fatalf("failAt=%d: recovery vocabularies differ: %d vs %d", failAt, len(vecs), len(vecs2))
+		}
+		for w, a := range vecs {
+			b := vecs2[w]
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("failAt=%d: recovery not deterministic at %q[%d]: %v vs %v", failAt, w, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func f32CrashWorkload(t *testing.T, dir string, sys *storage.Sys) (acked []string) {
+	t.Helper()
+	e, err := OpenStorage(dir, fixtureDB(t), fixtureEmbedding(), f32StorageOpts(sys))
+	if err != nil {
+		return nil
+	}
+	defer func() { _ = e.Close() }()
+	titles := []string{"matrix", "alien", "brazil", "stalker", "playtime", "yojimbo", "ran", "ikiru"}
+	for i, title := range titles {
+		err := e.Session().Insert("movies", []Value{Int(int64(100 + i)), Text(title), Text("usa")})
+		if err != nil {
+			return acked
+		}
+		acked = append(acked, title)
+		if (i+1)%3 == 0 {
+			if _, err := e.Checkpoint(); err != nil {
+				return acked
+			}
+		}
+	}
+	return acked
+}
+
+func f32RecoverVectors(t *testing.T, dir string) (map[string][]float32, []string) {
+	t.Helper()
+	e, err := OpenStorage(dir, fixtureDB(t), fixtureEmbedding(), f32StorageOpts(nil))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer e.Close()
+	store := e.Session().Model().Store()
+	if store.Precision() != F32 {
+		t.Fatalf("recovered store precision = %v, want F32", store.Precision())
+	}
+	out := make(map[string][]float32, store.Len())
+	for id, w := range store.Words() {
+		v := store.Vector32(id)
+		cp := make([]float32, len(v))
+		copy(cp, v)
+		out[w] = cp
+	}
+	var titles []string
+	tbl := e.Session().DB().MustTable("movies")
+	for i := 0; i < tbl.NumRows(); i++ {
+		titles = append(titles, tbl.Row(i)[1].Str)
+	}
+	return out, titles
+}
+
+// TestStorageF32RecoveryFidelity mirrors TestStorageRecoveryFidelity on
+// a float32 engine: a probe ranking after recovery matches the live
+// writer's within the f32 scan tolerance.
+func TestStorageF32RecoveryFidelity(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenStorage(dir, fixtureDB(t), fixtureEmbedding(), f32StorageOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Session()
+	for i, title := range []string{"matrix", "alien", "brazil"} {
+		if err := s.Insert("movies", []Value{Int(int64(100 + i)), Text(title), Text("france")}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if _, err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	liveStore := s.Model().Store()
+	probe, ok := liveStore.VectorOf("movies.title\x00matrix")
+	if !ok {
+		t.Fatal("probe vector missing from live store")
+	}
+	query := make([]float64, len(probe))
+	copy(query, probe)
+	liveScores := map[string]float64{}
+	for _, m := range liveStore.TopKExact(query, liveStore.Len(), nil) {
+		liveScores[m.Word] = m.Score
+	}
+	e.Close()
+
+	e2, err := OpenStorage(dir, fixtureDB(t), fixtureEmbedding(), f32StorageOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recStore := e2.Session().Model().Store()
+	recovered := recStore.TopKExact(query, recStore.Len(), nil)
+	if len(recovered) != len(liveScores) {
+		t.Fatalf("recovered ranking has %d words, live had %d", len(recovered), len(liveScores))
+	}
+	for _, m := range recovered {
+		live, ok := liveScores[m.Word]
+		if !ok {
+			t.Fatalf("recovered ranking contains unknown word %q", m.Word)
+		}
+		if math.Abs(m.Score-live) > 1e-5 {
+			t.Fatalf("score for %q drifted: live %v, recovered %v", m.Word, live, m.Score)
+		}
+	}
+}
